@@ -1,0 +1,106 @@
+//! Developer-facing reliability requirements (§2.2).
+//!
+//! The developer hands the cloud provider four parameters: N (instances),
+//! K (minimum alive), `R_desired` (target probability that K of N are
+//! alive — alternatively phrased as acceptable annual downtime), and
+//! `T_max` (maximum search time, "within minutes, not hours"). N and K
+//! live in the [`crate::ApplicationSpec`]; this type carries the rest plus
+//! the assessment budget.
+
+use std::time::Duration;
+
+/// Search/assessment requirements accompanying an application spec.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Requirements {
+    /// Desired reliability score in `[0, 1]`. Use `1.0` to force the
+    /// search to spend the whole budget (the paper's default evaluation
+    /// setting, which can never be satisfied).
+    pub r_desired: f64,
+    /// Maximum search time `T_max`.
+    pub t_max: Duration,
+    /// Route-and-check rounds per plan assessment (paper default: 10⁴).
+    pub rounds: usize,
+}
+
+impl Requirements {
+    /// The paper's defaults: `R_desired = 1.0`, `T_max = 30 s`,
+    /// 10⁴ rounds per assessment (§4.1).
+    pub fn paper_default() -> Self {
+        Requirements { r_desired: 1.0, t_max: Duration::from_secs(30), rounds: 10_000 }
+    }
+
+    /// Sets the desired reliability score.
+    ///
+    /// # Panics
+    /// Panics outside `[0, 1]`.
+    pub fn desired(mut self, r: f64) -> Self {
+        assert!((0.0..=1.0).contains(&r), "R_desired must be in [0, 1]");
+        self.r_desired = r;
+        self
+    }
+
+    /// Expresses the target as acceptable annual downtime instead of a
+    /// probability (§2.2's alternative formulation).
+    pub fn max_annual_downtime_hours(self, hours: f64) -> Self {
+        let r = recloud_sampling::estimator::downtime_to_reliability(hours);
+        self.desired(r)
+    }
+
+    /// Sets the search budget.
+    pub fn budget(mut self, t_max: Duration) -> Self {
+        self.t_max = t_max;
+        self
+    }
+
+    /// Sets the per-assessment round count.
+    ///
+    /// # Panics
+    /// Panics if zero.
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        assert!(rounds > 0, "need at least one assessment round");
+        self.rounds = rounds;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let r = Requirements::paper_default();
+        assert_eq!(r.r_desired, 1.0);
+        assert_eq!(r.t_max, Duration::from_secs(30));
+        assert_eq!(r.rounds, 10_000);
+    }
+
+    #[test]
+    fn downtime_formulation() {
+        let r = Requirements::paper_default().max_annual_downtime_hours(33.3);
+        assert!((r.r_desired - 0.9962).abs() < 1e-4);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let r = Requirements::paper_default()
+            .desired(0.999)
+            .budget(Duration::from_secs(5))
+            .rounds(1_000);
+        assert_eq!(r.r_desired, 0.999);
+        assert_eq!(r.t_max, Duration::from_secs(5));
+        assert_eq!(r.rounds, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn bad_desired_rejected() {
+        Requirements::paper_default().desired(1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one assessment round")]
+    fn zero_rounds_rejected() {
+        Requirements::paper_default().rounds(0);
+    }
+}

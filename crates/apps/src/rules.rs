@@ -1,0 +1,157 @@
+//! Placement heuristics and resource constraints.
+//!
+//! §3.3.1 Step 1 allows the initial plan to "use any additional heuristics
+//! such as 'no hosts from the same rack or pod'"; §3.3.3 lets the search
+//! "quickly discard any generated deployment plans that do not satisfy
+//! resource constraints". Both are [`PlacementRules`] here. The
+//! common-practice baseline (§4.2.2) also places "each host in a different
+//! rack", which it enforces through the same type.
+
+use crate::plan::DeploymentPlan;
+use crate::workload::WorkloadMap;
+use recloud_topology::Topology;
+use std::collections::HashMap;
+
+/// Constraints a deployment plan must satisfy to be considered at all.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlacementRules {
+    /// Maximum instances per rack (edge switch), if bounded.
+    pub max_per_rack: Option<u32>,
+    /// Maximum instances per pod, if bounded.
+    pub max_per_pod: Option<u32>,
+    /// Reject hosts whose current workload exceeds this threshold, if set
+    /// (a simple capacity constraint).
+    pub max_host_load: Option<f64>,
+}
+
+impl Default for PlacementRules {
+    /// No constraints.
+    fn default() -> Self {
+        PlacementRules { max_per_rack: None, max_per_pod: None, max_host_load: None }
+    }
+}
+
+impl PlacementRules {
+    /// No constraints (same as `Default`).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The classic anti-affinity heuristic: at most one instance per rack.
+    pub fn distinct_racks() -> Self {
+        PlacementRules { max_per_rack: Some(1), max_per_pod: None, max_host_load: None }
+    }
+
+    /// At most one instance per rack *and* per pod (the strongest §3.3.1
+    /// heuristic).
+    pub fn distinct_pods() -> Self {
+        PlacementRules { max_per_rack: Some(1), max_per_pod: Some(1), max_host_load: None }
+    }
+
+    /// Adds a workload-capacity bound.
+    pub fn with_max_load(mut self, load: f64) -> Self {
+        assert!((0.0..=1.0).contains(&load), "load threshold must be in [0, 1]");
+        self.max_host_load = Some(load);
+        self
+    }
+
+    /// Checks a plan; `workload` is only consulted when a load bound is
+    /// set. Returns `true` when the plan satisfies every rule.
+    pub fn check(
+        &self,
+        plan: &DeploymentPlan,
+        topology: &Topology,
+        workload: Option<&WorkloadMap>,
+    ) -> bool {
+        if let Some(limit) = self.max_host_load {
+            let w = workload.expect("load rule requires a workload map");
+            if plan.all_hosts().any(|h| w.get(h) > limit) {
+                return false;
+            }
+        }
+        if self.max_per_rack.is_some() || self.max_per_pod.is_some() {
+            let mut per_rack: HashMap<u32, u32> = HashMap::new();
+            let mut per_pod: HashMap<u32, u32> = HashMap::new();
+            for h in plan.all_hosts() {
+                if let Some(max) = self.max_per_rack {
+                    let c = per_rack.entry(topology.rack_of(h).0).or_insert(0);
+                    *c += 1;
+                    if *c > max {
+                        return false;
+                    }
+                }
+                if let Some(max) = self.max_per_pod {
+                    let c = per_pod.entry(topology.pod_of(h)).or_insert(0);
+                    *c += 1;
+                    if *c > max {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ApplicationSpec;
+    use recloud_topology::FatTreeParams;
+
+    #[test]
+    fn none_accepts_anything() {
+        let t = FatTreeParams::new(4).build();
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        // Two hosts under the same edge switch.
+        let m = t.fat_tree().unwrap();
+        let plan = DeploymentPlan::new(&spec, vec![vec![m.host(0, 0, 0), m.host(0, 0, 1)]]);
+        assert!(PlacementRules::none().check(&plan, &t, None));
+    }
+
+    #[test]
+    fn distinct_racks_rejects_same_edge() {
+        let t = FatTreeParams::new(4).build();
+        let m = t.fat_tree().unwrap();
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let same_rack = DeploymentPlan::new(&spec, vec![vec![m.host(0, 0, 0), m.host(0, 0, 1)]]);
+        let diff_rack = DeploymentPlan::new(&spec, vec![vec![m.host(0, 0, 0), m.host(0, 1, 0)]]);
+        let rules = PlacementRules::distinct_racks();
+        assert!(!rules.check(&same_rack, &t, None));
+        assert!(rules.check(&diff_rack, &t, None));
+    }
+
+    #[test]
+    fn distinct_pods_rejects_same_pod_different_rack() {
+        let t = FatTreeParams::new(4).build();
+        let m = t.fat_tree().unwrap();
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let same_pod = DeploymentPlan::new(&spec, vec![vec![m.host(0, 0, 0), m.host(0, 1, 0)]]);
+        let diff_pod = DeploymentPlan::new(&spec, vec![vec![m.host(0, 0, 0), m.host(1, 0, 0)]]);
+        let rules = PlacementRules::distinct_pods();
+        assert!(!rules.check(&same_pod, &t, None));
+        assert!(rules.check(&diff_pod, &t, None));
+    }
+
+    #[test]
+    fn load_bound_uses_workload() {
+        let t = FatTreeParams::new(4).build();
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let m = t.fat_tree().unwrap();
+        let plan = DeploymentPlan::new(&spec, vec![vec![m.host(0, 0, 0), m.host(1, 0, 0)]]);
+        let mut w = WorkloadMap::uniform(&t, 0.1);
+        let rules = PlacementRules::none().with_max_load(0.5);
+        assert!(rules.check(&plan, &t, Some(&w)));
+        w.set(m.host(1, 0, 0), 0.9);
+        assert!(!rules.check(&plan, &t, Some(&w)));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a workload map")]
+    fn load_rule_without_map_panics() {
+        let t = FatTreeParams::new(4).build();
+        let spec = ApplicationSpec::k_of_n(1, 1);
+        let plan = DeploymentPlan::new(&spec, vec![vec![t.hosts()[0]]]);
+        PlacementRules::none().with_max_load(0.5).check(&plan, &t, None);
+    }
+}

@@ -1,0 +1,330 @@
+//! Application structures (§2.2, §3.2.4).
+//!
+//! The simple scenario is K-of-N redundancy: N interchangeable instances,
+//! at least K of which must be reachable from a border switch. Complex
+//! applications add *components* (frontend, database, microservices …),
+//! each with its own redundancy `N_Ci`, plus *connectivity requirements*
+//! `K_{Ci,Cj}`: "the minimum number of deployed instances of Ci that need
+//! to be reachable from component Cj", where Cj is another component or
+//! the external world (Fig 6).
+//!
+//! Requirement graphs may be cyclic (microservice meshes); the assessment
+//! engine evaluates them with a greatest-fixpoint cascade that reduces to
+//! plain layer-by-layer evaluation on DAGs.
+
+use std::fmt;
+
+/// Index of a component within one [`ApplicationSpec`].
+pub type CompIdx = usize;
+
+/// Where a connectivity requirement originates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// The external world (border switches).
+    External,
+    /// Another application component's *active* instances.
+    Component(CompIdx),
+}
+
+/// One connectivity requirement: at least `k` instances of `of` must be
+/// reachable from `from`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Connectivity {
+    /// The component whose instances are counted (Ci).
+    pub of: CompIdx,
+    /// The origin (Cj or the external world).
+    pub from: Source,
+    /// The minimum count K_{Ci,Cj} (≥ 1).
+    pub k: u32,
+}
+
+/// One application component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentSpec {
+    /// Human-readable name ("frontend", "db", "svc-3").
+    pub name: String,
+    /// Number of redundant instances to deploy (N_Ci ≥ 1).
+    pub instances: u32,
+}
+
+/// A complete application description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApplicationSpec {
+    components: Vec<ComponentSpec>,
+    requirements: Vec<Connectivity>,
+}
+
+impl ApplicationSpec {
+    /// Starts an empty spec; add components and requirements, then use it.
+    pub fn builder() -> SpecBuilder {
+        SpecBuilder { components: Vec::new(), requirements: Vec::new() }
+    }
+
+    /// The paper's default scenario: one component, `n` instances, at
+    /// least `k` reachable from the border switches (§2.2).
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ k ≤ n`.
+    pub fn k_of_n(k: u32, n: u32) -> Self {
+        let mut b = Self::builder();
+        let c = b.component("app", n);
+        b.require_external(c, k);
+        b.build()
+    }
+
+    /// A multi-layer application (§4.2.3): `layers` entries of (k, n);
+    /// layer 0 must be reachable from the external world, each further
+    /// layer from the previous one.
+    ///
+    /// # Panics
+    /// Panics if `layers` is empty or any entry violates `1 ≤ k ≤ n`.
+    pub fn layered(layers: &[(u32, u32)]) -> Self {
+        assert!(!layers.is_empty(), "a layered app needs at least one layer");
+        let mut b = Self::builder();
+        let mut prev: Option<CompIdx> = None;
+        for (i, &(k, n)) in layers.iter().enumerate() {
+            let c = b.component(&format!("layer-{i}"), n);
+            match prev {
+                None => b.require_external(c, k),
+                Some(p) => b.require(c, Source::Component(p), k),
+            }
+            prev = Some(c);
+        }
+        b.build()
+    }
+
+    /// A microservices application with the paper's "X-Y" structure
+    /// (§4.2.3): `x` fully-meshed core components (every core must reach
+    /// every other core), each with `y` supporting components reachable
+    /// from their core; every component runs `n` instances with a
+    /// K-requirement of `k`. Core 0 additionally serves external traffic.
+    ///
+    /// # Panics
+    /// Panics unless `x ≥ 1` and `1 ≤ k ≤ n`.
+    pub fn microservice(x: u32, y: u32, k: u32, n: u32) -> Self {
+        assert!(x >= 1, "need at least one core component");
+        let mut b = Self::builder();
+        let cores: Vec<CompIdx> =
+            (0..x).map(|i| b.component(&format!("core-{i}"), n)).collect();
+        b.require_external(cores[0], k);
+        for &ci in &cores {
+            for &cj in &cores {
+                if ci != cj {
+                    b.require(ci, Source::Component(cj), k);
+                }
+            }
+        }
+        for (i, &core) in cores.iter().enumerate() {
+            for j in 0..y {
+                let s = b.component(&format!("svc-{i}-{j}"), n);
+                b.require(s, Source::Component(core), k);
+            }
+        }
+        b.build()
+    }
+
+    /// The components, indexable by [`CompIdx`].
+    pub fn components(&self) -> &[ComponentSpec] {
+        &self.components
+    }
+
+    /// The connectivity requirements.
+    pub fn requirements(&self) -> &[Connectivity] {
+        &self.requirements
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Total instances across all components = number of hosts a plan
+    /// must supply.
+    pub fn total_instances(&self) -> usize {
+        self.components.iter().map(|c| c.instances as usize).sum()
+    }
+
+    /// True if the requirement graph is acyclic (layered apps are; full
+    /// meshes are not). Cyclic graphs are evaluated by fixpoint.
+    pub fn is_dag(&self) -> bool {
+        // Kahn's algorithm over component-to-component edges.
+        let n = self.components.len();
+        let mut indeg = vec![0usize; n];
+        for r in &self.requirements {
+            if let Source::Component(_) = r.from {
+                indeg[r.of] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for r in &self.requirements {
+                if r.from == Source::Component(v) {
+                    indeg[r.of] -= 1;
+                    if indeg[r.of] == 0 {
+                        queue.push(r.of);
+                    }
+                }
+            }
+        }
+        seen == n
+    }
+}
+
+impl fmt::Display for ApplicationSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app[{} components, {} requirements]", self.components.len(), self.requirements.len())
+    }
+}
+
+/// Incremental [`ApplicationSpec`] constructor.
+#[derive(Clone, Debug)]
+pub struct SpecBuilder {
+    components: Vec<ComponentSpec>,
+    requirements: Vec<Connectivity>,
+}
+
+impl SpecBuilder {
+    /// Adds a component with `instances` redundant instances.
+    ///
+    /// # Panics
+    /// Panics if `instances` is 0.
+    pub fn component(&mut self, name: &str, instances: u32) -> CompIdx {
+        assert!(instances >= 1, "a component needs at least one instance");
+        self.components.push(ComponentSpec { name: name.to_owned(), instances });
+        self.components.len() - 1
+    }
+
+    /// Requires at least `k` instances of `of` reachable from `from`.
+    ///
+    /// # Panics
+    /// Panics on dangling component indices or `k` outside
+    /// `1..=instances(of)`.
+    pub fn require(&mut self, of: CompIdx, from: Source, k: u32) {
+        assert!(of < self.components.len(), "unknown component {of}");
+        if let Source::Component(j) = from {
+            assert!(j < self.components.len(), "unknown source component {j}");
+            assert_ne!(j, of, "a component cannot require itself");
+        }
+        let n = self.components[of].instances;
+        assert!(k >= 1 && k <= n, "k must be in 1..={n} (got {k})");
+        self.requirements.push(Connectivity { of, from, k });
+    }
+
+    /// Shorthand for an external-reachability requirement.
+    pub fn require_external(&mut self, of: CompIdx, k: u32) {
+        self.require(of, Source::External, k);
+    }
+
+    /// Finalizes the spec.
+    ///
+    /// # Panics
+    /// Panics if no component was added or no requirement constrains the
+    /// application (an unconstrained app is trivially "reliable", which is
+    /// always a caller bug).
+    pub fn build(self) -> ApplicationSpec {
+        assert!(!self.components.is_empty(), "an application needs at least one component");
+        assert!(
+            !self.requirements.is_empty(),
+            "an application needs at least one connectivity requirement"
+        );
+        ApplicationSpec { components: self.components, requirements: self.requirements }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_of_n_shape() {
+        let s = ApplicationSpec::k_of_n(4, 5);
+        assert_eq!(s.num_components(), 1);
+        assert_eq!(s.total_instances(), 5);
+        assert_eq!(
+            s.requirements(),
+            &[Connectivity { of: 0, from: Source::External, k: 4 }]
+        );
+        assert!(s.is_dag());
+    }
+
+    #[test]
+    fn layered_chains_requirements() {
+        let s = ApplicationSpec::layered(&[(1, 2), (1, 2), (2, 3)]);
+        assert_eq!(s.num_components(), 3);
+        assert_eq!(s.total_instances(), 7);
+        assert_eq!(s.requirements().len(), 3);
+        assert_eq!(s.requirements()[0].from, Source::External);
+        assert_eq!(s.requirements()[1].from, Source::Component(0));
+        assert_eq!(s.requirements()[2].from, Source::Component(1));
+        assert_eq!(s.requirements()[2].k, 2);
+        assert!(s.is_dag());
+    }
+
+    #[test]
+    fn microservice_structure_counts() {
+        // "10-20" = 10 cores + 10*20 supports = 210 components (§4.2.3).
+        let s = ApplicationSpec::microservice(10, 20, 4, 5);
+        assert_eq!(s.num_components(), 210);
+        assert_eq!(s.total_instances(), 1050);
+        // Core mesh: 10*9 directed edges + 200 support edges + 1 external.
+        assert_eq!(s.requirements().len(), 90 + 200 + 1);
+        assert!(!s.is_dag()); // the mesh is cyclic
+    }
+
+    #[test]
+    fn small_microservice_is_cyclic_but_supports_hang_off() {
+        let s = ApplicationSpec::microservice(2, 1, 1, 2);
+        // cores 0,1 meshed; svc-0-0 from core0; svc-1-0 from core1.
+        assert_eq!(s.num_components(), 4);
+        assert!(!s.is_dag());
+    }
+
+    #[test]
+    fn single_core_microservice_is_dag() {
+        let s = ApplicationSpec::microservice(1, 3, 1, 2);
+        assert!(s.is_dag());
+        assert_eq!(s.num_components(), 4);
+    }
+
+    #[test]
+    fn builder_validations() {
+        let mut b = ApplicationSpec::builder();
+        let fe = b.component("fe", 2);
+        let db = b.component("db", 3);
+        b.require_external(fe, 1);
+        b.require(db, Source::Component(fe), 2);
+        let s = b.build();
+        assert_eq!(s.components()[1].name, "db");
+        assert_eq!(s.requirements()[1].k, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn k_above_n_rejected() {
+        ApplicationSpec::k_of_n(6, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot require itself")]
+    fn self_requirement_rejected() {
+        let mut b = ApplicationSpec::builder();
+        let c = b.component("a", 2);
+        b.require(c, Source::Component(c), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one connectivity requirement")]
+    fn unconstrained_app_rejected() {
+        let mut b = ApplicationSpec::builder();
+        b.component("a", 2);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn zero_instances_rejected() {
+        ApplicationSpec::builder().component("a", 0);
+    }
+}

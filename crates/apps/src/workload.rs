@@ -1,0 +1,147 @@
+//! Per-host workload — the utility input of multi-objective search
+//! (§3.3.3, §4.2.2).
+//!
+//! "A data center's resource utilization is typically low. To reflect
+//! this, we apply a realistic setting where each host has a workload over
+//! [0, 1] with the normal distribution N(0.2, 0.05)." Workload changes
+//! over time (peak hours); reCloud's 30-second searches let it re-read
+//! near-real-time values, which [`WorkloadMap::set`] models.
+
+use recloud_sampling::Rng;
+use recloud_topology::{ComponentId, Topology};
+
+/// Workload fraction per host, indexed by raw component id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadMap {
+    load: Vec<f64>,
+}
+
+impl WorkloadMap {
+    /// Draws the paper's N(0.2, 0.05) workload for every host,
+    /// deterministically per seed. Non-host components get load 0.
+    pub fn paper_default(topology: &Topology, seed: u64) -> Self {
+        Self::normal(topology, 0.2, 0.05, seed)
+    }
+
+    /// Draws N(mean, std) per host, clamped to [0, 1].
+    pub fn normal(topology: &Topology, mean: f64, std_dev: f64, seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        let mut load = vec![0.0; topology.num_components()];
+        for &h in topology.hosts() {
+            load[h.index()] = rng.next_normal_with(mean, std_dev).clamp(0.0, 1.0);
+        }
+        WorkloadMap { load }
+    }
+
+    /// Uniform workload everywhere (useful to neutralize the utility term).
+    pub fn uniform(topology: &Topology, value: f64) -> Self {
+        assert!((0.0..=1.0).contains(&value), "workload must be in [0, 1]");
+        let mut load = vec![0.0; topology.num_components()];
+        for &h in topology.hosts() {
+            load[h.index()] = value;
+        }
+        WorkloadMap { load }
+    }
+
+    /// Current load of a host.
+    pub fn get(&self, host: ComponentId) -> f64 {
+        self.load[host.index()]
+    }
+
+    /// Near-real-time update of one host's load.
+    ///
+    /// # Panics
+    /// Panics outside [0, 1].
+    pub fn set(&mut self, host: ComponentId, value: f64) {
+        assert!((0.0..=1.0).contains(&value), "workload must be in [0, 1]");
+        self.load[host.index()] = value;
+    }
+
+    /// Mean load over a set of hosts — the plan-level utility input.
+    ///
+    /// # Panics
+    /// Panics on an empty host list.
+    pub fn average<I: IntoIterator<Item = ComponentId>>(&self, hosts: I) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for h in hosts {
+            sum += self.get(h);
+            n += 1;
+        }
+        assert!(n > 0, "average workload over zero hosts");
+        sum / n as f64
+    }
+
+    /// Hosts sorted ascending by load (ties by id) — what the
+    /// common-practice baseline picks from ("least-loaded hosts").
+    pub fn hosts_by_load(&self, topology: &Topology) -> Vec<ComponentId> {
+        let mut hosts: Vec<ComponentId> = topology.hosts().to_vec();
+        hosts.sort_by(|a, b| {
+            self.get(*a)
+                .partial_cmp(&self.get(*b))
+                .expect("workloads are finite")
+                .then(a.cmp(b))
+        });
+        hosts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recloud_topology::FatTreeParams;
+
+    #[test]
+    fn paper_default_moments() {
+        let t = FatTreeParams::new(16).build();
+        let w = WorkloadMap::paper_default(&t, 1);
+        let loads: Vec<f64> = t.hosts().iter().map(|&h| w.get(h)).collect();
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        assert!((mean - 0.2).abs() < 0.01, "mean {mean}");
+        assert!(loads.iter().all(|&l| (0.0..=1.0).contains(&l)));
+    }
+
+    #[test]
+    fn non_hosts_have_zero_load() {
+        let t = FatTreeParams::new(4).build();
+        let w = WorkloadMap::paper_default(&t, 1);
+        assert_eq!(w.get(t.external()), 0.0);
+        assert_eq!(w.get(t.border_switches()[0]), 0.0);
+    }
+
+    #[test]
+    fn average_and_set() {
+        let t = FatTreeParams::new(4).build();
+        let mut w = WorkloadMap::uniform(&t, 0.5);
+        let hs = &t.hosts()[..4];
+        assert!((w.average(hs.iter().copied()) - 0.5).abs() < 1e-12);
+        w.set(hs[0], 0.9);
+        assert!((w.average(hs.iter().copied()) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hosts_by_load_is_sorted_and_complete() {
+        let t = FatTreeParams::new(4).build();
+        let w = WorkloadMap::paper_default(&t, 9);
+        let sorted = w.hosts_by_load(&t);
+        assert_eq!(sorted.len(), t.num_hosts());
+        for pair in sorted.windows(2) {
+            assert!(w.get(pair[0]) <= w.get(pair[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = FatTreeParams::new(4).build();
+        assert_eq!(WorkloadMap::paper_default(&t, 3), WorkloadMap::paper_default(&t, 3));
+        assert_ne!(WorkloadMap::paper_default(&t, 3), WorkloadMap::paper_default(&t, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero hosts")]
+    fn empty_average_panics() {
+        let t = FatTreeParams::new(4).build();
+        let w = WorkloadMap::uniform(&t, 0.1);
+        w.average(std::iter::empty());
+    }
+}

@@ -1,0 +1,486 @@
+//! The single-threaded assessment engine.
+//!
+//! [`Assessor`] wires the full §3.2 pipeline together and reports, besides
+//! the reliability estimate, a per-stage timing breakdown — the quantities
+//! behind Figures 7 (sampling time), 10 and 11 (evolve+assess time per
+//! plan).
+//!
+//! Rounds are processed in blocks aligned to the extended-dagger
+//! macro-cycle so the raw state matrix stays small regardless of the total
+//! round count; the same block/chunk layout is used by the parallel engine
+//! so serial and parallel assessments are bit-identical.
+
+use crate::check::StructureChecker;
+use recloud_apps::{ApplicationSpec, DeploymentPlan};
+use recloud_faults::{FaultInjector, FaultModel};
+use recloud_routing::{make_router, Router};
+use recloud_sampling::{
+    BitMatrix, ExtendedDaggerSampler, MonteCarloSampler, ReliabilityEstimate, ResultAccumulator,
+    Sampler,
+};
+use recloud_topology::Topology;
+use std::time::{Duration, Instant};
+
+/// Which failure-state generator to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// Extended dagger sampling (§3.2.2) — reCloud's engine.
+    ExtendedDagger,
+    /// Monte-Carlo sampling (§3.2.1) — the INDaaS baseline.
+    MonteCarlo,
+}
+
+impl SamplerKind {
+    fn make(self, seed: u64) -> Box<dyn Sampler + Send> {
+        match self {
+            SamplerKind::ExtendedDagger => Box::new(ExtendedDaggerSampler::seeded(seed)),
+            SamplerKind::MonteCarlo => Box::new(MonteCarloSampler::seeded(seed)),
+        }
+    }
+
+    /// Sampler name as reported in assessments.
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplerKind::ExtendedDagger => "dagger",
+            SamplerKind::MonteCarlo => "monte-carlo",
+        }
+    }
+}
+
+/// Per-stage wall-clock breakdown of one assessment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Timings {
+    /// Failure-state generation (the Fig 7 quantity).
+    pub sampling: Duration,
+    /// Fault-tree collapsing (§3.2.3 reasoning + filtering).
+    pub collapse: Duration,
+    /// Route-and-check over all rounds, including per-round context setup.
+    pub check: Duration,
+    /// End-to-end, including scratch management.
+    pub total: Duration,
+}
+
+impl Timings {
+    /// Accumulates another breakdown (used when merging chunks).
+    pub fn merge(&mut self, other: &Timings) {
+        self.sampling += other.sampling;
+        self.collapse += other.collapse;
+        self.check += other.check;
+        self.total += other.total;
+    }
+}
+
+/// The result of assessing one deployment plan.
+#[derive(Clone, Copy, Debug)]
+pub struct Assessment {
+    /// Reliability score with conservative variance (Eqs 1–2); call
+    /// [`ReliabilityEstimate::ciw95`] for the Eq 3 error bound.
+    pub estimate: ReliabilityEstimate,
+    /// Per-stage timings.
+    pub timings: Timings,
+    /// Which sampler produced the states.
+    pub sampler: &'static str,
+}
+
+/// Reusable assessment engine for one (topology, fault model) pair.
+///
+/// Construction allocates all scratch (state matrices, router, block
+/// buffers); assessing N plans performs no further allocation beyond the
+/// per-plan [`StructureChecker`].
+pub struct Assessor {
+    topology: Topology,
+    model: FaultModel,
+    kind: SamplerKind,
+    router: Box<dyn Router + Send>,
+    /// Rounds per processing chunk; aligned to the dagger macro-cycle and
+    /// identical for serial and parallel execution.
+    chunk_rounds: usize,
+    raw: BitMatrix,
+    collapsed: BitMatrix,
+    /// Collapsed tables of the most recent master seed, one per chunk.
+    /// Lets common-random-number searches (which assess every plan on the
+    /// same table, §3.3) skip sampling and collapsing entirely after the
+    /// first plan. The failure-state table does not depend on the plan
+    /// (§3.2.1), so this is a pure cache.
+    table_cache: Option<TableCache>,
+    /// Optional fault injection applied to every sampled chunk before
+    /// fault-tree collapsing — forced failures flow through the full
+    /// correlated-failure path (what-if analyses, sensitivity reports).
+    injector: Option<FaultInjector>,
+}
+
+struct TableCache {
+    master_seed: u64,
+    chunks: Vec<BitMatrix>,
+}
+
+impl Assessor {
+    /// Target chunk size in rounds before macro-cycle alignment. Chosen so
+    /// a Large-scale raw matrix stays around ~10 MB while chunks remain
+    /// numerous enough for 4-way parallel speedup at 10⁴ rounds.
+    const TARGET_CHUNK: usize = 2_500;
+
+    /// Creates a dagger-based assessor (reCloud's default).
+    pub fn new(topology: &Topology, model: FaultModel) -> Self {
+        Self::with_sampler(topology, model, SamplerKind::ExtendedDagger)
+    }
+
+    /// Creates an assessor with an explicit sampler choice.
+    pub fn with_sampler(topology: &Topology, model: FaultModel, kind: SamplerKind) -> Self {
+        let s_max = ExtendedDaggerSampler::macro_cycle(model.probs());
+        let chunk_rounds = Self::TARGET_CHUNK.div_ceil(s_max) * s_max;
+        let raw = BitMatrix::new(model.num_events(), chunk_rounds);
+        let collapsed = BitMatrix::new(model.num_topology_components(), chunk_rounds);
+        Assessor {
+            topology: topology.clone(),
+            model,
+            kind,
+            router: make_router(topology),
+            chunk_rounds,
+            raw,
+            collapsed,
+            table_cache: None,
+            injector: None,
+        }
+    }
+
+    /// Installs (or clears) a fault injector applied to every sampled
+    /// chunk. Invalidates the table cache.
+    pub fn set_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
+        self.table_cache = None;
+    }
+
+    /// The chunk layout for a round count: (chunk index, rounds in chunk).
+    /// Shared with the parallel engine so results are execution-identical.
+    pub fn chunk_layout(&self, rounds: usize) -> Vec<(u32, usize)> {
+        let mut out = Vec::new();
+        let mut remaining = rounds;
+        let mut idx = 0u32;
+        while remaining > 0 {
+            let n = remaining.min(self.chunk_rounds);
+            out.push((idx, n));
+            remaining -= n;
+            idx += 1;
+        }
+        out
+    }
+
+    /// Derives the per-chunk sampler seed from the master seed; chunk
+    /// streams are independent, so any chunk-to-worker mapping yields the
+    /// same result list.
+    pub fn chunk_seed(master_seed: u64, chunk: u32) -> u64 {
+        // One splitmix-style avalanche over (seed, chunk).
+        let mut z = master_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chunk as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The fault model in use.
+    pub fn model(&self) -> &FaultModel {
+        &self.model
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Name of the configured sampler.
+    pub fn sampler_name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Runs one chunk of rounds, feeding verdicts into `acc`. Exposed for
+    /// the parallel engine's workers.
+    pub fn run_chunk(
+        &mut self,
+        checker: &mut StructureChecker,
+        chunk_seed: u64,
+        rounds: usize,
+        acc: &mut ResultAccumulator,
+    ) -> Timings {
+        assert!(rounds <= self.chunk_rounds, "chunk exceeds scratch capacity");
+        let t0 = Instant::now();
+        let mut sampler = self.kind.make(chunk_seed);
+        // The scratch matrices are sized for a full chunk; for a short
+        // tail chunk we sample the full scratch width and check only the
+        // first `rounds` columns. Sampling whole chunks keeps the matrix
+        // shape fixed (no reallocation) at negligible cost.
+        let t_sample = Instant::now();
+        sampler.sample_into(self.model.probs(), &mut self.raw);
+        if let Some(injector) = &self.injector {
+            injector.apply(&mut self.raw);
+        }
+        let sampling = t_sample.elapsed();
+
+        let t_collapse = Instant::now();
+        self.model.collapse_into(&self.raw, &mut self.collapsed);
+        let collapse = t_collapse.elapsed();
+
+        let t_check = Instant::now();
+        for round in 0..rounds {
+            self.router.begin_round(&self.collapsed, round);
+            let ok = checker.round_reliable(self.router.as_mut(), &self.collapsed, round);
+            acc.push(ok);
+        }
+        let check = t_check.elapsed();
+        Timings { sampling, collapse, check, total: t0.elapsed() }
+    }
+
+    /// Assesses one deployment plan over `rounds` route-and-check rounds
+    /// (§4.1 default: 10⁴). Deterministic for a given seed.
+    ///
+    /// Repeated calls with the same `seed` reuse the cached collapsed
+    /// failure-state table (the table is plan-independent), paying only
+    /// the route-and-check cost — the fast path of common-random-number
+    /// searches.
+    pub fn assess(
+        &mut self,
+        spec: &ApplicationSpec,
+        plan: &DeploymentPlan,
+        rounds: usize,
+        seed: u64,
+    ) -> Assessment {
+        assert!(rounds > 0, "cannot assess over zero rounds");
+        let mut checker = StructureChecker::new(spec, plan);
+        let mut acc = ResultAccumulator::new();
+        let mut timings = Timings::default();
+        let t0 = Instant::now();
+
+        let layout = self.chunk_layout(rounds);
+        let cache_ok = matches!(&self.table_cache,
+            Some(c) if c.master_seed == seed && c.chunks.len() >= layout.len());
+        if cache_ok {
+            let cache = self.table_cache.take().expect("checked above");
+            for (chunk, n) in &layout {
+                let t_check = Instant::now();
+                let table = &cache.chunks[*chunk as usize];
+                for round in 0..*n {
+                    self.router.begin_round(table, round);
+                    let ok = checker.round_reliable(self.router.as_mut(), table, round);
+                    acc.push(ok);
+                }
+                timings.check += t_check.elapsed();
+            }
+            self.table_cache = Some(cache);
+        } else {
+            let mut chunks = Vec::with_capacity(layout.len());
+            for (chunk, n) in &layout {
+                let t =
+                    self.run_chunk(&mut checker, Self::chunk_seed(seed, *chunk), *n, &mut acc);
+                timings.merge(&t);
+                chunks.push(self.collapsed.clone());
+            }
+            self.table_cache = Some(TableCache { master_seed: seed, chunks });
+        }
+        timings.total = t0.elapsed();
+        Assessment { estimate: acc.estimate(), timings, sampler: self.kind.name() }
+    }
+
+    /// Measures pure failure-state generation over `rounds` rounds — the
+    /// Figure 7 microbenchmark (no collapsing, no routing).
+    pub fn sampling_time(&mut self, rounds: usize, seed: u64) -> Duration {
+        let t0 = Instant::now();
+        for (chunk, _n) in self.chunk_layout(rounds) {
+            let mut sampler = self.kind.make(Self::chunk_seed(seed, chunk));
+            sampler.sample_into(self.model.probs(), &mut self.raw);
+        }
+        t0.elapsed()
+    }
+}
+
+/// Convenience: dagger-assess a plan once without keeping an engine.
+pub fn assess_once(
+    topology: &Topology,
+    model: FaultModel,
+    spec: &ApplicationSpec,
+    plan: &DeploymentPlan,
+    rounds: usize,
+    seed: u64,
+) -> Assessment {
+    Assessor::new(topology, model).assess(spec, plan, rounds, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recloud_faults::ProbabilityConfig;
+    use recloud_sampling::Rng;
+    use recloud_topology::FatTreeParams;
+
+    fn setup(kind: SamplerKind) -> (Topology, Assessor, ApplicationSpec) {
+        let t = FatTreeParams::new(4).build();
+        let model = FaultModel::paper_default(&t, 11);
+        let a = Assessor::with_sampler(&t, model, kind);
+        (t, a, ApplicationSpec::k_of_n(1, 2))
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (t, mut a, spec) = setup(SamplerKind::ExtendedDagger);
+        let mut rng = Rng::new(5);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let r1 = a.assess(&spec, &plan, 3_000, 42);
+        let r2 = a.assess(&spec, &plan, 3_000, 42);
+        assert_eq!(r1.estimate.score, r2.estimate.score);
+        let r3 = a.assess(&spec, &plan, 3_000, 43);
+        // Different seed: almost surely a (slightly) different score.
+        assert_ne!(
+            (r1.estimate.successes, r1.estimate.rounds),
+            (r3.estimate.successes + 1, 0),
+            "sanity"
+        );
+    }
+
+    #[test]
+    fn dagger_and_monte_carlo_agree_statistically() {
+        let (t, mut dagger, spec) = setup(SamplerKind::ExtendedDagger);
+        let model = FaultModel::paper_default(&t, 11);
+        let mut mc = Assessor::with_sampler(&t, model, SamplerKind::MonteCarlo);
+        let mut rng = Rng::new(7);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let rd = dagger.assess(&spec, &plan, 40_000, 1);
+        let rm = mc.assess(&spec, &plan, 40_000, 1);
+        let gap = (rd.estimate.score - rm.estimate.score).abs();
+        let bound = rd.estimate.ciw95() + rm.estimate.ciw95();
+        assert!(gap <= bound.max(0.005), "gap {gap} exceeds bound {bound}");
+        assert_eq!(rd.sampler, "dagger");
+        assert_eq!(rm.sampler, "monte-carlo");
+    }
+
+    #[test]
+    fn all_reliable_when_nothing_fails() {
+        let t = FatTreeParams::new(4).build();
+        let model = FaultModel::new(&t, &ProbabilityConfig::Uniform(0.0), 0);
+        let mut a = Assessor::new(&t, model);
+        let spec = ApplicationSpec::k_of_n(2, 2);
+        let mut rng = Rng::new(2);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let r = a.assess(&spec, &plan, 500, 0);
+        assert_eq!(r.estimate.score, 1.0);
+        assert_eq!(r.estimate.ciw95(), 0.0);
+    }
+
+    #[test]
+    fn all_unreliable_when_hosts_always_fail() {
+        let t = FatTreeParams::new(4).build();
+        let model = FaultModel::new(
+            &t,
+            &ProbabilityConfig::PerKind {
+                table: vec![(recloud_topology::ComponentKind::Host, 1.0)],
+                default: 0.0,
+            },
+            0,
+        );
+        let mut a = Assessor::new(&t, model);
+        let spec = ApplicationSpec::k_of_n(1, 3);
+        let mut rng = Rng::new(3);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let r = a.assess(&spec, &plan, 300, 0);
+        assert_eq!(r.estimate.score, 0.0);
+    }
+
+    #[test]
+    fn chunk_layout_covers_rounds_exactly() {
+        let (_t, a, _spec) = setup(SamplerKind::ExtendedDagger);
+        for rounds in [1usize, 100, 2_500, 10_000, 99_999] {
+            let layout = a.chunk_layout(rounds);
+            let total: usize = layout.iter().map(|(_, n)| n).sum();
+            assert_eq!(total, rounds);
+            for (i, (idx, n)) in layout.iter().enumerate() {
+                assert_eq!(*idx as usize, i);
+                assert!(*n > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..64).map(|c| Assessor::chunk_seed(99, c)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let (t, mut a, spec) = setup(SamplerKind::ExtendedDagger);
+        let mut rng = Rng::new(9);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let r = a.assess(&spec, &plan, 2_000, 0);
+        assert!(r.timings.total >= r.timings.check);
+        assert!(r.timings.total > Duration::ZERO);
+        assert_eq!(r.estimate.rounds, 2_000);
+    }
+
+    #[test]
+    fn power_dependency_lowers_reliability() {
+        // The same plan must score strictly lower with power trees than
+        // with the trees stripped, because power adds correlated failures.
+        let t = FatTreeParams::new(4).build();
+        let with = FaultModel::paper_default(&t, 11);
+        let without = FaultModel::new(&t, &ProbabilityConfig::PaperDefault, 11);
+        let spec = ApplicationSpec::k_of_n(2, 2);
+        let mut rng = Rng::new(4);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let r_with = Assessor::new(&t, with).assess(&spec, &plan, 30_000, 5);
+        let r_without = Assessor::new(&t, without).assess(&spec, &plan, 30_000, 5);
+        assert!(
+            r_with.estimate.score < r_without.estimate.score,
+            "correlated failures must hurt: {} vs {}",
+            r_with.estimate.score,
+            r_without.estimate.score
+        );
+    }
+
+    #[test]
+    fn table_cache_is_transparent() {
+        // Same seed twice: second call hits the cache and must return the
+        // exact same counts; a different plan on the cached table must
+        // also match a fresh engine's result for that (plan, seed).
+        let (t, mut a, spec) = setup(SamplerKind::ExtendedDagger);
+        let mut rng = Rng::new(12);
+        let plan1 = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let plan2 = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+
+        let r1 = a.assess(&spec, &plan1, 6_000, 77);
+        let r1_cached = a.assess(&spec, &plan1, 6_000, 77);
+        assert_eq!(r1.estimate.successes, r1_cached.estimate.successes);
+        // Cached call skipped sampling entirely.
+        assert_eq!(r1_cached.timings.sampling, Duration::ZERO);
+
+        let r2_cached = a.assess(&spec, &plan2, 6_000, 77);
+        let model = FaultModel::paper_default(&t, 11);
+        let mut fresh = Assessor::new(&t, model);
+        let r2_fresh = fresh.assess(&spec, &plan2, 6_000, 77);
+        assert_eq!(r2_cached.estimate.successes, r2_fresh.estimate.successes);
+
+        // A different seed invalidates the cache (and still works).
+        let r3 = a.assess(&spec, &plan1, 6_000, 78);
+        assert!(r3.timings.sampling > Duration::ZERO);
+    }
+
+    #[test]
+    fn cache_supports_shorter_followup_requests() {
+        let (t, mut a, spec) = setup(SamplerKind::ExtendedDagger);
+        let mut rng = Rng::new(3);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let full = a.assess(&spec, &plan, 9_000, 5);
+        let prefix = a.assess(&spec, &plan, 4_000, 5);
+        // The shorter run is a prefix of the longer one's result list.
+        assert!(prefix.estimate.successes <= full.estimate.successes);
+        assert_eq!(prefix.estimate.rounds, 4_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rounds")]
+    fn zero_rounds_rejected() {
+        let (t, mut a, spec) = setup(SamplerKind::ExtendedDagger);
+        let mut rng = Rng::new(1);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        a.assess(&spec, &plan, 0, 0);
+    }
+}

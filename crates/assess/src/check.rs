@@ -1,0 +1,336 @@
+//! Per-round structure checking (§3.2.1 Fig 2, §3.2.4 Fig 6).
+//!
+//! Given one round's effective failure states and a reachability oracle,
+//! decide whether the deployment plan is *reliable in this round*:
+//!
+//! * **K-of-N** (single component, external requirement): at least K of
+//!   the N instance hosts are alive and reachable from a border switch.
+//! * **Complex structures**: the requirement graph may reference other
+//!   components ("at least K_{Ci,Cj} instances of Ci reachable from Cj").
+//!   We compute each component's *active* instance set — alive instances
+//!   reachable from at least one active instance of every component they
+//!   depend on (Fig 6: a database only counts when reached from a frontend
+//!   that is itself border-reachable) — as a greatest fixpoint, which on
+//!   DAGs reduces to plain layer-order evaluation and also gives cyclic
+//!   microservice meshes a well-defined "mutually supporting set"
+//!   semantics. A requirement `(Ci, Cj, k)` then holds when at least `k`
+//!   alive instances of Ci are reachable from Cj's active set.
+//!
+//! The checker owns per-plan scratch and never allocates per round.
+
+use recloud_apps::{ApplicationSpec, Connectivity, DeploymentPlan, Source};
+use recloud_routing::Router;
+use recloud_sampling::BitMatrix;
+use recloud_topology::ComponentId;
+
+/// Reusable per-plan round checker.
+pub struct StructureChecker {
+    /// Flattened instance hosts per component.
+    hosts: Vec<Vec<ComponentId>>,
+    requirements: Vec<Connectivity>,
+    /// True when the fast K-of-N path applies (single component, external
+    /// requirements only).
+    simple_k: Option<u32>,
+    /// Scratch: active flags per component instance.
+    active: Vec<Vec<bool>>,
+}
+
+impl StructureChecker {
+    /// Prepares a checker for one (spec, plan) pair.
+    pub fn new(spec: &ApplicationSpec, plan: &DeploymentPlan) -> Self {
+        assert_eq!(
+            plan.num_components(),
+            spec.num_components(),
+            "plan and spec disagree on component count"
+        );
+        let hosts: Vec<Vec<ComponentId>> = (0..spec.num_components())
+            .map(|c| plan.hosts_of(c).to_vec())
+            .collect();
+        let requirements = spec.requirements().to_vec();
+        let simple_k = if spec.num_components() == 1
+            && requirements.iter().all(|r| r.from == Source::External)
+        {
+            Some(requirements.iter().map(|r| r.k).max().expect("non-empty requirements"))
+        } else {
+            None
+        };
+        let active = hosts.iter().map(|h| vec![false; h.len()]).collect();
+        StructureChecker { hosts, requirements, simple_k, active }
+    }
+
+    /// Checks one round. The router must already have had
+    /// [`Router::begin_round`] called for (`states`, `round`).
+    pub fn round_reliable(
+        &mut self,
+        router: &mut dyn Router,
+        states: &BitMatrix,
+        round: usize,
+    ) -> bool {
+        if let Some(k) = self.simple_k {
+            // Fast path: count border-reachable instances, stop at k.
+            let mut alive = 0u32;
+            let need = k;
+            let hosts = &self.hosts[0];
+            for (idx, &h) in hosts.iter().enumerate() {
+                if router.external_reaches(states, h) {
+                    alive += 1;
+                    if alive >= need {
+                        return true;
+                    }
+                }
+                // Early abort: not enough hosts left to reach k.
+                let remaining = (hosts.len() - idx - 1) as u32;
+                if alive + remaining < need {
+                    return false;
+                }
+            }
+            return alive >= need;
+        }
+        self.complex_round(router, states, round)
+    }
+
+    fn complex_round(
+        &mut self,
+        router: &mut dyn Router,
+        states: &BitMatrix,
+        round: usize,
+    ) -> bool {
+        // Initialize active = alive.
+        for (c, hosts) in self.hosts.iter().enumerate() {
+            for (i, &h) in hosts.iter().enumerate() {
+                self.active[c][i] = !states.get(h.index(), round);
+            }
+        }
+        // Greatest fixpoint: repeatedly deactivate instances that lost all
+        // of their required feeders. Terminates because the active sets
+        // only shrink; bound iterations defensively by total instances.
+        let max_iters = self.hosts.iter().map(|h| h.len()).sum::<usize>() + 1;
+        for _ in 0..max_iters {
+            let mut changed = false;
+            for r in &self.requirements {
+                let of = r.of;
+                for i in 0..self.hosts[of].len() {
+                    if !self.active[of][i] {
+                        continue;
+                    }
+                    let h = self.hosts[of][i];
+                    let fed = match r.from {
+                        Source::External => router.external_reaches(states, h),
+                        Source::Component(j) => {
+                            let feeders = &self.hosts[j];
+                            let feeder_active = &self.active[j];
+                            feeders
+                                .iter()
+                                .zip(feeder_active)
+                                .any(|(&f, &act)| act && router.connects(states, f, h))
+                        }
+                    };
+                    if !fed {
+                        self.active[of][i] = false;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Requirement counts: alive instances of Ci reachable from the
+        // active set of Cj.
+        for r in &self.requirements {
+            let mut count = 0u32;
+            for (i, &h) in self.hosts[r.of].iter().enumerate() {
+                // An instance counts for this edge if it is alive and fed
+                // by this edge's source; `active` already conjoins all
+                // edges, so recheck this single edge for alive instances.
+                let alive = !states.get(h.index(), round);
+                if !alive {
+                    continue;
+                }
+                let fed = if self.active[r.of][i] {
+                    true // active implies fed by every edge
+                } else {
+                    match r.from {
+                        Source::External => router.external_reaches(states, h),
+                        Source::Component(j) => self.hosts[j]
+                            .iter()
+                            .zip(&self.active[j])
+                            .any(|(&f, &act)| act && router.connects(states, f, h)),
+                    }
+                };
+                if fed {
+                    count += 1;
+                    if count >= r.k {
+                        break;
+                    }
+                }
+            }
+            if count < r.k {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recloud_apps::ApplicationSpec;
+    use recloud_routing::GenericRouter;
+    use recloud_topology::{ComponentKind, Topology, TopologyBuilder};
+
+    /// Two racks behind one border switch:
+    /// ext - b ; b - e1 - {h0, h1} ; b - e2 - {h2, h3}.
+    fn two_racks() -> (Topology, Vec<ComponentId>, ComponentId, ComponentId, ComponentId) {
+        let mut bl = TopologyBuilder::new();
+        bl.external();
+        let b = bl.add(ComponentKind::BorderSwitch);
+        bl.mark_border(b);
+        let e1 = bl.add(ComponentKind::EdgeSwitch);
+        let e2 = bl.add(ComponentKind::EdgeSwitch);
+        bl.connect(b, e1);
+        bl.connect(b, e2);
+        let hosts = bl.add_hosts(4);
+        bl.connect(e1, hosts[0]);
+        bl.connect(e1, hosts[1]);
+        bl.connect(e2, hosts[2]);
+        bl.connect(e2, hosts[3]);
+        let t = bl.build();
+        (t, hosts, b, e1, e2)
+    }
+
+    fn check(
+        t: &Topology,
+        spec: &ApplicationSpec,
+        plan: &DeploymentPlan,
+        failed: &[ComponentId],
+    ) -> bool {
+        let mut states = BitMatrix::new(t.num_components(), 1);
+        for f in failed {
+            states.set(f.index(), 0);
+        }
+        let mut router = GenericRouter::new(t);
+        router.begin_round(&states, 0);
+        let mut checker = StructureChecker::new(spec, plan);
+        checker.round_reliable(&mut router, &states, 0)
+    }
+
+    #[test]
+    fn k_of_n_counting() {
+        let (t, hosts, _, e1, _) = two_racks();
+        let spec = ApplicationSpec::k_of_n(2, 3);
+        let plan = DeploymentPlan::new(&spec, vec![vec![hosts[0], hosts[1], hosts[2]]]);
+        // All alive: 3 >= 2.
+        assert!(check(&t, &spec, &plan, &[]));
+        // One host down: 2 >= 2.
+        assert!(check(&t, &spec, &plan, &[hosts[0]]));
+        // Rack e1 down: only h2 alive -> 1 < 2.
+        assert!(!check(&t, &spec, &plan, &[e1]));
+    }
+
+    #[test]
+    fn fig6_two_layer_semantics() {
+        // FE on rack1, DB on rack2; K_FE,ext = 1, K_DB,FE = 1.
+        let (t, hosts, _, e1, e2) = two_racks();
+        let mut b = ApplicationSpec::builder();
+        let fe = b.component("fe", 2);
+        let db = b.component("db", 2);
+        b.require_external(fe, 1);
+        b.require(db, Source::Component(fe), 1);
+        let spec = b.build();
+        let plan =
+            DeploymentPlan::new(&spec, vec![vec![hosts[0], hosts[1]], vec![hosts[2], hosts[3]]]);
+        // Healthy.
+        assert!(check(&t, &spec, &plan, &[]));
+        // One FE down: still 1 FE and DBs reachable.
+        assert!(check(&t, &spec, &plan, &[hosts[0]]));
+        // FE rack down: no border-reachable FE -> unreliable, even though
+        // DBs are alive.
+        assert!(!check(&t, &spec, &plan, &[e1]));
+        // DB rack down: FE fine but no DB reachable from FE.
+        assert!(!check(&t, &spec, &plan, &[e2]));
+        // Both DB hosts down.
+        assert!(!check(&t, &spec, &plan, &[hosts[2], hosts[3]]));
+    }
+
+    #[test]
+    fn cascade_depth_three() {
+        // layer0 -> layer1 -> layer2, one instance each on separate racks:
+        // cutting layer0 must invalidate layer2 even though layers 1-2 are
+        // perfectly connected.
+        let (t, hosts, _, e1, _) = two_racks();
+        let spec = ApplicationSpec::layered(&[(1, 1), (1, 1), (1, 1)]);
+        let plan = DeploymentPlan::new(
+            &spec,
+            vec![vec![hosts[0]], vec![hosts[2]], vec![hosts[3]]],
+        );
+        assert!(check(&t, &spec, &plan, &[]));
+        // Layer 0's rack dies: its instance is unreachable from ext, so
+        // layer 1 has no active feeder, so layer 2 fails too.
+        assert!(!check(&t, &spec, &plan, &[e1]));
+    }
+
+    #[test]
+    fn mesh_fixpoint_mutual_support() {
+        // Two cores that must reach each other (1-of-1 each way), plus
+        // external on core0.
+        let (t, hosts, _, _, e2) = two_racks();
+        let mut b = ApplicationSpec::builder();
+        let c0 = b.component("core-0", 1);
+        let c1 = b.component("core-1", 1);
+        b.require_external(c0, 1);
+        b.require(c0, Source::Component(c1), 1);
+        b.require(c1, Source::Component(c0), 1);
+        let spec = b.build();
+        let plan = DeploymentPlan::new(&spec, vec![vec![hosts[0]], vec![hosts[2]]]);
+        assert!(check(&t, &spec, &plan, &[]));
+        // Cut core1's rack: the mesh breaks both ways.
+        assert!(!check(&t, &spec, &plan, &[e2]));
+        // Cut core1's host directly: same.
+        assert!(!check(&t, &spec, &plan, &[hosts[2]]));
+    }
+
+    #[test]
+    fn redundant_mesh_survives_partial_loss() {
+        let (t, hosts, _, _, _) = two_racks();
+        let mut b = ApplicationSpec::builder();
+        let c0 = b.component("core-0", 2);
+        let c1 = b.component("core-1", 2);
+        b.require_external(c0, 1);
+        b.require(c0, Source::Component(c1), 1);
+        b.require(c1, Source::Component(c0), 1);
+        let spec = b.build();
+        let plan =
+            DeploymentPlan::new(&spec, vec![vec![hosts[0], hosts[2]], vec![hosts[1], hosts[3]]]);
+        // Lose one instance of each: still 1+1 meshed.
+        assert!(check(&t, &spec, &plan, &[hosts[2], hosts[1]]));
+        // Lose both of c1: mesh dead.
+        assert!(!check(&t, &spec, &plan, &[hosts[1], hosts[3]]));
+    }
+
+    #[test]
+    fn checker_is_reusable_across_rounds() {
+        let (t, hosts, _, e1, _) = two_racks();
+        let spec = ApplicationSpec::k_of_n(2, 2);
+        let plan = DeploymentPlan::new(&spec, vec![vec![hosts[0], hosts[2]]]);
+        let mut states = BitMatrix::new(t.num_components(), 2);
+        states.set(e1.index(), 1);
+        let mut router = GenericRouter::new(&t);
+        let mut checker = StructureChecker::new(&spec, &plan);
+        router.begin_round(&states, 0);
+        assert!(checker.round_reliable(&mut router, &states, 0));
+        router.begin_round(&states, 1);
+        assert!(!checker.round_reliable(&mut router, &states, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on component count")]
+    fn mismatched_plan_rejected() {
+        let (_t, hosts, _, _, _) = two_racks();
+        let one = ApplicationSpec::k_of_n(1, 2);
+        let plan = DeploymentPlan::new(&one, vec![vec![hosts[0], hosts[1]]]);
+        let two = ApplicationSpec::layered(&[(1, 1), (1, 1)]);
+        StructureChecker::new(&two, &plan);
+    }
+}

@@ -1,0 +1,158 @@
+//! Plan comparison — the INDaaS-style service, upgraded.
+//!
+//! INDaaS (the paper's closest prior system) "compares the reliability of
+//! an application's *given* deployment plans, and selects the most
+//! reliable plan". reCloud subsumes that service: this module assesses a
+//! list of candidate plans quantitatively (which INDaaS could not do) and
+//! ranks them with error bounds, flagging ties whose confidence intervals
+//! overlap — the honest answer INDaaS's qualitative ranking hides.
+
+use crate::assessor::{Assessment, Assessor};
+use recloud_apps::{ApplicationSpec, DeploymentPlan};
+
+/// One ranked candidate.
+#[derive(Clone, Debug)]
+pub struct RankedPlan {
+    /// Position of the plan in the caller's input list.
+    pub input_index: usize,
+    /// The plan's assessment.
+    pub assessment: Assessment,
+    /// True when this plan's confidence interval overlaps the winner's —
+    /// i.e. the data cannot actually distinguish them at 95%.
+    pub tied_with_best: bool,
+}
+
+/// The comparison verdict.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Candidates sorted by descending reliability score.
+    pub ranking: Vec<RankedPlan>,
+}
+
+impl Comparison {
+    /// The winner's input index.
+    pub fn best_index(&self) -> usize {
+        self.ranking[0].input_index
+    }
+
+    /// Indices of every plan statistically indistinguishable from the
+    /// winner (always includes the winner itself).
+    pub fn statistical_winners(&self) -> Vec<usize> {
+        self.ranking
+            .iter()
+            .filter(|r| r.tied_with_best)
+            .map(|r| r.input_index)
+            .collect()
+    }
+}
+
+/// Assesses every candidate over `rounds` rounds and ranks them.
+///
+/// # Panics
+/// Panics if `plans` is empty.
+pub fn compare_plans(
+    assessor: &mut Assessor,
+    spec: &ApplicationSpec,
+    plans: &[DeploymentPlan],
+    rounds: usize,
+    seed: u64,
+) -> Comparison {
+    assert!(!plans.is_empty(), "need at least one candidate plan");
+    let mut ranking: Vec<RankedPlan> = plans
+        .iter()
+        .enumerate()
+        .map(|(input_index, plan)| RankedPlan {
+            input_index,
+            // Independent sampling seed per candidate: comparing plans on
+            // *common* random numbers would be a variance-reduction trick,
+            // but error bounds below assume independence.
+            assessment: assessor.assess(spec, plan, rounds, seed ^ (input_index as u64) << 17),
+            tied_with_best: false,
+        })
+        .collect();
+    ranking.sort_by(|a, b| {
+        b.assessment
+            .estimate
+            .score
+            .partial_cmp(&a.assessment.estimate.score)
+            .expect("scores are finite")
+            .then(a.input_index.cmp(&b.input_index))
+    });
+    let best = ranking[0].assessment.estimate;
+    for r in &mut ranking {
+        let e = r.assessment.estimate;
+        // Overlapping 95% intervals: |Δscore| <= half-widths summed.
+        r.tied_with_best = (best.score - e.score).abs() <= (best.ciw95() + e.ciw95()) / 2.0;
+    }
+    Comparison { ranking }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recloud_faults::{FaultModel, ProbabilityConfig};
+    use recloud_topology::{ComponentKind, FatTreeParams};
+
+    #[test]
+    fn ranks_by_reliability_and_flags_ties() {
+        // Plan A: both instances behind one edge switch (correlated).
+        // Plan B: instances in different pods (independent-ish).
+        // Plan C: same as B but other pods — a statistical tie with B.
+        let t = FatTreeParams::new(4).build();
+        let model = FaultModel::new(
+            &t,
+            &ProbabilityConfig::PerKind {
+                table: vec![(ComponentKind::EdgeSwitch, 0.05), (ComponentKind::Host, 0.02)],
+                default: 0.0,
+            },
+            0,
+        );
+        let m = t.fat_tree().unwrap();
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let same_edge =
+            DeploymentPlan::new(&spec, vec![vec![m.host(0, 0, 0), m.host(0, 0, 1)]]);
+        let cross_pod_1 =
+            DeploymentPlan::new(&spec, vec![vec![m.host(0, 0, 0), m.host(1, 0, 0)]]);
+        let cross_pod_2 =
+            DeploymentPlan::new(&spec, vec![vec![m.host(1, 1, 0), m.host(2, 0, 0)]]);
+        let mut assessor = Assessor::new(&t, model);
+        let cmp = compare_plans(
+            &mut assessor,
+            &spec,
+            &[same_edge, cross_pod_1, cross_pod_2],
+            60_000,
+            9,
+        );
+        // A cross-pod plan must win; the two cross-pod plans tie.
+        assert_ne!(cmp.best_index(), 0, "the correlated plan cannot win");
+        let winners = cmp.statistical_winners();
+        assert!(winners.contains(&1) && winners.contains(&2), "{winners:?}");
+        assert!(!winners.contains(&0));
+        // Ranking is sorted descending.
+        for w in cmp.ranking.windows(2) {
+            assert!(w[0].assessment.estimate.score >= w[1].assessment.estimate.score);
+        }
+    }
+
+    #[test]
+    fn single_candidate_wins_trivially() {
+        let t = FatTreeParams::new(4).build();
+        let model = FaultModel::paper_default(&t, 1);
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let plan = DeploymentPlan::new(&spec, vec![t.hosts()[..2].to_vec()]);
+        let mut assessor = Assessor::new(&t, model);
+        let cmp = compare_plans(&mut assessor, &spec, &[plan], 1_000, 1);
+        assert_eq!(cmp.best_index(), 0);
+        assert_eq!(cmp.statistical_winners(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_rejected() {
+        let t = FatTreeParams::new(4).build();
+        let model = FaultModel::paper_default(&t, 1);
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let mut assessor = Assessor::new(&t, model);
+        compare_plans(&mut assessor, &spec, &[], 100, 0);
+    }
+}

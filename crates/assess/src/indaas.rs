@@ -1,0 +1,311 @@
+//! INDaaS-style qualitative risk-group analysis.
+//!
+//! INDaaS (Zhai et al., OSDI '14) — the paper's closest prior system —
+//! ranks given deployment plans by *structural independence*: it
+//! enumerates shared risk groups (sets of components whose joint failure
+//! takes the application down) and prefers plans with fewer/larger
+//! minimal groups. It produces **no probabilities**, which is the paper's
+//! first criticism ("does not produce a quantitative assessment ...
+//! required for service quality auditing and compliance").
+//!
+//! This module reproduces that qualitative analysis so the two systems
+//! can be compared head-to-head on the same plans:
+//!
+//! * a **fatal singleton** is one event whose failure alone breaks the
+//!   application's requirement (a size-1 risk group);
+//! * a **fatal pair** is a pair of events, neither fatal alone, that
+//!   breaks it jointly (a size-2 minimal risk group).
+//!
+//! [`risk_profile`] computes both by exact single/double fault injection
+//! through the full fault-tree + route-and-check pipeline (no sampling);
+//! [`rank_by_risk`] orders plans the way INDaaS would — lexicographically
+//! by (fatal singletons, fatal pairs). The integration tests show where
+//! this agrees with the quantitative ranking and where it cannot
+//! distinguish plans that reCloud's probabilistic assessment separates.
+
+use crate::check::StructureChecker;
+use recloud_apps::{ApplicationSpec, DeploymentPlan};
+use recloud_faults::FaultModel;
+use recloud_routing::make_router;
+use recloud_sampling::BitMatrix;
+use recloud_topology::{ComponentId, Topology};
+
+/// The qualitative risk structure of one plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RiskProfile {
+    /// Events whose failure alone breaks the requirement.
+    pub fatal_singletons: Vec<ComponentId>,
+    /// Minimal size-2 risk groups (neither member fatal alone).
+    pub fatal_pairs: Vec<(ComponentId, ComponentId)>,
+    /// Events that degrade the plan (break at least one instance's
+    /// reachability) without being fatal — the candidates from which
+    /// pairs were formed.
+    pub impactful: Vec<ComponentId>,
+}
+
+impl RiskProfile {
+    /// INDaaS-style sort key: fewer fatal singletons first, then fewer
+    /// fatal pairs.
+    pub fn rank_key(&self) -> (usize, usize) {
+        (self.fatal_singletons.len(), self.fatal_pairs.len())
+    }
+}
+
+/// Computes the exact size-1 and size-2 risk groups of a plan.
+///
+/// Single events are tested exhaustively. Pair enumeration is restricted
+/// to a candidate set: the *impactful* events (those that alone degrade
+/// at least one instance's reachability) plus every basic event of the
+/// plan hosts' dependency trees. The latter widening matters for AND
+/// gates — one member of a redundant supply pair degrades nothing alone
+/// yet forms a minimal risk group with its sibling.
+pub fn risk_profile(
+    topology: &Topology,
+    model: &FaultModel,
+    spec: &ApplicationSpec,
+    plan: &DeploymentPlan,
+) -> RiskProfile {
+    let mut raw = BitMatrix::new(model.num_events(), 1);
+    let mut collapsed = BitMatrix::new(model.num_topology_components(), 1);
+    let mut router = make_router(topology);
+    let mut checker = StructureChecker::new(spec, plan);
+
+    // Baseline sanity: the healthy world must satisfy the requirement.
+    model.collapse_into(&raw, &mut collapsed);
+    router.begin_round(&collapsed, 0);
+    assert!(
+        checker.round_reliable(router.as_mut(), &collapsed, 0),
+        "plan does not satisfy its requirement even with everything alive"
+    );
+
+    let mut check_world = |raw: &mut BitMatrix,
+                           collapsed: &mut BitMatrix,
+                           events: &[ComponentId]|
+     -> (bool, bool) {
+        for &e in events {
+            raw.set(e.index(), 0);
+        }
+        model.collapse_into(raw, collapsed);
+        router.begin_round(collapsed, 0);
+        let ok = checker.round_reliable(router.as_mut(), collapsed, 0);
+        // Degradation check: any plan host unreachable?
+        let mut degraded = false;
+        for c in 0..plan.num_components() {
+            for &h in plan.hosts_of(c) {
+                if !router.external_reaches(collapsed, h) {
+                    degraded = true;
+                    break;
+                }
+            }
+        }
+        for &e in events {
+            raw.unset(e.index(), 0);
+        }
+        (ok, degraded)
+    };
+
+    let mut fatal_singletons = Vec::new();
+    let mut impactful = Vec::new();
+    for e in 0..model.num_events() {
+        let event = ComponentId::from_index(e);
+        let (ok, degraded) = check_world(&mut raw, &mut collapsed, &[event]);
+        if !ok {
+            fatal_singletons.push(event);
+        } else if degraded {
+            impactful.push(event);
+        }
+    }
+    // Widen the pair-candidate set with AND-gate members: basic events of
+    // the plan hosts' dependency trees that were individually harmless.
+    let mut candidates = impactful.clone();
+    for h in plan.all_hosts() {
+        if let Some(tree) = model.tree_of(h) {
+            for e in tree.basic_events() {
+                if !candidates.contains(&e)
+                    && !fatal_singletons.contains(&e)
+                    && !impactful.contains(&e)
+                {
+                    candidates.push(e);
+                }
+            }
+        }
+    }
+
+    let mut fatal_pairs = Vec::new();
+    for i in 0..candidates.len() {
+        for j in (i + 1)..candidates.len() {
+            let (ok, _) =
+                check_world(&mut raw, &mut collapsed, &[candidates[i], candidates[j]]);
+            if !ok {
+                fatal_pairs.push((candidates[i], candidates[j]));
+            }
+        }
+    }
+    RiskProfile { fatal_singletons, fatal_pairs, impactful }
+}
+
+/// Ranks plans the way INDaaS would: ascending by (fatal singletons,
+/// fatal pairs). Returns indices into `plans`, best first. Ties keep
+/// input order — INDaaS has no way to break them, which is exactly the
+/// limitation the quantitative assessment removes.
+pub fn rank_by_risk(
+    topology: &Topology,
+    model: &FaultModel,
+    spec: &ApplicationSpec,
+    plans: &[DeploymentPlan],
+) -> Vec<(usize, RiskProfile)> {
+    assert!(!plans.is_empty(), "need at least one plan to rank");
+    let mut out: Vec<(usize, RiskProfile)> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, risk_profile(topology, model, spec, p)))
+        .collect();
+    out.sort_by_key(|(i, r)| (r.rank_key(), *i));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recloud_faults::ProbabilityConfig;
+    use recloud_topology::FatTreeParams;
+
+    fn env() -> (Topology, FaultModel) {
+        let t = FatTreeParams::new(4).build();
+        let m = FaultModel::paper_default(&t, 1);
+        (t, m)
+    }
+
+    #[test]
+    fn stacked_plan_has_fatal_singletons() {
+        // 2-of-2 under one edge switch: the edge, the group supply and the
+        // edge's supply are all single points of failure, as are both
+        // hosts themselves.
+        let (t, m) = env();
+        let meta = t.fat_tree().unwrap();
+        let spec = ApplicationSpec::k_of_n(2, 2);
+        let plan = DeploymentPlan::new(
+            &spec,
+            vec![meta.hosts_under_edge(0, 0).take(2).collect()],
+        );
+        let profile = risk_profile(&t, &m, &spec, &plan);
+        let edge = meta.edge(0, 0);
+        assert!(profile.fatal_singletons.contains(&edge));
+        let group_supply = t.power_of(meta.host(0, 0, 0)).unwrap();
+        assert!(profile.fatal_singletons.contains(&group_supply));
+        // Both hosts are fatal singletons for a 2-of-2 requirement.
+        for h in plan.all_hosts() {
+            assert!(profile.fatal_singletons.contains(&h));
+        }
+    }
+
+    #[test]
+    fn diverse_1_of_2_has_no_fatal_singleton_but_fatal_pairs() {
+        // Without shared power (pure network model), two hosts in
+        // different pods have no single point of failure on a fat-tree,
+        // and the host pair itself is a minimal risk group. (With the
+        // §4.1 power wiring on the tiny k=4 fabric, a single supply CAN
+        // sever a pod's whole uplink — the stacked-plan test covers that
+        // regime.)
+        let t = FatTreeParams::new(4).build();
+        let m = FaultModel::new(&t, &ProbabilityConfig::PaperDefault, 1);
+        let meta = t.fat_tree().unwrap();
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let h1 = meta.host(0, 0, 0);
+        let h2 = meta.host(1, 0, 0);
+        let plan = DeploymentPlan::new(&spec, vec![vec![h1, h2]]);
+        let profile = risk_profile(&t, &m, &spec, &plan);
+        assert!(
+            profile.fatal_singletons.is_empty(),
+            "diverse 1-of-2 must have no single point of failure: {:?}",
+            profile.fatal_singletons
+        );
+        // The two hosts together are a minimal risk group.
+        assert!(
+            profile
+                .fatal_pairs
+                .iter()
+                .any(|&(a, b)| (a == h1 && b == h2) || (a == h2 && b == h1)),
+            "the host pair must be a fatal pair: {:?}",
+            profile.fatal_pairs
+        );
+        // So are the two edge switches.
+        let (e1, e2) = (meta.edge(0, 0), meta.edge(1, 0));
+        assert!(profile
+            .fatal_pairs
+            .iter()
+            .any(|&(a, b)| (a == e1 && b == e2) || (a == e2 && b == e1)));
+    }
+
+    #[test]
+    fn indaas_ranking_prefers_structurally_diverse_plans() {
+        let (t, m) = env();
+        let meta = t.fat_tree().unwrap();
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let stacked = DeploymentPlan::new(
+            &spec,
+            vec![meta.hosts_under_edge(0, 0).take(2).collect()],
+        );
+        let h1 = meta.host(0, 0, 0);
+        let h2 = t
+            .hosts()
+            .iter()
+            .copied()
+            .find(|&h| {
+                meta.host_position(h).pod != 0 && t.power_of(h) != t.power_of(h1)
+            })
+            .unwrap();
+        let diverse = DeploymentPlan::new(&spec, vec![vec![h1, h2]]);
+        let ranked = rank_by_risk(&t, &m, &spec, &[stacked, diverse]);
+        assert_eq!(ranked[0].0, 1, "INDaaS must prefer the diverse plan");
+        assert!(ranked[0].1.rank_key() < ranked[1].1.rank_key());
+    }
+
+    #[test]
+    fn and_gate_members_surface_as_pairs() {
+        // Redundant power (AND gate): each supply alone is harmless, the
+        // pair is fatal — the candidate-widening path must catch it.
+        let t = FatTreeParams::new(4).build();
+        let mut m = FaultModel::new(&t, &ProbabilityConfig::PaperDefault, 1);
+        let events = recloud_faults::Fig5Template::default().apply(&t, &mut m);
+        let meta = t.fat_tree().unwrap();
+        let spec = ApplicationSpec::k_of_n(1, 1);
+        let host = meta.host(0, 0, 0);
+        let plan = DeploymentPlan::new(&spec, vec![vec![host]]);
+        let profile = risk_profile(&t, &m, &spec, &plan);
+        let primary = t.power_of(host).unwrap();
+        let backup = events.backup_power;
+        assert!(
+            !profile.fatal_singletons.contains(&primary),
+            "redundant primary is not a singleton"
+        );
+        assert!(
+            profile
+                .fatal_pairs
+                .iter()
+                .any(|&(a, b)| (a == primary && b == backup) || (a == backup && b == primary)),
+            "the (primary, backup) supply pair must be a minimal risk group: {:?}",
+            profile.fatal_pairs
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not satisfy its requirement")]
+    fn impossible_plan_rejected() {
+        // A host that is physically disconnected from the border switch
+        // cannot satisfy any requirement even with everything alive; the
+        // analysis must refuse instead of reporting risk groups for a
+        // plan that never worked.
+        use recloud_topology::{ComponentKind, TopologyBuilder};
+        let mut b = TopologyBuilder::new();
+        b.external();
+        let sw = b.add(ComponentKind::BorderSwitch);
+        b.mark_border(sw);
+        let h = b.add(ComponentKind::Host); // never connected to sw!
+        let t = b.build();
+        let m = FaultModel::new(&t, &ProbabilityConfig::Uniform(0.01), 0);
+        let spec = ApplicationSpec::k_of_n(1, 1);
+        let plan = DeploymentPlan::new(&spec, vec![vec![h]]);
+        risk_profile(&t, &m, &spec, &plan);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # recloud-assess
+//!
+//! Quantitative reliability assessment of deployment plans — the pipeline
+//! of §3.2, end to end:
+//!
+//! 1. generate failure states for every sampled event over many rounds
+//!    (extended dagger sampling for reCloud, Monte-Carlo for the INDaaS
+//!    baseline) — from `recloud-sampling`;
+//! 2. fold shared-dependency fault trees into effective per-component
+//!    states (§3.2.3) — from `recloud-faults`;
+//! 3. route-and-check each round (§3.2.1, Figs 2 & 6): K-of-N counting for
+//!    simple apps, a greatest-fixpoint cascade over the requirement graph
+//!    for complex structures (§3.2.4) — [`check`];
+//! 4. accumulate into a reliability score with conservative variance and
+//!    the 95% confidence-interval width (Eqs 1–3).
+//!
+//! [`assessor::Assessor`] is the single-threaded engine;
+//! [`parallel::ParallelAssessor`] is the MapReduce-style master/worker
+//! engine of §3.2.1/§4.2.4, with task and result frames crossing a real
+//! wire codec ([`wire`]) to model the distributed implementation's
+//! serialization cost. [`ground_truth`] computes *exact* reliabilities for
+//! small models by weighted exhaustive enumeration, which the test suite
+//! uses to validate both samplers and the error bounds.
+
+pub mod assessor;
+pub mod check;
+pub mod compare;
+pub mod ground_truth;
+pub mod indaas;
+pub mod parallel;
+pub mod sensitivity;
+pub mod sequential;
+pub mod wire;
+
+pub use assessor::{Assessment, Assessor, SamplerKind, Timings};
+pub use compare::{compare_plans, Comparison, RankedPlan};
+pub use check::StructureChecker;
+pub use ground_truth::exact_reliability;
+pub use indaas::{rank_by_risk, risk_profile, RiskProfile};
+pub use parallel::ParallelAssessor;
+pub use sensitivity::{dependency_sensitivity, SensitivityReport, SensitivityRow};
+pub use sequential::{SequentialAssessment, StopReason};

@@ -1,0 +1,233 @@
+//! MapReduce-style parallel assessment (§3.2.1, §4.2.4).
+//!
+//! "A master node distributes portions of rounds to worker nodes. Each
+//! worker node performs the route-and-check for the assigned rounds. The
+//! master node then gathers the results from each worker node to compute
+//! the overall reliability score."
+//!
+//! This engine reproduces that structure in-process: the master encodes a
+//! [`crate::wire::JobFrame`] (the plan under test) and per-chunk
+//! [`crate::wire::TaskFrame`]s, workers decode them, build their own
+//! assessment context (sampler, state matrices, router — the §4.2.4
+//! "context setup"), run the chunks, and answer with encoded
+//! [`crate::wire::ResultFrame`]s that the master reduces. All frames cross
+//! crossbeam channels as raw bytes, standing in for the paper's network
+//! transport.
+//!
+//! Chunk seeds are derived exactly as in the serial [`Assessor`], so a
+//! parallel assessment returns **bit-identical** scores to the serial one
+//! regardless of worker count or scheduling — the property the
+//! equivalence tests pin down.
+
+use crate::assessor::{Assessment, Assessor, SamplerKind, Timings};
+use crate::check::StructureChecker;
+use crate::wire::{JobFrame, ResultFrame, TaskFrame};
+use crossbeam::channel;
+use recloud_apps::{ApplicationSpec, DeploymentPlan};
+use recloud_faults::FaultModel;
+use recloud_sampling::ResultAccumulator;
+use recloud_topology::{ComponentId, Topology};
+use std::time::{Duration, Instant};
+
+/// Master/worker assessment engine.
+pub struct ParallelAssessor {
+    topology: Topology,
+    model: FaultModel,
+    kind: SamplerKind,
+    workers: usize,
+}
+
+impl ParallelAssessor {
+    /// Creates an engine with `workers` worker nodes (threads).
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn new(topology: &Topology, model: FaultModel, workers: usize) -> Self {
+        Self::with_sampler(topology, model, workers, SamplerKind::ExtendedDagger)
+    }
+
+    /// Creates an engine with an explicit sampler choice.
+    pub fn with_sampler(
+        topology: &Topology,
+        model: FaultModel,
+        workers: usize,
+        kind: SamplerKind,
+    ) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        ParallelAssessor { topology: topology.clone(), model, kind, workers }
+    }
+
+    /// Assesses a plan over `rounds` rounds, distributing chunks over the
+    /// workers. Deterministic per seed and identical to the serial result.
+    pub fn assess(
+        &self,
+        spec: &ApplicationSpec,
+        plan: &DeploymentPlan,
+        rounds: usize,
+        seed: u64,
+    ) -> Assessment {
+        assert!(rounds > 0, "cannot assess over zero rounds");
+        let t0 = Instant::now();
+
+        // The master serializes the job once; every worker gets a copy of
+        // the bytes, exactly as a network fan-out would.
+        let job = JobFrame {
+            rounds_total: rounds as u64,
+            assignments: (0..spec.num_components())
+                .map(|c| plan.hosts_of(c).iter().map(|h| h.0).collect())
+                .collect(),
+        }
+        .encode();
+
+        // Chunk layout must match the serial engine's, so reuse it.
+        let probe = Assessor::with_sampler(&self.topology, self.model.clone(), self.kind);
+        let layout = probe.chunk_layout(rounds);
+        drop(probe);
+
+        let (task_tx, task_rx) = channel::unbounded::<bytes::Bytes>();
+        let (result_tx, result_rx) = channel::unbounded::<bytes::Bytes>();
+        for (chunk, n) in &layout {
+            let frame = TaskFrame {
+                chunk: *chunk,
+                seed: Assessor::chunk_seed(seed, *chunk),
+                rounds: *n as u32,
+            };
+            task_tx.send(frame.encode()).expect("task channel open");
+        }
+        drop(task_tx); // workers drain until empty
+
+        let mut acc = ResultAccumulator::new();
+        let mut timings = Timings::default();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let task_rx = task_rx.clone();
+                let result_tx = result_tx.clone();
+                let job = job.clone();
+                let topology = &self.topology;
+                let model = &self.model;
+                let kind = self.kind;
+                scope.spawn(move || {
+                    // Worker-side job setup: deserialize the plan and build
+                    // the full assessment context.
+                    let job = JobFrame::decode(job).expect("master sent a valid job frame");
+                    let assignments: Vec<Vec<ComponentId>> = job
+                        .assignments
+                        .iter()
+                        .map(|c| c.iter().map(|&h| ComponentId(h)).collect())
+                        .collect();
+                    let plan = DeploymentPlan::new(spec, assignments);
+                    let mut engine = Assessor::with_sampler(topology, model.clone(), kind);
+                    let mut checker = StructureChecker::new(spec, &plan);
+                    while let Ok(task) = task_rx.recv() {
+                        let task = TaskFrame::decode(task).expect("master sent a valid task");
+                        let mut local = ResultAccumulator::new();
+                        let t = engine.run_chunk(
+                            &mut checker,
+                            task.seed,
+                            task.rounds as usize,
+                            &mut local,
+                        );
+                        let frame = ResultFrame {
+                            chunk: task.chunk,
+                            rounds: local.rounds(),
+                            successes: local.successes(),
+                            sampling_ns: t.sampling.as_nanos() as u64,
+                            collapse_ns: t.collapse.as_nanos() as u64,
+                            check_ns: t.check.as_nanos() as u64,
+                            total_ns: t.total.as_nanos() as u64,
+                        };
+                        result_tx.send(frame.encode()).expect("result channel open");
+                    }
+                });
+            }
+            drop(result_tx);
+            // Master-side reduce.
+            for _ in 0..layout.len() {
+                let frame = result_rx.recv().expect("every chunk produces a result");
+                let r = ResultFrame::decode(frame).expect("workers send valid results");
+                acc.push_batch(r.rounds, r.successes);
+                timings.merge(&Timings {
+                    sampling: Duration::from_nanos(r.sampling_ns),
+                    collapse: Duration::from_nanos(r.collapse_ns),
+                    check: Duration::from_nanos(r.check_ns),
+                    total: Duration::from_nanos(r.total_ns),
+                });
+            }
+        });
+        // Stage timings are summed CPU time across workers; `total` is the
+        // master's wall clock (what Fig 12 plots).
+        timings.total = t0.elapsed();
+        Assessment { estimate: acc.estimate(), timings, sampler: self.kind.name() }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recloud_apps::ApplicationSpec;
+    use recloud_sampling::Rng;
+    use recloud_topology::FatTreeParams;
+
+    fn setup() -> (Topology, FaultModel, ApplicationSpec, DeploymentPlan) {
+        let t = FatTreeParams::new(4).build();
+        let model = FaultModel::paper_default(&t, 3);
+        let spec = ApplicationSpec::k_of_n(2, 4);
+        let mut rng = Rng::new(8);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        (t, model, spec, plan)
+    }
+
+    #[test]
+    fn parallel_equals_serial_exactly() {
+        let (t, model, spec, plan) = setup();
+        let serial = Assessor::new(&t, model.clone()).assess(&spec, &plan, 12_000, 77);
+        for workers in [1, 2, 4] {
+            let par = ParallelAssessor::new(&t, model.clone(), workers);
+            let r = par.assess(&spec, &plan, 12_000, 77);
+            assert_eq!(
+                (r.estimate.successes, r.estimate.rounds),
+                (serial.estimate.successes, serial.estimate.rounds),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let (t, model, spec, plan) = setup();
+        let a = ParallelAssessor::new(&t, model.clone(), 2).assess(&spec, &plan, 8_000, 5);
+        let b = ParallelAssessor::new(&t, model, 3).assess(&spec, &plan, 8_000, 5);
+        assert_eq!(a.estimate.successes, b.estimate.successes);
+    }
+
+    #[test]
+    fn monte_carlo_parallel_also_deterministic() {
+        let (t, model, spec, plan) = setup();
+        let a = ParallelAssessor::with_sampler(&t, model.clone(), 2, SamplerKind::MonteCarlo)
+            .assess(&spec, &plan, 6_000, 9);
+        let b = Assessor::with_sampler(&t, model, SamplerKind::MonteCarlo)
+            .assess(&spec, &plan, 6_000, 9);
+        assert_eq!(a.estimate.successes, b.estimate.successes);
+        assert_eq!(a.sampler, "monte-carlo");
+    }
+
+    #[test]
+    fn timings_total_is_wall_clock() {
+        let (t, model, spec, plan) = setup();
+        let r = ParallelAssessor::new(&t, model, 4).assess(&spec, &plan, 10_000, 1);
+        assert!(r.timings.total > Duration::ZERO);
+        assert_eq!(r.estimate.rounds, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let (t, model, _, _) = setup();
+        ParallelAssessor::new(&t, model, 0);
+    }
+}

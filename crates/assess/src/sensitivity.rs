@@ -1,0 +1,198 @@
+//! Dependency-sensitivity analysis: conditional reliability given a
+//! forced failure.
+//!
+//! "Which shared dependency hurts this plan most?" is the question an
+//! operator asks right after seeing a reliability score. For each
+//! candidate event we force it failed in *every* round (through the same
+//! injection + fault-tree + route-and-check pipeline as the unconditional
+//! assessment) and report the conditional reliability
+//! `R | event down` next to the event's blast radius. A plan whose
+//! conditional reliability collapses for some supply has all of its
+//! redundancy hostage to that supply — exactly the situation the paper's
+//! motivating outages describe.
+
+use crate::assessor::Assessor;
+use recloud_apps::{ApplicationSpec, DeploymentPlan};
+use recloud_faults::FaultInjector;
+use recloud_topology::ComponentId;
+
+/// Sensitivity of one plan to one forced event failure.
+#[derive(Clone, Debug)]
+pub struct SensitivityRow {
+    /// The forced event.
+    pub event: ComponentId,
+    /// Reliability of the plan conditioned on the event being down.
+    pub conditional_reliability: f64,
+    /// Number of topology components that fail with this event
+    /// (its blast radius, including itself).
+    pub blast_radius: usize,
+}
+
+/// A full sensitivity report, rows sorted by ascending conditional
+/// reliability (most dangerous dependency first).
+#[derive(Clone, Debug)]
+pub struct SensitivityReport {
+    /// The plan's unconditional reliability (baseline).
+    pub baseline: f64,
+    /// One row per analyzed event.
+    pub rows: Vec<SensitivityRow>,
+}
+
+impl SensitivityReport {
+    /// The most dangerous event (first row).
+    pub fn worst(&self) -> &SensitivityRow {
+        &self.rows[0]
+    }
+
+    /// Events whose forced failure alone makes the plan unreliable in
+    /// more than half of all rounds — "single points of catastrophe".
+    pub fn critical_events(&self) -> Vec<ComponentId> {
+        self.rows
+            .iter()
+            .filter(|r| r.conditional_reliability < 0.5)
+            .map(|r| r.event)
+            .collect()
+    }
+}
+
+/// Computes the sensitivity of `plan` to each event in `events`
+/// (typically the power supplies, or any shared dependencies of
+/// interest). Restores the assessor's injector to `None` afterwards.
+///
+/// # Panics
+/// Panics if `events` is empty.
+pub fn dependency_sensitivity(
+    assessor: &mut Assessor,
+    spec: &ApplicationSpec,
+    plan: &DeploymentPlan,
+    events: &[ComponentId],
+    rounds: usize,
+    seed: u64,
+) -> SensitivityReport {
+    assert!(!events.is_empty(), "need at least one event to analyze");
+    assessor.set_injector(None);
+    let baseline = assessor.assess(spec, plan, rounds, seed).estimate.score;
+    let mut rows: Vec<SensitivityRow> = events
+        .iter()
+        .map(|&event| {
+            let mut injector = FaultInjector::new();
+            injector.fail(event);
+            assessor.set_injector(Some(injector));
+            let conditional = assessor.assess(spec, plan, rounds, seed).estimate.score;
+            SensitivityRow {
+                event,
+                conditional_reliability: conditional,
+                blast_radius: assessor.model().blast_radius(event).len(),
+            }
+        })
+        .collect();
+    assessor.set_injector(None);
+    rows.sort_by(|a, b| {
+        a.conditional_reliability
+            .partial_cmp(&b.conditional_reliability)
+            .expect("scores are finite")
+            .then(a.event.cmp(&b.event))
+    });
+    SensitivityReport { baseline, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recloud_faults::FaultModel;
+    use recloud_topology::FatTreeParams;
+
+    #[test]
+    fn shared_supply_is_the_worst_dependency_for_a_stacked_plan() {
+        let t = FatTreeParams::new(8).build();
+        let model = FaultModel::paper_default(&t, 3);
+        let meta = t.fat_tree().unwrap();
+        let spec = recloud_apps::ApplicationSpec::k_of_n(2, 3);
+        // All three instances under one edge switch: the rack's group
+        // supply takes everything down at once.
+        let plan = DeploymentPlan::new(
+            &spec,
+            vec![meta.hosts_under_edge(0, 0).take(3).collect()],
+        );
+        let group_supply = t.power_of(meta.host(0, 0, 0)).unwrap();
+        let mut assessor = Assessor::new(&t, model);
+        let report = dependency_sensitivity(
+            &mut assessor,
+            &spec,
+            &plan,
+            t.power_supplies(),
+            4_000,
+            7,
+        );
+        assert_eq!(report.worst().event, group_supply);
+        assert_eq!(report.worst().conditional_reliability, 0.0);
+        assert!(report.critical_events().contains(&group_supply));
+        assert!(report.baseline > 0.9);
+        // Rows are sorted ascending.
+        for w in report.rows.windows(2) {
+            assert!(w[0].conditional_reliability <= w[1].conditional_reliability);
+        }
+        // Every supply has a sizable blast radius under §4.1 wiring.
+        for r in &report.rows {
+            assert!(r.blast_radius > 10, "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn diverse_plan_survives_any_single_supply() {
+        let t = FatTreeParams::new(8).build();
+        let model = FaultModel::paper_default(&t, 3);
+        let spec = recloud_apps::ApplicationSpec::k_of_n(1, 3);
+        // Three hosts with pairwise distinct group supplies.
+        let mut hosts = Vec::new();
+        for &h in t.hosts() {
+            if hosts
+                .iter()
+                .all(|&x: &recloud_topology::ComponentId| t.power_of(x) != t.power_of(h))
+            {
+                hosts.push(h);
+            }
+            if hosts.len() == 3 {
+                break;
+            }
+        }
+        let plan = DeploymentPlan::new(&spec, vec![hosts]);
+        let mut assessor = Assessor::new(&t, model);
+        let report = dependency_sensitivity(
+            &mut assessor,
+            &spec,
+            &plan,
+            t.power_supplies(),
+            4_000,
+            7,
+        );
+        assert!(report.critical_events().is_empty(), "{:?}", report.rows);
+        // 1-of-3 with distinct supplies: even the worst supply leaves the
+        // plan mostly fine.
+        assert!(report.worst().conditional_reliability > 0.8);
+    }
+
+    #[test]
+    fn injector_is_restored_after_analysis() {
+        let t = FatTreeParams::new(4).build();
+        let model = FaultModel::paper_default(&t, 1);
+        let spec = recloud_apps::ApplicationSpec::k_of_n(1, 2);
+        let plan = DeploymentPlan::new(&spec, vec![t.hosts()[..2].to_vec()]);
+        let mut assessor = Assessor::new(&t, model);
+        let before = assessor.assess(&spec, &plan, 2_000, 5).estimate.score;
+        let _ = dependency_sensitivity(&mut assessor, &spec, &plan, t.power_supplies(), 500, 5);
+        let after = assessor.assess(&spec, &plan, 2_000, 5).estimate.score;
+        assert_eq!(before, after, "analysis must not leave injections behind");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn empty_event_list_rejected() {
+        let t = FatTreeParams::new(4).build();
+        let model = FaultModel::paper_default(&t, 1);
+        let spec = recloud_apps::ApplicationSpec::k_of_n(1, 2);
+        let plan = DeploymentPlan::new(&spec, vec![t.hosts()[..2].to_vec()]);
+        let mut assessor = Assessor::new(&t, model);
+        dependency_sensitivity(&mut assessor, &spec, &plan, &[], 100, 0);
+    }
+}

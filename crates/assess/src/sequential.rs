@@ -1,0 +1,145 @@
+//! Sequential assessment: sample until the error bound is tight enough.
+//!
+//! §4.2.4 notes that "some application developers may want even higher
+//! accuracy, requiring reCloud to run more rounds". A fixed round count
+//! either wastes work (very reliable plans converge quickly) or under-
+//! delivers (borderline plans need more rounds). The sequential rule runs
+//! chunk by chunk and stops as soon as the Eq 3 confidence-interval width
+//! drops below a target — or a round ceiling is hit.
+//!
+//! The chunk layout and seeds are exactly the fixed-round engine's, so a
+//! sequential assessment that happens to use `k` chunks returns the same
+//! counts as a fixed assessment of the same rounds.
+
+use crate::assessor::{Assessment, Assessor, Timings};
+use crate::check::StructureChecker;
+use recloud_apps::{ApplicationSpec, DeploymentPlan};
+use recloud_sampling::ResultAccumulator;
+use std::time::Instant;
+
+/// Why a sequential assessment stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The CIW target was reached.
+    TargetReached,
+    /// The round ceiling was hit first.
+    CeilingHit,
+}
+
+/// Result of a sequential assessment.
+#[derive(Clone, Copy, Debug)]
+pub struct SequentialAssessment {
+    /// The assessment over however many rounds were needed.
+    pub assessment: Assessment,
+    /// Why sampling stopped.
+    pub stop: StopReason,
+}
+
+impl Assessor {
+    /// Assesses `plan`, adding chunks of rounds until the 95% confidence-
+    /// interval width is at most `ciw_target` or `max_rounds` have been
+    /// spent. At least one chunk always runs.
+    ///
+    /// # Panics
+    /// Panics if `ciw_target` is not positive or `max_rounds` is zero.
+    pub fn assess_until(
+        &mut self,
+        spec: &ApplicationSpec,
+        plan: &DeploymentPlan,
+        ciw_target: f64,
+        max_rounds: usize,
+        seed: u64,
+    ) -> SequentialAssessment {
+        assert!(ciw_target > 0.0, "CIW target must be positive");
+        assert!(max_rounds > 0, "need a positive round ceiling");
+        let mut checker = StructureChecker::new(spec, plan);
+        let mut acc = ResultAccumulator::new();
+        let mut timings = Timings::default();
+        let t0 = Instant::now();
+        let layout = self.chunk_layout(max_rounds);
+        let mut stop = StopReason::CeilingHit;
+        for (chunk, n) in layout {
+            let t = self.run_chunk(&mut checker, Self::chunk_seed(seed, chunk), n, &mut acc);
+            timings.merge(&t);
+            if acc.estimate().ciw95() <= ciw_target {
+                stop = StopReason::TargetReached;
+                break;
+            }
+        }
+        timings.total = t0.elapsed();
+        SequentialAssessment {
+            assessment: Assessment {
+                estimate: acc.estimate(),
+                timings,
+                sampler: self.sampler_name(),
+            },
+            stop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recloud_apps::ApplicationSpec;
+    use recloud_faults::{FaultModel, ProbabilityConfig};
+    use recloud_sampling::Rng;
+    use recloud_topology::FatTreeParams;
+
+    fn setup() -> (Assessor, ApplicationSpec, DeploymentPlan) {
+        let t = FatTreeParams::new(4).build();
+        let model = FaultModel::paper_default(&t, 3);
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let mut rng = Rng::new(5);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        (Assessor::new(&t, model), spec, plan)
+    }
+
+    #[test]
+    fn stops_early_when_target_is_loose() {
+        let (mut a, spec, plan) = setup();
+        let r = a.assess_until(&spec, &plan, 0.05, 1_000_000, 7);
+        assert_eq!(r.stop, StopReason::TargetReached);
+        assert!(r.assessment.estimate.ciw95() <= 0.05);
+        // Far fewer rounds than the ceiling.
+        assert!(r.assessment.estimate.rounds < 100_000);
+    }
+
+    #[test]
+    fn hits_ceiling_when_target_is_strict() {
+        let (mut a, spec, plan) = setup();
+        let r = a.assess_until(&spec, &plan, 1e-9, 5_000, 7);
+        assert_eq!(r.stop, StopReason::CeilingHit);
+        assert_eq!(r.assessment.estimate.rounds, 5_000);
+    }
+
+    #[test]
+    fn perfect_plans_stop_after_one_chunk() {
+        // Nothing can fail => score 1.0, CIW 0 after the first chunk.
+        let t = FatTreeParams::new(4).build();
+        let model = FaultModel::new(&t, &ProbabilityConfig::Uniform(0.0), 0);
+        let mut a = Assessor::new(&t, model);
+        let spec = ApplicationSpec::k_of_n(2, 2);
+        let plan = DeploymentPlan::new(&spec, vec![t.hosts()[..2].to_vec()]);
+        let r = a.assess_until(&spec, &plan, 1e-6, 1_000_000, 0);
+        assert_eq!(r.stop, StopReason::TargetReached);
+        assert_eq!(r.assessment.estimate.score, 1.0);
+        assert!(r.assessment.estimate.rounds <= 3_000, "one chunk suffices");
+    }
+
+    #[test]
+    fn sequential_prefix_matches_fixed_assessment() {
+        let (mut a, spec, plan) = setup();
+        let seq = a.assess_until(&spec, &plan, 1e-9, 6_000, 9);
+        let rounds = seq.assessment.estimate.rounds as usize;
+        let fixed = a.assess(&spec, &plan, rounds, 9);
+        assert_eq!(seq.assessment.estimate.successes, fixed.estimate.successes);
+    }
+
+    #[test]
+    #[should_panic(expected = "CIW target")]
+    fn zero_target_rejected() {
+        let (mut a, spec, plan) = setup();
+        a.assess_until(&spec, &plan, 0.0, 100, 0);
+    }
+}

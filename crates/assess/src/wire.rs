@@ -1,0 +1,264 @@
+//! Hand-rolled binary wire codec for the parallel engine.
+//!
+//! The paper's implementation distributes route-and-check over a
+//! MapReduce-style engine, and §4.2.4 explicitly attributes part of the
+//! parallel cost to "data serialization/transmission/deserialization". To
+//! preserve that cost structure, our master/worker engine moves every job
+//! descriptor, task and result through this codec as length-prefixed byte
+//! frames — the same bytes a TCP transport would carry.
+//!
+//! Format (all little-endian):
+//!
+//! ```text
+//! frame   := magic:u32 ("RCW1") kind:u8 payload
+//! job     := kind 0x01, rounds_total:u64, n_components:u32,
+//!            { n_hosts:u32, host:u32... }...
+//! task    := kind 0x02, chunk:u32, seed:u64, rounds:u32
+//! result  := kind 0x03, chunk:u32, rounds:u64, successes:u64,
+//!            sampling_ns:u64, collapse_ns:u64, check_ns:u64, total_ns:u64
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: u32 = 0x5243_5731; // "RCW1"
+
+/// Decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame shorter than its header or declared payload.
+    Truncated,
+    /// Magic number mismatch.
+    BadMagic(u32),
+    /// Unknown or unexpected frame kind.
+    BadKind(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
+            WireError::BadKind(k) => write!(f, "bad frame kind 0x{k:02x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn check_header(buf: &mut Bytes, kind: u8) -> Result<(), WireError> {
+    if buf.remaining() < 5 {
+        return Err(WireError::Truncated);
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let k = buf.get_u8();
+    if k != kind {
+        return Err(WireError::BadKind(k));
+    }
+    Ok(())
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Job setup shipped to every worker once per assessment: the deployment
+/// plan under test plus the total round budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobFrame {
+    /// Total rounds in the job (informational; tasks carry the split).
+    pub rounds_total: u64,
+    /// Raw host ids per application component.
+    pub assignments: Vec<Vec<u32>>,
+}
+
+impl JobFrame {
+    /// Encodes the frame.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(
+            16 + self.assignments.iter().map(|a| 4 + 4 * a.len()).sum::<usize>(),
+        );
+        b.put_u32_le(MAGIC);
+        b.put_u8(0x01);
+        b.put_u64_le(self.rounds_total);
+        b.put_u32_le(self.assignments.len() as u32);
+        for comp in &self.assignments {
+            b.put_u32_le(comp.len() as u32);
+            for &h in comp {
+                b.put_u32_le(h);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decodes a frame.
+    pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
+        check_header(&mut buf, 0x01)?;
+        need(&buf, 12)?;
+        let rounds_total = buf.get_u64_le();
+        let n_comp = buf.get_u32_le() as usize;
+        let mut assignments = Vec::with_capacity(n_comp);
+        for _ in 0..n_comp {
+            need(&buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(&buf, 4 * n)?;
+            assignments.push((0..n).map(|_| buf.get_u32_le()).collect());
+        }
+        Ok(JobFrame { rounds_total, assignments })
+    }
+}
+
+/// One chunk of rounds assigned to a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskFrame {
+    /// Chunk index within the job.
+    pub chunk: u32,
+    /// Sampler seed for the chunk (derived from the master seed).
+    pub seed: u64,
+    /// Rounds in this chunk.
+    pub rounds: u32,
+}
+
+impl TaskFrame {
+    /// Encodes the frame.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(21);
+        b.put_u32_le(MAGIC);
+        b.put_u8(0x02);
+        b.put_u32_le(self.chunk);
+        b.put_u64_le(self.seed);
+        b.put_u32_le(self.rounds);
+        b.freeze()
+    }
+
+    /// Decodes a frame.
+    pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
+        check_header(&mut buf, 0x02)?;
+        need(&buf, 16)?;
+        Ok(TaskFrame { chunk: buf.get_u32_le(), seed: buf.get_u64_le(), rounds: buf.get_u32_le() })
+    }
+}
+
+/// A worker's per-chunk verdict counts and timings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResultFrame {
+    /// Chunk index this result answers.
+    pub chunk: u32,
+    /// Rounds checked.
+    pub rounds: u64,
+    /// Rounds in which the plan was reliable.
+    pub successes: u64,
+    /// Stage timings in nanoseconds.
+    pub sampling_ns: u64,
+    /// Fault-tree collapse time.
+    pub collapse_ns: u64,
+    /// Route-and-check time.
+    pub check_ns: u64,
+    /// Whole-chunk time.
+    pub total_ns: u64,
+}
+
+impl ResultFrame {
+    /// Encodes the frame.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(53);
+        b.put_u32_le(MAGIC);
+        b.put_u8(0x03);
+        b.put_u32_le(self.chunk);
+        b.put_u64_le(self.rounds);
+        b.put_u64_le(self.successes);
+        b.put_u64_le(self.sampling_ns);
+        b.put_u64_le(self.collapse_ns);
+        b.put_u64_le(self.check_ns);
+        b.put_u64_le(self.total_ns);
+        b.freeze()
+    }
+
+    /// Decodes a frame.
+    pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
+        check_header(&mut buf, 0x03)?;
+        need(&buf, 52)?;
+        Ok(ResultFrame {
+            chunk: buf.get_u32_le(),
+            rounds: buf.get_u64_le(),
+            successes: buf.get_u64_le(),
+            sampling_ns: buf.get_u64_le(),
+            collapse_ns: buf.get_u64_le(),
+            check_ns: buf.get_u64_le(),
+            total_ns: buf.get_u64_le(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_roundtrip() {
+        let f = JobFrame {
+            rounds_total: 10_000,
+            assignments: vec![vec![1, 2, 3], vec![], vec![42]],
+        };
+        assert_eq!(JobFrame::decode(f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn task_roundtrip() {
+        let f = TaskFrame { chunk: 7, seed: u64::MAX, rounds: 2_500 };
+        assert_eq!(TaskFrame::decode(f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn result_roundtrip() {
+        let f = ResultFrame {
+            chunk: 3,
+            rounds: 2_500,
+            successes: 2_498,
+            sampling_ns: 123,
+            collapse_ns: 456,
+            check_ns: 789,
+            total_ns: 1_500,
+        };
+        assert_eq!(ResultFrame::decode(f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let f = TaskFrame { chunk: 1, seed: 2, rounds: 3 };
+        let whole = f.encode();
+        for cut in 0..whole.len() {
+            let part = whole.slice(..cut);
+            assert_eq!(TaskFrame::decode(part), Err(WireError::Truncated), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u8(0x02);
+        b.put_bytes(0, 16);
+        assert!(matches!(TaskFrame::decode(b.freeze()), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn kind_confusion_rejected() {
+        let task = TaskFrame { chunk: 1, seed: 2, rounds: 3 }.encode();
+        assert!(matches!(ResultFrame::decode(task), Err(WireError::BadKind(0x02))));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(WireError::Truncated.to_string(), "truncated frame");
+        assert!(WireError::BadMagic(7).to_string().contains("magic"));
+        assert!(WireError::BadKind(9).to_string().contains("kind"));
+    }
+}

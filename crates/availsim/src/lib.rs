@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # recloud-availsim
+//!
+//! Continuous-time availability simulation — the dynamic counterpart of
+//! the paper's static fault model.
+//!
+//! The paper abstracts each component into a *failure probability*
+//! `p = downtime / windowLength` (§2.1) and assesses a plan by sampling
+//! independent per-round states. That abstraction is exact for the
+//! *steady-state availability* of an alternating renewal process: a
+//! component that fails with rate `1/MTBF` and repairs with rate `1/MTTR`
+//! is down a long-run fraction `p = MTTR / (MTBF + MTTR)` of the time.
+//!
+//! This crate builds the renewal process itself: an event-driven
+//! simulator ([`sim`]) where every component alternates between up and
+//! down periods drawn from exponential distributions, and the plan's
+//! structure is re-checked at every transition that could matter. The
+//! measured *availability* (fraction of simulated time the K-of-N or
+//! structured requirement holds) must converge to the static pipeline's
+//! *reliability score* when probabilities are matched — which is exactly
+//! what the cross-validation tests assert. The simulator additionally
+//! yields quantities the static model cannot express: outage counts,
+//! outage durations, and time-between-outage statistics ([`report`]).
+
+pub mod process;
+pub mod report;
+pub mod sim;
+
+pub use process::ComponentProcess;
+pub use report::AvailabilityReport;
+pub use sim::{AvailabilitySimulator, SimParams};

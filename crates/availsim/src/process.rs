@@ -1,0 +1,133 @@
+//! Per-component alternating renewal processes.
+//!
+//! Each component alternates exponentially-distributed up and down
+//! periods (the standard reliability-engineering model behind "annual
+//! failure rate" numbers). The steady-state unavailability is
+//! `p = MTTR / (MTBF + MTTR)`, which is how the simulator is matched to
+//! the static model's per-component probability.
+
+use recloud_sampling::Rng;
+
+/// Failure/repair dynamics of one component.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComponentProcess {
+    /// Mean time between failures (mean length of an up period), in
+    /// arbitrary but consistent time units (we use hours).
+    pub mtbf: f64,
+    /// Mean time to repair (mean length of a down period).
+    pub mttr: f64,
+}
+
+impl ComponentProcess {
+    /// A process with the given means.
+    ///
+    /// # Panics
+    /// Panics unless both means are positive.
+    pub fn new(mtbf: f64, mttr: f64) -> Self {
+        assert!(mtbf > 0.0, "MTBF must be positive");
+        assert!(mttr > 0.0, "MTTR must be positive");
+        ComponentProcess { mtbf, mttr }
+    }
+
+    /// Derives a process whose steady-state unavailability equals `p`,
+    /// given a repair time. This is the bridge from the paper's
+    /// probabilities to dynamics: `p = MTTR / (MTBF + MTTR)` solved for
+    /// MTBF.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p < 1` and `mttr > 0`.
+    pub fn from_unavailability(p: f64, mttr: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "unavailability must be in (0, 1), got {p}");
+        assert!(mttr > 0.0, "MTTR must be positive");
+        let mtbf = mttr * (1.0 - p) / p;
+        ComponentProcess { mtbf, mttr }
+    }
+
+    /// Steady-state unavailability `MTTR / (MTBF + MTTR)`.
+    pub fn unavailability(&self) -> f64 {
+        self.mttr / (self.mtbf + self.mttr)
+    }
+
+    /// Draws the length of the next up period (exponential with mean
+    /// MTBF).
+    #[inline]
+    pub fn draw_uptime(&self, rng: &mut Rng) -> f64 {
+        exponential(rng, self.mtbf)
+    }
+
+    /// Draws the length of the next down period (exponential with mean
+    /// MTTR).
+    #[inline]
+    pub fn draw_downtime(&self, rng: &mut Rng) -> f64 {
+        exponential(rng, self.mttr)
+    }
+}
+
+/// Exponential deviate with the given mean (inverse-CDF method).
+#[inline]
+fn exponential(rng: &mut Rng, mean: f64) -> f64 {
+    // 1 - u in (0, 1] keeps ln() finite.
+    let u = 1.0 - rng.next_f64();
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unavailability_roundtrip() {
+        let p = 0.01;
+        let proc_ = ComponentProcess::from_unavailability(p, 8.0);
+        assert!((proc_.unavailability() - p).abs() < 1e-12);
+        assert!((proc_.mtbf - 8.0 * 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_mean_is_right() {
+        let mut rng = Rng::new(7);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, 42.0)).sum::<f64>() / n as f64;
+        assert!((mean - 42.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn draws_are_positive() {
+        let p = ComponentProcess::new(100.0, 2.0);
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            assert!(p.draw_uptime(&mut rng) > 0.0);
+            assert!(p.draw_downtime(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn long_run_fraction_matches_steady_state() {
+        // Simulate one component for a long horizon and compare the
+        // down-time fraction to MTTR/(MTBF+MTTR).
+        let proc_ = ComponentProcess::from_unavailability(0.05, 10.0);
+        let mut rng = Rng::new(11);
+        let mut t = 0.0;
+        let mut down = 0.0;
+        while t < 2_000_000.0 {
+            t += proc_.draw_uptime(&mut rng);
+            let d = proc_.draw_downtime(&mut rng);
+            t += d;
+            down += d;
+        }
+        let frac = down / t;
+        assert!((frac - 0.05).abs() < 0.002, "down fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "MTBF must be positive")]
+    fn zero_mtbf_rejected() {
+        ComponentProcess::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unavailability must be in (0, 1)")]
+    fn unit_p_rejected() {
+        ComponentProcess::from_unavailability(1.0, 1.0);
+    }
+}

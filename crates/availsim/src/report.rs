@@ -1,0 +1,117 @@
+//! Availability statistics a static reliability score cannot express.
+
+/// Outcome of one availability simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AvailabilityReport {
+    /// Simulated horizon (hours).
+    pub horizon_hours: f64,
+    /// Time the application requirement held (hours).
+    pub up_hours: f64,
+    /// Number of distinct outages (OK → FAIL transitions).
+    pub outages: u64,
+    /// Duration of each outage (hours), in occurrence order.
+    pub outage_durations: Vec<f64>,
+    /// Component up/down transitions processed.
+    pub transitions: u64,
+}
+
+impl AvailabilityReport {
+    /// Assembles a report (used by the simulator).
+    ///
+    /// # Panics
+    /// Panics if uptime exceeds the horizon.
+    pub fn new(
+        horizon_hours: f64,
+        up_hours: f64,
+        outages: u64,
+        outage_durations: Vec<f64>,
+        transitions: u64,
+    ) -> Self {
+        assert!(
+            up_hours <= horizon_hours + 1e-6,
+            "uptime {up_hours} exceeds horizon {horizon_hours}"
+        );
+        AvailabilityReport { horizon_hours, up_hours, outages, outage_durations, transitions }
+    }
+
+    /// Long-run availability: up fraction of the horizon. This is the
+    /// quantity the static pipeline's reliability score estimates.
+    pub fn availability(&self) -> f64 {
+        self.up_hours / self.horizon_hours
+    }
+
+    /// Mean outage duration in hours (0 if no outage completed).
+    pub fn mean_outage_hours(&self) -> f64 {
+        if self.outage_durations.is_empty() {
+            0.0
+        } else {
+            self.outage_durations.iter().sum::<f64>() / self.outage_durations.len() as f64
+        }
+    }
+
+    /// Longest observed outage in hours.
+    pub fn max_outage_hours(&self) -> f64 {
+        self.outage_durations.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean time between outage starts, in hours (infinite if fewer than
+    /// one outage).
+    pub fn mean_time_between_outages(&self) -> f64 {
+        if self.outages == 0 {
+            f64::INFINITY
+        } else {
+            self.horizon_hours / self.outages as f64
+        }
+    }
+
+    /// Outages per simulated year (8766 h).
+    pub fn outages_per_year(&self) -> f64 {
+        self.outages as f64 * 8766.0 / self.horizon_hours
+    }
+
+    /// Downtime per simulated year, in hours — directly comparable to
+    /// the paper's "33.3 hours of downtime per year" formulation.
+    pub fn annual_downtime_hours(&self) -> f64 {
+        (1.0 - self.availability()) * 8766.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AvailabilityReport {
+        AvailabilityReport::new(1_000.0, 990.0, 4, vec![2.0, 3.0, 4.0, 1.0], 500)
+    }
+
+    #[test]
+    fn availability_and_downtime() {
+        let r = sample();
+        assert!((r.availability() - 0.99).abs() < 1e-12);
+        assert!((r.annual_downtime_hours() - 87.66).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outage_statistics() {
+        let r = sample();
+        assert!((r.mean_outage_hours() - 2.5).abs() < 1e-12);
+        assert_eq!(r.max_outage_hours(), 4.0);
+        assert!((r.mean_time_between_outages() - 250.0).abs() < 1e-12);
+        assert!((r.outages_per_year() - 4.0 * 8.766).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_outages_edge_cases() {
+        let r = AvailabilityReport::new(100.0, 100.0, 0, vec![], 0);
+        assert_eq!(r.availability(), 1.0);
+        assert_eq!(r.mean_outage_hours(), 0.0);
+        assert_eq!(r.max_outage_hours(), 0.0);
+        assert_eq!(r.mean_time_between_outages(), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds horizon")]
+    fn overlong_uptime_rejected() {
+        AvailabilityReport::new(10.0, 11.0, 0, vec![], 0);
+    }
+}

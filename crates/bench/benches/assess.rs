@@ -1,0 +1,54 @@
+//! Criterion microbenchmark behind Figures 10 and 11: full assessment of
+//! one deployment plan (sample → collapse → route-and-check) for a simple
+//! K-of-N app and a layered app.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recloud_apps::{ApplicationSpec, DeploymentPlan};
+use recloud_assess::Assessor;
+use recloud_bench::paper_env;
+use recloud_sampling::Rng;
+use recloud_topology::Scale;
+
+fn bench_assess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_11_assess");
+    group.sample_size(10);
+    let rounds = 2_000;
+    for scale in [Scale::Tiny, Scale::Small] {
+        let (topo, model) = paper_env(scale, 1);
+
+        let kofn = ApplicationSpec::k_of_n(4, 5);
+        let mut rng = Rng::new(3);
+        let plan = DeploymentPlan::random(&kofn, topo.hosts(), &mut rng);
+        let mut assessor = Assessor::new(&topo, model.clone());
+        group.bench_with_input(
+            BenchmarkId::new("4-of-5", scale.to_string()),
+            &plan,
+            |b, plan| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    assessor.assess(&kofn, plan, rounds, seed)
+                });
+            },
+        );
+
+        let layered = ApplicationSpec::layered(&[(4, 5), (4, 5)]);
+        let plan2 = DeploymentPlan::random(&layered, topo.hosts(), &mut rng);
+        let mut assessor2 = Assessor::new(&topo, model);
+        group.bench_with_input(
+            BenchmarkId::new("2-layers", scale.to_string()),
+            &plan2,
+            |b, plan2| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    assessor2.assess(&layered, plan2, rounds, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assess);
+criterion_main!(benches);

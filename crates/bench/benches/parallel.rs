@@ -1,0 +1,41 @@
+//! Criterion microbenchmark behind Figure 12: parallel vs serial
+//! assessment at different round counts. The shape to look for: at small
+//! round counts, worker setup + frame serialization dominate and
+//! parallelism does not pay; at large round counts it does.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recloud_apps::{ApplicationSpec, DeploymentPlan};
+use recloud_assess::ParallelAssessor;
+use recloud_bench::paper_env;
+use recloud_sampling::Rng;
+use recloud_topology::Scale;
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_parallel");
+    group.sample_size(10);
+    let (topo, model) = paper_env(Scale::Small, 1);
+    let spec = ApplicationSpec::k_of_n(4, 5);
+    let mut rng = Rng::new(2);
+    let plan = DeploymentPlan::random(&spec, topo.hosts(), &mut rng);
+
+    for rounds in [1_000usize, 20_000] {
+        for workers in [1usize, 4] {
+            let engine = ParallelAssessor::new(&topo, model.clone(), workers);
+            group.bench_with_input(
+                BenchmarkId::new(format!("w{workers}"), rounds),
+                &rounds,
+                |b, &rounds| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        engine.assess(&spec, &plan, rounds, seed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion microbenchmark for the router ablation: analytic fat-tree
+//! router vs valley-free reference BFS vs physical BFS, identical
+//! workload (begin_round + 5 external queries + 4 pair queries per round).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recloud_bench::paper_env;
+use recloud_routing::{FatTreeRouter, GenericRouter, Router, UpDownRouter};
+use recloud_sampling::{BitMatrix, ExtendedDaggerSampler, Sampler};
+use recloud_topology::Scale;
+
+fn bench_routers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_ablation");
+    group.sample_size(10);
+    let (topo, model) = paper_env(Scale::Small, 1);
+    let rounds = 256;
+    let mut states = BitMatrix::new(model.num_events(), rounds);
+    ExtendedDaggerSampler::seeded(5).sample_into(model.probs(), &mut states);
+    // The collapsed matrix has the same shape here because the paper-env
+    // model adds no auxiliary events; collapse for correctness anyway.
+    let mut collapsed = BitMatrix::new(model.num_topology_components(), rounds);
+    model.collapse_into(&states, &mut collapsed);
+    let hosts: Vec<_> = topo.hosts().iter().step_by(17).take(5).copied().collect();
+
+    let mut run = |name: &str, router: &mut dyn Router| {
+        group.bench_with_input(BenchmarkId::new(name, "small"), &collapsed, |b, states| {
+            b.iter(|| {
+                let mut alive = 0usize;
+                for round in 0..rounds {
+                    router.begin_round(states, round);
+                    for &h in &hosts {
+                        alive += router.external_reaches(states, h) as usize;
+                    }
+                    for pair in hosts.windows(2) {
+                        alive += router.connects(states, pair[0], pair[1]) as usize;
+                    }
+                }
+                alive
+            });
+        });
+    };
+    run("analytic", &mut FatTreeRouter::new(&topo));
+    run("updown-bfs", &mut UpDownRouter::for_fat_tree(&topo));
+    run("generic-bfs", &mut GenericRouter::new(&topo));
+    group.finish();
+}
+
+criterion_group!(benches, bench_routers);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion microbenchmark behind Figure 7: failure-state generation via
+//! extended dagger sampling vs Monte-Carlo sampling, per data-center
+//! scale. The `repro -- fig7` binary prints the full paper-style table;
+//! this bench provides statistically solid per-call numbers on the small
+//! scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recloud_bench::paper_env;
+use recloud_sampling::{BitMatrix, ExtendedDaggerSampler, MonteCarloSampler, Sampler};
+use recloud_topology::Scale;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_sampling");
+    group.sample_size(10);
+    for scale in [Scale::Tiny, Scale::Small] {
+        let (_topo, model) = paper_env(scale, 1);
+        let probs = model.probs().to_vec();
+        let rounds = 10_000;
+        let mut matrix = BitMatrix::new(probs.len(), rounds);
+
+        group.bench_with_input(
+            BenchmarkId::new("dagger", scale.to_string()),
+            &probs,
+            |b, probs| {
+                let mut sampler = ExtendedDaggerSampler::seeded(7);
+                b.iter(|| sampler.sample_into(probs, &mut matrix));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("monte-carlo", scale.to_string()),
+            &probs,
+            |b, probs| {
+                let mut sampler = MonteCarloSampler::seeded(7);
+                b.iter(|| sampler.sample_into(probs, &mut matrix));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

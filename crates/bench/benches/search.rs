@@ -1,0 +1,48 @@
+//! Criterion microbenchmark behind Figure 9's machinery: one annealing
+//! iteration (neighbor + assess + accept) and the symmetry checker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recloud_apps::{ApplicationSpec, DeploymentPlan};
+use recloud_assess::Assessor;
+use recloud_bench::paper_env;
+use recloud_sampling::Rng;
+use recloud_search::{ReliabilityObjective, SearchConfig, Searcher, SymmetryChecker};
+use recloud_topology::Scale;
+
+fn bench_search_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_search");
+    group.sample_size(10);
+    let (topo, model) = paper_env(Scale::Tiny, 1);
+    let spec = ApplicationSpec::k_of_n(4, 5);
+
+    group.bench_function("search_10_iters_tiny", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut assessor = Assessor::new(&topo, model.clone());
+            let mut searcher = Searcher::new(&mut assessor);
+            let config = SearchConfig::iterations(10, 500, seed);
+            searcher.search(&spec, &ReliabilityObjective, &config, None)
+        });
+    });
+
+    group.bench_function("symmetry_check", |b| {
+        let checker = SymmetryChecker::new(&topo, &model);
+        let mut rng = Rng::new(9);
+        let plan = DeploymentPlan::random(&spec, topo.hosts(), &mut rng);
+        let hosts: Vec<_> = plan.all_hosts().collect();
+        let pool = topo.hosts();
+        b.iter(|| {
+            let old = hosts[0];
+            let new = pool[rng.next_below(pool.len())];
+            if new == old || hosts.contains(&new) {
+                return false;
+            }
+            checker.equivalent_move(&hosts[1..], old, new)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_iteration);
+criterion_main!(benches);

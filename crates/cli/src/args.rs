@@ -1,0 +1,205 @@
+//! Hand-rolled argument parsing (no external CLI crates).
+//!
+//! Grammar: `<command> (--flag [value])*`. Boolean flags take no value;
+//! valued flags take exactly one. [`Parsed`] stores raw strings and
+//! offers typed accessors with precise errors.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// CLI failure modes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// argv was empty.
+    MissingCommand,
+    /// The command word is not known.
+    UnknownCommand(String),
+    /// A flag that needs a value did not get one.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag whose value was bad.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What the flag expected.
+        expected: &'static str,
+    },
+    /// Anything command-specific (e.g. host id out of range).
+    Invalid(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "no command given; try `recloud help`"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command '{c}'; try `recloud help`"),
+            CliError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            CliError::BadValue { flag, value, expected } => {
+                write!(f, "--{flag}: '{value}' is not a valid {expected}")
+            }
+            CliError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Flags that are boolean (present/absent, no value).
+const BOOL_FLAGS: &[&str] = &["multi-objective", "distinct-racks", "monte-carlo", "switches-only"];
+
+/// A parsed command line.
+#[derive(Clone, Debug)]
+pub struct Parsed {
+    /// The command word.
+    pub command: String,
+    flags: HashMap<String, String>,
+    bools: Vec<String>,
+}
+
+impl Parsed {
+    /// Parses argv (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
+        let mut it = argv.iter().peekable();
+        let command = it.next().ok_or(CliError::MissingCommand)?.clone();
+        let mut flags = HashMap::new();
+        let mut bools = Vec::new();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(CliError::Invalid(format!("unexpected argument '{a}'")));
+            };
+            if BOOL_FLAGS.contains(&name) {
+                bools.push(name.to_string());
+                continue;
+            }
+            match it.next() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_string(), v.clone());
+                }
+                _ => return Err(CliError::MissingValue(name.to_string())),
+            }
+        }
+        Ok(Parsed { command, flags, bools })
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Boolean flag presence.
+    pub fn has(&self, flag: &str) -> bool {
+        self.bools.iter().any(|b| b == flag)
+    }
+
+    /// String flag with default.
+    pub fn str_or(&self, flag: &str, default: &str) -> String {
+        self.get(flag).unwrap_or(default).to_string()
+    }
+
+    /// Integer flag with default.
+    pub fn usize_or(&self, flag: &str, default: usize) -> Result<usize, CliError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| CliError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected: "integer",
+            }),
+        }
+    }
+
+    /// u32 flag with default.
+    pub fn u32_or(&self, flag: &str, default: u32) -> Result<u32, CliError> {
+        Ok(self.usize_or(flag, default as usize)? as u32)
+    }
+
+    /// u64 flag with default.
+    pub fn u64_or(&self, flag: &str, default: u64) -> Result<u64, CliError> {
+        Ok(self.usize_or(flag, default as usize)? as u64)
+    }
+
+    /// Comma-separated integer list.
+    pub fn usize_list(&self, flag: &str) -> Result<Option<Vec<usize>>, CliError> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .split(',')
+                .map(|x| {
+                    x.trim().parse().map_err(|_| CliError::BadValue {
+                        flag: flag.to_string(),
+                        value: x.to_string(),
+                        expected: "integer list",
+                    })
+                })
+                .collect::<Result<Vec<usize>, _>>()
+                .map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(cmd: &str) -> Result<Parsed, CliError> {
+        let argv: Vec<String> = cmd.split_whitespace().map(String::from).collect();
+        Parsed::parse(&argv)
+    }
+
+    #[test]
+    fn parses_flags_and_bools() {
+        let p = parse("search --scale tiny --k 4 --multi-objective --budget-ms 100").unwrap();
+        assert_eq!(p.command, "search");
+        assert_eq!(p.get("scale"), Some("tiny"));
+        assert_eq!(p.u32_or("k", 1).unwrap(), 4);
+        assert!(p.has("multi-objective"));
+        assert!(!p.has("distinct-racks"));
+        assert_eq!(p.usize_or("budget-ms", 0).unwrap(), 100);
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let p = parse("assess").unwrap();
+        assert_eq!(p.usize_or("rounds", 10_000).unwrap(), 10_000);
+        assert_eq!(p.str_or("scale", "tiny"), "tiny");
+        assert_eq!(p.usize_list("hosts").unwrap(), None);
+    }
+
+    #[test]
+    fn trailing_comma_in_list_is_a_bad_value() {
+        let p = parse("assess --hosts 1,2,").unwrap();
+        let err = p.usize_list("hosts").unwrap_err();
+        assert!(matches!(err, CliError::BadValue { .. }));
+    }
+
+    #[test]
+    fn stray_positional_is_rejected() {
+        let err = parse("assess stray").unwrap_err();
+        assert!(matches!(err, CliError::Invalid(_)));
+    }
+
+    #[test]
+    fn missing_value_detected() {
+        let err = parse("assess --rounds --scale tiny").unwrap_err();
+        assert_eq!(err, CliError::MissingValue("rounds".into()));
+        let err = parse("assess --rounds").unwrap_err();
+        assert_eq!(err, CliError::MissingValue("rounds".into()));
+    }
+
+    #[test]
+    fn bad_integer_reported_with_context() {
+        let p = parse("assess --rounds ten").unwrap();
+        let err = p.usize_or("rounds", 1).unwrap_err();
+        assert!(err.to_string().contains("ten"));
+        assert!(err.to_string().contains("rounds"));
+    }
+
+    #[test]
+    fn list_parsing() {
+        let p = parse("assess --hosts 60,61,62").unwrap();
+        assert_eq!(p.usize_list("hosts").unwrap(), Some(vec![60, 61, 62]));
+        let p = parse("assess --hosts 60,x").unwrap();
+        assert!(p.usize_list("hosts").is_err());
+    }
+}

@@ -1,0 +1,480 @@
+//! Command implementations. Each returns the rendered output string.
+
+use crate::args::{CliError, Parsed};
+use recloud::prelude::*;
+use recloud::assess::compare_plans;
+use recloud::search::common_practice::power_diversity;
+use recloud::topology::{BCubeParams, Vl2Params};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn build_topology(p: &Parsed) -> Result<Topology, CliError> {
+    if let Some(kind) = p.get("topology") {
+        return match kind {
+            "fattree" => Ok(FatTreeParams::new(p.u32_or("ports", 8)?).build()),
+            "leafspine" => Ok(LeafSpineParams::new(
+                p.u32_or("spines", 4)?,
+                p.u32_or("leaves", 8)?,
+                p.u32_or("hosts-per-leaf", 8)?,
+            )
+            .build()),
+            "jellyfish" => Ok(JellyfishParams::new(
+                p.u32_or("switches", 40)?,
+                p.u32_or("ports", 6)?,
+                p.u32_or("hosts-per-switch", 4)?,
+            )
+            .seed(p.u64_or("seed", 1)?)
+            .build()),
+            "bcube" => Ok(BCubeParams::new(p.u32_or("ports", 4)?, p.u32_or("levels", 1)?).build()),
+            "vl2" => Ok(Vl2Params::new(p.u32_or("da", 8)?, p.u32_or("di", 4)?).build()),
+            other => Err(CliError::BadValue {
+                flag: "topology".into(),
+                value: other.into(),
+                expected: "fattree|leafspine|jellyfish|bcube|vl2",
+            }),
+        };
+    }
+    let scale = match p.str_or("scale", "tiny").as_str() {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "large" => Scale::Large,
+        other => {
+            return Err(CliError::BadValue {
+                flag: "scale".into(),
+                value: other.into(),
+                expected: "tiny|small|medium|large",
+            })
+        }
+    };
+    Ok(scale.build())
+}
+
+fn topology_name(t: &Topology) -> &'static str {
+    match t.topology_kind() {
+        recloud::topology::TopologyKind::FatTree(_) => "fat-tree (dedicated border pod)",
+        recloud::topology::TopologyKind::LeafSpine { .. } => "leaf-spine",
+        recloud::topology::TopologyKind::Jellyfish { .. } => "Jellyfish (random regular graph)",
+        recloud::topology::TopologyKind::Custom => "custom (builder / BCube / VL2)",
+    }
+}
+
+fn build_spec(p: &Parsed) -> Result<(String, ApplicationSpec), CliError> {
+    let k = p.u32_or("k", 4)?;
+    let n = p.u32_or("n", 5)?;
+    if k == 0 || k > n {
+        return Err(CliError::Invalid(format!("need 1 <= k <= n (got k={k}, n={n})")));
+    }
+    if let Some(layers) = p.get("layers") {
+        let l: usize = layers.parse().map_err(|_| CliError::BadValue {
+            flag: "layers".into(),
+            value: layers.into(),
+            expected: "integer",
+        })?;
+        if l == 0 {
+            return Err(CliError::Invalid("--layers must be at least 1".into()));
+        }
+        return Ok((
+            format!("{l}-layer app, {k}-of-{n} per layer"),
+            ApplicationSpec::layered(&vec![(k, n); l]),
+        ));
+    }
+    Ok((format!("{k}-of-{n} redundancy"), ApplicationSpec::k_of_n(k, n)))
+}
+
+fn plan_from_flags(
+    p: &Parsed,
+    topology: &Topology,
+    spec: &ApplicationSpec,
+    seed: u64,
+) -> Result<DeploymentPlan, CliError> {
+    if let Some(ids) = p.usize_list("hosts")? {
+        if ids.len() != spec.total_instances() {
+            return Err(CliError::Invalid(format!(
+                "--hosts needs exactly {} ids (got {})",
+                spec.total_instances(),
+                ids.len()
+            )));
+        }
+        let mut it = ids.into_iter();
+        let mut assignments = Vec::new();
+        for comp in spec.components() {
+            let mut hosts = Vec::new();
+            for _ in 0..comp.instances {
+                let raw = it.next().expect("length checked above");
+                let id = ComponentId::from_index(raw);
+                if raw >= topology.num_components()
+                    || topology.component(id).kind != ComponentKind::Host
+                {
+                    return Err(CliError::Invalid(format!("id {raw} is not a host")));
+                }
+                hosts.push(id);
+            }
+            assignments.push(hosts);
+        }
+        return Ok(DeploymentPlan::new(spec, assignments));
+    }
+    let mut rng = Rng::new(seed);
+    Ok(DeploymentPlan::random(spec, topology.hosts(), &mut rng))
+}
+
+fn describe_plan(topology: &Topology, plan: &DeploymentPlan, out: &mut String) {
+    for c in 0..plan.num_components() {
+        for (i, &h) in plan.hosts_of(c).iter().enumerate() {
+            let power = topology
+                .power_of(h)
+                .map(|s| topology.component(s).name())
+                .unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                out,
+                "  component {c} instance {i}: {h} (rack {}, pod {}, power {power})",
+                topology.component(topology.rack_of(h)).name(),
+                topology.pod_of(h),
+            );
+        }
+    }
+}
+
+/// `recloud topo`.
+pub fn topo(p: &Parsed) -> Result<String, CliError> {
+    let t = build_topology(p)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "topology: {}", topology_name(&t));
+    let _ = writeln!(
+        out,
+        "  {} hosts, {} switches, {} border switches, {} power supplies",
+        t.num_hosts(),
+        t.num_switches(),
+        t.border_switches().len(),
+        t.power_supplies().len()
+    );
+    let _ = writeln!(
+        out,
+        "  {} components total, {} links",
+        t.num_components(),
+        t.graph().num_edges()
+    );
+    Ok(out)
+}
+
+/// `recloud assess`.
+pub fn assess(p: &Parsed) -> Result<String, CliError> {
+    let t = build_topology(p)?;
+    let seed = p.u64_or("seed", 1)?;
+    let rounds = p.usize_or("rounds", 10_000)?;
+    let (label, spec) = build_spec(p)?;
+    let plan = plan_from_flags(p, &t, &spec, seed)?;
+    let model = FaultModel::paper_default(&t, seed);
+    let kind = if p.has("monte-carlo") { SamplerKind::MonteCarlo } else { SamplerKind::ExtendedDagger };
+    let mut assessor = Assessor::with_sampler(&t, model, kind);
+    let a = assessor.assess(&spec, &plan, rounds, seed);
+    let mut out = String::new();
+    let _ = writeln!(out, "app: {label}");
+    describe_plan(&t, &plan, &mut out);
+    let _ = writeln!(
+        out,
+        "reliability {:.5} (95% CI width {:.2e}) over {} rounds [{} sampler]",
+        a.estimate.score,
+        a.estimate.ciw95(),
+        a.estimate.rounds,
+        a.sampler
+    );
+    let _ = writeln!(
+        out,
+        "implied annual downtime: {:.1} hours; assessed in {:?}",
+        a.estimate.annual_downtime_hours(),
+        a.timings.total
+    );
+    Ok(out)
+}
+
+/// `recloud search`.
+pub fn search(p: &Parsed) -> Result<String, CliError> {
+    let t = build_topology(p)?;
+    let seed = p.u64_or("seed", 1)?;
+    let rounds = p.usize_or("rounds", 10_000)?;
+    let budget = Duration::from_millis(p.u64_or("budget-ms", 2_000)?);
+    let (label, spec) = build_spec(p)?;
+    let mut svc = ReCloud::paper_default(&t, seed);
+    if p.has("multi-objective") {
+        svc = svc.with_workload(WorkloadMap::paper_default(&t, seed));
+    }
+    if p.has("distinct-racks") {
+        svc = svc.with_rules(PlacementRules::distinct_racks());
+    }
+    let req = Requirements::paper_default().budget(budget).rounds(rounds);
+    let outcome = svc
+        .deploy_best_effort(&spec, &req)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "app: {label}{}",
+        if p.has("multi-objective") { " (holistic objective)" } else { "" }
+    );
+    for (i, &h) in outcome.plan.hosts_of(0).iter().enumerate() {
+        let _ = writeln!(out, "  instance {i}: {h} (pod {})", t.pod_of(h));
+    }
+    if outcome.plan.num_components() > 1 {
+        describe_plan(&t, &outcome.plan, &mut out);
+    }
+    let _ = writeln!(
+        out,
+        "reliability {:.5} (± {:.1e}); {:.1} h/yr expected downtime",
+        outcome.reliability, outcome.ciw95, outcome.annual_downtime_hours
+    );
+    let _ = writeln!(
+        out,
+        "{} plans explored in {:?}; power diversity {}/{}",
+        outcome.plans_assessed,
+        outcome.search_time,
+        power_diversity(&t, &outcome.plan),
+        t.power_supplies().len()
+    );
+    Ok(out)
+}
+
+/// `recloud compare`.
+pub fn compare(p: &Parsed) -> Result<String, CliError> {
+    let t = build_topology(p)?;
+    let seed = p.u64_or("seed", 1)?;
+    let rounds = p.usize_or("rounds", 10_000)?;
+    let n_candidates = p.usize_or("candidates", 4)?;
+    if n_candidates == 0 {
+        return Err(CliError::Invalid("--candidates must be at least 1".into()));
+    }
+    let (label, spec) = build_spec(p)?;
+    let model = FaultModel::paper_default(&t, seed);
+    let mut rng = Rng::new(seed);
+    let plans: Vec<DeploymentPlan> = (0..n_candidates)
+        .map(|_| DeploymentPlan::random(&spec, t.hosts(), &mut rng))
+        .collect();
+    let mut assessor = Assessor::new(&t, model);
+    let cmp = compare_plans(&mut assessor, &spec, &plans, rounds, seed);
+    let mut out = String::new();
+    let _ = writeln!(out, "app: {label}; ranking {n_candidates} candidate plans:");
+    let _ = writeln!(out, "  rank  plan  reliability      ciw95  tied-with-best");
+    for (rank, r) in cmp.ranking.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  #{:<4} {:>4}  {:>10.5}  {:>9.2e}  {}",
+            rank + 1,
+            r.input_index,
+            r.assessment.estimate.score,
+            r.assessment.estimate.ciw95(),
+            if r.tied_with_best { "yes" } else { "no" }
+        );
+    }
+    let winners = cmp.statistical_winners();
+    let _ = writeln!(
+        out,
+        "statistically indistinguishable winners: {winners:?} (95% intervals overlap)"
+    );
+    Ok(out)
+}
+
+/// `recloud whatif`.
+pub fn whatif(p: &Parsed) -> Result<String, CliError> {
+    let t = build_topology(p)?;
+    let seed = p.u64_or("seed", 1)?;
+    let (label, spec) = build_spec(p)?;
+    let plan = plan_from_flags(p, &t, &spec, seed)?;
+    let model = FaultModel::paper_default(&t, seed);
+
+    // Parse --fail kind:ordinal[,...].
+    let fail_spec = p
+        .get("fail")
+        .ok_or_else(|| CliError::Invalid("whatif needs --fail <kind:ordinal>[,...]".into()))?;
+    let mut injector = FaultInjector::new();
+    let mut names = Vec::new();
+    for item in fail_spec.split(',') {
+        let (kind, ord) = item.split_once(':').ok_or_else(|| CliError::BadValue {
+            flag: "fail".into(),
+            value: item.into(),
+            expected: "kind:ordinal (e.g. power:0)",
+        })?;
+        let ord: u32 = ord.parse().map_err(|_| CliError::BadValue {
+            flag: "fail".into(),
+            value: item.into(),
+            expected: "kind:ordinal with integer ordinal",
+        })?;
+        let found = t
+            .components()
+            .iter()
+            .find(|c| c.kind.tag() == kind && c.ordinal == ord)
+            .ok_or_else(|| CliError::Invalid(format!("no component '{kind}{ord}'")))?;
+        injector.fail(found.id);
+        names.push(found.name());
+    }
+
+    // One injected round through the full pipeline.
+    let mut raw = recloud::sampling::BitMatrix::new(model.num_events(), 1);
+    injector.apply(&mut raw);
+    let mut collapsed =
+        recloud::sampling::BitMatrix::new(model.num_topology_components(), 1);
+    model.collapse_into(&raw, &mut collapsed);
+    let mut router = recloud::routing::make_router(&t);
+    router.begin_round(&collapsed, 0);
+    let mut checker = recloud::assess::StructureChecker::new(&spec, &plan);
+    let survives = checker.round_reliable(router.as_mut(), &collapsed, 0);
+
+    let dead_hosts = t.hosts().iter().filter(|h| collapsed.get(h.index(), 0)).count();
+    let mut alive_instances = 0usize;
+    let mut total = 0usize;
+    for c in 0..plan.num_components() {
+        for &h in plan.hosts_of(c) {
+            total += 1;
+            if router.external_reaches(&collapsed, h) {
+                alive_instances += 1;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "app: {label}");
+    let _ = writeln!(out, "forced failed: {}", names.join(", "));
+    let _ = writeln!(
+        out,
+        "blast radius: {dead_hosts} of {} hosts down (incl. correlated failures)",
+        t.num_hosts()
+    );
+    let _ = writeln!(out, "plan instances still border-reachable: {alive_instances}/{total}");
+    let _ = writeln!(
+        out,
+        "verdict: the plan {} this failure scenario",
+        if survives { "SURVIVES" } else { "DOES NOT SURVIVE" }
+    );
+    Ok(out)
+}
+
+/// `recloud sensitivity`: conditional reliability per power supply.
+pub fn sensitivity(p: &Parsed) -> Result<String, CliError> {
+    let t = build_topology(p)?;
+    let seed = p.u64_or("seed", 1)?;
+    let rounds = p.usize_or("rounds", 10_000)?;
+    let (label, spec) = build_spec(p)?;
+    let plan = plan_from_flags(p, &t, &spec, seed)?;
+    let model = FaultModel::paper_default(&t, seed);
+    let mut assessor = Assessor::new(&t, model);
+    let report = recloud::assess::dependency_sensitivity(
+        &mut assessor,
+        &spec,
+        &plan,
+        t.power_supplies(),
+        rounds,
+        seed,
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "app: {label}; baseline reliability {:.5}", report.baseline);
+    let _ = writeln!(out, "  event     R | event down   blast radius");
+    for r in &report.rows {
+        let name = t.component(r.event).name();
+        let _ = writeln!(
+            out,
+            "  {name:<8}        {:>8.5}   {:>12}",
+            r.conditional_reliability, r.blast_radius
+        );
+    }
+    let critical = report.critical_events();
+    if critical.is_empty() {
+        let _ = writeln!(out, "no single dependency takes the plan below 50% reliability");
+    } else {
+        let names: Vec<String> =
+            critical.iter().map(|&c| t.component(c).name()).collect();
+        let _ = writeln!(out, "CRITICAL single points of catastrophe: {}", names.join(", "));
+    }
+    Ok(out)
+}
+
+/// `recloud blast`: blast radius of every shared dependency.
+pub fn blast(p: &Parsed) -> Result<String, CliError> {
+    let t = build_topology(p)?;
+    let seed = p.u64_or("seed", 1)?;
+    let model = FaultModel::paper_default(&t, seed);
+    let mut out = String::new();
+    let _ = writeln!(out, "blast radius per power supply (components failing together):");
+    for &supply in t.power_supplies() {
+        let radius = model.blast_radius(supply);
+        let hosts = radius
+            .iter()
+            .filter(|c| t.component(**c).kind == ComponentKind::Host)
+            .count();
+        let switches = radius.iter().filter(|c| t.component(**c).kind.is_switch()).count();
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>6} components ({hosts} hosts, {switches} switches)",
+            t.component(supply).name(),
+            radius.len()
+        );
+    }
+    Ok(out)
+}
+
+/// `recloud dot`: Graphviz export of the topology.
+pub fn dot(p: &Parsed) -> Result<String, CliError> {
+    let t = build_topology(p)?;
+    let opts = recloud::topology::DotOptions {
+        switches_only: p.has("switches-only"),
+        ..Default::default()
+    };
+    Ok(recloud::topology::to_dot(&t, &opts))
+}
+
+/// `recloud availability`: continuous-time renewal simulation of a plan.
+pub fn availability(p: &Parsed) -> Result<String, CliError> {
+    let t = build_topology(p)?;
+    let seed = p.u64_or("seed", 1)?;
+    let (label, spec) = build_spec(p)?;
+    let plan = plan_from_flags(p, &t, &spec, seed)?;
+    let model = FaultModel::paper_default(&t, seed);
+    let years = p.usize_or("years", 50)?;
+    if years == 0 {
+        return Err(CliError::Invalid("--years must be at least 1".into()));
+    }
+    let mttr: f64 = p
+        .get("mttr-hours")
+        .map(|v| {
+            v.parse().map_err(|_| CliError::BadValue {
+                flag: "mttr-hours".into(),
+                value: v.into(),
+                expected: "number of hours",
+            })
+        })
+        .transpose()?
+        .unwrap_or(8.0);
+
+    // Static assessment for comparison.
+    let mut assessor = Assessor::new(&t, model.clone());
+    let stat = assessor.assess(&spec, &plan, 50_000, seed);
+
+    let sim = recloud_availsim::AvailabilitySimulator::new(&t, model, mttr);
+    let report = sim.simulate(
+        &spec,
+        &plan,
+        recloud_availsim::SimParams { horizon_hours: years as f64 * 8766.0, seed },
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "app: {label}; {years} simulated years, MTTR {mttr} h");
+    let _ = writeln!(
+        out,
+        "static reliability score:  {:.5} (sampled, ± {:.1e})",
+        stat.estimate.score,
+        stat.estimate.ciw95()
+    );
+    let _ = writeln!(out, "dynamic availability:      {:.5}", report.availability());
+    let _ = writeln!(
+        out,
+        "outages: {} total ({:.2}/year), mean {:.1} h, max {:.1} h",
+        report.outages,
+        report.outages_per_year(),
+        report.mean_outage_hours(),
+        report.max_outage_hours()
+    );
+    let _ = writeln!(
+        out,
+        "annual downtime: {:.1} h (static model implies {:.1} h)",
+        report.annual_downtime_hours(),
+        stat.estimate.annual_downtime_hours()
+    );
+    Ok(out)
+}

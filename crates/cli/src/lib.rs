@@ -1,0 +1,246 @@
+#![warn(missing_docs)]
+
+//! # recloud-cli
+//!
+//! Command-line front end for the reCloud deployment service. The binary
+//! (`recloud`) is a thin shell around [`run`], which parses arguments,
+//! executes one command and returns the rendered output — a design that
+//! keeps the whole CLI unit-testable without spawning processes.
+//!
+//! ```text
+//! recloud topo --scale small
+//! recloud assess --scale tiny --k 4 --n 5 --rounds 10000
+//! recloud search --scale tiny --k 4 --n 5 --budget-ms 1000 --multi-objective
+//! recloud compare --scale tiny --k 2 --n 3 --candidates 5
+//! recloud whatif --scale tiny --fail power:0 --k 4 --n 5
+//! ```
+
+pub mod args;
+pub mod commands;
+
+use args::{CliError, Parsed};
+
+/// Parses `argv` (without the program name) and runs the command,
+/// returning the output text.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let parsed = Parsed::parse(argv)?;
+    match parsed.command.as_str() {
+        "topo" => commands::topo(&parsed),
+        "assess" => commands::assess(&parsed),
+        "search" => commands::search(&parsed),
+        "compare" => commands::compare(&parsed),
+        "whatif" => commands::whatif(&parsed),
+        "sensitivity" => commands::sensitivity(&parsed),
+        "blast" => commands::blast(&parsed),
+        "dot" => commands::dot(&parsed),
+        "availability" => commands::availability(&parsed),
+        "help" | "--help" | "-h" => Ok(usage().to_string()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> &'static str {
+    "recloud — reliable application deployment in the cloud (CoNEXT '17 reproduction)
+
+USAGE:
+    recloud <command> [options]
+
+COMMANDS:
+    topo      describe a data-center topology
+    assess    quantitatively assess a deployment plan (score ± error bound)
+    search    search for a reliable deployment plan (simulated annealing)
+    compare   rank candidate plans (the INDaaS service, with error bounds)
+    whatif       inject component failures and re-check a plan
+    sensitivity  conditional reliability per shared dependency
+    blast        blast radius of every power supply
+    dot          Graphviz export of the topology
+    availability continuous-time renewal simulation (outage statistics)
+    help         show this text
+
+COMMON OPTIONS:
+    --scale <tiny|small|medium|large>   paper preset (default: tiny)
+    --topology <fattree|leafspine|jellyfish|bcube|vl2>
+                                        generator when not using --scale
+    --k <int> --n <int>                 K-of-N redundancy (default: 4-of-5)
+    --layers <int>                      use a layered app of this depth instead
+    --rounds <int>                      route-and-check rounds (default: 10000)
+    --seed <int>                        master seed (default: 1)
+
+SEARCH OPTIONS:
+    --budget-ms <int>                   search budget (default: 2000)
+    --multi-objective                   Eq 7 holistic measure (reliability+load)
+    --distinct-racks                    placement rule: one instance per rack
+
+COMPARE OPTIONS:
+    --candidates <int>                  number of random candidates (default: 4)
+
+WHATIF OPTIONS:
+    --fail <kind:ordinal>[,...]         components to force-fail, e.g.
+                                        power:0,edge:3,host:17
+    --hosts <id,...>                    explicit plan host ids (else random)"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(cmd: &str) -> Result<String, CliError> {
+        let argv: Vec<String> = cmd.split_whitespace().map(String::from).collect();
+        run(&argv)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str("help").unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("whatif"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = run_str("frobnicate").unwrap_err();
+        assert!(matches!(err, CliError::UnknownCommand(_)));
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn empty_argv_is_an_error() {
+        let err = run(&[]).unwrap_err();
+        assert!(matches!(err, CliError::MissingCommand));
+    }
+
+    #[test]
+    fn topo_summarizes_a_preset() {
+        let out = run_str("topo --scale tiny").unwrap();
+        assert!(out.contains("112 hosts"), "{out}");
+        assert!(out.contains("fat-tree"));
+    }
+
+    #[test]
+    fn topo_supports_other_generators() {
+        let out = run_str("topo --topology leafspine").unwrap();
+        assert!(out.contains("leaf-spine"), "{out}");
+        let out = run_str("topo --topology bcube").unwrap();
+        assert!(out.contains("BCube"), "{out}");
+        let out = run_str("topo --topology vl2").unwrap();
+        assert!(out.contains("VL2"), "{out}");
+        let out = run_str("topo --topology jellyfish").unwrap();
+        assert!(out.contains("Jellyfish"), "{out}");
+    }
+
+    #[test]
+    fn assess_reports_score_and_bound() {
+        let out = run_str("assess --scale tiny --k 2 --n 3 --rounds 2000 --seed 7").unwrap();
+        assert!(out.contains("reliability"), "{out}");
+        assert!(out.contains("95% CI"), "{out}");
+        assert!(out.contains("downtime"), "{out}");
+    }
+
+    #[test]
+    fn assess_accepts_explicit_hosts() {
+        // In the tiny (k=8) fat-tree, hosts start after 16 core + 28 agg
+        // + 28 edge switches, i.e. at id 72.
+        let out =
+            run_str("assess --scale tiny --k 1 --n 2 --rounds 500 --hosts 72,73").unwrap();
+        assert!(out.contains("c72"), "{out}");
+    }
+
+    #[test]
+    fn search_returns_a_plan() {
+        let out = run_str("search --scale tiny --k 2 --n 3 --rounds 500 --budget-ms 150").unwrap();
+        assert!(out.contains("plans explored"), "{out}");
+        assert!(out.contains("instance 0"), "{out}");
+    }
+
+    #[test]
+    fn search_with_rules_and_objective() {
+        let out = run_str(
+            "search --scale tiny --k 1 --n 2 --rounds 300 --budget-ms 100 \
+             --multi-objective --distinct-racks",
+        )
+        .unwrap();
+        assert!(out.contains("holistic"), "{out}");
+    }
+
+    #[test]
+    fn compare_ranks_candidates() {
+        let out = run_str("compare --scale tiny --k 1 --n 2 --rounds 500 --candidates 3").unwrap();
+        assert!(out.contains("rank"), "{out}");
+        assert!(out.contains("#1"), "{out}");
+    }
+
+    #[test]
+    fn whatif_injects_failures() {
+        let out = run_str("whatif --scale tiny --k 4 --n 5 --fail power:0").unwrap();
+        assert!(out.contains("forced failed"), "{out}");
+        assert!(out.contains("power0"), "{out}");
+    }
+
+    #[test]
+    fn layered_app_flag() {
+        let out =
+            run_str("assess --scale tiny --k 1 --n 2 --layers 3 --rounds 300").unwrap();
+        assert!(out.contains("3-layer"), "{out}");
+    }
+
+    #[test]
+    fn bad_flag_value_is_reported() {
+        let err = run_str("assess --scale nowhere").unwrap_err();
+        assert!(err.to_string().contains("nowhere"));
+        let err = run_str("assess --rounds abc").unwrap_err();
+        assert!(err.to_string().contains("abc"));
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    fn run_str(cmd: &str) -> Result<String, CliError> {
+        let argv: Vec<String> = cmd.split_whitespace().map(String::from).collect();
+        run(&argv)
+    }
+
+    #[test]
+    fn sensitivity_ranks_supplies() {
+        let out =
+            run_str("sensitivity --scale tiny --k 2 --n 3 --rounds 1000 --seed 3").unwrap();
+        assert!(out.contains("baseline reliability"), "{out}");
+        assert!(out.contains("blast radius"), "{out}");
+        assert!(out.contains("power"), "{out}");
+    }
+
+    #[test]
+    fn blast_lists_all_supplies() {
+        let out = run_str("blast --scale tiny").unwrap();
+        for i in 0..5 {
+            assert!(out.contains(&format!("power{i}")), "{out}");
+        }
+        assert!(out.contains("hosts"), "{out}");
+    }
+
+    #[test]
+    fn dot_emits_graphviz() {
+        let out = run_str("dot --topology leafspine --switches-only").unwrap();
+        assert!(out.starts_with("graph recloud {"), "{out}");
+        assert!(!out.contains("shape=ellipse"), "hosts must be skipped");
+    }
+
+    #[test]
+    fn availability_compares_static_and_dynamic() {
+        let out = run_str(
+            "availability --scale tiny --k 1 --n 2 --years 2 --seed 5",
+        )
+        .unwrap();
+        assert!(out.contains("static reliability score"), "{out}");
+        assert!(out.contains("dynamic availability"), "{out}");
+        assert!(out.contains("outages"), "{out}");
+    }
+
+    #[test]
+    fn availability_validates_years() {
+        let err = run_str("availability --scale tiny --years 0").unwrap_err();
+        assert!(err.to_string().contains("years"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types of the deployment service.
+
+use std::fmt;
+
+/// Result alias for deployment operations.
+pub type DeployResult<T> = Result<T, DeployError>;
+
+/// Why a deployment request could not be served.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeployError {
+    /// The search budget elapsed without reaching `R_desired` — the §2.2
+    /// outcome where "the cloud provider informs the application developer
+    /// that her current reliability requirements cannot be fulfilled".
+    /// Carries the best plan's reliability so the developer can decide
+    /// whether to relax the requirement.
+    RequirementsNotMet {
+        /// Reliability of the best plan found.
+        best_reliability: f64,
+        /// The requested score.
+        desired: f64,
+        /// Plans assessed before giving up.
+        plans_assessed: usize,
+    },
+    /// The data center cannot host the application at all (fewer hosts
+    /// than requested instances).
+    InsufficientCapacity {
+        /// Hosts available.
+        hosts: usize,
+        /// Instances requested.
+        instances: usize,
+    },
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::RequirementsNotMet { best_reliability, desired, plans_assessed } => {
+                write!(
+                    f,
+                    "reliability requirements cannot be fulfilled: best plan reached \
+                     {best_reliability:.6} < desired {desired:.6} after {plans_assessed} plans"
+                )
+            }
+            DeployError::InsufficientCapacity { hosts, instances } => {
+                write!(
+                    f,
+                    "insufficient capacity: {instances} instances requested but only \
+                     {hosts} hosts exist"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DeployError::RequirementsNotMet {
+            best_reliability: 0.9991,
+            desired: 0.99999,
+            plans_assessed: 438,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cannot be fulfilled"));
+        assert!(s.contains("438"));
+        let e = DeployError::InsufficientCapacity { hosts: 4, instances: 9 };
+        assert!(e.to_string().contains("insufficient capacity"));
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # reCloud — reliable application deployment in the cloud
+//!
+//! A from-scratch Rust implementation of the CoNEXT '17 reCloud system:
+//! quantitative reliability assessment of cloud deployment plans with
+//! rigorous error bounds, and proactive search for plans that meet a
+//! developer's reliability requirements — aware of the correlated
+//! failures that shared dependencies (power, cooling, software) inject.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use recloud::prelude::*;
+//! use std::time::Duration;
+//!
+//! // A small data center: fat-tree with a dedicated border pod and the
+//! // paper's five shared power supplies.
+//! let topology = FatTreeParams::new(8).build();
+//!
+//! // The paper's fault model: switches ~ N(0.008, 0.001), everything
+//! // else ~ N(0.01, 0.001), plus power-supply dependency fault trees.
+//! let recloud = ReCloud::paper_default(&topology, 42);
+//!
+//! // Deploy 5 instances, require 4 alive, give the search a tiny budget.
+//! let spec = ApplicationSpec::k_of_n(4, 5);
+//! let requirements = Requirements::paper_default()
+//!     .budget(Duration::from_millis(300))
+//!     .rounds(1_000);
+//! let outcome = recloud.deploy(&spec, &requirements).unwrap();
+//! println!(
+//!     "deployed with reliability {:.4} (± {:.4})",
+//!     outcome.reliability, outcome.ciw95
+//! );
+//! assert!(outcome.reliability > 0.9);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Concern | Crate |
+//! |---|---|
+//! | Topologies (fat-tree/leaf-spine/Jellyfish/builder) | `recloud-topology` |
+//! | Failure probabilities, fault trees, correlated deps | `recloud-faults` |
+//! | Monte-Carlo & extended dagger sampling, error bounds | `recloud-sampling` |
+//! | Route-and-check (analytic fat-tree, valley-free, BFS) | `recloud-routing` |
+//! | Application specs, plans, workload, placement rules | `recloud-apps` |
+//! | Assessment pipeline, parallel engine, ground truth | `recloud-assess` |
+//! | Annealing search, symmetry, multi-objective, baselines | `recloud-search` |
+//!
+//! This crate re-exports the public API and adds the [`ReCloud`] façade
+//! that wires a provider-side deployment service together.
+
+pub mod error;
+pub mod prelude;
+pub mod service;
+
+pub use error::{DeployError, DeployResult};
+pub use service::{DeployOutcome, ReCloud};
+
+// Re-export the sub-crates wholesale for power users.
+pub use recloud_apps as apps;
+pub use recloud_assess as assess;
+pub use recloud_faults as faults;
+pub use recloud_routing as routing;
+pub use recloud_sampling as sampling;
+pub use recloud_search as search;
+pub use recloud_topology as topology;

@@ -1,0 +1,27 @@
+//! One-stop imports for typical reCloud usage.
+//!
+//! ```
+//! use recloud::prelude::*;
+//! ```
+
+pub use crate::error::{DeployError, DeployResult};
+pub use crate::service::{DeployOutcome, ReCloud};
+
+pub use recloud_apps::{
+    ApplicationSpec, DeploymentPlan, PlacementRules, Requirements, Source, WorkloadMap,
+};
+pub use recloud_assess::{compare_plans, Assessment, Assessor, ParallelAssessor, SamplerKind};
+pub use recloud_faults::{
+    BathtubCurve, FaultInjector, FaultModel, FaultTree, FaultTreeBuilder, Fig5Template,
+    ProbabilityConfig,
+};
+pub use recloud_sampling::{ExtendedDaggerSampler, MonteCarloSampler, ReliabilityEstimate, Rng, Sampler};
+pub use recloud_search::{
+    common_practice, enhanced_common_practice, migration_cost, DeltaRule, HolisticObjective,
+    LatencyObjective, MigrationBudget, MigrationObjective, Objective, ReliabilityObjective,
+    SearchBudget, SearchConfig, SearchOutcome, Searcher, TemperatureSchedule,
+};
+pub use recloud_topology::{
+    BCubeParams, ComponentId, ComponentKind, FatTreeParams, JellyfishParams, LeafSpineParams,
+    Scale, Topology, TopologyBuilder, Vl2Params,
+};

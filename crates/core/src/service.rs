@@ -1,0 +1,297 @@
+//! The [`ReCloud`] façade: the provider-side deployment service.
+//!
+//! Wraps the full §2.2 workflow: the developer hands over an application
+//! spec and requirements; the service searches for a plan whose assessed
+//! reliability meets `R_desired` within `T_max`, returning the plan plus
+//! the quantitative assessment (score, error bound, implied downtime), or
+//! reports that the requirements cannot be fulfilled.
+
+use crate::error::{DeployError, DeployResult};
+use recloud_apps::{ApplicationSpec, DeploymentPlan, PlacementRules, Requirements, WorkloadMap};
+use recloud_assess::{Assessment, Assessor, SamplerKind};
+use recloud_faults::{FaultModel, ProbabilityConfig};
+use recloud_search::{
+    HolisticObjective, Objective, ReliabilityObjective, SearchBudget, SearchConfig, SearchOutcome,
+    Searcher,
+};
+use recloud_topology::Topology;
+use std::time::Duration;
+
+/// What a successful deployment request returns.
+#[derive(Clone, Debug)]
+pub struct DeployOutcome {
+    /// The chosen deployment plan.
+    pub plan: DeploymentPlan,
+    /// Assessed reliability of the plan (Eq 1).
+    pub reliability: f64,
+    /// 95% confidence-interval width of the score (Eq 3).
+    pub ciw95: f64,
+    /// Implied expected annual downtime, in hours.
+    pub annual_downtime_hours: f64,
+    /// True if `R_desired` was met (false only when the caller asked for
+    /// best-effort deployment).
+    pub satisfied: bool,
+    /// Plans assessed during the search.
+    pub plans_assessed: usize,
+    /// Wall-clock search time.
+    pub search_time: Duration,
+}
+
+/// The provider-side deployment service: one topology + fault model +
+/// optional workload/placement policy.
+pub struct ReCloud {
+    topology: Topology,
+    model: FaultModel,
+    workload: Option<WorkloadMap>,
+    rules: PlacementRules,
+    sampler: SamplerKind,
+    holistic_weights: Option<(f64, f64)>,
+    seed: u64,
+}
+
+impl ReCloud {
+    /// A service over an explicit fault model.
+    pub fn new(topology: &Topology, model: FaultModel, seed: u64) -> Self {
+        ReCloud {
+            topology: topology.clone(),
+            model,
+            workload: None,
+            rules: PlacementRules::none(),
+            sampler: SamplerKind::ExtendedDagger,
+            holistic_weights: None,
+            seed,
+        }
+    }
+
+    /// The paper's §4.1 evaluation setting: paper-default probabilities
+    /// plus round-robin power-supply dependencies.
+    pub fn paper_default(topology: &Topology, seed: u64) -> Self {
+        Self::new(topology, FaultModel::paper_default(topology, seed), seed)
+    }
+
+    /// §3.4 limited-information mode: no measured probabilities exist, so
+    /// every fallible component gets `default_p`. Shared-dependency
+    /// avoidance still works; only the absolute score loses calibration.
+    pub fn with_default_probability(topology: &Topology, default_p: f64, seed: u64) -> Self {
+        let mut model = FaultModel::new(topology, &ProbabilityConfig::Uniform(default_p), seed);
+        model.attach_power_dependencies(topology);
+        Self::new(topology, model, seed)
+    }
+
+    /// Installs a workload map and enables the §3.3.3 multi-objective
+    /// search with equal weights (Eq 7, a = b).
+    pub fn with_workload(mut self, workload: WorkloadMap) -> Self {
+        self.workload = Some(workload);
+        self.holistic_weights = Some((0.5, 0.5));
+        self
+    }
+
+    /// Overrides the Eq 7 weights (requires a workload).
+    pub fn with_weights(mut self, a: f64, b: f64) -> Self {
+        assert!(self.workload.is_some(), "set a workload before weights");
+        self.holistic_weights = Some((a, b));
+        self
+    }
+
+    /// Installs placement rules applied to every candidate plan.
+    pub fn with_rules(mut self, rules: PlacementRules) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Switches the sampler (Monte-Carlo reproduces the INDaaS baseline).
+    pub fn with_sampler(mut self, sampler: SamplerKind) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// The underlying fault model (e.g. to feed near-real-time probability
+    /// updates).
+    pub fn model_mut(&mut self) -> &mut FaultModel {
+        &mut self.model
+    }
+
+    /// The topology served.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Assesses one explicit plan quantitatively (the pure §3.2 service).
+    pub fn assess(
+        &self,
+        spec: &ApplicationSpec,
+        plan: &DeploymentPlan,
+        rounds: usize,
+    ) -> Assessment {
+        let mut assessor = Assessor::with_sampler(&self.topology, self.model.clone(), self.sampler);
+        assessor.assess(spec, plan, rounds, self.seed)
+    }
+
+    fn run_search(
+        &self,
+        spec: &ApplicationSpec,
+        requirements: &Requirements,
+    ) -> DeployResult<SearchOutcome> {
+        if self.topology.num_hosts() < spec.total_instances() {
+            return Err(DeployError::InsufficientCapacity {
+                hosts: self.topology.num_hosts(),
+                instances: spec.total_instances(),
+            });
+        }
+        let mut assessor = Assessor::with_sampler(&self.topology, self.model.clone(), self.sampler);
+        let mut searcher = Searcher::new(&mut assessor);
+        let config = SearchConfig {
+            budget: SearchBudget::WallClock(requirements.t_max),
+            rounds: requirements.rounds,
+            desired: requirements.r_desired,
+            rules: self.rules,
+            seed: self.seed,
+            ..SearchConfig::paper_default(self.seed)
+        };
+        let objective: Box<dyn Objective> = match (&self.workload, self.holistic_weights) {
+            (Some(w), Some((a, b))) => Box::new(HolisticObjective::new(a, b, w.clone())),
+            _ => Box::new(ReliabilityObjective),
+        };
+        Ok(searcher.search(spec, objective.as_ref(), &config, self.workload.as_ref()))
+    }
+
+    /// The §2.2 workflow: search for a plan meeting the requirements.
+    /// Fails with [`DeployError::RequirementsNotMet`] when `T_max` elapses
+    /// first (use [`ReCloud::deploy_best_effort`] to get the best plan
+    /// anyway).
+    pub fn deploy(
+        &self,
+        spec: &ApplicationSpec,
+        requirements: &Requirements,
+    ) -> DeployResult<DeployOutcome> {
+        let out = self.run_search(spec, requirements)?;
+        if !out.satisfied && requirements.r_desired < 1.0 {
+            return Err(DeployError::RequirementsNotMet {
+                best_reliability: out.best_reliability,
+                desired: requirements.r_desired,
+                plans_assessed: out.stats.plans_assessed,
+            });
+        }
+        Ok(outcome_from(out))
+    }
+
+    /// Like [`ReCloud::deploy`], but always returns the best plan found,
+    /// flagged via [`DeployOutcome::satisfied`].
+    pub fn deploy_best_effort(
+        &self,
+        spec: &ApplicationSpec,
+        requirements: &Requirements,
+    ) -> DeployResult<DeployOutcome> {
+        Ok(outcome_from(self.run_search(spec, requirements)?))
+    }
+}
+
+fn outcome_from(out: SearchOutcome) -> DeployOutcome {
+    DeployOutcome {
+        reliability: out.best_reliability,
+        ciw95: out.best_ciw95,
+        annual_downtime_hours: (1.0 - out.best_reliability) * 365.25 * 24.0,
+        satisfied: out.satisfied,
+        plans_assessed: out.stats.plans_assessed,
+        search_time: out.elapsed,
+        plan: out.best_plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recloud_topology::FatTreeParams;
+
+    fn quick_requirements() -> Requirements {
+        Requirements::paper_default()
+            .budget(Duration::from_millis(200))
+            .rounds(500)
+    }
+
+    #[test]
+    fn deploy_returns_a_valid_plan() {
+        let t = FatTreeParams::new(8).build();
+        let svc = ReCloud::paper_default(&t, 1);
+        let spec = ApplicationSpec::k_of_n(2, 3);
+        let out = svc.deploy(&spec, &quick_requirements()).unwrap();
+        assert_eq!(out.plan.total_instances(), 3);
+        assert!(out.reliability > 0.9);
+        assert!(out.plans_assessed >= 1);
+        // R_desired = 1.0 is best-effort by convention.
+        assert!(!out.satisfied);
+    }
+
+    #[test]
+    fn unreachable_requirement_reports_not_met() {
+        let t = FatTreeParams::new(8).build();
+        let svc = ReCloud::paper_default(&t, 1);
+        let spec = ApplicationSpec::k_of_n(2, 3);
+        let req = quick_requirements().desired(0.999999); // needs ~10^6 rounds
+        let err = svc.deploy(&spec, &req).unwrap_err();
+        match err {
+            DeployError::RequirementsNotMet { best_reliability, desired, .. } => {
+                assert!(best_reliability < desired);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Best-effort still yields the plan.
+        let out = svc.deploy_best_effort(&spec, &req).unwrap();
+        assert!(!out.satisfied);
+        assert!(out.reliability > 0.5);
+    }
+
+    #[test]
+    fn achievable_requirement_is_satisfied() {
+        let t = FatTreeParams::new(8).build();
+        let svc = ReCloud::paper_default(&t, 1);
+        let spec = ApplicationSpec::k_of_n(1, 3);
+        let req = quick_requirements().desired(0.5);
+        let out = svc.deploy(&spec, &req).unwrap();
+        assert!(out.satisfied);
+    }
+
+    #[test]
+    fn capacity_errors_are_detected_upfront() {
+        let t = FatTreeParams::new(4).build(); // 12 hosts
+        let svc = ReCloud::paper_default(&t, 1);
+        let spec = ApplicationSpec::k_of_n(1, 13);
+        let err = svc.deploy(&spec, &quick_requirements()).unwrap_err();
+        assert_eq!(err, DeployError::InsufficientCapacity { hosts: 12, instances: 13 });
+    }
+
+    #[test]
+    fn assess_an_explicit_plan() {
+        let t = FatTreeParams::new(4).build();
+        let svc = ReCloud::paper_default(&t, 1);
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let plan = DeploymentPlan::new(&spec, vec![t.hosts()[..2].to_vec()]);
+        let a = svc.assess(&spec, &plan, 2_000);
+        assert!(a.estimate.score > 0.9);
+        assert_eq!(a.estimate.rounds, 2_000);
+    }
+
+    #[test]
+    fn multi_objective_service_avoids_busy_hosts() {
+        let t = FatTreeParams::new(8).build();
+        let mut w = WorkloadMap::uniform(&t, 0.1);
+        for (i, &h) in t.hosts().iter().enumerate() {
+            if i % 2 == 1 {
+                w.set(h, 0.9);
+            }
+        }
+        let svc = ReCloud::paper_default(&t, 2).with_workload(w.clone());
+        let spec = ApplicationSpec::k_of_n(1, 3);
+        let out = svc.deploy(&spec, &quick_requirements()).unwrap();
+        assert!(w.average(out.plan.all_hosts()) < 0.5);
+    }
+
+    #[test]
+    fn limited_information_mode_works() {
+        let t = FatTreeParams::new(4).build();
+        let svc = ReCloud::with_default_probability(&t, 0.01, 3);
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let out = svc.deploy(&spec, &quick_requirements()).unwrap();
+        assert!(out.reliability > 0.9);
+    }
+}

@@ -1,0 +1,133 @@
+//! Bathtub-curve lifetime model (§3.2.2).
+//!
+//! "The failure probability of a component may vary during its lifetime,
+//! normally following a 'bathtub curve' with more failures at the beginning
+//! and the end of its lifecycle. reCloud can adjust p quickly to handle
+//! such varying failure probabilities whenever they are available."
+//!
+//! We model the classic three-phase curve: an *infant-mortality* phase with
+//! a multiplicatively elevated failure probability decaying linearly to the
+//! useful-life baseline, a flat *useful-life* phase, and a *wear-out* phase
+//! rising linearly to a terminal multiplier. Age is expressed as a fraction
+//! of the design lifetime in `[0, 1]` (ages past 1 are clamped to the
+//! terminal multiplier).
+
+/// Piecewise-linear bathtub hazard multiplier.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BathtubCurve {
+    /// Multiplier at age 0 (e.g. 5.0 = brand-new parts fail 5× as often).
+    pub infant_multiplier: f64,
+    /// Age fraction at which infant mortality has decayed to 1.0.
+    pub infant_end: f64,
+    /// Age fraction at which wear-out starts rising above 1.0.
+    pub wearout_start: f64,
+    /// Multiplier at age 1 (end of design lifetime).
+    pub wearout_multiplier: f64,
+}
+
+impl Default for BathtubCurve {
+    /// A conventional disk-like curve: 4× infant mortality decaying over
+    /// the first 10% of life, flat until 70%, rising to 6× at end of life
+    /// (shape consistent with Schroeder & Gibson's FAST '07 measurements).
+    fn default() -> Self {
+        BathtubCurve {
+            infant_multiplier: 4.0,
+            infant_end: 0.1,
+            wearout_start: 0.7,
+            wearout_multiplier: 6.0,
+        }
+    }
+}
+
+impl BathtubCurve {
+    /// Validates the curve's shape.
+    ///
+    /// # Panics
+    /// Panics when phases are out of order or multipliers are below 1
+    /// (a bathtub never dips under the useful-life baseline).
+    pub fn validate(&self) {
+        assert!(self.infant_multiplier >= 1.0, "infant multiplier must be >= 1");
+        assert!(self.wearout_multiplier >= 1.0, "wearout multiplier must be >= 1");
+        assert!(
+            0.0 < self.infant_end && self.infant_end < self.wearout_start && self.wearout_start < 1.0,
+            "phases must satisfy 0 < infant_end < wearout_start < 1"
+        );
+    }
+
+    /// The hazard multiplier at the given age fraction (clamped to [0, 1]).
+    pub fn multiplier(&self, age_fraction: f64) -> f64 {
+        self.validate();
+        let a = age_fraction.clamp(0.0, 1.0);
+        if a < self.infant_end {
+            // Linear decay from infant_multiplier to 1.0.
+            let t = a / self.infant_end;
+            self.infant_multiplier + t * (1.0 - self.infant_multiplier)
+        } else if a <= self.wearout_start {
+            1.0
+        } else {
+            let t = (a - self.wearout_start) / (1.0 - self.wearout_start);
+            1.0 + t * (self.wearout_multiplier - 1.0)
+        }
+    }
+
+    /// Adjusts a baseline failure probability for a component of the given
+    /// age, capped at 1.
+    pub fn adjust(&self, baseline_p: f64, age_fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&baseline_p), "baseline probability out of range");
+        (baseline_p * self.multiplier(age_fraction)).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_a_bathtub() {
+        let c = BathtubCurve::default();
+        assert_eq!(c.multiplier(0.0), 4.0);
+        assert!((c.multiplier(0.05) - 2.5).abs() < 1e-12); // halfway through decay
+        assert_eq!(c.multiplier(0.1), 1.0);
+        assert_eq!(c.multiplier(0.5), 1.0);
+        assert_eq!(c.multiplier(0.7), 1.0);
+        assert!(c.multiplier(0.85) > 1.0);
+        assert_eq!(c.multiplier(1.0), 6.0);
+    }
+
+    #[test]
+    fn ages_are_clamped() {
+        let c = BathtubCurve::default();
+        assert_eq!(c.multiplier(-3.0), 4.0);
+        assert_eq!(c.multiplier(7.0), 6.0);
+    }
+
+    #[test]
+    fn adjust_caps_at_one() {
+        let c = BathtubCurve::default();
+        assert_eq!(c.adjust(0.5, 1.0), 1.0); // 0.5 * 6 capped
+        assert!((c.adjust(0.01, 0.5) - 0.01).abs() < 1e-12);
+        assert!((c.adjust(0.01, 0.0) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplier_is_continuous_at_phase_boundaries() {
+        let c = BathtubCurve::default();
+        let eps = 1e-9;
+        assert!((c.multiplier(c.infant_end - eps) - c.multiplier(c.infant_end + eps)).abs() < 1e-6);
+        assert!(
+            (c.multiplier(c.wearout_start - eps) - c.multiplier(c.wearout_start + eps)).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "phases must satisfy")]
+    fn bad_phase_order_rejected() {
+        BathtubCurve {
+            infant_multiplier: 2.0,
+            infant_end: 0.8,
+            wearout_start: 0.5,
+            wearout_multiplier: 2.0,
+        }
+        .multiplier(0.5);
+    }
+}

@@ -1,0 +1,95 @@
+//! CVSS-based failure-probability estimation for software components.
+//!
+//! §2.1: "such software failure probability could be ... estimated using
+//! the publicly-available CVSS scores similar to [38, 58, 81]". Those works
+//! (attack-graph analyses) convert a CVSS base score in `[0, 10]` into a
+//! per-exposure compromise probability; we follow the same convention used
+//! by Zhai et al. [81] for service risk ranking: the score is treated as a
+//! *rate driver* and converted into an annual failure probability through
+//! an exponential-exposure model,
+//!
+//! `p = 1 − exp(−λ · score / 10)`
+//!
+//! where `λ` calibrates how often a maximum-severity flaw (score 10) is
+//! actually triggered per year. The default λ = 0.0105 maps score 10 to
+//! ≈ 1% annual failure probability — consistent with §4.1's N(0.01, 0.001)
+//! setting for non-switch components, so CVSS-derived software
+//! probabilities are directly comparable to measured hardware ones.
+
+/// Default exposure rate: a CVSS-10 component fails ≈ 1%/year.
+pub const DEFAULT_LAMBDA: f64 = 0.0105;
+
+/// Converts a CVSS base score into an annual failure probability using the
+/// default exposure rate.
+///
+/// # Panics
+/// Panics if the score is outside `[0, 10]`.
+pub fn cvss_to_annual_probability(score: f64) -> f64 {
+    cvss_to_annual_probability_with(score, DEFAULT_LAMBDA)
+}
+
+/// Converts a CVSS base score with a custom exposure rate λ.
+///
+/// # Panics
+/// Panics if the score is outside `[0, 10]` or λ is negative.
+pub fn cvss_to_annual_probability_with(score: f64, lambda: f64) -> f64 {
+    assert!((0.0..=10.0).contains(&score), "CVSS base score must be in [0, 10]");
+    assert!(lambda >= 0.0, "exposure rate must be non-negative");
+    1.0 - (-lambda * score / 10.0).exp()
+}
+
+/// Aggregates several CVEs affecting one software component: the component
+/// fails if *any* vulnerability is triggered (independence assumption, as
+/// in the cited attack-graph work).
+pub fn combined_cvss_probability(scores: &[f64]) -> f64 {
+    let survive: f64 = scores
+        .iter()
+        .map(|&s| 1.0 - cvss_to_annual_probability(s))
+        .product();
+    1.0 - survive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_score_means_no_failures() {
+        assert_eq!(cvss_to_annual_probability(0.0), 0.0);
+    }
+
+    #[test]
+    fn max_score_calibrates_to_one_percent() {
+        let p = cvss_to_annual_probability(10.0);
+        assert!((p - 0.0104).abs() < 0.0005, "p={p}");
+    }
+
+    #[test]
+    fn monotone_in_score() {
+        let mut prev = -1.0;
+        for s in 0..=10 {
+            let p = cvss_to_annual_probability(s as f64);
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn combination_exceeds_max_single() {
+        let single = cvss_to_annual_probability(7.5);
+        let combined = combined_cvss_probability(&[7.5, 7.5, 5.0]);
+        assert!(combined > single);
+        assert!(combined < 1.0);
+    }
+
+    #[test]
+    fn combination_of_none_is_zero() {
+        assert_eq!(combined_cvss_probability(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 10]")]
+    fn out_of_range_score_rejected() {
+        cvss_to_annual_probability(11.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Reusable dependency templates — the Fig 5 shape, automated.
+//!
+//! Fig 5's example host has *redundant* power supplies and *redundant*
+//! rack cooling: the host only fails when **both** supplies (AND gate) or
+//! both cooling units (AND gate) fail, while any software failure (OR
+//! gate) is fatal. [`Fig5Template`] stamps that structure onto every host
+//! of a topology, creating the auxiliary backup-supply and cooling events
+//! and sharing them at the right granularity:
+//!
+//! * the *primary* supply is the topology's round-robin assignment (§4.1);
+//! * one *backup* supply is shared per data center (the typical UPS bank);
+//! * two cooling units are shared per rack (edge-switch host group);
+//! * one OS image is shared per pod, one library fleet-wide.
+//!
+//! The result exercises every gate type through the normal assessment
+//! path and gives examples/tests a realistic correlated-failure zoo.
+
+use crate::model::FaultModel;
+use crate::tree::FaultTreeBuilder;
+use recloud_topology::{ComponentId, ComponentKind, SoftwareKind, Topology};
+use std::collections::HashMap;
+
+/// Probabilities for the auxiliary events a [`Fig5Template`] creates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig5Probabilities {
+    /// Backup power supply (UPS bank).
+    pub backup_power: f64,
+    /// Each rack cooling unit.
+    pub cooling_unit: f64,
+    /// Per-pod OS image.
+    pub os_image: f64,
+    /// Fleet-wide shared library.
+    pub library: f64,
+}
+
+impl Default for Fig5Probabilities {
+    /// Values in the §4.1 regime (≈1%/yr hardware, softer software).
+    fn default() -> Self {
+        Fig5Probabilities {
+            backup_power: 0.01,
+            cooling_unit: 0.01,
+            os_image: 0.005,
+            library: 0.002,
+        }
+    }
+}
+
+/// Ids of the auxiliary events one application of the template created.
+#[derive(Clone, Debug)]
+pub struct Fig5Events {
+    /// The shared backup power supply.
+    pub backup_power: ComponentId,
+    /// Cooling unit pair per rack, keyed by the rack (edge switch) id.
+    pub cooling: HashMap<ComponentId, (ComponentId, ComponentId)>,
+    /// OS image per pod index.
+    pub os_images: HashMap<u32, ComponentId>,
+    /// The fleet-wide library.
+    pub library: ComponentId,
+}
+
+/// Stamps the Fig 5 dependency structure onto every host of a topology.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fig5Template {
+    /// Event probabilities.
+    pub probs: Fig5Probabilities,
+}
+
+impl Fig5Template {
+    /// Applies the template: replaces each host's dependency tree with
+    ///
+    /// ```text
+    /// host fails = (os OR library)                 -- software, OR-fatal
+    ///            OR (primary power AND backup)     -- redundant power
+    ///            OR (cooling1 AND cooling2)        -- redundant cooling
+    /// ```
+    ///
+    /// The primary power is the host's existing §4.1 supply. Returns the
+    /// created event ids.
+    ///
+    /// # Panics
+    /// Panics if a host has no power supply assigned (templates build on
+    /// top of the generators' round-robin assignment).
+    pub fn apply(&self, topology: &Topology, model: &mut FaultModel) -> Fig5Events {
+        let backup_power = model.add_auxiliary(
+            ComponentKind::PowerSupply,
+            "backup-power",
+            self.probs.backup_power,
+        );
+        let library = model.add_auxiliary(
+            ComponentKind::Software(SoftwareKind::Library),
+            "fleet-library",
+            self.probs.library,
+        );
+        let mut cooling: HashMap<ComponentId, (ComponentId, ComponentId)> = HashMap::new();
+        let mut os_images: HashMap<u32, ComponentId> = HashMap::new();
+
+        for &host in topology.hosts() {
+            let primary = topology
+                .power_of(host)
+                .expect("Fig5 template requires the generator's power assignment");
+            let rack = topology.rack_of(host);
+            let (c1, c2) = *cooling.entry(rack).or_insert_with(|| {
+                let a = model.add_auxiliary(
+                    ComponentKind::CoolingUnit,
+                    &format!("cooling-{rack}-a"),
+                    self.probs.cooling_unit,
+                );
+                let b = model.add_auxiliary(
+                    ComponentKind::CoolingUnit,
+                    &format!("cooling-{rack}-b"),
+                    self.probs.cooling_unit,
+                );
+                (a, b)
+            });
+            let pod = topology.pod_of(host);
+            let os = *os_images.entry(pod).or_insert_with(|| {
+                model.add_auxiliary(
+                    ComponentKind::Software(SoftwareKind::Os),
+                    &format!("os-pod-{pod}"),
+                    self.probs.os_image,
+                )
+            });
+
+            let mut b = FaultTreeBuilder::new();
+            let os_leaf = b.basic(os);
+            let lib_leaf = b.basic(library);
+            let software = b.or(vec![os_leaf, lib_leaf]);
+            let prim = b.basic(primary);
+            let back = b.basic(backup_power);
+            let power = b.and(vec![prim, back]);
+            let cool1 = b.basic(c1);
+            let cool2 = b.basic(c2);
+            let cool = b.and(vec![cool1, cool2]);
+            let root = b.or(vec![software, power, cool]);
+            // Replace (not OR-attach): the template subsumes the plain
+            // primary-power tree with its redundant version.
+            model.set_tree(host, b.build(root));
+        }
+        Fig5Events { backup_power, cooling, os_images, library }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probability::ProbabilityConfig;
+    use recloud_sampling::BitMatrix;
+    use recloud_topology::FatTreeParams;
+
+    fn setup() -> (Topology, FaultModel, Fig5Events) {
+        let t = FatTreeParams::new(4).build();
+        let mut m = FaultModel::new(&t, &ProbabilityConfig::PaperDefault, 1);
+        let ev = Fig5Template::default().apply(&t, &mut m);
+        (t, m, ev)
+    }
+
+    #[test]
+    fn creates_the_right_event_population() {
+        let (t, m, ev) = setup();
+        // 1 backup + 1 library + 2 per rack + 1 OS per pod.
+        let racks = t.count_kind(ComponentKind::EdgeSwitch);
+        let pods = 3; // k=4 -> 3 host pods
+        assert_eq!(m.aux_components().len(), 2 + 2 * racks + pods);
+        assert_eq!(ev.cooling.len(), racks);
+        assert_eq!(ev.os_images.len(), pods);
+    }
+
+    #[test]
+    fn redundant_power_needs_both_supplies_down() {
+        let (t, m, ev) = setup();
+        let host = t.hosts()[0];
+        let primary = t.power_of(host).unwrap();
+        let mut raw = BitMatrix::new(m.num_events(), 3);
+        // Round 0: only primary down -> host survives (backup carries).
+        raw.set(primary.index(), 0);
+        // Round 1: only backup down -> host survives.
+        raw.set(ev.backup_power.index(), 1);
+        // Round 2: both down -> host fails.
+        raw.set(primary.index(), 2);
+        raw.set(ev.backup_power.index(), 2);
+        assert!(!m.effective_failed(&raw, host, 0));
+        assert!(!m.effective_failed(&raw, host, 1));
+        assert!(m.effective_failed(&raw, host, 2));
+    }
+
+    #[test]
+    fn redundant_cooling_is_per_rack() {
+        let (t, m, ev) = setup();
+        let meta = t.fat_tree().unwrap();
+        let h_in = meta.host(0, 0, 0);
+        let h_same_rack = meta.host(0, 0, 1);
+        let h_other_rack = meta.host(0, 1, 0);
+        let rack = t.rack_of(h_in);
+        let (c1, c2) = ev.cooling[&rack];
+        let mut raw = BitMatrix::new(m.num_events(), 1);
+        raw.set(c1.index(), 0);
+        raw.set(c2.index(), 0);
+        assert!(m.effective_failed(&raw, h_in, 0));
+        assert!(m.effective_failed(&raw, h_same_rack, 0));
+        assert!(!m.effective_failed(&raw, h_other_rack, 0));
+    }
+
+    #[test]
+    fn os_image_is_per_pod_and_fatal_alone() {
+        let (t, m, ev) = setup();
+        let meta = t.fat_tree().unwrap();
+        let os0 = ev.os_images[&0];
+        let mut raw = BitMatrix::new(m.num_events(), 1);
+        raw.set(os0.index(), 0);
+        assert!(m.effective_failed(&raw, meta.host(0, 0, 0), 0));
+        assert!(m.effective_failed(&raw, meta.host(0, 1, 1), 0));
+        assert!(!m.effective_failed(&raw, meta.host(1, 0, 0), 0));
+    }
+
+    #[test]
+    fn library_failure_is_fleet_wide() {
+        let (t, m, ev) = setup();
+        let mut raw = BitMatrix::new(m.num_events(), 1);
+        raw.set(ev.library.index(), 0);
+        for &h in t.hosts() {
+            assert!(m.effective_failed(&raw, h, 0), "{h}");
+        }
+        // Switches are untouched by the host template.
+        let meta = t.fat_tree().unwrap();
+        assert!(!m.effective_failed(&raw, meta.edge(0, 0), 0));
+    }
+
+    #[test]
+    fn template_lowers_single_supply_blast_radius() {
+        // With the template, a single primary-supply failure no longer
+        // kills any host (backup covers) — compare against the plain
+        // §4.1 model.
+        let t = FatTreeParams::new(4).build();
+        let plain = FaultModel::paper_default(&t, 1);
+        let (t2, templated, _ev) = setup();
+        let host = t.hosts()[0];
+        let supply = t.power_of(host).unwrap();
+        let mut raw_plain = BitMatrix::new(plain.num_events(), 1);
+        raw_plain.set(supply.index(), 0);
+        assert!(plain.effective_failed(&raw_plain, host, 0));
+        let mut raw_templated = BitMatrix::new(templated.num_events(), 1);
+        raw_templated.set(t2.power_of(host).unwrap().index(), 0);
+        assert!(!templated.effective_failed(&raw_templated, host, 0));
+    }
+}

@@ -1,0 +1,214 @@
+//! Trace-driven fault modeling: from downtime logs to the fault model.
+//!
+//! §2.1 grounds the whole system in measurement: "cloud providers can
+//! measure each infrastructure component's downtime within a time window,
+//! and in turn, each component's failure probability
+//! `p = downtime / windowLength`". This module is that ingestion path —
+//! what a real deployment would feed from its monitoring system instead
+//! of the synthetic §4.1 distributions:
+//!
+//! * [`DowntimeLog`] records per-component down intervals over an
+//!   observation window (overlapping intervals are merged, boundary
+//!   clamping applied);
+//! * [`DowntimeLog::probabilities`] derives the per-component failure
+//!   probability vector the samplers consume;
+//! * [`DowntimeLog::replay_round`] answers "was this component down at
+//!   time t", enabling *replay assessment*: instead of sampling synthetic
+//!   states, draw uniformly random time points from the observed window
+//!   and check the plan against the recorded reality — a bootstrap over
+//!   history that needs no independence assumption at all.
+
+use recloud_sampling::{BitMatrix, Rng};
+use recloud_topology::ComponentId;
+use std::collections::BTreeMap;
+
+/// Recorded down intervals per component over one observation window.
+#[derive(Clone, Debug, Default)]
+pub struct DowntimeLog {
+    /// Observation window length (hours).
+    window: f64,
+    /// Per component: sorted, disjoint (start, end) down intervals.
+    intervals: BTreeMap<u32, Vec<(f64, f64)>>,
+}
+
+impl DowntimeLog {
+    /// A log over the given window length (hours).
+    ///
+    /// # Panics
+    /// Panics unless the window is positive.
+    pub fn new(window_hours: f64) -> Self {
+        assert!(window_hours > 0.0, "observation window must be positive");
+        DowntimeLog { window: window_hours, intervals: BTreeMap::new() }
+    }
+
+    /// The observation window length.
+    pub fn window_hours(&self) -> f64 {
+        self.window
+    }
+
+    /// Records one down interval `[start, end)` for a component; clamped
+    /// to the window, merged with overlapping intervals.
+    ///
+    /// # Panics
+    /// Panics if `end <= start` or the interval starts past the window.
+    pub fn record(&mut self, c: ComponentId, start: f64, end: f64) {
+        assert!(end > start, "empty or inverted interval [{start}, {end})");
+        assert!(start < self.window, "interval starts beyond the window");
+        let start = start.max(0.0);
+        let end = end.min(self.window);
+        let v = self.intervals.entry(c.0).or_default();
+        v.push((start, end));
+        // Normalize: sort + merge overlaps.
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(v.len());
+        for &(s, e) in v.iter() {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        *v = merged;
+    }
+
+    /// Total recorded downtime for a component.
+    pub fn downtime_of(&self, c: ComponentId) -> f64 {
+        self.intervals
+            .get(&c.0)
+            .map(|v| v.iter().map(|(s, e)| e - s).sum())
+            .unwrap_or(0.0)
+    }
+
+    /// True if the component was down at time `t`.
+    pub fn down_at(&self, c: ComponentId, t: f64) -> bool {
+        self.intervals
+            .get(&c.0)
+            .is_some_and(|v| v.iter().any(|&(s, e)| t >= s && t < e))
+    }
+
+    /// The §2.1 probability vector: `p_i = downtime_i / window` for every
+    /// component id in `0..n`.
+    pub fn probabilities(&self, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| self.downtime_of(ComponentId::from_index(i)) / self.window)
+            .collect()
+    }
+
+    /// Fills a state matrix by *replaying* the log: each round is a
+    /// uniformly random time point in the window, and a component is
+    /// failed in the round iff it was recorded down at that instant.
+    /// Correlations present in history (simultaneous outages) are
+    /// preserved exactly — no independence assumption.
+    pub fn replay_into(&self, rng: &mut Rng, matrix: &mut BitMatrix) {
+        matrix.clear();
+        for round in 0..matrix.rounds() {
+            let t = rng.next_f64() * self.window;
+            for (&c, v) in &self.intervals {
+                if v.iter().any(|&(s, e)| t >= s && t < e) {
+                    matrix.set(c as usize, round);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ComponentId {
+        ComponentId(i)
+    }
+
+    #[test]
+    fn downtime_accumulates_and_merges() {
+        let mut log = DowntimeLog::new(100.0);
+        log.record(c(1), 10.0, 20.0);
+        log.record(c(1), 15.0, 25.0); // overlaps
+        log.record(c(1), 50.0, 51.0);
+        assert!((log.downtime_of(c(1)) - 16.0).abs() < 1e-12);
+        assert_eq!(log.downtime_of(c(2)), 0.0);
+    }
+
+    #[test]
+    fn probabilities_follow_eq_p_downtime_over_window() {
+        let mut log = DowntimeLog::new(1_000.0);
+        log.record(c(0), 0.0, 10.0); // p = 0.01
+        log.record(c(2), 100.0, 150.0); // p = 0.05
+        let ps = log.probabilities(3);
+        assert!((ps[0] - 0.01).abs() < 1e-12);
+        assert_eq!(ps[1], 0.0);
+        assert!((ps[2] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn down_at_boundaries() {
+        let mut log = DowntimeLog::new(100.0);
+        log.record(c(0), 10.0, 20.0);
+        assert!(!log.down_at(c(0), 9.999));
+        assert!(log.down_at(c(0), 10.0));
+        assert!(log.down_at(c(0), 19.999));
+        assert!(!log.down_at(c(0), 20.0));
+    }
+
+    #[test]
+    fn intervals_clamped_to_window() {
+        let mut log = DowntimeLog::new(100.0);
+        log.record(c(0), 90.0, 250.0);
+        assert!((log.downtime_of(c(0)) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_preserves_marginals() {
+        let mut log = DowntimeLog::new(1_000.0);
+        log.record(c(0), 0.0, 100.0); // p = 0.1
+        log.record(c(1), 500.0, 600.0); // p = 0.1
+        let mut rng = Rng::new(5);
+        let mut m = BitMatrix::new(2, 100_000);
+        log.replay_into(&mut rng, &mut m);
+        for i in 0..2 {
+            let frac = m.row(i).count_ones() as f64 / 100_000.0;
+            assert!((frac - 0.1).abs() < 0.01, "component {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn replay_preserves_observed_correlations() {
+        // Two components down during the SAME hours: replay must produce
+        // perfectly correlated states, which independent sampling never
+        // would.
+        let mut log = DowntimeLog::new(1_000.0);
+        log.record(c(0), 200.0, 300.0);
+        log.record(c(1), 200.0, 300.0);
+        let mut rng = Rng::new(9);
+        let mut m = BitMatrix::new(2, 50_000);
+        log.replay_into(&mut rng, &mut m);
+        for round in 0..50_000 {
+            assert_eq!(m.get(0, round), m.get(1, round), "round {round}");
+        }
+    }
+
+    #[test]
+    fn replay_preserves_anti_correlations() {
+        let mut log = DowntimeLog::new(1_000.0);
+        log.record(c(0), 0.0, 500.0);
+        log.record(c(1), 500.0, 1_000.0);
+        let mut rng = Rng::new(9);
+        let mut m = BitMatrix::new(2, 20_000);
+        log.replay_into(&mut rng, &mut m);
+        for round in 0..20_000 {
+            assert_ne!(m.get(0, round), m.get(1, round), "round {round}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn inverted_interval_rejected() {
+        DowntimeLog::new(10.0).record(c(0), 5.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the window")]
+    fn interval_past_window_rejected() {
+        DowntimeLog::new(10.0).record(c(0), 11.0, 12.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Failure explanation: *why* is this host unreachable?
+//!
+//! Assessment answers "how often does the plan survive"; operators also
+//! need the counterfactual for a concrete round (or a what-if injection):
+//! which layer of the hierarchy severed the instance? The paper's related
+//! work is full of after-the-fact localizers (Sherlock, NetPilot, Shrink);
+//! reCloud can answer *before* deployment because it already simulates
+//! the failure states.
+//!
+//! [`explain_unreachable`] dissects a fat-tree reachability failure into
+//! the first broken layer along the up/down path; the diagnosis order
+//! mirrors the analytic router's checks, so an explanation is returned
+//! exactly when the router reports unreachable.
+
+use crate::fattree::FatTreeRouter;
+use crate::Router;
+use recloud_sampling::BitMatrix;
+use recloud_topology::{ComponentId, FatTreeMeta, Topology};
+
+/// Diagnosis of an unreachable host in a fat-tree round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Unreachable {
+    /// The host itself is failed (directly or via its dependencies —
+    /// e.g. its host-group power supply).
+    HostFailed,
+    /// The host's edge (ToR) switch is failed, cutting the whole rack.
+    EdgeFailed {
+        /// The failed edge switch.
+        edge: ComponentId,
+    },
+    /// The host's pod has no alive aggregation switch in any group that
+    /// still has an alive border path; lists the pod's alive agg groups.
+    NoUplink {
+        /// Groups with an alive agg switch in this pod.
+        alive_agg_groups: Vec<u32>,
+        /// Groups with an alive border switch and ≥ 1 alive core.
+        alive_border_groups: Vec<u32>,
+    },
+}
+
+impl std::fmt::Display for Unreachable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unreachable::HostFailed => write!(f, "the host itself is failed"),
+            Unreachable::EdgeFailed { edge } => {
+                write!(f, "the rack's edge switch {edge} is failed")
+            }
+            Unreachable::NoUplink { alive_agg_groups, alive_border_groups } => write!(
+                f,
+                "no alive uplink: pod agg groups {alive_agg_groups:?} vs \
+                 border-capable groups {alive_border_groups:?} are disjoint"
+            ),
+        }
+    }
+}
+
+/// Explains why `host` is unreachable from the border switches in the
+/// given round, or returns `None` if it is in fact reachable.
+///
+/// # Panics
+/// Panics if the topology is not a fat-tree.
+pub fn explain_unreachable(
+    topology: &Topology,
+    states: &BitMatrix,
+    round: usize,
+    host: ComponentId,
+) -> Option<Unreachable> {
+    let meta = *topology.fat_tree().expect("explain_unreachable requires a fat-tree");
+    let failed = |c: ComponentId| states.get(c.index(), round);
+    if failed(host) {
+        return Some(Unreachable::HostFailed);
+    }
+    let pos = meta.host_position(host);
+    let edge = meta.edge(pos.pod, pos.edge);
+    if failed(edge) {
+        return Some(Unreachable::EdgeFailed { edge });
+    }
+    let alive_agg_groups: Vec<u32> =
+        (0..meta.half).filter(|&g| !failed(meta.agg(pos.pod, g))).collect();
+    let alive_border_groups: Vec<u32> = (0..meta.half)
+        .filter(|&g| {
+            !failed(meta.border(g)) && (0..meta.half).any(|j| !failed(meta.core(g, j)))
+        })
+        .collect();
+    let has_path = alive_agg_groups.iter().any(|g| alive_border_groups.contains(g));
+    if !has_path {
+        return Some(Unreachable::NoUplink { alive_agg_groups, alive_border_groups });
+    }
+    None
+}
+
+/// Sanity wrapper: diagnosis must agree with the analytic router.
+/// Exposed for tests and debugging builds.
+pub fn diagnose_consistently(
+    topology: &Topology,
+    states: &BitMatrix,
+    round: usize,
+    host: ComponentId,
+) -> (bool, Option<Unreachable>) {
+    let mut router = FatTreeRouter::new(topology);
+    router.begin_round(states, round);
+    let reachable = router.external_reaches(states, host);
+    let explanation = explain_unreachable(topology, states, round, host);
+    (reachable, explanation)
+}
+
+/// Re-export of the meta type used in diagnoses (convenience for callers
+/// printing group indices).
+pub type Meta = FatTreeMeta;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recloud_sampling::{ExtendedDaggerSampler, Sampler};
+    use recloud_topology::{ComponentKind, FatTreeParams};
+
+    fn setup() -> (Topology, FatTreeMeta, BitMatrix) {
+        let t = FatTreeParams::new(4).build();
+        let m = *t.fat_tree().unwrap();
+        let s = BitMatrix::new(t.num_components(), 1);
+        (t, m, s)
+    }
+
+    #[test]
+    fn healthy_host_has_no_explanation() {
+        let (t, m, s) = setup();
+        assert_eq!(explain_unreachable(&t, &s, 0, m.host(0, 0, 0)), None);
+    }
+
+    #[test]
+    fn dead_host_diagnosed_first() {
+        let (t, m, mut s) = setup();
+        let h = m.host(0, 0, 0);
+        s.set(h.index(), 0);
+        s.set(m.edge(0, 0).index(), 0); // also dead, but host wins
+        assert_eq!(explain_unreachable(&t, &s, 0, h), Some(Unreachable::HostFailed));
+    }
+
+    #[test]
+    fn dead_edge_diagnosed() {
+        let (t, m, mut s) = setup();
+        s.set(m.edge(0, 0).index(), 0);
+        assert_eq!(
+            explain_unreachable(&t, &s, 0, m.host(0, 0, 0)),
+            Some(Unreachable::EdgeFailed { edge: m.edge(0, 0) })
+        );
+    }
+
+    #[test]
+    fn uplink_diagnosis_lists_groups() {
+        let (t, m, mut s) = setup();
+        // Pod 0 keeps only agg group 0; group 0's border dies.
+        s.set(m.agg(0, 1).index(), 0);
+        s.set(m.border(0).index(), 0);
+        let d = explain_unreachable(&t, &s, 0, m.host(0, 0, 0)).unwrap();
+        match d {
+            Unreachable::NoUplink { alive_agg_groups, alive_border_groups } => {
+                assert_eq!(alive_agg_groups, vec![0]);
+                assert_eq!(alive_border_groups, vec![1]);
+            }
+            other => panic!("wrong diagnosis {other:?}"),
+        }
+        // Pod 1 still gets out through group 1.
+        assert_eq!(explain_unreachable(&t, &s, 0, m.host(1, 0, 0)), None);
+    }
+
+    #[test]
+    fn diagnosis_agrees_with_router_on_random_failures() {
+        let t = FatTreeParams::new(6).build();
+        let rounds = 200;
+        let mut states = BitMatrix::new(t.num_components(), rounds);
+        let probs: Vec<f64> = t
+            .components()
+            .iter()
+            .map(|c| if c.kind == ComponentKind::External { 0.0 } else { 0.1 })
+            .collect();
+        ExtendedDaggerSampler::seeded(3).sample_into(&probs, &mut states);
+        for round in 0..rounds {
+            for &h in t.hosts().iter().step_by(7) {
+                let (reachable, explanation) = diagnose_consistently(&t, &states, round, h);
+                assert_eq!(
+                    reachable,
+                    explanation.is_none(),
+                    "round {round} host {h}: reachable={reachable}, explanation={explanation:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let (t, m, mut s) = setup();
+        s.set(m.edge(0, 0).index(), 0);
+        let d = explain_unreachable(&t, &s, 0, m.host(0, 0, 0)).unwrap();
+        assert!(d.to_string().contains("edge switch"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Dense failure-state storage.
+//!
+//! The failure-state table of §3.2.1 (Table 1) — one row per component, one
+//! column per sampling round — is stored as a bit matrix: a set bit means
+//! *failed*. Rows are 64-bit-word aligned so per-round reads and per-row
+//! population counts are branch-free.
+//!
+//! At the paper's largest setting (≈30K components × 10⁴ rounds) this is
+//! ~37 MB; assessment code typically works in *blocks* of rounds (one
+//! extended-dagger macro-cycle at a time), which keeps the working set in
+//! cache. Both layouts are served by the same structure since rows are
+//! independent.
+
+/// A borrowed view of one component's failure states across rounds.
+#[derive(Clone, Copy, Debug)]
+pub struct BitRow<'a> {
+    words: &'a [u64],
+    len: usize,
+}
+
+impl<'a> BitRow<'a> {
+    /// True if the component failed in `round`.
+    #[inline]
+    pub fn get(&self, round: usize) -> bool {
+        debug_assert!(round < self.len);
+        (self.words[round / 64] >> (round % 64)) & 1 == 1
+    }
+
+    /// Number of rounds.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no rounds.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of failed rounds.
+    pub fn count_ones(&self) -> usize {
+        // Trailing bits beyond `len` are kept zero by all writers.
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the failure flag of each round.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |r| self.get(r))
+    }
+}
+
+/// Components × rounds failure-state matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BitMatrix {
+    components: usize,
+    rounds: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-alive matrix of the given shape.
+    pub fn new(components: usize, rounds: usize) -> Self {
+        let words_per_row = rounds.div_ceil(64);
+        BitMatrix {
+            components,
+            rounds,
+            words_per_row,
+            bits: vec![0; components * words_per_row],
+        }
+    }
+
+    /// Number of component rows.
+    #[inline]
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Number of round columns.
+    #[inline]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Clears every bit (all components alive in all rounds).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Marks component `c` failed in `round`.
+    #[inline]
+    pub fn set(&mut self, c: usize, round: usize) {
+        debug_assert!(c < self.components && round < self.rounds);
+        self.bits[c * self.words_per_row + round / 64] |= 1u64 << (round % 64);
+    }
+
+    /// Clears component `c`'s failure in `round` (marks it alive).
+    #[inline]
+    pub fn unset(&mut self, c: usize, round: usize) {
+        debug_assert!(c < self.components && round < self.rounds);
+        self.bits[c * self.words_per_row + round / 64] &= !(1u64 << (round % 64));
+    }
+
+    /// True if component `c` failed in `round`.
+    #[inline]
+    pub fn get(&self, c: usize, round: usize) -> bool {
+        debug_assert!(c < self.components && round < self.rounds);
+        (self.bits[c * self.words_per_row + round / 64] >> (round % 64)) & 1 == 1
+    }
+
+    /// Borrowed view of component `c`'s row.
+    #[inline]
+    pub fn row(&self, c: usize) -> BitRow<'_> {
+        let start = c * self.words_per_row;
+        BitRow { words: &self.bits[start..start + self.words_per_row], len: self.rounds }
+    }
+
+    /// Number of 64-bit words per component row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Reads the `w`-th 64-round word of component `c`'s row.
+    #[inline]
+    pub fn word(&self, c: usize, w: usize) -> u64 {
+        debug_assert!(c < self.components && w < self.words_per_row);
+        self.bits[c * self.words_per_row + w]
+    }
+
+    /// Writes the `w`-th 64-round word of component `c`'s row. Bits beyond
+    /// the round count are masked off so population counts stay exact.
+    #[inline]
+    pub fn set_word(&mut self, c: usize, w: usize, value: u64) {
+        debug_assert!(c < self.components && w < self.words_per_row);
+        let mut v = value;
+        if w == self.words_per_row - 1 {
+            let tail = self.rounds % 64;
+            if tail != 0 {
+                v &= (1u64 << tail) - 1;
+            }
+        }
+        self.bits[c * self.words_per_row + w] = v;
+    }
+
+    /// Total failed (component, round) cells — handy for sanity checks.
+    pub fn total_failures(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Memory footprint of the bit store in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = BitMatrix::new(3, 100);
+        m.set(0, 0);
+        m.set(1, 63);
+        m.set(1, 64);
+        m.set(2, 99);
+        assert!(m.get(0, 0));
+        assert!(m.get(1, 63));
+        assert!(m.get(1, 64));
+        assert!(m.get(2, 99));
+        assert!(!m.get(0, 1));
+        assert!(!m.get(2, 98));
+        assert_eq!(m.total_failures(), 4);
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let mut m = BitMatrix::new(2, 64);
+        m.set(0, 5);
+        assert!(!m.get(1, 5));
+        assert_eq!(m.row(0).count_ones(), 1);
+        assert_eq!(m.row(1).count_ones(), 0);
+    }
+
+    #[test]
+    fn row_iteration_matches_get() {
+        let mut m = BitMatrix::new(1, 130);
+        for r in (0..130).step_by(7) {
+            m.set(0, r);
+        }
+        let row = m.row(0);
+        assert_eq!(row.len(), 130);
+        for (r, failed) in row.iter().enumerate() {
+            assert_eq!(failed, r % 7 == 0, "round {r}");
+        }
+        assert_eq!(row.count_ones(), 130usize.div_ceil(7));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut m = BitMatrix::new(4, 70);
+        for c in 0..4 {
+            m.set(c, c * 10);
+        }
+        m.clear();
+        assert_eq!(m.total_failures(), 0);
+    }
+
+    #[test]
+    fn zero_rounds_matrix_is_legal() {
+        let m = BitMatrix::new(5, 0);
+        assert_eq!(m.rounds(), 0);
+        assert!(m.row(2).is_empty());
+    }
+
+    #[test]
+    fn bytes_accounts_padding() {
+        let m = BitMatrix::new(2, 65);
+        // 65 bits -> 2 words per row, 2 rows -> 32 bytes.
+        assert_eq!(m.bytes(), 32);
+    }
+}

@@ -1,0 +1,558 @@
+//! The 6-step reliable-deployment search (§3.3.1).
+//!
+//! 1. generate a random initial plan (optionally under placement
+//!    heuristics);
+//! 2. assess it;
+//! 3. generate a neighbor (one-host move), discarding rule violations and
+//!    symmetry-equivalent plans (network transformations);
+//! 4. assess the neighbor;
+//! 5. accept it if better, or with probability `exp(−Δ/t)` if worse, with
+//!    the paper's log-ratio Δ (Eq 5) and budget-linear temperature (Eq 6);
+//! 6. repeat until the desired score is met or the budget runs out.
+//!
+//! The search drives whatever [`Objective`] it is given — plain
+//! reliability, or the holistic multi-objective measure (§3.3.3), in
+//! which case Δ is computed on the measure exactly as §3.3.3 prescribes
+//! ("reCloud uses this holistic measure to evolve neighboring deployment
+//! plans and determine whether to accept them").
+
+use crate::objective::Objective;
+use crate::schedule::{
+    acceptance_probability, BudgetClock, DeltaRule, SearchBudget, TemperatureSchedule,
+};
+use crate::transform::SymmetryChecker;
+use recloud_apps::{ApplicationSpec, DeploymentPlan, PlacementRules, WorkloadMap};
+use recloud_assess::Assessor;
+use recloud_sampling::Rng;
+use recloud_topology::ComponentId;
+use std::time::Duration;
+
+/// Tunable knobs of the annealing search.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Search budget (`T_max` or an iteration count).
+    pub budget: SearchBudget,
+    /// Route-and-check rounds per assessment (paper default 10⁴).
+    pub rounds: usize,
+    /// Stop early once the best plan's *measure* reaches this value
+    /// (`R_desired`; 1.0 = spend the whole budget, as in §4.1).
+    pub desired: f64,
+    /// Placement constraints; violating neighbors are discarded instantly
+    /// (§3.3.3 "quickly discard any generated deployment plans that do not
+    /// satisfy resource constraints").
+    pub rules: PlacementRules,
+    /// Δ formula for Eq 4 (paper: log-ratio).
+    pub delta: DeltaRule,
+    /// Temperature schedule (paper: budget-linear).
+    pub schedule: TemperatureSchedule,
+    /// Enable the Step 3 network-transformation check.
+    pub use_symmetry: bool,
+    /// Master seed: drives plan generation, acceptance coin-flips and the
+    /// per-assessment sampling seeds.
+    pub seed: u64,
+    /// How many rejected neighbor candidates (rule violations or symmetry
+    /// skips) to tolerate per iteration before accepting a candidate
+    /// unchecked-by-symmetry anyway.
+    pub max_neighbor_retries: usize,
+    /// Start from this plan instead of a random one (Step 1). Used by
+    /// incremental re-deployment, which anneals around the incumbent.
+    pub initial_plan: Option<DeploymentPlan>,
+    /// Assess every plan against the *same* sampled failure-state table
+    /// (common random numbers). The table of §3.2.1 does not depend on
+    /// the plan, so reusing it across candidates is both cheaper and —
+    /// crucially — makes plan comparisons variance-free: a hill-climbing
+    /// step on the shared table reflects a true reliability ordering
+    /// instead of sampling noise. Disable to get fully independent
+    /// estimates per plan (the noisier textbook setup).
+    pub common_random_numbers: bool,
+}
+
+impl SearchConfig {
+    /// Paper defaults: 30 s budget, 10⁴ rounds, `R_desired` = 1.0,
+    /// no placement rules, log-ratio Δ, linear temperature, symmetry on.
+    pub fn paper_default(seed: u64) -> Self {
+        SearchConfig {
+            budget: SearchBudget::WallClock(Duration::from_secs(30)),
+            rounds: 10_000,
+            desired: 1.0,
+            rules: PlacementRules::none(),
+            delta: DeltaRule::LogRatio,
+            schedule: TemperatureSchedule::PaperLinear,
+            use_symmetry: true,
+            seed,
+            max_neighbor_retries: 64,
+            initial_plan: None,
+            common_random_numbers: true,
+        }
+    }
+
+    /// Deterministic variant for tests/benches: iteration budget.
+    pub fn iterations(n: usize, rounds: usize, seed: u64) -> Self {
+        SearchConfig {
+            budget: SearchBudget::Iterations(n),
+            rounds,
+            ..Self::paper_default(seed)
+        }
+    }
+}
+
+/// Counters describing how a search went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Plans actually assessed (including the initial plan).
+    pub plans_assessed: usize,
+    /// Neighbor candidates skipped as symmetry-equivalent (Step 3).
+    pub symmetry_skips: usize,
+    /// Neighbor candidates discarded by placement rules.
+    pub rule_rejections: usize,
+    /// Worse neighbors accepted by the annealing coin flip.
+    pub worse_accepted: usize,
+    /// Worse neighbors rejected.
+    pub worse_rejected: usize,
+}
+
+/// One point of the search trajectory (for reliability-vs-time plots).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Plans assessed when this best was found.
+    pub iteration: usize,
+    /// Wall-clock offset of the improvement.
+    pub elapsed: Duration,
+    /// Best measure so far.
+    pub measure: f64,
+    /// Reliability of the best plan so far.
+    pub reliability: f64,
+}
+
+/// The result of a search.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The best plan found (by measure).
+    pub best_plan: DeploymentPlan,
+    /// Its assessed reliability score.
+    pub best_reliability: f64,
+    /// Its measure under the search objective.
+    pub best_measure: f64,
+    /// 95% confidence-interval width of the best plan's reliability.
+    pub best_ciw95: f64,
+    /// True if `desired` was reached before the budget ran out. When
+    /// false, "the cloud provider informs the application developer that
+    /// her current reliability requirements cannot be fulfilled" (§2.2).
+    pub satisfied: bool,
+    /// Counters.
+    pub stats: SearchStats,
+    /// Every strict improvement of the best measure.
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// Total search time.
+    pub elapsed: Duration,
+}
+
+/// The annealing searcher. Owns the assessment engine and scratch; one
+/// searcher can run many searches.
+pub struct Searcher<'a> {
+    assessor: &'a mut Assessor,
+    symmetry: SymmetryChecker,
+    pool: Vec<ComponentId>,
+}
+
+impl<'a> Searcher<'a> {
+    /// Builds a searcher over the assessor's topology and fault model.
+    pub fn new(assessor: &'a mut Assessor) -> Self {
+        let symmetry = SymmetryChecker::new(assessor.topology(), assessor.model());
+        let pool = assessor.topology().hosts().to_vec();
+        Searcher { assessor, symmetry, pool }
+    }
+
+    /// Restricts the candidate host pool (e.g. to a tenant's partition).
+    ///
+    /// # Panics
+    /// Panics if the pool is empty.
+    pub fn with_pool(mut self, pool: Vec<ComponentId>) -> Self {
+        assert!(!pool.is_empty(), "host pool cannot be empty");
+        self.pool = pool;
+        self
+    }
+
+    /// Runs the §3.3.1 search for `spec` under `objective`.
+    pub fn search(
+        &mut self,
+        spec: &ApplicationSpec,
+        objective: &dyn Objective,
+        config: &SearchConfig,
+        workload: Option<&WorkloadMap>,
+    ) -> SearchOutcome {
+        let mut rng = Rng::new(config.seed);
+        let mut stats = SearchStats::default();
+        let mut clock = BudgetClock::start(config.budget, config.schedule);
+
+        // Step 1: initial plan (respecting rules, best-effort). An
+        // explicit initial plan (incremental re-deployment) wins.
+        let topology = self.assessor.topology().clone();
+        let mut current = match &config.initial_plan {
+            Some(p) => {
+                assert!(
+                    config.rules.check(p, &topology, workload),
+                    "the provided initial plan violates the placement rules"
+                );
+                p.clone()
+            }
+            None => loop {
+                let p = DeploymentPlan::random(spec, &self.pool, &mut rng);
+                if config.rules.check(&p, &topology, workload) {
+                    break p;
+                }
+                stats.rule_rejections += 1;
+                if stats.rule_rejections > 10_000 {
+                    panic!("placement rules rejected 10k random plans; pool too constrained");
+                }
+            },
+        };
+
+        // Sampling seed policy: one shared table (CRN) or fresh draws.
+        let crn_seed = config.seed ^ 0xC0FF_EE00_D15E_A5E5;
+        let next_seed = |rng: &mut Rng| {
+            if config.common_random_numbers {
+                crn_seed
+            } else {
+                rng.next_u64()
+            }
+        };
+
+        // Step 2: assess it.
+        let seed0 = next_seed(&mut rng);
+        let a = self.assessor.assess(spec, &current, config.rounds, seed0);
+        stats.plans_assessed += 1;
+        clock.tick();
+        let mut cur_rel = a.estimate.score;
+        let mut cur_measure = objective.measure(&current, cur_rel);
+        let mut best_plan = current.clone();
+        let mut best_rel = cur_rel;
+        let mut best_measure = cur_measure;
+        let mut best_ciw = a.estimate.ciw95();
+        let mut trajectory = vec![TrajectoryPoint {
+            iteration: 1,
+            elapsed: clock.elapsed(),
+            measure: best_measure,
+            reliability: best_rel,
+        }];
+
+        // Steps 3-6.
+        while !clock.exhausted() && best_measure < config.desired {
+            // Step 3: neighbor generation with rule/symmetry filtering.
+            let mut candidate = None;
+            for _ in 0..config.max_neighbor_retries {
+                let n = current.neighbor(&self.pool, &mut rng);
+                if !config.rules.check(&n, &topology, workload) {
+                    stats.rule_rejections += 1;
+                    continue;
+                }
+                if config.use_symmetry {
+                    // Identify the single moved instance.
+                    if let Some((old, new)) = moved_pair(&current, &n) {
+                        let others: Vec<ComponentId> =
+                            current.all_hosts().filter(|&h| h != old).collect();
+                        if self.symmetry.equivalent_move(&others, old, new) {
+                            stats.symmetry_skips += 1;
+                            continue;
+                        }
+                    }
+                }
+                candidate = Some(n);
+                break;
+            }
+            let Some(neighbor) = candidate else {
+                // Everything nearby is equivalent or invalid; count the
+                // attempt against the budget and try again from the same
+                // current plan.
+                clock.tick();
+                continue;
+            };
+
+            // Step 4: assess the neighbor.
+            let seed = next_seed(&mut rng);
+            let a = self.assessor.assess(spec, &neighbor, config.rounds, seed);
+            stats.plans_assessed += 1;
+            clock.tick();
+            let n_rel = a.estimate.score;
+            let n_measure = objective.measure(&neighbor, n_rel);
+
+            // Step 5: accept or reject.
+            let accept = if n_measure >= cur_measure {
+                true
+            } else {
+                let delta = config.delta.delta(cur_measure, n_measure);
+                let t = clock.temperature();
+                let p = acceptance_probability(delta, t);
+                let coin = rng.next_f64() < p;
+                if coin {
+                    stats.worse_accepted += 1;
+                } else {
+                    stats.worse_rejected += 1;
+                }
+                coin
+            };
+            if accept {
+                current = neighbor;
+                cur_rel = n_rel;
+                cur_measure = n_measure;
+                if cur_measure > best_measure {
+                    best_measure = cur_measure;
+                    best_rel = cur_rel;
+                    best_plan = current.clone();
+                    best_ciw = a.estimate.ciw95();
+                    trajectory.push(TrajectoryPoint {
+                        iteration: stats.plans_assessed,
+                        elapsed: clock.elapsed(),
+                        measure: best_measure,
+                        reliability: best_rel,
+                    });
+                }
+            }
+        }
+
+        SearchOutcome {
+            best_plan,
+            best_reliability: best_rel,
+            best_measure,
+            best_ciw95: best_ciw,
+            satisfied: best_measure >= config.desired,
+            stats,
+            trajectory,
+            elapsed: clock.elapsed(),
+        }
+    }
+}
+
+impl<'a> Searcher<'a> {
+    /// Multi-restart annealing: runs `restarts` independent searches
+    /// (different seeds, shares of the budget) and returns the best
+    /// outcome by measure. Restarts are the classic cure for annealing
+    /// runs that freeze in a poor basin — at 30-second budgets the paper's
+    /// single run explores a few hundred plans, and two or three restarts
+    /// often dominate one longer run.
+    ///
+    /// Wall-clock budgets are divided evenly among restarts; iteration
+    /// budgets are divided by the restart count (rounding up).
+    ///
+    /// # Panics
+    /// Panics if `restarts` is zero.
+    pub fn search_with_restarts(
+        &mut self,
+        spec: &ApplicationSpec,
+        objective: &dyn Objective,
+        config: &SearchConfig,
+        workload: Option<&WorkloadMap>,
+        restarts: usize,
+    ) -> SearchOutcome {
+        assert!(restarts >= 1, "need at least one restart");
+        let per_restart_budget = match config.budget {
+            SearchBudget::WallClock(t) => SearchBudget::WallClock(t / restarts as u32),
+            SearchBudget::Iterations(n) => SearchBudget::Iterations(n.div_ceil(restarts)),
+        };
+        let mut best: Option<SearchOutcome> = None;
+        for r in 0..restarts {
+            let mut cfg = config.clone();
+            cfg.budget = per_restart_budget;
+            cfg.seed = config.seed.wrapping_add(0x9E37_79B9 * r as u64 + r as u64);
+            let out = self.search(spec, objective, &cfg, workload);
+            let better = match &best {
+                None => true,
+                Some(b) => out.best_measure > b.best_measure,
+            };
+            if better {
+                best = Some(out);
+            }
+        }
+        best.expect("restarts >= 1")
+    }
+}
+
+/// Finds the single (old, new) host pair by which two plans differ, if
+/// they differ in exactly one instance slot.
+fn moved_pair(a: &DeploymentPlan, b: &DeploymentPlan) -> Option<(ComponentId, ComponentId)> {
+    let mut pair = None;
+    for (ha, hb) in a.all_hosts().zip(b.all_hosts()) {
+        if ha != hb {
+            if pair.is_some() {
+                return None;
+            }
+            pair = Some((ha, hb));
+        }
+    }
+    pair
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{HolisticObjective, ReliabilityObjective};
+    use recloud_faults::FaultModel;
+    use recloud_topology::FatTreeParams;
+
+    fn engine(seed: u64) -> Assessor {
+        let t = FatTreeParams::new(8).build();
+        let model = FaultModel::paper_default(&t, seed);
+        Assessor::new(&t, model)
+    }
+
+    #[test]
+    fn search_runs_and_improves_over_initial() {
+        let mut assessor = engine(1);
+        let spec = ApplicationSpec::k_of_n(4, 5);
+        let cfg = SearchConfig::iterations(40, 2_000, 7);
+        let mut s = Searcher::new(&mut assessor);
+        let out = s.search(&spec, &ReliabilityObjective, &cfg, None);
+        assert_eq!(out.stats.plans_assessed, 40);
+        assert!(!out.trajectory.is_empty());
+        let first = out.trajectory.first().unwrap().measure;
+        assert!(out.best_measure >= first, "search must never lose its best");
+        assert!(out.best_reliability > 0.9, "4-of-5 on a healthy DC is very reliable");
+        assert!(!out.satisfied, "R_desired=1.0 can never be satisfied");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_iterations() {
+        let spec = ApplicationSpec::k_of_n(2, 3);
+        let cfg = SearchConfig::iterations(15, 1_000, 42);
+        let mut a1 = engine(3);
+        let out1 = Searcher::new(&mut a1).search(&spec, &ReliabilityObjective, &cfg, None);
+        let mut a2 = engine(3);
+        let out2 = Searcher::new(&mut a2).search(&spec, &ReliabilityObjective, &cfg, None);
+        assert_eq!(out1.best_plan, out2.best_plan);
+        assert_eq!(out1.best_reliability, out2.best_reliability);
+        assert_eq!(out1.stats, out2.stats);
+    }
+
+    #[test]
+    fn desired_score_stops_early() {
+        let mut assessor = engine(1);
+        let spec = ApplicationSpec::k_of_n(1, 3);
+        let mut cfg = SearchConfig::iterations(50, 500, 9);
+        cfg.desired = 0.5; // trivially reachable
+        let mut s = Searcher::new(&mut assessor);
+        let out = s.search(&spec, &ReliabilityObjective, &cfg, None);
+        assert!(out.satisfied);
+        assert!(out.stats.plans_assessed < 50, "must stop at the first plan");
+    }
+
+    #[test]
+    fn placement_rules_are_respected() {
+        let mut assessor = engine(2);
+        let topology = assessor.topology().clone();
+        let spec = ApplicationSpec::k_of_n(2, 4);
+        let mut cfg = SearchConfig::iterations(10, 500, 5);
+        cfg.rules = PlacementRules::distinct_racks();
+        let mut s = Searcher::new(&mut assessor);
+        let out = s.search(&spec, &ReliabilityObjective, &cfg, None);
+        assert!(cfg.rules.check(&out.best_plan, &topology, None));
+    }
+
+    #[test]
+    fn holistic_objective_steers_toward_idle_hosts() {
+        let mut assessor = engine(4);
+        let topology = assessor.topology().clone();
+        let spec = ApplicationSpec::k_of_n(1, 3);
+        // Make half the hosts very busy.
+        let mut w = WorkloadMap::uniform(&topology, 0.05);
+        for (i, &h) in topology.hosts().iter().enumerate() {
+            if i % 2 == 0 {
+                w.set(h, 0.95);
+            }
+        }
+        let obj = HolisticObjective::equal_weights(w.clone());
+        let cfg = SearchConfig::iterations(60, 500, 11);
+        let mut s = Searcher::new(&mut assessor);
+        let out = s.search(&spec, &obj, &cfg, Some(&w));
+        let avg = w.average(out.best_plan.all_hosts());
+        assert!(avg < 0.5, "search should avoid busy hosts, avg load {avg}");
+    }
+
+    #[test]
+    fn symmetry_skips_occur_in_homogeneous_world() {
+        // Uniform probabilities + single power supply: most moves are
+        // symmetric, so the checker must fire.
+        let t = FatTreeParams::new(8).power_supplies(1).build();
+        let mut model =
+            FaultModel::new(&t, &recloud_faults::ProbabilityConfig::Uniform(0.01), 0);
+        model.attach_power_dependencies(&t);
+        let mut assessor = Assessor::new(&t, model);
+        let spec = ApplicationSpec::k_of_n(2, 3);
+        let cfg = SearchConfig::iterations(25, 500, 3);
+        let mut s = Searcher::new(&mut assessor);
+        let out = s.search(&spec, &ReliabilityObjective, &cfg, None);
+        assert!(
+            out.stats.symmetry_skips > 0,
+            "homogeneous world must produce symmetry skips: {:?}",
+            out.stats
+        );
+    }
+
+    #[test]
+    fn trajectory_is_monotone_in_measure() {
+        let mut assessor = engine(6);
+        let spec = ApplicationSpec::k_of_n(4, 5);
+        let cfg = SearchConfig::iterations(30, 1_000, 13);
+        let mut s = Searcher::new(&mut assessor);
+        let out = s.search(&spec, &ReliabilityObjective, &cfg, None);
+        for w in out.trajectory.windows(2) {
+            assert!(w[1].measure > w[0].measure);
+            assert!(w[1].iteration >= w[0].iteration);
+        }
+    }
+
+    #[test]
+    fn moved_pair_detects_single_move() {
+        let t = FatTreeParams::new(4).build();
+        let spec = ApplicationSpec::k_of_n(1, 3);
+        let mut rng = Rng::new(1);
+        let p = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let q = p.neighbor(t.hosts(), &mut rng);
+        let (old, new) = moved_pair(&p, &q).expect("neighbor differs in one slot");
+        assert!(p.all_hosts().any(|h| h == old));
+        assert!(q.all_hosts().any(|h| h == new));
+        assert!(moved_pair(&p, &p).is_none());
+    }
+}
+
+#[cfg(test)]
+mod restart_tests {
+    use super::*;
+    use crate::objective::ReliabilityObjective;
+    use recloud_faults::FaultModel;
+    use recloud_topology::FatTreeParams;
+
+    #[test]
+    fn restarts_return_the_best_of_the_batch() {
+        let t = FatTreeParams::new(8).build();
+        let model = FaultModel::paper_default(&t, 2);
+        let spec = ApplicationSpec::k_of_n(4, 5);
+        let mut assessor = Assessor::new(&t, model);
+        let mut searcher = Searcher::new(&mut assessor);
+        let config = SearchConfig::iterations(30, 800, 5);
+        let multi = searcher.search_with_restarts(&spec, &ReliabilityObjective, &config, None, 3);
+        // Each restart ran ~10 iterations; the returned outcome is the max.
+        assert!(multi.stats.plans_assessed <= 10);
+        assert!(multi.best_measure > 0.0);
+
+        // Single restart must equal a plain search with the same budget.
+        let mut assessor2 = Assessor::new(&t, FaultModel::paper_default(&t, 2));
+        let mut searcher2 = Searcher::new(&mut assessor2);
+        let single = searcher2.search_with_restarts(&spec, &ReliabilityObjective, &config, None, 1);
+        let mut assessor3 = Assessor::new(&t, FaultModel::paper_default(&t, 2));
+        let mut searcher3 = Searcher::new(&mut assessor3);
+        let plain = searcher3.search(&spec, &ReliabilityObjective, &config, None);
+        assert_eq!(single.best_plan, plain.best_plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one restart")]
+    fn zero_restarts_rejected() {
+        let t = FatTreeParams::new(4).build();
+        let model = FaultModel::paper_default(&t, 2);
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let mut assessor = Assessor::new(&t, model);
+        let mut searcher = Searcher::new(&mut assessor);
+        let config = SearchConfig::iterations(5, 100, 1);
+        searcher.search_with_restarts(&spec, &ReliabilityObjective, &config, None, 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The §4.2.2 baselines.
+//!
+//! **Common practice** ("learned from our cloud operator contacts"):
+//! deploy application instances onto the least-loaded hosts, each host in
+//! a different rack. It has no notion of shared power or other hidden
+//! dependencies.
+//!
+//! **Enhanced common practice**: "run the vanilla common practice 5 times
+//! to generate the top-5 non-repeating deployment plans and then pick the
+//! plan with the most diversified power supplies." We realize the
+//! "non-repeating" runs by letting run *i* start from the *i*-th position
+//! of the load-sorted host list (runs would otherwise be identical, since
+//! vanilla CP is deterministic given the workload); the five plans are
+//! therefore the five cheapest rack-diverse plans by load order. Power
+//! diversity of a plan is the number of distinct supplies feeding its
+//! hosts' groups; ties break toward lower average load.
+
+use recloud_apps::{ApplicationSpec, DeploymentPlan, WorkloadMap};
+use recloud_topology::{ComponentId, Topology};
+use std::collections::HashSet;
+
+/// Vanilla common practice: least-loaded hosts, one per rack, assigned to
+/// components in spec order. `skip` offsets the start position in the
+/// load-sorted list (0 = the classic plan).
+///
+/// # Panics
+/// Panics if the topology has too few racks for the requested instances.
+pub fn common_practice(
+    topology: &Topology,
+    workload: &WorkloadMap,
+    spec: &ApplicationSpec,
+    skip: usize,
+) -> DeploymentPlan {
+    let by_load = workload.hosts_by_load(topology);
+    let total = spec.total_instances();
+    let mut used_racks: HashSet<ComponentId> = HashSet::new();
+    let mut chosen: Vec<ComponentId> = Vec::with_capacity(total);
+    for &h in by_load.iter().skip(skip).chain(by_load.iter().take(skip)) {
+        if chosen.len() == total {
+            break;
+        }
+        let rack = topology.rack_of(h);
+        if used_racks.insert(rack) {
+            chosen.push(h);
+        }
+    }
+    assert!(
+        chosen.len() == total,
+        "topology has fewer racks ({}) than requested instances ({total})",
+        used_racks.len()
+    );
+    let mut it = chosen.into_iter();
+    let assignments = spec
+        .components()
+        .iter()
+        .map(|c| (0..c.instances).map(|_| it.next().expect("sized above")).collect())
+        .collect();
+    DeploymentPlan::new(spec, assignments)
+}
+
+/// Number of distinct power supplies feeding a plan's hosts.
+pub fn power_diversity(topology: &Topology, plan: &DeploymentPlan) -> usize {
+    plan.all_hosts()
+        .filter_map(|h| topology.power_of(h))
+        .collect::<HashSet<_>>()
+        .len()
+}
+
+/// Enhanced common practice (§4.2.2): top-5 non-repeating CP plans, pick
+/// the most power-diverse (ties: lowest average load).
+pub fn enhanced_common_practice(
+    topology: &Topology,
+    workload: &WorkloadMap,
+    spec: &ApplicationSpec,
+) -> DeploymentPlan {
+    let mut best: Option<(usize, f64, DeploymentPlan)> = None;
+    let mut seen: HashSet<Vec<ComponentId>> = HashSet::new();
+    let mut skip = 0usize;
+    let mut produced = 0usize;
+    while produced < 5 && skip < topology.num_hosts() {
+        let plan = common_practice(topology, workload, spec, skip);
+        skip += 1;
+        let mut key: Vec<ComponentId> = plan.all_hosts().collect();
+        key.sort_unstable();
+        if !seen.insert(key) {
+            continue; // repeated plan; try the next offset
+        }
+        produced += 1;
+        let div = power_diversity(topology, &plan);
+        let load = workload.average(plan.all_hosts());
+        let better = match &best {
+            None => true,
+            Some((bd, bl, _)) => div > *bd || (div == *bd && load < *bl),
+        };
+        if better {
+            best = Some((div, load, plan));
+        }
+    }
+    best.expect("at least one CP plan exists").2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recloud_topology::FatTreeParams;
+
+    fn setup() -> (Topology, WorkloadMap, ApplicationSpec) {
+        let t = FatTreeParams::new(8).build();
+        let w = WorkloadMap::paper_default(&t, 21);
+        (t, w, ApplicationSpec::k_of_n(4, 5))
+    }
+
+    #[test]
+    fn cp_picks_distinct_racks_and_low_load() {
+        let (t, w, spec) = setup();
+        let plan = common_practice(&t, &w, &spec, 0);
+        let racks: HashSet<_> = plan.all_hosts().map(|h| t.rack_of(h)).collect();
+        assert_eq!(racks.len(), 5, "one host per rack");
+        // Its average load must be no worse than a random plan's (strongly
+        // so: it picks from the global minimum).
+        let cp_load = w.average(plan.all_hosts());
+        let overall: f64 =
+            t.hosts().iter().map(|&h| w.get(h)).sum::<f64>() / t.num_hosts() as f64;
+        assert!(cp_load < overall, "CP load {cp_load} vs average {overall}");
+    }
+
+    #[test]
+    fn cp_skip_rotates_choices() {
+        let (t, w, spec) = setup();
+        let p0 = common_practice(&t, &w, &spec, 0);
+        let p1 = common_practice(&t, &w, &spec, 1);
+        assert_ne!(p0, p1);
+    }
+
+    #[test]
+    fn enhanced_cp_maximizes_power_diversity_among_candidates() {
+        let (t, w, spec) = setup();
+        let enhanced = enhanced_common_practice(&t, &w, &spec);
+        let div_e = power_diversity(&t, &enhanced);
+        // The enhanced pick dominates each of the five vanilla candidates.
+        for skip in 0..5 {
+            let cand = common_practice(&t, &w, &spec, skip);
+            assert!(div_e >= power_diversity(&t, &cand));
+        }
+    }
+
+    #[test]
+    fn multi_component_specs_are_supported() {
+        let (t, w, _) = setup();
+        let spec = ApplicationSpec::layered(&[(1, 2), (2, 3)]);
+        let plan = common_practice(&t, &w, &spec, 0);
+        assert_eq!(plan.hosts_of(0).len(), 2);
+        assert_eq!(plan.hosts_of(1).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer racks")]
+    fn too_many_instances_for_racks_rejected() {
+        let t = FatTreeParams::new(4).build(); // 6 racks
+        let w = WorkloadMap::uniform(&t, 0.2);
+        let spec = ApplicationSpec::k_of_n(1, 7);
+        common_practice(&t, &w, &spec, 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Annealing schedules: the paper's settings and the classic ones they
+//! replace (§3.3.2).
+//!
+//! Two knobs govern Step 5's acceptance probability
+//! `Pr[accept] = exp(−Δ/t)` (Eq 4):
+//!
+//! * **Δ, the score difference.** Classic SA uses the absolute difference;
+//!   the paper argues this "fits badly" — R = 0.999 vs 0.99 differ by only
+//!   0.009 although the first is an order of magnitude more reliable — and
+//!   amplifies it to Δ = |log((1−R_n)/(1−R_c))| (Eq 5).
+//! * **t, the temperature.** The paper ties it to the remaining search
+//!   budget, t = (T_max − T_elapsed)/T_max (Eq 6), so that exploration
+//!   cools exactly when the deadline nears regardless of iteration speed.
+//!   Classic geometric cooling (t = t₀·αⁱ) is kept for ablation.
+
+use std::time::{Duration, Instant};
+
+/// How to measure the difference Δ between two scores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaRule {
+    /// Eq 5: Δ = |log((1 − neighbor)/(1 − current))| — order-of-magnitude
+    /// aware. Scores are clamped away from 1 to keep the log finite.
+    LogRatio,
+    /// Classic SA: Δ = |current − neighbor|.
+    Absolute,
+}
+
+impl DeltaRule {
+    /// Smallest distance-from-1.0 considered; a 10⁻¹² unreliability is far
+    /// beyond what any finite sampling can resolve.
+    const EPS: f64 = 1e-12;
+
+    /// Computes Δ ≥ 0 for a worse neighbor (callers only consult Δ when
+    /// `neighbor < current`; the formula is symmetric anyway).
+    pub fn delta(self, current: f64, neighbor: f64) -> f64 {
+        match self {
+            DeltaRule::LogRatio => {
+                let uc = (1.0 - current).max(Self::EPS);
+                let un = (1.0 - neighbor).max(Self::EPS);
+                (un / uc).log10().abs()
+            }
+            DeltaRule::Absolute => (current - neighbor).abs(),
+        }
+    }
+}
+
+/// How the search budget is expressed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchBudget {
+    /// Stop after this much wall-clock time (the paper's `T_max`).
+    WallClock(Duration),
+    /// Stop after this many plan assessments — deterministic, used by
+    /// tests and reproducible experiments.
+    Iterations(usize),
+}
+
+/// Temperature schedule over the course of the search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TemperatureSchedule {
+    /// Eq 6: t = remaining budget fraction, linear from 1 to 0.
+    PaperLinear,
+    /// Classic geometric cooling: t = t₀ · αⁱ at iteration i.
+    Geometric {
+        /// Initial temperature t₀ (> 0).
+        t0: f64,
+        /// Cooling factor α ∈ (0, 1).
+        alpha: f64,
+    },
+}
+
+impl TemperatureSchedule {
+    /// Classic setting used in the ablation: t₀ = 1, α = 0.95.
+    pub fn classic() -> Self {
+        TemperatureSchedule::Geometric { t0: 1.0, alpha: 0.95 }
+    }
+}
+
+/// Tracks budget consumption and yields the current temperature.
+#[derive(Clone, Debug)]
+pub struct BudgetClock {
+    budget: SearchBudget,
+    schedule: TemperatureSchedule,
+    started: Instant,
+    iterations: usize,
+}
+
+impl BudgetClock {
+    /// Starts the clock now.
+    pub fn start(budget: SearchBudget, schedule: TemperatureSchedule) -> Self {
+        if let TemperatureSchedule::Geometric { t0, alpha } = schedule {
+            assert!(t0 > 0.0, "t0 must be positive");
+            assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        }
+        BudgetClock { budget, schedule, started: Instant::now(), iterations: 0 }
+    }
+
+    /// Records one completed plan assessment.
+    pub fn tick(&mut self) {
+        self.iterations += 1;
+    }
+
+    /// Plan assessments so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Elapsed wall clock.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Fraction of the budget remaining, in [0, 1].
+    pub fn remaining_fraction(&self) -> f64 {
+        match self.budget {
+            SearchBudget::WallClock(t_max) => {
+                let used = self.started.elapsed().as_secs_f64() / t_max.as_secs_f64().max(1e-9);
+                (1.0 - used).clamp(0.0, 1.0)
+            }
+            SearchBudget::Iterations(n) => {
+                (1.0 - self.iterations as f64 / n.max(1) as f64).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// True once the budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.remaining_fraction() <= 0.0
+    }
+
+    /// Current temperature under the configured schedule. Never negative;
+    /// a zero temperature rejects every worse neighbor.
+    pub fn temperature(&self) -> f64 {
+        match self.schedule {
+            TemperatureSchedule::PaperLinear => self.remaining_fraction(),
+            TemperatureSchedule::Geometric { t0, alpha } => t0 * alpha.powi(self.iterations as i32),
+        }
+    }
+}
+
+/// Eq 4: acceptance probability for a worse neighbor at temperature `t`.
+/// A non-positive temperature means "never accept worse".
+pub fn acceptance_probability(delta: f64, t: f64) -> f64 {
+    debug_assert!(delta >= 0.0);
+    if t <= 0.0 {
+        return 0.0;
+    }
+    (-delta / t).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_ratio_matches_paper_example() {
+        // §3.3.2: R_c = 0.999, R_n = 0.99 -> Δ = log10(10) = 1, vs the
+        // classic 0.009.
+        let d = DeltaRule::LogRatio.delta(0.999, 0.99);
+        assert!((d - 1.0).abs() < 1e-9, "d={d}");
+        let d = DeltaRule::Absolute.delta(0.999, 0.99);
+        assert!((d - 0.009).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_ratio_is_finite_at_perfect_scores() {
+        let d = DeltaRule::LogRatio.delta(1.0, 0.9);
+        assert!(d.is_finite());
+        let d = DeltaRule::LogRatio.delta(1.0, 1.0);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn acceptance_probability_shape() {
+        // Bigger Δ -> lower acceptance; lower t -> lower acceptance.
+        let p1 = acceptance_probability(1.0, 1.0);
+        let p2 = acceptance_probability(2.0, 1.0);
+        let p3 = acceptance_probability(1.0, 0.5);
+        assert!(p1 > p2);
+        assert!(p1 > p3);
+        assert!((p1 - (-1.0f64).exp()).abs() < 1e-12);
+        assert_eq!(acceptance_probability(1.0, 0.0), 0.0);
+        assert_eq!(acceptance_probability(0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn iteration_budget_clock() {
+        let mut c = BudgetClock::start(
+            SearchBudget::Iterations(4),
+            TemperatureSchedule::PaperLinear,
+        );
+        assert!((c.temperature() - 1.0).abs() < 1e-12);
+        assert!(!c.exhausted());
+        c.tick();
+        c.tick();
+        assert!((c.temperature() - 0.5).abs() < 1e-12);
+        c.tick();
+        c.tick();
+        assert!(c.exhausted());
+        assert_eq!(c.temperature(), 0.0);
+    }
+
+    #[test]
+    fn geometric_schedule_decays() {
+        let mut c = BudgetClock::start(
+            SearchBudget::Iterations(100),
+            TemperatureSchedule::classic(),
+        );
+        let t0 = c.temperature();
+        for _ in 0..10 {
+            c.tick();
+        }
+        let t10 = c.temperature();
+        assert!((t0 - 1.0).abs() < 1e-12);
+        assert!((t10 - 0.95f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_clock_budget_counts_down() {
+        let c = BudgetClock::start(
+            SearchBudget::WallClock(Duration::from_secs(3600)),
+            TemperatureSchedule::PaperLinear,
+        );
+        let f = c.remaining_fraction();
+        assert!(f > 0.999 && f <= 1.0);
+        assert!(!c.exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn bad_alpha_rejected() {
+        BudgetClock::start(
+            SearchBudget::Iterations(1),
+            TemperatureSchedule::Geometric { t0: 1.0, alpha: 1.5 },
+        );
+    }
+}

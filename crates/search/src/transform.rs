@@ -1,0 +1,295 @@
+//! Network-transformation symmetry check (§3.3.1 Step 3).
+//!
+//! "The cloud provider applies the network transformations technique to
+//! simplify the representations of the two networks involved in the
+//! current and the neighboring deployment plans ... checks whether the
+//! neighboring deployment plan is equivalent to the current plan with
+//! respect to both the network symmetry and the component failure
+//! probabilities. If they are equivalent, the cloud provider repeats this
+//! step." (citing Plotkin et al., POPL '16.)
+//!
+//! Because a neighbor differs from the current plan in exactly **one**
+//! host, equivalence reduces to: *is the new host symmetric to the old one
+//! given the rest of the plan?* We implement a **sound** sufficient test —
+//! every `true` is a genuine reliability-preserving symmetry; some
+//! symmetric moves may be missed (`false` negatives merely cost one
+//! assessment):
+//!
+//! 1. both hosts have the same failure-probability class (the paper:
+//!    same-type components with very different probabilities "are
+//!    logically treated as of different types");
+//! 2. **same edge switch** → the entire environment (edge, power, pod,
+//!    cores, borders) is shared: equivalent.
+//! 3. **different edge switch** → equivalent if the edges have equal
+//!    probability, *identical* power supplies (for both the switch and
+//!    its host group — identity, not just equal probability, so every
+//!    correlation with the rest of the plan is preserved), no other plan
+//!    instance under either edge, and either the same pod or two pods
+//!    with no other plan instances whose aggregation layers match
+//!    group-by-group in probability with identical supplies.
+//!
+//! With the evaluation's heterogeneous 4-decimal probabilities, hits are
+//! rare but free; with class-homogeneous probabilities (§3.4's
+//! limited-information mode) they eliminate a large share of assessments —
+//! both regimes are exercised in the ablation bench.
+
+use recloud_faults::FaultModel;
+use recloud_topology::{ComponentId, FatTreeMeta, Topology, TopologyKind};
+
+/// Sound single-move symmetry checker over a fat-tree.
+pub struct SymmetryChecker {
+    meta: Option<FatTreeMeta>,
+    /// Probability class per component: the 4-decimal probability scaled
+    /// to an integer (same class ⟺ identical assigned probability).
+    prob_class: Vec<u64>,
+    /// Raw power-supply id per component (u32::MAX = none).
+    power_of: Vec<u32>,
+}
+
+impl SymmetryChecker {
+    /// Builds a checker. Non-fat-tree topologies get a checker that never
+    /// reports equivalence (plain BFS fabrics have no exploitable closed
+    /// form; every neighbor is assessed).
+    pub fn new(topology: &Topology, model: &FaultModel) -> Self {
+        let meta = match topology.topology_kind() {
+            TopologyKind::FatTree(m) => Some(*m),
+            _ => None,
+        };
+        let prob_class = model
+            .probs()
+            .iter()
+            .take(topology.num_components())
+            .map(|p| (p * 1e8).round() as u64)
+            .collect();
+        let power_of = topology
+            .components()
+            .iter()
+            .map(|c| topology.power_of(c.id).map_or(u32::MAX, |p| p.0))
+            .collect();
+        SymmetryChecker { meta, prob_class, power_of }
+    }
+
+    #[inline]
+    fn class(&self, c: ComponentId) -> u64 {
+        self.prob_class[c.index()]
+    }
+
+    #[inline]
+    fn power(&self, c: ComponentId) -> u32 {
+        self.power_of[c.index()]
+    }
+
+    /// Decides whether replacing `old` with `new` — all `other` plan hosts
+    /// unchanged (`other` must not contain `old` or `new`) — provably
+    /// preserves the plan's reliability.
+    pub fn equivalent_move(
+        &self,
+        other_hosts: &[ComponentId],
+        old: ComponentId,
+        new: ComponentId,
+    ) -> bool {
+        let Some(meta) = &self.meta else { return false };
+        if old == new {
+            return true;
+        }
+        debug_assert!(!other_hosts.contains(&old) && !other_hosts.contains(&new));
+        if self.class(old) != self.class(new) {
+            return false;
+        }
+        let po = meta.host_position(old);
+        let pn = meta.host_position(new);
+        // Case: same edge switch — everything upstream is shared, and the
+        // host-group power supply is by construction the same.
+        if po.pod == pn.pod && po.edge == pn.edge {
+            return true;
+        }
+        // Different edges: compare the edge environment.
+        let edge_old = meta.edge(po.pod, po.edge);
+        let edge_new = meta.edge(pn.pod, pn.edge);
+        if self.class(edge_old) != self.class(edge_new) {
+            return false;
+        }
+        if self.power(edge_old) != self.power(edge_new) {
+            return false;
+        }
+        // Host groups must draw the *same* supply so correlations with
+        // every other plan host are untouched.
+        if self.power(old) != self.power(new) {
+            return false;
+        }
+        // No other plan instance may share either edge (its fate would
+        // otherwise couple differently with the moved instance).
+        for &h in other_hosts {
+            let p = meta.host_position(h);
+            if (p.pod == po.pod && p.edge == po.edge) || (p.pod == pn.pod && p.edge == pn.edge) {
+                return false;
+            }
+        }
+        if po.pod == pn.pod {
+            // Same pod: aggregation layer and everything above is shared.
+            return true;
+        }
+        // Cross-pod move: both pods must be otherwise unused by the plan
+        // and their agg layers must match group-by-group (probability
+        // class AND identical supply, preserving correlated behavior).
+        for &h in other_hosts {
+            let p = meta.host_position(h);
+            if p.pod == po.pod || p.pod == pn.pod {
+                return false;
+            }
+        }
+        for g in 0..meta.half {
+            let a = meta.agg(po.pod, g);
+            let b = meta.agg(pn.pod, g);
+            if self.class(a) != self.class(b) || self.power(a) != self.power(b) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recloud_apps::{ApplicationSpec, DeploymentPlan};
+    use recloud_assess::exact_reliability;
+    use recloud_faults::ProbabilityConfig;
+    use recloud_topology::FatTreeParams;
+
+    /// Uniform probabilities: every same-shape move should be symmetric.
+    fn uniform_setup() -> (Topology, FaultModel, SymmetryChecker) {
+        let t = FatTreeParams::new(4).power_supplies(1).build();
+        let mut model = FaultModel::new(&t, &ProbabilityConfig::Uniform(0.01), 0);
+        model.attach_power_dependencies(&t);
+        let checker = SymmetryChecker::new(&t, &model);
+        (t, model, checker)
+    }
+
+    #[test]
+    fn same_edge_move_is_equivalent() {
+        let (t, _m, c) = uniform_setup();
+        let meta = *t.fat_tree().unwrap();
+        let old = meta.host(0, 0, 0);
+        let new = meta.host(0, 0, 1);
+        let others = [meta.host(1, 0, 0)];
+        assert!(c.equivalent_move(&others, old, new));
+    }
+
+    #[test]
+    fn same_pod_move_with_shared_power_is_equivalent() {
+        let (t, _m, c) = uniform_setup(); // single supply: all power equal
+        let meta = *t.fat_tree().unwrap();
+        let old = meta.host(0, 0, 0);
+        let new = meta.host(0, 1, 0);
+        assert!(c.equivalent_move(&[meta.host(2, 0, 0)], old, new));
+    }
+
+    #[test]
+    fn occupied_edge_blocks_equivalence() {
+        let (t, _m, c) = uniform_setup();
+        let meta = *t.fat_tree().unwrap();
+        let old = meta.host(0, 0, 0);
+        let new = meta.host(0, 1, 0);
+        // Another plan instance already sits under the target edge.
+        let others = [meta.host(0, 1, 1)];
+        assert!(!c.equivalent_move(&others, old, new));
+    }
+
+    #[test]
+    fn cross_pod_move_in_uniform_single_supply_world() {
+        let (t, _m, c) = uniform_setup();
+        let meta = *t.fat_tree().unwrap();
+        let old = meta.host(0, 0, 0);
+        let new = meta.host(1, 0, 0);
+        assert!(c.equivalent_move(&[meta.host(2, 0, 0)], old, new));
+        // But not when the plan also occupies the destination pod.
+        assert!(!c.equivalent_move(&[meta.host(1, 1, 0)], old, new));
+    }
+
+    #[test]
+    fn differing_probability_class_blocks() {
+        let t = FatTreeParams::new(4).build();
+        let mut model = FaultModel::new(&t, &ProbabilityConfig::Uniform(0.01), 0);
+        let meta = *t.fat_tree().unwrap();
+        model.set_prob(meta.host(0, 0, 1), 0.02);
+        let c = SymmetryChecker::new(&t, &model);
+        assert!(!c.equivalent_move(&[], meta.host(0, 0, 0), meta.host(0, 0, 1)));
+    }
+
+    #[test]
+    fn paper_default_power_diversity_blocks_cross_group_moves() {
+        // With 5 round-robin supplies, two edges usually differ in supply:
+        // the checker must refuse those moves.
+        let t = FatTreeParams::new(4).build();
+        let mut model = FaultModel::new(&t, &ProbabilityConfig::Uniform(0.01), 0);
+        model.attach_power_dependencies(&t);
+        let c = SymmetryChecker::new(&t, &model);
+        let meta = *t.fat_tree().unwrap();
+        let old = meta.host(0, 0, 0);
+        // Find a host whose group has a different supply.
+        let new = t
+            .hosts()
+            .iter()
+            .copied()
+            .find(|&h| t.power_of(h) != t.power_of(old) && meta.host_position(h).pod != 0)
+            .unwrap();
+        assert!(!c.equivalent_move(&[], old, new));
+    }
+
+    #[test]
+    fn non_fat_tree_never_equivalent() {
+        let t = recloud_topology::LeafSpineParams::new(2, 2, 4).build();
+        let model = FaultModel::new(&t, &ProbabilityConfig::Uniform(0.01), 0);
+        let c = SymmetryChecker::new(&t, &model);
+        let h = t.hosts();
+        assert!(!c.equivalent_move(&[], h[0], h[1]));
+    }
+
+    /// The soundness guarantee, checked against exact ground truth: every
+    /// move the checker approves leaves the exact reliability unchanged.
+    #[test]
+    fn approved_moves_preserve_exact_reliability() {
+        // Small enough for exhaustive enumeration: restrict fallible
+        // events to hosts of two racks + their edges + one power supply.
+        let t = FatTreeParams::new(4).power_supplies(1).build();
+        let meta = *t.fat_tree().unwrap();
+        let mut model = FaultModel::new(&t, &ProbabilityConfig::Uniform(0.0), 0);
+        // Make a handful of components fallible (<= 22).
+        let fallible = [
+            meta.host(0, 0, 0),
+            meta.host(0, 0, 1),
+            meta.host(0, 1, 0),
+            meta.host(1, 0, 0),
+            meta.edge(0, 0),
+            meta.edge(0, 1),
+            meta.edge(1, 0),
+            meta.agg(0, 0),
+            meta.agg(0, 1),
+            meta.agg(1, 0),
+            meta.agg(1, 1),
+        ];
+        for &f in &fallible {
+            model.set_prob(f, 0.1);
+        }
+        let c = SymmetryChecker::new(&t, &model);
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let anchor = meta.host(1, 0, 0);
+        let old = meta.host(0, 0, 0);
+        let candidates = [meta.host(0, 0, 1), meta.host(0, 1, 0)];
+        let base_plan = DeploymentPlan::new(&spec, vec![vec![anchor, old]]);
+        let base_r = exact_reliability(&t, &model, &spec, &base_plan);
+        for &new in &candidates {
+            if c.equivalent_move(&[anchor], old, new) {
+                let moved = DeploymentPlan::new(&spec, vec![vec![anchor, new]]);
+                let r = exact_reliability(&t, &model, &spec, &moved);
+                assert!(
+                    (r - base_r).abs() < 1e-12,
+                    "approved move {old}->{new} changed reliability {base_r} -> {r}"
+                );
+            }
+        }
+        // And at least the same-edge candidate must be approved.
+        assert!(c.equivalent_move(&[anchor], old, meta.host(0, 0, 1)));
+    }
+}

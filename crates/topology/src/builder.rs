@@ -1,0 +1,247 @@
+//! Hand-built topologies for tests, examples and exotic deployments.
+//!
+//! The builder covers what the generators do not: tiny ground-truth models
+//! (where the exact reliability can be enumerated), asymmetric or partially
+//! degraded fabrics, and whatever a cloud management platform would export.
+
+use crate::component::{Component, ComponentKind};
+use crate::graph::EdgeList;
+use crate::id::ComponentId;
+use crate::topology::{Topology, TopologyKind};
+
+/// Incremental topology constructor.
+///
+/// ```
+/// use recloud_topology::{TopologyBuilder, ComponentKind};
+///
+/// let mut b = TopologyBuilder::new();
+/// let ext = b.external();
+/// let sw = b.add(ComponentKind::BorderSwitch);
+/// let h1 = b.add(ComponentKind::Host);
+/// let h2 = b.add(ComponentKind::Host);
+/// b.connect(ext, sw);
+/// b.connect(sw, h1);
+/// b.connect(sw, h2);
+/// b.mark_border(sw);
+/// let topo = b.build();
+/// assert_eq!(topo.num_hosts(), 2);
+/// assert_eq!(topo.border_switches(), &[sw]);
+/// ```
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    components: Vec<Component>,
+    edges: EdgeList,
+    external: Option<ComponentId>,
+    borders: Vec<ComponentId>,
+    power_supplies: Vec<ComponentId>,
+    power_pairs: Vec<(ComponentId, ComponentId)>, // (consumer, supply)
+    kind_counts: std::collections::HashMap<ComponentKind, u32>,
+}
+
+impl TopologyBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a component of the given kind and returns its id.
+    pub fn add(&mut self, kind: ComponentKind) -> ComponentId {
+        let ordinal = self.kind_counts.entry(kind).or_insert(0);
+        let id = ComponentId::from_index(self.components.len());
+        self.components.push(Component { id, kind, ordinal: *ordinal });
+        *ordinal += 1;
+        if kind == ComponentKind::PowerSupply {
+            self.power_supplies.push(id);
+        }
+        id
+    }
+
+    /// Returns the external node, creating it on first call.
+    ///
+    /// # Panics
+    /// Panics if called through [`TopologyBuilder::add`] twice — a topology
+    /// has exactly one external world.
+    pub fn external(&mut self) -> ComponentId {
+        if let Some(e) = self.external {
+            return e;
+        }
+        let e = self.add(ComponentKind::External);
+        self.external = Some(e);
+        e
+    }
+
+    /// Adds `n` hosts and returns their ids.
+    pub fn add_hosts(&mut self, n: usize) -> Vec<ComponentId> {
+        (0..n).map(|_| self.add(ComponentKind::Host)).collect()
+    }
+
+    /// Connects two components with a perfectly reliable cable.
+    pub fn connect(&mut self, a: ComponentId, b: ComponentId) {
+        self.edges.add(a, b);
+    }
+
+    /// Connects two components through a fallible `Link` component, which is
+    /// created and returned.
+    pub fn connect_via_link(&mut self, a: ComponentId, b: ComponentId) -> ComponentId {
+        let link = self.add(ComponentKind::Link);
+        self.edges.add_with_link(a, b, Some(link));
+        link
+    }
+
+    /// Marks a switch as a border switch (peering with the external world).
+    pub fn mark_border(&mut self, sw: ComponentId) {
+        assert!(
+            self.components[sw.index()].kind.is_switch(),
+            "only switches can be border switches"
+        );
+        if !self.borders.contains(&sw) {
+            self.borders.push(sw);
+        }
+    }
+
+    /// Declares that `consumer` draws power from `supply`.
+    pub fn draw_power(&mut self, consumer: ComponentId, supply: ComponentId) {
+        assert_eq!(
+            self.components[supply.index()].kind,
+            ComponentKind::PowerSupply,
+            "power source must be a PowerSupply component"
+        );
+        self.power_pairs.push((consumer, supply));
+    }
+
+    /// Number of components added so far.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True if nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Finalizes the topology.
+    ///
+    /// # Panics
+    /// Panics if no external node was created (route-and-check needs one)
+    /// or no border switch was marked.
+    pub fn build(mut self) -> Topology {
+        let external = self.external.expect("builder topology needs an external node");
+        assert!(
+            !self.borders.is_empty(),
+            "builder topology needs at least one border switch"
+        );
+        // The external node peers with each border switch so that
+        // route-and-check always has an entry point. A duplicate edge is
+        // harmless for BFS (parallel edges just repeat a neighbor), so no
+        // dedup pass is needed.
+        for &b in &self.borders.clone() {
+            self.edges.add(external, b);
+        }
+        let n = self.components.len();
+        let graph = self.edges.build(n);
+        let mut power_of = vec![u32::MAX; n];
+        for (consumer, supply) in &self.power_pairs {
+            power_of[consumer.index()] = supply.0;
+        }
+        let hosts = self
+            .components
+            .iter()
+            .filter(|c| c.kind == ComponentKind::Host)
+            .map(|c| c.id)
+            .collect();
+        Topology::assemble(
+            self.components,
+            graph,
+            external,
+            hosts,
+            self.borders,
+            self.power_supplies,
+            power_of,
+            TopologyKind::Custom,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_minimal_topology() {
+        let mut b = TopologyBuilder::new();
+        let ext = b.external();
+        let sw = b.add(ComponentKind::BorderSwitch);
+        let hosts = b.add_hosts(3);
+        for &h in &hosts {
+            b.connect(sw, h);
+        }
+        b.mark_border(sw);
+        let t = b.build();
+        assert_eq!(t.num_hosts(), 3);
+        assert_eq!(t.external(), ext);
+        assert!(t.graph().has_edge(ext, sw));
+        assert_eq!(t.rack_of(hosts[0]), sw);
+    }
+
+    #[test]
+    fn power_pairs_are_recorded() {
+        let mut b = TopologyBuilder::new();
+        b.external();
+        let sw = b.add(ComponentKind::BorderSwitch);
+        b.mark_border(sw);
+        let h = b.add(ComponentKind::Host);
+        b.connect(sw, h);
+        let p = b.add(ComponentKind::PowerSupply);
+        b.draw_power(h, p);
+        b.draw_power(sw, p);
+        let t = b.build();
+        assert_eq!(t.power_of(h), Some(p));
+        assert_eq!(t.power_of(sw), Some(p));
+        assert_eq!(t.power_supplies(), &[p]);
+    }
+
+    #[test]
+    fn link_components_via_builder() {
+        let mut b = TopologyBuilder::new();
+        b.external();
+        let sw = b.add(ComponentKind::BorderSwitch);
+        b.mark_border(sw);
+        let h = b.add(ComponentKind::Host);
+        let link = b.connect_via_link(sw, h);
+        let t = b.build();
+        let e = t
+            .graph()
+            .neighbors(h)
+            .iter()
+            .find(|e| e.to == sw)
+            .unwrap();
+        assert_eq!(e.link_id(), Some(link));
+    }
+
+    #[test]
+    #[should_panic(expected = "external node")]
+    fn missing_external_rejected() {
+        let mut b = TopologyBuilder::new();
+        let sw = b.add(ComponentKind::BorderSwitch);
+        b.mark_border(sw);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "border switch")]
+    fn missing_border_rejected() {
+        let mut b = TopologyBuilder::new();
+        b.external();
+        b.add(ComponentKind::Host);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "only switches")]
+    fn host_cannot_be_border() {
+        let mut b = TopologyBuilder::new();
+        b.external();
+        let h = b.add(ComponentKind::Host);
+        b.mark_border(h);
+    }
+}

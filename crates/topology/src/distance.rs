@@ -1,0 +1,156 @@
+//! Host-to-host hop distances — the input of the application-performance
+//! objective (§3.3.3: "some application components may need to be
+//! co-located as they frequently interact with each other").
+//!
+//! For fat-trees the distance has closed form (same edge: 2 hops, same
+//! pod: 4, cross-pod: 6); for any other topology we BFS from one endpoint
+//! over the healthy network. Distances describe the *topology*, not a
+//! failure state: they price latency, not reliability.
+
+use crate::fattree::FatTreeMeta;
+use crate::id::ComponentId;
+use crate::topology::{Topology, TopologyKind};
+
+/// Hop distance between two hosts of a healthy topology, counting each
+/// traversed link once (host–switch and switch–switch alike). Distance 0
+/// means the same host.
+///
+/// # Panics
+/// Panics if the hosts are disconnected (a healthy data center never is;
+/// hitting this means the topology is malformed).
+pub fn host_distance(topology: &Topology, a: ComponentId, b: ComponentId) -> u32 {
+    if a == b {
+        return 0;
+    }
+    if let TopologyKind::FatTree(meta) = topology.topology_kind() {
+        return fat_tree_distance(meta, a, b);
+    }
+    bfs_distance(topology, a, b)
+}
+
+fn fat_tree_distance(meta: &FatTreeMeta, a: ComponentId, b: ComponentId) -> u32 {
+    let pa = meta.host_position(a);
+    let pb = meta.host_position(b);
+    if pa.pod == pb.pod {
+        if pa.edge == pb.edge {
+            2 // host - edge - host
+        } else {
+            4 // host - edge - agg - edge - host
+        }
+    } else {
+        6 // host - edge - agg - core - agg - edge - host
+    }
+}
+
+fn bfs_distance(topology: &Topology, a: ComponentId, b: ComponentId) -> u32 {
+    let n = topology.num_components();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[a.index()] = 0;
+    queue.push_back(a);
+    while let Some(v) = queue.pop_front() {
+        if v == b {
+            return dist[v.index()];
+        }
+        // Never hairpin through the external node for east-west distance.
+        if v == topology.external() {
+            continue;
+        }
+        for e in topology.graph().neighbors(v) {
+            let w = e.to;
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = dist[v.index()] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    panic!("hosts {a} and {b} are disconnected in a healthy topology");
+}
+
+/// Mean pairwise hop distance over a set of hosts (0 for fewer than two
+/// hosts). The §3.3.3 proximity utility divides this by the topology's
+/// diameter to normalize.
+pub fn mean_pairwise_distance(topology: &Topology, hosts: &[ComponentId]) -> f64 {
+    if hosts.len() < 2 {
+        return 0.0;
+    }
+    let mut sum = 0u64;
+    let mut pairs = 0u64;
+    for (i, &a) in hosts.iter().enumerate() {
+        for &b in &hosts[i + 1..] {
+            sum += u64::from(host_distance(topology, a, b));
+            pairs += 1;
+        }
+    }
+    sum as f64 / pairs as f64
+}
+
+/// An upper bound on host-to-host distance, used to normalize proximity
+/// utilities into [0, 1]. Exact for fat-trees (6), a safe structural
+/// bound elsewhere.
+pub fn diameter_bound(topology: &Topology) -> u32 {
+    match topology.topology_kind() {
+        TopologyKind::FatTree(_) => 6,
+        TopologyKind::LeafSpine { .. } => 4, // host-leaf-spine-leaf-host
+        // Generic: host-switch chains are short in all our generators;
+        // use a conservative bound tied to the component count.
+        _ => 2 + 2 * (usize::BITS - topology.num_components().leading_zeros()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::FatTreeParams;
+    use crate::leafspine::LeafSpineParams;
+
+    #[test]
+    fn fat_tree_closed_form() {
+        let t = FatTreeParams::new(4).build();
+        let m = t.fat_tree().unwrap();
+        assert_eq!(host_distance(&t, m.host(0, 0, 0), m.host(0, 0, 0)), 0);
+        assert_eq!(host_distance(&t, m.host(0, 0, 0), m.host(0, 0, 1)), 2);
+        assert_eq!(host_distance(&t, m.host(0, 0, 0), m.host(0, 1, 0)), 4);
+        assert_eq!(host_distance(&t, m.host(0, 0, 0), m.host(2, 1, 1)), 6);
+    }
+
+    #[test]
+    fn fat_tree_closed_form_matches_bfs() {
+        // Cross-validate the closed form against BFS on the raw graph.
+        let t = FatTreeParams::new(4).build();
+        let hosts = t.hosts();
+        for &a in hosts.iter().step_by(3) {
+            for &b in hosts.iter().step_by(5) {
+                let closed = host_distance(&t, a, b);
+                let bfs = super::bfs_distance(&t, a, b);
+                // BFS could exploit the external hairpin... it skips it,
+                // so the values must agree exactly.
+                if a != b {
+                    assert_eq!(closed, bfs, "{a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_spine_distances() {
+        let t = LeafSpineParams::new(2, 3, 2).build();
+        let h = t.hosts();
+        // Same leaf: 2; cross-leaf: 4.
+        assert_eq!(host_distance(&t, h[0], h[1]), 2);
+        assert_eq!(host_distance(&t, h[0], h[2]), 4);
+        assert!(diameter_bound(&t) >= 4);
+    }
+
+    #[test]
+    fn mean_pairwise() {
+        let t = FatTreeParams::new(4).build();
+        let m = t.fat_tree().unwrap();
+        // Two same-edge hosts and one cross-pod host:
+        // d(a,b) = 2, d(a,c) = 6, d(b,c) = 6 -> mean 14/3.
+        let hosts = [m.host(0, 0, 0), m.host(0, 0, 1), m.host(1, 0, 0)];
+        let mean = mean_pairwise_distance(&t, &hosts);
+        assert!((mean - 14.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mean_pairwise_distance(&t, &hosts[..1]), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Graphviz (DOT) export for topologies.
+//!
+//! Operators debug placement decisions visually; a DOT dump of the
+//! network graph — optionally overlaid with a deployment plan's hosts and
+//! a round's failure states — renders directly with `dot -Tsvg`.
+
+use crate::component::ComponentKind;
+use crate::id::ComponentId;
+use crate::topology::Topology;
+use std::fmt::Write as _;
+
+/// Rendering options for [`to_dot`].
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Hosts to highlight (e.g. a deployment plan's instances).
+    pub highlight: Vec<ComponentId>,
+    /// Components to render as failed (red), e.g. one round's states.
+    pub failed: Vec<ComponentId>,
+    /// Skip hosts entirely (useful for large fabrics where only the
+    /// switch skeleton is of interest).
+    pub switches_only: bool,
+}
+
+fn shape(kind: ComponentKind) -> &'static str {
+    match kind {
+        ComponentKind::Host => "ellipse",
+        ComponentKind::External => "doublecircle",
+        ComponentKind::PowerSupply => "diamond",
+        ComponentKind::CoolingUnit => "trapezium",
+        ComponentKind::Software(_) => "note",
+        ComponentKind::Link => "point",
+        _ => "box", // all switch tiers
+    }
+}
+
+/// Renders the topology as a DOT graph.
+pub fn to_dot(topology: &Topology, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph recloud {{");
+    let _ = writeln!(out, "  graph [overlap=false, splines=true];");
+    let _ = writeln!(out, "  node [fontsize=9];");
+    for c in topology.components() {
+        if options.switches_only && c.kind == ComponentKind::Host {
+            continue;
+        }
+        if c.kind == ComponentKind::Link {
+            continue; // links are drawn as edges, not nodes
+        }
+        let mut attrs = format!("label=\"{}\", shape={}", c.name(), shape(c.kind));
+        if options.failed.contains(&c.id) {
+            attrs.push_str(", style=filled, fillcolor=\"#e57373\"");
+        } else if options.highlight.contains(&c.id) {
+            attrs.push_str(", style=filled, fillcolor=\"#81c784\", penwidth=2");
+        } else if c.kind.is_switch() {
+            attrs.push_str(", style=filled, fillcolor=\"#eeeeee\"");
+        }
+        let _ = writeln!(out, "  n{} [{attrs}];", c.id.0);
+    }
+    for (a, e) in topology.graph().edges() {
+        if options.switches_only
+            && (topology.kind_of(a) == ComponentKind::Host
+                || topology.kind_of(e.to) == ComponentKind::Host)
+        {
+            continue;
+        }
+        let style = match e.link_id() {
+            Some(link) if options.failed.contains(&link) => " [color=red, style=dashed]",
+            _ => "",
+        };
+        let _ = writeln!(out, "  n{} -- n{}{style};", a.0, e.to.0);
+    }
+    // Power assignment as dotted edges.
+    for c in topology.components() {
+        if options.switches_only && c.kind == ComponentKind::Host {
+            continue;
+        }
+        if let Some(p) = topology.power_of(c.id) {
+            let _ = writeln!(out, "  n{} -- n{} [style=dotted, color=gray];", c.id.0, p.0);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::FatTreeParams;
+
+    #[test]
+    fn renders_valid_dot_skeleton() {
+        let t = FatTreeParams::new(4).build();
+        let dot = to_dot(&t, &DotOptions::default());
+        assert!(dot.starts_with("graph recloud {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every component is a node.
+        assert!(dot.contains("label=\"host0\""));
+        assert!(dot.contains("label=\"core0\""));
+        assert!(dot.contains("label=\"power0\", shape=diamond"));
+        // Edges use the undirected syntax.
+        assert!(dot.contains(" -- "));
+    }
+
+    #[test]
+    fn highlight_and_failed_styles() {
+        let t = FatTreeParams::new(4).build();
+        let h = t.hosts()[0];
+        let e = t.rack_of(h);
+        let dot = to_dot(
+            &t,
+            &DotOptions { highlight: vec![h], failed: vec![e], switches_only: false },
+        );
+        assert!(dot.contains(&format!("n{} [label=\"host0\", shape=ellipse, style=filled, fillcolor=\"#81c784\"", h.0)));
+        assert!(dot.contains("fillcolor=\"#e57373\""));
+    }
+
+    #[test]
+    fn switches_only_drops_hosts() {
+        let t = FatTreeParams::new(4).build();
+        let dot = to_dot(&t, &DotOptions { switches_only: true, ..Default::default() });
+        assert!(!dot.contains("shape=ellipse"));
+        assert!(dot.contains("label=\"agg0\""));
+    }
+
+    #[test]
+    fn node_count_matches_components() {
+        let t = FatTreeParams::new(4).build();
+        let dot = to_dot(&t, &DotOptions::default());
+        let nodes = dot
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                // Node lines look like `n<id> [label=...]`; skip the
+                // global `node [fontsize=9];` default line.
+                t.starts_with('n') && !t.starts_with("node ") && t.contains('[')
+                    && !t.contains(" -- ")
+            })
+            .count();
+        assert_eq!(nodes, t.num_components()); // no Link components here
+    }
+}

@@ -1,0 +1,218 @@
+//! Compact adjacency structure for the network graph.
+//!
+//! A from-scratch CSR (compressed sparse row) over component ids. Each
+//! directed half-edge optionally references a *link component* so that
+//! network-connectivity failures (§2.1's third component class) can be
+//! sampled like any other component; generators that do not model cable
+//! failures store [`NO_LINK`].
+
+use crate::id::ComponentId;
+
+/// Sentinel meaning "this edge has no link component" (the cable is assumed
+/// perfectly reliable, as in the paper's evaluation).
+pub const NO_LINK: u32 = u32::MAX;
+
+/// One outgoing half-edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HalfEdge {
+    /// The neighbor node.
+    pub to: ComponentId,
+    /// Raw id of the link component guarding this edge, or [`NO_LINK`].
+    pub link: u32,
+}
+
+impl HalfEdge {
+    /// The link component guarding this edge, if one was modeled.
+    #[inline]
+    pub fn link_id(&self) -> Option<ComponentId> {
+        (self.link != NO_LINK).then_some(ComponentId(self.link))
+    }
+}
+
+/// Undirected graph in CSR form. Nodes are component ids in `0..n`.
+///
+/// Non-network components (power supplies, software, …) may own node slots;
+/// they simply have degree zero.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `edges` for node `v`.
+    offsets: Vec<u32>,
+    edges: Vec<HalfEdge>,
+}
+
+/// Incremental edge accumulator; call [`EdgeList::build`] to freeze into CSR.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeList {
+    edges: Vec<(u32, u32, u32)>, // (a, b, link)
+    max_node: u32,
+}
+
+impl EdgeList {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an undirected edge between `a` and `b` with no link component.
+    pub fn add(&mut self, a: ComponentId, b: ComponentId) {
+        self.add_with_link(a, b, None);
+    }
+
+    /// Adds an undirected edge guarded by an optional link component.
+    pub fn add_with_link(&mut self, a: ComponentId, b: ComponentId, link: Option<ComponentId>) {
+        assert_ne!(a, b, "self-loop edges are not meaningful in a data center");
+        let l = link.map_or(NO_LINK, |c| c.0);
+        self.edges.push((a.0, b.0, l));
+        self.max_node = self.max_node.max(a.0).max(b.0).max(if l == NO_LINK { 0 } else { l });
+    }
+
+    /// Number of undirected edges added so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges were added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Freezes into a CSR with at least `n_nodes` node slots.
+    pub fn build(self, n_nodes: usize) -> Csr {
+        let n = n_nodes.max(self.max_node as usize + 1);
+        let mut degree = vec![0u32; n];
+        for &(a, b, _) in &self.edges {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut edges = vec![
+            HalfEdge {
+                to: ComponentId(0),
+                link: NO_LINK
+            };
+            offsets[n] as usize
+        ];
+        for &(a, b, l) in &self.edges {
+            edges[cursor[a as usize] as usize] = HalfEdge { to: ComponentId(b), link: l };
+            cursor[a as usize] += 1;
+            edges[cursor[b as usize] as usize] = HalfEdge { to: ComponentId(a), link: l };
+            cursor[b as usize] += 1;
+        }
+        Csr { offsets, edges }
+    }
+}
+
+impl Csr {
+    /// An empty graph with `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        Csr { offsets: vec![0; n + 1], edges: Vec::new() }
+    }
+
+    /// Number of node slots.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: ComponentId) -> usize {
+        let v = v.index();
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Outgoing half-edges of node `v`.
+    #[inline]
+    pub fn neighbors(&self, v: ComponentId) -> &[HalfEdge] {
+        let v = v.index();
+        &self.edges[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// True if an edge `{a, b}` exists.
+    pub fn has_edge(&self, a: ComponentId, b: ComponentId) -> bool {
+        self.neighbors(a).iter().any(|e| e.to == b)
+    }
+
+    /// Iterates every undirected edge once (`a < b` by id).
+    pub fn edges(&self) -> impl Iterator<Item = (ComponentId, HalfEdge)> + '_ {
+        (0..self.num_nodes()).flat_map(move |v| {
+            let a = ComponentId::from_index(v);
+            self.neighbors(a)
+                .iter()
+                .filter(move |e| a.0 < e.to.0)
+                .map(move |e| (a, *e))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ComponentId {
+        ComponentId(i)
+    }
+
+    #[test]
+    fn builds_symmetric_adjacency() {
+        let mut el = EdgeList::new();
+        el.add(c(0), c(1));
+        el.add(c(1), c(2));
+        el.add(c(0), c(2));
+        let g = el.build(4);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(c(0)), 2);
+        assert_eq!(g.degree(c(3)), 0);
+        assert!(g.has_edge(c(0), c(1)));
+        assert!(g.has_edge(c(1), c(0)));
+        assert!(!g.has_edge(c(0), c(3)));
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let mut el = EdgeList::new();
+        el.add(c(0), c(1));
+        el.add(c(2), c(1));
+        let g = el.build(3);
+        let all: Vec<_> = g.edges().map(|(a, e)| (a.0, e.to.0)).collect();
+        assert_eq!(all.len(), 2);
+        assert!(all.contains(&(0, 1)));
+        assert!(all.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn link_components_attach_to_both_halves() {
+        let mut el = EdgeList::new();
+        el.add_with_link(c(0), c(1), Some(c(5)));
+        let g = el.build(6);
+        assert_eq!(g.neighbors(c(0))[0].link_id(), Some(c(5)));
+        assert_eq!(g.neighbors(c(1))[0].link_id(), Some(c(5)));
+        assert_eq!(g.num_nodes(), 6);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(3);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(c(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        let mut el = EdgeList::new();
+        el.add(c(1), c(1));
+    }
+}

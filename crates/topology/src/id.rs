@@ -1,0 +1,76 @@
+//! Typed component identifiers.
+//!
+//! Every infrastructure component — host, switch, power supply, software
+//! package, link, the external world — lives in one arena and is addressed
+//! by a dense [`ComponentId`]. Dense u32 indices keep per-round failure
+//! state as flat bit vectors and make route-and-check allocation-free.
+
+use std::fmt;
+
+/// Dense index of a component in a [`crate::Topology`] arena.
+///
+/// Ids are assigned contiguously at construction time; generators guarantee
+/// role-contiguous ranges (e.g. all hosts of a fat-tree are consecutive) so
+/// routers can use arithmetic instead of lookups.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub u32);
+
+impl ComponentId {
+    /// Returns the id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a usize index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32` (more than 4 billion components
+    /// would exceed any data center this library targets).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ComponentId(u32::try_from(i).expect("component index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<ComponentId> for usize {
+    fn from(id: ComponentId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = ComponentId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, ComponentId(42));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ComponentId(7).to_string(), "c7");
+        assert_eq!(format!("{:?}", ComponentId(7)), "c7");
+    }
+
+    #[test]
+    #[should_panic(expected = "component index exceeds u32")]
+    fn from_index_overflow_panics() {
+        let _ = ComponentId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # recloud-topology
+//!
+//! Data-center topology substrate for the reCloud reproduction.
+//!
+//! This crate models the *infrastructure* side of the paper's fault model
+//! (§2.1, §3.1): hardware components (hosts, switches, power supplies,
+//! cooling units), software components, and network components (links), plus
+//! the connectivity graph among the network-participating components.
+//!
+//! The flagship generator is the classic **fat-tree** (Al-Fares et al.) with
+//! a *dedicated border pod* for external connectivity, following Google's
+//! Jupiter approach as the paper does (§3.1, Fig 1). The four evaluation
+//! presets of Table 2 (Tiny/Small/Medium/Large, k = 8/16/24/48) are provided
+//! verbatim. Two more generators — leaf-spine and Jellyfish — back the
+//! paper's claim that reCloud "works with any of these architectures"
+//! (§3.1/§3.2).
+//!
+//! Everything is built from scratch: component arena, typed ids, and a
+//! compact CSR adjacency structure. No external graph crates.
+
+pub mod bcube;
+pub mod builder;
+pub mod component;
+pub mod distance;
+pub mod dot;
+pub mod fattree;
+pub mod graph;
+pub mod id;
+pub mod jellyfish;
+pub mod leafspine;
+pub mod power;
+pub mod presets;
+pub mod topology;
+pub mod vl2;
+
+pub use bcube::BCubeParams;
+pub use builder::TopologyBuilder;
+pub use distance::{host_distance, mean_pairwise_distance};
+pub use dot::{to_dot, DotOptions};
+pub use component::{Component, ComponentKind, SoftwareKind};
+pub use fattree::{FatTreeMeta, FatTreeParams};
+pub use graph::{Csr, NO_LINK};
+pub use id::ComponentId;
+pub use jellyfish::JellyfishParams;
+pub use leafspine::LeafSpineParams;
+pub use presets::Scale;
+pub use topology::{Topology, TopologyKind};
+pub use vl2::Vl2Params;

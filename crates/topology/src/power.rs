@@ -1,0 +1,53 @@
+//! Round-robin power-supply assignment (§4.1).
+//!
+//! The paper adds five shared power supplies per data center and assigns
+//! one "in round-robin to each switch, as well as the group of hosts under
+//! each edge switch, to maximize the power diversity". This module is the
+//! tiny deterministic dispenser backing that rule, shared by all generators.
+
+use crate::id::ComponentId;
+
+/// Cycles through a fixed list of power supplies.
+#[derive(Clone, Debug)]
+pub struct RoundRobinPower<'a> {
+    supplies: &'a [ComponentId],
+    cursor: usize,
+}
+
+impl<'a> RoundRobinPower<'a> {
+    /// Creates a dispenser over the given supplies.
+    ///
+    /// # Panics
+    /// Panics if `supplies` is empty — a data center without power cannot
+    /// host anything.
+    pub fn new(supplies: &'a [ComponentId]) -> Self {
+        assert!(!supplies.is_empty(), "need at least one power supply");
+        RoundRobinPower { supplies, cursor: 0 }
+    }
+
+    /// Returns the next supply in rotation.
+    pub fn next_supply(&mut self) -> ComponentId {
+        let s = self.supplies[self.cursor];
+        self.cursor = (self.cursor + 1) % self.supplies.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_in_order() {
+        let s = [ComponentId(10), ComponentId(11), ComponentId(12)];
+        let mut rr = RoundRobinPower::new(&s);
+        let drawn: Vec<_> = (0..7).map(|_| rr.next_supply().0).collect();
+        assert_eq!(drawn, vec![10, 11, 12, 10, 11, 12, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one power supply")]
+    fn empty_supply_list_rejected() {
+        RoundRobinPower::new(&[]);
+    }
+}

@@ -1,0 +1,90 @@
+//! The four evaluation scales of Table 2.
+
+use crate::fattree::FatTreeParams;
+use crate::topology::Topology;
+use std::fmt;
+
+/// Data-center scale presets used throughout the paper's evaluation (§4.1,
+/// Table 2): fat-trees with k = 8, 16, 24 and 48 ports per switch, a
+/// dedicated border pod, and five shared power supplies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scale {
+    /// k = 8: 112 hosts.
+    Tiny,
+    /// k = 16: 960 hosts.
+    Small,
+    /// k = 24: 3,312 hosts.
+    Medium,
+    /// k = 48: 27,072 hosts.
+    Large,
+}
+
+impl Scale {
+    /// All four scales, smallest first.
+    pub const ALL: [Scale; 4] = [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large];
+
+    /// The fat-tree port count for this scale.
+    pub fn k(self) -> u32 {
+        match self {
+            Scale::Tiny => 8,
+            Scale::Small => 16,
+            Scale::Medium => 24,
+            Scale::Large => 48,
+        }
+    }
+
+    /// Number of hosts at this scale (Table 2).
+    pub fn hosts(self) -> usize {
+        let k = self.k() as usize;
+        (k - 1) * (k / 2) * (k / 2)
+    }
+
+    /// Builds the preset topology.
+    pub fn build(self) -> Topology {
+        FatTreeParams::new(self.k()).build()
+    }
+
+    /// Preset name as printed in the paper's figures ("Tiny [112]", …).
+    pub fn label(self) -> String {
+        format!("{} [{}]", self, self.hosts())
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scale::Tiny => "Tiny",
+            Scale::Small => "Small",
+            Scale::Medium => "Medium",
+            Scale::Large => "Large",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_counts_match_table2() {
+        assert_eq!(Scale::Tiny.hosts(), 112);
+        assert_eq!(Scale::Small.hosts(), 960);
+        assert_eq!(Scale::Medium.hosts(), 3_312);
+        assert_eq!(Scale::Large.hosts(), 27_072);
+    }
+
+    #[test]
+    fn built_topologies_agree_with_hosts() {
+        for s in [Scale::Tiny, Scale::Small] {
+            let t = s.build();
+            assert_eq!(t.num_hosts(), s.hosts());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_axis_style() {
+        assert_eq!(Scale::Tiny.label(), "Tiny [112]");
+        assert_eq!(Scale::Large.label(), "Large [27072]");
+    }
+}

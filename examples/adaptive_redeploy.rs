@@ -1,0 +1,72 @@
+//! Periodic re-deployment under changing conditions (§6: reCloud's
+//! "high efficiency can further enable it to periodically recalculate the
+//! deployment of any existing application to adapt to varying system
+//! conditions during service time").
+//!
+//! ```text
+//! cargo run --release --example adaptive_redeploy
+//! ```
+//!
+//! Simulates four "epochs" of operation. Between epochs, (a) host
+//! workloads shift (peak hours), and (b) one rack of hosts ages into the
+//! wear-out region of the bathtub curve, raising its failure probability.
+//! Each epoch reruns the multi-objective search with near-real-time
+//! inputs and reports how the chosen plan moves away from the aging rack
+//! and the loaded hosts.
+
+use recloud::prelude::*;
+
+fn main() {
+    let topology = FatTreeParams::new(8).build(); // Tiny: 112 hosts
+    let seed = 5;
+    let spec = ApplicationSpec::k_of_n(4, 5);
+    let meta = *topology.fat_tree().unwrap();
+    let curve = BathtubCurve::default();
+
+    // The rack that will age: pod 0, edge 0.
+    let aging_rack: Vec<ComponentId> = meta.hosts_under_edge(0, 0).collect();
+
+    let mut workload = WorkloadMap::paper_default(&topology, seed);
+    let mut model = FaultModel::paper_default(&topology, seed);
+    let baseline_p: Vec<(ComponentId, f64)> =
+        aging_rack.iter().map(|&h| (h, model.prob_of(h))).collect();
+
+    for epoch in 0..4u32 {
+        // (a) Workload drift: a sliding third of the hosts gets busy.
+        for (i, &h) in topology.hosts().iter().enumerate() {
+            let busy = (i as u32 + epoch * 37).is_multiple_of(3);
+            workload.set(h, if busy { 0.85 } else { 0.15 });
+        }
+        // (b) The aging rack moves along the bathtub curve toward wear-out.
+        let age = 0.55 + 0.15 * epoch as f64; // 0.55, 0.70, 0.85, 1.0
+        for &(h, p0) in &baseline_p {
+            model.set_prob(h, curve.adjust(p0, age));
+        }
+
+        let mut assessor = Assessor::new(&topology, model.clone());
+        let mut searcher = Searcher::new(&mut assessor);
+        let config = SearchConfig {
+            budget: SearchBudget::Iterations(50),
+            rounds: 4_000,
+            seed: seed + epoch as u64,
+            ..SearchConfig::paper_default(seed)
+        };
+        let objective = HolisticObjective::equal_weights(workload.clone());
+        let out = searcher.search(&spec, &objective, &config, Some(&workload));
+
+        let on_aging_rack = out
+            .best_plan
+            .all_hosts()
+            .filter(|h| aging_rack.contains(h))
+            .count();
+        println!(
+            "epoch {epoch}: rack age {age:.2} (p x{:.1}), reliability {:.5}, \
+             avg load {:.2}, instances on aging rack: {on_aging_rack}",
+            curve.multiplier(age),
+            out.best_reliability,
+            workload.average(out.best_plan.all_hosts()),
+        );
+    }
+    println!("\nThe search keeps clearing the aging rack and the busy hosts each epoch —");
+    println!("the 30-second-class search budget is what makes this periodic adaptation viable.");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: deploy a 4-of-5 redundant application into a small cloud.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's evaluation environment at Tiny scale (fat-tree with
+//! a dedicated border pod, five shared power supplies), asks reCloud for
+//! a deployment plan for 5 instances with at least 4 required alive, and
+//! prints the plan with its quantitative reliability assessment.
+
+use recloud::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    // A k=8 fat-tree: 112 hosts, 76 switches, 5 power supplies assigned
+    // round-robin — exactly the paper's "Tiny" data center.
+    let topology = FatTreeParams::new(8).build();
+    println!(
+        "data center: {} hosts, {} switches, {} power supplies",
+        topology.num_hosts(),
+        topology.num_switches(),
+        topology.power_supplies().len()
+    );
+
+    // Paper fault model: switches ~ N(0.008, 0.001), everything else
+    // ~ N(0.01, 0.001), plus power-supply dependency fault trees.
+    let recloud = ReCloud::paper_default(&topology, 42);
+
+    // Developer requirements (§2.2): N = 5, K = 4, a 2-second search
+    // budget, 10^4 route-and-check rounds per candidate plan.
+    let spec = ApplicationSpec::k_of_n(4, 5);
+    let requirements = Requirements::paper_default()
+        .budget(Duration::from_secs(2))
+        .rounds(10_000);
+
+    let outcome = recloud
+        .deploy(&spec, &requirements)
+        .expect("the Tiny data center can host 5 instances");
+
+    println!("\nchosen deployment plan:");
+    for (i, host) in outcome.plan.hosts_of(0).iter().enumerate() {
+        let pos = topology.fat_tree().unwrap().host_position(*host);
+        println!(
+            "  instance {i}: {host} (pod {}, rack {}, power {})",
+            pos.pod,
+            topology.rack_of(*host),
+            topology.power_of(*host).unwrap()
+        );
+    }
+    println!(
+        "\nreliability: {:.4} (95% CI width {:.1e})",
+        outcome.reliability, outcome.ciw95
+    );
+    println!(
+        "expected annual downtime: {:.1} hours ({} plans explored in {:?})",
+        outcome.annual_downtime_hours, outcome.plans_assessed, outcome.search_time
+    );
+}

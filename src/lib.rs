@@ -1,0 +1,4 @@
+//! Workspace-root host package for the repo-level `examples/` and `tests/`.
+//! The actual library lives in the `recloud` crate; this package only
+//! re-exports it so examples and integration tests have one dependency.
+pub use recloud::*;

@@ -1,0 +1,169 @@
+//! Accuracy of the sampled assessment against exact ground truth.
+//!
+//! The paper can only argue its error bounds analytically; on small
+//! models we can *measure* them: build a topology whose exact reliability
+//! is enumerable, assess it many times with independent seeds, and check
+//! (a) convergence of both samplers to the truth and (b) empirical
+//! coverage of the Eq 3 confidence interval.
+
+use recloud::prelude::*;
+use recloud::assess::exact_reliability;
+use recloud::topology::Topology;
+
+/// ext - b ; b - e1 - {h0..h3} ; b - e2 - {h4..h7}; one power supply per
+/// rack. 11 fallible events.
+fn small_world() -> (Topology, FaultModel, ApplicationSpec, DeploymentPlan) {
+    let mut bl = TopologyBuilder::new();
+    bl.external();
+    let b = bl.add(ComponentKind::BorderSwitch);
+    bl.mark_border(b);
+    let e1 = bl.add(ComponentKind::EdgeSwitch);
+    let e2 = bl.add(ComponentKind::EdgeSwitch);
+    bl.connect(b, e1);
+    bl.connect(b, e2);
+    let hosts = bl.add_hosts(8);
+    for (i, &h) in hosts.iter().enumerate() {
+        bl.connect(if i < 4 { e1 } else { e2 }, h);
+    }
+    let p1 = bl.add(ComponentKind::PowerSupply);
+    let p2 = bl.add(ComponentKind::PowerSupply);
+    for (i, &h) in hosts.iter().enumerate() {
+        bl.draw_power(h, if i < 4 { p1 } else { p2 });
+    }
+    bl.draw_power(e1, p1);
+    bl.draw_power(e2, p2);
+    let t = bl.build();
+
+    let mut model = FaultModel::new(
+        &t,
+        &ProbabilityConfig::PerKind {
+            table: vec![
+                (ComponentKind::Host, 0.05),
+                (ComponentKind::EdgeSwitch, 0.03),
+                (ComponentKind::BorderSwitch, 0.02),
+                (ComponentKind::PowerSupply, 0.04),
+            ],
+            default: 0.0,
+        },
+        0,
+    );
+    model.attach_power_dependencies(&t);
+    let spec = ApplicationSpec::k_of_n(2, 4);
+    let plan = DeploymentPlan::new(
+        &spec,
+        vec![vec![hosts[0], hosts[1], hosts[4], hosts[5]]],
+    );
+    (t, model, spec, plan)
+}
+
+#[test]
+fn both_samplers_converge_to_exact_truth() {
+    let (t, model, spec, plan) = small_world();
+    let truth = exact_reliability(&t, &model, &spec, &plan);
+    assert!(truth > 0.5 && truth < 1.0, "interesting truth: {truth}");
+    for kind in [SamplerKind::ExtendedDagger, SamplerKind::MonteCarlo] {
+        let mut assessor = Assessor::with_sampler(&t, model.clone(), kind);
+        let a = assessor.assess(&spec, &plan, 200_000, 31);
+        let gap = (a.estimate.score - truth).abs();
+        assert!(
+            gap < 0.004,
+            "{}: estimate {} vs truth {truth} (gap {gap})",
+            kind.name(),
+            a.estimate.score
+        );
+    }
+}
+
+#[test]
+fn confidence_interval_covers_truth() {
+    // Eq 3 claims a 95% interval; over 40 independent assessments the
+    // truth must fall inside score ± CIW/2 in the vast majority (allow
+    // down to 85% to keep the test stable).
+    let (t, model, spec, plan) = small_world();
+    let truth = exact_reliability(&t, &model, &spec, &plan);
+    let mut assessor = Assessor::new(&t, model);
+    let trials = 40;
+    let mut covered = 0;
+    for i in 0..trials {
+        let a = assessor.assess(&spec, &plan, 4_000, 1_000 + i);
+        let half = a.estimate.ciw95() / 2.0;
+        if (a.estimate.score - truth).abs() <= half {
+            covered += 1;
+        }
+    }
+    assert!(
+        covered * 100 >= trials * 85,
+        "coverage {covered}/{trials} below 85%"
+    );
+}
+
+#[test]
+fn ciw_shrinks_with_rounds_on_a_real_assessment() {
+    let (t, model, spec, plan) = small_world();
+    let mut assessor = Assessor::new(&t, model);
+    let small = assessor.assess(&spec, &plan, 2_000, 5).estimate.ciw95();
+    let large = assessor.assess(&spec, &plan, 50_000, 5).estimate.ciw95();
+    assert!(
+        large < small / 3.0,
+        "25x rounds must shrink CIW ~5x: {small} -> {large}"
+    );
+}
+
+#[test]
+fn correlated_power_makes_exact_reliability_drop() {
+    // Ground-truth confirmation of the correlated-failure thesis: the
+    // same plan is strictly less reliable when both chosen racks share
+    // one power supply than when they use two.
+    let (t, model, spec, plan) = small_world();
+    let with_two_supplies = exact_reliability(&t, &model, &spec, &plan);
+
+    // Rewire: everything draws supply p1 (index of first supply).
+    let mut bl = TopologyBuilder::new();
+    bl.external();
+    let b = bl.add(ComponentKind::BorderSwitch);
+    bl.mark_border(b);
+    let e1 = bl.add(ComponentKind::EdgeSwitch);
+    let e2 = bl.add(ComponentKind::EdgeSwitch);
+    bl.connect(b, e1);
+    bl.connect(b, e2);
+    let hosts = bl.add_hosts(8);
+    for (i, &h) in hosts.iter().enumerate() {
+        bl.connect(if i < 4 { e1 } else { e2 }, h);
+    }
+    let p1 = bl.add(ComponentKind::PowerSupply);
+    let _p2 = bl.add(ComponentKind::PowerSupply);
+    for &h in &hosts {
+        bl.draw_power(h, p1);
+    }
+    bl.draw_power(e1, p1);
+    bl.draw_power(e2, p1);
+    let t2 = bl.build();
+    let mut model2 = FaultModel::new(
+        &t2,
+        &ProbabilityConfig::PerKind {
+            table: vec![
+                (ComponentKind::Host, 0.05),
+                (ComponentKind::EdgeSwitch, 0.03),
+                (ComponentKind::BorderSwitch, 0.02),
+                (ComponentKind::PowerSupply, 0.04),
+            ],
+            default: 0.0,
+        },
+        0,
+    );
+    model2.attach_power_dependencies(&t2);
+    let plan2 = DeploymentPlan::new(
+        &spec,
+        vec![vec![
+            t2.hosts()[0],
+            t2.hosts()[1],
+            t2.hosts()[4],
+            t2.hosts()[5],
+        ]],
+    );
+    let with_one_supply = exact_reliability(&t2, &model2, &spec, &plan2);
+    assert!(
+        with_one_supply < with_two_supplies,
+        "shared supply must hurt: {with_one_supply} vs {with_two_supplies}"
+    );
+}

@@ -1,0 +1,106 @@
+//! Cross-validation of the two failure models: the static sampled
+//! reliability score (the paper's pipeline) must equal the long-run
+//! availability of the continuous-time renewal simulation when the
+//! per-component unavailabilities are matched.
+//!
+//! This closes the loop on the paper's §2.1 abstraction
+//! `p = downtime / windowLength`: we build the downtime-generating
+//! process itself and confirm the abstraction is lossless for the
+//! steady-state question reCloud answers.
+
+use recloud::prelude::*;
+use recloud_availsim::{AvailabilitySimulator, SimParams};
+
+#[test]
+fn static_reliability_equals_dynamic_availability() {
+    let t = FatTreeParams::new(8).build();
+    let model = FaultModel::paper_default(&t, 7);
+    let spec = ApplicationSpec::k_of_n(4, 5);
+    let mut rng = Rng::new(3);
+    let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+
+    // Static: the paper's assessment.
+    let mut assessor = Assessor::new(&t, model.clone());
+    let static_r = assessor.assess(&spec, &plan, 200_000, 1).estimate;
+
+    // Dynamic: a long renewal simulation with 8-hour repairs.
+    let sim = AvailabilitySimulator::new(&t, model, 8.0);
+    let report = sim.simulate(
+        &spec,
+        &plan,
+        SimParams { horizon_hours: 2_000_000.0, seed: 11 },
+    );
+
+    let gap = (static_r.score - report.availability()).abs();
+    assert!(
+        gap < 0.004,
+        "static R {} vs dynamic availability {} (gap {gap})",
+        static_r.score,
+        report.availability()
+    );
+    // The simulator adds what the static model cannot say: outage shape.
+    assert!(report.outages > 100, "outages {}", report.outages);
+    assert!(report.mean_outage_hours() > 1.0 && report.mean_outage_hours() < 20.0);
+}
+
+#[test]
+fn mttr_changes_outage_shape_but_not_availability() {
+    // Matching unavailability with different repair times must keep the
+    // availability (p is fixed) while scaling outage durations — the
+    // distinction a downtime-budget SLA cares about.
+    let t = FatTreeParams::new(4).build();
+    let model = FaultModel::paper_default(&t, 5);
+    let spec = ApplicationSpec::k_of_n(1, 2);
+    let plan = DeploymentPlan::new(&spec, vec![t.hosts()[..2].to_vec()]);
+
+    let fast_repair = AvailabilitySimulator::new(&t, model.clone(), 2.0);
+    let slow_repair = AvailabilitySimulator::new(&t, model, 24.0);
+    let params = SimParams { horizon_hours: 3_000_000.0, seed: 4 };
+    let fast = fast_repair.simulate(&spec, &plan, params);
+    let slow = slow_repair.simulate(&spec, &plan, params);
+
+    let gap = (fast.availability() - slow.availability()).abs();
+    assert!(gap < 0.004, "availabilities must match: {gap}");
+    assert!(
+        slow.mean_outage_hours() > 3.0 * fast.mean_outage_hours(),
+        "slow repair must stretch outages: {} vs {}",
+        slow.mean_outage_hours(),
+        fast.mean_outage_hours()
+    );
+    assert!(
+        fast.outages > slow.outages,
+        "fast repair means more, shorter outages: {} vs {}",
+        fast.outages,
+        slow.outages
+    );
+}
+
+#[test]
+fn better_plans_have_fewer_outages_dynamically() {
+    // The search optimizes the static score; the dynamic model must
+    // agree that the chosen plan beats a correlated plan.
+    let t = FatTreeParams::new(8).build();
+    let model = FaultModel::paper_default(&t, 9);
+    let meta = t.fat_tree().unwrap();
+    let spec = ApplicationSpec::k_of_n(2, 3);
+    // Bad plan: all instances in one rack (edge + group supply shared).
+    let bad = DeploymentPlan::new(
+        &spec,
+        vec![meta.hosts_under_edge(0, 0).take(3).collect()],
+    );
+    // Good plan: three pods.
+    let good = DeploymentPlan::new(
+        &spec,
+        vec![vec![meta.host(0, 0, 0), meta.host(2, 1, 0), meta.host(4, 2, 0)]],
+    );
+    let sim = AvailabilitySimulator::new(&t, model, 8.0);
+    let params = SimParams { horizon_hours: 800_000.0, seed: 6 };
+    let rb = sim.simulate(&spec, &bad, params);
+    let rg = sim.simulate(&spec, &good, params);
+    assert!(
+        rg.availability() > rb.availability(),
+        "diverse plan must win dynamically too: {} vs {}",
+        rg.availability(),
+        rb.availability()
+    );
+}

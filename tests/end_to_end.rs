@@ -1,0 +1,126 @@
+//! End-to-end integration: the full §2.2 workflow across crates.
+
+use recloud::prelude::*;
+use recloud::search::common_practice::power_diversity;
+use std::time::Duration;
+
+fn quick_req(rounds: usize) -> Requirements {
+    Requirements::paper_default()
+        .budget(Duration::from_millis(400))
+        .rounds(rounds)
+}
+
+#[test]
+fn deploy_beats_the_average_random_plan() {
+    let topology = FatTreeParams::new(8).build();
+    let svc = ReCloud::paper_default(&topology, 3);
+    let spec = ApplicationSpec::k_of_n(4, 5);
+    let out = svc.deploy(&spec, &quick_req(4_000)).unwrap();
+
+    // Average reliability of random plans (fresh assessor, independent
+    // seeds).
+    let model = FaultModel::paper_default(&topology, 3);
+    let mut assessor = Assessor::new(&topology, model);
+    let mut rng = Rng::new(99);
+    let mut sum = 0.0;
+    let n = 10;
+    for i in 0..n {
+        let p = DeploymentPlan::random(&spec, topology.hosts(), &mut rng);
+        sum += assessor.assess(&spec, &p, 4_000, 1_000 + i).estimate.score;
+    }
+    let avg_random = sum / n as f64;
+    assert!(
+        out.reliability >= avg_random,
+        "searched plan ({}) must beat the average random plan ({avg_random})",
+        out.reliability
+    );
+}
+
+#[test]
+fn recloud_beats_enhanced_common_practice_on_unreliability() {
+    // The Figure 9 headline, at test scale: reCloud's plan must have
+    // meaningfully lower unreliability than enhanced CP. We validate with
+    // an independent high-round assessment of both final plans to avoid
+    // winner's-curse bias.
+    let topology = FatTreeParams::new(16).build();
+    let seed = 5;
+    let model = FaultModel::paper_default(&topology, seed);
+    let workload = WorkloadMap::paper_default(&topology, seed);
+    let spec = ApplicationSpec::k_of_n(4, 5);
+
+    let cp_plan = enhanced_common_practice(&topology, &workload, &spec);
+
+    let mut assessor = Assessor::new(&topology, model.clone());
+    let mut searcher = Searcher::new(&mut assessor);
+    let config = SearchConfig {
+        budget: SearchBudget::Iterations(80),
+        rounds: 5_000,
+        ..SearchConfig::paper_default(seed)
+    };
+    let obj = HolisticObjective::equal_weights(workload.clone());
+    let out = searcher.search(&spec, &obj, &config, Some(&workload));
+
+    // Independent validation pass.
+    let mut validator = Assessor::new(&topology, model);
+    let cp = validator.assess(&spec, &cp_plan, 60_000, 777);
+    let rc = validator.assess(&spec, &out.best_plan, 60_000, 777);
+    let cp_unrel = 1.0 - cp.estimate.score;
+    let rc_unrel = 1.0 - rc.estimate.score;
+    assert!(
+        rc_unrel < cp_unrel,
+        "reCloud unreliability {rc_unrel} must beat CP {cp_unrel}"
+    );
+    // And the reCloud plan should be at least as power-diverse.
+    assert!(power_diversity(&topology, &out.best_plan) >= 3);
+}
+
+#[test]
+fn multi_component_deploy_end_to_end() {
+    let topology = FatTreeParams::new(8).build();
+    let svc = ReCloud::paper_default(&topology, 7);
+    let mut b = ApplicationSpec::builder();
+    let fe = b.component("fe", 3);
+    let db = b.component("db", 2);
+    b.require_external(fe, 2);
+    b.require(db, Source::Component(fe), 1);
+    let spec = b.build();
+    let out = svc.deploy(&spec, &quick_req(3_000)).unwrap();
+    assert_eq!(out.plan.hosts_of(0).len(), 3);
+    assert_eq!(out.plan.hosts_of(1).len(), 2);
+    assert!(out.reliability > 0.9);
+}
+
+#[test]
+fn rules_flow_through_the_service() {
+    let topology = FatTreeParams::new(8).build();
+    let svc = ReCloud::paper_default(&topology, 11).with_rules(PlacementRules::distinct_racks());
+    let spec = ApplicationSpec::k_of_n(2, 4);
+    let out = svc.deploy(&spec, &quick_req(1_000)).unwrap();
+    let mut racks: Vec<_> = out.plan.all_hosts().map(|h| topology.rack_of(h)).collect();
+    racks.sort();
+    racks.dedup();
+    assert_eq!(racks.len(), 4, "distinct-racks rule must hold in the final plan");
+}
+
+#[test]
+fn leaf_spine_deploys_with_generic_router() {
+    let topology = LeafSpineParams::new(4, 12, 8).build();
+    let svc = ReCloud::paper_default(&topology, 2);
+    let spec = ApplicationSpec::k_of_n(2, 3);
+    let out = svc.deploy(&spec, &quick_req(1_500)).unwrap();
+    assert!(out.reliability > 0.8, "reliability {}", out.reliability);
+}
+
+#[test]
+fn monte_carlo_service_matches_dagger_statistically() {
+    let topology = FatTreeParams::new(8).build();
+    let spec = ApplicationSpec::k_of_n(2, 3);
+    let plan = DeploymentPlan::new(&spec, vec![topology.hosts()[..3].to_vec()]);
+    let dagger = ReCloud::paper_default(&topology, 5).assess(&spec, &plan, 50_000);
+    let mc = ReCloud::paper_default(&topology, 5)
+        .with_sampler(SamplerKind::MonteCarlo)
+        .assess(&spec, &plan, 50_000);
+    let gap = (dagger.estimate.score - mc.estimate.score).abs();
+    let bound = (dagger.estimate.ciw95() + mc.estimate.ciw95()).max(0.004);
+    assert!(gap <= bound, "gap {gap} exceeds {bound}");
+}

@@ -1,0 +1,121 @@
+//! Head-to-head: INDaaS-style qualitative ranking vs reCloud's
+//! quantitative assessment on the same plans — the comparison behind the
+//! paper's first critique of the prior state of the art.
+
+use recloud::prelude::*;
+use recloud::assess::{compare_plans, rank_by_risk, risk_profile};
+use recloud::topology::Topology;
+
+fn env() -> (Topology, FaultModel) {
+    let t = FatTreeParams::new(8).build();
+    let m = FaultModel::paper_default(&t, 13);
+    (t, m)
+}
+
+#[test]
+fn both_systems_agree_on_structurally_clear_cases() {
+    // Stacked plan (one rack) vs diverse plan (many pods): every sane
+    // metric must prefer the diverse one.
+    let (t, m) = env();
+    let meta = t.fat_tree().unwrap();
+    let spec = ApplicationSpec::k_of_n(2, 3);
+    let stacked =
+        DeploymentPlan::new(&spec, vec![meta.hosts_under_edge(0, 0).take(3).collect()]);
+    let diverse = DeploymentPlan::new(
+        &spec,
+        vec![vec![meta.host(0, 0, 0), meta.host(2, 1, 0), meta.host(4, 2, 0)]],
+    );
+    let plans = vec![stacked, diverse];
+
+    // INDaaS: qualitative risk ranking.
+    let indaas = rank_by_risk(&t, &m, &spec, &plans);
+    assert_eq!(indaas[0].0, 1, "INDaaS prefers the diverse plan");
+
+    // reCloud: quantitative ranking with error bounds.
+    let mut assessor = Assessor::new(&t, m.clone());
+    let recloud = compare_plans(&mut assessor, &spec, &plans, 30_000, 5);
+    assert_eq!(recloud.best_index(), 1, "reCloud prefers the diverse plan");
+    assert!(!recloud.ranking[1].tied_with_best, "and decisively so");
+}
+
+#[test]
+fn quantitative_assessment_separates_what_risk_counting_cannot() {
+    // Two plans with the *identical* qualitative risk structure (same
+    // counts of fatal singletons and pairs) but different component
+    // failure probabilities: INDaaS's key cannot rank them — reCloud can.
+    let (t, _) = env();
+    let meta = t.fat_tree().unwrap();
+    // Uniform structure, custom probabilities: make pod 5's hosts and
+    // edges much flakier than pod 0's.
+    // Network-only model (no power trees): pods are exactly symmetric,
+    // so the two plans below are structurally isomorphic.
+    let mut model = FaultModel::new(&t, &ProbabilityConfig::Uniform(0.01), 0);
+    for e in 0..meta.half {
+        for s in 0..meta.half {
+            model.set_prob(meta.host(5, e, s), 0.08);
+        }
+        model.set_prob(meta.edge(5, e), 0.08);
+    }
+
+    let spec = ApplicationSpec::k_of_n(2, 3);
+    // Plan A in reliable pods {0,1,2}; plan B includes the flaky pod 5.
+    // One host per pod in both: the shared-dependency structure matches
+    // exactly (pods are interchangeable without power wiring).
+    let plan_a = DeploymentPlan::new(
+        &spec,
+        vec![vec![meta.host(0, 0, 0), meta.host(1, 0, 0), meta.host(2, 0, 0)]],
+    );
+    let plan_b = DeploymentPlan::new(
+        &spec,
+        vec![vec![meta.host(0, 0, 0), meta.host(1, 0, 0), meta.host(5, 0, 0)]],
+    );
+
+    let ra = risk_profile(&t, &model, &spec, &plan_a);
+    let rb = risk_profile(&t, &model, &spec, &plan_b);
+    assert_eq!(
+        ra.rank_key(),
+        rb.rank_key(),
+        "the qualitative key must tie: {:?} vs {:?}",
+        ra.rank_key(),
+        rb.rank_key()
+    );
+
+    // reCloud's quantitative scores separate them decisively.
+    let mut assessor = Assessor::new(&t, model);
+    let cmp = compare_plans(
+        &mut assessor,
+        &spec,
+        &[plan_a, plan_b],
+        40_000,
+        3,
+    );
+    assert_eq!(cmp.best_index(), 0, "the reliable-pod plan must win quantitatively");
+    assert!(
+        !cmp.ranking[1].tied_with_best,
+        "the flaky-pod plan must be distinguishably worse"
+    );
+}
+
+#[test]
+fn risk_profile_counts_scale_with_redundancy() {
+    // More redundancy strictly shrinks the fatal-singleton set.
+    let (t, m) = env();
+    let meta = t.fat_tree().unwrap();
+    let spec2 = ApplicationSpec::k_of_n(2, 2);
+    let spec1 = ApplicationSpec::k_of_n(1, 2);
+    let hosts = vec![meta.host(0, 0, 0), meta.host(1, 0, 0)];
+    let plan2 = DeploymentPlan::new(&spec2, vec![hosts.clone()]);
+    let plan1 = DeploymentPlan::new(&spec1, vec![hosts]);
+    let need_both = risk_profile(&t, &m, &spec2, &plan2);
+    let need_one = risk_profile(&t, &m, &spec1, &plan1);
+    assert!(
+        need_one.fatal_singletons.len() < need_both.fatal_singletons.len(),
+        "1-of-2 ({}) must have fewer singletons than 2-of-2 ({})",
+        need_one.fatal_singletons.len(),
+        need_both.fatal_singletons.len()
+    );
+    // Every singleton of the weaker requirement is one of the stronger's.
+    for s in &need_one.fatal_singletons {
+        assert!(need_both.fatal_singletons.contains(s));
+    }
+}

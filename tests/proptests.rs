@@ -1,0 +1,265 @@
+//! Property-based tests over core data structures and cross-crate
+//! invariants (proptest).
+
+use proptest::prelude::*;
+use recloud::prelude::*;
+use recloud::routing::{FatTreeRouter, Router, UpDownRouter};
+use recloud::sampling::BitMatrix;
+
+proptest! {
+    /// BitMatrix set/get/count algebra over arbitrary shapes.
+    #[test]
+    fn bitmatrix_set_get_count(
+        components in 1usize..20,
+        rounds in 1usize..200,
+        cells in prop::collection::vec((0usize..20, 0usize..200), 0..64),
+    ) {
+        let mut m = BitMatrix::new(components, rounds);
+        let mut expected = std::collections::HashSet::new();
+        for (c, r) in cells {
+            let (c, r) = (c % components, r % rounds);
+            m.set(c, r);
+            expected.insert((c, r));
+        }
+        for &(c, r) in &expected {
+            prop_assert!(m.get(c, r));
+        }
+        prop_assert_eq!(m.total_failures(), expected.len());
+        let per_row: usize = (0..components).map(|c| m.row(c).count_ones()).sum();
+        prop_assert_eq!(per_row, expected.len());
+    }
+
+    /// Word writes are equivalent to bit writes.
+    #[test]
+    fn bitmatrix_word_vs_bit_writes(rounds in 1usize..130, word in any::<u64>()) {
+        let mut a = BitMatrix::new(1, rounds);
+        let mut b = BitMatrix::new(1, rounds);
+        a.set_word(0, 0, word);
+        for r in 0..rounds.min(64) {
+            if (word >> r) & 1 == 1 {
+                b.set(0, r);
+            }
+        }
+        prop_assert_eq!(a, b);
+    }
+
+    /// The reliability estimate is always within [0, 1], the variance is
+    /// non-negative, and CIW shrinks when rounds scale up at equal rate.
+    #[test]
+    fn estimator_invariants(successes in 0u64..=1000, extra in 0u64..1000) {
+        let rounds = successes + extra;
+        prop_assume!(rounds > 0);
+        let mut acc = recloud::sampling::ResultAccumulator::new();
+        acc.push_batch(rounds, successes);
+        let e = acc.estimate();
+        prop_assert!((0.0..=1.0).contains(&e.score));
+        prop_assert!(e.variance >= 0.0);
+        prop_assert!(e.ciw95() >= 0.0);
+        let mut acc10 = recloud::sampling::ResultAccumulator::new();
+        acc10.push_batch(rounds * 10, successes * 10);
+        prop_assert!(acc10.estimate().ciw95() <= e.ciw95() + 1e-15);
+    }
+
+    /// Dagger and Monte-Carlo rates agree with the probability for any
+    /// probability vector (coarse statistical bound).
+    #[test]
+    fn samplers_track_probabilities(ps in prop::collection::vec(0.02f64..0.5, 1..6)) {
+        let rounds = 60_000;
+        for (name, mut sampler) in [
+            ("dagger", Box::new(ExtendedDaggerSampler::seeded(9)) as Box<dyn Sampler>),
+            ("mc", Box::new(MonteCarloSampler::seeded(9)) as Box<dyn Sampler>),
+        ] {
+            let mut m = BitMatrix::new(ps.len(), rounds);
+            sampler.sample_into(&ps, &mut m);
+            for (i, &p) in ps.iter().enumerate() {
+                let rate = m.row(i).count_ones() as f64 / rounds as f64;
+                // 6-sigma bound on a binomial-ish rate.
+                let sigma = (p * (1.0 - p) / rounds as f64).sqrt();
+                prop_assert!(
+                    (rate - p).abs() < 6.0 * sigma + 0.003,
+                    "{name}: p={p} rate={rate}"
+                );
+            }
+        }
+    }
+
+    /// Fault trees are monotone: failing more basic events never un-fails
+    /// a tree built of OR/AND/KofN gates.
+    #[test]
+    fn fault_tree_monotonicity(
+        set_a in any::<u16>(),
+        extra in any::<u16>(),
+        k in 1u32..4,
+    ) {
+        // Tree over 16 basic events: KofN(k) of four AND-pairs ORed with
+        // a plain OR over the last 8 events.
+        let mut b = FaultTreeBuilder::new();
+        let mut pairs = Vec::new();
+        for i in 0..4u32 {
+            let x = b.basic(ComponentId(2 * i));
+            let y = b.basic(ComponentId(2 * i + 1));
+            pairs.push(b.and(vec![x, y]));
+        }
+        let kofn = b.k_of_n(k, pairs);
+        let rest: Vec<_> = (8..16u32).map(|i| b.basic(ComponentId(i))).collect();
+        let or = b.or(rest);
+        let root = b.or(vec![kofn, or]);
+        let tree = b.build(root);
+
+        let failed_a = move |c: ComponentId| (set_a >> c.0) & 1 == 1;
+        let set_b = set_a | extra;
+        let failed_b = move |c: ComponentId| (set_b >> c.0) & 1 == 1;
+        let va = tree.eval(&failed_a);
+        let vb = tree.eval(&failed_b);
+        prop_assert!(!va || vb, "superset of failures un-failed the tree");
+    }
+
+    /// The analytic fat-tree router agrees with the valley-free reference
+    /// on arbitrary switch/host failure patterns.
+    #[test]
+    fn routers_agree_on_random_failures(
+        failures in prop::collection::vec(0u32..200, 0..24),
+        queries in prop::collection::vec((0usize..48, 0usize..48), 1..8),
+    ) {
+        let t = FatTreeParams::new(4).build();
+        let n = t.num_components();
+        let mut states = BitMatrix::new(n, 1);
+        for f in failures {
+            let idx = (f as usize) % n;
+            if t.component(ComponentId::from_index(idx)).kind
+                != recloud::topology::ComponentKind::External
+            {
+                states.set(idx, 0);
+            }
+        }
+        let mut fast = FatTreeRouter::new(&t);
+        let mut reference = UpDownRouter::for_fat_tree(&t);
+        fast.begin_round(&states, 0);
+        reference.begin_round(&states, 0);
+        let hosts = t.hosts();
+        for (a, b) in queries {
+            let ha = hosts[a % hosts.len()];
+            let hb = hosts[b % hosts.len()];
+            prop_assert_eq!(
+                fast.external_reaches(&states, ha),
+                reference.external_reaches(&states, ha)
+            );
+            prop_assert_eq!(
+                fast.connects(&states, ha, hb),
+                reference.connects(&states, ha, hb)
+            );
+        }
+    }
+
+    /// Deployment plans stay valid through arbitrary chains of neighbor
+    /// moves.
+    #[test]
+    fn neighbor_moves_preserve_plan_validity(seed in any::<u64>(), moves in 1usize..30) {
+        let t = FatTreeParams::new(4).build();
+        let spec = ApplicationSpec::layered(&[(1, 2), (2, 3)]);
+        let mut rng = recloud::sampling::Rng::new(seed);
+        let mut plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        for _ in 0..moves {
+            plan = plan.neighbor(t.hosts(), &mut rng);
+            let hosts: Vec<_> = plan.all_hosts().collect();
+            let mut dedup = hosts.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), hosts.len(), "duplicate hosts after move");
+            prop_assert_eq!(plan.hosts_of(0).len(), 2);
+            prop_assert_eq!(plan.hosts_of(1).len(), 3);
+        }
+    }
+
+    /// The paper's Δ rule is symmetric-positive and grows with the
+    /// reliability gap.
+    #[test]
+    fn delta_rule_properties(rc in 0.0f64..0.99999, gap in 1e-6f64..0.5) {
+        let rn = (rc - gap).max(0.0);
+        let d = DeltaRule::LogRatio.delta(rc, rn);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d.is_finite());
+        // Widening the gap increases delta.
+        let rn2 = (rc - gap * 2.0).max(0.0);
+        let d2 = DeltaRule::LogRatio.delta(rc, rn2);
+        prop_assert!(d2 >= d - 1e-12);
+    }
+}
+
+proptest! {
+    /// Wire frames roundtrip for arbitrary contents.
+    #[test]
+    fn wire_frames_roundtrip(
+        chunk in any::<u32>(),
+        seed in any::<u64>(),
+        rounds in any::<u32>(),
+        successes in any::<u64>(),
+        assignments in prop::collection::vec(
+            prop::collection::vec(any::<u32>(), 0..8), 0..5),
+    ) {
+        use recloud::assess::wire::{JobFrame, ResultFrame, TaskFrame};
+        let t = TaskFrame { chunk, seed, rounds };
+        prop_assert_eq!(TaskFrame::decode(t.encode()).unwrap(), t);
+        let r = ResultFrame {
+            chunk,
+            rounds: rounds as u64,
+            successes,
+            sampling_ns: seed,
+            collapse_ns: seed ^ 1,
+            check_ns: seed ^ 2,
+            total_ns: seed ^ 3,
+        };
+        prop_assert_eq!(ResultFrame::decode(r.encode()).unwrap(), r);
+        let j = JobFrame { rounds_total: rounds as u64, assignments };
+        let decoded = JobFrame::decode(j.encode()).unwrap();
+        prop_assert_eq!(decoded, j);
+    }
+
+    /// or_merge is semantically an OR of the two trees, for arbitrary
+    /// failure sets.
+    #[test]
+    fn fault_tree_or_merge_is_or(failures in any::<u16>(), k in 1u32..3) {
+        // Tree A: AND of events 0,1. Tree B: KofN(k) over events 2,3,4.
+        let mut a = FaultTreeBuilder::new();
+        let x = a.basic(ComponentId(0));
+        let y = a.basic(ComponentId(1));
+        let ra = a.and(vec![x, y]);
+        let tree_a = a.build(ra);
+        let mut b = FaultTreeBuilder::new();
+        let leaves: Vec<_> = (2..5).map(|i| b.basic(ComponentId(i))).collect();
+        let rb = b.k_of_n(k, leaves);
+        let tree_b = b.build(rb);
+        let merged = FaultTree::or_merge(&tree_a, &tree_b);
+        let failed = move |c: ComponentId| (failures >> c.0) & 1 == 1;
+        prop_assert_eq!(
+            merged.eval(&failed),
+            tree_a.eval(&failed) || tree_b.eval(&failed)
+        );
+    }
+
+    /// Downtime logs obey p = downtime / window for arbitrary interval
+    /// soups, including overlaps.
+    #[test]
+    fn downtime_log_probability_identity(
+        intervals in prop::collection::vec((0.0f64..900.0, 1.0f64..200.0), 0..12),
+    ) {
+        use recloud::faults::DowntimeLog;
+        let mut log = DowntimeLog::new(1_000.0);
+        // Track ground truth via a fine discretization.
+        let mut down = vec![false; 100_000];
+        for (start, len) in intervals {
+            let end = (start + len).min(1_000.0);
+            log.record(ComponentId(0), start, end);
+            let lo = (start * 100.0) as usize;
+            let hi = ((end * 100.0) as usize).min(down.len());
+            for cell in &mut down[lo..hi] {
+                *cell = true;
+            }
+        }
+        let expected = down.iter().filter(|&&d| d).count() as f64 / 100.0;
+        let measured = log.downtime_of(ComponentId(0));
+        prop_assert!((measured - expected).abs() < 0.05, "{measured} vs {expected}");
+        let p = log.probabilities(1)[0];
+        prop_assert!((p - measured / 1_000.0).abs() < 1e-12);
+    }
+}

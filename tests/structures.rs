@@ -1,0 +1,144 @@
+//! Cross-crate invariants about application structures and K-of-N
+//! redundancy, assessed through the full pipeline.
+
+use recloud::prelude::*;
+
+fn env() -> (Topology, FaultModel) {
+    let t = FatTreeParams::new(8).build();
+    let m = FaultModel::paper_default(&t, 13);
+    (t, m)
+}
+use recloud::topology::Topology;
+
+#[test]
+fn reliability_is_monotone_decreasing_in_k() {
+    // Same N hosts, same sampled states (same seed): requiring more alive
+    // instances can only lower the score — and with identical states the
+    // ordering is exact, not statistical.
+    let (t, m) = env();
+    let hosts = vec![
+        t.hosts()[0],
+        t.hosts()[20],
+        t.hosts()[40],
+        t.hosts()[60],
+        t.hosts()[80],
+    ];
+    let mut prev = 1.0f64;
+    for k in 1..=5u32 {
+        let spec = ApplicationSpec::k_of_n(k, 5);
+        let plan = DeploymentPlan::new(&spec, vec![hosts.clone()]);
+        let mut a = Assessor::new(&t, m.clone());
+        let r = a.assess(&spec, &plan, 20_000, 7).estimate.score;
+        assert!(r <= prev + 1e-12, "k={k}: {r} > previous {prev}");
+        prev = r;
+    }
+}
+
+#[test]
+fn adding_layers_never_helps() {
+    // A chain of layers is at most as reliable as its prefix (same seed:
+    // each extra layer adds requirements on the same sampled worlds).
+    let (t, m) = env();
+    let mut prev = 1.0f64;
+    for layers in 1..=4usize {
+        let spec = ApplicationSpec::layered(&vec![(2u32, 3u32); layers]);
+        let mut rng = Rng::new(50); // same host stream prefix across runs
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let mut a = Assessor::new(&t, m.clone());
+        let r = a.assess(&spec, &plan, 15_000, 9).estimate.score;
+        // Statistical tolerance: plans differ across layer counts.
+        assert!(
+            r <= prev + 0.01,
+            "{layers} layers scored {r}, more than {prev} + tolerance"
+        );
+        prev = r;
+    }
+}
+
+#[test]
+fn one_of_n_improves_with_more_instances() {
+    // 1-of-N redundancy: each extra instance adds an independent survival
+    // path, so reliability must rise (statistically).
+    let (t, m) = env();
+    let mut scores = Vec::new();
+    for n in [1u32, 2, 4] {
+        let spec = ApplicationSpec::k_of_n(1, n);
+        // Spread instances across pods for clean independence.
+        let meta = t.fat_tree().unwrap();
+        let hosts: Vec<_> = (0..n).map(|i| meta.host(i % 7, 0, 0)).collect();
+        let plan = DeploymentPlan::new(&spec, vec![hosts]);
+        let mut a = Assessor::new(&t, m.clone());
+        scores.push(a.assess(&spec, &plan, 30_000, 3).estimate.score);
+    }
+    assert!(scores[1] > scores[0], "2 instances must beat 1: {scores:?}");
+    assert!(scores[2] > scores[1], "4 instances must beat 2: {scores:?}");
+}
+
+#[test]
+fn microservice_mesh_is_no_more_reliable_than_its_weakest_requirement() {
+    // A full 2-core mesh includes each core's external/к requirements, so
+    // it can never beat the single-component app using the same hosts.
+    let (t, m) = env();
+    let meta = t.fat_tree().unwrap();
+    let core_hosts = [meta.host(0, 0, 0), meta.host(1, 0, 0)];
+
+    let single = ApplicationSpec::k_of_n(2, 2);
+    let single_plan = DeploymentPlan::new(&single, vec![core_hosts.to_vec()]);
+    let mut a = Assessor::new(&t, m.clone());
+    let r_single = a.assess(&single, &single_plan, 20_000, 4).estimate.score;
+
+    let mut b = ApplicationSpec::builder();
+    let c0 = b.component("core-0", 1);
+    let c1 = b.component("core-1", 1);
+    b.require_external(c0, 1);
+    b.require_external(c1, 1);
+    b.require(c0, Source::Component(c1), 1);
+    b.require(c1, Source::Component(c0), 1);
+    let mesh = b.build();
+    let mesh_plan =
+        DeploymentPlan::new(&mesh, vec![vec![core_hosts[0]], vec![core_hosts[1]]]);
+    let r_mesh = a.assess(&mesh, &mesh_plan, 20_000, 4).estimate.score;
+    assert!(
+        r_mesh <= r_single + 1e-12,
+        "mesh {r_mesh} cannot beat plain 2-of-2 {r_single} on the same states"
+    );
+}
+
+#[test]
+fn big_microservice_assessment_completes_and_is_sane() {
+    let t = FatTreeParams::new(16).build();
+    let m = FaultModel::paper_default(&t, 1);
+    let spec = ApplicationSpec::microservice(5, 10, 1, 2); // 55 comps, 110 inst
+    let mut rng = Rng::new(2);
+    let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+    let mut a = Assessor::new(&t, m);
+    let r = a.assess(&spec, &plan, 2_000, 1);
+    assert!(r.estimate.score > 0.0 && r.estimate.score < 1.0);
+    assert_eq!(r.estimate.rounds, 2_000);
+}
+
+#[test]
+fn injected_rack_failure_kills_k_of_n_when_colocated() {
+    // Fault injection through the full model: all 3 instances under one
+    // edge switch + that switch forced down -> reliability 0 in the
+    // injected rounds.
+    let (t, m) = env();
+    let meta = t.fat_tree().unwrap();
+    let spec = ApplicationSpec::k_of_n(1, 3);
+    let hosts: Vec<_> = meta.hosts_under_edge(0, 0).take(3).collect();
+    let plan = DeploymentPlan::new(&spec, vec![hosts]);
+
+    let mut raw = recloud::sampling::BitMatrix::new(m.num_events(), 8);
+    let mut inj = FaultInjector::new();
+    inj.fail(meta.edge(0, 0));
+    inj.apply(&mut raw);
+    let mut collapsed = recloud::sampling::BitMatrix::new(m.num_topology_components(), 8);
+    m.collapse_into(&raw, &mut collapsed);
+
+    let mut router = recloud::routing::make_router(&t);
+    let mut checker = recloud::assess::StructureChecker::new(&spec, &plan);
+    for round in 0..8 {
+        router.begin_round(&collapsed, round);
+        assert!(!checker.round_reliable(router.as_mut(), &collapsed, round));
+    }
+}
