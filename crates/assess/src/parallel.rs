@@ -11,8 +11,8 @@
 //! assessment context (sampler, state matrices, router — the §4.2.4
 //! "context setup"), run the chunks, and answer with encoded
 //! [`crate::wire::ResultFrame`]s that the master reduces. All frames cross
-//! crossbeam channels as raw bytes, standing in for the paper's network
-//! transport.
+//! in-repo MPMC channels ([`recloud_sampling::sync`]) as raw bytes,
+//! standing in for the paper's network transport.
 //!
 //! Chunk seeds are derived exactly as in the serial [`Assessor`], so a
 //! parallel assessment returns **bit-identical** scores to the serial one
@@ -22,9 +22,10 @@
 use crate::assessor::{Assessment, Assessor, SamplerKind, Timings};
 use crate::check::StructureChecker;
 use crate::wire::{JobFrame, ResultFrame, TaskFrame};
-use crossbeam::channel;
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
 use recloud_faults::FaultModel;
+use recloud_sampling::sync::{channel, scoped_workers};
+use recloud_sampling::wire::Bytes;
 use recloud_sampling::ResultAccumulator;
 use recloud_topology::{ComponentId, Topology};
 use std::time::{Duration, Instant};
@@ -84,8 +85,8 @@ impl ParallelAssessor {
         let layout = probe.chunk_layout(rounds);
         drop(probe);
 
-        let (task_tx, task_rx) = channel::unbounded::<bytes::Bytes>();
-        let (result_tx, result_rx) = channel::unbounded::<bytes::Bytes>();
+        let (task_tx, task_rx) = channel::<Bytes>();
+        let (result_tx, result_rx) = channel::<Bytes>();
         for (chunk, n) in &layout {
             let frame = TaskFrame {
                 chunk: *chunk,
@@ -98,62 +99,50 @@ impl ParallelAssessor {
 
         let mut acc = ResultAccumulator::new();
         let mut timings = Timings::default();
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers {
-                let task_rx = task_rx.clone();
-                let result_tx = result_tx.clone();
-                let job = job.clone();
-                let topology = &self.topology;
-                let model = &self.model;
-                let kind = self.kind;
-                scope.spawn(move || {
-                    // Worker-side job setup: deserialize the plan and build
-                    // the full assessment context.
-                    let job = JobFrame::decode(job).expect("master sent a valid job frame");
-                    let assignments: Vec<Vec<ComponentId>> = job
-                        .assignments
-                        .iter()
-                        .map(|c| c.iter().map(|&h| ComponentId(h)).collect())
-                        .collect();
-                    let plan = DeploymentPlan::new(spec, assignments);
-                    let mut engine = Assessor::with_sampler(topology, model.clone(), kind);
-                    let mut checker = StructureChecker::new(spec, &plan);
-                    while let Ok(task) = task_rx.recv() {
-                        let task = TaskFrame::decode(task).expect("master sent a valid task");
-                        let mut local = ResultAccumulator::new();
-                        let t = engine.run_chunk(
-                            &mut checker,
-                            task.seed,
-                            task.rounds as usize,
-                            &mut local,
-                        );
-                        let frame = ResultFrame {
-                            chunk: task.chunk,
-                            rounds: local.rounds(),
-                            successes: local.successes(),
-                            sampling_ns: t.sampling.as_nanos() as u64,
-                            collapse_ns: t.collapse.as_nanos() as u64,
-                            check_ns: t.check.as_nanos() as u64,
-                            total_ns: t.total.as_nanos() as u64,
-                        };
-                        result_tx.send(frame.encode()).expect("result channel open");
-                    }
-                });
-            }
-            drop(result_tx);
-            // Master-side reduce.
-            for _ in 0..layout.len() {
-                let frame = result_rx.recv().expect("every chunk produces a result");
-                let r = ResultFrame::decode(frame).expect("workers send valid results");
-                acc.push_batch(r.rounds, r.successes);
-                timings.merge(&Timings {
-                    sampling: Duration::from_nanos(r.sampling_ns),
-                    collapse: Duration::from_nanos(r.collapse_ns),
-                    check: Duration::from_nanos(r.check_ns),
-                    total: Duration::from_nanos(r.total_ns),
-                });
+        scoped_workers(self.workers, |_worker_id| {
+            // Worker-side job setup: deserialize the plan and build the
+            // full assessment context. Each worker decodes its own copy of
+            // the job bytes, exactly as a remote node would.
+            let job = JobFrame::decode(job.clone()).expect("master sent a valid job frame");
+            let assignments: Vec<Vec<ComponentId>> = job
+                .assignments
+                .iter()
+                .map(|c| c.iter().map(|&h| ComponentId(h)).collect())
+                .collect();
+            let plan = DeploymentPlan::new(spec, assignments);
+            let mut engine = Assessor::with_sampler(&self.topology, self.model.clone(), self.kind);
+            let mut checker = StructureChecker::new(spec, &plan);
+            while let Ok(task) = task_rx.recv() {
+                let task = TaskFrame::decode(task).expect("master sent a valid task");
+                let mut local = ResultAccumulator::new();
+                let t = engine.run_chunk(&mut checker, task.seed, task.rounds as usize, &mut local);
+                let frame = ResultFrame {
+                    chunk: task.chunk,
+                    rounds: local.rounds(),
+                    successes: local.successes(),
+                    sampling_ns: t.sampling.as_nanos() as u64,
+                    collapse_ns: t.collapse.as_nanos() as u64,
+                    check_ns: t.check.as_nanos() as u64,
+                    total_ns: t.total.as_nanos() as u64,
+                };
+                result_tx.send(frame.encode()).expect("result channel open");
             }
         });
+        drop(result_tx);
+        // Master-side reduce. All workers have joined, so every result
+        // frame is queued; chunk arrival order is irrelevant because the
+        // accumulator and timings merges are commutative sums.
+        for _ in 0..layout.len() {
+            let frame = result_rx.recv().expect("every chunk produces a result");
+            let r = ResultFrame::decode(frame).expect("workers send valid results");
+            acc.push_batch(r.rounds, r.successes);
+            timings.merge(&Timings {
+                sampling: Duration::from_nanos(r.sampling_ns),
+                collapse: Duration::from_nanos(r.collapse_ns),
+                check: Duration::from_nanos(r.check_ns),
+                total: Duration::from_nanos(r.total_ns),
+            });
+        }
         // Stage timings are summed CPU time across workers; `total` is the
         // master's wall clock (what Fig 12 plots).
         timings.total = t0.elapsed();

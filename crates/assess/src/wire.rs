@@ -5,7 +5,9 @@
 //! parallel cost to "data serialization/transmission/deserialization". To
 //! preserve that cost structure, our master/worker engine moves every job
 //! descriptor, task and result through this codec as length-prefixed byte
-//! frames — the same bytes a TCP transport would carry.
+//! frames — the same bytes a TCP transport would carry. The buffers
+//! themselves come from the in-repo [`recloud_sampling::wire`] substrate
+//! (no external `bytes` crate), keeping the build hermetic.
 //!
 //! Format (all little-endian):
 //!
@@ -17,11 +19,27 @@
 //! result  := kind 0x03, chunk:u32, rounds:u64, successes:u64,
 //!            sampling_ns:u64, collapse_ns:u64, check_ns:u64, total_ns:u64
 //! ```
+//!
+//! Every `encode` reserves its exact frame size up front (the
+//! `*_FRAME_LEN` constants below), so hot-path encodes — worker replies in
+//! particular — are a single allocation; the `encoded_lengths_*` tests pin
+//! the constants to the layout above.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use recloud_sampling::wire::{ByteReader, ByteWriter, Bytes};
 use std::fmt;
 
 const MAGIC: u32 = 0x5243_5731; // "RCW1"
+
+/// Bytes in the common frame header: magic (4) + kind (1).
+pub const HEADER_LEN: usize = 5;
+/// Exact encoded size of a [`TaskFrame`]: header + chunk + seed + rounds.
+pub const TASK_FRAME_LEN: usize = HEADER_LEN + 4 + 8 + 4;
+/// Exact encoded size of a [`ResultFrame`]: header + chunk + six u64
+/// counters (rounds, successes, four timings).
+pub const RESULT_FRAME_LEN: usize = HEADER_LEN + 4 + 6 * 8;
+/// Fixed prefix of a [`JobFrame`]: header + rounds_total + n_components;
+/// each component then adds `4 + 4 * hosts`.
+pub const JOB_FRAME_PREFIX_LEN: usize = HEADER_LEN + 8 + 4;
 
 /// Decoding failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,27 +64,21 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-fn check_header(buf: &mut Bytes, kind: u8) -> Result<(), WireError> {
-    if buf.remaining() < 5 {
-        return Err(WireError::Truncated);
-    }
-    let magic = buf.get_u32_le();
+fn put_header(w: &mut ByteWriter, kind: u8) {
+    w.put_u32_le(MAGIC);
+    w.put_u8(kind);
+}
+
+fn check_header(r: &mut ByteReader, kind: u8) -> Result<(), WireError> {
+    let magic = r.get_u32_le().ok_or(WireError::Truncated)?;
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    let k = buf.get_u8();
+    let k = r.get_u8().ok_or(WireError::Truncated)?;
     if k != kind {
         return Err(WireError::BadKind(k));
     }
     Ok(())
-}
-
-fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
-    if buf.remaining() < n {
-        Err(WireError::Truncated)
-    } else {
-        Ok(())
-    }
 }
 
 /// Job setup shipped to every worker once per assessment: the deployment
@@ -80,13 +92,15 @@ pub struct JobFrame {
 }
 
 impl JobFrame {
-    /// Encodes the frame.
+    /// Exact encoded size of this frame.
+    pub fn encoded_len(&self) -> usize {
+        JOB_FRAME_PREFIX_LEN + self.assignments.iter().map(|a| 4 + 4 * a.len()).sum::<usize>()
+    }
+
+    /// Encodes the frame in a single allocation.
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(
-            16 + self.assignments.iter().map(|a| 4 + 4 * a.len()).sum::<usize>(),
-        );
-        b.put_u32_le(MAGIC);
-        b.put_u8(0x01);
+        let mut b = ByteWriter::with_capacity(self.encoded_len());
+        put_header(&mut b, 0x01);
         b.put_u64_le(self.rounds_total);
         b.put_u32_le(self.assignments.len() as u32);
         for comp in &self.assignments {
@@ -95,21 +109,23 @@ impl JobFrame {
                 b.put_u32_le(h);
             }
         }
+        debug_assert_eq!(b.len(), self.encoded_len());
         b.freeze()
     }
 
     /// Decodes a frame.
-    pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
-        check_header(&mut buf, 0x01)?;
-        need(&buf, 12)?;
-        let rounds_total = buf.get_u64_le();
-        let n_comp = buf.get_u32_le() as usize;
-        let mut assignments = Vec::with_capacity(n_comp);
+    pub fn decode(buf: Bytes) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(buf);
+        check_header(&mut r, 0x01)?;
+        let rounds_total = r.get_u64_le().ok_or(WireError::Truncated)?;
+        let n_comp = r.get_u32_le().ok_or(WireError::Truncated)? as usize;
+        let mut assignments = Vec::with_capacity(n_comp.min(1 << 16));
         for _ in 0..n_comp {
-            need(&buf, 4)?;
-            let n = buf.get_u32_le() as usize;
-            need(&buf, 4 * n)?;
-            assignments.push((0..n).map(|_| buf.get_u32_le()).collect());
+            let n = r.get_u32_le().ok_or(WireError::Truncated)? as usize;
+            if r.remaining() < 4 * n {
+                return Err(WireError::Truncated);
+            }
+            assignments.push((0..n).map(|_| r.get_u32_le().unwrap()).collect());
         }
         Ok(JobFrame { rounds_total, assignments })
     }
@@ -127,22 +143,26 @@ pub struct TaskFrame {
 }
 
 impl TaskFrame {
-    /// Encodes the frame.
+    /// Encodes the frame in a single allocation of [`TASK_FRAME_LEN`].
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(21);
-        b.put_u32_le(MAGIC);
-        b.put_u8(0x02);
+        let mut b = ByteWriter::with_capacity(TASK_FRAME_LEN);
+        put_header(&mut b, 0x02);
         b.put_u32_le(self.chunk);
         b.put_u64_le(self.seed);
         b.put_u32_le(self.rounds);
+        debug_assert_eq!(b.len(), TASK_FRAME_LEN);
         b.freeze()
     }
 
     /// Decodes a frame.
-    pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
-        check_header(&mut buf, 0x02)?;
-        need(&buf, 16)?;
-        Ok(TaskFrame { chunk: buf.get_u32_le(), seed: buf.get_u64_le(), rounds: buf.get_u32_le() })
+    pub fn decode(buf: Bytes) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(buf);
+        check_header(&mut r, 0x02)?;
+        Ok(TaskFrame {
+            chunk: r.get_u32_le().ok_or(WireError::Truncated)?,
+            seed: r.get_u64_le().ok_or(WireError::Truncated)?,
+            rounds: r.get_u32_le().ok_or(WireError::Truncated)?,
+        })
     }
 }
 
@@ -166,11 +186,15 @@ pub struct ResultFrame {
 }
 
 impl ResultFrame {
-    /// Encodes the frame.
+    /// Encodes the frame in a single allocation of [`RESULT_FRAME_LEN`].
+    ///
+    /// This is the hot worker-reply path: one frame per chunk per
+    /// assessment. The reservation was historically 53 bytes against a
+    /// 57-byte layout, forcing a reallocation on every reply; the
+    /// [`RESULT_FRAME_LEN`] constant keeps it exact now.
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(53);
-        b.put_u32_le(MAGIC);
-        b.put_u8(0x03);
+        let mut b = ByteWriter::with_capacity(RESULT_FRAME_LEN);
+        put_header(&mut b, 0x03);
         b.put_u32_le(self.chunk);
         b.put_u64_le(self.rounds);
         b.put_u64_le(self.successes);
@@ -178,21 +202,24 @@ impl ResultFrame {
         b.put_u64_le(self.collapse_ns);
         b.put_u64_le(self.check_ns);
         b.put_u64_le(self.total_ns);
+        debug_assert_eq!(b.len(), RESULT_FRAME_LEN);
         b.freeze()
     }
 
     /// Decodes a frame.
-    pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
-        check_header(&mut buf, 0x03)?;
-        need(&buf, 52)?;
+    pub fn decode(buf: Bytes) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(buf);
+        check_header(&mut r, 0x03)?;
+        let chunk = r.get_u32_le().ok_or(WireError::Truncated)?;
+        let mut next = || r.get_u64_le().ok_or(WireError::Truncated);
         Ok(ResultFrame {
-            chunk: buf.get_u32_le(),
-            rounds: buf.get_u64_le(),
-            successes: buf.get_u64_le(),
-            sampling_ns: buf.get_u64_le(),
-            collapse_ns: buf.get_u64_le(),
-            check_ns: buf.get_u64_le(),
-            total_ns: buf.get_u64_le(),
+            chunk,
+            rounds: next()?,
+            successes: next()?,
+            sampling_ns: next()?,
+            collapse_ns: next()?,
+            check_ns: next()?,
+            total_ns: next()?,
         })
     }
 }
@@ -200,6 +227,7 @@ impl ResultFrame {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use recloud_sampling::wire::ByteWriter;
 
     #[test]
     fn job_roundtrip() {
@@ -230,6 +258,51 @@ mod tests {
         assert_eq!(ResultFrame::decode(f.encode()).unwrap(), f);
     }
 
+    /// The documented layout: task = 5 + 4 + 8 + 4, result = 5 + 4 + 6×8,
+    /// job = 5 + 8 + 4 + Σ(4 + 4·hosts). Pins both the constants and the
+    /// actual bytes produced.
+    #[test]
+    fn encoded_lengths_match_documented_layout() {
+        let task = TaskFrame { chunk: 1, seed: 2, rounds: 3 };
+        assert_eq!(TASK_FRAME_LEN, 21);
+        assert_eq!(task.encode().len(), TASK_FRAME_LEN);
+
+        let result = ResultFrame {
+            chunk: 1,
+            rounds: 2,
+            successes: 3,
+            sampling_ns: 4,
+            collapse_ns: 5,
+            check_ns: 6,
+            total_ns: 7,
+        };
+        assert_eq!(RESULT_FRAME_LEN, 57);
+        assert_eq!(result.encode().len(), RESULT_FRAME_LEN);
+
+        let job = JobFrame { rounds_total: 9, assignments: vec![vec![1, 2], vec![3]] };
+        assert_eq!(JOB_FRAME_PREFIX_LEN, 17);
+        assert_eq!(job.encoded_len(), 17 + (4 + 8) + (4 + 4));
+        assert_eq!(job.encode().len(), job.encoded_len());
+    }
+
+    /// Encoding must reserve its exact size: a writer pre-sized with the
+    /// frame constant must not grow while the frame is written (the former
+    /// 53-byte reservation for the 57-byte result frame reallocated on
+    /// every worker reply).
+    #[test]
+    fn encode_reservations_are_exact() {
+        let mut w = ByteWriter::with_capacity(RESULT_FRAME_LEN);
+        let cap = w.capacity();
+        w.put_u32_le(MAGIC);
+        w.put_u8(0x03);
+        w.put_u32_le(1);
+        for v in [2u64, 3, 4, 5, 6, 7] {
+            w.put_u64_le(v);
+        }
+        assert_eq!(w.len(), RESULT_FRAME_LEN);
+        assert_eq!(w.capacity(), cap, "result encode must not reallocate");
+    }
+
     #[test]
     fn truncated_frames_rejected() {
         let f = TaskFrame { chunk: 1, seed: 2, rounds: 3 };
@@ -241,8 +314,37 @@ mod tests {
     }
 
     #[test]
+    fn truncated_result_and_job_frames_rejected_on_every_prefix() {
+        let result = ResultFrame {
+            chunk: 1,
+            rounds: 2,
+            successes: 3,
+            sampling_ns: 4,
+            collapse_ns: 5,
+            check_ns: 6,
+            total_ns: 7,
+        }
+        .encode();
+        for cut in 0..result.len() {
+            assert_eq!(
+                ResultFrame::decode(result.slice(..cut)),
+                Err(WireError::Truncated),
+                "result cut={cut}"
+            );
+        }
+        let job = JobFrame { rounds_total: 8, assignments: vec![vec![1], vec![2, 3]] }.encode();
+        for cut in 0..job.len() {
+            assert_eq!(
+                JobFrame::decode(job.slice(..cut)),
+                Err(WireError::Truncated),
+                "job cut={cut}"
+            );
+        }
+    }
+
+    #[test]
     fn bad_magic_rejected() {
-        let mut b = BytesMut::new();
+        let mut b = ByteWriter::new();
         b.put_u32_le(0xDEAD_BEEF);
         b.put_u8(0x02);
         b.put_bytes(0, 16);

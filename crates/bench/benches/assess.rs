@@ -1,15 +1,15 @@
-//! Criterion microbenchmark behind Figures 10 and 11: full assessment of
-//! one deployment plan (sample → collapse → route-and-check) for a simple
+//! Micro-benchmark behind Figures 10 and 11: full assessment of one
+//! deployment plan (sample → collapse → route-and-check) for a simple
 //! K-of-N app and a layered app.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
 use recloud_assess::Assessor;
+use recloud_bench::harness::{BenchmarkId, Harness};
 use recloud_bench::paper_env;
 use recloud_sampling::Rng;
 use recloud_topology::Scale;
 
-fn bench_assess(c: &mut Criterion) {
+fn bench_assess(c: &mut Harness) {
     let mut group = c.benchmark_group("fig10_11_assess");
     group.sample_size(10);
     let rounds = 2_000;
@@ -50,5 +50,8 @@ fn bench_assess(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_assess);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new();
+    bench_assess(&mut harness);
+    harness.finish();
+}

@@ -1,16 +1,16 @@
-//! Criterion microbenchmark behind Figure 12: parallel vs serial
-//! assessment at different round counts. The shape to look for: at small
-//! round counts, worker setup + frame serialization dominate and
-//! parallelism does not pay; at large round counts it does.
+//! Micro-benchmark behind Figure 12: parallel vs serial assessment at
+//! different round counts. The shape to look for: at small round counts,
+//! worker setup + frame serialization dominate and parallelism does not
+//! pay; at large round counts it does.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
 use recloud_assess::ParallelAssessor;
+use recloud_bench::harness::{BenchmarkId, Harness};
 use recloud_bench::paper_env;
 use recloud_sampling::Rng;
 use recloud_topology::Scale;
 
-fn bench_parallel(c: &mut Criterion) {
+fn bench_parallel(c: &mut Harness) {
     let mut group = c.benchmark_group("fig12_parallel");
     group.sample_size(10);
     let (topo, model) = paper_env(Scale::Small, 1);
@@ -37,5 +37,8 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new();
+    bench_parallel(&mut harness);
+    harness.finish();
+}

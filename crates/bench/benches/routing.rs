@@ -1,14 +1,14 @@
-//! Criterion microbenchmark for the router ablation: analytic fat-tree
-//! router vs valley-free reference BFS vs physical BFS, identical
-//! workload (begin_round + 5 external queries + 4 pair queries per round).
+//! Micro-benchmark for the router ablation: analytic fat-tree router vs
+//! valley-free reference BFS vs physical BFS, identical workload
+//! (begin_round + 5 external queries + 4 pair queries per round).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recloud_bench::harness::{BenchmarkId, Harness};
 use recloud_bench::paper_env;
 use recloud_routing::{FatTreeRouter, GenericRouter, Router, UpDownRouter};
 use recloud_sampling::{BitMatrix, ExtendedDaggerSampler, Sampler};
 use recloud_topology::Scale;
 
-fn bench_routers(c: &mut Criterion) {
+fn bench_routers(c: &mut Harness) {
     let mut group = c.benchmark_group("router_ablation");
     group.sample_size(10);
     let (topo, model) = paper_env(Scale::Small, 1);
@@ -44,5 +44,8 @@ fn bench_routers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_routers);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new();
+    bench_routers(&mut harness);
+    harness.finish();
+}

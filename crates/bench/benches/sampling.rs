@@ -1,15 +1,14 @@
-//! Criterion microbenchmark behind Figure 7: failure-state generation via
-//! extended dagger sampling vs Monte-Carlo sampling, per data-center
-//! scale. The `repro -- fig7` binary prints the full paper-style table;
-//! this bench provides statistically solid per-call numbers on the small
-//! scales.
+//! Micro-benchmark behind Figure 7: failure-state generation via extended
+//! dagger sampling vs Monte-Carlo sampling, per data-center scale. The
+//! `repro -- fig7` binary prints the full paper-style table; this bench
+//! provides statistically solid per-call numbers on the small scales.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recloud_bench::harness::{BenchmarkId, Harness};
 use recloud_bench::paper_env;
 use recloud_sampling::{BitMatrix, ExtendedDaggerSampler, MonteCarloSampler, Sampler};
 use recloud_topology::Scale;
 
-fn bench_sampling(c: &mut Criterion) {
+fn bench_sampling(c: &mut Harness) {
     let mut group = c.benchmark_group("fig7_sampling");
     group.sample_size(10);
     for scale in [Scale::Tiny, Scale::Small] {
@@ -38,5 +37,8 @@ fn bench_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sampling);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new();
+    bench_sampling(&mut harness);
+    harness.finish();
+}

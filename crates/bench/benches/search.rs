@@ -1,15 +1,15 @@
-//! Criterion microbenchmark behind Figure 9's machinery: one annealing
-//! iteration (neighbor + assess + accept) and the symmetry checker.
+//! Micro-benchmark behind Figure 9's machinery: one annealing iteration
+//! (neighbor + assess + accept) and the symmetry checker.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
 use recloud_assess::Assessor;
+use recloud_bench::harness::Harness;
 use recloud_bench::paper_env;
 use recloud_sampling::Rng;
 use recloud_search::{ReliabilityObjective, SearchConfig, Searcher, SymmetryChecker};
 use recloud_topology::Scale;
 
-fn bench_search_iteration(c: &mut Criterion) {
+fn bench_search_iteration(c: &mut Harness) {
     let mut group = c.benchmark_group("fig9_search");
     group.sample_size(10);
     let (topo, model) = paper_env(Scale::Tiny, 1);
@@ -44,5 +44,8 @@ fn bench_search_iteration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search_iteration);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new();
+    bench_search_iteration(&mut harness);
+    harness.finish();
+}

@@ -1,10 +1,13 @@
 //! Shared harness for the reproduction benchmarks.
 //!
-//! Everything the `repro` binary and the Criterion benches have in common:
+//! Everything the `repro` binary and the micro-benchmarks have in common:
 //! the paper's evaluation environment (§4.1), the four K-of-N redundancy
-//! settings, simple aligned-table printing, and timing helpers.
+//! settings, simple aligned-table printing, timing helpers, and the
+//! from-scratch criterion-style bench harness ([`harness`]) that keeps the
+//! workspace free of external dependencies.
 
 pub mod figures;
+pub mod harness;
 
 use recloud_apps::ApplicationSpec;
 use recloud_faults::FaultModel;

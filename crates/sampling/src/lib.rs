@@ -25,13 +25,27 @@
 //! Every sampler implements the [`Sampler`] trait so that assessment code
 //! can swap Monte-Carlo for dagger sampling with one constructor change —
 //! which is precisely the reCloud-vs-INDaaS comparison of Figure 7.
+//!
+//! Being the workspace's foundation crate (std-only, no dependencies), it
+//! also hosts the hermetic-build substrates that replaced the former
+//! external crates:
+//!
+//! * [`sync`] — MPMC unbounded channel + scoped worker pool (was
+//!   `crossbeam::channel`);
+//! * [`wire`] — `Bytes`/`ByteWriter`/`ByteReader` byte buffers (was
+//!   `bytes`);
+//! * [`proptest`] — a seeded `forall` property-test runner (was the
+//!   `proptest` crate).
 
 pub mod dagger;
 pub mod estimator;
 pub mod extended;
 pub mod montecarlo;
+pub mod proptest;
 pub mod rng;
 pub mod state;
+pub mod sync;
+pub mod wire;
 
 pub use dagger::DaggerCycle;
 pub use estimator::{ReliabilityEstimate, ResultAccumulator};

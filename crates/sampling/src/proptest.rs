@@ -1,0 +1,393 @@
+//! Minimal from-scratch property-testing harness, replacing the former
+//! `proptest` crate dev-dependency.
+//!
+//! The repo's property suite needs four things: a deterministic source of
+//! arbitrary values, a runner that executes a property over many random
+//! cases, assertion forms that report *which* case failed, and a way to
+//! replay exactly that case. This module provides all four on top of
+//! [`crate::Rng`], the same generator that drives sampling itself — so the
+//! property suite is seeded by the very substrate it tests.
+//!
+//! ```
+//! use recloud_sampling::proptest::forall;
+//! use recloud_sampling::{prop_assert, prop_assert_eq};
+//!
+//! forall("addition commutes", |g| {
+//!     let (a, b) = (g.any_u32() as u64, g.any_u32() as u64);
+//!     prop_assert_eq!(a + b, b + a);
+//!     prop_assert!(a + b >= a);
+//!     Ok(())
+//! });
+//! ```
+//!
+//! On failure the runner prints the case index and a replay seed; setting
+//! `RECLOUD_PROPTEST_REPLAY=<seed>` re-runs just that case. Case count and
+//! base seed are overridable via `RECLOUD_PROPTEST_CASES` and
+//! `RECLOUD_PROPTEST_SEED`. There is no shrinking — cases are small by
+//! construction and the replay seed makes any failure deterministic.
+
+use crate::Rng;
+
+/// Default number of random cases per property.
+pub const DEFAULT_CASES: usize = 48;
+
+/// Default base seed (stable across runs for reproducible CI).
+pub const DEFAULT_SEED: u64 = 0x5EED_CA5E;
+
+/// A source of arbitrary values for one property case.
+///
+/// All draws come from a [`Rng`] seeded per case, so a property's inputs
+/// are a pure function of the case seed.
+pub struct Gen {
+    rng: Rng,
+    seed: u64,
+}
+
+impl Gen {
+    /// A generator for the given case seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Gen { rng: Rng::new(seed), seed }
+    }
+
+    /// The seed that reproduces this case.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Direct access to the underlying stream (for properties that need a
+    /// domain [`Rng`], e.g. to build random deployment plans).
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Arbitrary `bool`.
+    pub fn any_bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// Arbitrary `u8`.
+    pub fn any_u8(&mut self) -> u8 {
+        self.rng.next_u64() as u8
+    }
+
+    /// Arbitrary `u16`.
+    pub fn any_u16(&mut self) -> u16 {
+        self.rng.next_u64() as u16
+    }
+
+    /// Arbitrary `u32`.
+    pub fn any_u32(&mut self) -> u32 {
+        self.rng.next_u64() as u32
+    }
+
+    /// Arbitrary `u64`.
+    pub fn any_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `usize` in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range {range:?}");
+        range.start + self.rng.next_below(range.end - range.start)
+    }
+
+    /// Uniform `u32` in `[range.start, range.end)`.
+    pub fn u32_in(&mut self, range: std::ops::Range<u32>) -> u32 {
+        assert!(range.start < range.end, "empty range {range:?}");
+        range.start + self.rng.next_below((range.end - range.start) as usize) as u32
+    }
+
+    /// Uniform `u64` in the inclusive range.
+    pub fn u64_in(&mut self, range: std::ops::RangeInclusive<u64>) -> u64 {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo) as u128 + 1;
+        lo + ((self.rng.next_u64() as u128 * span) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[range.start, range.end)`.
+    pub fn f64_in(&mut self, range: std::ops::Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range {range:?}");
+        range.start + self.rng.next_f64() * (range.end - range.start)
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec_in<T>(
+        &mut self,
+        len: std::ops::Range<usize>,
+        mut element: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = if len.start == len.end { len.start } else { self.usize_in(len) };
+        (0..n).map(|_| element(self)).collect()
+    }
+}
+
+/// Runner configuration; built from the environment by [`forall`].
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of random cases to execute.
+    pub cases: usize,
+    /// Base seed; case seeds are derived from it.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: DEFAULT_CASES, seed: DEFAULT_SEED }
+    }
+}
+
+impl Config {
+    /// Default config with `RECLOUD_PROPTEST_CASES` / `RECLOUD_PROPTEST_SEED`
+    /// overrides applied.
+    pub fn from_env() -> Self {
+        let mut c = Config::default();
+        if let Some(n) = env_u64("RECLOUD_PROPTEST_CASES") {
+            c.cases = n as usize;
+        }
+        if let Some(s) = env_u64("RECLOUD_PROPTEST_SEED") {
+            c.seed = s;
+        }
+        c
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Checks `property` over [`Config::from_env`] random cases, panicking
+/// with the case's replay seed on the first failure.
+///
+/// The property receives a fresh [`Gen`] per case and reports failure by
+/// returning `Err` (use [`prop_assert!`](crate::prop_assert),
+/// [`prop_assert_eq!`](crate::prop_assert_eq) and
+/// [`prop_assume!`](crate::prop_assume)) or by panicking; both paths
+/// report the replay seed.
+pub fn forall<F>(name: &str, property: F)
+where
+    F: Fn(&mut Gen) -> Result<(), String>,
+{
+    forall_with(Config::from_env(), name, property)
+}
+
+/// [`forall`] with an explicit configuration.
+pub fn forall_with<F>(config: Config, name: &str, property: F)
+where
+    F: Fn(&mut Gen) -> Result<(), String>,
+{
+    if let Some(replay) = env_u64("RECLOUD_PROPTEST_REPLAY") {
+        run_case(name, usize::MAX, replay, &property);
+        return;
+    }
+    // Derive independent case seeds from the base seed via the stream
+    // itself, so consecutive cases share no obvious structure.
+    let mut seeder = Rng::new(config.seed);
+    for case in 0..config.cases {
+        let case_seed = seeder.next_u64();
+        run_case(name, case, case_seed, &property);
+    }
+}
+
+fn run_case<F>(name: &str, case: usize, case_seed: u64, property: &F)
+where
+    F: Fn(&mut Gen) -> Result<(), String>,
+{
+    let blame = || {
+        let which = if case == usize::MAX { "replayed case".into() } else { format!("case {case}") };
+        format!(
+            "property '{name}' failed at {which}; replay with RECLOUD_PROPTEST_REPLAY={case_seed}"
+        )
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        property(&mut Gen::from_seed(case_seed))
+    }));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(msg)) => panic!("{}\n  {msg}", blame()),
+        Err(payload) => {
+            eprintln!("{}", blame());
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Property-style assertion: returns `Err` from the enclosing property
+/// closure instead of panicking, so the runner can attach the replay seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!("{} ({}:{})", format!($($fmt)+), file!(), line!()));
+        }
+    };
+}
+
+/// Property-style equality assertion; both sides must be `Debug`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assert_eq failed: {:?} != {:?} ({}:{})",
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assert_eq failed: {:?} != {:?}: {} ({}:{})",
+                l,
+                r,
+                format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (counts as success) when a precondition does not
+/// hold — the lightweight analogue of proptest's `prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0usize);
+        forall_with(Config { cases: 10, seed: 1 }, "counts", |g| {
+            let _ = g.any_u64();
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counter.get(), 10);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = Gen::from_seed(99);
+        let mut b = Gen::from_seed(99);
+        for _ in 0..100 {
+            assert_eq!(a.any_u64(), b.any_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut g = Gen::from_seed(5);
+        for _ in 0..10_000 {
+            let x = g.usize_in(3..17);
+            assert!((3..17).contains(&x));
+            let y = g.u32_in(1..4);
+            assert!((1..4).contains(&y));
+            let z = g.u64_in(10..=12);
+            assert!((10..=12).contains(&z));
+            let f = g.f64_in(-2.0..3.5);
+            assert!((-2.0..3.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn u64_in_covers_full_domain_endpoints() {
+        let mut g = Gen::from_seed(7);
+        // Must not overflow on the maximal range.
+        for _ in 0..1000 {
+            let _ = g.u64_in(0..=u64::MAX);
+        }
+        // Degenerate range yields the single value.
+        assert_eq!(g.u64_in(42..=42), 42);
+    }
+
+    #[test]
+    fn vec_in_respects_length_range() {
+        let mut g = Gen::from_seed(11);
+        for _ in 0..1000 {
+            let v = g.vec_in(0..8, |g| g.any_u8());
+            assert!(v.len() < 8);
+        }
+        assert_eq!(g.vec_in(5..5, |g| g.any_u8()).len(), 5);
+    }
+
+    #[test]
+    fn failing_property_reports_replay_seed() {
+        let err = std::panic::catch_unwind(|| {
+            forall_with(Config { cases: 5, seed: 3 }, "always-fails", |g| {
+                let x = g.any_u32();
+                prop_assert!(x != x, "impossible");
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("always-fails"), "{msg}");
+        assert!(msg.contains("RECLOUD_PROPTEST_REPLAY="), "{msg}");
+    }
+
+    #[test]
+    fn panicking_property_still_reports_seed_via_stderr_and_repanics() {
+        let err = std::panic::catch_unwind(|| {
+            forall_with(Config { cases: 2, seed: 4 }, "panics", |_| {
+                panic!("inner boom");
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<&str>().expect("str panic payload");
+        assert!(msg.contains("inner boom"));
+    }
+
+    #[test]
+    fn prop_assume_skips_cases() {
+        let hits = std::cell::Cell::new(0usize);
+        forall_with(Config { cases: 50, seed: 6 }, "assume", |g| {
+            let x = g.usize_in(0..10);
+            prop_assume!(x < 3);
+            hits.set(hits.get() + 1);
+            prop_assert!(x < 3);
+            Ok(())
+        });
+        assert!(hits.get() < 50, "assume must have skipped some cases");
+    }
+
+    #[test]
+    fn prop_assert_eq_formats_both_sides() {
+        let err = std::panic::catch_unwind(|| {
+            forall_with(Config { cases: 1, seed: 8 }, "eq", |_| {
+                prop_assert_eq!(1 + 1, 3);
+                Ok(())
+            });
+        })
+        .expect_err("must fail");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("2 != 3"), "{msg}");
+    }
+}

@@ -1,0 +1,363 @@
+//! From-scratch multi-producer multi-consumer channel and scoped worker
+//! pool, replacing the former `crossbeam::channel` dependency.
+//!
+//! The parallel assessment engine (§3.2.1, §4.2.4) needs exactly two
+//! primitives: an unbounded MPMC queue for task fan-out / result fan-in,
+//! and a way to run a fixed set of workers to completion. Both are small
+//! enough to own outright, which keeps the workspace hermetic (std-only)
+//! and lets us pin the exact semantics the determinism tests rely on:
+//!
+//! * [`channel`] — unbounded, FIFO per queue, cloneable [`Sender`] and
+//!   [`Receiver`]. `recv` blocks until a value arrives or every sender is
+//!   gone; `send` fails only once every receiver is gone. Disconnection is
+//!   level-triggered: queued values are always drained before `recv`
+//!   reports [`RecvError`].
+//! * [`scoped_workers`] — spawns `n` scoped threads running the same
+//!   closure (the worker loop) and joins them all, propagating panics.
+//!
+//! The implementation is a `Mutex<VecDeque>` guarded by a `Condvar`. For
+//! the assessment engine's granularity (hundreds of frames per job, each
+//! worth ~milliseconds of route-and-check work) lock contention is
+//! unmeasurable; a lock-free Treiber stack would buy nothing here.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when every [`Receiver`] has been
+/// dropped. The unsent value is handed back.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a channel with no receivers")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the queue is empty and every
+/// [`Sender`] has been dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on a channel with no senders")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Result of a [`Receiver::try_recv`] that found no value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is momentarily empty but senders are still alive.
+    Empty,
+    /// The queue is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "channel empty"),
+            TryRecvError::Disconnected => write!(f, "channel empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    nonempty: Condvar,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Creates an unbounded MPMC channel. Both halves are cloneable; values
+/// are delivered FIFO to whichever receiver asks first.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+        nonempty: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+/// Sending half of an unbounded MPMC channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a value. Never blocks; fails only if every receiver has
+    /// been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.queue.lock().unwrap();
+        if state.receivers == 0 {
+            return Err(SendError(value));
+        }
+        state.items.push_back(value);
+        drop(state);
+        self.shared.nonempty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().unwrap().senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Wake every blocked receiver so it can observe disconnection.
+            drop(state);
+            self.shared.nonempty.notify_all();
+        }
+    }
+}
+
+/// Receiving half of an unbounded MPMC channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next value, blocking while the queue is empty and at
+    /// least one sender is alive. Queued values are always drained before
+    /// disconnection is reported.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(v) = state.items.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.nonempty.wait(state).unwrap();
+        }
+    }
+
+    /// Non-blocking variant of [`recv`](Self::recv).
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.queue.lock().unwrap();
+        if let Some(v) = state.items.pop_front() {
+            Ok(v)
+        } else if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Number of values currently queued (a snapshot; other threads may
+    /// race ahead of the caller).
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is momentarily empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().unwrap().receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().receivers -= 1;
+    }
+}
+
+/// An iterator draining a receiver until disconnection.
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { rx: self }
+    }
+}
+
+/// Owning iterator over a [`Receiver`]; ends when the channel disconnects.
+pub struct IntoIter<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Runs `workers` copies of `work` on scoped threads and joins them all —
+/// the fixed-size worker-pool shape of the paper's master/worker engine.
+/// Borrowed data from the caller's stack may be captured freely; a panic
+/// in any worker propagates after all threads are joined.
+pub fn scoped_workers<F>(workers: usize, work: F)
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(workers >= 1, "need at least one worker");
+    std::thread::scope(|scope| {
+        for id in 0..workers {
+            let work = &work;
+            scope.spawn(move || work(id));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_single_thread() {
+        let (tx, rx) = channel();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_after_all_senders_dropped_drains_then_errors() {
+        let (tx, rx) = channel();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_after_all_receivers_dropped_fails_and_returns_value() {
+        let (tx, rx) = channel();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn cloned_sender_keeps_channel_alive() {
+        let (tx, rx) = channel();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(5).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = channel::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(3));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_deliver_every_value_once() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 2_500;
+        let (tx, rx) = channel::<usize>();
+        let sum = AtomicUsize::new(0);
+        let count = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        tx.send(p * PER_PRODUCER + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..CONSUMERS {
+                let rx = rx.clone();
+                let sum = &sum;
+                let count = &count;
+                scope.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let n = PRODUCERS * PER_PRODUCER;
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn receivers_block_until_value_arrives() {
+        let (tx, rx) = channel();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                tx.send(42).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(42));
+        });
+    }
+
+    #[test]
+    fn len_and_is_empty_track_queue() {
+        let (tx, rx) = channel();
+        assert!(rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn scoped_workers_run_all_ids() {
+        let seen = Mutex::new(Vec::new());
+        scoped_workers(5, |id| seen.lock().unwrap().push(id));
+        let mut ids = seen.into_inner().unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn scoped_workers_rejects_zero() {
+        scoped_workers(0, |_| {});
+    }
+}

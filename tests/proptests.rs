@@ -1,19 +1,24 @@
 //! Property-based tests over core data structures and cross-crate
-//! invariants (proptest).
+//! invariants, running on the in-repo harness ([`recloud::proptest`]) —
+//! no external `proptest` crate, so the suite builds fully offline.
+//!
+//! Each `forall` checks its property over many random cases; on failure
+//! the runner prints a `RECLOUD_PROPTEST_REPLAY=<seed>` line that re-runs
+//! exactly the failing case.
 
-use proptest::prelude::*;
 use recloud::prelude::*;
+use recloud::proptest::forall;
 use recloud::routing::{FatTreeRouter, Router, UpDownRouter};
 use recloud::sampling::BitMatrix;
+use recloud::{prop_assert, prop_assert_eq, prop_assume};
 
-proptest! {
-    /// BitMatrix set/get/count algebra over arbitrary shapes.
-    #[test]
-    fn bitmatrix_set_get_count(
-        components in 1usize..20,
-        rounds in 1usize..200,
-        cells in prop::collection::vec((0usize..20, 0usize..200), 0..64),
-    ) {
+/// BitMatrix set/get/count algebra over arbitrary shapes.
+#[test]
+fn bitmatrix_set_get_count() {
+    forall("bitmatrix set/get/count algebra", |g| {
+        let components = g.usize_in(1..20);
+        let rounds = g.usize_in(1..200);
+        let cells = g.vec_in(0..64, |g| (g.usize_in(0..20), g.usize_in(0..200)));
         let mut m = BitMatrix::new(components, rounds);
         let mut expected = std::collections::HashSet::new();
         for (c, r) in cells {
@@ -27,11 +32,16 @@ proptest! {
         prop_assert_eq!(m.total_failures(), expected.len());
         let per_row: usize = (0..components).map(|c| m.row(c).count_ones()).sum();
         prop_assert_eq!(per_row, expected.len());
-    }
+        Ok(())
+    });
+}
 
-    /// Word writes are equivalent to bit writes.
-    #[test]
-    fn bitmatrix_word_vs_bit_writes(rounds in 1usize..130, word in any::<u64>()) {
+/// Word writes are equivalent to bit writes.
+#[test]
+fn bitmatrix_word_vs_bit_writes() {
+    forall("word writes equal bit writes", |g| {
+        let rounds = g.usize_in(1..130);
+        let word = g.any_u64();
         let mut a = BitMatrix::new(1, rounds);
         let mut b = BitMatrix::new(1, rounds);
         a.set_word(0, 0, word);
@@ -41,12 +51,17 @@ proptest! {
             }
         }
         prop_assert_eq!(a, b);
-    }
+        Ok(())
+    });
+}
 
-    /// The reliability estimate is always within [0, 1], the variance is
-    /// non-negative, and CIW shrinks when rounds scale up at equal rate.
-    #[test]
-    fn estimator_invariants(successes in 0u64..=1000, extra in 0u64..1000) {
+/// The reliability estimate is always within [0, 1], the variance is
+/// non-negative, and CIW shrinks when rounds scale up at equal rate.
+#[test]
+fn estimator_invariants() {
+    forall("estimator invariants", |g| {
+        let successes = g.u64_in(0..=1000);
+        let extra = g.u64_in(0..=999);
         let rounds = successes + extra;
         prop_assume!(rounds > 0);
         let mut acc = recloud::sampling::ResultAccumulator::new();
@@ -58,12 +73,16 @@ proptest! {
         let mut acc10 = recloud::sampling::ResultAccumulator::new();
         acc10.push_batch(rounds * 10, successes * 10);
         prop_assert!(acc10.estimate().ciw95() <= e.ciw95() + 1e-15);
-    }
+        Ok(())
+    });
+}
 
-    /// Dagger and Monte-Carlo rates agree with the probability for any
-    /// probability vector (coarse statistical bound).
-    #[test]
-    fn samplers_track_probabilities(ps in prop::collection::vec(0.02f64..0.5, 1..6)) {
+/// Dagger and Monte-Carlo rates agree with the probability for any
+/// probability vector (coarse statistical bound).
+#[test]
+fn samplers_track_probabilities() {
+    forall("samplers track probabilities", |g| {
+        let ps = g.vec_in(1..6, |g| g.f64_in(0.02..0.5));
         let rounds = 60_000;
         for (name, mut sampler) in [
             ("dagger", Box::new(ExtendedDaggerSampler::seeded(9)) as Box<dyn Sampler>),
@@ -81,16 +100,18 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Fault trees are monotone: failing more basic events never un-fails
-    /// a tree built of OR/AND/KofN gates.
-    #[test]
-    fn fault_tree_monotonicity(
-        set_a in any::<u16>(),
-        extra in any::<u16>(),
-        k in 1u32..4,
-    ) {
+/// Fault trees are monotone: failing more basic events never un-fails a
+/// tree built of OR/AND/KofN gates.
+#[test]
+fn fault_tree_monotonicity() {
+    forall("fault-tree monotonicity", |g| {
+        let set_a = g.any_u16();
+        let extra = g.any_u16();
+        let k = g.u32_in(1..4);
         // Tree over 16 basic events: KofN(k) of four AND-pairs ORed with
         // a plain OR over the last 8 events.
         let mut b = FaultTreeBuilder::new();
@@ -112,15 +133,17 @@ proptest! {
         let va = tree.eval(&failed_a);
         let vb = tree.eval(&failed_b);
         prop_assert!(!va || vb, "superset of failures un-failed the tree");
-    }
+        Ok(())
+    });
+}
 
-    /// The analytic fat-tree router agrees with the valley-free reference
-    /// on arbitrary switch/host failure patterns.
-    #[test]
-    fn routers_agree_on_random_failures(
-        failures in prop::collection::vec(0u32..200, 0..24),
-        queries in prop::collection::vec((0usize..48, 0usize..48), 1..8),
-    ) {
+/// The analytic fat-tree router agrees with the valley-free reference on
+/// arbitrary switch/host failure patterns.
+#[test]
+fn routers_agree_on_random_failures() {
+    forall("analytic router equals reference", |g| {
+        let failures = g.vec_in(0..24, |g| g.u32_in(0..200));
+        let queries = g.vec_in(1..8, |g| (g.usize_in(0..48), g.usize_in(0..48)));
         let t = FatTreeParams::new(4).build();
         let n = t.num_components();
         let mut states = BitMatrix::new(n, 1);
@@ -149,12 +172,16 @@ proptest! {
                 reference.connects(&states, ha, hb)
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Deployment plans stay valid through arbitrary chains of neighbor
-    /// moves.
-    #[test]
-    fn neighbor_moves_preserve_plan_validity(seed in any::<u64>(), moves in 1usize..30) {
+/// Deployment plans stay valid through arbitrary chains of neighbor moves.
+#[test]
+fn neighbor_moves_preserve_plan_validity() {
+    forall("neighbor moves preserve validity", |g| {
+        let seed = g.any_u64();
+        let moves = g.usize_in(1..30);
         let t = FatTreeParams::new(4).build();
         let spec = ApplicationSpec::layered(&[(1, 2), (2, 3)]);
         let mut rng = recloud::sampling::Rng::new(seed);
@@ -169,12 +196,17 @@ proptest! {
             prop_assert_eq!(plan.hosts_of(0).len(), 2);
             prop_assert_eq!(plan.hosts_of(1).len(), 3);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The paper's Δ rule is symmetric-positive and grows with the
-    /// reliability gap.
-    #[test]
-    fn delta_rule_properties(rc in 0.0f64..0.99999, gap in 1e-6f64..0.5) {
+/// The paper's Δ rule is symmetric-positive and grows with the
+/// reliability gap.
+#[test]
+fn delta_rule_properties() {
+    forall("delta rule properties", |g| {
+        let rc = g.f64_in(0.0..0.99999);
+        let gap = g.f64_in(1e-6..0.5);
         let rn = (rc - gap).max(0.0);
         let d = DeltaRule::LogRatio.delta(rc, rn);
         prop_assert!(d >= 0.0);
@@ -183,21 +215,20 @@ proptest! {
         let rn2 = (rc - gap * 2.0).max(0.0);
         let d2 = DeltaRule::LogRatio.delta(rc, rn2);
         prop_assert!(d2 >= d - 1e-12);
-    }
+        Ok(())
+    });
 }
 
-proptest! {
-    /// Wire frames roundtrip for arbitrary contents.
-    #[test]
-    fn wire_frames_roundtrip(
-        chunk in any::<u32>(),
-        seed in any::<u64>(),
-        rounds in any::<u32>(),
-        successes in any::<u64>(),
-        assignments in prop::collection::vec(
-            prop::collection::vec(any::<u32>(), 0..8), 0..5),
-    ) {
+/// Wire frames roundtrip for arbitrary contents.
+#[test]
+fn wire_frames_roundtrip() {
+    forall("wire frames roundtrip", |g| {
         use recloud::assess::wire::{JobFrame, ResultFrame, TaskFrame};
+        let chunk = g.any_u32();
+        let seed = g.any_u64();
+        let rounds = g.any_u32();
+        let successes = g.any_u64();
+        let assignments = g.vec_in(0..5, |g| g.vec_in(0..8, |g| g.any_u32()));
         let t = TaskFrame { chunk, seed, rounds };
         prop_assert_eq!(TaskFrame::decode(t.encode()).unwrap(), t);
         let r = ResultFrame {
@@ -213,12 +244,17 @@ proptest! {
         let j = JobFrame { rounds_total: rounds as u64, assignments };
         let decoded = JobFrame::decode(j.encode()).unwrap();
         prop_assert_eq!(decoded, j);
-    }
+        Ok(())
+    });
+}
 
-    /// or_merge is semantically an OR of the two trees, for arbitrary
-    /// failure sets.
-    #[test]
-    fn fault_tree_or_merge_is_or(failures in any::<u16>(), k in 1u32..3) {
+/// or_merge is semantically an OR of the two trees, for arbitrary failure
+/// sets.
+#[test]
+fn fault_tree_or_merge_is_or() {
+    forall("or_merge is OR", |g| {
+        let failures = g.any_u16();
+        let k = g.u32_in(1..3);
         // Tree A: AND of events 0,1. Tree B: KofN(k) over events 2,3,4.
         let mut a = FaultTreeBuilder::new();
         let x = a.basic(ComponentId(0));
@@ -235,15 +271,17 @@ proptest! {
             merged.eval(&failed),
             tree_a.eval(&failed) || tree_b.eval(&failed)
         );
-    }
+        Ok(())
+    });
+}
 
-    /// Downtime logs obey p = downtime / window for arbitrary interval
-    /// soups, including overlaps.
-    #[test]
-    fn downtime_log_probability_identity(
-        intervals in prop::collection::vec((0.0f64..900.0, 1.0f64..200.0), 0..12),
-    ) {
+/// Downtime logs obey p = downtime / window for arbitrary interval soups,
+/// including overlaps.
+#[test]
+fn downtime_log_probability_identity() {
+    forall("downtime log identity", |g| {
         use recloud::faults::DowntimeLog;
+        let intervals = g.vec_in(0..12, |g| (g.f64_in(0.0..900.0), g.f64_in(1.0..200.0)));
         let mut log = DowntimeLog::new(1_000.0);
         // Track ground truth via a fine discretization.
         let mut down = vec![false; 100_000];
@@ -261,5 +299,6 @@ proptest! {
         prop_assert!((measured - expected).abs() < 0.05, "{measured} vs {expected}");
         let p = log.probabilities(1)[0];
         prop_assert!((p - measured / 1_000.0).abs() < 1e-12);
-    }
+        Ok(())
+    });
 }
