@@ -30,11 +30,7 @@ impl DeploymentPlan {
     /// # Panics
     /// Panics on shape mismatch or duplicated hosts.
     pub fn new(spec: &ApplicationSpec, assignments: Vec<Vec<ComponentId>>) -> Self {
-        assert_eq!(
-            assignments.len(),
-            spec.num_components(),
-            "plan must assign every component"
-        );
+        assert_eq!(assignments.len(), spec.num_components(), "plan must assign every component");
         for (c, comp) in spec.components().iter().enumerate() {
             assert_eq!(
                 assignments[c].len(),

@@ -104,8 +104,7 @@ impl ApplicationSpec {
     pub fn microservice(x: u32, y: u32, k: u32, n: u32) -> Self {
         assert!(x >= 1, "need at least one core component");
         let mut b = Self::builder();
-        let cores: Vec<CompIdx> =
-            (0..x).map(|i| b.component(&format!("core-{i}"), n)).collect();
+        let cores: Vec<CompIdx> = (0..x).map(|i| b.component(&format!("core-{i}"), n)).collect();
         b.require_external(cores[0], k);
         for &ci in &cores {
             for &cj in &cores {
@@ -174,7 +173,12 @@ impl ApplicationSpec {
 
 impl fmt::Display for ApplicationSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "app[{} components, {} requirements]", self.components.len(), self.requirements.len())
+        write!(
+            f,
+            "app[{} components, {} requirements]",
+            self.components.len(),
+            self.requirements.len()
+        )
     }
 }
 
@@ -242,10 +246,7 @@ mod tests {
         let s = ApplicationSpec::k_of_n(4, 5);
         assert_eq!(s.num_components(), 1);
         assert_eq!(s.total_instances(), 5);
-        assert_eq!(
-            s.requirements(),
-            &[Connectivity { of: 0, from: Source::External, k: 4 }]
-        );
+        assert_eq!(s.requirements(), &[Connectivity { of: 0, from: Source::External, k: 4 }]);
         assert!(s.is_dag());
     }
 

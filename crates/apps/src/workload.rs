@@ -77,10 +77,7 @@ impl WorkloadMap {
     pub fn hosts_by_load(&self, topology: &Topology) -> Vec<ComponentId> {
         let mut hosts: Vec<ComponentId> = topology.hosts().to_vec();
         hosts.sort_by(|a, b| {
-            self.get(*a)
-                .partial_cmp(&self.get(*b))
-                .expect("workloads are finite")
-                .then(a.cmp(b))
+            self.get(*a).partial_cmp(&self.get(*b)).expect("workloads are finite").then(a.cmp(b))
         });
         hosts
     }

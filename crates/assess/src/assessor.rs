@@ -107,6 +107,11 @@ pub struct Assessor {
     /// fault-tree collapsing — forced failures flow through the full
     /// correlated-failure path (what-if analyses, sensitivity reports).
     injector: Option<FaultInjector>,
+    /// Route-and-check 64 rounds per operation through the word-granular
+    /// router API (the default). Disable to force the scalar per-round
+    /// path — the two are bit-identical; the toggle exists for equivalence
+    /// tests and scalar-vs-batched benchmarking.
+    batched: bool,
 }
 
 struct TableCache {
@@ -141,6 +146,7 @@ impl Assessor {
             collapsed,
             table_cache: None,
             injector: None,
+            batched: true,
         }
     }
 
@@ -149,6 +155,57 @@ impl Assessor {
     pub fn set_injector(&mut self, injector: Option<FaultInjector>) {
         self.injector = injector;
         self.table_cache = None;
+    }
+
+    /// Selects the batched (64-rounds-per-operation) or scalar
+    /// route-and-check path. Both produce bit-identical assessments; the
+    /// scalar path exists for equivalence tests and benchmarking.
+    pub fn set_batched(&mut self, batched: bool) {
+        self.batched = batched;
+    }
+
+    /// True when the batched route-and-check path is active.
+    pub fn batched(&self) -> bool {
+        self.batched
+    }
+
+    /// Bytes held by the cached collapsed failure-state tables (one
+    /// [`BitMatrix`] clone per chunk). Searches assess thousands of plans
+    /// against one cached table; this keeps that footprint observable so
+    /// it cannot silently balloon.
+    pub fn cache_bytes(&self) -> usize {
+        match &self.table_cache {
+            Some(c) => c.chunks.iter().map(|m| m.bytes()).sum(),
+            None => 0,
+        }
+    }
+
+    /// Routes and checks the first `rounds` columns of `table`, feeding
+    /// verdicts into `acc` — the shared inner loop of the fresh and
+    /// cached-table paths, in both scalar and batched flavors.
+    fn route_and_check(
+        router: &mut dyn Router,
+        batched: bool,
+        checker: &mut StructureChecker,
+        table: &BitMatrix,
+        rounds: usize,
+        acc: &mut ResultAccumulator,
+    ) {
+        if batched {
+            let words = rounds.div_ceil(64);
+            for w in 0..words {
+                let n = (rounds - w * 64).min(64);
+                router.begin_word(table, w);
+                let mask = checker.word_reliable(router, table, w, n);
+                acc.push_word(mask, n as u32);
+            }
+        } else {
+            for round in 0..rounds {
+                router.begin_round(table, round);
+                let ok = checker.round_reliable(router, table, round);
+                acc.push(ok);
+            }
+        }
     }
 
     /// The chunk layout for a round count: (chunk index, rounds in chunk).
@@ -220,11 +277,14 @@ impl Assessor {
         let collapse = t_collapse.elapsed();
 
         let t_check = Instant::now();
-        for round in 0..rounds {
-            self.router.begin_round(&self.collapsed, round);
-            let ok = checker.round_reliable(self.router.as_mut(), &self.collapsed, round);
-            acc.push(ok);
-        }
+        Self::route_and_check(
+            self.router.as_mut(),
+            self.batched,
+            checker,
+            &self.collapsed,
+            rounds,
+            acc,
+        );
         let check = t_check.elapsed();
         Timings { sampling, collapse, check, total: t0.elapsed() }
     }
@@ -257,19 +317,21 @@ impl Assessor {
             for (chunk, n) in &layout {
                 let t_check = Instant::now();
                 let table = &cache.chunks[*chunk as usize];
-                for round in 0..*n {
-                    self.router.begin_round(table, round);
-                    let ok = checker.round_reliable(self.router.as_mut(), table, round);
-                    acc.push(ok);
-                }
+                Self::route_and_check(
+                    self.router.as_mut(),
+                    self.batched,
+                    &mut checker,
+                    table,
+                    *n,
+                    &mut acc,
+                );
                 timings.check += t_check.elapsed();
             }
             self.table_cache = Some(cache);
         } else {
             let mut chunks = Vec::with_capacity(layout.len());
             for (chunk, n) in &layout {
-                let t =
-                    self.run_chunk(&mut checker, Self::chunk_seed(seed, *chunk), *n, &mut acc);
+                let t = self.run_chunk(&mut checker, Self::chunk_seed(seed, *chunk), *n, &mut acc);
                 timings.merge(&t);
                 chunks.push(self.collapsed.clone());
             }
@@ -473,6 +535,85 @@ mod tests {
         // The shorter run is a prefix of the longer one's result list.
         assert!(prefix.estimate.successes <= full.estimate.successes);
         assert_eq!(prefix.estimate.rounds, 4_000);
+    }
+
+    /// The tentpole invariant: the bit-sliced kernel and the scalar loop
+    /// produce bit-identical assessments — same successes, same rounds —
+    /// across samplers, specs (simple and complex), and word-boundary
+    /// round counts, on both the fresh and the cached-table paths.
+    #[test]
+    fn batched_equals_scalar_bit_for_bit() {
+        let t = FatTreeParams::new(4).build();
+        let specs = [
+            ApplicationSpec::k_of_n(1, 2),
+            ApplicationSpec::k_of_n(3, 5),
+            ApplicationSpec::layered(&[(2, 3), (1, 2)]),
+        ];
+        for (si, spec) in specs.iter().enumerate() {
+            let mut rng = Rng::new(40 + si as u64);
+            let plan = DeploymentPlan::random(spec, t.hosts(), &mut rng);
+            for rounds in [63usize, 64, 65, 2_500, 2_563] {
+                let model = FaultModel::paper_default(&t, 11);
+                let mut scalar = Assessor::new(&t, model.clone());
+                scalar.set_batched(false);
+                let mut batched = Assessor::new(&t, model);
+                assert!(batched.batched());
+                let rs = scalar.assess(spec, &plan, rounds, 9);
+                let rb = batched.assess(spec, &plan, rounds, 9);
+                assert_eq!(
+                    (rs.estimate.successes, rs.estimate.rounds),
+                    (rb.estimate.successes, rb.estimate.rounds),
+                    "spec {si} rounds {rounds} fresh"
+                );
+                // Cached-table path (second assess with the same seed).
+                let rs2 = scalar.assess(spec, &plan, rounds, 9);
+                let rb2 = batched.assess(spec, &plan, rounds, 9);
+                assert_eq!(rs2.estimate.successes, rb2.estimate.successes);
+                assert_eq!(rb.estimate.successes, rb2.estimate.successes);
+            }
+        }
+    }
+
+    /// Batched and scalar must also agree under a generic (non-word-native)
+    /// router, where the screened round-major fallback carries the load.
+    #[test]
+    fn batched_equals_scalar_on_generic_router() {
+        let t = recloud_topology::LeafSpineParams::new(3, 4, 3).border_spines(2).build();
+        let model = FaultModel::paper_default(&t, 7);
+        let spec = ApplicationSpec::k_of_n(2, 4);
+        let mut rng = Rng::new(15);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let mut scalar = Assessor::new(&t, model.clone());
+        scalar.set_batched(false);
+        let mut batched = Assessor::new(&t, model);
+        for rounds in [65usize, 4_000] {
+            let rs = scalar.assess(&spec, &plan, rounds, 3);
+            let rb = batched.assess(&spec, &plan, rounds, 3);
+            assert_eq!(
+                (rs.estimate.successes, rs.estimate.rounds),
+                (rb.estimate.successes, rb.estimate.rounds),
+                "rounds {rounds}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_bytes_accounts_every_chunk() {
+        let (t, mut a, spec) = setup(SamplerKind::ExtendedDagger);
+        assert_eq!(a.cache_bytes(), 0, "no cache before the first assessment");
+        let mut rng = Rng::new(21);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let rounds = 6_000;
+        a.assess(&spec, &plan, rounds, 5);
+        let layout = a.chunk_layout(rounds);
+        // One collapsed-matrix clone per chunk: components × chunk words.
+        let per_chunk = t.num_components() * a.chunk_rounds.div_ceil(64) * 8;
+        assert_eq!(a.cache_bytes(), layout.len() * per_chunk);
+        // Pin the absolute footprint so searches can't silently balloon:
+        // k=4 fat-tree = 36 components, chunk = 2520 rounds = 40 words.
+        assert_eq!(a.cache_bytes(), 3 * 36 * 40 * 8);
+        a.set_injector(None); // invalidates the cache
+        assert_eq!(a.cache_bytes(), 0);
     }
 
     #[test]

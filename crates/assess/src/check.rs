@@ -33,6 +33,13 @@ pub struct StructureChecker {
     simple_k: Option<u32>,
     /// Scratch: active flags per component instance.
     active: Vec<Vec<bool>>,
+    /// Scratch for the bit-sliced K-of-N count: `ge[j]` is the round-lane
+    /// mask of "at least j+1 instances reachable so far".
+    ge: Vec<u64>,
+    /// Memoized all-alive-world verdict (what screened-out rounds resolve
+    /// to). Valid for the lifetime of the checker: the plan is fixed and
+    /// the baseline depends only on plan and topology.
+    baseline: Option<bool>,
 }
 
 impl StructureChecker {
@@ -43,9 +50,8 @@ impl StructureChecker {
             spec.num_components(),
             "plan and spec disagree on component count"
         );
-        let hosts: Vec<Vec<ComponentId>> = (0..spec.num_components())
-            .map(|c| plan.hosts_of(c).to_vec())
-            .collect();
+        let hosts: Vec<Vec<ComponentId>> =
+            (0..spec.num_components()).map(|c| plan.hosts_of(c).to_vec()).collect();
         let requirements = spec.requirements().to_vec();
         let simple_k = if spec.num_components() == 1
             && requirements.iter().all(|r| r.from == Source::External)
@@ -55,7 +61,96 @@ impl StructureChecker {
             None
         };
         let active = hosts.iter().map(|h| vec![false; h.len()]).collect();
-        StructureChecker { hosts, requirements, simple_k, active }
+        StructureChecker { hosts, requirements, simple_k, active, ge: Vec::new(), baseline: None }
+    }
+
+    /// Checks the (up to) 64 rounds of word `word` in one sweep; bit r of
+    /// the result is the verdict of round `64·word + r`, bit-identical to
+    /// [`StructureChecker::round_reliable`] on that round. Only the low
+    /// `n` bits are meaningful. The router must already have had
+    /// [`Router::begin_word`] called for (`states`, `word`).
+    ///
+    /// Strategy: K-of-N on a word-native router (the fat-tree analytic
+    /// one) ANDs/ORs host reach-words through a bit-sliced counter —
+    /// no per-round work at all. Everything else runs round-major behind
+    /// the router's screen mask: rounds in which nothing failed resolve to
+    /// the memoized all-alive verdict without routing, and only the dirty
+    /// rounds pay for scalar routing (or the complex fixpoint).
+    pub fn word_reliable(
+        &mut self,
+        router: &mut dyn Router,
+        states: &BitMatrix,
+        word: usize,
+        n: usize,
+    ) -> u64 {
+        debug_assert!(n >= 1 && n <= 64, "a verdict word holds 1..=64 rounds");
+        if router.word_native() {
+            if let Some(k) = self.simple_k {
+                return self.k_of_n_word(router, states, word, k);
+            }
+        }
+        let valid = if n == 64 { !0 } else { (1u64 << n) - 1 };
+        let screen = router.screen_word(states, word) & valid;
+        let mut out = 0u64;
+        if screen != valid && self.baseline_reliable(router, states) {
+            out = valid & !screen;
+        }
+        let mut dirty = screen;
+        while dirty != 0 {
+            let r = dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            let round = word * 64 + r;
+            router.begin_round(states, round);
+            if self.round_reliable(router, states, round) {
+                out |= 1 << r;
+            }
+        }
+        out
+    }
+
+    /// Bit-sliced K-of-N over a word-native router: fold each host's
+    /// 64-round reach word into a saturating unary counter of `k` lanes.
+    fn k_of_n_word(
+        &mut self,
+        router: &mut dyn Router,
+        states: &BitMatrix,
+        word: usize,
+        k: u32,
+    ) -> u64 {
+        if k == 0 {
+            return !0; // vacuous requirement, reliable in every round
+        }
+        let k = k as usize;
+        self.ge.clear();
+        self.ge.resize(k, 0);
+        for i in 0..self.hosts[0].len() {
+            let h = self.hosts[0][i];
+            let reach = router.external_reach_word(states, h, word);
+            for j in (1..k).rev() {
+                self.ge[j] |= self.ge[j - 1] & reach;
+            }
+            self.ge[0] |= reach;
+            // Early exit once every lane has k reachable instances; the
+            // remaining hosts cannot change the verdict.
+            if self.ge[k - 1] == !0 {
+                break;
+            }
+        }
+        self.ge[k - 1]
+    }
+
+    /// The all-alive-world verdict, computed once per checker through the
+    /// router's scalar path on a synthetic 1-round matrix. Clobbers the
+    /// router's per-round context (word callers re-begin dirty rounds).
+    fn baseline_reliable(&mut self, router: &mut dyn Router, states: &BitMatrix) -> bool {
+        if let Some(v) = self.baseline {
+            return v;
+        }
+        let alive = BitMatrix::new(states.components(), 1);
+        router.begin_round(&alive, 0);
+        let v = self.round_reliable(router, &alive, 0);
+        self.baseline = Some(v);
+        v
     }
 
     /// Checks one round. The router must already have had
@@ -89,12 +184,7 @@ impl StructureChecker {
         self.complex_round(router, states, round)
     }
 
-    fn complex_round(
-        &mut self,
-        router: &mut dyn Router,
-        states: &BitMatrix,
-        round: usize,
-    ) -> bool {
+    fn complex_round(&mut self, router: &mut dyn Router, states: &BitMatrix, round: usize) -> bool {
         // Initialize active = alive.
         for (c, hosts) in self.hosts.iter().enumerate() {
             for (i, &h) in hosts.iter().enumerate() {
@@ -261,10 +351,7 @@ mod tests {
         // perfectly connected.
         let (t, hosts, _, e1, _) = two_racks();
         let spec = ApplicationSpec::layered(&[(1, 1), (1, 1), (1, 1)]);
-        let plan = DeploymentPlan::new(
-            &spec,
-            vec![vec![hosts[0]], vec![hosts[2]], vec![hosts[3]]],
-        );
+        let plan = DeploymentPlan::new(&spec, vec![vec![hosts[0]], vec![hosts[2]], vec![hosts[3]]]);
         assert!(check(&t, &spec, &plan, &[]));
         // Layer 0's rack dies: its instance is unreachable from ext, so
         // layer 1 has no active feeder, so layer 2 fails too.

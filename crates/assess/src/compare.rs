@@ -38,11 +38,7 @@ impl Comparison {
     /// Indices of every plan statistically indistinguishable from the
     /// winner (always includes the winner itself).
     pub fn statistical_winners(&self) -> Vec<usize> {
-        self.ranking
-            .iter()
-            .filter(|r| r.tied_with_best)
-            .map(|r| r.input_index)
-            .collect()
+        self.ranking.iter().filter(|r| r.tied_with_best).map(|r| r.input_index).collect()
     }
 }
 
@@ -109,20 +105,12 @@ mod tests {
         );
         let m = t.fat_tree().unwrap();
         let spec = ApplicationSpec::k_of_n(1, 2);
-        let same_edge =
-            DeploymentPlan::new(&spec, vec![vec![m.host(0, 0, 0), m.host(0, 0, 1)]]);
-        let cross_pod_1 =
-            DeploymentPlan::new(&spec, vec![vec![m.host(0, 0, 0), m.host(1, 0, 0)]]);
-        let cross_pod_2 =
-            DeploymentPlan::new(&spec, vec![vec![m.host(1, 1, 0), m.host(2, 0, 0)]]);
+        let same_edge = DeploymentPlan::new(&spec, vec![vec![m.host(0, 0, 0), m.host(0, 0, 1)]]);
+        let cross_pod_1 = DeploymentPlan::new(&spec, vec![vec![m.host(0, 0, 0), m.host(1, 0, 0)]]);
+        let cross_pod_2 = DeploymentPlan::new(&spec, vec![vec![m.host(1, 1, 0), m.host(2, 0, 0)]]);
         let mut assessor = Assessor::new(&t, model);
-        let cmp = compare_plans(
-            &mut assessor,
-            &spec,
-            &[same_edge, cross_pod_1, cross_pod_2],
-            60_000,
-            9,
-        );
+        let cmp =
+            compare_plans(&mut assessor, &spec, &[same_edge, cross_pod_1, cross_pod_2], 60_000, 9);
         // A cross-pod plan must win; the two cross-pod plans tie.
         assert_ne!(cmp.best_index(), 0, "the correlated plan cannot win");
         let winners = cmp.statistical_winners();

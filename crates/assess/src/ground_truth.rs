@@ -36,13 +36,8 @@ pub fn exact_reliability(
     spec: &ApplicationSpec,
     plan: &DeploymentPlan,
 ) -> f64 {
-    let fallible: Vec<(usize, f64)> = model
-        .probs()
-        .iter()
-        .enumerate()
-        .filter(|(_, &p)| p > 0.0)
-        .map(|(i, &p)| (i, p))
-        .collect();
+    let fallible: Vec<(usize, f64)> =
+        model.probs().iter().enumerate().filter(|(_, &p)| p > 0.0).map(|(i, &p)| (i, p)).collect();
     assert!(
         fallible.len() <= MAX_FALLIBLE,
         "{} fallible events exceed the exact-enumeration cap of {MAX_FALLIBLE}",
@@ -105,10 +100,7 @@ mod tests {
         let model = FaultModel::new(
             &t,
             &ProbabilityConfig::PerKind {
-                table: vec![
-                    (ComponentKind::BorderSwitch, p_border),
-                    (ComponentKind::Host, p_host),
-                ],
+                table: vec![(ComponentKind::BorderSwitch, p_border), (ComponentKind::Host, p_host)],
                 default: 0.0,
             },
             0,

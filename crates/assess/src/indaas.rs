@@ -78,31 +78,29 @@ pub fn risk_profile(
         "plan does not satisfy its requirement even with everything alive"
     );
 
-    let mut check_world = |raw: &mut BitMatrix,
-                           collapsed: &mut BitMatrix,
-                           events: &[ComponentId]|
-     -> (bool, bool) {
-        for &e in events {
-            raw.set(e.index(), 0);
-        }
-        model.collapse_into(raw, collapsed);
-        router.begin_round(collapsed, 0);
-        let ok = checker.round_reliable(router.as_mut(), collapsed, 0);
-        // Degradation check: any plan host unreachable?
-        let mut degraded = false;
-        for c in 0..plan.num_components() {
-            for &h in plan.hosts_of(c) {
-                if !router.external_reaches(collapsed, h) {
-                    degraded = true;
-                    break;
+    let mut check_world =
+        |raw: &mut BitMatrix, collapsed: &mut BitMatrix, events: &[ComponentId]| -> (bool, bool) {
+            for &e in events {
+                raw.set(e.index(), 0);
+            }
+            model.collapse_into(raw, collapsed);
+            router.begin_round(collapsed, 0);
+            let ok = checker.round_reliable(router.as_mut(), collapsed, 0);
+            // Degradation check: any plan host unreachable?
+            let mut degraded = false;
+            for c in 0..plan.num_components() {
+                for &h in plan.hosts_of(c) {
+                    if !router.external_reaches(collapsed, h) {
+                        degraded = true;
+                        break;
+                    }
                 }
             }
-        }
-        for &e in events {
-            raw.unset(e.index(), 0);
-        }
-        (ok, degraded)
-    };
+            for &e in events {
+                raw.unset(e.index(), 0);
+            }
+            (ok, degraded)
+        };
 
     let mut fatal_singletons = Vec::new();
     let mut impactful = Vec::new();
@@ -134,8 +132,7 @@ pub fn risk_profile(
     let mut fatal_pairs = Vec::new();
     for i in 0..candidates.len() {
         for j in (i + 1)..candidates.len() {
-            let (ok, _) =
-                check_world(&mut raw, &mut collapsed, &[candidates[i], candidates[j]]);
+            let (ok, _) = check_world(&mut raw, &mut collapsed, &[candidates[i], candidates[j]]);
             if !ok {
                 fatal_pairs.push((candidates[i], candidates[j]));
             }
@@ -184,10 +181,7 @@ mod tests {
         let (t, m) = env();
         let meta = t.fat_tree().unwrap();
         let spec = ApplicationSpec::k_of_n(2, 2);
-        let plan = DeploymentPlan::new(
-            &spec,
-            vec![meta.hosts_under_edge(0, 0).take(2).collect()],
-        );
+        let plan = DeploymentPlan::new(&spec, vec![meta.hosts_under_edge(0, 0).take(2).collect()]);
         let profile = risk_profile(&t, &m, &spec, &plan);
         let edge = meta.edge(0, 0);
         assert!(profile.fatal_singletons.contains(&edge));
@@ -222,10 +216,7 @@ mod tests {
         );
         // The two hosts together are a minimal risk group.
         assert!(
-            profile
-                .fatal_pairs
-                .iter()
-                .any(|&(a, b)| (a == h1 && b == h2) || (a == h2 && b == h1)),
+            profile.fatal_pairs.iter().any(|&(a, b)| (a == h1 && b == h2) || (a == h2 && b == h1)),
             "the host pair must be a fatal pair: {:?}",
             profile.fatal_pairs
         );
@@ -242,18 +233,14 @@ mod tests {
         let (t, m) = env();
         let meta = t.fat_tree().unwrap();
         let spec = ApplicationSpec::k_of_n(1, 2);
-        let stacked = DeploymentPlan::new(
-            &spec,
-            vec![meta.hosts_under_edge(0, 0).take(2).collect()],
-        );
+        let stacked =
+            DeploymentPlan::new(&spec, vec![meta.hosts_under_edge(0, 0).take(2).collect()]);
         let h1 = meta.host(0, 0, 0);
         let h2 = t
             .hosts()
             .iter()
             .copied()
-            .find(|&h| {
-                meta.host_position(h).pod != 0 && t.power_of(h) != t.power_of(h1)
-            })
+            .find(|&h| meta.host_position(h).pod != 0 && t.power_of(h) != t.power_of(h1))
             .unwrap();
         let diverse = DeploymentPlan::new(&spec, vec![vec![h1, h2]]);
         let ranked = rank_by_risk(&t, &m, &spec, &[stacked, diverse]);

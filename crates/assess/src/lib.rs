@@ -35,8 +35,8 @@ pub mod sequential;
 pub mod wire;
 
 pub use assessor::{Assessment, Assessor, SamplerKind, Timings};
-pub use compare::{compare_plans, Comparison, RankedPlan};
 pub use check::StructureChecker;
+pub use compare::{compare_plans, Comparison, RankedPlan};
 pub use ground_truth::exact_reliability;
 pub use indaas::{rank_by_risk, risk_profile, RiskProfile};
 pub use parallel::ParallelAssessor;

@@ -36,6 +36,9 @@ pub struct ParallelAssessor {
     model: FaultModel,
     kind: SamplerKind,
     workers: usize,
+    /// Worker engines use the batched route-and-check path (the default);
+    /// scalar exists for equivalence tests and benchmarking.
+    batched: bool,
 }
 
 impl ParallelAssessor {
@@ -55,7 +58,13 @@ impl ParallelAssessor {
         kind: SamplerKind,
     ) -> Self {
         assert!(workers >= 1, "need at least one worker");
-        ParallelAssessor { topology: topology.clone(), model, kind, workers }
+        ParallelAssessor { topology: topology.clone(), model, kind, workers, batched: true }
+    }
+
+    /// Selects the batched or scalar route-and-check path in every worker
+    /// engine. Both produce bit-identical assessments.
+    pub fn set_batched(&mut self, batched: bool) {
+        self.batched = batched;
     }
 
     /// Assesses a plan over `rounds` rounds, distributing chunks over the
@@ -111,6 +120,7 @@ impl ParallelAssessor {
                 .collect();
             let plan = DeploymentPlan::new(spec, assignments);
             let mut engine = Assessor::with_sampler(&self.topology, self.model.clone(), self.kind);
+            engine.set_batched(self.batched);
             let mut checker = StructureChecker::new(spec, &plan);
             while let Ok(task) = task_rx.recv() {
                 let task = TaskFrame::decode(task).expect("master sent a valid task");
@@ -184,6 +194,28 @@ mod tests {
                 "workers={workers}"
             );
         }
+    }
+
+    #[test]
+    fn batched_parallel_equals_scalar_serial() {
+        let (t, model, spec, plan) = setup();
+        let mut scalar = Assessor::new(&t, model.clone());
+        scalar.set_batched(false);
+        let reference = scalar.assess(&spec, &plan, 9_000, 13);
+        for workers in [1, 2, 4] {
+            let par = ParallelAssessor::new(&t, model.clone(), workers);
+            let r = par.assess(&spec, &plan, 9_000, 13);
+            assert_eq!(
+                (r.estimate.successes, r.estimate.rounds),
+                (reference.estimate.successes, reference.estimate.rounds),
+                "workers={workers}"
+            );
+        }
+        // And the explicit scalar parallel path matches too.
+        let mut par = ParallelAssessor::new(&t, model, 2);
+        par.set_batched(false);
+        let r = par.assess(&spec, &plan, 9_000, 13);
+        assert_eq!(r.estimate.successes, reference.estimate.successes);
     }
 
     #[test]

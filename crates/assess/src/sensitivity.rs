@@ -47,11 +47,7 @@ impl SensitivityReport {
     /// Events whose forced failure alone makes the plan unreliable in
     /// more than half of all rounds — "single points of catastrophe".
     pub fn critical_events(&self) -> Vec<ComponentId> {
-        self.rows
-            .iter()
-            .filter(|r| r.conditional_reliability < 0.5)
-            .map(|r| r.event)
-            .collect()
+        self.rows.iter().filter(|r| r.conditional_reliability < 0.5).map(|r| r.event).collect()
     }
 }
 
@@ -110,20 +106,11 @@ mod tests {
         let spec = recloud_apps::ApplicationSpec::k_of_n(2, 3);
         // All three instances under one edge switch: the rack's group
         // supply takes everything down at once.
-        let plan = DeploymentPlan::new(
-            &spec,
-            vec![meta.hosts_under_edge(0, 0).take(3).collect()],
-        );
+        let plan = DeploymentPlan::new(&spec, vec![meta.hosts_under_edge(0, 0).take(3).collect()]);
         let group_supply = t.power_of(meta.host(0, 0, 0)).unwrap();
         let mut assessor = Assessor::new(&t, model);
-        let report = dependency_sensitivity(
-            &mut assessor,
-            &spec,
-            &plan,
-            t.power_supplies(),
-            4_000,
-            7,
-        );
+        let report =
+            dependency_sensitivity(&mut assessor, &spec, &plan, t.power_supplies(), 4_000, 7);
         assert_eq!(report.worst().event, group_supply);
         assert_eq!(report.worst().conditional_reliability, 0.0);
         assert!(report.critical_events().contains(&group_supply));
@@ -146,9 +133,7 @@ mod tests {
         // Three hosts with pairwise distinct group supplies.
         let mut hosts = Vec::new();
         for &h in t.hosts() {
-            if hosts
-                .iter()
-                .all(|&x: &recloud_topology::ComponentId| t.power_of(x) != t.power_of(h))
+            if hosts.iter().all(|&x: &recloud_topology::ComponentId| t.power_of(x) != t.power_of(h))
             {
                 hosts.push(h);
             }
@@ -158,14 +143,8 @@ mod tests {
         }
         let plan = DeploymentPlan::new(&spec, vec![hosts]);
         let mut assessor = Assessor::new(&t, model);
-        let report = dependency_sensitivity(
-            &mut assessor,
-            &spec,
-            &plan,
-            t.power_supplies(),
-            4_000,
-            7,
-        );
+        let report =
+            dependency_sensitivity(&mut assessor, &spec, &plan, t.power_supplies(), 4_000, 7);
         assert!(report.critical_events().is_empty(), "{:?}", report.rows);
         // 1-of-3 with distinct supplies: even the worst supply leaves the
         // plan mostly fine.

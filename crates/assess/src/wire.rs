@@ -231,10 +231,8 @@ mod tests {
 
     #[test]
     fn job_roundtrip() {
-        let f = JobFrame {
-            rounds_total: 10_000,
-            assignments: vec![vec![1, 2, 3], vec![], vec![42]],
-        };
+        let f =
+            JobFrame { rounds_total: 10_000, assignments: vec![vec![1, 2, 3], vec![], vec![42]] };
         assert_eq!(JobFrame::decode(f.encode()).unwrap(), f);
     }
 

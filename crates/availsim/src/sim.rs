@@ -190,7 +190,13 @@ impl AvailabilitySimulator {
             outage_durations.push(params.horizon_hours - start);
         }
 
-        AvailabilityReport::new(params.horizon_hours, up_time, outages, outage_durations, transitions)
+        AvailabilityReport::new(
+            params.horizon_hours,
+            up_time,
+            outages,
+            outage_durations,
+            transitions,
+        )
     }
 
     fn refresh(&self, raw: &BitMatrix, collapsed: &mut BitMatrix, c: u32) {

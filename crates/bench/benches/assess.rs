@@ -20,17 +20,13 @@ fn bench_assess(c: &mut Harness) {
         let mut rng = Rng::new(3);
         let plan = DeploymentPlan::random(&kofn, topo.hosts(), &mut rng);
         let mut assessor = Assessor::new(&topo, model.clone());
-        group.bench_with_input(
-            BenchmarkId::new("4-of-5", scale.to_string()),
-            &plan,
-            |b, plan| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    assessor.assess(&kofn, plan, rounds, seed)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("4-of-5", scale.to_string()), &plan, |b, plan| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                assessor.assess(&kofn, plan, rounds, seed)
+            });
+        });
 
         let layered = ApplicationSpec::layered(&[(4, 5), (4, 5)]);
         let plan2 = DeploymentPlan::random(&layered, topo.hosts(), &mut rng);

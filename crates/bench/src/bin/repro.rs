@@ -8,20 +8,22 @@
 //!
 //! Subcommands: `table2`, `fig7` … `fig12`, `ablation-delta`,
 //! `ablation-schedule`, `ablation-symmetry`, `ablation-fault-trees`,
-//! `all`. Flags: `--quick` (small scales/rounds), `--paper-times`
-//! (restore the 3–300 s Figure 9 budgets), `--seed <n>`.
+//! `bench-assess`, `all`. Flags: `--quick` (small scales/rounds),
+//! `--paper-times` (restore the 3–300 s Figure 9 budgets), `--seed <n>`,
+//! `--json <path>` (bench-assess: also write a machine-readable snapshot).
 
 use recloud_bench::figures::{self, ReproOptions};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: repro <table2|fig7|fig8|fig9|fig10|fig11|fig12|\
-ablation-delta|ablation-schedule|ablation-symmetry|ablation-fault-trees|all> \
-[--quick] [--paper-times] [--seed <n>]";
+ablation-delta|ablation-schedule|ablation-symmetry|ablation-fault-trees|\
+bench-assess|all> [--quick] [--paper-times] [--seed <n>] [--json <path>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command: Option<String> = None;
     let mut opts = ReproOptions::default();
+    let mut json: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -31,6 +33,13 @@ fn main() -> ExitCode {
                 Some(s) => opts.seed = s,
                 None => {
                     eprintln!("--seed needs an integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json = Some(p.clone()),
+                None => {
+                    eprintln!("--json needs a path\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -59,6 +68,7 @@ fn main() -> ExitCode {
         "ablation-schedule" => figures::ablation_schedule(&opts),
         "ablation-symmetry" => figures::ablation_symmetry(&opts),
         "ablation-fault-trees" => figures::ablation_fault_trees(&opts),
+        "bench-assess" => figures::bench_assess(&opts, json.as_deref()),
         "all" => {
             figures::table2();
             figures::fig7(&opts);
@@ -71,6 +81,7 @@ fn main() -> ExitCode {
             figures::ablation_schedule(&opts);
             figures::ablation_symmetry(&opts);
             figures::ablation_fault_trees(&opts);
+            figures::bench_assess(&opts, json.as_deref());
         }
         other => {
             eprintln!("unknown command '{other}'\n{USAGE}");

@@ -101,11 +101,8 @@ pub fn fig8(opts: &ReproOptions) {
     head("Figure 8: Accuracy of deployment assessment (95% CI width vs rounds)");
     let scale = if opts.quick { Scale::Small } else { Scale::Large };
     println!("scale: {}", scale.label());
-    let round_counts: &[usize] = if opts.quick {
-        &[1_000, 3_000, 10_000]
-    } else {
-        &[1_000, 3_000, 10_000, 30_000, 100_000]
-    };
+    let round_counts: &[usize] =
+        if opts.quick { &[1_000, 3_000, 10_000] } else { &[1_000, 3_000, 10_000, 30_000, 100_000] };
     let (topo, model) = paper_env(scale, opts.seed);
     let mut assessor = Assessor::new(&topo, model);
     let mut t = TextTable::new(vec!["redundancy", "rounds", "reliability", "ciw95"]);
@@ -207,11 +204,10 @@ fn time_per_plan(
     let mut searcher = Searcher::new(&mut assessor);
     let mut config = SearchConfig::iterations(iters, rounds, seed);
     config.use_symmetry = false; // "without the help of network transformations"
-    // Full pipeline per plan (no shared-table shortcut), so the number is
-    // comparable to the paper's per-plan evolve+assess cost.
+                                 // Full pipeline per plan (no shared-table shortcut), so the number is
+                                 // comparable to the paper's per-plan evolve+assess cost.
     config.common_random_numbers = false;
-    let (_out, ms) =
-        time_ms(|| searcher.search(spec, &ReliabilityObjective, &config, None));
+    let (_out, ms) = time_ms(|| searcher.search(spec, &ReliabilityObjective, &config, None));
     ms / iters as f64
 }
 
@@ -238,15 +234,11 @@ pub fn fig11(opts: &ReproOptions) {
     let rounds = if opts.quick { 2_000 } else { 10_000 };
     let iters = if opts.quick { 2 } else { 3 };
     let mut structures: Vec<(String, ApplicationSpec)> = (1..=4)
-        .map(|l| {
-            (format!("{l} layer(s)"), ApplicationSpec::layered(&vec![(4u32, 5u32); l]))
-        })
+        .map(|l| (format!("{l} layer(s)"), ApplicationSpec::layered(&vec![(4u32, 5u32); l])))
         .collect();
     for &(x, y) in &[(3u32, 5u32), (5, 10), (10, 20)] {
-        structures.push((
-            format!("microservice ({x}-{y})"),
-            ApplicationSpec::microservice(x, y, 4, 5),
-        ));
+        structures
+            .push((format!("microservice ({x}-{y})"), ApplicationSpec::microservice(x, y, 4, 5)));
     }
     let mut t = TextTable::new(vec!["scale", "structure", "instances", "ms/plan"]);
     for scale in scales(opts) {
@@ -310,21 +302,29 @@ pub fn fig12(opts: &ReproOptions) {
 /// Ablation: Eq 5 log-ratio Δ vs classic absolute Δ.
 pub fn ablation_delta(opts: &ReproOptions) {
     head("Ablation: acceptance delta rule (Eq 5 log-ratio vs classic absolute)");
-    ablation_search(opts, |cfg, variant| {
-        cfg.delta = if variant == 0 { DeltaRule::LogRatio } else { DeltaRule::Absolute };
-    }, &["log-ratio (paper)", "absolute (classic)"]);
+    ablation_search(
+        opts,
+        |cfg, variant| {
+            cfg.delta = if variant == 0 { DeltaRule::LogRatio } else { DeltaRule::Absolute };
+        },
+        &["log-ratio (paper)", "absolute (classic)"],
+    );
 }
 
 /// Ablation: Eq 6 budget-linear temperature vs classic geometric cooling.
 pub fn ablation_schedule(opts: &ReproOptions) {
     head("Ablation: temperature schedule (Eq 6 budget-linear vs geometric)");
-    ablation_search(opts, |cfg, variant| {
-        cfg.schedule = if variant == 0 {
-            TemperatureSchedule::PaperLinear
-        } else {
-            TemperatureSchedule::classic()
-        };
-    }, &["budget-linear (paper)", "geometric (classic)"]);
+    ablation_search(
+        opts,
+        |cfg, variant| {
+            cfg.schedule = if variant == 0 {
+                TemperatureSchedule::PaperLinear
+            } else {
+                TemperatureSchedule::classic()
+            };
+        },
+        &["budget-linear (paper)", "geometric (classic)"],
+    );
 }
 
 fn ablation_search(
@@ -368,14 +368,14 @@ pub fn ablation_symmetry(opts: &ReproOptions) {
     let spec = ApplicationSpec::k_of_n(4, 5);
     let iters = if opts.quick { 20 } else { 50 };
     let rounds = if opts.quick { 1_000 } else { 4_000 };
-    let mut t = TextTable::new(vec!["symmetry", "plans assessed", "sym-skips", "elapsed", "reliability"]);
+    let mut t =
+        TextTable::new(vec!["symmetry", "plans assessed", "sym-skips", "elapsed", "reliability"]);
     for on in [true, false] {
         let mut assessor = Assessor::new(&topo, model.clone());
         let mut searcher = Searcher::new(&mut assessor);
         let mut config = SearchConfig::iterations(iters, rounds, opts.seed);
         config.use_symmetry = on;
-        let (out, ms) =
-            time_ms(|| searcher.search(&spec, &ReliabilityObjective, &config, None));
+        let (out, ms) = time_ms(|| searcher.search(&spec, &ReliabilityObjective, &config, None));
         t.row(vec![
             if on { "on (paper)" } else { "off" }.to_string(),
             out.stats.plans_assessed.to_string(),
@@ -416,4 +416,172 @@ pub fn ablation_fault_trees(opts: &ReproOptions) {
     t.print();
     println!("note: ignoring shared power overestimates reliability — exactly the blind");
     println!("      spot reCloud exists to remove.");
+}
+
+/// One measured group of the route-and-check benchmark.
+#[derive(Debug)]
+pub struct AssessBenchGroup {
+    /// Scale label ("Tiny", "Small", …).
+    pub scale: String,
+    /// "scalar" or "batched".
+    pub mode: String,
+    /// Median wall time of one cached-table assessment.
+    pub median: Duration,
+    /// Median absolute deviation of the samples.
+    pub mad: Duration,
+    /// Rounds routed-and-checked per second at the median.
+    pub rounds_per_sec: f64,
+}
+
+/// Benchmark of the route-and-check stage: scalar vs the 64-round
+/// bit-sliced kernel, on cached failure-state tables (so sampling and
+/// collapse are paid once up front and the timed region is routing plus
+/// checking only). Prints a table and, when `json` is given, writes the
+/// results as a machine-readable snapshot (see `BENCH_assess.json`).
+pub fn bench_assess(opts: &ReproOptions, json: Option<&str>) {
+    head("Bench: route-and-check, scalar vs 64-round bit-sliced kernel");
+    let rounds = 10_000usize;
+    let samples: usize =
+        std::env::var("RECLOUD_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(9);
+    let spec_label = "4-of-5";
+    let spec = ApplicationSpec::k_of_n(4, 5);
+    let scales = if opts.quick {
+        vec![Scale::Tiny, Scale::Small]
+    } else {
+        vec![Scale::Tiny, Scale::Small, Scale::Medium]
+    };
+    println!("spec: {spec_label}, rounds: {rounds}, samples per group: {samples}");
+    let mut groups: Vec<AssessBenchGroup> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    let mut t = TextTable::new(vec!["scale", "mode", "median", "mad", "rounds/s", "speedup"]);
+    for scale in scales {
+        let (topo, model) = paper_env(scale, opts.seed);
+        let mut rng = Rng::new(opts.seed);
+        let plan = DeploymentPlan::random(&spec, topo.hosts(), &mut rng);
+        let mut medians = [Duration::ZERO; 2];
+        for (mi, mode) in ["scalar", "batched"].iter().enumerate() {
+            let mut assessor = Assessor::new(&topo, model.clone());
+            assessor.set_batched(*mode == "batched");
+            // Warm-up populates the table cache; timed runs are pure
+            // route-and-check over the cached tables.
+            assessor.assess(&spec, &plan, rounds, opts.seed);
+            let mut times: Vec<Duration> = (0..samples)
+                .map(|_| {
+                    let t0 = std::time::Instant::now();
+                    let a = assessor.assess(&spec, &plan, rounds, opts.seed);
+                    assert_eq!(a.estimate.rounds, rounds as u64);
+                    t0.elapsed()
+                })
+                .collect();
+            let (median, mad) = crate::harness::median_mad(&mut times);
+            medians[mi] = median;
+            groups.push(AssessBenchGroup {
+                scale: scale.label(),
+                mode: mode.to_string(),
+                median,
+                mad,
+                rounds_per_sec: rounds as f64 / median.as_secs_f64().max(1e-12),
+            });
+        }
+        let speedup = medians[0].as_secs_f64() / medians[1].as_secs_f64().max(1e-12);
+        speedups.push((scale.label(), speedup));
+        for g in &groups[groups.len() - 2..] {
+            t.row(vec![
+                g.scale.clone(),
+                g.mode.clone(),
+                fmt_ms(g.median.as_secs_f64() * 1e3),
+                fmt_ms(g.mad.as_secs_f64() * 1e3),
+                format!("{:.0}", g.rounds_per_sec),
+                if g.mode == "batched" { format!("{speedup:.1}x") } else { "1.0x".to_string() },
+            ]);
+        }
+    }
+    t.print();
+    if let Some(path) = json {
+        let body = assess_bench_json(rounds, spec_label, samples, &groups, &speedups);
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+/// Hand-rolled JSON encoding of the route-and-check benchmark results
+/// (the workspace has no serde; the shape is pinned by a test).
+fn assess_bench_json(
+    rounds: usize,
+    spec: &str,
+    samples: usize,
+    groups: &[AssessBenchGroup],
+    speedups: &[(String, f64)],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"assess-route-and-check\",\n");
+    s.push_str(&format!("  \"rounds\": {rounds},\n"));
+    s.push_str(&format!("  \"spec\": \"{spec}\",\n"));
+    s.push_str(&format!("  \"samples\": {samples},\n"));
+    s.push_str("  \"groups\": [\n");
+    for (i, g) in groups.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scale\": \"{}\", \"mode\": \"{}\", \"median_ns\": {}, \"mad_ns\": {}, \
+             \"rounds_per_sec\": {:.1}}}{}\n",
+            g.scale,
+            g.mode,
+            g.median.as_nanos(),
+            g.mad.as_nanos(),
+            g.rounds_per_sec,
+            if i + 1 < groups.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"speedups\": [\n");
+    for (i, (scale, x)) in speedups.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scale\": \"{scale}\", \"batched_over_scalar\": {x:.2}}}{}\n",
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assess_bench_json_shape_is_stable() {
+        let groups = vec![
+            AssessBenchGroup {
+                scale: "Tiny".into(),
+                mode: "scalar".into(),
+                median: Duration::from_nanos(1_500),
+                mad: Duration::from_nanos(20),
+                rounds_per_sec: 100.0,
+            },
+            AssessBenchGroup {
+                scale: "Tiny".into(),
+                mode: "batched".into(),
+                median: Duration::from_nanos(500),
+                mad: Duration::from_nanos(10),
+                rounds_per_sec: 300.0,
+            },
+        ];
+        let speedups = vec![("Tiny".to_string(), 3.0)];
+        let body = assess_bench_json(10_000, "4-of-5", 9, &groups, &speedups);
+        assert!(body.starts_with("{\n"));
+        assert!(body.ends_with("}\n"));
+        assert!(body.contains("\"benchmark\": \"assess-route-and-check\""));
+        assert!(body.contains("\"median_ns\": 1500"));
+        assert!(body.contains("\"batched_over_scalar\": 3.00"));
+        // Balanced braces/brackets — the cheap no-serde well-formedness check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                body.matches(open).count(),
+                body.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        // Exactly one JSON object per group plus the two speedup/top objects.
+        assert_eq!(body.matches("\"mode\"").count(), 2);
+    }
 }

@@ -254,11 +254,7 @@ mod tests {
 
     #[test]
     fn bencher_runs_warmup_plus_samples() {
-        let mut h = Harness {
-            samples_override: None,
-            warmup: 3,
-            reported: 0,
-        };
+        let mut h = Harness { samples_override: None, warmup: 3, reported: 0 };
         let calls = std::cell::Cell::new(0usize);
         {
             let mut g = h.benchmark_group("selftest");

@@ -1,8 +1,8 @@
 //! Command implementations. Each returns the rendered output string.
 
 use crate::args::{CliError, Parsed};
-use recloud::prelude::*;
 use recloud::assess::compare_plans;
+use recloud::prelude::*;
 use recloud::search::common_practice::power_diversity;
 use recloud::topology::{BCubeParams, Vl2Params};
 use std::fmt::Write as _;
@@ -148,12 +148,8 @@ pub fn topo(p: &Parsed) -> Result<String, CliError> {
         t.border_switches().len(),
         t.power_supplies().len()
     );
-    let _ = writeln!(
-        out,
-        "  {} components total, {} links",
-        t.num_components(),
-        t.graph().num_edges()
-    );
+    let _ =
+        writeln!(out, "  {} components total, {} links", t.num_components(), t.graph().num_edges());
     Ok(out)
 }
 
@@ -165,7 +161,8 @@ pub fn assess(p: &Parsed) -> Result<String, CliError> {
     let (label, spec) = build_spec(p)?;
     let plan = plan_from_flags(p, &t, &spec, seed)?;
     let model = FaultModel::paper_default(&t, seed);
-    let kind = if p.has("monte-carlo") { SamplerKind::MonteCarlo } else { SamplerKind::ExtendedDagger };
+    let kind =
+        if p.has("monte-carlo") { SamplerKind::MonteCarlo } else { SamplerKind::ExtendedDagger };
     let mut assessor = Assessor::with_sampler(&t, model, kind);
     let a = assessor.assess(&spec, &plan, rounds, seed);
     let mut out = String::new();
@@ -203,9 +200,8 @@ pub fn search(p: &Parsed) -> Result<String, CliError> {
         svc = svc.with_rules(PlacementRules::distinct_racks());
     }
     let req = Requirements::paper_default().budget(budget).rounds(rounds);
-    let outcome = svc
-        .deploy_best_effort(&spec, &req)
-        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let outcome =
+        svc.deploy_best_effort(&spec, &req).map_err(|e| CliError::Invalid(e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -246,9 +242,8 @@ pub fn compare(p: &Parsed) -> Result<String, CliError> {
     let (label, spec) = build_spec(p)?;
     let model = FaultModel::paper_default(&t, seed);
     let mut rng = Rng::new(seed);
-    let plans: Vec<DeploymentPlan> = (0..n_candidates)
-        .map(|_| DeploymentPlan::random(&spec, t.hosts(), &mut rng))
-        .collect();
+    let plans: Vec<DeploymentPlan> =
+        (0..n_candidates).map(|_| DeploymentPlan::random(&spec, t.hosts(), &mut rng)).collect();
     let mut assessor = Assessor::new(&t, model);
     let cmp = compare_plans(&mut assessor, &spec, &plans, rounds, seed);
     let mut out = String::new();
@@ -310,8 +305,7 @@ pub fn whatif(p: &Parsed) -> Result<String, CliError> {
     // One injected round through the full pipeline.
     let mut raw = recloud::sampling::BitMatrix::new(model.num_events(), 1);
     injector.apply(&mut raw);
-    let mut collapsed =
-        recloud::sampling::BitMatrix::new(model.num_topology_components(), 1);
+    let mut collapsed = recloud::sampling::BitMatrix::new(model.num_topology_components(), 1);
     model.collapse_into(&raw, &mut collapsed);
     let mut router = recloud::routing::make_router(&t);
     router.begin_round(&collapsed, 0);
@@ -379,8 +373,7 @@ pub fn sensitivity(p: &Parsed) -> Result<String, CliError> {
     if critical.is_empty() {
         let _ = writeln!(out, "no single dependency takes the plan below 50% reliability");
     } else {
-        let names: Vec<String> =
-            critical.iter().map(|&c| t.component(c).name()).collect();
+        let names: Vec<String> = critical.iter().map(|&c| t.component(c).name()).collect();
         let _ = writeln!(out, "CRITICAL single points of catastrophe: {}", names.join(", "));
     }
     Ok(out)
@@ -395,10 +388,7 @@ pub fn blast(p: &Parsed) -> Result<String, CliError> {
     let _ = writeln!(out, "blast radius per power supply (components failing together):");
     for &supply in t.power_supplies() {
         let radius = model.blast_radius(supply);
-        let hosts = radius
-            .iter()
-            .filter(|c| t.component(**c).kind == ComponentKind::Host)
-            .count();
+        let hosts = radius.iter().filter(|c| t.component(**c).kind == ComponentKind::Host).count();
         let switches = radius.iter().filter(|c| t.component(**c).kind.is_switch()).count();
         let _ = writeln!(
             out,

@@ -141,8 +141,7 @@ mod tests {
     fn assess_accepts_explicit_hosts() {
         // In the tiny (k=8) fat-tree, hosts start after 16 core + 28 agg
         // + 28 edge switches, i.e. at id 72.
-        let out =
-            run_str("assess --scale tiny --k 1 --n 2 --rounds 500 --hosts 72,73").unwrap();
+        let out = run_str("assess --scale tiny --k 1 --n 2 --rounds 500 --hosts 72,73").unwrap();
         assert!(out.contains("c72"), "{out}");
     }
 
@@ -179,8 +178,7 @@ mod tests {
 
     #[test]
     fn layered_app_flag() {
-        let out =
-            run_str("assess --scale tiny --k 1 --n 2 --layers 3 --rounds 300").unwrap();
+        let out = run_str("assess --scale tiny --k 1 --n 2 --layers 3 --rounds 300").unwrap();
         assert!(out.contains("3-layer"), "{out}");
     }
 
@@ -204,8 +202,7 @@ mod extension_tests {
 
     #[test]
     fn sensitivity_ranks_supplies() {
-        let out =
-            run_str("sensitivity --scale tiny --k 2 --n 3 --rounds 1000 --seed 3").unwrap();
+        let out = run_str("sensitivity --scale tiny --k 2 --n 3 --rounds 1000 --seed 3").unwrap();
         assert!(out.contains("baseline reliability"), "{out}");
         assert!(out.contains("blast radius"), "{out}");
         assert!(out.contains("power"), "{out}");
@@ -229,10 +226,7 @@ mod extension_tests {
 
     #[test]
     fn availability_compares_static_and_dynamic() {
-        let out = run_str(
-            "availability --scale tiny --k 1 --n 2 --years 2 --seed 5",
-        )
-        .unwrap();
+        let out = run_str("availability --scale tiny --k 1 --n 2 --years 2 --seed 5").unwrap();
         assert!(out.contains("static reliability score"), "{out}");
         assert!(out.contains("dynamic availability"), "{out}");
         assert!(out.contains("outages"), "{out}");

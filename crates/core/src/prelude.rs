@@ -15,7 +15,9 @@ pub use recloud_faults::{
     BathtubCurve, FaultInjector, FaultModel, FaultTree, FaultTreeBuilder, Fig5Template,
     ProbabilityConfig,
 };
-pub use recloud_sampling::{ExtendedDaggerSampler, MonteCarloSampler, ReliabilityEstimate, Rng, Sampler};
+pub use recloud_sampling::{
+    ExtendedDaggerSampler, MonteCarloSampler, ReliabilityEstimate, Rng, Sampler,
+};
 pub use recloud_search::{
     common_practice, enhanced_common_practice, migration_cost, DeltaRule, HolisticObjective,
     LatencyObjective, MigrationBudget, MigrationObjective, Objective, ReliabilityObjective,

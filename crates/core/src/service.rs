@@ -204,9 +204,7 @@ mod tests {
     use recloud_topology::FatTreeParams;
 
     fn quick_requirements() -> Requirements {
-        Requirements::paper_default()
-            .budget(Duration::from_millis(200))
-            .rounds(500)
+        Requirements::paper_default().budget(Duration::from_millis(200)).rounds(500)
     }
 
     #[test]

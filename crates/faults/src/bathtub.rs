@@ -49,7 +49,9 @@ impl BathtubCurve {
         assert!(self.infant_multiplier >= 1.0, "infant multiplier must be >= 1");
         assert!(self.wearout_multiplier >= 1.0, "wearout multiplier must be >= 1");
         assert!(
-            0.0 < self.infant_end && self.infant_end < self.wearout_start && self.wearout_start < 1.0,
+            0.0 < self.infant_end
+                && self.infant_end < self.wearout_start
+                && self.wearout_start < 1.0,
             "phases must satisfy 0 < infant_end < wearout_start < 1"
         );
     }
@@ -115,7 +117,8 @@ mod tests {
         let eps = 1e-9;
         assert!((c.multiplier(c.infant_end - eps) - c.multiplier(c.infant_end + eps)).abs() < 1e-6);
         assert!(
-            (c.multiplier(c.wearout_start - eps) - c.multiplier(c.wearout_start + eps)).abs() < 1e-6
+            (c.multiplier(c.wearout_start - eps) - c.multiplier(c.wearout_start + eps)).abs()
+                < 1e-6
         );
     }
 

@@ -42,10 +42,7 @@ pub fn cvss_to_annual_probability_with(score: f64, lambda: f64) -> f64 {
 /// fails if *any* vulnerability is triggered (independence assumption, as
 /// in the cited attack-graph work).
 pub fn combined_cvss_probability(scores: &[f64]) -> f64 {
-    let survive: f64 = scores
-        .iter()
-        .map(|&s| 1.0 - cvss_to_annual_probability(s))
-        .product();
+    let survive: f64 = scores.iter().map(|&s| 1.0 - cvss_to_annual_probability(s)).product();
     1.0 - survive
 }
 

@@ -102,7 +102,7 @@ impl FaultModel {
         assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
         let id = ComponentId::from_index(self.probs.len());
         self.probs.push(p);
-        self.aux.push(AuxComponent { id, kind, label: to_label(label) });
+        self.aux.push(AuxComponent { id, kind, label: label.to_owned() });
         id
     }
 
@@ -227,10 +227,6 @@ impl FaultModel {
             }
         }
     }
-}
-
-fn to_label(s: &str) -> String {
-    s.to_owned()
 }
 
 #[cfg(test)]

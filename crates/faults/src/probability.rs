@@ -86,10 +86,7 @@ impl ProbabilityConfig {
 /// the window.
 pub fn downtime_ratio(downtime: f64, window: f64) -> f64 {
     assert!(window > 0.0, "window must be positive");
-    assert!(
-        (0.0..=window).contains(&downtime),
-        "downtime must lie within [0, window]"
-    );
+    assert!((0.0..=window).contains(&downtime), "downtime must lie within [0, window]");
     downtime / window
 }
 

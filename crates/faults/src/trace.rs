@@ -72,25 +72,18 @@ impl DowntimeLog {
 
     /// Total recorded downtime for a component.
     pub fn downtime_of(&self, c: ComponentId) -> f64 {
-        self.intervals
-            .get(&c.0)
-            .map(|v| v.iter().map(|(s, e)| e - s).sum())
-            .unwrap_or(0.0)
+        self.intervals.get(&c.0).map(|v| v.iter().map(|(s, e)| e - s).sum()).unwrap_or(0.0)
     }
 
     /// True if the component was down at time `t`.
     pub fn down_at(&self, c: ComponentId, t: f64) -> bool {
-        self.intervals
-            .get(&c.0)
-            .is_some_and(|v| v.iter().any(|&(s, e)| t >= s && t < e))
+        self.intervals.get(&c.0).is_some_and(|v| v.iter().any(|&(s, e)| t >= s && t < e))
     }
 
     /// The §2.1 probability vector: `p_i = downtime_i / window` for every
     /// component id in `0..n`.
     pub fn probabilities(&self, n: usize) -> Vec<f64> {
-        (0..n)
-            .map(|i| self.downtime_of(ComponentId::from_index(i)) / self.window)
-            .collect()
+        (0..n).map(|i| self.downtime_of(ComponentId::from_index(i)) / self.window).collect()
     }
 
     /// Fills a state matrix by *replaying* the log: each round is a

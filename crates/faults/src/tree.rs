@@ -111,9 +111,9 @@ impl FaultTree {
         match &self.nodes[id as usize] {
             Node::Basic(c) => word_of(*c),
             Node::Or(ch) => ch.iter().fold(0u64, |acc, &c| acc | self.eval_node_word(c, word_of)),
-            Node::And(ch) => ch
-                .iter()
-                .fold(u64::MAX, |acc, &c| acc & self.eval_node_word(c, word_of)),
+            Node::And(ch) => {
+                ch.iter().fold(u64::MAX, |acc, &c| acc & self.eval_node_word(c, word_of))
+            }
             Node::KofN(k, ch) => {
                 // Bitwise thresholding: count failures per bit lane.
                 let mut counts = [0u8; 64];
@@ -338,7 +338,8 @@ mod tests {
         let leaves: Vec<_> = (0..7).map(|i| b.basic(c(i))).collect();
         let root = b.k_of_n(4, leaves);
         let t = b.build(root);
-        let words: Vec<u64> = (0..7).map(|i| 0xDEAD_BEEF_CAFE_F00Du64.rotate_right(i * 7)).collect();
+        let words: Vec<u64> =
+            (0..7).map(|i| 0xDEAD_BEEF_CAFE_F00Du64.rotate_right(i * 7)).collect();
         let word = t.eval_word(&|x: ComponentId| words[x.index()]);
         for lane in 0..64 {
             let scalar = t.eval(&|x: ComponentId| (words[x.index()] >> lane) & 1 == 1);

@@ -78,9 +78,7 @@ pub fn explain_unreachable(
     let alive_agg_groups: Vec<u32> =
         (0..meta.half).filter(|&g| !failed(meta.agg(pos.pod, g))).collect();
     let alive_border_groups: Vec<u32> = (0..meta.half)
-        .filter(|&g| {
-            !failed(meta.border(g)) && (0..meta.half).any(|j| !failed(meta.core(g, j)))
-        })
+        .filter(|&g| !failed(meta.border(g)) && (0..meta.half).any(|j| !failed(meta.core(g, j))))
         .collect();
     let has_path = alive_agg_groups.iter().any(|g| alive_border_groups.contains(g));
     if !has_path {

@@ -42,12 +42,23 @@ pub use updown::UpDownRouter;
 use recloud_sampling::BitMatrix;
 use recloud_topology::{ComponentId, Topology, TopologyKind};
 
-/// Reachability oracle for one sampling round.
+/// Reachability oracle for one sampling round — or, through the word API,
+/// for 64 rounds at a time.
 ///
-/// Protocol: call [`Router::begin_round`] with the collapsed state matrix
-/// and a round index, then issue queries *against the same matrix and
-/// round*. The matrix is passed by reference on every call so routers can
-/// read states lazily without copying a 30K-component column per round.
+/// Scalar protocol: call [`Router::begin_round`] with the collapsed state
+/// matrix and a round index, then issue queries *against the same matrix
+/// and round*. The matrix is passed by reference on every call so routers
+/// can read states lazily without copying a 30K-component column per round.
+///
+/// Word protocol (the bit-sliced kernel): call [`Router::begin_word`] with
+/// a word index `w`, then issue [`Router::external_reach_word`] /
+/// [`Router::connects_word`] queries for the same `(states, w)`. Bit `r`
+/// of a result word is the verdict for round `64·w + r`, bit-identical to
+/// the scalar query on that round. Bits beyond the matrix's round count
+/// are unspecified — callers mask with [`BitMatrix::word_mask`].
+///
+/// The two protocols share router scratch: interleaving them is allowed
+/// only by re-issuing the relevant `begin_*` call first.
 pub trait Router {
     /// Installs the failure states of one round (the per-round context
     /// setup). `states` must be the *collapsed* matrix: one row per
@@ -66,6 +77,99 @@ pub trait Router {
 
     /// Human-readable router name for reports.
     fn name(&self) -> &'static str;
+
+    /// Installs the context for the 64 rounds of word `word` (the batched
+    /// analogue of [`Router::begin_round`]). The default is a no-op:
+    /// fallback word implementations re-derive any scalar context they
+    /// need per round.
+    fn begin_word(&mut self, _states: &BitMatrix, _word: usize) {}
+
+    /// True when the word queries are answered natively in O(1) bit
+    /// algebra rather than by a per-round fallback loop. Batched callers
+    /// use this to decide between host-major word queries (native) and
+    /// round-major screening (fallback).
+    fn word_native(&self) -> bool {
+        false
+    }
+
+    /// Screen mask for word `word`: bit r **clear** proves that round
+    /// `64·w + r`'s verdicts equal the all-alive baseline, so the round
+    /// can skip routing entirely. The default — OR of every component row,
+    /// i.e. "anything failed at all" — is correct for every router because
+    /// verdicts are a pure function of the round's states.
+    fn screen_word(&mut self, states: &BitMatrix, word: usize) -> u64 {
+        states.any_failed_word(word)
+    }
+
+    /// All-alive-world verdict of [`Router::external_reaches`] — what a
+    /// screened-out (clean) round resolves to. The default derives it from
+    /// a 1-round all-alive matrix through the scalar path; routers
+    /// override to serve it from a topology-static cache. Clobbers scalar
+    /// per-round context.
+    fn baseline_external(&mut self, states: &BitMatrix, host: ComponentId) -> bool {
+        let alive = BitMatrix::new(states.components(), 1);
+        self.begin_round(&alive, 0);
+        self.external_reaches(&alive, host)
+    }
+
+    /// All-alive-world verdict of [`Router::connects`]; same contract as
+    /// [`Router::baseline_external`].
+    fn baseline_connects(&mut self, states: &BitMatrix, a: ComponentId, b: ComponentId) -> bool {
+        let alive = BitMatrix::new(states.components(), 1);
+        self.begin_round(&alive, 0);
+        self.connects(&alive, a, b)
+    }
+
+    /// 64-round batched [`Router::external_reaches`]: bit r of the result
+    /// is the verdict for round `64·word + r`. The default falls back to
+    /// the scalar query on the set bits of the screen mask — clean rounds
+    /// shortcut to the all-alive verdict without any routing. Clobbers
+    /// scalar per-round context.
+    fn external_reach_word(&mut self, states: &BitMatrix, host: ComponentId, word: usize) -> u64 {
+        let valid = states.word_mask(word);
+        let screen = self.screen_word(states, word) & valid;
+        let mut out = 0u64;
+        if screen != valid && self.baseline_external(states, host) {
+            out = valid & !screen;
+        }
+        let mut dirty = screen;
+        while dirty != 0 {
+            let r = dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            self.begin_round(states, word * 64 + r);
+            if self.external_reaches(states, host) {
+                out |= 1 << r;
+            }
+        }
+        out
+    }
+
+    /// 64-round batched [`Router::connects`]; same contract and default
+    /// strategy as [`Router::external_reach_word`].
+    fn connects_word(
+        &mut self,
+        states: &BitMatrix,
+        a: ComponentId,
+        b: ComponentId,
+        word: usize,
+    ) -> u64 {
+        let valid = states.word_mask(word);
+        let screen = self.screen_word(states, word) & valid;
+        let mut out = 0u64;
+        if screen != valid && self.baseline_connects(states, a, b) {
+            out = valid & !screen;
+        }
+        let mut dirty = screen;
+        while dirty != 0 {
+            let r = dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            self.begin_round(states, word * 64 + r);
+            if self.connects(states, a, b) {
+                out |= 1 << r;
+            }
+        }
+        out
+    }
 }
 
 /// Picks the best router for a topology: analytic for fat-trees, generic
@@ -144,6 +248,84 @@ mod agreement_tests {
                 }
             }
         }
+    }
+
+    /// Every router's word API must agree bit-for-bit with its own scalar
+    /// verdicts — native bit algebra (analytic) and screened fallback
+    /// (reference BFS routers) alike — including on a ragged tail word.
+    #[test]
+    fn word_api_agrees_with_scalar_for_every_router() {
+        let t = FatTreeParams::new(4).build();
+        let rounds = 150; // 2 full words + a 22-round tail
+        let states = random_states(&t, rounds, 0.08, 3);
+        let hosts = t.hosts();
+        let probes: Vec<_> = hosts.iter().step_by(5).copied().collect();
+        let routers: Vec<Box<dyn Router>> = vec![
+            Box::new(FatTreeRouter::new(&t)),
+            Box::new(UpDownRouter::for_fat_tree(&t)),
+            Box::new(GenericRouter::new(&t)),
+        ];
+        for mut r in routers {
+            let name = r.name();
+            for w in 0..rounds.div_ceil(64) {
+                let valid = states.word_mask(w);
+                r.begin_word(&states, w);
+                let reach: Vec<u64> =
+                    probes.iter().map(|&h| r.external_reach_word(&states, h, w)).collect();
+                r.begin_word(&states, w);
+                let conn: Vec<u64> =
+                    probes.iter().map(|&h| r.connects_word(&states, probes[0], h, w)).collect();
+                for bit in 0..states.rounds_in_word(w) {
+                    let round = w * 64 + bit;
+                    r.begin_round(&states, round);
+                    for (i, &h) in probes.iter().enumerate() {
+                        assert_eq!(
+                            (reach[i] >> bit) & 1 == 1,
+                            r.external_reaches(&states, h),
+                            "{name}: external round {round} host {h}"
+                        );
+                        assert_eq!(
+                            (conn[i] >> bit) & 1 == 1,
+                            r.connects(&states, probes[0], h),
+                            "{name}: connects round {round} host {h}"
+                        );
+                    }
+                }
+                // Valid-bit masking must be harmless (callers mask anyway).
+                for m in &reach {
+                    let _ = m & valid;
+                }
+            }
+        }
+    }
+
+    /// The screen mask may only clear a bit when the round is genuinely
+    /// all-alive; set bits are allowed to be conservative.
+    #[test]
+    fn screen_word_is_sound() {
+        let t = FatTreeParams::new(4).build();
+        let rounds = 100;
+        let states = random_states(&t, rounds, 0.02, 9);
+        let mut r = GenericRouter::new(&t);
+        for w in 0..rounds.div_ceil(64) {
+            let screen = r.screen_word(&states, w);
+            for bit in 0..states.rounds_in_word(w) {
+                if (screen >> bit) & 1 == 0 {
+                    let round = w * 64 + bit;
+                    for c in 0..states.components() {
+                        assert!(!states.get(c, round), "clean round {round} has a failure");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_analytic_router_is_word_native() {
+        let t = FatTreeParams::new(4).build();
+        assert!(FatTreeRouter::new(&t).word_native());
+        assert!(!UpDownRouter::for_fat_tree(&t).word_native());
+        assert!(!GenericRouter::new(&t).word_native());
     }
 
     #[test]

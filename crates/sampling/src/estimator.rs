@@ -32,6 +32,21 @@ impl ResultAccumulator {
         self.successes += reliable as u64;
     }
 
+    /// Records one 64-round verdict word from the bit-sliced route-and-check
+    /// path: bit r of `mask` is round r's verdict, of which only the low
+    /// `n` bits are valid (a short tail word passes `n < 64`; higher bits
+    /// are ignored, whatever they hold).
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn push_word(&mut self, mask: u64, n: u32) {
+        assert!(n <= 64, "a verdict word holds at most 64 rounds");
+        let valid = if n == 64 { !0 } else { (1u64 << n) - 1 };
+        self.rounds += n as u64;
+        self.successes += (mask & valid).count_ones() as u64;
+    }
+
     /// Records a pre-aggregated batch (what a parallel worker returns).
     pub fn push_batch(&mut self, rounds: u64, successes: u64) {
         assert!(successes <= rounds, "more successes than rounds");
@@ -160,6 +175,31 @@ mod tests {
         // Same score (0.999), 100x rounds -> 10x smaller CIW.
         let ratio = small.estimate().ciw95() / big.estimate().ciw95();
         assert!((ratio - 10.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn push_word_equals_bit_pushes() {
+        let mask = 0xDEAD_BEEF_0123_4567u64;
+        for n in [1u32, 7, 63, 64] {
+            let mut word = ResultAccumulator::new();
+            word.push_word(mask, n);
+            let mut bits = ResultAccumulator::new();
+            for r in 0..n {
+                bits.push((mask >> r) & 1 == 1);
+            }
+            assert_eq!(word, bits, "n={n}");
+        }
+        // Garbage above the valid bits must not count.
+        let mut acc = ResultAccumulator::new();
+        acc.push_word(!0, 3);
+        assert_eq!(acc.rounds(), 3);
+        assert_eq!(acc.successes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 rounds")]
+    fn push_word_rejects_oversized() {
+        ResultAccumulator::new().push_word(0, 65);
     }
 
     #[test]

@@ -198,7 +198,8 @@ where
     F: Fn(&mut Gen) -> Result<(), String>,
 {
     let blame = || {
-        let which = if case == usize::MAX { "replayed case".into() } else { format!("case {case}") };
+        let which =
+            if case == usize::MAX { "replayed case".into() } else { format!("case {case}") };
         format!(
             "property '{name}' failed at {which}; replay with RECLOUD_PROPTEST_REPLAY={case_seed}"
         )

@@ -63,12 +63,7 @@ impl BitMatrix {
     /// An all-alive matrix of the given shape.
     pub fn new(components: usize, rounds: usize) -> Self {
         let words_per_row = rounds.div_ceil(64);
-        BitMatrix {
-            components,
-            rounds,
-            words_per_row,
-            bits: vec![0; components * words_per_row],
-        }
+        BitMatrix { components, rounds, words_per_row, bits: vec![0; components * words_per_row] }
     }
 
     /// Number of component rows.
@@ -142,6 +137,42 @@ impl BitMatrix {
             }
         }
         self.bits[c * self.words_per_row + w] = v;
+    }
+
+    /// Number of valid rounds covered by word `w` (64 for every word but a
+    /// short tail, where it is `rounds % 64`).
+    #[inline]
+    pub fn rounds_in_word(&self, w: usize) -> usize {
+        debug_assert!(w < self.words_per_row || (self.words_per_row == 0 && w == 0));
+        (self.rounds - w * 64).min(64)
+    }
+
+    /// Mask of the valid round bits of word `w`: bit r is set iff round
+    /// `64·w + r` exists. All-ones except possibly for the tail word.
+    #[inline]
+    pub fn word_mask(&self, w: usize) -> u64 {
+        let n = self.rounds_in_word(w);
+        if n == 64 {
+            !0
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    /// OR of every component's word `w`: bit r is set iff *any* component
+    /// failed in round `64·w + r`. This is the batched route-and-check
+    /// screen mask — a zero bit proves the round's verdict equals the
+    /// all-alive baseline, so the round can skip routing entirely.
+    pub fn any_failed_word(&self, w: usize) -> u64 {
+        debug_assert!(w < self.words_per_row);
+        let mut acc = 0u64;
+        let mut i = w;
+        // Strided walk down the column of round-words.
+        for _ in 0..self.components {
+            acc |= self.bits[i];
+            i += self.words_per_row;
+        }
+        acc
     }
 
     /// Total failed (component, round) cells — handy for sanity checks.
@@ -220,5 +251,35 @@ mod tests {
         let m = BitMatrix::new(2, 65);
         // 65 bits -> 2 words per row, 2 rows -> 32 bytes.
         assert_eq!(m.bytes(), 32);
+    }
+
+    #[test]
+    fn word_mask_and_rounds_in_word() {
+        let m = BitMatrix::new(1, 130);
+        assert_eq!(m.rounds_in_word(0), 64);
+        assert_eq!(m.rounds_in_word(1), 64);
+        assert_eq!(m.rounds_in_word(2), 2);
+        assert_eq!(m.word_mask(0), !0);
+        assert_eq!(m.word_mask(2), 0b11);
+        let exact = BitMatrix::new(1, 64);
+        assert_eq!(exact.rounds_in_word(0), 64);
+        assert_eq!(exact.word_mask(0), !0);
+    }
+
+    #[test]
+    fn any_failed_word_is_column_or() {
+        let mut m = BitMatrix::new(3, 100);
+        assert_eq!(m.any_failed_word(0), 0);
+        assert_eq!(m.any_failed_word(1), 0);
+        m.set(0, 3);
+        m.set(1, 3);
+        m.set(2, 70);
+        assert_eq!(m.any_failed_word(0), 1 << 3);
+        assert_eq!(m.any_failed_word(1), 1 << (70 - 64));
+        for r in 0..100 {
+            let expect = (0..3).any(|c| m.get(c, r));
+            let got = (m.any_failed_word(r / 64) >> (r % 64)) & 1 == 1;
+            assert_eq!(got, expect, "round {r}");
+        }
     }
 }

@@ -88,11 +88,7 @@ impl SearchConfig {
 
     /// Deterministic variant for tests/benches: iteration budget.
     pub fn iterations(n: usize, rounds: usize, seed: u64) -> Self {
-        SearchConfig {
-            budget: SearchBudget::Iterations(n),
-            rounds,
-            ..Self::paper_default(seed)
-        }
+        SearchConfig { budget: SearchBudget::Iterations(n), rounds, ..Self::paper_default(seed) }
     }
 }
 
@@ -472,8 +468,7 @@ mod tests {
         // Uniform probabilities + single power supply: most moves are
         // symmetric, so the checker must fire.
         let t = FatTreeParams::new(8).power_supplies(1).build();
-        let mut model =
-            FaultModel::new(&t, &recloud_faults::ProbabilityConfig::Uniform(0.01), 0);
+        let mut model = FaultModel::new(&t, &recloud_faults::ProbabilityConfig::Uniform(0.01), 0);
         model.attach_power_dependencies(&t);
         let mut assessor = Assessor::new(&t, model);
         let spec = ApplicationSpec::k_of_n(2, 3);

@@ -60,10 +60,7 @@ pub fn common_practice(
 
 /// Number of distinct power supplies feeding a plan's hosts.
 pub fn power_diversity(topology: &Topology, plan: &DeploymentPlan) -> usize {
-    plan.all_hosts()
-        .filter_map(|h| topology.power_of(h))
-        .collect::<HashSet<_>>()
-        .len()
+    plan.all_hosts().filter_map(|h| topology.power_of(h)).collect::<HashSet<_>>().len()
 }
 
 /// Enhanced common practice (§4.2.2): top-5 non-repeating CP plans, pick
@@ -119,8 +116,7 @@ mod tests {
         // Its average load must be no worse than a random plan's (strongly
         // so: it picks from the global minimum).
         let cp_load = w.average(plan.all_hosts());
-        let overall: f64 =
-            t.hosts().iter().map(|&h| w.get(h)).sum::<f64>() / t.num_hosts() as f64;
+        let overall: f64 = t.hosts().iter().map(|&h| w.get(h)).sum::<f64>() / t.num_hosts() as f64;
         assert!(cp_load < overall, "CP load {cp_load} vs average {overall}");
     }
 

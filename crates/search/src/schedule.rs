@@ -184,10 +184,8 @@ mod tests {
 
     #[test]
     fn iteration_budget_clock() {
-        let mut c = BudgetClock::start(
-            SearchBudget::Iterations(4),
-            TemperatureSchedule::PaperLinear,
-        );
+        let mut c =
+            BudgetClock::start(SearchBudget::Iterations(4), TemperatureSchedule::PaperLinear);
         assert!((c.temperature() - 1.0).abs() < 1e-12);
         assert!(!c.exhausted());
         c.tick();
@@ -201,10 +199,8 @@ mod tests {
 
     #[test]
     fn geometric_schedule_decays() {
-        let mut c = BudgetClock::start(
-            SearchBudget::Iterations(100),
-            TemperatureSchedule::classic(),
-        );
+        let mut c =
+            BudgetClock::start(SearchBudget::Iterations(100), TemperatureSchedule::classic());
         let t0 = c.temperature();
         for _ in 0..10 {
             c.tick();

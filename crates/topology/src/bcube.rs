@@ -204,12 +204,7 @@ mod tests {
     fn level0_neighbors_differ_in_digit0() {
         // Servers 0..4 share level-0 switch 0 (digits 00, 01, 02, 03).
         let t = BCubeParams::new(4, 1).build();
-        let sw0 = t
-            .components()
-            .iter()
-            .find(|c| c.kind == ComponentKind::Switch)
-            .unwrap()
-            .id;
+        let sw0 = t.components().iter().find(|c| c.kind == ComponentKind::Switch).unwrap().id;
         let servers: Vec<u32> = t
             .graph()
             .neighbors(sw0)

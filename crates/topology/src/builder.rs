@@ -126,10 +126,7 @@ impl TopologyBuilder {
     /// or no border switch was marked.
     pub fn build(mut self) -> Topology {
         let external = self.external.expect("builder topology needs an external node");
-        assert!(
-            !self.borders.is_empty(),
-            "builder topology needs at least one border switch"
-        );
+        assert!(!self.borders.is_empty(), "builder topology needs at least one border switch");
         // The external node peers with each border switch so that
         // route-and-check always has an entry point. A duplicate edge is
         // harmless for BFS (parallel edges just repeat a neighbor), so no
@@ -209,12 +206,7 @@ mod tests {
         let h = b.add(ComponentKind::Host);
         let link = b.connect_via_link(sw, h);
         let t = b.build();
-        let e = t
-            .graph()
-            .neighbors(h)
-            .iter()
-            .find(|e| e.to == sw)
-            .unwrap();
+        let e = t.graph().neighbors(h).iter().find(|e| e.to == sw).unwrap();
         assert_eq!(e.link_id(), Some(link));
     }
 

@@ -164,11 +164,7 @@ mod tests {
 
     #[test]
     fn component_names() {
-        let c = Component {
-            id: ComponentId(3),
-            kind: ComponentKind::EdgeSwitch,
-            ordinal: 7,
-        };
+        let c = Component { id: ComponentId(3), kind: ComponentKind::EdgeSwitch, ordinal: 7 };
         assert_eq!(c.name(), "edge7");
         assert_eq!(c.to_string(), "edge7");
     }

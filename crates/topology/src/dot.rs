@@ -106,11 +106,12 @@ mod tests {
         let t = FatTreeParams::new(4).build();
         let h = t.hosts()[0];
         let e = t.rack_of(h);
-        let dot = to_dot(
-            &t,
-            &DotOptions { highlight: vec![h], failed: vec![e], switches_only: false },
-        );
-        assert!(dot.contains(&format!("n{} [label=\"host0\", shape=ellipse, style=filled, fillcolor=\"#81c784\"", h.0)));
+        let dot =
+            to_dot(&t, &DotOptions { highlight: vec![h], failed: vec![e], switches_only: false });
+        assert!(dot.contains(&format!(
+            "n{} [label=\"host0\", shape=ellipse, style=filled, fillcolor=\"#81c784\"",
+            h.0
+        )));
         assert!(dot.contains("fillcolor=\"#e57373\""));
     }
 
@@ -132,7 +133,9 @@ mod tests {
                 let t = l.trim_start();
                 // Node lines look like `n<id> [label=...]`; skip the
                 // global `node [fontsize=9];` default line.
-                t.starts_with('n') && !t.starts_with("node ") && t.contains('[')
+                t.starts_with('n')
+                    && !t.starts_with("node ")
+                    && t.contains('[')
                     && !t.contains(" -- ")
             })
             .count();

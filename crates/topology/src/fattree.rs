@@ -193,9 +193,8 @@ fn build_fat_tree(params: FatTreeParams) -> Topology {
     let n_border = half as usize;
     let n_power = params.power_supplies as usize;
 
-    let mut components: Vec<Component> = Vec::with_capacity(
-        n_core + n_agg + n_edge + n_hosts + n_border + 1 + n_power,
-    );
+    let mut components: Vec<Component> =
+        Vec::with_capacity(n_core + n_agg + n_edge + n_hosts + n_border + 1 + n_power);
     let push = |components: &mut Vec<Component>, kind: ComponentKind, ordinal: u32| {
         let id = ComponentId::from_index(components.len());
         components.push(Component { id, kind, ordinal });
@@ -299,12 +298,9 @@ fn build_fat_tree(params: FatTreeParams) -> Topology {
         }
     }
 
-    let hosts: Vec<ComponentId> = (0..n_hosts)
-        .map(|i| ComponentId(host_base + i as u32))
-        .collect();
-    let borders: Vec<ComponentId> = (0..n_border)
-        .map(|i| ComponentId(border_base + i as u32))
-        .collect();
+    let hosts: Vec<ComponentId> = (0..n_hosts).map(|i| ComponentId(host_base + i as u32)).collect();
+    let borders: Vec<ComponentId> =
+        (0..n_border).map(|i| ComponentId(border_base + i as u32)).collect();
 
     Topology::assemble(
         components,

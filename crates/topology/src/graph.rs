@@ -89,13 +89,7 @@ impl EdgeList {
             offsets[v + 1] = offsets[v] + degree[v];
         }
         let mut cursor = offsets[..n].to_vec();
-        let mut edges = vec![
-            HalfEdge {
-                to: ComponentId(0),
-                link: NO_LINK
-            };
-            offsets[n] as usize
-        ];
+        let mut edges = vec![HalfEdge { to: ComponentId(0), link: NO_LINK }; offsets[n] as usize];
         for &(a, b, l) in &self.edges {
             edges[cursor[a as usize] as usize] = HalfEdge { to: ComponentId(b), link: l };
             cursor[a as usize] += 1;
@@ -147,10 +141,7 @@ impl Csr {
     pub fn edges(&self) -> impl Iterator<Item = (ComponentId, HalfEdge)> + '_ {
         (0..self.num_nodes()).flat_map(move |v| {
             let a = ComponentId::from_index(v);
-            self.neighbors(a)
-                .iter()
-                .filter(move |e| a.0 < e.to.0)
-                .map(move |e| (a, *e))
+            self.neighbors(a).iter().filter(move |e| a.0 < e.to.0).map(move |e| (a, *e))
         })
     }
 }

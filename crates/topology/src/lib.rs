@@ -37,9 +37,9 @@ pub mod vl2;
 
 pub use bcube::BCubeParams;
 pub use builder::TopologyBuilder;
+pub use component::{Component, ComponentKind, SoftwareKind};
 pub use distance::{host_distance, mean_pairwise_distance};
 pub use dot::{to_dot, DotOptions};
-pub use component::{Component, ComponentKind, SoftwareKind};
 pub use fattree::{FatTreeMeta, FatTreeParams};
 pub use graph::{Csr, NO_LINK};
 pub use id::ComponentId;

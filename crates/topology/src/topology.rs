@@ -196,16 +196,7 @@ impl Topology {
         for &b in &borders {
             assert!(components[b.index()].kind.is_switch(), "border must be a switch");
         }
-        Topology {
-            components,
-            graph,
-            external,
-            hosts,
-            borders,
-            power_supplies,
-            power_of,
-            kind,
-        }
+        Topology { components, graph, external, hosts, borders, power_supplies, power_of, kind }
     }
 }
 

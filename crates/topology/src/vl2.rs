@@ -42,13 +42,7 @@ impl Vl2Params {
     /// Canonical VL2 with 20 servers per ToR, 2 border intermediates and
     /// 5 power supplies.
     pub fn new(d_a: u32, d_i: u32) -> Self {
-        Vl2Params {
-            d_a,
-            d_i,
-            servers_per_tor: 20,
-            border_switches: 2,
-            power_supplies: 5,
-        }
+        Vl2Params { d_a, d_i, servers_per_tor: 20, border_switches: 2, power_supplies: 5 }
     }
 
     /// Overrides the servers-per-ToR count.
@@ -86,8 +80,7 @@ impl Vl2Params {
         let n_servers = self.num_servers();
         let n_power = self.power_supplies as usize;
 
-        let mut components =
-            Vec::with_capacity(n_int + n_agg + n_tor + n_servers + 1 + n_power);
+        let mut components = Vec::with_capacity(n_int + n_agg + n_tor + n_servers + 1 + n_power);
         let push = |components: &mut Vec<Component>, kind, ordinal| {
             let id = ComponentId::from_index(components.len());
             components.push(Component { id, kind, ordinal });

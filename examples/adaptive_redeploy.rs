@@ -54,11 +54,7 @@ fn main() {
         let objective = HolisticObjective::equal_weights(workload.clone());
         let out = searcher.search(&spec, &objective, &config, Some(&workload));
 
-        let on_aging_rack = out
-            .best_plan
-            .all_hosts()
-            .filter(|h| aging_rack.contains(h))
-            .count();
+        let on_aging_rack = out.best_plan.all_hosts().filter(|h| aging_rack.contains(h)).count();
         println!(
             "epoch {epoch}: rack age {age:.2} (p x{:.1}), reliability {:.5}, \
              avg load {:.2}, instances on aging rack: {on_aging_rack}",

@@ -14,8 +14,8 @@
 //! Part 2 — generality: the identical pipeline runs on a Jellyfish random
 //! graph, where route-and-check automatically falls back to generic BFS.
 
-use recloud::prelude::*;
 use recloud::faults::cvss::combined_cvss_probability;
+use recloud::prelude::*;
 use recloud::search::common_practice::power_diversity;
 
 fn search_best(topology: &Topology, model: &FaultModel, seed: u64) -> (f64, DeploymentPlan) {

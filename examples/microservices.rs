@@ -72,14 +72,9 @@ fn main() {
     let mut injector = FaultInjector::new();
     injector.fail(supply);
     injector.apply(&mut raw);
-    let mut collapsed =
-        recloud::sampling::BitMatrix::new(model.num_topology_components(), 1);
+    let mut collapsed = recloud::sampling::BitMatrix::new(model.num_topology_components(), 1);
     model.collapse_into(&raw, &mut collapsed);
-    let dead = topology
-        .hosts()
-        .iter()
-        .filter(|h| collapsed.get(h.index(), 0))
-        .count();
+    let dead = topology.hosts().iter().filter(|h| collapsed.get(h.index(), 0)).count();
     println!(
         "\nwhat-if: power supply {supply} fails -> {dead} of {} hosts go down with it",
         topology.num_hosts()

@@ -30,13 +30,10 @@ fn main() {
     // Developer requirements (§2.2): N = 5, K = 4, a 2-second search
     // budget, 10^4 route-and-check rounds per candidate plan.
     let spec = ApplicationSpec::k_of_n(4, 5);
-    let requirements = Requirements::paper_default()
-        .budget(Duration::from_secs(2))
-        .rounds(10_000);
+    let requirements = Requirements::paper_default().budget(Duration::from_secs(2)).rounds(10_000);
 
-    let outcome = recloud
-        .deploy(&spec, &requirements)
-        .expect("the Tiny data center can host 5 instances");
+    let outcome =
+        recloud.deploy(&spec, &requirements).expect("the Tiny data center can host 5 instances");
 
     println!("\nchosen deployment plan:");
     for (i, host) in outcome.plan.hosts_of(0).iter().enumerate() {
@@ -48,10 +45,7 @@ fn main() {
             topology.power_of(*host).unwrap()
         );
     }
-    println!(
-        "\nreliability: {:.4} (95% CI width {:.1e})",
-        outcome.reliability, outcome.ciw95
-    );
+    println!("\nreliability: {:.4} (95% CI width {:.1e})", outcome.reliability, outcome.ciw95);
     println!(
         "expected annual downtime: {:.1} hours ({} plans explored in {:?})",
         outcome.annual_downtime_hours, outcome.plans_assessed, outcome.search_time

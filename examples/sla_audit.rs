@@ -16,8 +16,8 @@
 //!    also yields outage-count and outage-duration statistics (the
 //!    numbers an SLA penalty clause actually cares about).
 
-use recloud::prelude::*;
 use recloud::faults::DowntimeLog;
+use recloud::prelude::*;
 use recloud_availsim::{AvailabilitySimulator, SimParams};
 
 fn main() {
@@ -52,11 +52,7 @@ fn main() {
         model.set_prob(ComponentId::from_index(i), p.min(0.2));
     }
     model.attach_power_dependencies(&topology);
-    let measured: Vec<f64> = topology
-        .power_supplies()
-        .iter()
-        .map(|&s| model.prob_of(s))
-        .collect();
+    let measured: Vec<f64> = topology.power_supplies().iter().map(|&s| model.prob_of(s)).collect();
     println!("measured supply unavailabilities: {measured:.4?}");
 
     // 3. Assess the deployment under audit: 4-of-5 across pods.
@@ -94,11 +90,7 @@ fn main() {
 
     // 4. Dynamic cross-check with outage statistics.
     let sim = AvailabilitySimulator::new(&topology, model, 8.0);
-    let report = sim.simulate(
-        &spec,
-        &plan,
-        SimParams { horizon_hours: 50.0 * year, seed: 7 },
-    );
+    let report = sim.simulate(&spec, &plan, SimParams { horizon_hours: 50.0 * year, seed: 7 });
     println!(
         "\n50-year renewal simulation: availability {:.5} ({} outages, \
          {:.2}/yr, mean {:.1} h, max {:.1} h)",

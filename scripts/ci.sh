@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Run from the repo root:
+#
+#   scripts/ci.sh
+#
+# Mirrors what reviewers run by hand: formatting, a warnings-as-errors
+# release build of every target, the full test suite, and an explicit
+# pass of the hermetic-dependency guard (the workspace must build with
+# zero external crates).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== release build, warnings denied =="
+RUSTFLAGS="-D warnings" cargo build --release --all-targets
+
+echo "== test suite (all workspace crates) =="
+cargo test -q --workspace
+
+echo "== hermetic dependency guard =="
+cargo test -q --test hermetic
+
+echo "ci: all gates passed"

@@ -6,8 +6,8 @@
 //! (a) convergence of both samplers to the truth and (b) empirical
 //! coverage of the Eq 3 confidence interval.
 
-use recloud::prelude::*;
 use recloud::assess::exact_reliability;
+use recloud::prelude::*;
 use recloud::topology::Topology;
 
 /// ext - b ; b - e1 - {h0..h3} ; b - e2 - {h4..h7}; one power supply per
@@ -49,10 +49,7 @@ fn small_world() -> (Topology, FaultModel, ApplicationSpec, DeploymentPlan) {
     );
     model.attach_power_dependencies(&t);
     let spec = ApplicationSpec::k_of_n(2, 4);
-    let plan = DeploymentPlan::new(
-        &spec,
-        vec![vec![hosts[0], hosts[1], hosts[4], hosts[5]]],
-    );
+    let plan = DeploymentPlan::new(&spec, vec![vec![hosts[0], hosts[1], hosts[4], hosts[5]]]);
     (t, model, spec, plan)
 }
 
@@ -91,10 +88,7 @@ fn confidence_interval_covers_truth() {
             covered += 1;
         }
     }
-    assert!(
-        covered * 100 >= trials * 85,
-        "coverage {covered}/{trials} below 85%"
-    );
+    assert!(covered * 100 >= trials * 85, "coverage {covered}/{trials} below 85%");
 }
 
 #[test]
@@ -103,10 +97,7 @@ fn ciw_shrinks_with_rounds_on_a_real_assessment() {
     let mut assessor = Assessor::new(&t, model);
     let small = assessor.assess(&spec, &plan, 2_000, 5).estimate.ciw95();
     let large = assessor.assess(&spec, &plan, 50_000, 5).estimate.ciw95();
-    assert!(
-        large < small / 3.0,
-        "25x rounds must shrink CIW ~5x: {small} -> {large}"
-    );
+    assert!(large < small / 3.0, "25x rounds must shrink CIW ~5x: {small} -> {large}");
 }
 
 #[test]
@@ -154,12 +145,7 @@ fn correlated_power_makes_exact_reliability_drop() {
     model2.attach_power_dependencies(&t2);
     let plan2 = DeploymentPlan::new(
         &spec,
-        vec![vec![
-            t2.hosts()[0],
-            t2.hosts()[1],
-            t2.hosts()[4],
-            t2.hosts()[5],
-        ]],
+        vec![vec![t2.hosts()[0], t2.hosts()[1], t2.hosts()[4], t2.hosts()[5]]],
     );
     let with_one_supply = exact_reliability(&t2, &model2, &spec, &plan2);
     assert!(

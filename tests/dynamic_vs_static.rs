@@ -25,11 +25,7 @@ fn static_reliability_equals_dynamic_availability() {
 
     // Dynamic: a long renewal simulation with 8-hour repairs.
     let sim = AvailabilitySimulator::new(&t, model, 8.0);
-    let report = sim.simulate(
-        &spec,
-        &plan,
-        SimParams { horizon_hours: 2_000_000.0, seed: 11 },
-    );
+    let report = sim.simulate(&spec, &plan, SimParams { horizon_hours: 2_000_000.0, seed: 11 });
 
     let gap = (static_r.score - report.availability()).abs();
     assert!(
@@ -84,10 +80,7 @@ fn better_plans_have_fewer_outages_dynamically() {
     let meta = t.fat_tree().unwrap();
     let spec = ApplicationSpec::k_of_n(2, 3);
     // Bad plan: all instances in one rack (edge + group supply shared).
-    let bad = DeploymentPlan::new(
-        &spec,
-        vec![meta.hosts_under_edge(0, 0).take(3).collect()],
-    );
+    let bad = DeploymentPlan::new(&spec, vec![meta.hosts_under_edge(0, 0).take(3).collect()]);
     // Good plan: three pods.
     let good = DeploymentPlan::new(
         &spec,

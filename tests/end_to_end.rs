@@ -5,9 +5,7 @@ use recloud::search::common_practice::power_diversity;
 use std::time::Duration;
 
 fn quick_req(rounds: usize) -> Requirements {
-    Requirements::paper_default()
-        .budget(Duration::from_millis(400))
-        .rounds(rounds)
+    Requirements::paper_default().budget(Duration::from_millis(400)).rounds(rounds)
 }
 
 #[test]
@@ -66,10 +64,7 @@ fn recloud_beats_enhanced_common_practice_on_unreliability() {
     let rc = validator.assess(&spec, &out.best_plan, 60_000, 777);
     let cp_unrel = 1.0 - cp.estimate.score;
     let rc_unrel = 1.0 - rc.estimate.score;
-    assert!(
-        rc_unrel < cp_unrel,
-        "reCloud unreliability {rc_unrel} must beat CP {cp_unrel}"
-    );
+    assert!(rc_unrel < cp_unrel, "reCloud unreliability {rc_unrel} must beat CP {cp_unrel}");
     // And the reCloud plan should be at least as power-diverse.
     assert!(power_diversity(&topology, &out.best_plan) >= 3);
 }

@@ -2,8 +2,8 @@
 //! plan comparison, migration-aware re-deployment, Fig 5 templates, and
 //! the extra data-center architectures.
 
-use recloud::prelude::*;
 use recloud::assess::{compare_plans, StopReason};
+use recloud::prelude::*;
 use recloud::topology::{BCubeParams, Topology, Vl2Params};
 
 fn paper_model(t: &Topology, seed: u64) -> FaultModel {
@@ -42,12 +42,8 @@ fn comparator_prefers_power_diverse_plans() {
     let supply_of = |h: &ComponentId| t.power_of(*h).unwrap();
     let hosts = t.hosts();
     let shared_supply = supply_of(&hosts[0]);
-    let stacked: Vec<ComponentId> = hosts
-        .iter()
-        .copied()
-        .filter(|h| supply_of(h) == shared_supply)
-        .take(3)
-        .collect();
+    let stacked: Vec<ComponentId> =
+        hosts.iter().copied().filter(|h| supply_of(h) == shared_supply).take(3).collect();
     let mut diverse: Vec<ComponentId> = Vec::new();
     for &h in hosts {
         if diverse.iter().all(|d| supply_of(d) != supply_of(&h)) {
@@ -57,10 +53,8 @@ fn comparator_prefers_power_diverse_plans() {
             break;
         }
     }
-    let plans = vec![
-        DeploymentPlan::new(&spec, vec![stacked]),
-        DeploymentPlan::new(&spec, vec![diverse]),
-    ];
+    let plans =
+        vec![DeploymentPlan::new(&spec, vec![stacked]), DeploymentPlan::new(&spec, vec![diverse])];
     let mut assessor = Assessor::new(&t, model);
     let cmp = compare_plans(&mut assessor, &spec, &plans, 40_000, 2);
     assert_eq!(cmp.best_index(), 1, "the power-diverse plan must win");
@@ -136,9 +130,8 @@ fn vl2_deploys_end_to_end() {
     let t = Vl2Params::new(8, 4).servers_per_tor(10).build();
     let svc = ReCloud::paper_default(&t, 2);
     let spec = ApplicationSpec::k_of_n(2, 3);
-    let req = Requirements::paper_default()
-        .budget(std::time::Duration::from_millis(300))
-        .rounds(2_000);
+    let req =
+        Requirements::paper_default().budget(std::time::Duration::from_millis(300)).rounds(2_000);
     let out = svc.deploy(&spec, &req).unwrap();
     assert!(out.reliability > 0.8, "{}", out.reliability);
     // ToR-diverse plans should emerge naturally.
@@ -176,10 +169,7 @@ fn latency_objective_pulls_instances_together() {
     let out = searcher.search(&spec, &obj, &config, None);
     let hosts: Vec<_> = out.best_plan.all_hosts().collect();
     let packed = recloud::topology::mean_pairwise_distance(&t, &hosts);
-    assert!(
-        packed < start_distance,
-        "proximity objective must reduce mean distance: {packed}"
-    );
+    assert!(packed < start_distance, "proximity objective must reduce mean distance: {packed}");
     assert!(packed <= 4.0, "200 proximity-driven moves should co-locate: {packed}");
 }
 
@@ -213,9 +203,5 @@ fn searcher_assess(t: &Topology, out: SearchOutcome) -> f64 {
     model.attach_shared_software(t, 2, 0.004, 0.001);
     let mut assessor = Assessor::new(t, model);
     let spec = ApplicationSpec::layered(&[(2, 3), (1, 2)]);
-    assessor
-        .assess_until(&spec, &out.best_plan, 0.02, 100_000, 99)
-        .assessment
-        .estimate
-        .score
+    assessor.assess_until(&spec, &out.best_plan, 0.02, 100_000, 99).assessment.estimate.score
 }

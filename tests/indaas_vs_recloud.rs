@@ -2,8 +2,8 @@
 //! quantitative assessment on the same plans — the comparison behind the
 //! paper's first critique of the prior state of the art.
 
-use recloud::prelude::*;
 use recloud::assess::{compare_plans, rank_by_risk, risk_profile};
+use recloud::prelude::*;
 use recloud::topology::Topology;
 
 fn env() -> (Topology, FaultModel) {
@@ -19,8 +19,7 @@ fn both_systems_agree_on_structurally_clear_cases() {
     let (t, m) = env();
     let meta = t.fat_tree().unwrap();
     let spec = ApplicationSpec::k_of_n(2, 3);
-    let stacked =
-        DeploymentPlan::new(&spec, vec![meta.hosts_under_edge(0, 0).take(3).collect()]);
+    let stacked = DeploymentPlan::new(&spec, vec![meta.hosts_under_edge(0, 0).take(3).collect()]);
     let diverse = DeploymentPlan::new(
         &spec,
         vec![vec![meta.host(0, 0, 0), meta.host(2, 1, 0), meta.host(4, 2, 0)]],
@@ -82,18 +81,9 @@ fn quantitative_assessment_separates_what_risk_counting_cannot() {
 
     // reCloud's quantitative scores separate them decisively.
     let mut assessor = Assessor::new(&t, model);
-    let cmp = compare_plans(
-        &mut assessor,
-        &spec,
-        &[plan_a, plan_b],
-        40_000,
-        3,
-    );
+    let cmp = compare_plans(&mut assessor, &spec, &[plan_a, plan_b], 40_000, 3);
     assert_eq!(cmp.best_index(), 0, "the reliable-pod plan must win quantitatively");
-    assert!(
-        !cmp.ranking[1].tied_with_best,
-        "the flaky-pod plan must be distinguishably worse"
-    );
+    assert!(!cmp.ranking[1].tied_with_best, "the flaky-pod plan must be distinguishably worse");
 }
 
 #[test]

@@ -8,7 +8,7 @@
 
 use recloud::prelude::*;
 use recloud::proptest::forall;
-use recloud::routing::{FatTreeRouter, Router, UpDownRouter};
+use recloud::routing::{FatTreeRouter, GenericRouter, Router, UpDownRouter};
 use recloud::sampling::BitMatrix;
 use recloud::{prop_assert, prop_assert_eq, prop_assume};
 
@@ -94,10 +94,7 @@ fn samplers_track_probabilities() {
                 let rate = m.row(i).count_ones() as f64 / rounds as f64;
                 // 6-sigma bound on a binomial-ish rate.
                 let sigma = (p * (1.0 - p) / rounds as f64).sqrt();
-                prop_assert!(
-                    (rate - p).abs() < 6.0 * sigma + 0.003,
-                    "{name}: p={p} rate={rate}"
-                );
+                prop_assert!((rate - p).abs() < 6.0 * sigma + 0.003, "{name}: p={p} rate={rate}");
             }
         }
         Ok(())
@@ -167,11 +164,106 @@ fn routers_agree_on_random_failures() {
                 fast.external_reaches(&states, ha),
                 reference.external_reaches(&states, ha)
             );
-            prop_assert_eq!(
-                fast.connects(&states, ha, hb),
-                reference.connects(&states, ha, hb)
-            );
+            prop_assert_eq!(fast.connects(&states, ha, hb), reference.connects(&states, ha, hb));
         }
+        Ok(())
+    });
+}
+
+/// The word-granular router API agrees bit-for-bit with the scalar API on
+/// every router, over arbitrary failure patterns and word-boundary round
+/// counts (tails shorter and longer than one word).
+#[test]
+fn word_router_api_equals_scalar_api() {
+    forall("word router API equals scalar", |g| {
+        let rounds = g.usize_in(1..140);
+        let density = g.f64_in(0.0..0.35);
+        let seed = g.any_u64();
+        let t = FatTreeParams::new(4).build();
+        let n = t.num_components();
+        let mut states = BitMatrix::new(n, rounds);
+        let mut rng = recloud::sampling::Rng::new(seed);
+        for c in 0..n {
+            if t.component(ComponentId::from_index(c)).kind
+                == recloud::topology::ComponentKind::External
+            {
+                continue;
+            }
+            for r in 0..rounds {
+                if rng.next_f64() < density {
+                    states.set(c, r);
+                }
+            }
+        }
+        let hosts = t.hosts();
+        let ha = hosts[g.usize_in(0..hosts.len())];
+        let hb = hosts[g.usize_in(0..hosts.len())];
+        let routers: [Box<dyn Router>; 3] = [
+            Box::new(FatTreeRouter::new(&t)),
+            Box::new(UpDownRouter::for_fat_tree(&t)),
+            Box::new(GenericRouter::new(&t)),
+        ];
+        for mut router in routers {
+            // Scalar truth first (the word API may clobber scalar context).
+            let mut want_ext = vec![false; rounds];
+            let mut want_conn = vec![false; rounds];
+            for r in 0..rounds {
+                router.begin_round(&states, r);
+                want_ext[r] = router.external_reaches(&states, ha);
+                want_conn[r] = router.connects(&states, ha, hb);
+            }
+            for w in 0..rounds.div_ceil(64) {
+                router.begin_word(&states, w);
+                let ext = router.external_reach_word(&states, ha, w);
+                let conn = router.connects_word(&states, ha, hb, w);
+                for r in (w * 64)..((w * 64) + 64).min(rounds) {
+                    let bit = 1u64 << (r - w * 64);
+                    prop_assert_eq!(
+                        ext & bit != 0,
+                        want_ext[r],
+                        "{}: external round {r}",
+                        router.name()
+                    );
+                    prop_assert_eq!(
+                        conn & bit != 0,
+                        want_conn[r],
+                        "{}: connects round {r}",
+                        router.name()
+                    );
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Batched and scalar assessments are bit-identical for arbitrary specs,
+/// seeds, and round counts straddling word boundaries.
+#[test]
+fn batched_assessment_equals_scalar() {
+    forall("batched assessment equals scalar", |g| {
+        let k = g.u32_in(1..4);
+        let n = k + g.u32_in(1..4);
+        let words = g.usize_in(0..3);
+        let offset = g.usize_in(0..6);
+        let rounds = (words * 64 + offset).max(1);
+        let seed = g.any_u64();
+        let t = FatTreeParams::new(4).build();
+        let model = FaultModel::paper_default(&t, 11);
+        let spec = ApplicationSpec::k_of_n(k, n);
+        let mut rng = recloud::sampling::Rng::new(seed);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let mut scalar = Assessor::new(&t, model.clone());
+        scalar.set_batched(false);
+        let mut batched = Assessor::new(&t, model);
+        let rs = scalar.assess(&spec, &plan, rounds, seed ^ 0xA5A5);
+        let rb = batched.assess(&spec, &plan, rounds, seed ^ 0xA5A5);
+        prop_assert_eq!(rs.estimate.rounds, rb.estimate.rounds);
+        prop_assert_eq!(
+            rs.estimate.successes,
+            rb.estimate.successes,
+            "k={k} n={n} rounds={rounds}"
+        );
         Ok(())
     });
 }
@@ -267,10 +359,7 @@ fn fault_tree_or_merge_is_or() {
         let tree_b = b.build(rb);
         let merged = FaultTree::or_merge(&tree_a, &tree_b);
         let failed = move |c: ComponentId| (failures >> c.0) & 1 == 1;
-        prop_assert_eq!(
-            merged.eval(&failed),
-            tree_a.eval(&failed) || tree_b.eval(&failed)
-        );
+        prop_assert_eq!(merged.eval(&failed), tree_a.eval(&failed) || tree_b.eval(&failed));
         Ok(())
     });
 }

@@ -16,13 +16,7 @@ fn reliability_is_monotone_decreasing_in_k() {
     // instances can only lower the score — and with identical states the
     // ordering is exact, not statistical.
     let (t, m) = env();
-    let hosts = vec![
-        t.hosts()[0],
-        t.hosts()[20],
-        t.hosts()[40],
-        t.hosts()[60],
-        t.hosts()[80],
-    ];
+    let hosts = vec![t.hosts()[0], t.hosts()[20], t.hosts()[40], t.hosts()[60], t.hosts()[80]];
     let mut prev = 1.0f64;
     for k in 1..=5u32 {
         let spec = ApplicationSpec::k_of_n(k, 5);
@@ -47,10 +41,7 @@ fn adding_layers_never_helps() {
         let mut a = Assessor::new(&t, m.clone());
         let r = a.assess(&spec, &plan, 15_000, 9).estimate.score;
         // Statistical tolerance: plans differ across layer counts.
-        assert!(
-            r <= prev + 0.01,
-            "{layers} layers scored {r}, more than {prev} + tolerance"
-        );
+        assert!(r <= prev + 0.01, "{layers} layers scored {r}, more than {prev} + tolerance");
         prev = r;
     }
 }
@@ -95,8 +86,7 @@ fn microservice_mesh_is_no_more_reliable_than_its_weakest_requirement() {
     b.require(c0, Source::Component(c1), 1);
     b.require(c1, Source::Component(c0), 1);
     let mesh = b.build();
-    let mesh_plan =
-        DeploymentPlan::new(&mesh, vec![vec![core_hosts[0]], vec![core_hosts[1]]]);
+    let mesh_plan = DeploymentPlan::new(&mesh, vec![vec![core_hosts[0]], vec![core_hosts[1]]]);
     let r_mesh = a.assess(&mesh, &mesh_plan, 20_000, 4).estimate.score;
     assert!(
         r_mesh <= r_single + 1e-12,
