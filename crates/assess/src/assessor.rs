@@ -157,6 +157,37 @@ impl Assessor {
         self.table_cache = None;
     }
 
+    /// Replaces the fault model, keeping the topology, router and — when
+    /// the new model has the same matrix shapes — the scratch allocations.
+    ///
+    /// This is what lets a long-running server reuse one engine across
+    /// requests with different model seeds: router construction (the
+    /// expensive part at large scales) happens once per (topology, worker),
+    /// while each reseed only swaps probability tables. Assessments after a
+    /// reseed are bit-identical to a freshly constructed engine with the
+    /// same model; the table cache is invalidated because cached tables
+    /// were sampled under the previous model.
+    ///
+    /// # Panics
+    /// Panics if `model` was built for a different topology (component
+    /// count mismatch).
+    pub fn reseed(&mut self, model: FaultModel) {
+        assert_eq!(
+            model.num_topology_components(),
+            self.topology.num_components(),
+            "model was built for a different topology"
+        );
+        let s_max = ExtendedDaggerSampler::macro_cycle(model.probs());
+        let chunk_rounds = Self::TARGET_CHUNK.div_ceil(s_max) * s_max;
+        if chunk_rounds != self.chunk_rounds || model.num_events() != self.model.num_events() {
+            self.chunk_rounds = chunk_rounds;
+            self.raw = BitMatrix::new(model.num_events(), chunk_rounds);
+            self.collapsed = BitMatrix::new(model.num_topology_components(), chunk_rounds);
+        }
+        self.model = model;
+        self.table_cache = None;
+    }
+
     /// Selects the batched (64-rounds-per-operation) or scalar
     /// route-and-check path. Both produce bit-identical assessments; the
     /// scalar path exists for equivalence tests and benchmarking.
@@ -225,13 +256,10 @@ impl Assessor {
 
     /// Derives the per-chunk sampler seed from the master seed; chunk
     /// streams are independent, so any chunk-to-worker mapping yields the
-    /// same result list.
+    /// same result list. Delegates to the system-wide
+    /// [`recloud_sampling::derive_seed`] rule (chunk index as the stream).
     pub fn chunk_seed(master_seed: u64, chunk: u32) -> u64 {
-        // One splitmix-style avalanche over (seed, chunk).
-        let mut z = master_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chunk as u64 + 1));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        recloud_sampling::derive_seed(master_seed, chunk as u64)
     }
 
     /// The fault model in use.
@@ -614,6 +642,49 @@ mod tests {
         assert_eq!(a.cache_bytes(), 3 * 36 * 40 * 8);
         a.set_injector(None); // invalidates the cache
         assert_eq!(a.cache_bytes(), 0);
+    }
+
+    /// The serving-layer invariant: a reseeded engine is indistinguishable
+    /// from a freshly built one — same counts, bit-identical score — and
+    /// reseeding drops the (now stale) table cache.
+    #[test]
+    fn reseed_matches_fresh_engine_bit_for_bit() {
+        let t = FatTreeParams::new(4).build();
+        let spec = ApplicationSpec::k_of_n(2, 3);
+        let mut rng = Rng::new(31);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let mut reused = Assessor::new(&t, FaultModel::paper_default(&t, 11));
+        reused.assess(&spec, &plan, 3_000, 11);
+        assert!(reused.cache_bytes() > 0, "first assessment populates the table cache");
+        for seed in [12u64, 13, 11] {
+            reused.reseed(FaultModel::paper_default(&t, seed));
+            assert_eq!(reused.cache_bytes(), 0, "reseed must drop the stale table cache");
+            let r = reused.assess(&spec, &plan, 3_000, seed);
+            let mut fresh = Assessor::new(&t, FaultModel::paper_default(&t, seed));
+            let f = fresh.assess(&spec, &plan, 3_000, seed);
+            assert_eq!(r.estimate.score.to_bits(), f.estimate.score.to_bits(), "seed {seed}");
+            assert_eq!(r.estimate.successes, f.estimate.successes);
+            assert_eq!(r.estimate.rounds, f.estimate.rounds);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different topology")]
+    fn reseed_rejects_foreign_model() {
+        let t4 = FatTreeParams::new(4).build();
+        let t6 = FatTreeParams::new(6).build();
+        let mut a = Assessor::new(&t4, FaultModel::paper_default(&t4, 1));
+        a.reseed(FaultModel::paper_default(&t6, 1));
+    }
+
+    #[test]
+    fn chunk_seed_is_the_shared_derivation_rule() {
+        for (master, chunk) in [(0u64, 0u32), (1, 1), (99, 63), (u64::MAX, 7)] {
+            assert_eq!(
+                Assessor::chunk_seed(master, chunk),
+                recloud_sampling::derive_seed(master, chunk as u64)
+            );
+        }
     }
 
     #[test]

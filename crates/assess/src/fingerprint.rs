@@ -1,0 +1,125 @@
+//! Stable cache-key hashing for assessment requests.
+//!
+//! The serving layer memoizes assessment results in an LRU cache keyed by
+//! everything that determines the answer: the topology preset, the
+//! application spec, the deployment plan, the round budget and the master
+//! seed. The key must be (a) *stable* — the same request hashes the same
+//! across processes and platforms, so `std::hash` (randomized, unspecified
+//! across releases) is out — and (b) wide enough that a collision serving
+//! a wrong cached reliability score is out of the question. FNV-1a over a
+//! canonical little-endian encoding at 128 bits gives both: the canonical
+//! bytes make semantically equal requests byte-equal, and at 2⁻¹²⁸ the
+//! collision probability is beyond cosmic-ray territory.
+//!
+//! This lives in `recloud-assess` (not the server) because the key
+//! definition is part of the assessment contract: two requests share a
+//! cache slot **iff** [`Assessor::assess`](crate::Assessor::assess) is
+//! guaranteed to return identical results for them.
+
+use recloud_apps::DeploymentPlan;
+use recloud_sampling::wire::ByteWriter;
+
+const FNV_OFFSET_128: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME_128: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// 128-bit FNV-1a over a byte slice. Deterministic across platforms and
+/// releases, unlike `std::hash`.
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut h = FNV_OFFSET_128;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV_PRIME_128);
+    }
+    h
+}
+
+/// The cache key of one assessment request: a 128-bit FNV-1a fingerprint
+/// of the canonical `(preset, spec, plan, rounds, seed)` encoding.
+///
+/// `preset_tag` is an opaque byte naming the topology the caller resolved
+/// (the server uses its wire-protocol preset codes); `spec_shape` is the
+/// `(k, n)` pair per layer of the application spec. Two requests get equal
+/// keys exactly when every determining input is equal — field order and
+/// widths are fixed, so the encoding is injective.
+pub fn assessment_key(
+    preset_tag: u8,
+    spec_shape: &[(u32, u32)],
+    plan: &DeploymentPlan,
+    rounds: u64,
+    seed: u64,
+) -> u128 {
+    let mut w = ByteWriter::with_capacity(
+        1 + 8
+            + 8
+            + 4
+            + spec_shape.len() * 8
+            + 4
+            + (0..plan.num_components()).map(|c| 4 + 4 * plan.hosts_of(c).len()).sum::<usize>(),
+    );
+    w.put_u8(preset_tag);
+    w.put_u64_le(rounds);
+    w.put_u64_le(seed);
+    w.put_u32_le(spec_shape.len() as u32);
+    for &(k, n) in spec_shape {
+        w.put_u32_le(k);
+        w.put_u32_le(n);
+    }
+    w.put_u32_le(plan.num_components() as u32);
+    for c in 0..plan.num_components() {
+        let hosts = plan.hosts_of(c);
+        w.put_u32_le(hosts.len() as u32);
+        for &h in hosts {
+            w.put_u32_le(h.index() as u32);
+        }
+    }
+    fnv1a_128(&w.into_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recloud_apps::ApplicationSpec;
+    use recloud_sampling::Rng;
+    use recloud_topology::FatTreeParams;
+
+    #[test]
+    fn fnv_vectors_are_stable() {
+        // Pin the empty-input and a known-input hash so the function can
+        // never silently change across refactors (cached results would be
+        // served for the wrong requests).
+        assert_eq!(fnv1a_128(b""), FNV_OFFSET_128);
+        assert_eq!(fnv1a_128(b"a"), 0xd228_cb69_6f1a_8caf_7891_2b70_4e4a_8964);
+        assert_ne!(fnv1a_128(b"ab"), fnv1a_128(b"ba"), "order must matter");
+    }
+
+    #[test]
+    fn key_separates_every_determining_input() {
+        let t = FatTreeParams::new(4).build();
+        let spec = ApplicationSpec::k_of_n(2, 3);
+        let mut rng = Rng::new(5);
+        let plan_a = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let plan_b = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let base = assessment_key(0, &[(2, 3)], &plan_a, 1_000, 7);
+        assert_eq!(base, assessment_key(0, &[(2, 3)], &plan_a, 1_000, 7), "deterministic");
+        assert_ne!(base, assessment_key(1, &[(2, 3)], &plan_a, 1_000, 7), "preset");
+        assert_ne!(base, assessment_key(0, &[(3, 3)], &plan_a, 1_000, 7), "spec");
+        assert_ne!(base, assessment_key(0, &[(2, 3)], &plan_b, 1_000, 7), "plan");
+        assert_ne!(base, assessment_key(0, &[(2, 3)], &plan_a, 2_000, 7), "rounds");
+        assert_ne!(base, assessment_key(0, &[(2, 3)], &plan_a, 1_000, 8), "seed");
+    }
+
+    #[test]
+    fn key_is_sensitive_to_instance_order() {
+        // hosts [a,b] vs [b,a] are different plans for the checker's
+        // instance bookkeeping; the key must not canonicalize them away.
+        let t = FatTreeParams::new(4).build();
+        let spec = ApplicationSpec::k_of_n(1, 2);
+        let hosts = t.hosts();
+        let p1 = DeploymentPlan::new(&spec, vec![vec![hosts[0], hosts[1]]]);
+        let p2 = DeploymentPlan::new(&spec, vec![vec![hosts[1], hosts[0]]]);
+        assert_ne!(
+            assessment_key(0, &[(1, 2)], &p1, 100, 1),
+            assessment_key(0, &[(1, 2)], &p2, 100, 1)
+        );
+    }
+}

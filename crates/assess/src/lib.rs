@@ -27,6 +27,7 @@
 pub mod assessor;
 pub mod check;
 pub mod compare;
+pub mod fingerprint;
 pub mod ground_truth;
 pub mod indaas;
 pub mod parallel;
@@ -37,6 +38,7 @@ pub mod wire;
 pub use assessor::{Assessment, Assessor, SamplerKind, Timings};
 pub use check::StructureChecker;
 pub use compare::{compare_plans, Comparison, RankedPlan};
+pub use fingerprint::{assessment_key, fnv1a_128};
 pub use ground_truth::exact_reliability;
 pub use indaas::{rank_by_risk, risk_profile, RiskProfile};
 pub use parallel::ParallelAssessor;

@@ -17,18 +17,29 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: repro <table2|fig7|fig8|fig9|fig10|fig11|fig12|\
 ablation-delta|ablation-schedule|ablation-symmetry|ablation-fault-trees|\
-bench-assess|all> [--quick] [--paper-times] [--seed <n>] [--json <path>]";
+bench-assess|bench-serve|loadgen|all> [--quick] [--paper-times] [--seed <n>] \
+[--json <path>] [--addr <host:port>] [--smoke]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command: Option<String> = None;
     let mut opts = ReproOptions::default();
     let mut json: Option<String> = None;
+    let mut addr = String::from("127.0.0.1:7070");
+    let mut smoke = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--paper-times" => opts.paper_times = true,
+            "--smoke" => smoke = true,
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => {
+                    eprintln!("--addr needs host:port\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--seed" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(s) => opts.seed = s,
                 None => {
@@ -69,6 +80,35 @@ fn main() -> ExitCode {
         "ablation-symmetry" => figures::ablation_symmetry(&opts),
         "ablation-fault-trees" => figures::ablation_fault_trees(&opts),
         "bench-assess" => figures::bench_assess(&opts, json.as_deref()),
+        "bench-serve" => figures::bench_serve(&opts, json.as_deref()),
+        "loadgen" => {
+            if smoke {
+                match recloud_server::smoke(&addr) {
+                    Ok(()) => println!("smoke OK against {addr}"),
+                    Err(e) => {
+                        eprintln!("smoke failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                let config = recloud_server::LoadgenConfig {
+                    addr: addr.clone(),
+                    seed: opts.seed,
+                    ..recloud_server::LoadgenConfig::default()
+                };
+                match recloud_server::run_load(&config) {
+                    Ok(r) => println!(
+                        "{} ok ({} cached), {} busy, {} errors — {:.0} req/s, \
+                         p50 {} us / p95 {} us",
+                        r.ok, r.cached, r.busy, r.errors, r.throughput_rps, r.p50_us, r.p95_us
+                    ),
+                    Err(e) => {
+                        eprintln!("loadgen failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
         "all" => {
             figures::table2();
             figures::fig7(&opts);

@@ -544,6 +544,136 @@ fn assess_bench_json(
     s
 }
 
+/// One measured phase of the serving benchmark.
+pub struct ServeBenchPhase {
+    /// "uncached" (fresh seed per request) or "cached" (identical requests).
+    pub phase: &'static str,
+    /// What the load generator measured.
+    pub report: recloud_server::LoadReport,
+}
+
+/// Bench: the placement-as-a-service daemon under client load — an
+/// in-process server on an ephemeral port, hit first with a cache-miss
+/// mix (every request a fresh master seed → every request runs the
+/// assessor) and then with a cache-hit mix (identical requests → after
+/// one miss the LRU cache answers everything). Prints a table and, with
+/// `json`, writes `BENCH_serve.json`.
+pub fn bench_serve(opts: &ReproOptions, json: Option<&str>) {
+    use recloud_server::{Client, LoadgenConfig, Server, ServerConfig};
+    head("Bench: placement-as-a-service daemon, uncached vs cached");
+    let rounds = 1_000u32;
+    let config =
+        ServerConfig { workers: ServerConfig::default().workers.min(4), ..ServerConfig::default() };
+    let server = Server::bind(("127.0.0.1", 0), config).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    println!(
+        "server: {addr}, {} workers, queue {}, cache {}",
+        config.workers, config.queue_capacity, config.cache_capacity
+    );
+    let mut phases: Vec<ServeBenchPhase> = Vec::new();
+    let mut stats = recloud_server::protocol::StatsResponse::default();
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run());
+        let base = LoadgenConfig {
+            addr: addr.clone(),
+            connections: 4,
+            preset: recloud_server::Preset::Tiny,
+            rounds,
+            seed: opts.seed,
+            ..LoadgenConfig::default()
+        };
+        let uncached = LoadgenConfig {
+            requests: if opts.quick { 200 } else { 600 },
+            distinct_seeds: true,
+            ..base.clone()
+        };
+        phases.push(ServeBenchPhase {
+            phase: "uncached",
+            report: recloud_server::run_load(&uncached).expect("uncached phase"),
+        });
+        let cached = LoadgenConfig {
+            requests: if opts.quick { 2_000 } else { 10_000 },
+            distinct_seeds: false,
+            ..base
+        };
+        phases.push(ServeBenchPhase {
+            phase: "cached",
+            report: recloud_server::run_load(&cached).expect("cached phase"),
+        });
+        let mut client = Client::connect(&addr).expect("stats connection");
+        stats = client.stats().expect("stats frame");
+        client.shutdown().expect("shutdown frame");
+    });
+    let mut t = TextTable::new(vec!["phase", "ok", "cached", "busy", "req/s", "p50", "p95"]);
+    for p in &phases {
+        let r = &p.report;
+        t.row(vec![
+            p.phase.to_string(),
+            r.ok.to_string(),
+            r.cached.to_string(),
+            r.busy.to_string(),
+            format!("{:.0}", r.throughput_rps),
+            format!("{} us", r.p50_us),
+            format!("{} us", r.p95_us),
+        ]);
+    }
+    t.print();
+    println!(
+        "server cache: {} hits / {} misses (hit rate {:.1}%)",
+        stats.cache_hits,
+        stats.cache_misses,
+        100.0 * stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses).max(1) as f64
+    );
+    if let Some(path) = json {
+        let body = serve_bench_json(rounds, config.workers, &phases, &stats);
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+/// Hand-rolled JSON encoding of the serving benchmark (shape pinned by a
+/// test, like `assess_bench_json`).
+fn serve_bench_json(
+    rounds: u32,
+    workers: usize,
+    phases: &[ServeBenchPhase],
+    stats: &recloud_server::protocol::StatsResponse,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"serve\",\n");
+    s.push_str("  \"preset\": \"Tiny\",\n");
+    s.push_str(&format!("  \"rounds\": {rounds},\n"));
+    s.push_str(&format!("  \"workers\": {workers},\n"));
+    s.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        let r = &p.report;
+        s.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"ok\": {}, \"cached\": {}, \"busy\": {}, \
+             \"errors\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}}}{}\n",
+            p.phase,
+            r.ok,
+            r.cached,
+            r.busy,
+            r.errors,
+            r.throughput_rps,
+            r.p50_us,
+            r.p95_us,
+            if i + 1 < phases.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    let total = (stats.cache_hits + stats.cache_misses).max(1);
+    s.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}\n",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_hits as f64 / total as f64
+    ));
+    s.push_str("}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,5 +713,60 @@ mod tests {
         }
         // Exactly one JSON object per group plus the two speedup/top objects.
         assert_eq!(body.matches("\"mode\"").count(), 2);
+    }
+
+    #[test]
+    fn serve_bench_json_shape_is_stable() {
+        let phases = vec![
+            ServeBenchPhase {
+                phase: "uncached",
+                report: recloud_server::LoadReport {
+                    sent: 600,
+                    ok: 600,
+                    cached: 0,
+                    busy: 0,
+                    errors: 0,
+                    elapsed: Duration::from_secs(1),
+                    throughput_rps: 600.0,
+                    p50_us: 1_500,
+                    p95_us: 4_000,
+                },
+            },
+            ServeBenchPhase {
+                phase: "cached",
+                report: recloud_server::LoadReport {
+                    sent: 10_000,
+                    ok: 10_000,
+                    cached: 9_999,
+                    busy: 0,
+                    errors: 0,
+                    elapsed: Duration::from_secs(1),
+                    throughput_rps: 10_000.0,
+                    p50_us: 80,
+                    p95_us: 200,
+                },
+            },
+        ];
+        let stats = recloud_server::protocol::StatsResponse {
+            cache_hits: 9_999,
+            cache_misses: 601,
+            ..Default::default()
+        };
+        let body = serve_bench_json(1_000, 4, &phases, &stats);
+        assert!(body.starts_with("{\n"));
+        assert!(body.ends_with("}\n"));
+        assert!(body.contains("\"benchmark\": \"serve\""));
+        assert!(body.contains("\"phase\": \"uncached\""));
+        assert!(body.contains("\"phase\": \"cached\""));
+        assert!(body.contains("\"throughput_rps\": 10000.0"));
+        assert!(body.contains("\"hits\": 9999"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                body.matches(open).count(),
+                body.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        assert_eq!(body.matches("\"phase\"").count(), 2);
     }
 }

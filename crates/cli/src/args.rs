@@ -46,7 +46,14 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 /// Flags that are boolean (present/absent, no value).
-const BOOL_FLAGS: &[&str] = &["multi-objective", "distinct-racks", "monte-carlo", "switches-only"];
+const BOOL_FLAGS: &[&str] = &[
+    "multi-objective",
+    "distinct-racks",
+    "monte-carlo",
+    "switches-only",
+    "smoke",
+    "distinct-seeds",
+];
 
 /// A parsed command line.
 #[derive(Clone, Debug)]

@@ -468,3 +468,88 @@ pub fn availability(p: &Parsed) -> Result<String, CliError> {
     );
     Ok(out)
 }
+
+/// `recloud serve` — run the placement-as-a-service daemon until a
+/// `Shutdown` frame arrives. The listening line is printed *eagerly* (and
+/// optionally mirrored into `--port-file`) so scripts can discover an
+/// ephemeral port before the call blocks.
+pub fn serve(p: &Parsed) -> Result<String, CliError> {
+    use recloud_server::{Server, ServerConfig};
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        workers: p.usize_or("workers", defaults.workers)?,
+        queue_capacity: p.usize_or("queue", defaults.queue_capacity)?,
+        cache_capacity: p.usize_or("cache", defaults.cache_capacity)?,
+        read_timeout: defaults.read_timeout,
+    };
+    if config.workers == 0 {
+        return Err(CliError::Invalid("--workers must be at least 1".into()));
+    }
+    let port = p.u32_or("port", 7070)?;
+    if port > u16::MAX as u32 {
+        return Err(CliError::Invalid(format!("--port {port} does not fit a TCP port")));
+    }
+    let server = Server::bind(("127.0.0.1", port as u16), config)
+        .map_err(|e| CliError::Invalid(format!("bind failed: {e}")))?;
+    let addr = server.local_addr();
+    println!("recloud-server listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = p.get("port-file") {
+        std::fs::write(path, addr.port().to_string())
+            .map_err(|e| CliError::Invalid(format!("cannot write --port-file: {e}")))?;
+    }
+    let s = server.run();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {} requests: {} completed, {} cache hits / {} misses",
+        s.received, s.completed, s.cache_hits, s.cache_misses
+    );
+    let _ = writeln!(
+        out,
+        "rejected {} as busy, dropped {} protocol offenders",
+        s.busy_rejections, s.protocol_errors
+    );
+    Ok(out)
+}
+
+/// `recloud loadgen` — throw assessment load (or the CI smoke sequence)
+/// at a running daemon.
+pub fn loadgen(p: &Parsed) -> Result<String, CliError> {
+    use recloud_server::protocol::Preset;
+    use recloud_server::{run_load, LoadgenConfig};
+    let addr = p.str_or("addr", "127.0.0.1:7070");
+    if p.has("smoke") {
+        recloud_server::smoke(&addr).map_err(CliError::Invalid)?;
+        return Ok(format!("smoke OK against {addr}\n"));
+    }
+    let scale = p.str_or("scale", "tiny");
+    let preset = Preset::from_name(&scale).ok_or_else(|| CliError::BadValue {
+        flag: "scale".into(),
+        value: scale.clone(),
+        expected: "tiny|small|medium|large",
+    })?;
+    let config = LoadgenConfig {
+        addr,
+        requests: p.usize_or("requests", 1_000)?,
+        connections: p.usize_or("connections", 4)?,
+        preset,
+        rounds: p.u32_or("rounds", 1_000)?,
+        seed: p.u64_or("seed", 42)?,
+        distinct_seeds: p.has("distinct-seeds"),
+    };
+    let r = run_load(&config).map_err(|e| CliError::Invalid(format!("loadgen failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} ok ({} cached), {} busy, {} errors in {:.2?}",
+        r.ok, r.cached, r.busy, r.errors, r.elapsed
+    );
+    let _ = writeln!(
+        out,
+        "throughput {:.0} req/s, latency p50 {} us / p95 {} us",
+        r.throughput_rps, r.p50_us, r.p95_us
+    );
+    Ok(out)
+}

@@ -34,6 +34,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "blast" => commands::blast(&parsed),
         "dot" => commands::dot(&parsed),
         "availability" => commands::availability(&parsed),
+        "serve" => commands::serve(&parsed),
+        "loadgen" => commands::loadgen(&parsed),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -56,6 +58,8 @@ COMMANDS:
     blast        blast radius of every power supply
     dot          Graphviz export of the topology
     availability continuous-time renewal simulation (outage statistics)
+    serve        run the placement-as-a-service daemon (binary protocol)
+    loadgen      drive a running daemon (load measurement or --smoke)
     help         show this text
 
 COMMON OPTIONS:
@@ -78,7 +82,19 @@ COMPARE OPTIONS:
 WHATIF OPTIONS:
     --fail <kind:ordinal>[,...]         components to force-fail, e.g.
                                         power:0,edge:3,host:17
-    --hosts <id,...>                    explicit plan host ids (else random)"
+    --hosts <id,...>                    explicit plan host ids (else random)
+
+SERVE OPTIONS:
+    --port <int>                        listen port, 0 = ephemeral (default: 7070)
+    --port-file <path>                  write the bound port for scripts
+    --workers <int> --queue <int>       worker pool size / admission bound
+    --cache <int>                       result-cache entries (0 disables)
+
+LOADGEN OPTIONS:
+    --addr <host:port>                  daemon address (default: 127.0.0.1:7070)
+    --smoke                             run the CI smoke sequence and exit
+    --requests <int> --connections <int>
+    --distinct-seeds                    fresh seed per request (cache-miss mix)"
 }
 
 #[cfg(test)]
@@ -236,5 +252,68 @@ mod extension_tests {
     fn availability_validates_years() {
         let err = run_str("availability --scale tiny --years 0").unwrap_err();
         assert!(err.to_string().contains("years"));
+    }
+}
+
+#[cfg(test)]
+mod serve_tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn serve_then_smoke_then_clean_shutdown() {
+        let port_file =
+            std::env::temp_dir().join(format!("recloud-serve-test-{}.port", std::process::id()));
+        let _ = std::fs::remove_file(&port_file);
+        let argv: Vec<String> =
+            ["serve", "--port", "0", "--workers", "2", "--port-file", port_file.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let handle = std::thread::spawn(move || run(&argv));
+
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let port = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = s.trim().parse::<u16>() {
+                    break p;
+                }
+            }
+            assert!(Instant::now() < deadline, "server never wrote its port file");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+
+        let addr = format!("127.0.0.1:{port}");
+        let loadgen_argv: Vec<String> =
+            ["loadgen", "--smoke", "--addr", &addr].iter().map(|s| s.to_string()).collect();
+        let smoke_out = run(&loadgen_argv).unwrap();
+        assert!(smoke_out.contains("smoke OK"), "{smoke_out}");
+
+        let summary = handle.join().unwrap().unwrap();
+        assert!(summary.contains("cache hits"), "{summary}");
+        assert!(summary.contains("0 protocol offenders"), "{summary}");
+        let _ = std::fs::remove_file(&port_file);
+    }
+
+    #[test]
+    fn serve_validates_flags() {
+        let argv: Vec<String> = ["serve", "--workers", "0"].iter().map(|s| s.to_string()).collect();
+        assert!(run(&argv).unwrap_err().to_string().contains("workers"));
+        let argv: Vec<String> =
+            ["serve", "--port", "70000"].iter().map(|s| s.to_string()).collect();
+        assert!(run(&argv).unwrap_err().to_string().contains("port"));
+    }
+
+    #[test]
+    fn loadgen_validates_scale_and_reports_connect_failures() {
+        let argv: Vec<String> =
+            ["loadgen", "--scale", "galactic"].iter().map(|s| s.to_string()).collect();
+        assert!(run(&argv).unwrap_err().to_string().contains("galactic"));
+        // Port 1 is privileged and unbound: connect must fail cleanly.
+        let argv: Vec<String> = ["loadgen", "--addr", "127.0.0.1:1", "--requests", "1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&argv).unwrap_err().to_string().contains("loadgen failed"));
     }
 }

@@ -51,7 +51,7 @@ pub use dagger::DaggerCycle;
 pub use estimator::{ReliabilityEstimate, ResultAccumulator};
 pub use extended::ExtendedDaggerSampler;
 pub use montecarlo::MonteCarloSampler;
-pub use rng::{normal_probability, Rng};
+pub use rng::{derive_seed, normal_probability, Rng};
 pub use state::{BitMatrix, BitRow};
 
 /// A failure-state generator: fills a component × round bit matrix where a

@@ -1,0 +1,128 @@
+//! The serving layer's LRU result cache.
+//!
+//! Assessments are deterministic in `(preset, spec, plan, rounds, seed)`
+//! — the exact inputs [`recloud_assess::assessment_key`] fingerprints —
+//! so a repeated request can be answered from memory without touching the
+//! worker pool at all. The cache is a plain `HashMap` plus a logical
+//! clock: every hit or insert stamps the entry with the current tick, and
+//! eviction scans for the smallest stamp. The scan is O(capacity), which
+//! is deliberate — capacities are small (hundreds to a few thousand
+//! entries of five words each) and the scan only runs on insert-at-full,
+//! so a doubly-linked intrusive list would buy nothing measurable while
+//! costing `unsafe` or index juggling.
+
+use crate::protocol::AssessResponse;
+use std::collections::HashMap;
+
+struct Entry {
+    value: AssessResponse,
+    last_used: u64,
+}
+
+/// Fixed-capacity least-recently-used map from assessment fingerprints to
+/// finished assessments.
+pub struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<u128, Entry>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries; zero disables caching.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache { capacity, tick: 0, map: HashMap::with_capacity(capacity.min(1 << 12)) }
+    }
+
+    /// Looks up a fingerprint, refreshing its recency on hit. The returned
+    /// copy has `cached` forced true, so callers can forward it verbatim.
+    pub fn get(&mut self, key: u128) -> Option<AssessResponse> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|e| {
+            e.last_used = tick;
+            AssessResponse { cached: true, ..e.value }
+        })
+    }
+
+    /// Stores a finished assessment, evicting the least-recently-used
+    /// entry when full. The stored copy has `cached` forced false — the
+    /// flag describes how a *response* was produced, not the entry.
+    pub fn insert(&mut self, key: u128, value: AssessResponse) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(&oldest) = self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(
+            key,
+            Entry { value: AssessResponse { cached: false, ..value }, last_used: self.tick },
+        );
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(score: f64) -> AssessResponse {
+        AssessResponse { score, variance: 1e-9, rounds: 100, successes: 99, cached: false }
+    }
+
+    #[test]
+    fn hit_returns_cached_copy_and_miss_returns_none() {
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.get(1), None);
+        c.insert(1, resp(0.5));
+        let hit = c.get(1).unwrap();
+        assert!(hit.cached, "served-from-cache flag must be set");
+        assert_eq!(hit.score, 0.5);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used_entry() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, resp(0.1));
+        c.insert(2, resp(0.2));
+        c.get(1); // 2 is now the LRU entry
+        c.insert(3, resp(0.3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_some(), "recently-touched entry survives");
+        assert!(c.get(2).is_none(), "LRU entry was evicted");
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict_others() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, resp(0.1));
+        c.insert(2, resp(0.2));
+        c.insert(1, resp(0.9)); // overwrite, cache already full
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1).unwrap().score, 0.9);
+        assert!(c.get(2).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, resp(0.1));
+        assert!(c.is_empty());
+        assert_eq!(c.get(1), None);
+    }
+}

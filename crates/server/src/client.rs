@@ -1,0 +1,81 @@
+//! A blocking RCS1 client: one TCP connection, synchronous call/response.
+
+use crate::protocol::{
+    read_frame, write_frame, AssessRequest, AssessResponse, Request, Response, StatsResponse,
+};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A connected client. Each call writes one request frame and blocks for
+/// the matching response frame.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Bounds how long a single call may block (e.g. for smoke tests
+    /// that must not hang a CI pipeline).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// One raw round-trip.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| bad_data("server closed the connection mid-call"))?;
+        Response::decode(payload.into()).map_err(|e| bad_data(e.to_string()))
+    }
+
+    /// Pings the server; returns the echoed token.
+    pub fn ping(&mut self, token: u64) -> io::Result<u64> {
+        match self.call(&Request::Ping { token })? {
+            Response::Pong { token } => Ok(token),
+            other => Err(bad_data(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// Assesses one plan. `Busy` and `Error` frames surface as `Err`.
+    pub fn assess(&mut self, request: AssessRequest) -> io::Result<AssessResponse> {
+        match self.call(&Request::AssessPlan(request))? {
+            Response::Assess(a) => Ok(a),
+            Response::Busy { queued, capacity } => {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, format!("busy {queued}/{capacity}")))
+            }
+            Response::Error { code, message } => {
+                Err(bad_data(format!("server error {code:?}: {message}")))
+            }
+            other => Err(bad_data(format!("expected AssessResult, got {other:?}"))),
+        }
+    }
+
+    /// Reads the server's counters.
+    pub fn stats(&mut self) -> io::Result<StatsResponse> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(bad_data(format!("expected StatsResult, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns its lifetime completed
+    /// count.
+    pub fn shutdown(&mut self) -> io::Result<u64> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck { completed } => Ok(completed),
+            other => Err(bad_data(format!("expected ShutdownAck, got {other:?}"))),
+        }
+    }
+}

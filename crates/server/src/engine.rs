@@ -1,0 +1,329 @@
+//! Worker-side assessment engines.
+//!
+//! Each worker thread owns one [`EnginePool`]: a map from topology preset
+//! to a live `(Topology, Assessor)` pair. Building a topology and its
+//! fault model is far more expensive than a Tiny assessment, so engines
+//! persist across requests; when a request arrives with a different
+//! master seed, [`Assessor::reseed`] swaps the fault model in place and
+//! invalidates the table cache, which `recloud-assess` proves bit-exact
+//! against a freshly constructed engine. That equivalence is the serving
+//! contract: an `AssessPlan` answer must match what the CLI's
+//! `recloud assess` path computes for the same `(preset, plan, rounds,
+//! seed)` down to the last bit of the score.
+//!
+//! All request semantics live here rather than in the connection or
+//! worker plumbing: spec/plan construction, topology-aware host
+//! validation, and the dispatch to assess / compare / search.
+
+use crate::protocol::{
+    AssessRequest, AssessResponse, CompareEntry, CompareRequest, CompareResponse, Preset,
+    SearchRequest, SearchResponse,
+};
+use recloud::{DeployError, ReCloud};
+use recloud_apps::{ApplicationSpec, DeploymentPlan, Requirements};
+use recloud_assess::{compare_plans, Assessor, SamplerKind};
+use recloud_faults::FaultModel;
+use recloud_topology::{ComponentId, ComponentKind, Topology};
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+/// Builds the application spec a request describes: one layer is a plain
+/// K-of-N app, several layers share `(k, n)` per layer.
+pub fn spec_for(k: u32, n: u32, layers: usize) -> ApplicationSpec {
+    if layers <= 1 {
+        ApplicationSpec::k_of_n(k, n)
+    } else {
+        ApplicationSpec::layered(&vec![(k, n); layers])
+    }
+}
+
+/// The `(k, n)` shape of that spec, as the cache key wants it.
+pub fn shape_for(k: u32, n: u32, layers: usize) -> Vec<(u32, u32)> {
+    vec![(k, n); layers.max(1)]
+}
+
+/// Converts raw wire host ids into a [`DeploymentPlan`], rejecting
+/// duplicate hosts (which `DeploymentPlan::new` would panic on — a panic
+/// a network peer must never be able to trigger). Host ids are *not*
+/// checked against a topology here; that needs the worker's engine and
+/// happens in [`EnginePool::validate_hosts`].
+pub fn build_plan(
+    spec: &ApplicationSpec,
+    assignments: &[Vec<u32>],
+) -> Result<DeploymentPlan, String> {
+    let mut seen = HashSet::new();
+    for &h in assignments.iter().flatten() {
+        if !seen.insert(h) {
+            return Err(format!("host {h} is assigned twice in one plan"));
+        }
+    }
+    Ok(DeploymentPlan::new(
+        spec,
+        assignments
+            .iter()
+            .map(|layer| layer.iter().map(|&h| ComponentId::from_index(h as usize)).collect())
+            .collect(),
+    ))
+}
+
+struct Slot {
+    seed: u64,
+    topology: Topology,
+    assessor: Assessor,
+}
+
+/// Per-worker cache of live assessment engines, one per topology preset.
+#[derive(Default)]
+pub struct EnginePool {
+    slots: HashMap<u8, Slot>,
+}
+
+impl EnginePool {
+    /// An empty pool; engines materialize on first use.
+    pub fn new() -> Self {
+        EnginePool::default()
+    }
+
+    fn slot(&mut self, preset: Preset, seed: u64) -> &mut Slot {
+        let slot = self.slots.entry(preset.tag()).or_insert_with(|| {
+            let topology = preset.scale().build();
+            let model = FaultModel::paper_default(&topology, seed);
+            let assessor = Assessor::with_sampler(&topology, model, SamplerKind::ExtendedDagger);
+            Slot { seed, topology, assessor }
+        });
+        if slot.seed != seed {
+            slot.assessor.reseed(FaultModel::paper_default(&slot.topology, seed));
+            slot.seed = seed;
+        }
+        slot
+    }
+
+    fn check_hosts(topology: &Topology, assignments: &[Vec<u32>]) -> Result<(), String> {
+        for &h in assignments.iter().flatten() {
+            if h as usize >= topology.num_components() {
+                return Err(format!(
+                    "id {h} is out of range (topology has {} components)",
+                    topology.num_components()
+                ));
+            }
+            let kind = topology.component(ComponentId::from_index(h as usize)).kind;
+            if !matches!(kind, ComponentKind::Host) {
+                return Err(format!("id {h} is a {kind:?}, not a host"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates raw host ids against a preset's topology without running
+    /// anything. Materializes the preset's engine as a side effect.
+    pub fn validate_hosts(
+        &mut self,
+        preset: Preset,
+        seed: u64,
+        assignments: &[Vec<u32>],
+    ) -> Result<(), String> {
+        let slot = self.slot(preset, seed);
+        Self::check_hosts(&slot.topology, assignments)
+    }
+
+    /// Runs one assessment exactly as the CLI path would: paper-default
+    /// fault model for `(preset topology, seed)`, extended dagger
+    /// sampling, `rounds` route-and-check rounds.
+    pub fn assess(
+        &mut self,
+        req: &AssessRequest,
+        spec: &ApplicationSpec,
+        plan: &DeploymentPlan,
+    ) -> Result<AssessResponse, String> {
+        let slot = self.slot(req.preset, req.seed);
+        Self::check_hosts(&slot.topology, &req.assignments)?;
+        let a = slot.assessor.assess(spec, plan, req.rounds as usize, req.seed);
+        Ok(AssessResponse {
+            score: a.estimate.score,
+            variance: a.estimate.variance,
+            rounds: a.estimate.rounds,
+            successes: a.estimate.successes,
+            cached: false,
+        })
+    }
+
+    /// Ranks candidate plans with tie detection (§3.3's comparison
+    /// primitive) on the shared engine.
+    pub fn compare(
+        &mut self,
+        req: &CompareRequest,
+        spec: &ApplicationSpec,
+        plans: &[DeploymentPlan],
+    ) -> Result<CompareResponse, String> {
+        let slot = self.slot(req.preset, req.seed);
+        Self::check_hosts(&slot.topology, &req.plans)?;
+        let cmp = compare_plans(&mut slot.assessor, spec, plans, req.rounds as usize, req.seed);
+        Ok(CompareResponse {
+            ranking: cmp
+                .ranking
+                .iter()
+                .map(|r| CompareEntry {
+                    input_index: r.input_index as u32,
+                    score: r.assessment.estimate.score,
+                    ciw95: r.assessment.estimate.ciw95(),
+                    tied_with_best: r.tied_with_best,
+                })
+                .collect(),
+        })
+    }
+
+    /// Runs the simulated-annealing placement search server-side and
+    /// returns the best plan found within the budget.
+    pub fn search(&mut self, req: &SearchRequest) -> Result<SearchResponse, String> {
+        let slot = self.slot(req.preset, req.seed);
+        let spec = ApplicationSpec::k_of_n(req.k, req.n);
+        if spec.total_instances() > slot.topology.hosts().len() {
+            return Err(format!(
+                "n={} exceeds the preset's {} hosts",
+                req.n,
+                slot.topology.hosts().len()
+            ));
+        }
+        let service = ReCloud::paper_default(&slot.topology, req.seed);
+        let requirements = Requirements::paper_default()
+            .budget(Duration::from_millis(req.budget_ms as u64))
+            .rounds(req.rounds as usize);
+        let outcome = service.deploy_best_effort(&spec, &requirements).map_err(|e| match e {
+            DeployError::RequirementsNotMet { best_reliability, .. } => {
+                format!("search ended below target (best {best_reliability})")
+            }
+            other => format!("search failed: {other:?}"),
+        })?;
+        Ok(SearchResponse {
+            reliability: outcome.reliability,
+            ciw95: outcome.ciw95,
+            plans_assessed: outcome.plans_assessed as u64,
+            hosts: outcome.plan.hosts_of(0).iter().map(|h| h.index() as u32).collect(),
+        })
+    }
+
+    /// Engines currently materialized (for tests/introspection).
+    pub fn engines(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_request(seed: u64, hosts: Vec<u32>) -> AssessRequest {
+        AssessRequest {
+            preset: Preset::Tiny,
+            rounds: 2_000,
+            seed,
+            k: 2,
+            n: hosts.len() as u32,
+            assignments: vec![hosts],
+        }
+    }
+
+    fn first_hosts(t: &Topology, n: usize) -> Vec<u32> {
+        t.hosts()[..n].iter().map(|h| h.index() as u32).collect()
+    }
+
+    /// The serving contract: a pooled engine answers bit-identically to
+    /// the CLI path (fresh model + fresh assessor), across seed changes.
+    #[test]
+    fn pool_matches_fresh_cli_path_bit_for_bit() {
+        let topology = Preset::Tiny.scale().build();
+        let hosts = first_hosts(&topology, 3);
+        let mut pool = EnginePool::new();
+        for seed in [11, 29, 11] {
+            let req = tiny_request(seed, hosts.clone());
+            let spec = spec_for(req.k, req.n, req.assignments.len());
+            let plan = build_plan(&spec, &req.assignments).unwrap();
+            let served = pool.assess(&req, &spec, &plan).unwrap();
+
+            let model = FaultModel::paper_default(&topology, seed);
+            let mut fresh = Assessor::with_sampler(&topology, model, SamplerKind::ExtendedDagger);
+            let direct = fresh.assess(&spec, &plan, req.rounds as usize, seed);
+            assert_eq!(served.score.to_bits(), direct.estimate.score.to_bits(), "seed {seed}");
+            assert_eq!(served.variance.to_bits(), direct.estimate.variance.to_bits());
+            assert_eq!(served.successes, direct.estimate.successes);
+            assert_eq!(served.rounds, direct.estimate.rounds);
+            assert!(!served.cached);
+        }
+        assert_eq!(pool.engines(), 1, "one preset touched, one engine kept");
+    }
+
+    #[test]
+    fn invalid_hosts_are_errors_not_panics() {
+        let topology = Preset::Tiny.scale().build();
+        let mut pool = EnginePool::new();
+
+        let switch = (0..topology.num_components() as u32)
+            .find(|&i| {
+                !matches!(
+                    topology.component(ComponentId::from_index(i as usize)).kind,
+                    ComponentKind::Host
+                )
+            })
+            .unwrap();
+        let hosts = first_hosts(&topology, 2);
+
+        let out_of_range = tiny_request(1, vec![hosts[0], hosts[1], 9_999_999]);
+        let spec = spec_for(2, 3, 1);
+        let plan = build_plan(&spec, &out_of_range.assignments).unwrap();
+        assert!(pool.assess(&out_of_range, &spec, &plan).unwrap_err().contains("out of range"));
+
+        let on_switch = tiny_request(1, vec![hosts[0], hosts[1], switch]);
+        let plan = build_plan(&spec, &on_switch.assignments).unwrap();
+        assert!(pool.assess(&on_switch, &spec, &plan).unwrap_err().contains("not a host"));
+    }
+
+    #[test]
+    fn duplicate_hosts_are_rejected_before_plan_construction() {
+        let spec = spec_for(2, 3, 1);
+        let err = build_plan(&spec, &[vec![72, 73, 72]]).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn compare_ranks_all_candidates() {
+        let topology = Preset::Tiny.scale().build();
+        let h = first_hosts(&topology, 4);
+        let req = CompareRequest {
+            preset: Preset::Tiny,
+            rounds: 2_000,
+            seed: 5,
+            k: 1,
+            n: 2,
+            plans: vec![vec![h[0], h[1]], vec![h[2], h[3]]],
+        };
+        let spec = spec_for(req.k, req.n, 1);
+        let plans: Vec<_> =
+            req.plans.iter().map(|p| build_plan(&spec, std::slice::from_ref(p)).unwrap()).collect();
+        let mut pool = EnginePool::new();
+        let resp = pool.compare(&req, &spec, &plans).unwrap();
+        assert_eq!(resp.ranking.len(), 2);
+        let mut indices: Vec<_> = resp.ranking.iter().map(|e| e.input_index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1]);
+        assert!(resp.ranking[0].score >= resp.ranking[1].score, "ranked by descending score");
+    }
+
+    #[test]
+    fn search_returns_a_valid_plan() {
+        let mut pool = EnginePool::new();
+        let req = SearchRequest {
+            preset: Preset::Tiny,
+            rounds: 1_000,
+            seed: 3,
+            k: 2,
+            n: 3,
+            budget_ms: 150,
+        };
+        let resp = pool.search(&req).unwrap();
+        assert_eq!(resp.hosts.len(), 3);
+        assert!(resp.plans_assessed >= 1);
+        assert!((0.0..=1.0).contains(&resp.reliability));
+        let topology = Preset::Tiny.scale().build();
+        EnginePool::check_hosts(&topology, &[resp.hosts.clone()]).unwrap();
+    }
+}

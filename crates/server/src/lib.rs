@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # recloud-server
+//!
+//! Placement-as-a-service: the reCloud assessment and search pipeline
+//! behind a TCP daemon, so one warm engine serves many tenants instead of
+//! every CLI invocation rebuilding topologies, fault models and sampler
+//! state from scratch.
+//!
+//! The moving parts, bottom-up:
+//!
+//! * [`protocol`] — the RCS1 length-prefixed binary frame codec
+//!   (requests: Ping / AssessPlan / SearchPlacement / ComparePlans /
+//!   Stats / Shutdown; responses incl. Busy and Error), built on the same
+//!   `recloud::wire` substrate as the parallel assessor's RCW1 codec;
+//! * [`cache`] — an LRU result cache keyed by the 128-bit
+//!   [`recloud_assess::assessment_key`] fingerprint of everything that
+//!   determines an assessment;
+//! * [`engine`] — per-worker engine pools that keep `(topology,
+//!   Assessor)` pairs warm across requests and reseed in place,
+//!   bit-identical to a cold CLI run;
+//! * [`server`] — the daemon: scoped acceptor / connection / worker
+//!   threads around a bounded MPMC job queue with explicit `Busy`
+//!   backpressure and drain-then-exit shutdown;
+//! * [`client`] + [`loadgen`] — a blocking client, a latency/throughput
+//!   load generator and the CI smoke sequence.
+//!
+//! Everything is `std`-only, like the rest of the workspace: threads are
+//! scoped `std::thread`, channels come from `recloud::sync`, and no
+//! external crate is involved anywhere.
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use client::Client;
+pub use engine::EnginePool;
+pub use loadgen::{run_load, smoke, LoadReport, LoadgenConfig};
+pub use protocol::{Preset, Request, Response};
+pub use server::{ServeSummary, Server, ServerConfig};

@@ -1,0 +1,227 @@
+//! Load generator and smoke test for a running daemon.
+//!
+//! [`run_load`] opens several client connections and fires AssessPlan
+//! requests as fast as the server answers, measuring throughput and
+//! latency quantiles client-side. Two request mixes matter:
+//!
+//! * `distinct_seeds: true` — every request derives a fresh seed via the
+//!   shared [`recloud_sampling::derive_seed`] rule, so every request is a
+//!   cache miss and the measurement is worker throughput;
+//! * `distinct_seeds: false` — every request is identical, so after the
+//!   first miss the cache answers everything and the measurement is the
+//!   serving layer's frame/dispatch overhead.
+//!
+//! [`smoke`] is the CI gate: Ping, a Tiny assessment, the same assessment
+//! again (must be a cache hit), a Stats read proving the hit counted, and
+//! a clean Shutdown.
+
+use crate::client::Client;
+use crate::protocol::{AssessRequest, Preset};
+use recloud::sync;
+use recloud_sampling::derive_seed;
+use std::io;
+use std::time::{Duration, Instant};
+
+/// What to throw at the server.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7070`.
+    pub addr: String,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Topology preset to assess in.
+    pub preset: Preset,
+    /// Route-and-check rounds per request.
+    pub rounds: u32,
+    /// Base master seed.
+    pub seed: u64,
+    /// Fresh seed per request (cache-miss mix) vs. identical requests
+    /// (cache-hit mix).
+    pub distinct_seeds: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7070".into(),
+            requests: 1_000,
+            connections: 4,
+            preset: Preset::Tiny,
+            rounds: 1_000,
+            seed: 42,
+            distinct_seeds: false,
+        }
+    }
+}
+
+/// What the load run measured.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Successful assessments.
+    pub ok: u64,
+    /// Requests served from the result cache (per-response flag).
+    pub cached: u64,
+    /// `Busy` rejections.
+    pub busy: u64,
+    /// Error responses or transport failures.
+    pub errors: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Successful requests per second.
+    pub throughput_rps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: u64,
+}
+
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// The first `n` host ids of a preset's topology — the canonical fixed
+/// plan the load generator and smoke test assess.
+pub fn first_hosts(preset: Preset, n: usize) -> Vec<u32> {
+    let topology = preset.scale().build();
+    topology.hosts()[..n].iter().map(|h| h.index() as u32).collect()
+}
+
+/// Runs the configured load and aggregates per-request outcomes.
+pub fn run_load(config: &LoadgenConfig) -> io::Result<LoadReport> {
+    let hosts = first_hosts(config.preset, 3);
+    let per_conn = config.requests.div_ceil(config.connections.max(1));
+    let (result_tx, result_rx) = sync::channel::<(u64, u64, u64, u64, Vec<u64>)>();
+    let started = Instant::now();
+    std::thread::scope(|scope| -> io::Result<()> {
+        for conn in 0..config.connections.max(1) {
+            let tx = result_tx.clone();
+            let hosts = hosts.clone();
+            let mut client = Client::connect(&config.addr)?;
+            scope.spawn(move || {
+                let (mut ok, mut cached, mut busy, mut errors) = (0u64, 0u64, 0u64, 0u64);
+                let mut latencies = Vec::with_capacity(per_conn);
+                for i in 0..per_conn {
+                    let stream = (conn * per_conn + i) as u64;
+                    let seed = if config.distinct_seeds {
+                        derive_seed(config.seed, stream)
+                    } else {
+                        config.seed
+                    };
+                    let request = AssessRequest {
+                        preset: config.preset,
+                        rounds: config.rounds,
+                        seed,
+                        k: 2,
+                        n: hosts.len() as u32,
+                        assignments: vec![hosts.clone()],
+                    };
+                    let t0 = Instant::now();
+                    match client.assess(request) {
+                        Ok(resp) => {
+                            ok += 1;
+                            if resp.cached {
+                                cached += 1;
+                            }
+                            latencies.push(t0.elapsed().as_micros() as u64);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => busy += 1,
+                        Err(_) => errors += 1,
+                    }
+                }
+                let _ = tx.send((ok, cached, busy, errors, latencies));
+            });
+        }
+        Ok(())
+    })?;
+    drop(result_tx);
+    let mut report = LoadReport::default();
+    let mut all_latencies = Vec::with_capacity(config.requests);
+    while let Ok((ok, cached, busy, errors, latencies)) = result_rx.recv() {
+        report.ok += ok;
+        report.cached += cached;
+        report.busy += busy;
+        report.errors += errors;
+        all_latencies.extend(latencies);
+    }
+    report.sent = report.ok + report.busy + report.errors;
+    report.elapsed = started.elapsed();
+    report.throughput_rps = report.ok as f64 / report.elapsed.as_secs_f64().max(1e-9);
+    all_latencies.sort_unstable();
+    report.p50_us = quantile_us(&all_latencies, 0.50);
+    report.p95_us = quantile_us(&all_latencies, 0.95);
+    Ok(report)
+}
+
+/// The CI smoke sequence against a freshly started server. Returns a
+/// step-by-step description on the first mismatch.
+pub fn smoke(addr: &str) -> Result<(), String> {
+    let step = |what: &str, e: io::Error| format!("{what}: {e}");
+    let mut client = Client::connect(addr).map_err(|e| step("connect", e))?;
+    client.set_timeout(Some(Duration::from_secs(30))).map_err(|e| step("set timeout", e))?;
+
+    let token = client.ping(42).map_err(|e| step("ping", e))?;
+    if token != 42 {
+        return Err(format!("ping echoed {token}, want 42"));
+    }
+
+    let request = AssessRequest {
+        preset: Preset::Tiny,
+        rounds: 500,
+        seed: 7,
+        k: 2,
+        n: 3,
+        assignments: vec![first_hosts(Preset::Tiny, 3)],
+    };
+    let first = client.assess(request.clone()).map_err(|e| step("assess", e))?;
+    if first.rounds != 500 || !(0.0..=1.0).contains(&first.score) {
+        return Err(format!("implausible assessment {first:?}"));
+    }
+    let second = client.assess(request).map_err(|e| step("assess again", e))?;
+    if !second.cached {
+        return Err("repeated assessment was not served from cache".into());
+    }
+    if second.score.to_bits() != first.score.to_bits() {
+        return Err("cached score differs from computed score".into());
+    }
+
+    let stats = client.stats().map_err(|e| step("stats", e))?;
+    if stats.cache_hits == 0 {
+        return Err("stats report zero cache hits after a hit".into());
+    }
+    if stats.received < 3 {
+        return Err(format!("stats counted only {} requests", stats.received));
+    }
+
+    client.shutdown().map_err(|e| step("shutdown", e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_pick_the_right_ranks() {
+        assert_eq!(quantile_us(&[], 0.5), 0);
+        assert_eq!(quantile_us(&[7], 0.95), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_us(&v, 0.50), 51); // index round(99*0.5)=50
+        assert_eq!(quantile_us(&v, 0.95), 95); // index round(99*0.95)=94
+    }
+
+    #[test]
+    fn tiny_first_hosts_are_hosts() {
+        let hosts = first_hosts(Preset::Tiny, 3);
+        assert_eq!(hosts.len(), 3);
+        let t = Preset::Tiny.scale().build();
+        assert_eq!(hosts[0] as usize, t.hosts()[0].index());
+    }
+}

@@ -1,0 +1,1007 @@
+//! The `recloud-server` binary wire protocol.
+//!
+//! Every message crosses the socket as a *length-prefixed frame*:
+//!
+//! ```text
+//! transport := len:u32 payload        (len = payload bytes, LE)
+//! payload   := magic:u32 ("RCS1") kind:u8 body
+//! ```
+//!
+//! Request kinds (client → server):
+//!
+//! | kind | frame            | body |
+//! |------|------------------|------|
+//! | 0x01 | Ping             | `token:u64` |
+//! | 0x02 | AssessPlan       | `preset:u8 rounds:u32 seed:u64 k:u32 n:u32 n_layers:u32 { n_hosts:u32 host:u32… }…` |
+//! | 0x03 | SearchPlacement  | `preset:u8 rounds:u32 seed:u64 k:u32 n:u32 budget_ms:u32` |
+//! | 0x04 | ComparePlans     | `preset:u8 rounds:u32 seed:u64 k:u32 n:u32 n_plans:u32 { n_hosts:u32 host:u32… }…` |
+//! | 0x05 | Stats            | (empty) |
+//! | 0x06 | Shutdown         | (empty) |
+//!
+//! Response kinds (server → client):
+//!
+//! | kind | frame        | body |
+//! |------|--------------|------|
+//! | 0x81 | Pong         | `token:u64` |
+//! | 0x82 | AssessResult | `score:f64 variance:f64 rounds:u64 successes:u64 cached:u8` |
+//! | 0x83 | SearchResult | `reliability:f64 ciw95:f64 plans_assessed:u64 n_hosts:u32 host:u32…` |
+//! | 0x84 | CompareResult| `n:u32 { input_index:u32 score:f64 ciw95:f64 tied:u8 }…` |
+//! | 0x85 | StatsResult  | nine `u64`/`u32` counters (see [`StatsResponse`]) |
+//! | 0x86 | Busy         | `queued:u32 capacity:u32` |
+//! | 0x87 | Error        | `code:u8 msg_len:u16 msg:utf8…` |
+//! | 0x88 | ShutdownAck  | `completed:u64` |
+//!
+//! All integers little-endian; `f64` as IEEE-754 bits — the same
+//! conventions as the parallel engine's RCW1 codec, so a reliability score
+//! crosses the wire bit-exactly and a served assessment can be compared
+//! bit-for-bit against a local one. Decoders are checked by construction:
+//! truncation on any prefix, wrong magic and unknown kinds surface as
+//! [`ProtoError`]s, never panics — hostile bytes are an expected input for
+//! a network daemon.
+
+use recloud::wire::{ByteReader, ByteWriter, Bytes};
+use recloud_topology::Scale;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Payload magic, spelling "RCS1" (reCloud Serve v1).
+pub const MAGIC: u32 = 0x5243_5331;
+/// Magic (4) + kind (1).
+pub const HEADER_LEN: usize = 5;
+/// Upper bound on a payload; a larger length prefix is rejected before any
+/// allocation happens (hostile clients cannot make the server reserve
+/// gigabytes with four bytes).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+/// Upper bound on rounds per request (admission-time sanity, ~100× the
+/// paper's §4.1 default).
+pub const MAX_ROUNDS: u32 = 1_000_000;
+/// Upper bound on application layers per request.
+pub const MAX_LAYERS: u32 = 16;
+/// Upper bound on instances per layer.
+pub const MAX_INSTANCES: u32 = 1_024;
+/// Upper bound on candidate plans per ComparePlans request.
+pub const MAX_PLANS: u32 = 64;
+
+/// Decode failure. Any of these on a live connection is a protocol error:
+/// the server answers with an [`Response::Error`] frame and drops the
+/// connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Frame shorter than its declared layout.
+    Truncated,
+    /// Magic mismatch — the peer is not speaking RCS1.
+    BadMagic(u32),
+    /// Unknown frame kind.
+    BadKind(u8),
+    /// Unknown topology preset tag.
+    BadPreset(u8),
+    /// Error-frame message was not UTF-8.
+    BadString,
+    /// Payload had trailing bytes after a complete frame.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
+            ProtoError::BadKind(k) => write!(f, "bad frame kind 0x{k:02x}"),
+            ProtoError::BadPreset(p) => write!(f, "unknown topology preset {p}"),
+            ProtoError::BadString => write!(f, "error message is not UTF-8"),
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Topology preset tags carried on the wire (the four Table 2 scales).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Preset {
+    /// k = 8 fat-tree, 112 hosts.
+    Tiny = 0,
+    /// k = 16 fat-tree, 960 hosts.
+    Small = 1,
+    /// k = 24 fat-tree, 3 312 hosts.
+    Medium = 2,
+    /// k = 48 fat-tree, 27 072 hosts.
+    Large = 3,
+}
+
+impl Preset {
+    /// The corresponding Table 2 scale.
+    pub fn scale(self) -> Scale {
+        match self {
+            Preset::Tiny => Scale::Tiny,
+            Preset::Small => Scale::Small,
+            Preset::Medium => Scale::Medium,
+            Preset::Large => Scale::Large,
+        }
+    }
+
+    /// Wire tag of this preset.
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(tag: u8) -> Result<Preset, ProtoError> {
+        match tag {
+            0 => Ok(Preset::Tiny),
+            1 => Ok(Preset::Small),
+            2 => Ok(Preset::Medium),
+            3 => Ok(Preset::Large),
+            other => Err(ProtoError::BadPreset(other)),
+        }
+    }
+
+    /// Parses a CLI-style name ("tiny" | "small" | "medium" | "large").
+    pub fn from_name(name: &str) -> Option<Preset> {
+        match name {
+            "tiny" => Some(Preset::Tiny),
+            "small" => Some(Preset::Small),
+            "medium" => Some(Preset::Medium),
+            "large" => Some(Preset::Large),
+            _ => None,
+        }
+    }
+}
+
+/// An AssessPlan request: score one explicit deployment plan.
+///
+/// `assignments` holds one host list per application layer; a single layer
+/// means the plain K-of-N spec, more mean [`ApplicationSpec::layered`]
+/// with `(k, n)` per layer (`recloud_apps::ApplicationSpec`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AssessRequest {
+    /// Topology preset the plan refers to.
+    pub preset: Preset,
+    /// Route-and-check rounds.
+    pub rounds: u32,
+    /// Master seed: fault model + sampling, exactly as the CLI path.
+    pub seed: u64,
+    /// Per-layer requirement K.
+    pub k: u32,
+    /// Per-layer instance count N.
+    pub n: u32,
+    /// Raw host ids, one `Vec` per layer, each of length `n`.
+    pub assignments: Vec<Vec<u32>>,
+}
+
+/// A SearchPlacement request: run the annealing search server-side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchRequest {
+    /// Topology preset to place into.
+    pub preset: Preset,
+    /// Route-and-check rounds per assessed candidate.
+    pub rounds: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Requirement K.
+    pub k: u32,
+    /// Instance count N.
+    pub n: u32,
+    /// Search budget in milliseconds.
+    pub budget_ms: u32,
+}
+
+/// A ComparePlans request: rank candidate K-of-N plans with error bounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompareRequest {
+    /// Topology preset the plans refer to.
+    pub preset: Preset,
+    /// Route-and-check rounds per candidate.
+    pub rounds: u32,
+    /// Master seed (per-candidate seeds derive from it).
+    pub seed: u64,
+    /// Requirement K.
+    pub k: u32,
+    /// Instance count N.
+    pub n: u32,
+    /// Candidate plans, each `n` raw host ids.
+    pub plans: Vec<Vec<u32>>,
+}
+
+/// A client → server frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; echoed back in [`Response::Pong`].
+    Ping {
+        /// Opaque token the server echoes.
+        token: u64,
+    },
+    /// Assess one plan.
+    AssessPlan(AssessRequest),
+    /// Search for a plan.
+    SearchPlacement(SearchRequest),
+    /// Rank candidate plans.
+    ComparePlans(CompareRequest),
+    /// Read server counters.
+    Stats,
+    /// Drain in-flight jobs and exit.
+    Shutdown,
+}
+
+/// Error codes carried in [`Response::Error`] frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Bytes that do not decode as an RCS1 request.
+    Malformed = 1,
+    /// A well-formed request with invalid contents (bad host id, k > n…).
+    Invalid = 2,
+    /// Length prefix above [`MAX_FRAME_LEN`].
+    Oversized = 3,
+    /// The server failed internally (worker pool gone).
+    Internal = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Result<ErrorCode, ProtoError> {
+        match v {
+            1 => Ok(ErrorCode::Malformed),
+            2 => Ok(ErrorCode::Invalid),
+            3 => Ok(ErrorCode::Oversized),
+            4 => Ok(ErrorCode::Internal),
+            other => Err(ProtoError::BadKind(other)),
+        }
+    }
+}
+
+/// The assessment answer: the estimate's determining fields, bit-exact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AssessResponse {
+    /// Reliability score (Eq 1).
+    pub score: f64,
+    /// Conservative variance (Eq 2).
+    pub variance: f64,
+    /// Rounds checked.
+    pub rounds: u64,
+    /// Rounds in which the plan was reliable.
+    pub successes: u64,
+    /// True when served from the result cache.
+    pub cached: bool,
+}
+
+/// The search answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchResponse {
+    /// Assessed reliability of the chosen plan.
+    pub reliability: f64,
+    /// 95% confidence-interval width.
+    pub ciw95: f64,
+    /// Plans assessed during the search.
+    pub plans_assessed: u64,
+    /// Raw host ids of the chosen plan (single K-of-N component).
+    pub hosts: Vec<u32>,
+}
+
+/// One ranked candidate in a [`CompareResponse`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompareEntry {
+    /// Position of the plan in the request's list.
+    pub input_index: u32,
+    /// Reliability score.
+    pub score: f64,
+    /// 95% confidence-interval width.
+    pub ciw95: f64,
+    /// Statistically indistinguishable from the winner.
+    pub tied_with_best: bool,
+}
+
+/// The comparison answer, best plan first.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompareResponse {
+    /// Candidates sorted by descending reliability.
+    pub ranking: Vec<CompareEntry>,
+}
+
+/// Server counters, all monotonic since start except `queued`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsResponse {
+    /// Requests received (all kinds).
+    pub received: u64,
+    /// Jobs completed by workers.
+    pub completed: u64,
+    /// Assessments answered from the result cache.
+    pub cache_hits: u64,
+    /// Assessments that missed the cache.
+    pub cache_misses: u64,
+    /// Requests rejected with Busy (queue full).
+    pub busy_rejections: u64,
+    /// Connections dropped for protocol errors.
+    pub protocol_errors: u64,
+    /// Jobs currently queued.
+    pub queued: u32,
+    /// Admission-control queue capacity.
+    pub capacity: u32,
+    /// Worker-pool size.
+    pub workers: u32,
+}
+
+/// A server → client frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Ping echo.
+    Pong {
+        /// The request's token.
+        token: u64,
+    },
+    /// Assessment result.
+    Assess(AssessResponse),
+    /// Search result.
+    Search(SearchResponse),
+    /// Comparison result.
+    Compare(CompareResponse),
+    /// Counter snapshot.
+    Stats(StatsResponse),
+    /// Admission control rejected the request; retry later.
+    Busy {
+        /// Jobs queued at rejection time.
+        queued: u32,
+        /// The queue capacity.
+        capacity: u32,
+    },
+    /// The request failed; the connection will be dropped for protocol
+    /// errors and kept for semantic ones.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Shutdown acknowledged; the server drains and exits.
+    ShutdownAck {
+        /// Jobs completed over the server's lifetime.
+        completed: u64,
+    },
+}
+
+fn put_header(w: &mut ByteWriter, kind: u8) {
+    w.put_u32_le(MAGIC);
+    w.put_u8(kind);
+}
+
+fn read_header(r: &mut ByteReader) -> Result<u8, ProtoError> {
+    let magic = r.get_u32_le().ok_or(ProtoError::Truncated)?;
+    if magic != MAGIC {
+        return Err(ProtoError::BadMagic(magic));
+    }
+    r.get_u8().ok_or(ProtoError::Truncated)
+}
+
+fn put_host_lists(w: &mut ByteWriter, lists: &[Vec<u32>]) {
+    w.put_u32_le(lists.len() as u32);
+    for list in lists {
+        w.put_u32_le(list.len() as u32);
+        for &h in list {
+            w.put_u32_le(h);
+        }
+    }
+}
+
+fn get_host_lists(r: &mut ByteReader) -> Result<Vec<Vec<u32>>, ProtoError> {
+    let n_lists = r.get_u32_le().ok_or(ProtoError::Truncated)? as usize;
+    let mut lists = Vec::with_capacity(n_lists.min(1 << 10));
+    for _ in 0..n_lists {
+        let n = r.get_u32_le().ok_or(ProtoError::Truncated)? as usize;
+        if r.remaining() < 4 * n {
+            return Err(ProtoError::Truncated);
+        }
+        lists.push((0..n).map(|_| r.get_u32_le().unwrap()).collect());
+    }
+    Ok(lists)
+}
+
+fn host_lists_len(lists: &[Vec<u32>]) -> usize {
+    4 + lists.iter().map(|l| 4 + 4 * l.len()).sum::<usize>()
+}
+
+fn finish(r: &ByteReader) -> Result<(), ProtoError> {
+    if r.is_exhausted() {
+        Ok(())
+    } else {
+        Err(ProtoError::TrailingBytes(r.remaining()))
+    }
+}
+
+impl Request {
+    /// Encodes the request payload (without the transport length prefix)
+    /// in a single allocation.
+    pub fn encode(&self) -> Bytes {
+        match self {
+            Request::Ping { token } => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 8);
+                put_header(&mut w, 0x01);
+                w.put_u64_le(*token);
+                w.freeze()
+            }
+            Request::AssessPlan(a) => {
+                let mut w = ByteWriter::with_capacity(
+                    HEADER_LEN + 1 + 4 + 8 + 4 + 4 + host_lists_len(&a.assignments),
+                );
+                put_header(&mut w, 0x02);
+                w.put_u8(a.preset.tag());
+                w.put_u32_le(a.rounds);
+                w.put_u64_le(a.seed);
+                w.put_u32_le(a.k);
+                w.put_u32_le(a.n);
+                put_host_lists(&mut w, &a.assignments);
+                w.freeze()
+            }
+            Request::SearchPlacement(s) => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 1 + 4 + 8 + 4 + 4 + 4);
+                put_header(&mut w, 0x03);
+                w.put_u8(s.preset.tag());
+                w.put_u32_le(s.rounds);
+                w.put_u64_le(s.seed);
+                w.put_u32_le(s.k);
+                w.put_u32_le(s.n);
+                w.put_u32_le(s.budget_ms);
+                w.freeze()
+            }
+            Request::ComparePlans(c) => {
+                let mut w = ByteWriter::with_capacity(
+                    HEADER_LEN + 1 + 4 + 8 + 4 + 4 + host_lists_len(&c.plans),
+                );
+                put_header(&mut w, 0x04);
+                w.put_u8(c.preset.tag());
+                w.put_u32_le(c.rounds);
+                w.put_u64_le(c.seed);
+                w.put_u32_le(c.k);
+                w.put_u32_le(c.n);
+                put_host_lists(&mut w, &c.plans);
+                w.freeze()
+            }
+            Request::Stats => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN);
+                put_header(&mut w, 0x05);
+                w.freeze()
+            }
+            Request::Shutdown => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN);
+                put_header(&mut w, 0x06);
+                w.freeze()
+            }
+        }
+    }
+
+    /// Decodes a request payload, rejecting truncation, bad magic,
+    /// unknown kinds and trailing bytes.
+    pub fn decode(buf: Bytes) -> Result<Request, ProtoError> {
+        let mut r = ByteReader::new(buf);
+        let kind = read_header(&mut r)?;
+        let req = match kind {
+            0x01 => Request::Ping { token: r.get_u64_le().ok_or(ProtoError::Truncated)? },
+            0x02 => Request::AssessPlan(AssessRequest {
+                preset: Preset::from_tag(r.get_u8().ok_or(ProtoError::Truncated)?)?,
+                rounds: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                seed: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                k: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                n: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                assignments: get_host_lists(&mut r)?,
+            }),
+            0x03 => Request::SearchPlacement(SearchRequest {
+                preset: Preset::from_tag(r.get_u8().ok_or(ProtoError::Truncated)?)?,
+                rounds: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                seed: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                k: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                n: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                budget_ms: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+            }),
+            0x04 => Request::ComparePlans(CompareRequest {
+                preset: Preset::from_tag(r.get_u8().ok_or(ProtoError::Truncated)?)?,
+                rounds: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                seed: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                k: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                n: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                plans: get_host_lists(&mut r)?,
+            }),
+            0x05 => Request::Stats,
+            0x06 => Request::Shutdown,
+            other => return Err(ProtoError::BadKind(other)),
+        };
+        finish(&r)?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response payload (without the transport length prefix)
+    /// in a single allocation.
+    pub fn encode(&self) -> Bytes {
+        match self {
+            Response::Pong { token } => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 8);
+                put_header(&mut w, 0x81);
+                w.put_u64_le(*token);
+                w.freeze()
+            }
+            Response::Assess(a) => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 8 + 8 + 8 + 8 + 1);
+                put_header(&mut w, 0x82);
+                w.put_f64_le(a.score);
+                w.put_f64_le(a.variance);
+                w.put_u64_le(a.rounds);
+                w.put_u64_le(a.successes);
+                w.put_u8(a.cached as u8);
+                w.freeze()
+            }
+            Response::Search(s) => {
+                let mut w =
+                    ByteWriter::with_capacity(HEADER_LEN + 8 + 8 + 8 + 4 + 4 * s.hosts.len());
+                put_header(&mut w, 0x83);
+                w.put_f64_le(s.reliability);
+                w.put_f64_le(s.ciw95);
+                w.put_u64_le(s.plans_assessed);
+                w.put_u32_le(s.hosts.len() as u32);
+                for &h in &s.hosts {
+                    w.put_u32_le(h);
+                }
+                w.freeze()
+            }
+            Response::Compare(c) => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 4 + 21 * c.ranking.len());
+                put_header(&mut w, 0x84);
+                w.put_u32_le(c.ranking.len() as u32);
+                for e in &c.ranking {
+                    w.put_u32_le(e.input_index);
+                    w.put_f64_le(e.score);
+                    w.put_f64_le(e.ciw95);
+                    w.put_u8(e.tied_with_best as u8);
+                }
+                w.freeze()
+            }
+            Response::Stats(s) => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 6 * 8 + 3 * 4);
+                put_header(&mut w, 0x85);
+                w.put_u64_le(s.received);
+                w.put_u64_le(s.completed);
+                w.put_u64_le(s.cache_hits);
+                w.put_u64_le(s.cache_misses);
+                w.put_u64_le(s.busy_rejections);
+                w.put_u64_le(s.protocol_errors);
+                w.put_u32_le(s.queued);
+                w.put_u32_le(s.capacity);
+                w.put_u32_le(s.workers);
+                w.freeze()
+            }
+            Response::Busy { queued, capacity } => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 4 + 4);
+                put_header(&mut w, 0x86);
+                w.put_u32_le(*queued);
+                w.put_u32_le(*capacity);
+                w.freeze()
+            }
+            Response::Error { code, message } => {
+                let msg = message.as_bytes();
+                let msg = &msg[..msg.len().min(u16::MAX as usize)];
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 1 + 2 + msg.len());
+                put_header(&mut w, 0x87);
+                w.put_u8(*code as u8);
+                w.put_u16_le(msg.len() as u16);
+                w.put_slice(msg);
+                w.freeze()
+            }
+            Response::ShutdownAck { completed } => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 8);
+                put_header(&mut w, 0x88);
+                w.put_u64_le(*completed);
+                w.freeze()
+            }
+        }
+    }
+
+    /// Decodes a response payload.
+    pub fn decode(buf: Bytes) -> Result<Response, ProtoError> {
+        let mut r = ByteReader::new(buf);
+        let kind = read_header(&mut r)?;
+        let resp = match kind {
+            0x81 => Response::Pong { token: r.get_u64_le().ok_or(ProtoError::Truncated)? },
+            0x82 => Response::Assess(AssessResponse {
+                score: r.get_f64_le().ok_or(ProtoError::Truncated)?,
+                variance: r.get_f64_le().ok_or(ProtoError::Truncated)?,
+                rounds: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                successes: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                cached: r.get_u8().ok_or(ProtoError::Truncated)? != 0,
+            }),
+            0x83 => {
+                let reliability = r.get_f64_le().ok_or(ProtoError::Truncated)?;
+                let ciw95 = r.get_f64_le().ok_or(ProtoError::Truncated)?;
+                let plans_assessed = r.get_u64_le().ok_or(ProtoError::Truncated)?;
+                let n = r.get_u32_le().ok_or(ProtoError::Truncated)? as usize;
+                if r.remaining() < 4 * n {
+                    return Err(ProtoError::Truncated);
+                }
+                let hosts = (0..n).map(|_| r.get_u32_le().unwrap()).collect();
+                Response::Search(SearchResponse { reliability, ciw95, plans_assessed, hosts })
+            }
+            0x84 => {
+                let n = r.get_u32_le().ok_or(ProtoError::Truncated)? as usize;
+                let mut ranking = Vec::with_capacity(n.min(1 << 10));
+                for _ in 0..n {
+                    ranking.push(CompareEntry {
+                        input_index: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                        score: r.get_f64_le().ok_or(ProtoError::Truncated)?,
+                        ciw95: r.get_f64_le().ok_or(ProtoError::Truncated)?,
+                        tied_with_best: r.get_u8().ok_or(ProtoError::Truncated)? != 0,
+                    });
+                }
+                Response::Compare(CompareResponse { ranking })
+            }
+            0x85 => Response::Stats(StatsResponse {
+                received: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                completed: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                cache_hits: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                cache_misses: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                busy_rejections: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                protocol_errors: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                queued: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                capacity: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                workers: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+            }),
+            0x86 => Response::Busy {
+                queued: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                capacity: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+            },
+            0x87 => {
+                let code = ErrorCode::from_u8(r.get_u8().ok_or(ProtoError::Truncated)?)?;
+                let len = r.get_u16_le().ok_or(ProtoError::Truncated)? as usize;
+                let bytes = r.get_bytes(len).ok_or(ProtoError::Truncated)?;
+                let message = std::str::from_utf8(bytes.as_slice())
+                    .map_err(|_| ProtoError::BadString)?
+                    .to_string();
+                Response::Error { code, message }
+            }
+            0x88 => {
+                Response::ShutdownAck { completed: r.get_u64_le().ok_or(ProtoError::Truncated)? }
+            }
+            other => return Err(ProtoError::BadKind(other)),
+        };
+        finish(&r)?;
+        Ok(resp)
+    }
+}
+
+/// Writes one transport frame (length prefix + payload) and flushes.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    stream.write_all(&buf)?;
+    stream.flush()
+}
+
+/// Blocking read of one transport frame. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary; an oversized length prefix is an
+/// `InvalidData` error (and no allocation happens).
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    match stream.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Semantic validation shared by server admission and clients: bounds that
+/// do not need the topology. Host-id validity is checked worker-side where
+/// the topology lives.
+pub fn validate_shape(req: &Request) -> Result<(), String> {
+    let check_spec = |k: u32, n: u32, rounds: u32| -> Result<(), String> {
+        if k == 0 || k > n {
+            return Err(format!("need 1 <= k <= n (got k={k}, n={n})"));
+        }
+        if n > MAX_INSTANCES {
+            return Err(format!("n={n} exceeds the {MAX_INSTANCES}-instance limit"));
+        }
+        if rounds == 0 || rounds > MAX_ROUNDS {
+            return Err(format!("rounds must be in 1..={MAX_ROUNDS} (got {rounds})"));
+        }
+        Ok(())
+    };
+    match req {
+        Request::Ping { .. } | Request::Stats | Request::Shutdown => Ok(()),
+        Request::AssessPlan(a) => {
+            check_spec(a.k, a.n, a.rounds)?;
+            if a.assignments.is_empty() || a.assignments.len() > MAX_LAYERS as usize {
+                return Err(format!("need 1..={MAX_LAYERS} layers (got {})", a.assignments.len()));
+            }
+            for (i, layer) in a.assignments.iter().enumerate() {
+                if layer.len() != a.n as usize {
+                    return Err(format!("layer {i} assigns {} hosts but n={}", layer.len(), a.n));
+                }
+            }
+            Ok(())
+        }
+        Request::SearchPlacement(s) => check_spec(s.k, s.n, s.rounds),
+        Request::ComparePlans(c) => {
+            check_spec(c.k, c.n, c.rounds)?;
+            if c.plans.is_empty() || c.plans.len() > MAX_PLANS as usize {
+                return Err(format!(
+                    "need 1..={MAX_PLANS} candidate plans (got {})",
+                    c.plans.len()
+                ));
+            }
+            for (i, plan) in c.plans.iter().enumerate() {
+                if plan.len() != c.n as usize {
+                    return Err(format!("plan {i} assigns {} hosts but n={}", plan.len(), c.n));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping { token: u64::MAX },
+            Request::AssessPlan(AssessRequest {
+                preset: Preset::Tiny,
+                rounds: 10_000,
+                seed: 42,
+                k: 2,
+                n: 3,
+                assignments: vec![vec![72, 73, 74]],
+            }),
+            Request::AssessPlan(AssessRequest {
+                preset: Preset::Large,
+                rounds: 1,
+                seed: 0,
+                k: 1,
+                n: 2,
+                assignments: vec![vec![72, 73], vec![80, 81]],
+            }),
+            Request::SearchPlacement(SearchRequest {
+                preset: Preset::Small,
+                rounds: 5_000,
+                seed: 7,
+                k: 4,
+                n: 5,
+                budget_ms: 2_000,
+            }),
+            Request::ComparePlans(CompareRequest {
+                preset: Preset::Medium,
+                rounds: 1_000,
+                seed: 9,
+                k: 1,
+                n: 2,
+                plans: vec![vec![72, 73], vec![74, 75], vec![76, 77]],
+            }),
+            Request::Stats,
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong { token: 17 },
+            Response::Assess(AssessResponse {
+                score: 0.987_654_321,
+                variance: 1.5e-6,
+                rounds: 10_000,
+                successes: 9_876,
+                cached: true,
+            }),
+            Response::Search(SearchResponse {
+                reliability: 0.9999,
+                ciw95: 2e-4,
+                plans_assessed: 12_345,
+                hosts: vec![72, 99, 104],
+            }),
+            Response::Compare(CompareResponse {
+                ranking: vec![
+                    CompareEntry { input_index: 1, score: 0.99, ciw95: 1e-3, tied_with_best: true },
+                    CompareEntry {
+                        input_index: 0,
+                        score: 0.95,
+                        ciw95: 2e-3,
+                        tied_with_best: false,
+                    },
+                ],
+            }),
+            Response::Stats(StatsResponse {
+                received: 100,
+                completed: 90,
+                cache_hits: 40,
+                cache_misses: 50,
+                busy_rejections: 3,
+                protocol_errors: 2,
+                queued: 5,
+                capacity: 64,
+                workers: 4,
+            }),
+            Response::Busy { queued: 64, capacity: 64 },
+            Response::Error { code: ErrorCode::Invalid, message: "id 9999 is not a host".into() },
+            Response::Error { code: ErrorCode::Oversized, message: String::new() },
+            Response::ShutdownAck { completed: 314 },
+        ]
+    }
+
+    /// Satellite: every request/response frame round-trips bit-identically
+    /// — the decoded value re-encodes to the exact same bytes.
+    #[test]
+    fn every_frame_roundtrips_bit_identically() {
+        for req in sample_requests() {
+            let bytes = req.encode();
+            let back = Request::decode(bytes.clone()).unwrap();
+            assert_eq!(back, req);
+            assert_eq!(back.encode(), bytes, "re-encode must be byte-identical: {req:?}");
+        }
+        for resp in sample_responses() {
+            let bytes = resp.encode();
+            let back = Response::decode(bytes.clone()).unwrap();
+            assert_eq!(back, resp);
+            assert_eq!(back.encode(), bytes, "re-encode must be byte-identical: {resp:?}");
+        }
+    }
+
+    /// Satellite: every strict prefix of every frame is rejected as
+    /// Truncated (or another ProtoError), never a panic — extending the
+    /// PR 1 truncation guarantee to the server codec.
+    #[test]
+    fn every_prefix_cut_is_rejected() {
+        for req in sample_requests() {
+            let whole = req.encode();
+            for cut in 0..whole.len() {
+                assert!(
+                    Request::decode(whole.slice(..cut)).is_err(),
+                    "{req:?} cut={cut} must not decode"
+                );
+            }
+        }
+        for resp in sample_responses() {
+            let whole = resp.encode();
+            for cut in 0..whole.len() {
+                assert!(
+                    Response::decode(whole.slice(..cut)).is_err(),
+                    "{resp:?} cut={cut} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_slice(&Request::Stats.encode());
+        w.put_u8(0);
+        assert_eq!(Request::decode(w.freeze()), Err(ProtoError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_magic_and_kind_are_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u8(0x01);
+        w.put_u64_le(0);
+        assert_eq!(Request::decode(w.freeze()), Err(ProtoError::BadMagic(0xDEAD_BEEF)));
+
+        let mut w = ByteWriter::new();
+        put_header(&mut w, 0x7F);
+        assert_eq!(Request::decode(w.freeze()), Err(ProtoError::BadKind(0x7F)));
+        let mut w = ByteWriter::new();
+        put_header(&mut w, 0x02);
+        w.put_u8(9); // preset tag 9 does not exist
+        w.put_u32_le(1);
+        w.put_u64_le(1);
+        w.put_u32_le(1);
+        w.put_u32_le(1);
+        w.put_u32_le(0);
+        assert_eq!(Request::decode(w.freeze()), Err(ProtoError::BadPreset(9)));
+    }
+
+    #[test]
+    fn request_kind_cannot_decode_as_response() {
+        let ping = Request::Ping { token: 1 }.encode();
+        assert_eq!(Response::decode(ping), Err(ProtoError::BadKind(0x01)));
+        let pong = Response::Pong { token: 1 }.encode();
+        assert_eq!(Request::decode(pong), Err(ProtoError::BadKind(0x81)));
+    }
+
+    #[test]
+    fn error_frame_truncates_overlong_messages() {
+        let long = "x".repeat(100_000);
+        let resp = Response::Error { code: ErrorCode::Internal, message: long };
+        let decoded = Response::decode(resp.encode()).unwrap();
+        match decoded {
+            Response::Error { message, .. } => assert_eq!(message.len(), u16::MAX as usize),
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_transport_roundtrip_and_clean_eof() {
+        let payload = Request::Ping { token: 3 }.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        assert_eq!(&wire[..4], &(payload.len() as u32).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(wire);
+        let got = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(got, payload.as_slice());
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF at boundary");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_invalid_data_without_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&[0; 8]);
+        let err = read_frame(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn half_written_frame_is_unexpected_eof() {
+        let payload = Request::Stats.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        wire.truncate(wire.len() - 2);
+        let err = read_frame(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn shape_validation_catches_bad_requests() {
+        let ok = Request::AssessPlan(AssessRequest {
+            preset: Preset::Tiny,
+            rounds: 100,
+            seed: 1,
+            k: 1,
+            n: 2,
+            assignments: vec![vec![72, 73]],
+        });
+        assert!(validate_shape(&ok).is_ok());
+        let mut bad_k = ok.clone();
+        if let Request::AssessPlan(a) = &mut bad_k {
+            a.k = 3;
+        }
+        assert!(validate_shape(&bad_k).unwrap_err().contains("k <= n"));
+        let mut bad_rounds = ok.clone();
+        if let Request::AssessPlan(a) = &mut bad_rounds {
+            a.rounds = 0;
+        }
+        assert!(validate_shape(&bad_rounds).unwrap_err().contains("rounds"));
+        let mut bad_layer = ok.clone();
+        if let Request::AssessPlan(a) = &mut bad_layer {
+            a.assignments = vec![vec![72]];
+        }
+        assert!(validate_shape(&bad_layer).unwrap_err().contains("hosts but n="));
+        let empty_compare = Request::ComparePlans(CompareRequest {
+            preset: Preset::Tiny,
+            rounds: 10,
+            seed: 0,
+            k: 1,
+            n: 1,
+            plans: vec![],
+        });
+        assert!(validate_shape(&empty_compare).unwrap_err().contains("candidate plans"));
+    }
+
+    #[test]
+    fn preset_names_and_tags_roundtrip() {
+        for p in [Preset::Tiny, Preset::Small, Preset::Medium, Preset::Large] {
+            assert_eq!(Preset::from_tag(p.tag()).unwrap(), p);
+        }
+        assert_eq!(Preset::from_name("tiny"), Some(Preset::Tiny));
+        assert_eq!(Preset::from_name("nowhere"), None);
+        assert!(Preset::from_tag(7).is_err());
+    }
+}

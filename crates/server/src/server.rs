@@ -1,0 +1,461 @@
+//! The placement-as-a-service daemon.
+//!
+//! Thread topology (all scoped — no detached threads, no `Arc` juggling):
+//!
+//! ```text
+//!                 ┌──────────────┐
+//!  TCP clients ──▶│ accept loop  │── spawns one connection thread each
+//!                 └──────────────┘
+//!   connection threads: frame I/O, decode, validate, cache lookup
+//!        │ admission control (depth < queue_capacity, else Busy)
+//!        ▼
+//!   bounded MPMC job queue (recloud::sync::channel + atomic depth)
+//!        │                                    ▲ reply (oneshot channel)
+//!        ▼                                    │
+//!   worker pool (scoped_workers): EnginePool per worker ─────┘
+//! ```
+//!
+//! Backpressure is explicit: a connection thread only enqueues after
+//! winning a compare-exchange on the queue depth; at capacity the client
+//! gets a `Busy` frame immediately instead of unbounded queueing — the
+//! reCloud analogue of the paper's observation that assessment cost, not
+//! connection count, is the scarce resource.
+//!
+//! Shutdown is graceful by construction: the `Shutdown` frame flips a
+//! flag and self-connects to unblock `accept`; dropping the acceptor's
+//! job sender lets the level-triggered queue drain, so every admitted
+//! job still completes and answers before the worker pool exits, and the
+//! scope guarantees every thread is joined before [`Server::run`]
+//! returns.
+
+use crate::cache::ResultCache;
+use crate::engine::{build_plan, shape_for, spec_for, EnginePool};
+use crate::protocol::{
+    self, validate_shape, AssessRequest, CompareRequest, ErrorCode, Request, Response,
+    SearchRequest, StatsResponse, MAX_FRAME_LEN,
+};
+use recloud::sync::{self, Receiver, Sender};
+use recloud_apps::{ApplicationSpec, DeploymentPlan};
+use recloud_assess::assessment_key;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Tunables of one server instance.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Assessment worker threads.
+    pub workers: usize,
+    /// Admission-control bound on queued-but-unstarted jobs; at this
+    /// depth new work is answered with `Busy`.
+    pub queue_capacity: usize,
+    /// Result-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Poll interval for connection reads — bounds how long shutdown
+    /// waits on an idle connection.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8);
+        ServerConfig {
+            workers,
+            queue_capacity: 64,
+            cache_capacity: 4_096,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Final counter snapshot returned by [`Server::run`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests received (all kinds).
+    pub received: u64,
+    /// Jobs completed by workers.
+    pub completed: u64,
+    /// Assessments answered from the result cache.
+    pub cache_hits: u64,
+    /// Assessments that had to run.
+    pub cache_misses: u64,
+    /// Requests turned away with `Busy`.
+    pub busy_rejections: u64,
+    /// Connections that spoke the protocol wrong.
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    received: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    busy_rejections: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+enum JobKind {
+    Assess { req: AssessRequest, spec: ApplicationSpec, plan: DeploymentPlan, key: u128 },
+    Search(SearchRequest),
+    Compare { req: CompareRequest, spec: ApplicationSpec, plans: Vec<DeploymentPlan> },
+}
+
+struct Job {
+    kind: JobKind,
+    reply: Sender<Response>,
+}
+
+/// One bound daemon; [`Server::run`] serves until a `Shutdown` frame.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: ServerConfig,
+    counters: Counters,
+    cache: Mutex<ResultCache>,
+    depth: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// Binds the daemon (port 0 picks an ephemeral port — read it back
+    /// with [`Server::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        assert!(config.workers >= 1, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            config,
+            counters: Counters::default(),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            depth: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until shut down; blocks the calling thread. Every admitted
+    /// job completes and answers before this returns.
+    pub fn run(&self) -> ServeSummary {
+        let (job_tx, job_rx) = sync::channel::<Job>();
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers {
+                let rx = job_rx.clone();
+                scope.spawn(move || self.worker_loop(rx));
+            }
+            drop(job_rx);
+            loop {
+                let stream = match self.listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(_) => {
+                        if self.shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        continue;
+                    }
+                };
+                if self.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let tx = job_tx.clone();
+                scope.spawn(move || self.serve_connection(stream, tx));
+            }
+            drop(job_tx);
+        });
+        self.summary()
+    }
+
+    /// Flips the shutdown flag and unblocks the accept loop. Usually
+    /// triggered by a `Shutdown` frame; public for embedding tests.
+    pub fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::AcqRel) {
+            // A throwaway self-connection is the portable way to wake a
+            // blocking accept() without platform-specific polling.
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+
+    fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            received: self.counters.received.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            busy_rejections: self.counters.busy_rejections.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn stats(&self) -> StatsResponse {
+        let s = self.summary();
+        StatsResponse {
+            received: s.received,
+            completed: s.completed,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            busy_rejections: s.busy_rejections,
+            protocol_errors: s.protocol_errors,
+            queued: self.depth.load(Ordering::Relaxed) as u32,
+            capacity: self.config.queue_capacity as u32,
+            workers: self.config.workers as u32,
+        }
+    }
+
+    fn worker_loop(&self, rx: Receiver<Job>) {
+        let mut pool = EnginePool::new();
+        while let Ok(job) = rx.recv() {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            let response = match &job.kind {
+                JobKind::Assess { req, spec, plan, key } => match pool.assess(req, spec, plan) {
+                    Ok(resp) => {
+                        self.cache.lock().unwrap().insert(*key, resp);
+                        Response::Assess(resp)
+                    }
+                    Err(message) => Response::Error { code: ErrorCode::Invalid, message },
+                },
+                JobKind::Search(req) => match pool.search(req) {
+                    Ok(resp) => Response::Search(resp),
+                    Err(message) => Response::Error { code: ErrorCode::Invalid, message },
+                },
+                JobKind::Compare { req, spec, plans } => match pool.compare(req, spec, plans) {
+                    Ok(resp) => Response::Compare(resp),
+                    Err(message) => Response::Error { code: ErrorCode::Invalid, message },
+                },
+            };
+            if !matches!(response, Response::Error { .. }) {
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = job.reply.send(response);
+        }
+    }
+
+    fn serve_connection(&self, mut stream: TcpStream, job_tx: Sender<Job>) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        loop {
+            match self.read_frame_polling(&mut stream) {
+                FrameRead::Closed | FrameRead::ShuttingDown | FrameRead::Io => return,
+                FrameRead::Oversized(len) => {
+                    self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    self.reply(
+                        &mut stream,
+                        &Response::Error {
+                            code: ErrorCode::Oversized,
+                            message: format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
+                        },
+                    );
+                    return;
+                }
+                FrameRead::HalfFrame => {
+                    self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                FrameRead::Frame(payload) => {
+                    self.counters.received.fetch_add(1, Ordering::Relaxed);
+                    let request = match Request::decode(payload.into()) {
+                        Ok(request) => request,
+                        Err(e) => {
+                            self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            self.reply(
+                                &mut stream,
+                                &Response::Error {
+                                    code: ErrorCode::Malformed,
+                                    message: e.to_string(),
+                                },
+                            );
+                            return;
+                        }
+                    };
+                    if !self.handle(request, &mut stream, &job_tx) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles one decoded request; returns false to close the connection.
+    fn handle(&self, request: Request, stream: &mut TcpStream, job_tx: &Sender<Job>) -> bool {
+        if let Err(message) = validate_shape(&request) {
+            return self.reply(stream, &Response::Error { code: ErrorCode::Invalid, message });
+        }
+        let kind = match request {
+            Request::Ping { token } => return self.reply(stream, &Response::Pong { token }),
+            Request::Stats => return self.reply(stream, &Response::Stats(self.stats())),
+            Request::Shutdown => {
+                let completed = self.counters.completed.load(Ordering::Relaxed);
+                self.reply(stream, &Response::ShutdownAck { completed });
+                self.begin_shutdown();
+                return false;
+            }
+            Request::AssessPlan(req) => {
+                let spec = spec_for(req.k, req.n, req.assignments.len());
+                let plan = match build_plan(&spec, &req.assignments) {
+                    Ok(plan) => plan,
+                    Err(message) => {
+                        return self
+                            .reply(stream, &Response::Error { code: ErrorCode::Invalid, message });
+                    }
+                };
+                let key = assessment_key(
+                    req.preset.tag(),
+                    &shape_for(req.k, req.n, req.assignments.len()),
+                    &plan,
+                    req.rounds as u64,
+                    req.seed,
+                );
+                if let Some(hit) = self.cache.lock().unwrap().get(key) {
+                    self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    return self.reply(stream, &Response::Assess(hit));
+                }
+                self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                JobKind::Assess { req, spec, plan, key }
+            }
+            Request::SearchPlacement(req) => JobKind::Search(req),
+            Request::ComparePlans(req) => {
+                let spec = spec_for(req.k, req.n, 1);
+                let mut plans = Vec::with_capacity(req.plans.len());
+                for hosts in &req.plans {
+                    match build_plan(&spec, std::slice::from_ref(hosts)) {
+                        Ok(plan) => plans.push(plan),
+                        Err(message) => {
+                            return self.reply(
+                                stream,
+                                &Response::Error { code: ErrorCode::Invalid, message },
+                            );
+                        }
+                    }
+                }
+                JobKind::Compare { req, spec, plans }
+            }
+        };
+        self.dispatch(kind, stream, job_tx)
+    }
+
+    /// Admission control + enqueue + blocking wait for the worker reply.
+    fn dispatch(&self, kind: JobKind, stream: &mut TcpStream, job_tx: &Sender<Job>) -> bool {
+        let capacity = self.config.queue_capacity;
+        let admitted = self
+            .depth
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |d| {
+                if d < capacity {
+                    Some(d + 1)
+                } else {
+                    None
+                }
+            })
+            .is_ok();
+        if !admitted {
+            self.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return self.reply(
+                stream,
+                &Response::Busy {
+                    queued: self.depth.load(Ordering::Relaxed) as u32,
+                    capacity: capacity as u32,
+                },
+            );
+        }
+        let (reply_tx, reply_rx) = sync::channel::<Response>();
+        if job_tx.send(Job { kind, reply: reply_tx }).is_err() {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            return self.reply(
+                stream,
+                &Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "worker pool is gone".into(),
+                },
+            );
+        }
+        match reply_rx.recv() {
+            Ok(response) => self.reply(stream, &response),
+            Err(_) => self.reply(
+                stream,
+                &Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "worker dropped the job".into(),
+                },
+            ),
+        }
+    }
+
+    fn reply(&self, stream: &mut TcpStream, response: &Response) -> bool {
+        protocol::write_frame(stream, &response.encode()).is_ok()
+    }
+
+    /// Reads one frame, polling the shutdown flag across read timeouts so
+    /// idle connections notice shutdown within `read_timeout`. Keeps
+    /// partial-read state across timeouts, so a slow writer is fine — but
+    /// a peer that disconnects mid-frame is a [`FrameRead::HalfFrame`]
+    /// protocol error, and an oversized length prefix is rejected before
+    /// any payload allocation.
+    fn read_frame_polling(&self, stream: &mut TcpStream) -> FrameRead {
+        let mut prefix = [0u8; 4];
+        match self.read_exact_polling(stream, &mut prefix) {
+            ReadExact::Done => {}
+            ReadExact::CleanEof => return FrameRead::Closed,
+            ReadExact::MidEof => return FrameRead::HalfFrame,
+            ReadExact::ShuttingDown => return FrameRead::ShuttingDown,
+            ReadExact::Io => return FrameRead::Io,
+        }
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > MAX_FRAME_LEN {
+            return FrameRead::Oversized(len);
+        }
+        let mut payload = vec![0u8; len];
+        match self.read_exact_polling(stream, &mut payload) {
+            ReadExact::Done => FrameRead::Frame(payload),
+            ReadExact::CleanEof | ReadExact::MidEof => FrameRead::HalfFrame,
+            ReadExact::ShuttingDown => FrameRead::ShuttingDown,
+            ReadExact::Io => FrameRead::Io,
+        }
+    }
+
+    fn read_exact_polling(&self, stream: &mut TcpStream, buf: &mut [u8]) -> ReadExact {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match stream.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return if filled == 0 { ReadExact::CleanEof } else { ReadExact::MidEof };
+                }
+                Ok(n) => filled += n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return ReadExact::ShuttingDown;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadExact::Io,
+            }
+        }
+        ReadExact::Done
+    }
+}
+
+enum FrameRead {
+    Frame(Vec<u8>),
+    Closed,
+    HalfFrame,
+    Oversized(usize),
+    ShuttingDown,
+    Io,
+}
+
+enum ReadExact {
+    Done,
+    CleanEof,
+    MidEof,
+    ShuttingDown,
+    Io,
+}

@@ -22,4 +22,24 @@ cargo test -q --workspace
 echo "== hermetic dependency guard =="
 cargo test -q --test hermetic
 
+echo "== server smoke test =="
+# Start the daemon on an ephemeral port, discover the port via
+# --port-file, run the loadgen smoke sequence (Ping, a Tiny AssessPlan
+# twice — the repeat must be a cache hit — Stats, Shutdown), then assert
+# the daemon exits cleanly on its own.
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE"
+target/release/recloud serve --port 0 --port-file "$PORT_FILE" &
+SERVER_PID=$!
+for _ in $(seq 1 300); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "server never wrote its port file"; kill "$SERVER_PID"; exit 1; }
+PORT="$(cat "$PORT_FILE")"
+target/release/repro loadgen --smoke --addr "127.0.0.1:$PORT"
+wait "$SERVER_PID"
+rm -f "$PORT_FILE"
+echo "server smoke: clean exit"
+
 echo "ci: all gates passed"

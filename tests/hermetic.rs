@@ -77,8 +77,8 @@ fn dependency_entries(text: &str) -> Vec<(String, String)> {
 fn every_dependency_is_a_path_dependency() {
     let manifests = workspace_manifests();
     assert!(
-        manifests.len() >= 12,
-        "expected the root + 11 crate manifests, found {}",
+        manifests.len() >= 13,
+        "expected the root + 12 crate manifests, found {}",
         manifests.len()
     );
     let mut violations = Vec::new();
@@ -98,6 +98,27 @@ fn every_dependency_is_a_path_dependency() {
          and crates/bench/src/harness.rs for how the previous four were replaced).",
         violations.join("\n  ")
     );
+}
+
+#[test]
+fn server_crate_is_present_and_path_only() {
+    // The serving daemon is the crate most tempted by external deps
+    // (async runtimes, serde, hashers); pin that it exists and resolves
+    // entirely inside the repo.
+    let manifests = workspace_manifests();
+    let server = manifests
+        .iter()
+        .find(|m| m.ends_with("crates/server/Cargo.toml"))
+        .expect("crates/server/Cargo.toml must exist");
+    let text = std::fs::read_to_string(server).unwrap();
+    let entries = dependency_entries(&text);
+    assert!(!entries.is_empty(), "server manifest declares no dependencies?");
+    for (name, value) in entries {
+        assert!(
+            is_hermetic_dependency(&value),
+            "recloud-server dependency '{name} = {value}' is not path-only"
+        );
+    }
 }
 
 #[test]
