@@ -13,12 +13,14 @@
 use crate::check::StructureChecker;
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
 use recloud_faults::{FaultInjector, FaultModel};
+use recloud_obs::{Counter, Gauge, Histogram};
 use recloud_routing::{make_router, Router};
 use recloud_sampling::{
     BitMatrix, ExtendedDaggerSampler, MonteCarloSampler, ReliabilityEstimate, ResultAccumulator,
     Sampler,
 };
 use recloud_topology::Topology;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which failure-state generator to use.
@@ -112,11 +114,52 @@ pub struct Assessor {
     /// path — the two are bit-identical; the toggle exists for equivalence
     /// tests and scalar-vs-batched benchmarking.
     batched: bool,
+    /// Cached global-registry instrument handles (stage histograms,
+    /// rounds counter, cache_bytes gauge).
+    obs: AssessInstruments,
 }
 
 struct TableCache {
     master_seed: u64,
     chunks: Vec<BitMatrix>,
+}
+
+/// Cached handles into the process-wide [`recloud_obs::global()`]
+/// registry. Registration happens once per engine (here); the per-chunk
+/// record calls are lock- and allocation-free, so the instruments stay
+/// on in the bit-sliced hot path. Recording is per *chunk* (thousands
+/// of rounds), never per round. Rounds-per-second is derived by
+/// readers as `assess.rounds_total / (assess.total_us.sum / 1e6)`.
+struct AssessInstruments {
+    /// Per-chunk failure-state generation time (µs) — the Fig 7 stage.
+    sampling_us: Arc<Histogram>,
+    /// Per-chunk fault-tree collapse time (µs).
+    collapse_us: Arc<Histogram>,
+    /// Per-chunk route-and-check time (µs), fresh and cached paths.
+    check_us: Arc<Histogram>,
+    /// Per-assessment end-to-end time (µs).
+    total_us: Arc<Histogram>,
+    /// Route-and-check rounds executed.
+    rounds_total: Arc<Counter>,
+    /// Completed assessments.
+    assessments_total: Arc<Counter>,
+    /// Current collapsed-table cache footprint of the newest engine.
+    cache_bytes: Arc<Gauge>,
+}
+
+impl AssessInstruments {
+    fn from_global() -> Self {
+        let registry = recloud_obs::global();
+        AssessInstruments {
+            sampling_us: registry.histogram("assess.sampling_us"),
+            collapse_us: registry.histogram("assess.collapse_us"),
+            check_us: registry.histogram("assess.check_us"),
+            total_us: registry.histogram("assess.total_us"),
+            rounds_total: registry.counter("assess.rounds_total"),
+            assessments_total: registry.counter("assess.assessments_total"),
+            cache_bytes: registry.gauge("assess.cache_bytes"),
+        }
+    }
 }
 
 impl Assessor {
@@ -147,6 +190,7 @@ impl Assessor {
             table_cache: None,
             injector: None,
             batched: true,
+            obs: AssessInstruments::from_global(),
         }
     }
 
@@ -314,6 +358,11 @@ impl Assessor {
             acc,
         );
         let check = t_check.elapsed();
+
+        self.obs.sampling_us.record(sampling.as_micros() as u64);
+        self.obs.collapse_us.record(collapse.as_micros() as u64);
+        self.obs.check_us.record(check.as_micros() as u64);
+        self.obs.rounds_total.add(rounds as u64);
         Timings { sampling, collapse, check, total: t0.elapsed() }
     }
 
@@ -353,7 +402,10 @@ impl Assessor {
                     *n,
                     &mut acc,
                 );
-                timings.check += t_check.elapsed();
+                let check = t_check.elapsed();
+                self.obs.check_us.record(check.as_micros() as u64);
+                self.obs.rounds_total.add(*n as u64);
+                timings.check += check;
             }
             self.table_cache = Some(cache);
         } else {
@@ -366,6 +418,9 @@ impl Assessor {
             self.table_cache = Some(TableCache { master_seed: seed, chunks });
         }
         timings.total = t0.elapsed();
+        self.obs.total_us.record(timings.total.as_micros() as u64);
+        self.obs.assessments_total.inc();
+        self.obs.cache_bytes.set(self.cache_bytes() as i64);
         Assessment { estimate: acc.estimate(), timings, sampler: self.kind.name() }
     }
 
@@ -685,6 +740,37 @@ mod tests {
                 recloud_sampling::derive_seed(master, chunk as u64)
             );
         }
+    }
+
+    /// Assessments record stage timings, round counts and the cache
+    /// footprint into the process-global registry. Other tests share
+    /// that registry and run in parallel, so assertions are on *deltas
+    /// at least as large as this test's own contribution* — concurrent
+    /// recording only increases them.
+    #[test]
+    fn assessments_record_into_the_global_registry() {
+        let before = recloud_obs::global().snapshot();
+        let (t, mut a, spec) = setup(SamplerKind::ExtendedDagger);
+        let mut rng = Rng::new(77);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+        let rounds = 4_000usize;
+        a.assess(&spec, &plan, rounds, 8); // fresh: sampling + collapse + check
+        a.assess(&spec, &plan, rounds, 8); // cached table: check only
+        let after = recloud_obs::global().snapshot();
+
+        let delta =
+            |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        assert!(delta("assess.rounds_total") >= 2 * rounds as u64);
+        assert!(delta("assess.assessments_total") >= 2);
+        let chunks = a.chunk_layout(rounds).len() as u64;
+        let hist_delta = |name: &str| {
+            after.histogram(name).map_or(0, |h| h.count)
+                - before.histogram(name).map_or(0, |h| h.count)
+        };
+        assert!(hist_delta("assess.sampling_us") >= chunks, "fresh path samples per chunk");
+        assert!(hist_delta("assess.check_us") >= 2 * chunks, "both paths check per chunk");
+        assert!(hist_delta("assess.total_us") >= 2);
+        assert!(after.gauge("assess.cache_bytes").is_some(), "cache footprint gauge registered");
     }
 
     #[test]

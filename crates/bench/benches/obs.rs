@@ -1,0 +1,118 @@
+//! Overhead bench for `recloud-obs`: cost of a counter increment,
+//! histogram record, and journal append (per block of 1M ops), plus
+//! the disabled (kill-switch) path — with an inline assertion that
+//! none of them allocate, so instrumentation cannot silently regress
+//! the bit-sliced kernel speedup.
+
+use recloud_bench::harness::{black_box, Harness};
+use recloud_obs::Registry;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+// Per-thread allocation counter (const-initialized, no-Drop payload, so
+// reading it inside the allocator neither allocates nor recurses).
+thread_local! {
+    static TL_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        TL_ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        TL_ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Operations per timed block; the reported median is for the whole
+/// block, so per-op cost is median / OPS.
+const OPS: u64 = 1_000_000;
+
+fn assert_alloc_free(label: &str, f: impl FnOnce()) {
+    let before = TL_ALLOCATIONS.with(Cell::get);
+    f();
+    let allocated = TL_ALLOCATIONS.with(Cell::get) - before;
+    assert_eq!(allocated, 0, "{label}: record path allocated {allocated} time(s)");
+}
+
+fn bench_obs(c: &mut Harness) {
+    let mut group = c.benchmark_group(format!("obs_record ({OPS} ops per sample)"));
+    group.sample_size(10);
+
+    // Registration and kind interning happen once, outside the timed
+    // and allocation-counted region — that is the handle-caching
+    // contract every instrumented call site follows.
+    let registry = Registry::new();
+    let counter = registry.counter("bench.counter");
+    let histogram = registry.histogram("bench.hist");
+    let journal = registry.journal();
+    let kind = journal.kind_id("bench.event");
+
+    group.bench_function("counter_inc", |b| {
+        b.iter(|| {
+            assert_alloc_free("counter_inc", || {
+                for _ in 0..OPS {
+                    counter.inc();
+                }
+            });
+            black_box(counter.value())
+        });
+    });
+
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            assert_alloc_free("histogram_record", || {
+                for i in 0..OPS {
+                    histogram.record(i);
+                }
+            });
+            black_box(histogram.snapshot().count)
+        });
+    });
+
+    group.bench_function("journal_record", |b| {
+        b.iter(|| {
+            assert_alloc_free("journal_record", || {
+                for i in 0..OPS {
+                    journal.record(kind, i, i, 0.5, 1.5);
+                }
+            });
+            black_box(journal.recorded())
+        });
+    });
+
+    recloud_obs::set_enabled(false);
+    group.bench_function("disabled_counter_and_histogram", |b| {
+        b.iter(|| {
+            assert_alloc_free("disabled_record", || {
+                for i in 0..OPS {
+                    counter.inc();
+                    histogram.record(i);
+                }
+            });
+            black_box(counter.value())
+        });
+    });
+    recloud_obs::set_enabled(true);
+
+    group.finish();
+    println!("obs bench: every record path allocation-free over {OPS} ops per sample");
+}
+
+fn main() {
+    let mut harness = Harness::new();
+    bench_obs(&mut harness);
+    harness.finish();
+}

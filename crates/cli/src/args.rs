@@ -53,6 +53,7 @@ const BOOL_FLAGS: &[&str] = &[
     "switches-only",
     "smoke",
     "distinct-seeds",
+    "json",
 ];
 
 /// A parsed command line.

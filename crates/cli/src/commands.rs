@@ -514,6 +514,88 @@ pub fn serve(p: &Parsed) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `recloud stats` — fetch a running daemon's instrument snapshot via a
+/// `MetricsDump` frame and render it (or dump raw JSON with `--json`).
+pub fn stats(p: &Parsed) -> Result<String, CliError> {
+    use recloud_server::Client;
+    let addr = p.str_or("addr", "127.0.0.1:7070");
+    let mut client = Client::connect(&addr)
+        .map_err(|e| CliError::Invalid(format!("cannot connect to {addr}: {e}")))?;
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| CliError::Invalid(format!("set timeout: {e}")))?;
+    let m = client.metrics(0).map_err(|e| CliError::Invalid(format!("metrics dump: {e}")))?;
+    if p.has("json") {
+        return Ok(format!("{}\n", m.snapshot.to_json()));
+    }
+    let s = &m.snapshot;
+    let mut out = String::new();
+    let _ = writeln!(out, "instruments of {addr}:");
+    let _ = writeln!(out, "  requests: {}", s.counter("server.requests_total").unwrap_or(0));
+    let _ = writeln!(out, "  latency per request kind (us):");
+    for (name, h) in &s.histograms {
+        let Some(kind) = name.strip_prefix("server.latency_us.") else { continue };
+        if h.count == 0 {
+            let _ = writeln!(out, "    {kind:<8} (no requests)");
+        } else {
+            let _ = writeln!(
+                out,
+                "    {kind:<8} n={} p50={} p90={} p99={} max={}",
+                h.count,
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max
+            );
+        }
+    }
+    let _ = writeln!(out, "  queue depth: {}", s.gauge("server.queue_depth").unwrap_or(0));
+    let hits = s.counter("server.cache_hits_total").unwrap_or(0);
+    let misses = s.counter("server.cache_misses_total").unwrap_or(0);
+    let rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+    let _ = writeln!(
+        out,
+        "  cache: {hits} hits / {misses} misses (hit rate {:.1}%), {} evictions",
+        rate * 100.0,
+        s.counter("server.cache_evictions_total").unwrap_or(0)
+    );
+    let _ = writeln!(
+        out,
+        "  busy rejections: {}, decode errors: {}",
+        s.counter("server.busy_total").unwrap_or(0),
+        s.counter("server.decode_errors_total").unwrap_or(0)
+    );
+    let extra: Vec<&str> =
+        s.counters.iter().map(|(n, _)| n.as_str()).filter(|n| !n.starts_with("server.")).collect();
+    if !extra.is_empty() {
+        let _ = writeln!(out, "  non-server counters: {}", extra.join(", "));
+    }
+    Ok(out)
+}
+
+/// `recloud journal` — fetch the newest `--tail N` journal events from a
+/// running daemon and print them as JSON lines.
+pub fn journal(p: &Parsed) -> Result<String, CliError> {
+    use recloud_server::Client;
+    let addr = p.str_or("addr", "127.0.0.1:7070");
+    let tail = p.u32_or("tail", 64)?;
+    let mut client = Client::connect(&addr)
+        .map_err(|e| CliError::Invalid(format!("cannot connect to {addr}: {e}")))?;
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| CliError::Invalid(format!("set timeout: {e}")))?;
+    let m = client.metrics(tail).map_err(|e| CliError::Invalid(format!("metrics dump: {e}")))?;
+    let mut out = String::new();
+    for event in &m.events {
+        out.push_str(&event.to_json_line());
+        out.push('\n');
+    }
+    if m.events.is_empty() {
+        out.push_str("(journal is empty)\n");
+    }
+    Ok(out)
+}
+
 /// `recloud loadgen` — throw assessment load (or the CI smoke sequence)
 /// at a running daemon.
 pub fn loadgen(p: &Parsed) -> Result<String, CliError> {

@@ -36,6 +36,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "availability" => commands::availability(&parsed),
         "serve" => commands::serve(&parsed),
         "loadgen" => commands::loadgen(&parsed),
+        "stats" => commands::stats(&parsed),
+        "journal" => commands::journal(&parsed),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -60,6 +62,9 @@ COMMANDS:
     availability continuous-time renewal simulation (outage statistics)
     serve        run the placement-as-a-service daemon (binary protocol)
     loadgen      drive a running daemon (load measurement or --smoke)
+    stats        read a running daemon's instruments (latency quantiles,
+                 queue depth, cache hit rate; --json for raw snapshot)
+    journal      print a running daemon's newest journal events as JSON lines
     help         show this text
 
 COMMON OPTIONS:
@@ -94,7 +99,12 @@ LOADGEN OPTIONS:
     --addr <host:port>                  daemon address (default: 127.0.0.1:7070)
     --smoke                             run the CI smoke sequence and exit
     --requests <int> --connections <int>
-    --distinct-seeds                    fresh seed per request (cache-miss mix)"
+    --distinct-seeds                    fresh seed per request (cache-miss mix)
+
+STATS / JOURNAL OPTIONS:
+    --addr <host:port>                  daemon address (default: 127.0.0.1:7070)
+    --json                              stats: print the raw snapshot JSON
+    --tail <int>                        journal: newest N events (default: 64)"
 }
 
 #[cfg(test)]
@@ -284,6 +294,38 @@ mod serve_tests {
         };
 
         let addr = format!("127.0.0.1:{port}");
+
+        // Acceptance criterion: `recloud stats` against the live daemon
+        // reports latency quantiles per request kind, the queue depth and
+        // the cache hit rate — and `--json` yields the raw snapshot.
+        let warm: Vec<String> = ["loadgen", "--addr", &addr, "--requests", "8", "--rounds", "200"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&warm).unwrap();
+        let stats_argv: Vec<String> =
+            ["stats", "--addr", &addr].iter().map(|s| s.to_string()).collect();
+        let stats_out = run(&stats_argv).unwrap();
+        assert!(stats_out.contains("latency per request kind"), "{stats_out}");
+        assert!(stats_out.contains("assess"), "{stats_out}");
+        assert!(stats_out.contains("p50="), "{stats_out}");
+        assert!(stats_out.contains("p99="), "{stats_out}");
+        assert!(stats_out.contains("queue depth:"), "{stats_out}");
+        assert!(stats_out.contains("hit rate"), "{stats_out}");
+        let json_argv: Vec<String> =
+            ["stats", "--addr", &addr, "--json"].iter().map(|s| s.to_string()).collect();
+        let json_out = run(&json_argv).unwrap();
+        assert!(json_out.starts_with("{\"counters\":{"), "{json_out}");
+        assert!(json_out.contains("\"server.requests_total\":"), "{json_out}");
+        assert!(json_out.contains("\"server.latency_us.assess\":{"), "{json_out}");
+        let journal_argv: Vec<String> =
+            ["journal", "--addr", &addr, "--tail", "16"].iter().map(|s| s.to_string()).collect();
+        let journal_out = run(&journal_argv).unwrap();
+        assert!(
+            journal_out.contains("\"kind\"") || journal_out.contains("journal is empty"),
+            "{journal_out}"
+        );
+
         let loadgen_argv: Vec<String> =
             ["loadgen", "--smoke", "--addr", &addr].iter().map(|s| s.to_string()).collect();
         let smoke_out = run(&loadgen_argv).unwrap();
@@ -315,5 +357,15 @@ mod serve_tests {
             .map(|s| s.to_string())
             .collect();
         assert!(run(&argv).unwrap_err().to_string().contains("loadgen failed"));
+    }
+
+    #[test]
+    fn stats_and_journal_report_connect_failures() {
+        let argv: Vec<String> =
+            ["stats", "--addr", "127.0.0.1:1"].iter().map(|s| s.to_string()).collect();
+        assert!(run(&argv).unwrap_err().to_string().contains("cannot connect"));
+        let argv: Vec<String> =
+            ["journal", "--addr", "127.0.0.1:1"].iter().map(|s| s.to_string()).collect();
+        assert!(run(&argv).unwrap_err().to_string().contains("cannot connect"));
     }
 }

@@ -1,0 +1,260 @@
+//! The instrument registry: named counters, gauges, and histograms
+//! plus one journal, with point-in-time snapshots and JSON export.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a lock and may
+//! allocate; call sites do it once at setup and keep the returned
+//! `Arc` handle, so the record paths stay lock- and allocation-free.
+//! Names are sorted (`BTreeMap`) so snapshots and JSON are
+//! deterministic.
+
+use crate::{push_json_str, Counter, Gauge, Histogram, HistogramSnapshot, Journal};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A set of named instruments plus an event journal.
+///
+/// Library layers (assess, search) use the process-wide [`global()`]
+/// registry; the daemon owns one `Registry` per server instance so
+/// concurrent servers (and tests) see isolated counters.
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    journal: Journal,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry with a default-capacity journal.
+    pub fn new() -> Self {
+        Self::with_journal_capacity(crate::journal::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty registry with a journal of the given capacity.
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        Self {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            journal: Journal::with_capacity(capacity),
+        }
+    }
+
+    /// Gets or creates the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// Gets or creates the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// Gets or creates the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// The registry's event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Takes a point-in-time snapshot of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(name, c)| (name.clone(), c.value()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(name, g)| (name.clone(), g.value()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(existing) = map.read().unwrap().get(name) {
+        return Arc::clone(existing);
+    }
+    let mut map = map.write().unwrap();
+    Arc::clone(map.entry(name.to_string()).or_default())
+}
+
+/// The process-wide registry used by the assess and search layers.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// An owned point-in-time view of a [`Registry`]'s instruments, in
+/// sorted name order. This is what travels in the RCS1 `MetricsDump`
+/// response and what the benches embed in their BENCH JSON.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` per counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` per histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Merges another snapshot into this one. Same-named counters and
+    /// gauges add, same-named histograms merge bucket-wise; the result
+    /// stays sorted by name.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.counters[i].1 += v,
+                Err(i) => self.counters.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.gauges[i].1 += v,
+                Err(i) => self.gauges.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.histograms[i].1.merge(h),
+                Err(i) => self.histograms.insert(i, (name.clone(), h.clone())),
+            }
+        }
+    }
+
+    /// Renders the snapshot as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,max,p50,p90,p99,buckets}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push_str(&format!(":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push_str(&format!(":{v}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            out.push_str(&h.to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_snapshots_are_sorted() {
+        let r = Registry::new();
+        let a = r.counter("z.second");
+        let b = r.counter("a.first");
+        let a2 = r.counter("z.second");
+        a.add(3);
+        a2.add(4);
+        b.inc();
+        r.gauge("depth").set(5);
+        r.histogram("lat_us").record(100);
+        let s = r.snapshot();
+        assert_eq!(s.counters, vec![("a.first".into(), 1), ("z.second".into(), 7)]);
+        assert_eq!(s.gauge("depth"), Some(5));
+        assert_eq!(s.histogram("lat_us").unwrap().count, 1);
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets_and_stays_sorted() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("shared").add(2);
+        b.counter("shared").add(5);
+        b.counter("b.only").inc();
+        a.histogram("h").record(10);
+        b.histogram("h").record(10_000);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.counter("shared"), Some(7));
+        assert_eq!(s.counter("b.only"), Some(1));
+        let names: Vec<&str> = s.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["b.only", "shared"], "sorted after merge");
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 10_000);
+    }
+
+    #[test]
+    fn snapshot_json_is_balanced_and_contains_every_instrument() {
+        let r = Registry::new();
+        r.counter("req_total").add(12);
+        r.gauge("queue_depth").set(-1);
+        r.histogram("lat").record(33);
+        let j = r.snapshot().to_json();
+        assert!(j.starts_with("{\"counters\":{"));
+        assert!(j.contains("\"req_total\":12"));
+        assert!(j.contains("\"queue_depth\":-1"));
+        assert!(j.contains("\"lat\":{\"count\":1"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let g1 = global() as *const Registry;
+        let g2 = global() as *const Registry;
+        assert_eq!(g1, g2);
+    }
+}

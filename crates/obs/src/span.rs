@@ -1,0 +1,94 @@
+//! RAII stage timers: a [`SpanGuard`] measures a named stage with
+//! `Instant` and, on drop, records the elapsed microseconds into a
+//! histogram and optionally appends a thread-tagged journal event.
+
+use crate::{Histogram, Journal, KindId};
+use std::time::Instant;
+
+/// An RAII span over a named stage.
+///
+/// The stage's name is the histogram it feeds (histograms are named
+/// instruments in a [`crate::Registry`]); dropping the guard records
+/// `elapsed().as_micros()` there. With [`SpanGuard::with_journal`] the
+/// drop also appends a journal event (`v0` = elapsed µs, `v1` = a
+/// caller-chosen tag, thread id tagged by the journal itself).
+///
+/// ```
+/// let registry = recloud_obs::Registry::new();
+/// let hist = registry.histogram("stage.sampling_us");
+/// {
+///     let _span = recloud_obs::SpanGuard::new(&hist);
+///     // ... timed work ...
+/// } // drop records elapsed microseconds
+/// assert_eq!(hist.snapshot().count, 1);
+/// ```
+pub struct SpanGuard<'a> {
+    histogram: &'a Histogram,
+    journal: Option<(&'a Journal, KindId, u64)>,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Starts a span feeding `histogram` on drop.
+    pub fn new(histogram: &'a Histogram) -> Self {
+        Self { histogram, journal: None, start: Instant::now() }
+    }
+
+    /// Starts a span that additionally appends a journal event of
+    /// `kind` on drop, with `tag` as the event's `v1` payload.
+    pub fn with_journal(
+        histogram: &'a Histogram,
+        journal: &'a Journal,
+        kind: KindId,
+        tag: u64,
+    ) -> Self {
+        Self { histogram, journal: Some((journal, kind, tag)), start: Instant::now() }
+    }
+
+    /// Elapsed time so far, in microseconds.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let micros = self.elapsed_micros();
+        self.histogram.record(micros);
+        if let Some((journal, kind, tag)) = self.journal {
+            journal.record(kind, micros, tag, 0.0, 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_elapsed_micros_on_drop() {
+        let hist = Histogram::new();
+        {
+            let span = SpanGuard::new(&hist);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            assert!(span.elapsed_micros() >= 1_000);
+        }
+        let s = hist.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.max >= 1_000, "recorded {} µs", s.max);
+    }
+
+    #[test]
+    fn span_with_journal_appends_a_tagged_event() {
+        let hist = Histogram::new();
+        let journal = Journal::with_capacity(8);
+        let kind = journal.kind_id("stage.test");
+        drop(SpanGuard::with_journal(&hist, &journal, kind, 42));
+        let events = journal.tail(8);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "stage.test");
+        assert_eq!(events[0].v1, 42);
+        assert_eq!(events[0].v0 as u128, hist.snapshot().sum as u128);
+        assert_eq!(events[0].thread, crate::thread_ordinal());
+    }
+}

@@ -23,8 +23,10 @@ use crate::schedule::{
 use crate::transform::SymmetryChecker;
 use recloud_apps::{ApplicationSpec, DeploymentPlan, PlacementRules, WorkloadMap};
 use recloud_assess::Assessor;
+use recloud_obs::{Counter, KindId};
 use recloud_sampling::Rng;
 use recloud_topology::ComponentId;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tunable knobs of the annealing search.
@@ -143,12 +145,56 @@ pub struct SearchOutcome {
     pub elapsed: Duration,
 }
 
+/// Cached handles into the process-wide [`recloud_obs::global()`]
+/// registry plus pre-interned journal kinds. Registered once per
+/// searcher so the per-iteration record calls stay lock-free.
+///
+/// Journal kinds and payloads (acceptance-rate and temperature
+/// trajectory, per the observability contract):
+/// * `anneal.best` — a new best plan: `v0` = iteration (plans
+///   assessed), `f0` = best measure, `f1` = temperature.
+/// * `anneal.accept_worse` / `anneal.reject_worse` — the Step 5 coin
+///   flip on a worse neighbor: `v0` = plans assessed, `f0` =
+///   acceptance probability `exp(−Δ/t)`, `f1` = temperature.
+struct SearchInstruments {
+    plans_assessed: Arc<Counter>,
+    symmetry_skips: Arc<Counter>,
+    rule_rejections: Arc<Counter>,
+    worse_accepted: Arc<Counter>,
+    worse_rejected: Arc<Counter>,
+    improvements: Arc<Counter>,
+    searches: Arc<Counter>,
+    best_kind: KindId,
+    accept_kind: KindId,
+    reject_kind: KindId,
+}
+
+impl SearchInstruments {
+    fn from_global() -> Self {
+        let registry = recloud_obs::global();
+        let journal = registry.journal();
+        SearchInstruments {
+            plans_assessed: registry.counter("search.plans_assessed_total"),
+            symmetry_skips: registry.counter("search.symmetry_skips_total"),
+            rule_rejections: registry.counter("search.rule_rejections_total"),
+            worse_accepted: registry.counter("search.worse_accepted_total"),
+            worse_rejected: registry.counter("search.worse_rejected_total"),
+            improvements: registry.counter("search.improvements_total"),
+            searches: registry.counter("search.searches_total"),
+            best_kind: journal.kind_id("anneal.best"),
+            accept_kind: journal.kind_id("anneal.accept_worse"),
+            reject_kind: journal.kind_id("anneal.reject_worse"),
+        }
+    }
+}
+
 /// The annealing searcher. Owns the assessment engine and scratch; one
 /// searcher can run many searches.
 pub struct Searcher<'a> {
     assessor: &'a mut Assessor,
     symmetry: SymmetryChecker,
     pool: Vec<ComponentId>,
+    obs: SearchInstruments,
 }
 
 impl<'a> Searcher<'a> {
@@ -156,7 +202,7 @@ impl<'a> Searcher<'a> {
     pub fn new(assessor: &'a mut Assessor) -> Self {
         let symmetry = SymmetryChecker::new(assessor.topology(), assessor.model());
         let pool = assessor.topology().hosts().to_vec();
-        Searcher { assessor, symmetry, pool }
+        Searcher { assessor, symmetry, pool, obs: SearchInstruments::from_global() }
     }
 
     /// Restricts the candidate host pool (e.g. to a tenant's partition).
@@ -218,6 +264,7 @@ impl<'a> Searcher<'a> {
         let seed0 = next_seed(&mut rng);
         let a = self.assessor.assess(spec, &current, config.rounds, seed0);
         stats.plans_assessed += 1;
+        self.obs.plans_assessed.inc();
         clock.tick();
         let mut cur_rel = a.estimate.score;
         let mut cur_measure = objective.measure(&current, cur_rel);
@@ -231,6 +278,14 @@ impl<'a> Searcher<'a> {
             measure: best_measure,
             reliability: best_rel,
         }];
+        self.obs.improvements.inc();
+        recloud_obs::global().journal().record(
+            self.obs.best_kind,
+            1,
+            0,
+            best_measure,
+            clock.temperature(),
+        );
 
         // Steps 3-6.
         while !clock.exhausted() && best_measure < config.desired {
@@ -240,6 +295,7 @@ impl<'a> Searcher<'a> {
                 let n = current.neighbor(&self.pool, &mut rng);
                 if !config.rules.check(&n, &topology, workload) {
                     stats.rule_rejections += 1;
+                    self.obs.rule_rejections.inc();
                     continue;
                 }
                 if config.use_symmetry {
@@ -249,6 +305,7 @@ impl<'a> Searcher<'a> {
                             current.all_hosts().filter(|&h| h != old).collect();
                         if self.symmetry.equivalent_move(&others, old, new) {
                             stats.symmetry_skips += 1;
+                            self.obs.symmetry_skips.inc();
                             continue;
                         }
                     }
@@ -268,6 +325,7 @@ impl<'a> Searcher<'a> {
             let seed = next_seed(&mut rng);
             let a = self.assessor.assess(spec, &neighbor, config.rounds, seed);
             stats.plans_assessed += 1;
+            self.obs.plans_assessed.inc();
             clock.tick();
             let n_rel = a.estimate.score;
             let n_measure = objective.measure(&neighbor, n_rel);
@@ -280,10 +338,15 @@ impl<'a> Searcher<'a> {
                 let t = clock.temperature();
                 let p = acceptance_probability(delta, t);
                 let coin = rng.next_f64() < p;
+                let journal = recloud_obs::global().journal();
                 if coin {
                     stats.worse_accepted += 1;
+                    self.obs.worse_accepted.inc();
+                    journal.record(self.obs.accept_kind, stats.plans_assessed as u64, 0, p, t);
                 } else {
                     stats.worse_rejected += 1;
+                    self.obs.worse_rejected.inc();
+                    journal.record(self.obs.reject_kind, stats.plans_assessed as u64, 0, p, t);
                 }
                 coin
             };
@@ -302,9 +365,18 @@ impl<'a> Searcher<'a> {
                         measure: best_measure,
                         reliability: best_rel,
                     });
+                    self.obs.improvements.inc();
+                    recloud_obs::global().journal().record(
+                        self.obs.best_kind,
+                        stats.plans_assessed as u64,
+                        0,
+                        best_measure,
+                        clock.temperature(),
+                    );
                 }
             }
         }
+        self.obs.searches.inc();
 
         SearchOutcome {
             best_plan,
@@ -404,6 +476,48 @@ mod tests {
         assert!(out.best_measure >= first, "search must never lose its best");
         assert!(out.best_reliability > 0.9, "4-of-5 on a healthy DC is very reliable");
         assert!(!out.satisfied, "R_desired=1.0 can never be satisfied");
+    }
+
+    /// Observability contract: a search reports its acceptance behavior
+    /// and temperature trajectory through the global journal and
+    /// counters. The registry is process-wide and other tests record
+    /// concurrently, so assertions are delta/presence-based.
+    #[test]
+    fn search_reports_trajectory_through_the_global_journal() {
+        let registry = recloud_obs::global();
+        let before = registry.snapshot();
+        let recorded_before = registry.journal().recorded();
+
+        let mut assessor = engine(5);
+        let spec = ApplicationSpec::k_of_n(4, 5);
+        let cfg = SearchConfig::iterations(30, 1_000, 11);
+        let out = Searcher::new(&mut assessor).search(&spec, &ReliabilityObjective, &cfg, None);
+
+        let after = registry.snapshot();
+        let delta =
+            |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        assert!(delta("search.plans_assessed_total") >= out.stats.plans_assessed as u64);
+        assert!(delta("search.improvements_total") >= out.trajectory.len() as u64);
+        assert!(
+            delta("search.worse_accepted_total") >= out.stats.worse_accepted as u64
+                && delta("search.worse_rejected_total") >= out.stats.worse_rejected as u64,
+            "acceptance-rate counters cover this search's coin flips"
+        );
+        assert!(delta("search.searches_total") >= 1);
+        assert!(
+            registry.journal().recorded() > recorded_before,
+            "at least the initial anneal.best event lands in the journal"
+        );
+        // The newest events include this search's trajectory: anneal.*
+        // kinds with a finite temperature payload.
+        let anneal: Vec<_> = registry
+            .journal()
+            .tail(4096)
+            .into_iter()
+            .filter(|e| e.kind.starts_with("anneal."))
+            .collect();
+        assert!(!anneal.is_empty());
+        assert!(anneal.iter().all(|e| e.f1.is_finite()), "f1 carries the temperature");
     }
 
     #[test]

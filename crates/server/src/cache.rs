@@ -47,21 +47,26 @@ impl ResultCache {
     /// Stores a finished assessment, evicting the least-recently-used
     /// entry when full. The stored copy has `cached` forced false — the
     /// flag describes how a *response* was produced, not the entry.
-    pub fn insert(&mut self, key: u128, value: AssessResponse) {
+    /// Returns the fingerprint of the evicted entry, if any, so the
+    /// serving layer can count evictions.
+    pub fn insert(&mut self, key: u128, value: AssessResponse) -> Option<u128> {
         if self.capacity == 0 {
-            return;
+            return None;
         }
         self.tick += 1;
+        let mut evicted = None;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             if let Some(&oldest) = self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k)
             {
                 self.map.remove(&oldest);
+                evicted = Some(oldest);
             }
         }
         self.map.insert(
             key,
             Entry { value: AssessResponse { cached: false, ..value }, last_used: self.tick },
         );
+        evicted
     }
 
     /// Entries currently resident.
@@ -100,7 +105,8 @@ mod tests {
         c.insert(1, resp(0.1));
         c.insert(2, resp(0.2));
         c.get(1); // 2 is now the LRU entry
-        c.insert(3, resp(0.3));
+        let evicted = c.insert(3, resp(0.3));
+        assert_eq!(evicted, Some(2), "insert reports which fingerprint fell out");
         assert_eq!(c.len(), 2);
         assert!(c.get(1).is_some(), "recently-touched entry survives");
         assert!(c.get(2).is_none(), "LRU entry was evicted");
@@ -112,7 +118,7 @@ mod tests {
         let mut c = ResultCache::new(2);
         c.insert(1, resp(0.1));
         c.insert(2, resp(0.2));
-        c.insert(1, resp(0.9)); // overwrite, cache already full
+        assert_eq!(c.insert(1, resp(0.9)), None); // overwrite, cache already full
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(1).unwrap().score, 0.9);
         assert!(c.get(2).is_some());

@@ -1,7 +1,8 @@
 //! A blocking RCS1 client: one TCP connection, synchronous call/response.
 
 use crate::protocol::{
-    read_frame, write_frame, AssessRequest, AssessResponse, Request, Response, StatsResponse,
+    read_frame, write_frame, AssessRequest, AssessResponse, MetricsResponse, Request, Response,
+    StatsResponse,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -67,6 +68,15 @@ impl Client {
         match self.call(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
             other => Err(bad_data(format!("expected StatsResult, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's full instrument snapshot plus the newest
+    /// `journal_tail` journal events (see `Request::MetricsDump`).
+    pub fn metrics(&mut self, journal_tail: u32) -> io::Result<MetricsResponse> {
+        match self.call(&Request::MetricsDump { journal_tail })? {
+            Response::Metrics(m) => Ok(m),
+            other => Err(bad_data(format!("expected MetricsResult, got {other:?}"))),
         }
     }
 

@@ -12,8 +12,10 @@
 //!   serving layer's frame/dispatch overhead.
 //!
 //! [`smoke`] is the CI gate: Ping, a Tiny assessment, the same assessment
-//! again (must be a cache hit), a Stats read proving the hit counted, and
-//! a clean Shutdown.
+//! again (must be a cache hit), a Stats read proving the hit counted, a
+//! MetricsDump proving the instruments actually recorded (non-zero
+//! request counter, non-empty assess latency histogram), and a clean
+//! Shutdown.
 
 use crate::client::Client;
 use crate::protocol::{AssessRequest, Preset};
@@ -198,6 +200,21 @@ pub fn smoke(addr: &str) -> Result<(), String> {
     }
     if stats.received < 3 {
         return Err(format!("stats counted only {} requests", stats.received));
+    }
+
+    // The metrics gate: the observability layer must have seen the same
+    // traffic the legacy Stats counters did.
+    let metrics = client.metrics(64).map_err(|e| step("metrics dump", e))?;
+    match metrics.snapshot.counter("server.requests_total") {
+        None | Some(0) => return Err("metrics report zero server.requests_total".into()),
+        Some(_) => {}
+    }
+    match metrics.snapshot.histogram("server.latency_us.assess") {
+        None => return Err("metrics lack the assess latency histogram".into()),
+        Some(h) if h.count == 0 => {
+            return Err("assess latency histogram is empty after two assessments".into());
+        }
+        Some(_) => {}
     }
 
     client.shutdown().map_err(|e| step("shutdown", e))?;

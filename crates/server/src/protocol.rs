@@ -17,6 +17,7 @@
 //! | 0x04 | ComparePlans     | `preset:u8 rounds:u32 seed:u64 k:u32 n:u32 n_plans:u32 { n_hosts:u32 host:u32… }…` |
 //! | 0x05 | Stats            | (empty) |
 //! | 0x06 | Shutdown         | (empty) |
+//! | 0x07 | MetricsDump      | `journal_tail:u32` |
 //!
 //! Response kinds (server → client):
 //!
@@ -26,10 +27,11 @@
 //! | 0x82 | AssessResult | `score:f64 variance:f64 rounds:u64 successes:u64 cached:u8` |
 //! | 0x83 | SearchResult | `reliability:f64 ciw95:f64 plans_assessed:u64 n_hosts:u32 host:u32…` |
 //! | 0x84 | CompareResult| `n:u32 { input_index:u32 score:f64 ciw95:f64 tied:u8 }…` |
-//! | 0x85 | StatsResult  | nine `u64`/`u32` counters (see [`StatsResponse`]) |
+//! | 0x85 | StatsResult  | six `u64` then three `u32` counters (see [`StatsResponse`]) |
 //! | 0x86 | Busy         | `queued:u32 capacity:u32` |
 //! | 0x87 | Error        | `code:u8 msg_len:u16 msg:utf8…` |
 //! | 0x88 | ShutdownAck  | `completed:u64` |
+//! | 0x89 | MetricsResult| serialized instrument snapshot + journal tail (see [`MetricsResponse`]) |
 //!
 //! All integers little-endian; `f64` as IEEE-754 bits — the same
 //! conventions as the parallel engine's RCW1 codec, so a reliability score
@@ -38,6 +40,11 @@
 //! truncation on any prefix, wrong magic and unknown kinds surface as
 //! [`ProtoError`]s, never panics — hostile bytes are an expected input for
 //! a network daemon.
+//!
+//! MetricsDump was added after Shutdown (0x06) and Busy (0x86) already
+//! occupied the original kind proposal, so it takes the next free pair
+//! (0x07 request / 0x89 response) — existing frames keep their kinds
+//! and wire layout, byte for byte.
 
 use recloud::wire::{ByteReader, ByteWriter, Bytes};
 use recloud_topology::Scale;
@@ -79,6 +86,8 @@ pub enum ProtoError {
     BadString,
     /// Payload had trailing bytes after a complete frame.
     TrailingBytes(usize),
+    /// Histogram bucket index outside the fixed 64-bucket layout.
+    BadBucket(u8),
 }
 
 impl fmt::Display for ProtoError {
@@ -90,6 +99,7 @@ impl fmt::Display for ProtoError {
             ProtoError::BadPreset(p) => write!(f, "unknown topology preset {p}"),
             ProtoError::BadString => write!(f, "error message is not UTF-8"),
             ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+            ProtoError::BadBucket(b) => write!(f, "histogram bucket {b} out of range"),
         }
     }
 }
@@ -222,6 +232,13 @@ pub enum Request {
     Stats,
     /// Drain in-flight jobs and exit.
     Shutdown,
+    /// Read the full instrument snapshot (counters, gauges, latency
+    /// histograms) plus the newest journal events. Supersedes
+    /// [`Request::Stats`].
+    MetricsDump {
+        /// How many of the newest journal events to include (0 = none).
+        journal_tail: u32,
+    },
 }
 
 /// Error codes carried in [`Response::Error`] frames.
@@ -298,7 +315,16 @@ pub struct CompareResponse {
     pub ranking: Vec<CompareEntry>,
 }
 
-/// Server counters, all monotonic since start except `queued`.
+/// Server counters, all monotonic since start except `queued`: exactly
+/// six `u64` fields followed by three `u32` fields, encoded in
+/// declaration order (the doc table's "nine counters").
+///
+/// **Deprecated in favor of [`Request::MetricsDump`] /
+/// [`Response::Metrics`]**, which carries full latency distributions,
+/// gauges and the event journal instead of nine bare totals. The Stats
+/// frame (0x05/0x85) is kept wire-compatible for existing clients; new
+/// code should prefer MetricsDump. (Not `#[deprecated]` — the daemon
+/// itself still answers Stats, and builds are `-D warnings`.)
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsResponse {
     /// Requests received (all kinds).
@@ -319,6 +345,17 @@ pub struct StatsResponse {
     pub capacity: u32,
     /// Worker-pool size.
     pub workers: u32,
+}
+
+/// The MetricsDump answer: a merged snapshot of the server's private
+/// registry and the process-global one (assess/search instruments),
+/// plus up to `journal_tail` of the newest journal events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsResponse {
+    /// Every registered instrument, sorted by name.
+    pub snapshot: recloud_obs::MetricsSnapshot,
+    /// Newest journal events, oldest first.
+    pub events: Vec<recloud_obs::Event>,
 }
 
 /// A server → client frame.
@@ -357,6 +394,8 @@ pub enum Response {
         /// Jobs completed over the server's lifetime.
         completed: u64,
     },
+    /// Instrument snapshot + journal tail.
+    Metrics(MetricsResponse),
 }
 
 fn put_header(w: &mut ByteWriter, kind: u8) {
@@ -397,6 +436,126 @@ fn get_host_lists(r: &mut ByteReader) -> Result<Vec<Vec<u32>>, ProtoError> {
 
 fn host_lists_len(lists: &[Vec<u32>]) -> usize {
     4 + lists.iter().map(|l| 4 + 4 * l.len()).sum::<usize>()
+}
+
+/// Writes a length-prefixed UTF-8 string (`len:u16 bytes…`), truncating
+/// at `u16::MAX` bytes like the Error-frame message.
+fn put_str(w: &mut ByteWriter, s: &str) {
+    let bytes = s.as_bytes();
+    let bytes = &bytes[..bytes.len().min(u16::MAX as usize)];
+    w.put_u16_le(bytes.len() as u16);
+    w.put_slice(bytes);
+}
+
+fn get_str(r: &mut ByteReader) -> Result<String, ProtoError> {
+    let len = r.get_u16_le().ok_or(ProtoError::Truncated)? as usize;
+    let bytes = r.get_bytes(len).ok_or(ProtoError::Truncated)?;
+    Ok(std::str::from_utf8(bytes.as_slice()).map_err(|_| ProtoError::BadString)?.to_string())
+}
+
+/// Encodes a [`MetricsResponse`] body: counters, gauges, histograms
+/// (sparse non-zero buckets only), then journal events. Layout:
+///
+/// ```text
+/// n_counters:u32 { name:str total:u64 }…
+/// n_gauges:u32   { name:str value:i64 }…
+/// n_hists:u32    { name:str count:u64 sum:u64 max:u64
+///                  n_buckets:u8 { bucket:u8 count:u64 }… }…
+/// n_events:u32   { seq:u64 ts_us:u64 thread:u64 kind:str
+///                  v0:u64 v1:u64 f0:f64 f1:f64 }…
+/// str := len:u16 utf8…
+/// ```
+fn put_metrics(w: &mut ByteWriter, m: &MetricsResponse) {
+    w.put_u32_le(m.snapshot.counters.len() as u32);
+    for (name, v) in &m.snapshot.counters {
+        put_str(w, name);
+        w.put_u64_le(*v);
+    }
+    w.put_u32_le(m.snapshot.gauges.len() as u32);
+    for (name, v) in &m.snapshot.gauges {
+        put_str(w, name);
+        w.put_u64_le(*v as u64);
+    }
+    w.put_u32_le(m.snapshot.histograms.len() as u32);
+    for (name, h) in &m.snapshot.histograms {
+        put_str(w, name);
+        w.put_u64_le(h.count);
+        w.put_u64_le(h.sum);
+        w.put_u64_le(h.max);
+        let nonzero: Vec<(usize, u64)> =
+            h.buckets.iter().copied().enumerate().filter(|&(_, c)| c != 0).collect();
+        w.put_u8(nonzero.len() as u8);
+        for (bucket, count) in nonzero {
+            w.put_u8(bucket as u8);
+            w.put_u64_le(count);
+        }
+    }
+    w.put_u32_le(m.events.len() as u32);
+    for e in &m.events {
+        w.put_u64_le(e.seq);
+        w.put_u64_le(e.ts_micros);
+        w.put_u64_le(e.thread);
+        put_str(w, &e.kind);
+        w.put_u64_le(e.v0);
+        w.put_u64_le(e.v1);
+        w.put_f64_le(e.f0);
+        w.put_f64_le(e.f1);
+    }
+}
+
+fn get_metrics(r: &mut ByteReader) -> Result<MetricsResponse, ProtoError> {
+    let mut snapshot = recloud_obs::MetricsSnapshot::default();
+    let n = r.get_u32_le().ok_or(ProtoError::Truncated)? as usize;
+    snapshot.counters.reserve(n.min(1 << 10));
+    for _ in 0..n {
+        let name = get_str(r)?;
+        let v = r.get_u64_le().ok_or(ProtoError::Truncated)?;
+        snapshot.counters.push((name, v));
+    }
+    let n = r.get_u32_le().ok_or(ProtoError::Truncated)? as usize;
+    snapshot.gauges.reserve(n.min(1 << 10));
+    for _ in 0..n {
+        let name = get_str(r)?;
+        let v = r.get_u64_le().ok_or(ProtoError::Truncated)? as i64;
+        snapshot.gauges.push((name, v));
+    }
+    let n = r.get_u32_le().ok_or(ProtoError::Truncated)? as usize;
+    snapshot.histograms.reserve(n.min(1 << 10));
+    for _ in 0..n {
+        let name = get_str(r)?;
+        let mut h = recloud_obs::HistogramSnapshot {
+            count: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+            sum: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+            max: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+            ..Default::default()
+        };
+        let n_buckets = r.get_u8().ok_or(ProtoError::Truncated)? as usize;
+        for _ in 0..n_buckets {
+            let bucket = r.get_u8().ok_or(ProtoError::Truncated)?;
+            let count = r.get_u64_le().ok_or(ProtoError::Truncated)?;
+            *h.buckets.get_mut(bucket as usize).ok_or(ProtoError::BadBucket(bucket))? = count;
+        }
+        snapshot.histograms.push((name, h));
+    }
+    let n = r.get_u32_le().ok_or(ProtoError::Truncated)? as usize;
+    let mut events = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let seq = r.get_u64_le().ok_or(ProtoError::Truncated)?;
+        let ts_micros = r.get_u64_le().ok_or(ProtoError::Truncated)?;
+        let thread = r.get_u64_le().ok_or(ProtoError::Truncated)?;
+        let kind = get_str(r)?;
+        events.push(recloud_obs::Event {
+            seq,
+            ts_micros,
+            thread,
+            kind,
+            v0: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+            v1: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+            f0: r.get_f64_le().ok_or(ProtoError::Truncated)?,
+            f1: r.get_f64_le().ok_or(ProtoError::Truncated)?,
+        });
+    }
+    Ok(MetricsResponse { snapshot, events })
 }
 
 fn finish(r: &ByteReader) -> Result<(), ProtoError> {
@@ -465,6 +624,12 @@ impl Request {
                 put_header(&mut w, 0x06);
                 w.freeze()
             }
+            Request::MetricsDump { journal_tail } => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 4);
+                put_header(&mut w, 0x07);
+                w.put_u32_le(*journal_tail);
+                w.freeze()
+            }
         }
     }
 
@@ -501,6 +666,9 @@ impl Request {
             }),
             0x05 => Request::Stats,
             0x06 => Request::Shutdown,
+            0x07 => {
+                Request::MetricsDump { journal_tail: r.get_u32_le().ok_or(ProtoError::Truncated)? }
+            }
             other => return Err(ProtoError::BadKind(other)),
         };
         finish(&r)?;
@@ -591,6 +759,12 @@ impl Response {
                 w.put_u64_le(*completed);
                 w.freeze()
             }
+            Response::Metrics(m) => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 512);
+                put_header(&mut w, 0x89);
+                put_metrics(&mut w, m);
+                w.freeze()
+            }
         }
     }
 
@@ -658,6 +832,7 @@ impl Response {
             0x88 => {
                 Response::ShutdownAck { completed: r.get_u64_le().ok_or(ProtoError::Truncated)? }
             }
+            0x89 => Response::Metrics(get_metrics(&mut r)?),
             other => return Err(ProtoError::BadKind(other)),
         };
         finish(&r)?;
@@ -714,7 +889,9 @@ pub fn validate_shape(req: &Request) -> Result<(), String> {
         Ok(())
     };
     match req {
-        Request::Ping { .. } | Request::Stats | Request::Shutdown => Ok(()),
+        Request::Ping { .. } | Request::Stats | Request::Shutdown | Request::MetricsDump { .. } => {
+            Ok(())
+        }
         Request::AssessPlan(a) => {
             check_spec(a.k, a.n, a.rounds)?;
             if a.assignments.is_empty() || a.assignments.len() > MAX_LAYERS as usize {
@@ -787,7 +964,40 @@ mod tests {
             }),
             Request::Stats,
             Request::Shutdown,
+            Request::MetricsDump { journal_tail: 0 },
+            Request::MetricsDump { journal_tail: 256 },
         ]
+    }
+
+    fn sample_metrics() -> MetricsResponse {
+        let mut hist = recloud_obs::HistogramSnapshot {
+            count: 3,
+            sum: 1_234,
+            max: 1_000,
+            ..Default::default()
+        };
+        hist.buckets[0] = 1;
+        hist.buckets[9] = 2;
+        MetricsResponse {
+            snapshot: recloud_obs::MetricsSnapshot {
+                counters: vec![
+                    ("server.cache_hits".into(), 40),
+                    ("server.requests_total".into(), 100),
+                ],
+                gauges: vec![("server.queue_depth".into(), -1), ("x".into(), i64::MAX)],
+                histograms: vec![("server.latency_us.assess".into(), hist)],
+            },
+            events: vec![recloud_obs::Event {
+                seq: 7,
+                ts_micros: 1_700_000_000_000_000,
+                thread: 3,
+                kind: "anneal.best".into(),
+                v0: 14,
+                v1: 0,
+                f0: 0.998,
+                f1: 0.25,
+            }],
+        }
     }
 
     fn sample_responses() -> Vec<Response> {
@@ -832,6 +1042,8 @@ mod tests {
             Response::Error { code: ErrorCode::Invalid, message: "id 9999 is not a host".into() },
             Response::Error { code: ErrorCode::Oversized, message: String::new() },
             Response::ShutdownAck { completed: 314 },
+            Response::Metrics(sample_metrics()),
+            Response::Metrics(MetricsResponse::default()),
         ]
     }
 
@@ -993,6 +1205,68 @@ mod tests {
             plans: vec![],
         });
         assert!(validate_shape(&empty_compare).unwrap_err().contains("candidate plans"));
+    }
+
+    /// Satellite: the deprecated Stats frame and its MetricsDump
+    /// successor both round-trip — wire compatibility is kept while the
+    /// richer frame takes over. Also pins the Stats layout to exactly
+    /// six `u64` + three `u32` (the "nine counters" the docs promise).
+    #[test]
+    fn stats_and_metrics_dump_frames_both_roundtrip() {
+        let stats = Response::Stats(StatsResponse {
+            received: 1,
+            completed: 2,
+            cache_hits: 3,
+            cache_misses: 4,
+            busy_rejections: 5,
+            protocol_errors: 6,
+            queued: 7,
+            capacity: 8,
+            workers: 9,
+        });
+        let bytes = stats.encode();
+        assert_eq!(bytes.len(), HEADER_LEN + 6 * 8 + 3 * 4, "six u64 + three u32");
+        assert_eq!(Response::decode(bytes.clone()).unwrap(), stats);
+        assert_eq!(Response::decode(bytes.clone()).unwrap().encode(), bytes);
+
+        let dump = Request::MetricsDump { journal_tail: 64 };
+        assert_eq!(Request::decode(dump.encode()).unwrap(), dump);
+        let metrics = Response::Metrics(sample_metrics());
+        let bytes = metrics.encode();
+        let back = Response::decode(bytes.clone()).unwrap();
+        assert_eq!(back, metrics);
+        assert_eq!(back.encode(), bytes, "re-encode must be byte-identical");
+        // Sparse bucket encoding reconstructs the full 64-bucket layout.
+        let Response::Metrics(m) = back else { unreachable!() };
+        let h = m.snapshot.histogram("server.latency_us.assess").unwrap();
+        assert_eq!(h.buckets[9], 2);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 3);
+        assert_eq!(h.p50(), 1_000, "p50 bucket upper bound clamps to max");
+    }
+
+    #[test]
+    fn metrics_bad_bucket_index_is_rejected() {
+        let mut m = sample_metrics();
+        m.snapshot.histograms[0].1.buckets = [0; 64];
+        let good = Response::Metrics(m).encode();
+        // Find the sparse-bucket region: re-encode with a hand-built
+        // frame instead — simpler: corrupt via encode of a valid frame
+        // is brittle, so build the body directly.
+        drop(good);
+        let mut w = ByteWriter::new();
+        put_header(&mut w, 0x89);
+        w.put_u32_le(0); // counters
+        w.put_u32_le(0); // gauges
+        w.put_u32_le(1); // one histogram
+        put_str(&mut w, "h");
+        w.put_u64_le(1); // count
+        w.put_u64_le(1); // sum
+        w.put_u64_le(1); // max
+        w.put_u8(1); // one sparse bucket
+        w.put_u8(64); // out of range
+        w.put_u64_le(1);
+        w.put_u32_le(0); // events
+        assert_eq!(Response::decode(w.freeze()), Err(ProtoError::BadBucket(64)));
     }
 
     #[test]

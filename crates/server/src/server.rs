@@ -31,17 +31,18 @@
 use crate::cache::ResultCache;
 use crate::engine::{build_plan, shape_for, spec_for, EnginePool};
 use crate::protocol::{
-    self, validate_shape, AssessRequest, CompareRequest, ErrorCode, Request, Response,
-    SearchRequest, StatsResponse, MAX_FRAME_LEN,
+    self, validate_shape, AssessRequest, CompareRequest, ErrorCode, MetricsResponse, Request,
+    Response, SearchRequest, StatsResponse, MAX_FRAME_LEN,
 };
 use recloud::sync::{self, Receiver, Sender};
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
 use recloud_assess::assessment_key;
+use recloud_obs::{Counter, Gauge, Histogram, KindId, Registry};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Tunables of one server instance.
 #[derive(Clone, Copy, Debug)]
@@ -97,6 +98,67 @@ struct Counters {
     protocol_errors: AtomicU64,
 }
 
+/// Request kinds that get their own latency histogram. `Shutdown` is
+/// excluded — its "latency" is the drain, not a serving cost.
+const LATENCY_KINDS: [&str; 6] = ["ping", "assess", "search", "compare", "stats", "metrics"];
+
+/// Per-server observability handles, backed by a private
+/// [`Registry`] so concurrent servers (and tests) see isolated,
+/// exactly-attributable numbers. [`Server::metrics`] merges this
+/// registry with the process-wide one, so a `MetricsDump` frame also
+/// carries the assess/search-layer instruments.
+struct ServerInstruments {
+    registry: Registry,
+    requests_total: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    busy_rejections: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    /// Wall-clock per served request, admission wait included, indexed
+    /// like [`LATENCY_KINDS`].
+    latency: [Arc<Histogram>; LATENCY_KINDS.len()],
+    /// Journal event emitted when a connection closes: `v0` = frames
+    /// decoded on it, `v1` = decode errors it produced.
+    conn_close: KindId,
+}
+
+impl ServerInstruments {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let latency =
+            LATENCY_KINDS.map(|kind| registry.histogram(&format!("server.latency_us.{kind}")));
+        let conn_close = registry.journal().kind_id("conn.close");
+        ServerInstruments {
+            requests_total: registry.counter("server.requests_total"),
+            cache_hits: registry.counter("server.cache_hits_total"),
+            cache_misses: registry.counter("server.cache_misses_total"),
+            cache_evictions: registry.counter("server.cache_evictions_total"),
+            busy_rejections: registry.counter("server.busy_total"),
+            decode_errors: registry.counter("server.decode_errors_total"),
+            queue_depth: registry.gauge("server.queue_depth"),
+            latency,
+            conn_close,
+            registry,
+        }
+    }
+
+    /// Index into [`ServerInstruments::latency`] for a decoded request,
+    /// `None` for kinds without a latency histogram.
+    fn latency_index(request: &Request) -> Option<usize> {
+        match request {
+            Request::Ping { .. } => Some(0),
+            Request::AssessPlan(_) => Some(1),
+            Request::SearchPlacement(_) => Some(2),
+            Request::ComparePlans(_) => Some(3),
+            Request::Stats => Some(4),
+            Request::MetricsDump { .. } => Some(5),
+            Request::Shutdown => None,
+        }
+    }
+}
+
 enum JobKind {
     Assess { req: AssessRequest, spec: ApplicationSpec, plan: DeploymentPlan, key: u128 },
     Search(SearchRequest),
@@ -114,6 +176,7 @@ pub struct Server {
     local_addr: SocketAddr,
     config: ServerConfig,
     counters: Counters,
+    obs: ServerInstruments,
     cache: Mutex<ResultCache>,
     depth: AtomicUsize,
     shutdown: AtomicBool,
@@ -131,6 +194,7 @@ impl Server {
             local_addr,
             config,
             counters: Counters::default(),
+            obs: ServerInstruments::new(),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             depth: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
@@ -209,14 +273,34 @@ impl Server {
         }
     }
 
+    /// Builds a `MetricsDump` answer: the server's own instruments
+    /// merged with the process-wide (assess/search) registry, plus the
+    /// newest `journal_tail` events across both journals in timestamp
+    /// order.
+    fn metrics(&self, journal_tail: u32) -> MetricsResponse {
+        let mut snapshot = self.obs.registry.snapshot();
+        snapshot.merge(&recloud_obs::global().snapshot());
+        let n = journal_tail as usize;
+        let mut events = self.obs.registry.journal().tail(n);
+        events.extend(recloud_obs::global().journal().tail(n));
+        events.sort_by(|a, b| (a.ts_micros, a.seq).cmp(&(b.ts_micros, b.seq)));
+        if events.len() > n {
+            events.drain(..events.len() - n);
+        }
+        MetricsResponse { snapshot, events }
+    }
+
     fn worker_loop(&self, rx: Receiver<Job>) {
         let mut pool = EnginePool::new();
         while let Ok(job) = rx.recv() {
             self.depth.fetch_sub(1, Ordering::AcqRel);
+            self.obs.queue_depth.add(-1);
             let response = match &job.kind {
                 JobKind::Assess { req, spec, plan, key } => match pool.assess(req, spec, plan) {
                     Ok(resp) => {
-                        self.cache.lock().unwrap().insert(*key, resp);
+                        if self.cache.lock().unwrap().insert(*key, resp).is_some() {
+                            self.obs.cache_evictions.inc();
+                        }
                         Response::Assess(resp)
                     }
                     Err(message) => Response::Error { code: ErrorCode::Invalid, message },
@@ -240,11 +324,15 @@ impl Server {
     fn serve_connection(&self, mut stream: TcpStream, job_tx: Sender<Job>) {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        let mut frames: u64 = 0;
+        let mut decode_errors: u64 = 0;
         loop {
             match self.read_frame_polling(&mut stream) {
-                FrameRead::Closed | FrameRead::ShuttingDown | FrameRead::Io => return,
+                FrameRead::Closed | FrameRead::ShuttingDown | FrameRead::Io => break,
                 FrameRead::Oversized(len) => {
                     self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    decode_errors += 1;
+                    self.obs.decode_errors.inc();
                     self.reply(
                         &mut stream,
                         &Response::Error {
@@ -252,18 +340,23 @@ impl Server {
                             message: format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
                         },
                     );
-                    return;
+                    break;
                 }
                 FrameRead::HalfFrame => {
                     self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    return;
+                    decode_errors += 1;
+                    self.obs.decode_errors.inc();
+                    break;
                 }
                 FrameRead::Frame(payload) => {
                     self.counters.received.fetch_add(1, Ordering::Relaxed);
+                    frames += 1;
                     let request = match Request::decode(payload.into()) {
                         Ok(request) => request,
                         Err(e) => {
                             self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            decode_errors += 1;
+                            self.obs.decode_errors.inc();
                             self.reply(
                                 &mut stream,
                                 &Response::Error {
@@ -271,15 +364,23 @@ impl Server {
                                     message: e.to_string(),
                                 },
                             );
-                            return;
+                            break;
                         }
                     };
-                    if !self.handle(request, &mut stream, &job_tx) {
-                        return;
+                    self.obs.requests_total.inc();
+                    let latency = ServerInstruments::latency_index(&request);
+                    let started = Instant::now();
+                    let keep = self.handle(request, &mut stream, &job_tx);
+                    if let Some(i) = latency {
+                        self.obs.latency[i].record(started.elapsed().as_micros() as u64);
+                    }
+                    if !keep {
+                        break;
                     }
                 }
             }
         }
+        self.obs.registry.journal().record(self.obs.conn_close, frames, decode_errors, 0.0, 0.0);
     }
 
     /// Handles one decoded request; returns false to close the connection.
@@ -290,6 +391,9 @@ impl Server {
         let kind = match request {
             Request::Ping { token } => return self.reply(stream, &Response::Pong { token }),
             Request::Stats => return self.reply(stream, &Response::Stats(self.stats())),
+            Request::MetricsDump { journal_tail } => {
+                return self.reply(stream, &Response::Metrics(self.metrics(journal_tail)));
+            }
             Request::Shutdown => {
                 let completed = self.counters.completed.load(Ordering::Relaxed);
                 self.reply(stream, &Response::ShutdownAck { completed });
@@ -314,10 +418,12 @@ impl Server {
                 );
                 if let Some(hit) = self.cache.lock().unwrap().get(key) {
                     self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.obs.cache_hits.inc();
                     self.counters.completed.fetch_add(1, Ordering::Relaxed);
                     return self.reply(stream, &Response::Assess(hit));
                 }
                 self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                self.obs.cache_misses.inc();
                 JobKind::Assess { req, spec, plan, key }
             }
             Request::SearchPlacement(req) => JobKind::Search(req),
@@ -354,8 +460,11 @@ impl Server {
                 }
             })
             .is_ok();
-        if !admitted {
+        if admitted {
+            self.obs.queue_depth.add(1);
+        } else {
             self.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            self.obs.busy_rejections.inc();
             return self.reply(
                 stream,
                 &Response::Busy {
@@ -367,6 +476,7 @@ impl Server {
         let (reply_tx, reply_rx) = sync::channel::<Response>();
         if job_tx.send(Job { kind, reply: reply_tx }).is_err() {
             self.depth.fetch_sub(1, Ordering::AcqRel);
+            self.obs.queue_depth.add(-1);
             return self.reply(
                 stream,
                 &Response::Error {

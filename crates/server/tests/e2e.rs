@@ -114,6 +114,72 @@ fn repeat_requests_hit_the_cache_and_stats_count_them() {
     assert_eq!(summary.protocol_errors, 0);
 }
 
+/// Satellite: a served AssessPlan increments exactly the expected
+/// instruments — request counter, one cache miss then one hit, two
+/// samples in the assess latency histogram — all read back through a
+/// `MetricsDump` frame over TCP. The server's registry is per-instance,
+/// so the counts are exact even with other tests running in parallel.
+#[test]
+fn metrics_dump_reports_exactly_the_served_traffic() {
+    let daemon = start(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let mut client = Client::connect(daemon.addr).unwrap();
+
+    let request = AssessRequest {
+        preset: Preset::Tiny,
+        rounds: 800,
+        seed: 31,
+        k: 2,
+        n: 3,
+        assignments: vec![tiny_hosts(3)],
+    };
+    assert!(!client.assess(request.clone()).unwrap().cached);
+    assert!(client.assess(request).unwrap().cached);
+
+    let m = client.metrics(32).unwrap();
+    // Two assessments plus the MetricsDump itself (counted on decode,
+    // before its own snapshot is taken).
+    assert_eq!(m.snapshot.counter("server.requests_total"), Some(3));
+    assert_eq!(m.snapshot.counter("server.cache_misses_total"), Some(1));
+    assert_eq!(m.snapshot.counter("server.cache_hits_total"), Some(1));
+    assert_eq!(m.snapshot.counter("server.cache_evictions_total"), Some(0));
+    assert_eq!(m.snapshot.counter("server.busy_total"), Some(0));
+    assert_eq!(m.snapshot.counter("server.decode_errors_total"), Some(0));
+    assert_eq!(m.snapshot.gauge("server.queue_depth"), Some(0), "nothing left queued");
+    let assess = m.snapshot.histogram("server.latency_us.assess").unwrap();
+    assert_eq!(assess.count, 2, "one miss + one hit latency sample");
+    assert!(assess.p50() <= assess.p99(), "quantile readout is monotone");
+    assert!(assess.max > 0, "a real assessment takes measurable time");
+    // The dump also carries the process-wide assess-layer instruments.
+    assert!(m.snapshot.counter("assess.rounds_total").unwrap_or(0) >= 800);
+
+    // A connection that speaks garbage is counted and journaled:
+    // conn.close events carry (frames, decode_errors) per connection.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(daemon.addr).unwrap();
+        let bad = [5u32.to_le_bytes().as_slice(), b"junk!"].concat();
+        raw.write_all(&bad).unwrap();
+        let mut buf = Vec::new();
+        let _ = std::io::Read::read_to_end(&mut raw, &mut buf); // error reply, then close
+    }
+    // The conn.close journal record lands just after the error reply is
+    // written, so poll briefly instead of racing it.
+    let mut journaled = None;
+    for _ in 0..200 {
+        let m = client.metrics(64).unwrap();
+        if let Some(e) = m.events.iter().find(|e| e.kind == "conn.close" && e.v0 == 1 && e.v1 == 1)
+        {
+            journaled = Some(e.clone());
+            assert_eq!(m.snapshot.counter("server.decode_errors_total"), Some(1));
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(journaled.is_some(), "decode-error connection must journal a conn.close event");
+
+    stop(daemon, &mut client);
+}
+
 #[test]
 fn compare_and_search_frames_round_trip_over_tcp() {
     let daemon = start(ServerConfig { workers: 2, ..ServerConfig::default() });

@@ -14,7 +14,11 @@ echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
 echo "== release build, warnings denied =="
-RUSTFLAGS="-D warnings" cargo build --release --all-targets
+# --workspace matters: from the root package, a bare `cargo build` only
+# builds recloud-suite and its dependency *libraries* — the smoke gates
+# below would then drive whatever stale `recloud`/`repro` binaries were
+# left in target/release from an earlier build.
+RUSTFLAGS="-D warnings" cargo build --release --workspace --all-targets
 
 echo "== test suite (all workspace crates) =="
 cargo test -q --workspace
@@ -31,14 +35,37 @@ PORT_FILE="$(mktemp)"
 rm -f "$PORT_FILE"
 target/release/recloud serve --port 0 --port-file "$PORT_FILE" &
 SERVER_PID=$!
+# A failing gate must not orphan the daemon (it would hold the CI pipe
+# open forever); the trap is cleared after the clean `wait` below.
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
 for _ in $(seq 1 300); do
   [ -s "$PORT_FILE" ] && break
   sleep 0.1
 done
 [ -s "$PORT_FILE" ] || { echo "server never wrote its port file"; kill "$SERVER_PID"; exit 1; }
 PORT="$(cat "$PORT_FILE")"
-target/release/repro loadgen --smoke --addr "127.0.0.1:$PORT"
+ADDR="127.0.0.1:$PORT"
+
+echo "== metrics smoke gate =="
+# Warm the daemon with a little real traffic, then require the
+# observability layer to have seen it: `recloud stats --json` must show
+# a non-zero request counter and a non-empty assess latency histogram,
+# and `recloud journal` must return structured events. The loadgen
+# smoke sequence below re-checks the same invariants in-process over a
+# raw MetricsDump frame.
+target/release/recloud loadgen --addr "$ADDR" --requests 8 --rounds 200
+STATS_JSON="$(target/release/recloud stats --json --addr "$ADDR")"
+echo "$STATS_JSON" | grep -q '"server.requests_total":[1-9]' \
+  || { echo "metrics gate: requests_total is zero or missing"; kill "$SERVER_PID"; exit 1; }
+echo "$STATS_JSON" | grep -q '"server.latency_us.assess":{"count":[1-9]' \
+  || { echo "metrics gate: assess latency histogram is empty"; kill "$SERVER_PID"; exit 1; }
+target/release/recloud journal --tail 16 --addr "$ADDR" | grep -q '"kind"' \
+  || { echo "metrics gate: journal returned no events"; kill "$SERVER_PID"; exit 1; }
+echo "metrics gate: instruments recorded real traffic"
+
+target/release/repro loadgen --smoke --addr "$ADDR"
 wait "$SERVER_PID"
+trap - EXIT
 rm -f "$PORT_FILE"
 echo "server smoke: clean exit"
 

@@ -364,6 +364,92 @@ fn fault_tree_or_merge_is_or() {
     });
 }
 
+/// Histogram bucketing: `record(x)` lands in bucket `⌊log2 x⌋` (with 0
+/// sharing bucket 0), i.e. every value sits above the previous bucket's
+/// upper bound and at or below its own.
+#[test]
+fn obs_histogram_buckets_values_at_floor_log2() {
+    use recloud_obs::{bucket_of, bucket_upper_bound, Histogram};
+    forall("histogram bucket boundaries", |g| {
+        let shift = g.u32_in(0..64);
+        let noise = g.any_u64();
+        // Cover every magnitude: a power of two, something near it, and
+        // raw noise.
+        for v in [1u64 << shift, (1u64 << shift) | (noise >> 1 >> (63 - shift)), noise] {
+            let b = bucket_of(v);
+            prop_assert_eq!(b, 63 - (v | 1).leading_zeros() as usize, "v={v}");
+            if v > 1 {
+                prop_assert_eq!(b, (63 - v.leading_zeros()) as usize, "floor(log2 {v})");
+            }
+            prop_assert!(v <= bucket_upper_bound(b), "v={v} above its bucket bound");
+            if b > 0 {
+                prop_assert!(v > bucket_upper_bound(b - 1), "v={v} fits an earlier bucket");
+            }
+            let h = Histogram::default();
+            h.record(v);
+            let s = h.snapshot();
+            prop_assert_eq!(s.buckets[b], 1, "v={v} landed outside bucket {b}");
+            prop_assert_eq!(s.buckets.iter().sum::<u64>(), 1);
+        }
+        Ok(())
+    });
+}
+
+/// Quantile readout is monotone in q, bounded by the true max, and never
+/// undershoots below the recorded values' bucket floors.
+#[test]
+fn obs_histogram_quantiles_are_monotone() {
+    use recloud_obs::Histogram;
+    forall("histogram quantile monotonicity", |g| {
+        let values = g.vec_in(1..80, |g| g.any_u64() >> g.u32_in(0..64));
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.max, values.iter().copied().max().unwrap());
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+        let mut prev = 0u64;
+        for &q in &qs {
+            let v = s.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) went backwards");
+            prop_assert!(v <= s.max, "quantile({q}) exceeds the recorded max");
+            prev = v;
+        }
+        prop_assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
+        Ok(())
+    });
+}
+
+/// The journal ring keeps exactly the newest events across arbitrary
+/// capacities and write counts, wraparound included.
+#[test]
+fn obs_journal_wraparound_keeps_newest() {
+    use recloud_obs::Journal;
+    forall("journal wraparound keeps newest N", |g| {
+        let capacity = 1usize << g.u32_in(3..8); // 8..=128 slots
+        let writes = g.usize_in(1..400);
+        let asked = g.usize_in(1..200);
+        let journal = Journal::with_capacity(capacity);
+        let kind = journal.kind_id("prop.event");
+        for i in 0..writes {
+            journal.record(kind, i as u64, (i * 3) as u64, i as f64, 0.0);
+        }
+        let tail = journal.tail(asked);
+        prop_assert_eq!(tail.len(), asked.min(writes).min(capacity));
+        // The tail is exactly the newest `len` writes, oldest first.
+        let first = writes - tail.len();
+        for (offset, event) in tail.iter().enumerate() {
+            let i = (first + offset) as u64;
+            prop_assert_eq!(event.v0, i, "wrong event survived wraparound");
+            prop_assert_eq!(event.v1, i * 3);
+            prop_assert_eq!(event.kind.as_str(), "prop.event");
+        }
+        Ok(())
+    });
+}
+
 /// Downtime logs obey p = downtime / window for arbitrary interval soups,
 /// including overlaps.
 #[test]
