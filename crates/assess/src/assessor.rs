@@ -11,6 +11,7 @@
 //! so serial and parallel assessments are bit-identical.
 
 use crate::check::StructureChecker;
+use crate::driver::{AssessmentDriver, PartialEstimate};
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
 use recloud_faults::{FaultInjector, FaultModel};
 use recloud_obs::{Counter, Gauge, Histogram};
@@ -20,6 +21,7 @@ use recloud_sampling::{
     Sampler,
 };
 use recloud_topology::Topology;
+use std::ops::ControlFlow;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -84,6 +86,18 @@ pub struct Assessment {
     pub sampler: &'static str,
 }
 
+/// Result of [`Assessor::drive`]: the assessment over however many
+/// rounds actually ran, plus whether the full layout was executed.
+#[derive(Clone, Copy, Debug)]
+pub struct DrivenAssessment {
+    /// The assessment over the rounds executed (all of them when
+    /// `completed`, a prefix when the drive stopped early).
+    pub assessment: Assessment,
+    /// True when every chunk in the layout ran; false after an early
+    /// stop (target CIW reached or the partial callback broke).
+    pub completed: bool,
+}
+
 /// Reusable assessment engine for one (topology, fault model) pair.
 ///
 /// Construction allocates all scratch (state matrices, router, block
@@ -125,22 +139,15 @@ struct TableCache {
 }
 
 /// Cached handles into the process-wide [`recloud_obs::global()`]
-/// registry. Registration happens once per engine (here); the per-chunk
-/// record calls are lock- and allocation-free, so the instruments stay
-/// on in the bit-sliced hot path. Recording is per *chunk* (thousands
-/// of rounds), never per round. Rounds-per-second is derived by
-/// readers as `assess.rounds_total / (assess.total_us.sum / 1e6)`.
+/// registry. Registration happens once per engine (here); the record
+/// calls are lock- and allocation-free. Per-*chunk* recording (stage
+/// histograms, rounds counter) lives in the [`AssessmentDriver`] — one
+/// state machine feeds every path — leaving only the per-assessment
+/// instruments here. Rounds-per-second is derived by readers as
+/// `assess.rounds_total / (assess.total_us.sum / 1e6)`.
 struct AssessInstruments {
-    /// Per-chunk failure-state generation time (µs) — the Fig 7 stage.
-    sampling_us: Arc<Histogram>,
-    /// Per-chunk fault-tree collapse time (µs).
-    collapse_us: Arc<Histogram>,
-    /// Per-chunk route-and-check time (µs), fresh and cached paths.
-    check_us: Arc<Histogram>,
     /// Per-assessment end-to-end time (µs).
     total_us: Arc<Histogram>,
-    /// Route-and-check rounds executed.
-    rounds_total: Arc<Counter>,
     /// Completed assessments.
     assessments_total: Arc<Counter>,
     /// Current collapsed-table cache footprint of the newest engine.
@@ -151,11 +158,7 @@ impl AssessInstruments {
     fn from_global() -> Self {
         let registry = recloud_obs::global();
         AssessInstruments {
-            sampling_us: registry.histogram("assess.sampling_us"),
-            collapse_us: registry.histogram("assess.collapse_us"),
-            check_us: registry.histogram("assess.check_us"),
             total_us: registry.histogram("assess.total_us"),
-            rounds_total: registry.counter("assess.rounds_total"),
             assessments_total: registry.counter("assess.assessments_total"),
             cache_bytes: registry.gauge("assess.cache_bytes"),
         }
@@ -358,11 +361,9 @@ impl Assessor {
             acc,
         );
         let check = t_check.elapsed();
-
-        self.obs.sampling_us.record(sampling.as_micros() as u64);
-        self.obs.collapse_us.record(collapse.as_micros() as u64);
-        self.obs.check_us.record(check.as_micros() as u64);
-        self.obs.rounds_total.add(rounds as u64);
+        // Per-chunk observability is recorded by the AssessmentDriver when
+        // this chunk's result is fed back — one recording site for the
+        // serial, cached-table, and parallel paths alike.
         Timings { sampling, collapse, check, total: t0.elapsed() }
     }
 
@@ -373,6 +374,9 @@ impl Assessor {
     /// failure-state table (the table is plan-independent), paying only
     /// the route-and-check cost — the fast path of common-random-number
     /// searches.
+    ///
+    /// Thin consumer of [`Assessor::drive`]: runs the full layout with no
+    /// stopping rule.
     pub fn assess(
         &mut self,
         spec: &ApplicationSpec,
@@ -380,48 +384,88 @@ impl Assessor {
         rounds: usize,
         seed: u64,
     ) -> Assessment {
+        self.drive(spec, plan, rounds, seed, None, &mut |_| ControlFlow::Continue(())).assessment
+    }
+
+    /// Runs the [`AssessmentDriver`] over `rounds`, executing chunks
+    /// serially (cached-table or fresh path) and yielding a
+    /// [`PartialEstimate`] to `on_partial` after every chunk. The drive
+    /// stops early when the callback breaks or when `target_ciw` is
+    /// reached (the driver's `stop_hint`); the returned assessment then
+    /// covers exactly the rounds executed so far and `completed` is
+    /// false. Completed drives are bit-identical to the pre-driver
+    /// chunk loops for any seed.
+    ///
+    /// # Panics
+    /// Panics if `rounds` is zero.
+    pub fn drive(
+        &mut self,
+        spec: &ApplicationSpec,
+        plan: &DeploymentPlan,
+        rounds: usize,
+        seed: u64,
+        target_ciw: Option<f64>,
+        on_partial: &mut dyn FnMut(&PartialEstimate) -> ControlFlow<()>,
+    ) -> DrivenAssessment {
         assert!(rounds > 0, "cannot assess over zero rounds");
         let mut checker = StructureChecker::new(spec, plan);
-        let mut acc = ResultAccumulator::new();
-        let mut timings = Timings::default();
+        let mut driver = AssessmentDriver::new(self.chunk_layout(rounds), seed, target_ciw);
         let t0 = Instant::now();
 
-        let layout = self.chunk_layout(rounds);
         let cache_ok = matches!(&self.table_cache,
-            Some(c) if c.master_seed == seed && c.chunks.len() >= layout.len());
+            Some(c) if c.master_seed == seed && c.chunks.len() >= driver.chunks_total());
         if cache_ok {
             let cache = self.table_cache.take().expect("checked above");
-            for (chunk, n) in &layout {
+            while let Some(task) = driver.next_task() {
                 let t_check = Instant::now();
-                let table = &cache.chunks[*chunk as usize];
+                let table = &cache.chunks[task.chunk as usize];
+                let mut local = ResultAccumulator::new();
                 Self::route_and_check(
                     self.router.as_mut(),
                     self.batched,
                     &mut checker,
                     table,
-                    *n,
-                    &mut acc,
+                    task.rounds,
+                    &mut local,
                 );
-                let check = t_check.elapsed();
-                self.obs.check_us.record(check.as_micros() as u64);
-                self.obs.rounds_total.add(*n as u64);
-                timings.check += check;
+                let timings = Timings { check: t_check.elapsed(), ..Timings::default() };
+                let partial = driver.feed(task.chunk, local.rounds(), local.successes(), &timings);
+                let flow = on_partial(&partial);
+                if partial.stop_hint || flow.is_break() {
+                    break;
+                }
             }
             self.table_cache = Some(cache);
         } else {
-            let mut chunks = Vec::with_capacity(layout.len());
-            for (chunk, n) in &layout {
-                let t = self.run_chunk(&mut checker, Self::chunk_seed(seed, *chunk), *n, &mut acc);
-                timings.merge(&t);
+            let mut chunks = Vec::with_capacity(driver.chunks_total());
+            while let Some(task) = driver.next_task() {
+                let mut local = ResultAccumulator::new();
+                let t = self.run_chunk(&mut checker, task.seed, task.rounds, &mut local);
                 chunks.push(self.collapsed.clone());
+                let partial = driver.feed(task.chunk, local.rounds(), local.successes(), &t);
+                let flow = on_partial(&partial);
+                if partial.stop_hint || flow.is_break() {
+                    break;
+                }
             }
+            // An early-stopped drive caches the chunk tables it did
+            // sample: tables are deterministic per (seed, chunk) and the
+            // cache-hit check requires enough chunks for the follow-up
+            // request, so a partial cache is still a correct cache.
             self.table_cache = Some(TableCache { master_seed: seed, chunks });
         }
-        timings.total = t0.elapsed();
-        self.obs.total_us.record(timings.total.as_micros() as u64);
+        driver.set_total(t0.elapsed());
+        self.obs.total_us.record(driver.timings().total.as_micros() as u64);
         self.obs.assessments_total.inc();
         self.obs.cache_bytes.set(self.cache_bytes() as i64);
-        Assessment { estimate: acc.estimate(), timings, sampler: self.kind.name() }
+        DrivenAssessment {
+            assessment: Assessment {
+                estimate: driver.estimate(),
+                timings: driver.timings(),
+                sampler: self.kind.name(),
+            },
+            completed: driver.is_complete(),
+        }
     }
 
     /// Measures pure failure-state generation over `rounds` rounds — the

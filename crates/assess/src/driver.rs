@@ -1,0 +1,308 @@
+//! The resumable chunk driver — one state machine under every
+//! assessment path.
+//!
+//! The paper's estimator is inherently incremental: R and the
+//! conservative CIW (Eqs 1–3) are running statistics updated per chunk,
+//! and §3.2's sequential stopping idea only pays off when callers can
+//! observe the estimate *while it converges*. [`AssessmentDriver`] owns
+//! everything those statistics need — the chunk layout, the per-chunk
+//! seed derivation ([`Assessor::chunk_seed`]), the estimator state, and
+//! the per-chunk observability recording — and yields a
+//! [`PartialEstimate`] after every chunk it is fed.
+//!
+//! Three consumers drive it:
+//!
+//! - [`Assessor::drive`] (serial, fresh or cached-table) pulls tasks one
+//!   at a time and feeds each result back immediately;
+//! - [`crate::parallel::ParallelAssessor::assess`] drains `next_task`
+//!   into wire-encoded task frames up front and feeds decoded result
+//!   frames back in whatever order workers finish them — the estimate is
+//!   a pure function of the (rounds, successes) totals, so arrival order
+//!   is irrelevant and parallel results stay bit-identical to serial;
+//! - the serving daemon's streaming path forwards each partial over RCS1
+//!   and stops feeding when the client cancels.
+//!
+//! Feeding may stop early (target CIW reached, client cancelled); the
+//! driver then reports `is_complete() == false` and its estimate covers
+//! exactly the rounds fed so far.
+
+use crate::assessor::{Assessor, Timings};
+use recloud_obs::{Counter, Histogram};
+use recloud_sampling::{ReliabilityEstimate, ResultAccumulator};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A snapshot of the running estimate, yielded after every fed chunk.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartialEstimate {
+    /// Chunk index that was just fed.
+    pub chunk: u32,
+    /// Total chunks in the layout.
+    pub chunks_total: u32,
+    /// Rounds accumulated so far (monotonically nondecreasing).
+    pub rounds_done: u64,
+    /// Rounds the full request would run.
+    pub rounds_total: u64,
+    /// Running reliability estimate R (Eq 1).
+    pub r: f64,
+    /// Running 95% confidence-interval width (Eq 3).
+    pub ciw: f64,
+    /// True when a configured CIW target has been reached — the driver's
+    /// own stopping rule; consumers may also stop for their own reasons.
+    pub stop_hint: bool,
+}
+
+/// One chunk of work, ready to hand to an executor (serial `run_chunk`,
+/// a wire-encoded task frame, a server worker).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkTask {
+    /// Chunk index within the layout.
+    pub chunk: u32,
+    /// Sampler seed for the chunk, derived from the master seed.
+    pub seed: u64,
+    /// Rounds in this chunk.
+    pub rounds: usize,
+}
+
+/// Per-chunk observability handles (process-global `assess.*` names).
+/// The driver records once per *fed chunk*, never per round, so the
+/// recording stays off the bit-sliced hot path.
+struct DriverInstruments {
+    sampling_us: Arc<Histogram>,
+    collapse_us: Arc<Histogram>,
+    check_us: Arc<Histogram>,
+    rounds_total: Arc<Counter>,
+}
+
+impl DriverInstruments {
+    fn from_global() -> Self {
+        let registry = recloud_obs::global();
+        DriverInstruments {
+            sampling_us: registry.histogram("assess.sampling_us"),
+            collapse_us: registry.histogram("assess.collapse_us"),
+            check_us: registry.histogram("assess.check_us"),
+            rounds_total: registry.counter("assess.rounds_total"),
+        }
+    }
+}
+
+/// Resumable assessment state machine: hand out [`ChunkTask`]s, feed
+/// back per-chunk `(rounds, successes, timings)` results, read a
+/// [`PartialEstimate`] after every feed.
+///
+/// Task hand-out and result feeding are decoupled on purpose: a serial
+/// consumer interleaves them one chunk at a time, a parallel master
+/// drains every task up front and feeds results out of order.
+pub struct AssessmentDriver {
+    layout: Vec<(u32, usize)>,
+    master_seed: u64,
+    target_ciw: Option<f64>,
+    /// Cursor over `layout` for `next_task`.
+    next: usize,
+    /// Chunks fed back so far.
+    fed: usize,
+    acc: ResultAccumulator,
+    timings: Timings,
+    rounds_total: u64,
+    obs: DriverInstruments,
+}
+
+impl AssessmentDriver {
+    /// Creates a driver over an [`Assessor::chunk_layout`] (chunk ids must
+    /// be dense from zero — the layout's own invariant). A `target_ciw`
+    /// arms the driver's stopping rule: partials report `stop_hint` once
+    /// the running CIW₉₅ drops to the target.
+    pub fn new(layout: Vec<(u32, usize)>, master_seed: u64, target_ciw: Option<f64>) -> Self {
+        let rounds_total = layout.iter().map(|(_, n)| *n as u64).sum();
+        AssessmentDriver {
+            layout,
+            master_seed,
+            target_ciw,
+            next: 0,
+            fed: 0,
+            acc: ResultAccumulator::new(),
+            timings: Timings::default(),
+            rounds_total,
+            obs: DriverInstruments::from_global(),
+        }
+    }
+
+    /// Next chunk of work, or `None` when every chunk has been handed out.
+    pub fn next_task(&mut self) -> Option<ChunkTask> {
+        let (chunk, rounds) = *self.layout.get(self.next)?;
+        self.next += 1;
+        Some(ChunkTask { chunk, seed: Assessor::chunk_seed(self.master_seed, chunk), rounds })
+    }
+
+    /// Feeds one chunk's result back and returns the updated running
+    /// estimate. Chunks may arrive in any order; the estimate is a pure
+    /// function of the accumulated totals.
+    ///
+    /// Stage histograms record only the stages that actually ran: the
+    /// cached-table path feeds zero sampling/collapse durations and those
+    /// chunks stay out of the sampling histograms, exactly as before the
+    /// driver refactor.
+    pub fn feed(
+        &mut self,
+        chunk: u32,
+        rounds: u64,
+        successes: u64,
+        timings: &Timings,
+    ) -> PartialEstimate {
+        self.acc.push_batch(rounds, successes);
+        self.timings.merge(timings);
+        self.fed += 1;
+        if timings.sampling > Duration::ZERO {
+            self.obs.sampling_us.record(timings.sampling.as_micros() as u64);
+        }
+        if timings.collapse > Duration::ZERO {
+            self.obs.collapse_us.record(timings.collapse.as_micros() as u64);
+        }
+        self.obs.check_us.record(timings.check.as_micros() as u64);
+        self.obs.rounds_total.add(rounds);
+        let estimate = self.acc.estimate();
+        let ciw = estimate.ciw95();
+        PartialEstimate {
+            chunk,
+            chunks_total: self.layout.len() as u32,
+            rounds_done: self.acc.rounds(),
+            rounds_total: self.rounds_total,
+            r: estimate.score,
+            ciw,
+            stop_hint: self.target_ciw.is_some_and(|t| ciw <= t),
+        }
+    }
+
+    /// The running estimate over every chunk fed so far.
+    pub fn estimate(&self) -> ReliabilityEstimate {
+        self.acc.estimate()
+    }
+
+    /// Merged per-stage timings of every chunk fed so far. `total` is
+    /// whatever [`set_total`](Self::set_total) last stored.
+    pub fn timings(&self) -> Timings {
+        self.timings
+    }
+
+    /// Stores the end-to-end wall clock (chunk `total` sums are CPU time
+    /// across executors; consumers overwrite with their own wall clock).
+    pub fn set_total(&mut self, total: Duration) {
+        self.timings.total = total;
+    }
+
+    /// Rounds accumulated so far.
+    pub fn rounds_done(&self) -> u64 {
+        self.acc.rounds()
+    }
+
+    /// Rounds the full layout covers.
+    pub fn rounds_total(&self) -> u64 {
+        self.rounds_total
+    }
+
+    /// Number of chunks in the layout.
+    pub fn chunks_total(&self) -> usize {
+        self.layout.len()
+    }
+
+    /// Chunks fed back so far.
+    pub fn chunks_fed(&self) -> usize {
+        self.fed
+    }
+
+    /// True once every chunk in the layout has been fed back.
+    pub fn is_complete(&self) -> bool {
+        self.fed == self.layout.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(chunks: &[usize]) -> Vec<(u32, usize)> {
+        chunks.iter().enumerate().map(|(i, &n)| (i as u32, n)).collect()
+    }
+
+    #[test]
+    fn tasks_cover_the_layout_in_order_with_derived_seeds() {
+        let mut d = AssessmentDriver::new(layout(&[100, 100, 50]), 42, None);
+        assert_eq!(d.rounds_total(), 250);
+        assert_eq!(d.chunks_total(), 3);
+        let tasks: Vec<ChunkTask> = std::iter::from_fn(|| d.next_task()).collect();
+        assert_eq!(tasks.len(), 3);
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.chunk, i as u32);
+            assert_eq!(t.seed, Assessor::chunk_seed(42, i as u32));
+        }
+        assert_eq!(tasks[2].rounds, 50);
+        assert!(d.next_task().is_none(), "layout is exhausted");
+    }
+
+    #[test]
+    fn partials_are_monotone_and_match_the_accumulated_totals() {
+        let mut d = AssessmentDriver::new(layout(&[100, 100, 50]), 1, None);
+        let t = Timings::default();
+        let p1 = d.feed(0, 100, 90, &t);
+        assert_eq!((p1.rounds_done, p1.rounds_total), (100, 250));
+        assert!(!p1.stop_hint, "no target armed");
+        let p2 = d.feed(2, 50, 50, &t); // out of order on purpose
+        assert_eq!(p2.rounds_done, 150);
+        assert!(p2.rounds_done > p1.rounds_done);
+        let p3 = d.feed(1, 100, 100, &t);
+        assert_eq!(p3.rounds_done, 250);
+        assert!(d.is_complete());
+        // The running estimate is the plain totals ratio (Eq 1).
+        assert_eq!(d.estimate().successes, 240);
+        assert_eq!(p3.r, 240.0 / 250.0);
+        assert_eq!(p3.ciw, d.estimate().ciw95());
+    }
+
+    #[test]
+    fn stop_hint_fires_exactly_when_the_target_is_reached() {
+        // An all-successes stream has CIW 0 from the first chunk.
+        let mut d = AssessmentDriver::new(layout(&[10, 10]), 1, Some(1e-9));
+        let p = d.feed(0, 10, 10, &Timings::default());
+        assert!(p.stop_hint);
+        assert!(!d.is_complete(), "stopping early leaves the layout unfinished");
+
+        // A mixed stream only reaches a loose target once n is large.
+        let mut d = AssessmentDriver::new(layout(&[10, 100_000]), 1, Some(0.01));
+        let p = d.feed(0, 10, 9, &Timings::default());
+        assert!(!p.stop_hint, "10 rounds cannot satisfy a 1e-2 CIW");
+        let p = d.feed(1, 100_000, 90_000, &Timings::default());
+        assert!(p.stop_hint, "ciw {} <= 0.01", p.ciw);
+    }
+
+    #[test]
+    fn feed_order_does_not_change_the_estimate() {
+        let chunks: Vec<(u32, u64, u64)> = (0..8).map(|i| (i, 1000, 990 - i as u64)).collect();
+        let mut fwd = AssessmentDriver::new(layout(&[1000; 8]), 3, None);
+        let mut rev = AssessmentDriver::new(layout(&[1000; 8]), 3, None);
+        for &(c, r, s) in &chunks {
+            fwd.feed(c, r, s, &Timings::default());
+        }
+        for &(c, r, s) in chunks.iter().rev() {
+            rev.feed(c, r, s, &Timings::default());
+        }
+        assert_eq!(fwd.estimate().score.to_bits(), rev.estimate().score.to_bits());
+        assert_eq!(fwd.estimate().variance.to_bits(), rev.estimate().variance.to_bits());
+    }
+
+    #[test]
+    fn timings_merge_and_total_is_caller_owned() {
+        let mut d = AssessmentDriver::new(layout(&[10, 10]), 0, None);
+        let chunk_t = Timings {
+            sampling: Duration::from_micros(5),
+            collapse: Duration::from_micros(3),
+            check: Duration::from_micros(2),
+            total: Duration::from_micros(11),
+        };
+        d.feed(0, 10, 10, &chunk_t);
+        d.feed(1, 10, 10, &chunk_t);
+        assert_eq!(d.timings().sampling, Duration::from_micros(10));
+        assert_eq!(d.timings().check, Duration::from_micros(4));
+        d.set_total(Duration::from_secs(1));
+        assert_eq!(d.timings().total, Duration::from_secs(1));
+    }
+}

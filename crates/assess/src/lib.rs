@@ -27,6 +27,7 @@
 pub mod assessor;
 pub mod check;
 pub mod compare;
+pub mod driver;
 pub mod fingerprint;
 pub mod ground_truth;
 pub mod indaas;
@@ -35,9 +36,10 @@ pub mod sensitivity;
 pub mod sequential;
 pub mod wire;
 
-pub use assessor::{Assessment, Assessor, SamplerKind, Timings};
+pub use assessor::{Assessment, Assessor, DrivenAssessment, SamplerKind, Timings};
 pub use check::StructureChecker;
 pub use compare::{compare_plans, Comparison, RankedPlan};
+pub use driver::{AssessmentDriver, ChunkTask, PartialEstimate};
 pub use fingerprint::{assessment_key, fnv1a_128};
 pub use ground_truth::exact_reliability;
 pub use indaas::{rank_by_risk, risk_profile, RiskProfile};

@@ -21,6 +21,7 @@
 
 use crate::assessor::{Assessment, Assessor, SamplerKind, Timings};
 use crate::check::StructureChecker;
+use crate::driver::AssessmentDriver;
 use crate::wire::{JobFrame, ResultFrame, TaskFrame};
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
 use recloud_faults::FaultModel;
@@ -89,25 +90,21 @@ impl ParallelAssessor {
         }
         .encode();
 
-        // Chunk layout must match the serial engine's, so reuse it.
+        // Chunk layout and seeding must match the serial engine's, so the
+        // master runs the same AssessmentDriver every other path uses —
+        // its task hand-out becomes the wire-encoded fan-out.
         let probe = Assessor::with_sampler(&self.topology, self.model.clone(), self.kind);
-        let layout = probe.chunk_layout(rounds);
+        let mut driver = AssessmentDriver::new(probe.chunk_layout(rounds), seed, None);
         drop(probe);
 
         let (task_tx, task_rx) = channel::<Bytes>();
         let (result_tx, result_rx) = channel::<Bytes>();
-        for (chunk, n) in &layout {
-            let frame = TaskFrame {
-                chunk: *chunk,
-                seed: Assessor::chunk_seed(seed, *chunk),
-                rounds: *n as u32,
-            };
+        while let Some(task) = driver.next_task() {
+            let frame =
+                TaskFrame { chunk: task.chunk, seed: task.seed, rounds: task.rounds as u32 };
             task_tx.send(frame.encode()).expect("task channel open");
         }
         drop(task_tx); // workers drain until empty
-
-        let mut acc = ResultAccumulator::new();
-        let mut timings = Timings::default();
         scoped_workers(self.workers, |_worker_id| {
             // Worker-side job setup: deserialize the plan and build the
             // full assessment context. Each worker decodes its own copy of
@@ -139,24 +136,29 @@ impl ParallelAssessor {
             }
         });
         drop(result_tx);
-        // Master-side reduce. All workers have joined, so every result
-        // frame is queued; chunk arrival order is irrelevant because the
-        // accumulator and timings merges are commutative sums.
-        for _ in 0..layout.len() {
+        // Master-side reduce: decoded result frames feed the shared
+        // driver. All workers have joined, so every result frame is
+        // queued; chunk arrival order is irrelevant because the driver's
+        // estimate is a pure function of the accumulated totals.
+        while !driver.is_complete() {
             let frame = result_rx.recv().expect("every chunk produces a result");
             let r = ResultFrame::decode(frame).expect("workers send valid results");
-            acc.push_batch(r.rounds, r.successes);
-            timings.merge(&Timings {
+            let timings = Timings {
                 sampling: Duration::from_nanos(r.sampling_ns),
                 collapse: Duration::from_nanos(r.collapse_ns),
                 check: Duration::from_nanos(r.check_ns),
                 total: Duration::from_nanos(r.total_ns),
-            });
+            };
+            driver.feed(r.chunk, r.rounds, r.successes, &timings);
         }
         // Stage timings are summed CPU time across workers; `total` is the
         // master's wall clock (what Fig 12 plots).
-        timings.total = t0.elapsed();
-        Assessment { estimate: acc.estimate(), timings, sampler: self.kind.name() }
+        driver.set_total(t0.elapsed());
+        Assessment {
+            estimate: driver.estimate(),
+            timings: driver.timings(),
+            sampler: self.kind.name(),
+        }
     }
 
     /// Worker count.

@@ -11,11 +11,9 @@
 //! sequential assessment that happens to use `k` chunks returns the same
 //! counts as a fixed assessment of the same rounds.
 
-use crate::assessor::{Assessment, Assessor, Timings};
-use crate::check::StructureChecker;
+use crate::assessor::Assessor;
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
-use recloud_sampling::ResultAccumulator;
-use std::time::Instant;
+use std::ops::ControlFlow;
 
 /// Why a sequential assessment stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,7 +28,7 @@ pub enum StopReason {
 #[derive(Clone, Copy, Debug)]
 pub struct SequentialAssessment {
     /// The assessment over however many rounds were needed.
-    pub assessment: Assessment,
+    pub assessment: crate::assessor::Assessment,
     /// Why sampling stopped.
     pub stop: StopReason,
 }
@@ -39,6 +37,10 @@ impl Assessor {
     /// Assesses `plan`, adding chunks of rounds until the 95% confidence-
     /// interval width is at most `ciw_target` or `max_rounds` have been
     /// spent. At least one chunk always runs.
+    ///
+    /// Thin consumer of [`Assessor::drive`]: the driver's `stop_hint`
+    /// carries the Eq 3 stopping rule; this wrapper only translates the
+    /// last hint into a [`StopReason`].
     ///
     /// # Panics
     /// Panics if `ciw_target` is not positive or `max_rounds` is zero.
@@ -52,28 +54,14 @@ impl Assessor {
     ) -> SequentialAssessment {
         assert!(ciw_target > 0.0, "CIW target must be positive");
         assert!(max_rounds > 0, "need a positive round ceiling");
-        let mut checker = StructureChecker::new(spec, plan);
-        let mut acc = ResultAccumulator::new();
-        let mut timings = Timings::default();
-        let t0 = Instant::now();
-        let layout = self.chunk_layout(max_rounds);
-        let mut stop = StopReason::CeilingHit;
-        for (chunk, n) in layout {
-            let t = self.run_chunk(&mut checker, Self::chunk_seed(seed, chunk), n, &mut acc);
-            timings.merge(&t);
-            if acc.estimate().ciw95() <= ciw_target {
-                stop = StopReason::TargetReached;
-                break;
-            }
-        }
-        timings.total = t0.elapsed();
+        let mut reached = false;
+        let driven = self.drive(spec, plan, max_rounds, seed, Some(ciw_target), &mut |p| {
+            reached = p.stop_hint;
+            ControlFlow::Continue(())
+        });
         SequentialAssessment {
-            assessment: Assessment {
-                estimate: acc.estimate(),
-                timings,
-                sampler: self.sampler_name(),
-            },
-            stop,
+            assessment: driven.assessment,
+            stop: if reached { StopReason::TargetReached } else { StopReason::CeilingHit },
         }
     }
 }

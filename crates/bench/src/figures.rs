@@ -613,6 +613,28 @@ pub struct ServeBenchPhase {
     pub report: recloud_server::LoadReport,
 }
 
+/// One streaming-overhead measurement: the same uncached request mix run
+/// over plain `AssessPlan` and over `AssessStream` at cadence 1 (a
+/// `Partial` frame per chunk — the worst case for framing overhead).
+pub struct StreamOverheadRow {
+    /// Route-and-check rounds per request.
+    pub rounds: u32,
+    /// The plain (non-streamed) run.
+    pub plain: recloud_server::LoadReport,
+    /// The streamed run.
+    pub streamed: recloud_server::LoadReport,
+}
+
+impl StreamOverheadRow {
+    /// Throughput lost to streaming, percent of the plain rate.
+    pub fn overhead_pct(&self) -> f64 {
+        if self.plain.throughput_rps <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.streamed.throughput_rps / self.plain.throughput_rps)
+    }
+}
+
 /// Bench: the placement-as-a-service daemon under client load — an
 /// in-process server on an ephemeral port, hit first with a cache-miss
 /// mix (every request a fresh master seed → every request runs the
@@ -632,7 +654,7 @@ pub fn bench_serve(opts: &ReproOptions, json: Option<&str>) {
         config.workers, config.queue_capacity, config.cache_capacity
     );
     let mut phases: Vec<ServeBenchPhase> = Vec::new();
-    let mut stats = recloud_server::protocol::StatsResponse::default();
+    let mut overhead: Vec<StreamOverheadRow> = Vec::new();
     let mut instruments = recloud_obs::MetricsSnapshot::default();
     std::thread::scope(|scope| {
         scope.spawn(|| server.run());
@@ -656,14 +678,37 @@ pub fn bench_serve(opts: &ReproOptions, json: Option<&str>) {
         let cached = LoadgenConfig {
             requests: if opts.quick { 2_000 } else { 10_000 },
             distinct_seeds: false,
-            ..base
+            ..base.clone()
         };
         phases.push(ServeBenchPhase {
             phase: "cached",
             report: recloud_server::run_load(&cached).expect("cached phase"),
         });
-        let mut client = Client::connect(&addr).expect("stats connection");
-        stats = client.stats().expect("stats frame");
+        // Streaming overhead: the same uncached mix plain vs streamed at
+        // cadence 1. Distinct base seeds per run keep both sides out of
+        // the result cache, so the comparison is pure framing cost.
+        for case_rounds in [10_000u32, 100_000] {
+            let requests = if opts.quick { 8 } else { 24 };
+            let plain_cfg = LoadgenConfig {
+                requests,
+                rounds: case_rounds,
+                distinct_seeds: true,
+                seed: opts.seed ^ (case_rounds as u64),
+                ..base.clone()
+            };
+            let stream_cfg = LoadgenConfig {
+                stream: true,
+                cadence: 1,
+                seed: plain_cfg.seed ^ 0x5151_5151,
+                ..plain_cfg.clone()
+            };
+            overhead.push(StreamOverheadRow {
+                rounds: case_rounds,
+                plain: recloud_server::run_load(&plain_cfg).expect("plain overhead phase"),
+                streamed: recloud_server::run_load(&stream_cfg).expect("streamed overhead phase"),
+            });
+        }
+        let mut client = Client::connect(&addr).expect("metrics connection");
         instruments = client.metrics(0).expect("metrics frame").snapshot;
         client.shutdown().expect("shutdown frame");
     });
@@ -681,14 +726,26 @@ pub fn bench_serve(opts: &ReproOptions, json: Option<&str>) {
         ]);
     }
     t.print();
+    let mut t =
+        TextTable::new(vec!["rounds", "plain req/s", "stream req/s", "partials/req", "overhead"]);
+    for row in &overhead {
+        t.row(vec![
+            row.rounds.to_string(),
+            format!("{:.0}", row.plain.throughput_rps),
+            format!("{:.0}", row.streamed.throughput_rps),
+            format!("{:.0}", row.streamed.partials as f64 / row.streamed.ok.max(1) as f64),
+            format!("{:.1}%", row.overhead_pct()),
+        ]);
+    }
+    t.print();
+    let hits = instruments.counter("server.cache_hits_total").unwrap_or(0);
+    let misses = instruments.counter("server.cache_misses_total").unwrap_or(0);
     println!(
-        "server cache: {} hits / {} misses (hit rate {:.1}%)",
-        stats.cache_hits,
-        stats.cache_misses,
-        100.0 * stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses).max(1) as f64
+        "server cache: {hits} hits / {misses} misses (hit rate {:.1}%)",
+        100.0 * hits as f64 / (hits + misses).max(1) as f64
     );
     if let Some(path) = json {
-        let body = serve_bench_json(rounds, config.workers, &phases, &stats, &instruments);
+        let body = serve_bench_json(rounds, config.workers, &phases, &overhead, &instruments);
         std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("wrote {path}");
     }
@@ -700,7 +757,7 @@ fn serve_bench_json(
     rounds: u32,
     workers: usize,
     phases: &[ServeBenchPhase],
-    stats: &recloud_server::protocol::StatsResponse,
+    overhead: &[StreamOverheadRow],
     instruments: &recloud_obs::MetricsSnapshot,
 ) -> String {
     let mut s = String::new();
@@ -727,12 +784,27 @@ fn serve_bench_json(
         ));
     }
     s.push_str("  ],\n");
-    let total = (stats.cache_hits + stats.cache_misses).max(1);
+    s.push_str("  \"stream_overhead\": [\n");
+    for (i, row) in overhead.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rounds\": {}, \"plain_rps\": {:.1}, \"stream_rps\": {:.1}, \
+             \"partials_per_request\": {:.1}, \"overhead_pct\": {:.2}}}{}\n",
+            row.rounds,
+            row.plain.throughput_rps,
+            row.streamed.throughput_rps,
+            row.streamed.partials as f64 / row.streamed.ok.max(1) as f64,
+            row.overhead_pct(),
+            if i + 1 < overhead.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    // Cache totals come from the instrument counters — the daemon-wide
+    // source of truth the legacy StatsResponse duplicated.
+    let hits = instruments.counter("server.cache_hits_total").unwrap_or(0);
+    let misses = instruments.counter("server.cache_misses_total").unwrap_or(0);
     s.push_str(&format!(
-        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
-        stats.cache_hits,
-        stats.cache_misses,
-        stats.cache_hits as f64 / total as f64
+        "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {:.4}}},\n",
+        hits as f64 / (hits + misses).max(1) as f64
     ));
     s.push_str(&format!("  \"instruments\": {}\n", instruments.to_json()));
     s.push_str("}\n");
@@ -798,6 +870,7 @@ mod tests {
                     cached: 0,
                     busy: 0,
                     errors: 0,
+                    partials: 0,
                     elapsed: Duration::from_secs(1),
                     throughput_rps: 600.0,
                     p50_us: 1_500,
@@ -812,6 +885,7 @@ mod tests {
                     cached: 9_999,
                     busy: 0,
                     errors: 0,
+                    partials: 0,
                     elapsed: Duration::from_secs(1),
                     throughput_rps: 10_000.0,
                     p50_us: 80,
@@ -819,22 +893,40 @@ mod tests {
                 },
             },
         ];
-        let stats = recloud_server::protocol::StatsResponse {
-            cache_hits: 9_999,
-            cache_misses: 601,
-            ..Default::default()
-        };
+        let overhead = vec![StreamOverheadRow {
+            rounds: 10_000,
+            plain: recloud_server::LoadReport {
+                sent: 24,
+                ok: 24,
+                throughput_rps: 200.0,
+                ..Default::default()
+            },
+            streamed: recloud_server::LoadReport {
+                sent: 24,
+                ok: 24,
+                partials: 96,
+                throughput_rps: 190.0,
+                ..Default::default()
+            },
+        }];
         let r = recloud_obs::Registry::new();
         r.counter("server.requests_total").add(10_601);
+        r.counter("server.cache_hits_total").add(9_999);
+        r.counter("server.cache_misses_total").add(601);
         r.histogram("server.latency_us.assess").record(80);
-        let body = serve_bench_json(1_000, 4, &phases, &stats, &r.snapshot());
+        let body = serve_bench_json(1_000, 4, &phases, &overhead, &r.snapshot());
         assert!(body.starts_with("{\n"));
         assert!(body.ends_with("}\n"));
         assert!(body.contains("\"benchmark\": \"serve\""));
         assert!(body.contains("\"phase\": \"uncached\""));
         assert!(body.contains("\"phase\": \"cached\""));
         assert!(body.contains("\"throughput_rps\": 10000.0"));
+        assert!(body.contains(
+            "{\"rounds\": 10000, \"plain_rps\": 200.0, \"stream_rps\": 190.0, \
+             \"partials_per_request\": 4.0, \"overhead_pct\": 5.00}"
+        ));
         assert!(body.contains("\"hits\": 9999"));
+        assert!(body.contains("\"misses\": 601"));
         assert!(body.contains("\"instruments\": {\"counters\":{"));
         assert!(body.contains("\"server.requests_total\":10601"));
         assert!(body.contains("\"server.latency_us.assess\":{\"count\":1"));

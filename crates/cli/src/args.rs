@@ -54,6 +54,7 @@ const BOOL_FLAGS: &[&str] = &[
     "smoke",
     "distinct-seeds",
     "json",
+    "stream",
 ];
 
 /// A parsed command line.
@@ -125,6 +126,18 @@ impl Parsed {
     /// u64 flag with default.
     pub fn u64_or(&self, flag: &str, default: u64) -> Result<u64, CliError> {
         Ok(self.usize_or(flag, default as usize)? as u64)
+    }
+
+    /// Float flag; `None` when absent.
+    pub fn f64_opt(&self, flag: &str) -> Result<Option<f64>, CliError> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| CliError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected: "number",
+            }),
+        }
     }
 
     /// Comma-separated integer list.
@@ -201,6 +214,17 @@ mod tests {
         let err = p.usize_or("rounds", 1).unwrap_err();
         assert!(err.to_string().contains("ten"));
         assert!(err.to_string().contains("rounds"));
+    }
+
+    #[test]
+    fn float_flag_parses_or_reports() {
+        let p = parse("assess --stream --target-ciw 0.02").unwrap();
+        assert!(p.has("stream"));
+        assert_eq!(p.f64_opt("target-ciw").unwrap(), Some(0.02));
+        assert_eq!(p.f64_opt("absent").unwrap(), None);
+        let p = parse("assess --target-ciw tight").unwrap();
+        let err = p.f64_opt("target-ciw").unwrap_err();
+        assert!(err.to_string().contains("tight"));
     }
 
     #[test]

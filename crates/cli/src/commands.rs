@@ -164,10 +164,52 @@ pub fn assess(p: &Parsed) -> Result<String, CliError> {
     let kind =
         if p.has("monte-carlo") { SamplerKind::MonteCarlo } else { SamplerKind::ExtendedDagger };
     let mut assessor = Assessor::with_sampler(&t, model, kind);
-    let a = assessor.assess(&spec, &plan, rounds, seed);
     let mut out = String::new();
     let _ = writeln!(out, "app: {label}");
     describe_plan(&t, &plan, &mut out);
+    let a = if p.has("stream") {
+        // Streamed drive: same chunk layout and totals as the plain call
+        // (the estimate is a pure function of the accumulated counts), so
+        // a run-to-completion stream prints the identical final line.
+        let cadence = p.usize_or("cadence", 4)?.max(1);
+        let target = p.f64_opt("target-ciw")?;
+        if let Some(ciw) = target {
+            if !(ciw > 0.0) {
+                return Err(CliError::Invalid("--target-ciw must be a positive width".into()));
+            }
+        }
+        let mut fed = 0usize;
+        let driven = assessor.drive(&spec, &plan, rounds, seed, target, &mut |partial| {
+            fed += 1;
+            if fed % cadence == 0
+                || partial.stop_hint
+                || partial.rounds_done == partial.rounds_total
+            {
+                let _ = writeln!(
+                    out,
+                    "  chunk {:>4}/{}: {:>9}/{} rounds  R {:.5}  CIW {:.2e}",
+                    partial.chunk + 1,
+                    partial.chunks_total,
+                    partial.rounds_done,
+                    partial.rounds_total,
+                    partial.r,
+                    partial.ciw
+                );
+            }
+            std::ops::ControlFlow::Continue(())
+        });
+        if !driven.completed {
+            let _ = writeln!(
+                out,
+                "stopped early: CIW target {:.2e} reached after {} of {rounds} rounds",
+                target.expect("early stop implies a target"),
+                driven.assessment.estimate.rounds
+            );
+        }
+        driven.assessment
+    } else {
+        assessor.assess(&spec, &plan, rounds, seed)
+    };
     let _ = writeln!(
         out,
         "reliability {:.5} (95% CI width {:.2e}) over {} rounds [{} sampler]",
@@ -421,17 +463,7 @@ pub fn availability(p: &Parsed) -> Result<String, CliError> {
     if years == 0 {
         return Err(CliError::Invalid("--years must be at least 1".into()));
     }
-    let mttr: f64 = p
-        .get("mttr-hours")
-        .map(|v| {
-            v.parse().map_err(|_| CliError::BadValue {
-                flag: "mttr-hours".into(),
-                value: v.into(),
-                expected: "number of hours",
-            })
-        })
-        .transpose()?
-        .unwrap_or(8.0);
+    let mttr: f64 = p.f64_opt("mttr-hours")?.unwrap_or(8.0);
 
     // Static assessment for comparison.
     let mut assessor = Assessor::new(&t, model.clone());
@@ -603,6 +635,12 @@ pub fn loadgen(p: &Parsed) -> Result<String, CliError> {
     use recloud_server::{run_load, LoadgenConfig};
     let addr = p.str_or("addr", "127.0.0.1:7070");
     if p.has("smoke") {
+        // The stream smoke leaves the daemon running (so it can precede
+        // the plain smoke, whose last step is a clean Shutdown).
+        if p.has("stream") {
+            recloud_server::smoke_stream(&addr).map_err(CliError::Invalid)?;
+            return Ok(format!("stream smoke OK against {addr}\n"));
+        }
         recloud_server::smoke(&addr).map_err(CliError::Invalid)?;
         return Ok(format!("smoke OK against {addr}\n"));
     }
@@ -620,6 +658,8 @@ pub fn loadgen(p: &Parsed) -> Result<String, CliError> {
         rounds: p.u32_or("rounds", 1_000)?,
         seed: p.u64_or("seed", 42)?,
         distinct_seeds: p.has("distinct-seeds"),
+        stream: p.has("stream"),
+        cadence: p.u32_or("cadence", 1)?,
     };
     let r = run_load(&config).map_err(|e| CliError::Invalid(format!("loadgen failed: {e}")))?;
     let mut out = String::new();
@@ -628,6 +668,14 @@ pub fn loadgen(p: &Parsed) -> Result<String, CliError> {
         "{} ok ({} cached), {} busy, {} errors in {:.2?}",
         r.ok, r.cached, r.busy, r.errors, r.elapsed
     );
+    if config.stream {
+        let _ = writeln!(
+            out,
+            "streamed: {} partial frames at cadence {}",
+            r.partials,
+            config.cadence.max(1)
+        );
+    }
     let _ = writeln!(
         out,
         "throughput {:.0} req/s, latency p50 {} us / p95 {} us",

@@ -76,6 +76,15 @@ COMMON OPTIONS:
     --rounds <int>                      route-and-check rounds (default: 10000)
     --seed <int>                        master seed (default: 1)
 
+ASSESS OPTIONS:
+    --stream                            drive chunk-by-chunk, printing running
+                                        (R, CIW) progress lines
+    --target-ciw <float>                with --stream: stop as soon as the 95%
+                                        CI width shrinks to this
+    --cadence <int>                     chunks per progress line (default: 4)
+    --monte-carlo                       plain Monte Carlo instead of dagger
+    --hosts <id,...>                    explicit plan host ids (else random)
+
 SEARCH OPTIONS:
     --budget-ms <int>                   search budget (default: 2000)
     --multi-objective                   Eq 7 holistic measure (reliability+load)
@@ -98,6 +107,10 @@ SERVE OPTIONS:
 LOADGEN OPTIONS:
     --addr <host:port>                  daemon address (default: 127.0.0.1:7070)
     --smoke                             run the CI smoke sequence and exit
+                                        (with --stream: the streaming smoke,
+                                        which leaves the daemon running)
+    --stream                            AssessStream instead of AssessPlan;
+                                        --cadence <int> chunks per Partial
     --requests <int> --connections <int>
     --distinct-seeds                    fresh seed per request (cache-miss mix)
 
@@ -200,6 +213,39 @@ mod tests {
         let out = run_str("whatif --scale tiny --k 4 --n 5 --fail power:0").unwrap();
         assert!(out.contains("forced failed"), "{out}");
         assert!(out.contains("power0"), "{out}");
+    }
+
+    #[test]
+    fn streamed_assess_prints_progress_and_the_same_answer() {
+        let plain = run_str("assess --scale tiny --k 2 --n 3 --rounds 6000 --seed 7").unwrap();
+        let streamed =
+            run_str("assess --scale tiny --k 2 --n 3 --rounds 6000 --seed 7 --stream --cadence 1")
+                .unwrap();
+        assert!(streamed.contains("chunk"), "{streamed}");
+        assert!(streamed.contains("CIW"), "{streamed}");
+        // The invariant the driver refactor guarantees: the streamed
+        // final line is identical to the plain one.
+        let final_line =
+            |s: &str| s.lines().find(|l| l.starts_with("reliability")).map(String::from).unwrap();
+        assert_eq!(final_line(&plain), final_line(&streamed));
+    }
+
+    #[test]
+    fn streamed_assess_stops_at_target_ciw() {
+        let out = run_str(
+            "assess --scale tiny --k 2 --n 3 --rounds 100000 --seed 7 --stream --target-ciw 0.05",
+        )
+        .unwrap();
+        assert!(out.contains("stopped early"), "{out}");
+        assert!(!out.contains("over 100000 rounds"), "early stop must cover fewer rounds: {out}");
+    }
+
+    #[test]
+    fn stream_flags_are_validated() {
+        let err = run_str("assess --scale tiny --stream --target-ciw -0.5").unwrap_err();
+        assert!(err.to_string().contains("target-ciw"));
+        let err = run_str("assess --scale tiny --stream --target-ciw wide").unwrap_err();
+        assert!(err.to_string().contains("wide"));
     }
 
     #[test]

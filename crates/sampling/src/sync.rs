@@ -23,6 +23,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Error returned by [`Sender::send`] when every [`Receiver`] has been
 /// dropped. The unsent value is handed back.
@@ -75,6 +76,26 @@ impl fmt::Display for TryRecvError {
 }
 
 impl std::error::Error for TryRecvError {}
+
+/// Result of a [`Receiver::recv_timeout`] that returned no value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed while the queue stayed empty.
+    Timeout,
+    /// The queue is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "channel empty until the timeout"),
+            RecvTimeoutError::Disconnected => write!(f, "channel empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
 
 struct Shared<T> {
     queue: Mutex<State<T>>,
@@ -155,6 +176,30 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             state = self.shared.nonempty.wait(state).unwrap();
+        }
+    }
+
+    /// Bounded-wait variant of [`recv`](Self::recv): blocks until a value
+    /// arrives, every sender is gone, or `timeout` elapses — whichever
+    /// comes first. Like `recv`, queued values are always drained before
+    /// disconnection is reported.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(v) = state.items.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            if remaining.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            state = self.shared.nonempty.wait_timeout(state, remaining).unwrap().0;
         }
     }
 
@@ -286,6 +331,37 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(3));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_delivers_and_reports_disconnect() {
+        let (tx, rx) = channel::<u8>();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(20)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(20)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send() {
+        let (tx, rx) = channel();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                tx.send(42).unwrap();
+            });
+            // Far below the 5 s timeout: the send must wake the waiter.
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(42));
+        });
     }
 
     #[test]

@@ -1,11 +1,14 @@
-//! A blocking RCS1 client: one TCP connection, synchronous call/response.
+//! A blocking RCS1 client: one TCP connection, synchronous call/response
+//! — plus the streaming assess call, which multiplexes partial frames
+//! into a caller-supplied callback.
 
 use crate::protocol::{
-    read_frame, write_frame, AssessRequest, AssessResponse, MetricsResponse, Request, Response,
-    StatsResponse,
+    read_frame, write_frame, AssessRequest, AssessResponse, MetricsResponse, PartialResponse,
+    Request, Response, StatsResponse,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::ops::ControlFlow;
 use std::time::Duration;
 
 fn bad_data(msg: impl Into<String>) -> io::Error {
@@ -61,6 +64,59 @@ impl Client {
             }
             other => Err(bad_data(format!("expected AssessResult, got {other:?}"))),
         }
+    }
+
+    /// Streaming assessment: sends an `AssessStream` request and invokes
+    /// `on_partial` for every `Partial` frame the server emits (one every
+    /// `cadence` chunks). When the callback returns
+    /// [`ControlFlow::Break`], an `AssessCancel` is sent and the server
+    /// stops feeding chunks; the stream still ends with a final frame —
+    /// over fewer rounds when cancelled, bit-identical to the plain
+    /// [`Client::assess`] answer when run to completion.
+    ///
+    /// Returns the final answer plus `stopped_early`: whether this client
+    /// asked the server to stop.
+    pub fn assess_streaming(
+        &mut self,
+        request: AssessRequest,
+        cadence: u32,
+        mut on_partial: impl FnMut(&PartialResponse) -> ControlFlow<()>,
+    ) -> io::Result<(AssessResponse, bool)> {
+        write_frame(&mut self.stream, &Request::AssessStream { req: request, cadence }.encode())?;
+        let mut cancelled = false;
+        loop {
+            let payload = read_frame(&mut self.stream)?
+                .ok_or_else(|| bad_data("server closed the connection mid-stream"))?;
+            match Response::decode(payload.into()).map_err(|e| bad_data(e.to_string()))? {
+                Response::Partial(p) => {
+                    // Once cancelled, drain remaining partials silently —
+                    // the cancel races against frames already in flight.
+                    if !cancelled && on_partial(&p).is_break() {
+                        cancelled = true;
+                        write_frame(&mut self.stream, &Request::AssessCancel.encode())?;
+                    }
+                }
+                Response::Assess(a) => return Ok((a, cancelled)),
+                Response::Busy { queued, capacity } => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!("busy {queued}/{capacity}"),
+                    ));
+                }
+                Response::Error { code, message } => {
+                    return Err(bad_data(format!("server error {code:?}: {message}")));
+                }
+                other => return Err(bad_data(format!("unexpected mid-stream frame {other:?}"))),
+            }
+        }
+    }
+
+    /// Sends a bare `AssessCancel` frame. No response is defined for it;
+    /// outside a stream the server treats it as a silent no-op.
+    /// [`Client::assess_streaming`] sends it automatically when its
+    /// callback breaks — this is only for exercising the stale path.
+    pub fn cancel(&mut self) -> io::Result<()> {
+        write_frame(&mut self.stream, &Request::AssessCancel.encode())
     }
 
     /// Reads the server's counters.

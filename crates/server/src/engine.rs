@@ -21,10 +21,12 @@ use crate::protocol::{
 };
 use recloud::{DeployError, ReCloud};
 use recloud_apps::{ApplicationSpec, DeploymentPlan, Requirements};
-use recloud_assess::{compare_plans, Assessor, SamplerKind};
+use recloud_assess::{compare_plans, Assessor, PartialEstimate, SamplerKind};
 use recloud_faults::FaultModel;
 use recloud_topology::{ComponentId, ComponentKind, Topology};
 use std::collections::{HashMap, HashSet};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 /// Builds the application spec a request describes: one layer is a plain
@@ -145,6 +147,51 @@ impl EnginePool {
             successes: a.estimate.successes,
             cached: false,
         })
+    }
+
+    /// Streaming variant of [`EnginePool::assess`]: drives the shared
+    /// [`AssessmentDriver`](recloud_assess::AssessmentDriver) through
+    /// `Assessor::drive`, invoking `on_partial` once every `cadence` fed
+    /// chunks, and checking `cancel` between chunks. Returns the final
+    /// answer plus whether every chunk actually ran; a cancelled drive
+    /// covers exactly the rounds fed so far, so a completed stream is
+    /// bit-identical to the plain [`EnginePool::assess`] answer.
+    pub fn assess_streaming(
+        &mut self,
+        req: &AssessRequest,
+        spec: &ApplicationSpec,
+        plan: &DeploymentPlan,
+        cadence: u32,
+        cancel: &AtomicBool,
+        on_partial: &mut dyn FnMut(&PartialEstimate),
+    ) -> Result<(AssessResponse, bool), String> {
+        let slot = self.slot(req.preset, req.seed);
+        Self::check_hosts(&slot.topology, &req.assignments)?;
+        let cadence = cadence.max(1) as usize;
+        let mut fed = 0usize;
+        let driven =
+            slot.assessor.drive(spec, plan, req.rounds as usize, req.seed, None, &mut |p| {
+                fed += 1;
+                if fed % cadence == 0 {
+                    on_partial(p);
+                }
+                if cancel.load(Ordering::Acquire) {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+        let e = driven.assessment.estimate;
+        Ok((
+            AssessResponse {
+                score: e.score,
+                variance: e.variance,
+                rounds: e.rounds,
+                successes: e.successes,
+                cached: false,
+            },
+            driven.completed,
+        ))
     }
 
     /// Ranks candidate plans with tie detection (§3.3's comparison
@@ -306,6 +353,51 @@ mod tests {
         indices.sort_unstable();
         assert_eq!(indices, vec![0, 1]);
         assert!(resp.ranking[0].score >= resp.ranking[1].score, "ranked by descending score");
+    }
+
+    /// The streaming contract: a run-to-completion stream answers
+    /// bit-identically to the plain assess path, its partials are
+    /// monotone in rounds, and a pre-set cancel flag stops the drive
+    /// short of the full round count.
+    #[test]
+    fn streamed_assess_matches_plain_and_honors_cancel() {
+        let topology = Preset::Tiny.scale().build();
+        let hosts = first_hosts(&topology, 3);
+        let req = AssessRequest {
+            preset: Preset::Tiny,
+            rounds: 12_000,
+            seed: 21,
+            k: 2,
+            n: 3,
+            assignments: vec![hosts],
+        };
+        let spec = spec_for(req.k, req.n, req.assignments.len());
+        let plan = build_plan(&spec, &req.assignments).unwrap();
+
+        let mut pool = EnginePool::new();
+        let plain = pool.assess(&req, &spec, &plan).unwrap();
+
+        let mut partials = Vec::new();
+        let cancel = AtomicBool::new(false);
+        let mut fresh = EnginePool::new();
+        let (streamed, completed) = fresh
+            .assess_streaming(&req, &spec, &plan, 1, &cancel, &mut |p| partials.push(*p))
+            .unwrap();
+        assert!(completed);
+        assert_eq!(streamed.score.to_bits(), plain.score.to_bits());
+        assert_eq!(streamed.variance.to_bits(), plain.variance.to_bits());
+        assert_eq!((streamed.rounds, streamed.successes), (plain.rounds, plain.successes));
+        assert!(partials.len() >= 2, "12k rounds span several chunks");
+        for pair in partials.windows(2) {
+            assert!(pair[1].rounds_done > pair[0].rounds_done, "partials are monotone");
+        }
+
+        cancel.store(true, Ordering::Release);
+        let (cut, completed) =
+            fresh.assess_streaming(&req, &spec, &plan, 1, &cancel, &mut |_| {}).unwrap();
+        assert!(!completed, "a pre-set cancel stops after the first chunk");
+        assert!(cut.rounds < req.rounds as u64);
+        assert!(cut.rounds > 0, "at least one chunk always runs");
     }
 
     #[test]

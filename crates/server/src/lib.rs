@@ -11,8 +11,10 @@
 //!
 //! * [`protocol`] — the RCS1 length-prefixed binary frame codec
 //!   (requests: Ping / AssessPlan / SearchPlacement / ComparePlans /
-//!   Stats / Shutdown; responses incl. Busy and Error), built on the same
-//!   `recloud::wire` substrate as the parallel assessor's RCW1 codec;
+//!   Stats / Shutdown / MetricsDump / AssessStream / AssessCancel;
+//!   responses incl. Busy, Error, and streamed Partial), built on the
+//!   same `recloud::wire` substrate as the parallel assessor's RCW1
+//!   codec;
 //! * [`cache`] — an LRU result cache keyed by the 128-bit
 //!   [`recloud_assess::assessment_key`] fingerprint of everything that
 //!   determines an assessment;
@@ -39,6 +41,6 @@ pub mod server;
 pub use cache::ResultCache;
 pub use client::Client;
 pub use engine::EnginePool;
-pub use loadgen::{run_load, smoke, LoadReport, LoadgenConfig};
+pub use loadgen::{run_load, smoke, smoke_stream, LoadReport, LoadgenConfig};
 pub use protocol::{Preset, Request, Response};
 pub use server::{ServeSummary, Server, ServerConfig};

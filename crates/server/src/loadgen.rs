@@ -42,6 +42,12 @@ pub struct LoadgenConfig {
     /// Fresh seed per request (cache-miss mix) vs. identical requests
     /// (cache-hit mix).
     pub distinct_seeds: bool,
+    /// Use the streaming assess path (`AssessStream` at `cadence` chunks
+    /// per partial) instead of plain `AssessPlan`, measuring the
+    /// streaming overhead against the same work.
+    pub stream: bool,
+    /// Chunks per `Partial` frame in stream mode.
+    pub cadence: u32,
 }
 
 impl Default for LoadgenConfig {
@@ -54,6 +60,8 @@ impl Default for LoadgenConfig {
             rounds: 1_000,
             seed: 42,
             distinct_seeds: false,
+            stream: false,
+            cadence: 1,
         }
     }
 }
@@ -71,6 +79,8 @@ pub struct LoadReport {
     pub busy: u64,
     /// Error responses or transport failures.
     pub errors: u64,
+    /// `Partial` frames received (stream mode only).
+    pub partials: u64,
     /// Wall-clock for the whole run.
     pub elapsed: Duration,
     /// Successful requests per second.
@@ -100,7 +110,7 @@ pub fn first_hosts(preset: Preset, n: usize) -> Vec<u32> {
 pub fn run_load(config: &LoadgenConfig) -> io::Result<LoadReport> {
     let hosts = first_hosts(config.preset, 3);
     let per_conn = config.requests.div_ceil(config.connections.max(1));
-    let (result_tx, result_rx) = sync::channel::<(u64, u64, u64, u64, Vec<u64>)>();
+    let (result_tx, result_rx) = sync::channel::<(u64, u64, u64, u64, u64, Vec<u64>)>();
     let started = Instant::now();
     std::thread::scope(|scope| -> io::Result<()> {
         for conn in 0..config.connections.max(1) {
@@ -109,6 +119,7 @@ pub fn run_load(config: &LoadgenConfig) -> io::Result<LoadReport> {
             let mut client = Client::connect(&config.addr)?;
             scope.spawn(move || {
                 let (mut ok, mut cached, mut busy, mut errors) = (0u64, 0u64, 0u64, 0u64);
+                let mut partials = 0u64;
                 let mut latencies = Vec::with_capacity(per_conn);
                 for i in 0..per_conn {
                     let stream = (conn * per_conn + i) as u64;
@@ -126,7 +137,17 @@ pub fn run_load(config: &LoadgenConfig) -> io::Result<LoadReport> {
                         assignments: vec![hosts.clone()],
                     };
                     let t0 = Instant::now();
-                    match client.assess(request) {
+                    let outcome = if config.stream {
+                        client
+                            .assess_streaming(request, config.cadence.max(1), |_| {
+                                partials += 1;
+                                std::ops::ControlFlow::Continue(())
+                            })
+                            .map(|(resp, _)| resp)
+                    } else {
+                        client.assess(request)
+                    };
+                    match outcome {
                         Ok(resp) => {
                             ok += 1;
                             if resp.cached {
@@ -138,7 +159,7 @@ pub fn run_load(config: &LoadgenConfig) -> io::Result<LoadReport> {
                         Err(_) => errors += 1,
                     }
                 }
-                let _ = tx.send((ok, cached, busy, errors, latencies));
+                let _ = tx.send((ok, cached, busy, errors, partials, latencies));
             });
         }
         Ok(())
@@ -146,11 +167,12 @@ pub fn run_load(config: &LoadgenConfig) -> io::Result<LoadReport> {
     drop(result_tx);
     let mut report = LoadReport::default();
     let mut all_latencies = Vec::with_capacity(config.requests);
-    while let Ok((ok, cached, busy, errors, latencies)) = result_rx.recv() {
+    while let Ok((ok, cached, busy, errors, partials, latencies)) = result_rx.recv() {
         report.ok += ok;
         report.cached += cached;
         report.busy += busy;
         report.errors += errors;
+        report.partials += partials;
         all_latencies.extend(latencies);
     }
     report.sent = report.ok + report.busy + report.errors;
@@ -218,6 +240,99 @@ pub fn smoke(addr: &str) -> Result<(), String> {
     }
 
     client.shutdown().map_err(|e| step("shutdown", e))?;
+    Ok(())
+}
+
+/// The streaming CI gate against a running server (which it leaves
+/// running — the caller owns shutdown):
+///
+/// 1. a run-to-completion stream yields monotone partials, and a plain
+///    repeat of the same request is served from the cache bit-identically
+///    (the completed stream populated it);
+/// 2. a large stream stopped at a client-side target CIW completes with
+///    fewer rounds than requested, and the daemon's metrics show the
+///    cancel (`server.stream_cancelled_total`, a `stream.cancel` journal
+///    event).
+pub fn smoke_stream(addr: &str) -> Result<(), String> {
+    let step = |what: &str, e: io::Error| format!("stream {what}: {e}");
+    let mut client = Client::connect(addr).map_err(|e| step("connect", e))?;
+    client.set_timeout(Some(Duration::from_secs(60))).map_err(|e| step("set timeout", e))?;
+
+    let full = AssessRequest {
+        preset: Preset::Tiny,
+        rounds: 6_000,
+        seed: 23,
+        k: 2,
+        n: 3,
+        assignments: vec![first_hosts(Preset::Tiny, 3)],
+    };
+    let mut last_done = 0u64;
+    let mut partials = 0u64;
+    let (final_frame, stopped) = client
+        .assess_streaming(full.clone(), 1, |p| {
+            partials += 1;
+            if p.rounds_done < last_done {
+                return std::ops::ControlFlow::Break(());
+            }
+            last_done = p.rounds_done;
+            std::ops::ControlFlow::Continue(())
+        })
+        .map_err(|e| step("assess", e))?;
+    if stopped {
+        return Err("streamed partials were not monotone in rounds_done".into());
+    }
+    if partials == 0 {
+        return Err("full stream emitted no partial frames".into());
+    }
+    if final_frame.rounds != full.rounds as u64 {
+        return Err(format!(
+            "full stream answered {} rounds, want {}",
+            final_frame.rounds, full.rounds
+        ));
+    }
+    let replay = client.assess(full).map_err(|e| step("replay", e))?;
+    if !replay.cached {
+        return Err("completed stream did not populate the result cache".into());
+    }
+    if replay.score.to_bits() != final_frame.score.to_bits() {
+        return Err("cached replay differs from the streamed final frame".into());
+    }
+
+    // Early stop: ask for far more rounds than a 0.02-wide interval
+    // needs and break as soon as the running CIW reaches it.
+    let big = AssessRequest {
+        preset: Preset::Tiny,
+        rounds: 200_000,
+        seed: 29,
+        k: 2,
+        n: 3,
+        assignments: vec![first_hosts(Preset::Tiny, 3)],
+    };
+    let requested = big.rounds as u64;
+    let (cut, stopped) = client
+        .assess_streaming(big, 1, |p| {
+            if p.ciw <= 0.02 {
+                std::ops::ControlFlow::Break(())
+            } else {
+                std::ops::ControlFlow::Continue(())
+            }
+        })
+        .map_err(|e| step("early-stop assess", e))?;
+    if !stopped {
+        return Err("the 0.02 CIW target was never reached".into());
+    }
+    if cut.rounds == 0 || cut.rounds >= requested {
+        return Err(format!("early stop still ran {} of {requested} rounds", cut.rounds));
+    }
+
+    let metrics = client.metrics(256).map_err(|e| step("metrics dump", e))?;
+    match metrics.snapshot.counter("server.stream_cancelled_total") {
+        None | Some(0) => return Err("daemon did not count the stream cancel".into()),
+        Some(_) => {}
+    }
+    if !metrics.events.iter().any(|e| e.kind == "stream.cancel") {
+        return Err("journal has no stream.cancel event".into());
+    }
     Ok(())
 }
 

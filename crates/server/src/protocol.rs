@@ -18,6 +18,8 @@
 //! | 0x05 | Stats            | (empty) |
 //! | 0x06 | Shutdown         | (empty) |
 //! | 0x07 | MetricsDump      | `journal_tail:u32` |
+//! | 0x08 | AssessStream     | AssessPlan body, then `cadence:u32` (partial every `cadence` chunks) |
+//! | 0x09 | AssessCancel     | (empty; only meaningful mid-stream) |
 //!
 //! Response kinds (server → client):
 //!
@@ -32,6 +34,15 @@
 //! | 0x87 | Error        | `code:u8 msg_len:u16 msg:utf8…` |
 //! | 0x88 | ShutdownAck  | `completed:u64` |
 //! | 0x89 | MetricsResult| serialized instrument snapshot + journal tail (see [`MetricsResponse`]) |
+//! | 0x8A | Partial      | `rounds_done:u64 rounds_total:u64 score:f64 ciw:f64` |
+//!
+//! An AssessStream exchange is: client sends 0x08, server emits zero or
+//! more 0x8A Partial frames (one every `cadence` fed chunks) and finishes
+//! with a 0x82 AssessResult that is **bit-identical** to what the plain
+//! AssessPlan request would have returned for the same arguments. The
+//! client may send 0x09 AssessCancel at any point mid-stream; the server
+//! stops feeding chunks and still sends the final 0x82 covering the rounds
+//! done so far. An AssessCancel outside a stream is a silent no-op.
 //!
 //! All integers little-endian; `f64` as IEEE-754 bits — the same
 //! conventions as the parallel engine's RCW1 codec, so a reliability score
@@ -239,6 +250,19 @@ pub enum Request {
         /// How many of the newest journal events to include (0 = none).
         journal_tail: u32,
     },
+    /// Assess one plan, streaming [`Response::Partial`] running estimates
+    /// while the chunks accumulate; finishes with a [`Response::Assess`]
+    /// bit-identical to the plain [`Request::AssessPlan`] answer.
+    AssessStream {
+        /// The underlying assessment, exactly as AssessPlan carries it.
+        req: AssessRequest,
+        /// Emit one Partial every `cadence` fed chunks (>= 1).
+        cadence: u32,
+    },
+    /// Cancel the in-flight stream on this connection: the server stops
+    /// feeding chunks and sends the final Assess frame over the rounds
+    /// done so far. Outside a stream this is a silent no-op (no response).
+    AssessCancel,
 }
 
 /// Error codes carried in [`Response::Error`] frames.
@@ -347,6 +371,21 @@ pub struct StatsResponse {
     pub workers: u32,
 }
 
+/// A running estimate mid-stream: the (R, CIW) pair of Eqs 1 and 3 over
+/// the rounds fed so far. `rounds_done` is monotonically nondecreasing
+/// across the partials of one stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartialResponse {
+    /// Rounds accumulated so far.
+    pub rounds_done: u64,
+    /// Rounds the full request would run.
+    pub rounds_total: u64,
+    /// Running reliability estimate R (Eq 1).
+    pub score: f64,
+    /// Running 95% confidence-interval width (Eq 3).
+    pub ciw: f64,
+}
+
 /// The MetricsDump answer: a merged snapshot of the server's private
 /// registry and the process-global one (assess/search instruments),
 /// plus up to `journal_tail` of the newest journal events.
@@ -396,6 +435,9 @@ pub enum Response {
     },
     /// Instrument snapshot + journal tail.
     Metrics(MetricsResponse),
+    /// A mid-stream running estimate; only appears between an
+    /// AssessStream request and its final [`Response::Assess`].
+    Partial(PartialResponse),
 }
 
 fn put_header(w: &mut ByteWriter, kind: u8) {
@@ -630,6 +672,25 @@ impl Request {
                 w.put_u32_le(*journal_tail);
                 w.freeze()
             }
+            Request::AssessStream { req: a, cadence } => {
+                let mut w = ByteWriter::with_capacity(
+                    HEADER_LEN + 1 + 4 + 8 + 4 + 4 + host_lists_len(&a.assignments) + 4,
+                );
+                put_header(&mut w, 0x08);
+                w.put_u8(a.preset.tag());
+                w.put_u32_le(a.rounds);
+                w.put_u64_le(a.seed);
+                w.put_u32_le(a.k);
+                w.put_u32_le(a.n);
+                put_host_lists(&mut w, &a.assignments);
+                w.put_u32_le(*cadence);
+                w.freeze()
+            }
+            Request::AssessCancel => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN);
+                put_header(&mut w, 0x09);
+                w.freeze()
+            }
         }
     }
 
@@ -669,6 +730,18 @@ impl Request {
             0x07 => {
                 Request::MetricsDump { journal_tail: r.get_u32_le().ok_or(ProtoError::Truncated)? }
             }
+            0x08 => Request::AssessStream {
+                req: AssessRequest {
+                    preset: Preset::from_tag(r.get_u8().ok_or(ProtoError::Truncated)?)?,
+                    rounds: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                    seed: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                    k: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                    n: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                    assignments: get_host_lists(&mut r)?,
+                },
+                cadence: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+            },
+            0x09 => Request::AssessCancel,
             other => return Err(ProtoError::BadKind(other)),
         };
         finish(&r)?;
@@ -765,6 +838,15 @@ impl Response {
                 put_metrics(&mut w, m);
                 w.freeze()
             }
+            Response::Partial(p) => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 8 + 8 + 8 + 8);
+                put_header(&mut w, 0x8A);
+                w.put_u64_le(p.rounds_done);
+                w.put_u64_le(p.rounds_total);
+                w.put_f64_le(p.score);
+                w.put_f64_le(p.ciw);
+                w.freeze()
+            }
         }
     }
 
@@ -833,6 +915,12 @@ impl Response {
                 Response::ShutdownAck { completed: r.get_u64_le().ok_or(ProtoError::Truncated)? }
             }
             0x89 => Response::Metrics(get_metrics(&mut r)?),
+            0x8A => Response::Partial(PartialResponse {
+                rounds_done: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                rounds_total: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                score: r.get_f64_le().ok_or(ProtoError::Truncated)?,
+                ciw: r.get_f64_le().ok_or(ProtoError::Truncated)?,
+            }),
             other => return Err(ProtoError::BadKind(other)),
         };
         finish(&r)?;
@@ -888,19 +976,29 @@ pub fn validate_shape(req: &Request) -> Result<(), String> {
         }
         Ok(())
     };
-    match req {
-        Request::Ping { .. } | Request::Stats | Request::Shutdown | Request::MetricsDump { .. } => {
-            Ok(())
+    let check_assess = |a: &AssessRequest| -> Result<(), String> {
+        check_spec(a.k, a.n, a.rounds)?;
+        if a.assignments.is_empty() || a.assignments.len() > MAX_LAYERS as usize {
+            return Err(format!("need 1..={MAX_LAYERS} layers (got {})", a.assignments.len()));
         }
-        Request::AssessPlan(a) => {
-            check_spec(a.k, a.n, a.rounds)?;
-            if a.assignments.is_empty() || a.assignments.len() > MAX_LAYERS as usize {
-                return Err(format!("need 1..={MAX_LAYERS} layers (got {})", a.assignments.len()));
+        for (i, layer) in a.assignments.iter().enumerate() {
+            if layer.len() != a.n as usize {
+                return Err(format!("layer {i} assigns {} hosts but n={}", layer.len(), a.n));
             }
-            for (i, layer) in a.assignments.iter().enumerate() {
-                if layer.len() != a.n as usize {
-                    return Err(format!("layer {i} assigns {} hosts but n={}", layer.len(), a.n));
-                }
+        }
+        Ok(())
+    };
+    match req {
+        Request::Ping { .. }
+        | Request::Stats
+        | Request::Shutdown
+        | Request::MetricsDump { .. }
+        | Request::AssessCancel => Ok(()),
+        Request::AssessPlan(a) => check_assess(a),
+        Request::AssessStream { req: a, cadence } => {
+            check_assess(a)?;
+            if *cadence == 0 {
+                return Err("stream cadence must be at least 1 chunk".to_string());
             }
             Ok(())
         }
@@ -966,6 +1064,18 @@ mod tests {
             Request::Shutdown,
             Request::MetricsDump { journal_tail: 0 },
             Request::MetricsDump { journal_tail: 256 },
+            Request::AssessStream {
+                req: AssessRequest {
+                    preset: Preset::Tiny,
+                    rounds: 50_000,
+                    seed: 11,
+                    k: 2,
+                    n: 3,
+                    assignments: vec![vec![72, 73, 74]],
+                },
+                cadence: 4,
+            },
+            Request::AssessCancel,
         ]
     }
 
@@ -1044,6 +1154,12 @@ mod tests {
             Response::ShutdownAck { completed: 314 },
             Response::Metrics(sample_metrics()),
             Response::Metrics(MetricsResponse::default()),
+            Response::Partial(PartialResponse {
+                rounds_done: 5_040,
+                rounds_total: 50_400,
+                score: 0.991_5,
+                ciw: 0.012_3,
+            }),
         ]
     }
 
@@ -1205,6 +1321,17 @@ mod tests {
             plans: vec![],
         });
         assert!(validate_shape(&empty_compare).unwrap_err().contains("candidate plans"));
+        // Streaming: the AssessPlan rules carry over and cadence 0 is out.
+        let Request::AssessPlan(a) = ok else { unreachable!() };
+        let stream = Request::AssessStream { req: a.clone(), cadence: 1 };
+        assert!(validate_shape(&stream).is_ok());
+        let bad_cadence = Request::AssessStream { req: a.clone(), cadence: 0 };
+        assert!(validate_shape(&bad_cadence).unwrap_err().contains("cadence"));
+        let mut bad_k = a;
+        bad_k.k = 3;
+        let bad_stream = Request::AssessStream { req: bad_k, cadence: 1 };
+        assert!(validate_shape(&bad_stream).unwrap_err().contains("k <= n"));
+        assert!(validate_shape(&Request::AssessCancel).is_ok());
     }
 
     /// Satellite: the deprecated Stats frame and its MetricsDump

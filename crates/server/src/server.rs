@@ -31,8 +31,8 @@
 use crate::cache::ResultCache;
 use crate::engine::{build_plan, shape_for, spec_for, EnginePool};
 use crate::protocol::{
-    self, validate_shape, AssessRequest, CompareRequest, ErrorCode, MetricsResponse, Request,
-    Response, SearchRequest, StatsResponse, MAX_FRAME_LEN,
+    self, validate_shape, AssessRequest, CompareRequest, ErrorCode, MetricsResponse,
+    PartialResponse, Request, Response, SearchRequest, StatsResponse, MAX_FRAME_LEN,
 };
 use recloud::sync::{self, Receiver, Sender};
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
@@ -99,8 +99,11 @@ struct Counters {
 }
 
 /// Request kinds that get their own latency histogram. `Shutdown` is
-/// excluded — its "latency" is the drain, not a serving cost.
-const LATENCY_KINDS: [&str; 6] = ["ping", "assess", "search", "compare", "stats", "metrics"];
+/// excluded — its "latency" is the drain, not a serving cost — and so is
+/// `AssessCancel`, which has no reply frame. A `stream` sample is the
+/// whole exchange, first partial to final frame.
+const LATENCY_KINDS: [&str; 7] =
+    ["ping", "assess", "search", "compare", "stats", "metrics", "stream"];
 
 /// Per-server observability handles, backed by a private
 /// [`Registry`] so concurrent servers (and tests) see isolated,
@@ -116,12 +119,18 @@ struct ServerInstruments {
     busy_rejections: Arc<Counter>,
     decode_errors: Arc<Counter>,
     queue_depth: Arc<Gauge>,
+    /// Streams whose drive was cancelled before every chunk ran (client
+    /// cancel, client hangup, or shutdown).
+    stream_cancelled: Arc<Counter>,
     /// Wall-clock per served request, admission wait included, indexed
     /// like [`LATENCY_KINDS`].
     latency: [Arc<Histogram>; LATENCY_KINDS.len()],
     /// Journal event emitted when a connection closes: `v0` = frames
     /// decoded on it, `v1` = decode errors it produced.
     conn_close: KindId,
+    /// Journal event emitted when a stream's drive is cancelled: `v0` =
+    /// rounds done, `v1` = rounds the cancel saved.
+    stream_cancel: KindId,
 }
 
 impl ServerInstruments {
@@ -130,6 +139,7 @@ impl ServerInstruments {
         let latency =
             LATENCY_KINDS.map(|kind| registry.histogram(&format!("server.latency_us.{kind}")));
         let conn_close = registry.journal().kind_id("conn.close");
+        let stream_cancel = registry.journal().kind_id("stream.cancel");
         ServerInstruments {
             requests_total: registry.counter("server.requests_total"),
             cache_hits: registry.counter("server.cache_hits_total"),
@@ -138,8 +148,10 @@ impl ServerInstruments {
             busy_rejections: registry.counter("server.busy_total"),
             decode_errors: registry.counter("server.decode_errors_total"),
             queue_depth: registry.gauge("server.queue_depth"),
+            stream_cancelled: registry.counter("server.stream_cancelled_total"),
             latency,
             conn_close,
+            stream_cancel,
             registry,
         }
     }
@@ -154,15 +166,35 @@ impl ServerInstruments {
             Request::ComparePlans(_) => Some(3),
             Request::Stats => Some(4),
             Request::MetricsDump { .. } => Some(5),
-            Request::Shutdown => None,
+            Request::AssessStream { .. } => Some(6),
+            Request::Shutdown | Request::AssessCancel => None,
         }
     }
 }
 
 enum JobKind {
-    Assess { req: AssessRequest, spec: ApplicationSpec, plan: DeploymentPlan, key: u128 },
+    Assess {
+        req: AssessRequest,
+        spec: ApplicationSpec,
+        plan: DeploymentPlan,
+        key: u128,
+    },
     Search(SearchRequest),
-    Compare { req: CompareRequest, spec: ApplicationSpec, plans: Vec<DeploymentPlan> },
+    Compare {
+        req: CompareRequest,
+        spec: ApplicationSpec,
+        plans: Vec<DeploymentPlan>,
+    },
+    StreamAssess {
+        req: AssessRequest,
+        cadence: u32,
+        spec: ApplicationSpec,
+        plan: DeploymentPlan,
+        key: u128,
+        /// Shared with the connection thread; the engine checks it
+        /// between chunks and stops feeding once set.
+        cancel: Arc<AtomicBool>,
+    },
 }
 
 struct Job {
@@ -313,6 +345,42 @@ impl Server {
                     Ok(resp) => Response::Compare(resp),
                     Err(message) => Response::Error { code: ErrorCode::Invalid, message },
                 },
+                JobKind::StreamAssess { req, cadence, spec, plan, key, cancel } => {
+                    let reply = &job.reply;
+                    let streamed =
+                        pool.assess_streaming(req, spec, plan, *cadence, cancel, &mut |p| {
+                            let _ = reply.send(Response::Partial(PartialResponse {
+                                rounds_done: p.rounds_done,
+                                rounds_total: p.rounds_total,
+                                score: p.r,
+                                ciw: p.ciw,
+                            }));
+                        });
+                    match streamed {
+                        Ok((resp, completed)) => {
+                            if completed {
+                                if self.cache.lock().unwrap().insert(*key, resp).is_some() {
+                                    self.obs.cache_evictions.inc();
+                                }
+                            } else {
+                                // A cancelled drive covers fewer rounds
+                                // than `key` declares — caching it would
+                                // poison every future full-rounds lookup,
+                                // so the partial result stays out.
+                                self.obs.stream_cancelled.inc();
+                                self.obs.registry.journal().record(
+                                    self.obs.stream_cancel,
+                                    resp.rounds,
+                                    (req.rounds as u64).saturating_sub(resp.rounds),
+                                    0.0,
+                                    0.0,
+                                );
+                            }
+                            Response::Assess(resp)
+                        }
+                        Err(message) => Response::Error { code: ErrorCode::Invalid, message },
+                    }
+                }
             };
             if !matches!(response, Response::Error { .. }) {
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -401,21 +469,10 @@ impl Server {
                 return false;
             }
             Request::AssessPlan(req) => {
-                let spec = spec_for(req.k, req.n, req.assignments.len());
-                let plan = match build_plan(&spec, &req.assignments) {
-                    Ok(plan) => plan,
-                    Err(message) => {
-                        return self
-                            .reply(stream, &Response::Error { code: ErrorCode::Invalid, message });
-                    }
+                let (spec, plan, key) = match prepare_assess(&req) {
+                    Ok(parts) => parts,
+                    Err(response) => return self.reply(stream, &response),
                 };
-                let key = assessment_key(
-                    req.preset.tag(),
-                    &shape_for(req.k, req.n, req.assignments.len()),
-                    &plan,
-                    req.rounds as u64,
-                    req.seed,
-                );
                 if let Some(hit) = self.cache.lock().unwrap().get(key) {
                     self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                     self.obs.cache_hits.inc();
@@ -426,6 +483,31 @@ impl Server {
                 self.obs.cache_misses.inc();
                 JobKind::Assess { req, spec, plan, key }
             }
+            Request::AssessStream { req, cadence } => {
+                let (spec, plan, key) = match prepare_assess(&req) {
+                    Ok(parts) => parts,
+                    Err(response) => return self.reply(stream, &response),
+                };
+                if let Some(hit) = self.cache.lock().unwrap().get(key) {
+                    self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.obs.cache_hits.inc();
+                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    // A degenerate stream: the cached final frame with no
+                    // partials — the answer is already known in full.
+                    return self.reply(stream, &Response::Assess(hit));
+                }
+                self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                self.obs.cache_misses.inc();
+                let cancel = Arc::new(AtomicBool::new(false));
+                let kind =
+                    JobKind::StreamAssess { req, cadence, spec, plan, key, cancel: cancel.clone() };
+                return self.dispatch_streaming(kind, stream, job_tx, &cancel);
+            }
+            // A cancel with no stream in flight on this connection: the
+            // race it guards against (final frame already sent when the
+            // client decided to stop) makes it inherently best-effort, so
+            // it is a silent no-op with no response frame.
+            Request::AssessCancel => return true,
             Request::SearchPlacement(req) => JobKind::Search(req),
             Request::ComparePlans(req) => {
                 let spec = spec_for(req.k, req.n, 1);
@@ -447,8 +529,15 @@ impl Server {
         self.dispatch(kind, stream, job_tx)
     }
 
-    /// Admission control + enqueue + blocking wait for the worker reply.
-    fn dispatch(&self, kind: JobKind, stream: &mut TcpStream, job_tx: &Sender<Job>) -> bool {
+    /// Admission control: wins a compare-exchange on the queue depth or
+    /// answers `Busy`. Returns the reply receiver once the job is queued,
+    /// or the keep-connection verdict of the rejection/failure reply.
+    fn enqueue(
+        &self,
+        kind: JobKind,
+        stream: &mut TcpStream,
+        job_tx: &Sender<Job>,
+    ) -> Result<Receiver<Response>, bool> {
         let capacity = self.config.queue_capacity;
         let admitted = self
             .depth
@@ -465,26 +554,35 @@ impl Server {
         } else {
             self.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
             self.obs.busy_rejections.inc();
-            return self.reply(
+            return Err(self.reply(
                 stream,
                 &Response::Busy {
                     queued: self.depth.load(Ordering::Relaxed) as u32,
                     capacity: capacity as u32,
                 },
-            );
+            ));
         }
         let (reply_tx, reply_rx) = sync::channel::<Response>();
         if job_tx.send(Job { kind, reply: reply_tx }).is_err() {
             self.depth.fetch_sub(1, Ordering::AcqRel);
             self.obs.queue_depth.add(-1);
-            return self.reply(
+            return Err(self.reply(
                 stream,
                 &Response::Error {
                     code: ErrorCode::Internal,
                     message: "worker pool is gone".into(),
                 },
-            );
+            ));
         }
+        Ok(reply_rx)
+    }
+
+    /// Admission control + enqueue + blocking wait for the worker reply.
+    fn dispatch(&self, kind: JobKind, stream: &mut TcpStream, job_tx: &Sender<Job>) -> bool {
+        let reply_rx = match self.enqueue(kind, stream, job_tx) {
+            Ok(rx) => rx,
+            Err(keep) => return keep,
+        };
         match reply_rx.recv() {
             Ok(response) => self.reply(stream, &response),
             Err(_) => self.reply(
@@ -494,6 +592,127 @@ impl Server {
                     message: "worker dropped the job".into(),
                 },
             ),
+        }
+    }
+
+    /// Streaming dispatch: same admission as [`Server::dispatch`], then a
+    /// multiplexed wait — worker partials forward to the client as chunks
+    /// are fed, while the socket is polled for a mid-stream
+    /// `AssessCancel`. The worker always produces a final non-partial
+    /// frame (cancelled drives answer over the rounds done so far), so
+    /// this loop always terminates by draining to it.
+    fn dispatch_streaming(
+        &self,
+        kind: JobKind,
+        stream: &mut TcpStream,
+        job_tx: &Sender<Job>,
+        cancel: &AtomicBool,
+    ) -> bool {
+        let reply_rx = match self.enqueue(kind, stream, job_tx) {
+            Ok(rx) => rx,
+            Err(keep) => return keep,
+        };
+        let mut inbound: Vec<u8> = Vec::new();
+        let mut scratch = [0u8; 1024];
+        let mut writable = true; // client socket still accepts frames
+        let mut peer_open = true; // client socket still produces bytes
+        let outcome = loop {
+            // Opportunistic cancel poll: flip the socket non-blocking for
+            // one read, then back, so partial-frame *writes* below stay
+            // blocking (a slow reader must not look like a gone one). An
+            // SO_RCVTIMEO-based poll would add its timer granularity to
+            // every forwarded partial; this costs two fcntls instead.
+            if peer_open {
+                let _ = stream.set_nonblocking(true);
+                let polled = stream.read(&mut scratch);
+                let _ = stream.set_nonblocking(false);
+                match polled {
+                    Ok(0) => {
+                        peer_open = false;
+                        writable = false;
+                        cancel.store(true, Ordering::Release);
+                    }
+                    Ok(n) => {
+                        inbound.extend_from_slice(&scratch[..n]);
+                        loop {
+                            match take_frame(&mut inbound) {
+                                TakenFrame::Incomplete => break,
+                                TakenFrame::Oversized => {
+                                    self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                    self.obs.decode_errors.inc();
+                                    peer_open = false;
+                                    writable = false;
+                                    cancel.store(true, Ordering::Release);
+                                    break;
+                                }
+                                TakenFrame::Frame(payload) => {
+                                    self.counters.received.fetch_add(1, Ordering::Relaxed);
+                                    self.obs.requests_total.inc();
+                                    match Request::decode(payload.into()) {
+                                        Ok(Request::AssessCancel) => {
+                                            cancel.store(true, Ordering::Release);
+                                        }
+                                        // Only AssessCancel is defined
+                                        // mid-stream; anything else is a
+                                        // protocol error that also stops
+                                        // the drive.
+                                        _ => {
+                                            self.counters
+                                                .protocol_errors
+                                                .fetch_add(1, Ordering::Relaxed);
+                                            self.obs.decode_errors.inc();
+                                            peer_open = false;
+                                            writable = false;
+                                            cancel.store(true, Ordering::Release);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut
+                            || e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        peer_open = false;
+                        writable = false;
+                        cancel.store(true, Ordering::Release);
+                    }
+                }
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                cancel.store(true, Ordering::Release);
+            }
+            // Block on the worker's reply channel: partials forward the
+            // instant they are produced, and the 1 ms timeout only bounds
+            // how stale the cancel/shutdown poll above can get.
+            match reply_rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(Response::Partial(p)) => {
+                    if writable && !self.reply(stream, &Response::Partial(p)) {
+                        // Client gone: cancel the drive, keep draining so
+                        // the worker finishes cleanly.
+                        writable = false;
+                        cancel.store(true, Ordering::Release);
+                    }
+                }
+                Ok(response) => break Some(response),
+                Err(sync::RecvTimeoutError::Timeout) => {}
+                Err(sync::RecvTimeoutError::Disconnected) => break None,
+            }
+        };
+        match outcome {
+            Some(response) => writable && self.reply(stream, &response),
+            None => {
+                writable
+                    && self.reply(
+                        stream,
+                        &Response::Error {
+                            code: ErrorCode::Internal,
+                            message: "worker dropped the job".into(),
+                        },
+                    )
+            }
         }
     }
 
@@ -551,6 +770,50 @@ impl Server {
         }
         ReadExact::Done
     }
+}
+
+/// Spec, plan and cache key for an assess-family request; `Err` carries
+/// the ready-to-send Invalid response.
+fn prepare_assess(
+    req: &AssessRequest,
+) -> Result<(ApplicationSpec, DeploymentPlan, u128), Response> {
+    let spec = spec_for(req.k, req.n, req.assignments.len());
+    let plan = build_plan(&spec, &req.assignments)
+        .map_err(|message| Response::Error { code: ErrorCode::Invalid, message })?;
+    let key = assessment_key(
+        req.preset.tag(),
+        &shape_for(req.k, req.n, req.assignments.len()),
+        &plan,
+        req.rounds as u64,
+        req.seed,
+    );
+    Ok((spec, plan, key))
+}
+
+enum TakenFrame {
+    Frame(Vec<u8>),
+    Oversized,
+    Incomplete,
+}
+
+/// Extracts one complete length-prefixed frame from an incremental byte
+/// buffer. The mid-stream cancel path reads the socket with a short
+/// timeout, so frames arrive in arbitrary fragments and partial bytes
+/// stay buffered across polls.
+fn take_frame(buf: &mut Vec<u8>) -> TakenFrame {
+    if buf.len() < 4 {
+        return TakenFrame::Incomplete;
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return TakenFrame::Oversized;
+    }
+    if buf.len() < 4 + len {
+        return TakenFrame::Incomplete;
+    }
+    let payload = buf[4..4 + len].to_vec();
+    buf.drain(..4 + len);
+    TakenFrame::Frame(payload)
 }
 
 enum FrameRead {

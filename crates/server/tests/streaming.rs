@@ -1,0 +1,174 @@
+//! End-to-end tests for the RCS1 streaming mode over real TCP: partial
+//! frames are monotone, a full stream's final frame is byte-identical to
+//! the plain AssessPlan answer, a client-side early stop cancels the
+//! daemon's remaining work (observable in the journal and counters), and
+//! — the regression the cache invariant demands — an early-stopped
+//! stream never populates the result cache under the full-rounds key.
+
+use recloud_server::protocol::{AssessRequest, Preset, Response};
+use recloud_server::{Client, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::ops::ControlFlow;
+use std::thread::JoinHandle;
+
+struct Daemon {
+    addr: SocketAddr,
+    handle: JoinHandle<recloud_server::ServeSummary>,
+}
+
+fn start(config: ServerConfig) -> Daemon {
+    let server = Server::bind(("127.0.0.1", 0), config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    Daemon { addr, handle }
+}
+
+fn stop(daemon: Daemon, client: &mut Client) -> recloud_server::ServeSummary {
+    client.shutdown().expect("shutdown ack");
+    daemon.handle.join().expect("server thread exits cleanly")
+}
+
+fn tiny_request(rounds: u32, seed: u64) -> AssessRequest {
+    let t = Preset::Tiny.scale().build();
+    let hosts = t.hosts()[..3].iter().map(|h| h.index() as u32).collect();
+    AssessRequest { preset: Preset::Tiny, rounds, seed, k: 2, n: 3, assignments: vec![hosts] }
+}
+
+/// Acceptance criterion: a run-to-completion stream emits monotonically
+/// nondecreasing partials and ends with a final frame that is
+/// **byte-for-byte** the non-streamed AssessResponse for the same
+/// request (encoded as RCS1, so the comparison covers the whole frame).
+#[test]
+fn full_stream_matches_plain_assess_byte_for_byte() {
+    // Two daemons so the plain request cannot be served from the cache
+    // the streamed one populated (the `cached` flag would differ).
+    let stream_daemon = start(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let plain_daemon = start(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let mut stream_client = Client::connect(stream_daemon.addr).unwrap();
+    let mut plain_client = Client::connect(plain_daemon.addr).unwrap();
+
+    let request = tiny_request(9_000, 4_242);
+    let mut partials = Vec::new();
+    let (streamed, stopped) = stream_client
+        .assess_streaming(request.clone(), 1, |p| {
+            partials.push(*p);
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+    assert!(!stopped);
+    assert!(partials.len() >= 2, "9k rounds span several chunks at cadence 1");
+    for pair in partials.windows(2) {
+        assert!(
+            pair[1].rounds_done >= pair[0].rounds_done,
+            "rounds_done must be monotonically nondecreasing: {partials:?}"
+        );
+    }
+    let last = partials.last().unwrap();
+    assert_eq!(last.rounds_total, 9_000);
+    assert_eq!(streamed.rounds, 9_000, "full stream covers every requested round");
+
+    let plain = plain_client.assess(request).unwrap();
+    assert_eq!(
+        Response::Assess(streamed).encode().as_slice(),
+        Response::Assess(plain).encode().as_slice(),
+        "streamed final frame must be byte-identical to the plain answer"
+    );
+
+    stop(stream_daemon, &mut stream_client);
+    stop(plain_daemon, &mut plain_client);
+}
+
+/// Acceptance criterion: a client stopping at a target CIW completes
+/// with fewer rounds than requested, and the daemon measurably cancels
+/// the remaining work — `server.stream_cancelled_total` increments and a
+/// `stream.cancel` journal event records how many rounds were saved.
+///
+/// Regression (cache invariant): the early-stopped partial result must
+/// NOT be inserted under the full-rounds `assessment_key` — a plain
+/// repeat of the same request misses the cache and runs all rounds.
+#[test]
+fn early_stop_cancels_work_and_never_poisons_the_cache() {
+    let daemon = start(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let mut client = Client::connect(daemon.addr).unwrap();
+
+    let request = tiny_request(200_000, 77);
+    let mut partials = 0u64;
+    let (cut, stopped) = client
+        .assess_streaming(request.clone(), 1, |p| {
+            partials += 1;
+            if p.ciw <= 0.05 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+        .unwrap();
+    assert!(stopped, "the loose 0.05 CIW target is reached almost immediately");
+    assert!(partials >= 1);
+    assert!(cut.rounds > 0, "at least one chunk ran");
+    assert!(cut.rounds < 200_000, "cancel saved work: only {} rounds ran", cut.rounds);
+    assert!(!cut.cached);
+
+    // The worker journals the cancel before it sends the final frame,
+    // so the evidence is already visible.
+    let metrics = client.metrics(256).unwrap();
+    assert_eq!(metrics.snapshot.counter("server.stream_cancelled_total"), Some(1));
+    let event = metrics
+        .events
+        .iter()
+        .find(|e| e.kind == "stream.cancel")
+        .expect("journal records the cancel");
+    assert_eq!(event.v0, cut.rounds, "journal v0 is the rounds done");
+    assert_eq!(event.v1, 200_000 - cut.rounds, "journal v1 is the rounds saved");
+
+    // The poison check: the same full-rounds request must be a cache
+    // MISS (the partial result was not stored) and run to completion.
+    let full = client.assess(request).unwrap();
+    assert!(!full.cached, "early-stopped stream must not populate the cache");
+    assert_eq!(full.rounds, 200_000);
+    assert!(full.successes >= cut.successes);
+
+    stop(daemon, &mut client);
+}
+
+/// A stream whose answer is already cached degenerates cleanly: no
+/// partial frames, just the cached final — and the client reports no
+/// early stop.
+#[test]
+fn cached_stream_degenerates_to_the_final_frame() {
+    let daemon = start(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let mut client = Client::connect(daemon.addr).unwrap();
+
+    let request = tiny_request(2_000, 5);
+    let plain = client.assess(request.clone()).unwrap();
+    assert!(!plain.cached);
+
+    let mut partials = 0u64;
+    let (streamed, stopped) = client
+        .assess_streaming(request, 1, |_| {
+            partials += 1;
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+    assert!(!stopped);
+    assert_eq!(partials, 0, "a cache hit streams nothing");
+    assert!(streamed.cached);
+    assert_eq!(streamed.score.to_bits(), plain.score.to_bits());
+
+    stop(daemon, &mut client);
+}
+
+/// A stale AssessCancel (no stream in flight) is a silent no-op: the
+/// connection stays usable and no response frame is emitted for it.
+#[test]
+fn stale_cancel_is_a_silent_noop() {
+    let daemon = start(ServerConfig::default());
+    let mut client = Client::connect(daemon.addr).unwrap();
+
+    client.cancel().unwrap();
+    // The next call still works and gets *its own* answer — nothing was
+    // queued up in response to the cancel.
+    assert_eq!(client.ping(99).unwrap(), 99);
+
+    stop(daemon, &mut client);
+}

@@ -63,6 +63,14 @@ target/release/recloud journal --tail 16 --addr "$ADDR" | grep -q '"kind"' \
   || { echo "metrics gate: journal returned no events"; kill "$SERVER_PID"; exit 1; }
 echo "metrics gate: instruments recorded real traffic"
 
+echo "== streaming smoke gate =="
+# The RCS1 streaming path against the live daemon: a run-to-completion
+# AssessStream whose final frame matches a cached plain replay, then a
+# large stream stopped early at a target CIW — the daemon must count the
+# cancel and journal the rounds it saved. Runs before the plain smoke,
+# whose last step shuts the daemon down.
+target/release/recloud loadgen --smoke --stream --addr "$ADDR"
+
 target/release/repro loadgen --smoke --addr "$ADDR"
 wait "$SERVER_PID"
 trap - EXIT

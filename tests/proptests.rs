@@ -268,6 +268,51 @@ fn batched_assessment_equals_scalar() {
     });
 }
 
+/// The resumable driver's chunk layout: sizes sum exactly to the round
+/// count, chunk ids are dense and unique, only the tail chunk may be
+/// short, and `chunk_seed` never collides across (master, chunk) pairs —
+/// the invariants that make any chunk-to-executor mapping (serial loop,
+/// worker pool, streamed daemon) produce one identical result list.
+#[test]
+fn chunk_layout_and_seed_invariants() {
+    let t = FatTreeParams::new(4).build();
+    let model = FaultModel::paper_default(&t, 3);
+    let assessor = Assessor::new(&t, model);
+    forall("chunk layout and seed invariants", |g| {
+        let rounds = g.usize_in(1..30_000);
+        let layout = assessor.chunk_layout(rounds);
+        prop_assert!(!layout.is_empty());
+        let total: usize = layout.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(total, rounds, "chunk sizes must sum to the request");
+        for (i, &(id, n)) in layout.iter().enumerate() {
+            prop_assert_eq!(id as usize, i, "chunk ids must be dense 0..len");
+            prop_assert!(n > 0, "layout contains an empty chunk");
+            if i + 1 < layout.len() {
+                prop_assert_eq!(n, layout[0].1, "only the tail chunk may be short");
+            }
+            prop_assert!(n <= layout[0].1, "no chunk exceeds the scratch width");
+        }
+        // Seed injectivity over several random masters and every chunk id
+        // in the layout: a collision would make two chunks (or two runs)
+        // replay the same failure stream.
+        let masters = [g.any_u64(), g.any_u64(), g.any_u64()];
+        let mut seen = std::collections::HashMap::new();
+        for &master in &masters {
+            for &(id, _) in &layout {
+                let seed = Assessor::chunk_seed(master, id);
+                if let Some(prev) = seen.insert(seed, (master, id)) {
+                    prop_assert!(
+                        prev == (master, id),
+                        "chunk_seed collision: {prev:?} vs {:?}",
+                        (master, id)
+                    );
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
 /// Deployment plans stay valid through arbitrary chains of neighbor moves.
 #[test]
 fn neighbor_moves_preserve_plan_validity() {
