@@ -8,16 +8,17 @@
 //!
 //! Subcommands: `table2`, `fig7` … `fig12`, `ablation-delta`,
 //! `ablation-schedule`, `ablation-symmetry`, `ablation-fault-trees`,
-//! `bench-assess`, `all`. Flags: `--quick` (small scales/rounds),
-//! `--paper-times` (restore the 3–300 s Figure 9 budgets), `--seed <n>`,
-//! `--json <path>` (bench-assess: also write a machine-readable snapshot).
+//! `bench-assess`, `bench-serve`, `bench-search`, `all`. Flags:
+//! `--quick` (small scales/rounds), `--paper-times` (restore the
+//! 3–300 s Figure 9 budgets), `--seed <n>`, `--json <path>` (the bench
+//! subcommands: also write a machine-readable snapshot).
 
 use recloud_bench::figures::{self, ReproOptions};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: repro <table2|fig7|fig8|fig9|fig10|fig11|fig12|\
 ablation-delta|ablation-schedule|ablation-symmetry|ablation-fault-trees|\
-bench-assess|bench-serve|loadgen|all> [--quick] [--paper-times] [--seed <n>] \
+bench-assess|bench-serve|bench-search|loadgen|all> [--quick] [--paper-times] [--seed <n>] \
 [--json <path>] [--addr <host:port>] [--smoke]";
 
 fn main() -> ExitCode {
@@ -81,6 +82,7 @@ fn main() -> ExitCode {
         "ablation-fault-trees" => figures::ablation_fault_trees(&opts),
         "bench-assess" => figures::bench_assess(&opts, json.as_deref()),
         "bench-serve" => figures::bench_serve(&opts, json.as_deref()),
+        "bench-search" => figures::bench_search(&opts, json.as_deref()),
         "loadgen" => {
             if smoke {
                 match recloud_server::smoke(&addr) {

@@ -811,6 +811,200 @@ fn serve_bench_json(
     s
 }
 
+/// One chain-count group of the parallel-search benchmark.
+pub struct SearchBenchGroup {
+    /// Population size.
+    pub chains: usize,
+    /// Plans assessed across the whole population.
+    pub plans: u64,
+    /// Plans assessed per wall-clock second.
+    pub plans_per_sec: f64,
+    /// Best reliability the population reached.
+    pub best_reliability: f64,
+    /// Wall-clock of the whole search.
+    pub elapsed: Duration,
+}
+
+/// Exchange-overhead measurement: the same deterministic iteration
+/// budget run with best-plan exchange on (the default cadence) and off
+/// (`exchange_every = 0`, independent restarts). The difference is the
+/// pure cost of the coordinator rendezvous.
+pub struct ExchangeOverhead {
+    /// Population size of both runs.
+    pub chains: usize,
+    /// Per-chain iteration budget of both runs.
+    pub iters: usize,
+    /// Wall-clock with the default exchange cadence.
+    pub with_exchange: Duration,
+    /// Wall-clock with exchange disabled.
+    pub without_exchange: Duration,
+}
+
+impl ExchangeOverhead {
+    /// Rendezvous cost, percent of the exchange-free wall-clock. Noise
+    /// can push the raw value slightly negative; that clamps to 0.
+    pub fn overhead_pct(&self) -> f64 {
+        let base = self.without_exchange.as_secs_f64().max(1e-12);
+        (100.0 * (self.with_exchange.as_secs_f64() - base) / base).max(0.0)
+    }
+}
+
+/// Bench: the population-based parallel annealer — plans assessed per
+/// second at 1/2/4 chains under the same wall-clock budget, plus the
+/// best-plan-exchange overhead at a fixed iteration budget. Prints a
+/// table and, with `json`, writes `BENCH_search.json`. The 1→4 chain
+/// scaling target (≥ 3×) needs ≥ 4 hardware threads; the recorded
+/// available parallelism makes the snapshot interpretable either way
+/// (same posture as Fig 12, see DESIGN.md).
+pub fn bench_search(opts: &ReproOptions, json: Option<&str>) {
+    use recloud_search::{ParallelSearchConfig, ParallelSearcher};
+    head("Bench: population-based parallel annealing, plans/s by chain count");
+    let rounds = if opts.quick { 1_000 } else { 2_000 };
+    let budget_ms: u64 = if opts.quick { 250 } else { 1_000 };
+    let spec_label = "2-of-3";
+    let spec = ApplicationSpec::k_of_n(2, 3);
+    let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (topo, model) = paper_env(Scale::Tiny, opts.seed);
+    println!(
+        "preset: Tiny, spec: {spec_label}, rounds: {rounds}, budget: {budget_ms} ms, \
+         available parallelism: {parallelism}"
+    );
+
+    let mut groups: Vec<SearchBenchGroup> = Vec::new();
+    for chains in [1usize, 2, 4] {
+        let searcher = ParallelSearcher::new(&topo, model.clone());
+        let base = SearchConfig {
+            budget: SearchBudget::WallClock(Duration::from_millis(budget_ms)),
+            rounds,
+            ..SearchConfig::paper_default(opts.seed)
+        };
+        let config = ParallelSearchConfig::new(chains, base);
+        let outcome = searcher.search(&spec, &ReliabilityObjective, &config, None, None);
+        groups.push(SearchBenchGroup {
+            chains,
+            plans: outcome.combined.plans_assessed as u64,
+            plans_per_sec: outcome.combined.plans_assessed as f64
+                / outcome.elapsed.as_secs_f64().max(1e-9),
+            best_reliability: outcome.best.best_reliability,
+            elapsed: outcome.elapsed,
+        });
+    }
+    let mut t = TextTable::new(vec!["chains", "plans", "plans/s", "best R", "elapsed", "vs 1"]);
+    for g in &groups {
+        t.row(vec![
+            g.chains.to_string(),
+            g.plans.to_string(),
+            format!("{:.0}", g.plans_per_sec),
+            format!("{:.5}", g.best_reliability),
+            fmt_ms(g.elapsed.as_secs_f64() * 1e3),
+            format!("{:.2}x", g.plans as f64 / groups[0].plans.max(1) as f64),
+        ]);
+    }
+    t.print();
+    let scaling = groups.last().unwrap().plans as f64 / groups[0].plans.max(1) as f64;
+    println!(
+        "4-chain over 1-chain plans: {scaling:.2}x (the >= 3x target needs >= 4 hardware \
+         threads; this machine has {parallelism})"
+    );
+
+    // Exchange overhead: identical deterministic budgets, rendezvous on
+    // vs off; the minimum of a few runs filters scheduler interference.
+    let iters = if opts.quick { 150 } else { 400 };
+    let exchange_samples = if opts.quick { 2 } else { 3 };
+    let time_exchange = |exchange_every: usize| {
+        let searcher = ParallelSearcher::new(&topo, model.clone());
+        let base = SearchConfig {
+            budget: SearchBudget::Iterations(iters),
+            rounds,
+            ..SearchConfig::paper_default(opts.seed)
+        };
+        let mut config = ParallelSearchConfig::new(4, base);
+        config.exchange_every = exchange_every;
+        (0..exchange_samples)
+            .map(|_| searcher.search(&spec, &ReliabilityObjective, &config, None, None).elapsed)
+            .min()
+            .unwrap()
+    };
+    let exchange = ExchangeOverhead {
+        chains: 4,
+        iters,
+        with_exchange: time_exchange(ParallelSearchConfig::DEFAULT_EXCHANGE_EVERY),
+        without_exchange: time_exchange(0),
+    };
+    println!(
+        "exchange overhead (4 chains, {iters} iters each): with {} vs without {} -> {:.1}%",
+        fmt_ms(exchange.with_exchange.as_secs_f64() * 1e3),
+        fmt_ms(exchange.without_exchange.as_secs_f64() * 1e3),
+        exchange.overhead_pct()
+    );
+
+    if let Some(path) = json {
+        let instruments = recloud_obs::global().snapshot();
+        let body = search_bench_json(
+            rounds,
+            spec_label,
+            budget_ms,
+            parallelism,
+            &groups,
+            scaling,
+            &exchange,
+            &instruments,
+        );
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+/// Hand-rolled JSON encoding of the parallel-search benchmark (shape
+/// pinned by a test, like `assess_bench_json`).
+#[allow(clippy::too_many_arguments)]
+fn search_bench_json(
+    rounds: usize,
+    spec: &str,
+    budget_ms: u64,
+    parallelism: usize,
+    groups: &[SearchBenchGroup],
+    scaling: f64,
+    exchange: &ExchangeOverhead,
+    instruments: &recloud_obs::MetricsSnapshot,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"search-parallel-annealing\",\n");
+    s.push_str("  \"preset\": \"Tiny\",\n");
+    s.push_str(&format!("  \"spec\": \"{spec}\",\n"));
+    s.push_str(&format!("  \"rounds\": {rounds},\n"));
+    s.push_str(&format!("  \"budget_ms\": {budget_ms},\n"));
+    s.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
+    s.push_str("  \"groups\": [\n");
+    for (i, g) in groups.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"chains\": {}, \"plans\": {}, \"plans_per_sec\": {:.1}, \
+             \"best_reliability\": {:.6}, \"elapsed_ms\": {:.1}}}{}\n",
+            g.chains,
+            g.plans,
+            g.plans_per_sec,
+            g.best_reliability,
+            g.elapsed.as_secs_f64() * 1e3,
+            if i + 1 < groups.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"scaling_4_over_1\": {scaling:.2},\n"));
+    s.push_str(&format!(
+        "  \"exchange\": {{\"chains\": {}, \"iters\": {}, \"with_exchange_ms\": {:.1}, \
+         \"without_exchange_ms\": {:.1}, \"overhead_pct\": {:.2}}},\n",
+        exchange.chains,
+        exchange.iters,
+        exchange.with_exchange.as_secs_f64() * 1e3,
+        exchange.without_exchange.as_secs_f64() * 1e3,
+        exchange.overhead_pct()
+    ));
+    s.push_str(&format!("  \"instruments\": {}\n", instruments.to_json()));
+    s.push_str("}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -857,6 +1051,64 @@ mod tests {
         }
         // Exactly one JSON object per group plus the two speedup/top objects.
         assert_eq!(body.matches("\"mode\"").count(), 2);
+    }
+
+    #[test]
+    fn search_bench_json_shape_is_stable() {
+        let groups = vec![
+            SearchBenchGroup {
+                chains: 1,
+                plans: 420,
+                plans_per_sec: 420.0,
+                best_reliability: 0.999_25,
+                elapsed: Duration::from_millis(1_000),
+            },
+            SearchBenchGroup {
+                chains: 4,
+                plans: 1_400,
+                plans_per_sec: 1_400.0,
+                best_reliability: 0.999_31,
+                elapsed: Duration::from_millis(1_000),
+            },
+        ];
+        let exchange = ExchangeOverhead {
+            chains: 4,
+            iters: 400,
+            with_exchange: Duration::from_millis(210),
+            without_exchange: Duration::from_millis(200),
+        };
+        let r = recloud_obs::Registry::new();
+        r.counter("search.plans_assessed_total").add(1_820);
+        let body =
+            search_bench_json(2_000, "2-of-3", 1_000, 4, &groups, 3.33, &exchange, &r.snapshot());
+        assert!(body.starts_with("{\n"));
+        assert!(body.ends_with("}\n"));
+        assert!(body.contains("\"benchmark\": \"search-parallel-annealing\""));
+        assert!(body.contains("\"available_parallelism\": 4"));
+        assert!(body.contains("\"chains\": 1, \"plans\": 420"));
+        assert!(body.contains("\"scaling_4_over_1\": 3.33"));
+        assert!(body.contains("\"with_exchange_ms\": 210.0"));
+        assert!(body.contains("\"overhead_pct\": 5.00"));
+        assert!(body.contains("\"search.plans_assessed_total\":1820"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                body.matches(open).count(),
+                body.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        assert_eq!(body.matches("\"chains\":").count(), 3, "two groups + the exchange block");
+    }
+
+    #[test]
+    fn exchange_overhead_clamps_noise_to_zero() {
+        let e = ExchangeOverhead {
+            chains: 4,
+            iters: 100,
+            with_exchange: Duration::from_millis(95),
+            without_exchange: Duration::from_millis(100),
+        };
+        assert_eq!(e.overhead_pct(), 0.0);
     }
 
     #[test]

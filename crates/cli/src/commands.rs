@@ -229,6 +229,16 @@ pub fn assess(p: &Parsed) -> Result<String, CliError> {
 
 /// `recloud search`.
 pub fn search(p: &Parsed) -> Result<String, CliError> {
+    if p.get("addr").is_some() {
+        return search_remote(p);
+    }
+    let workers = p.usize_or("workers", 1)?;
+    if workers == 0 {
+        return Err(CliError::Invalid("--workers must be at least 1".into()));
+    }
+    if workers > 1 || p.has("stream") {
+        return search_parallel(p, workers);
+    }
     let t = build_topology(p)?;
     let seed = p.u64_or("seed", 1)?;
     let rounds = p.usize_or("rounds", 10_000)?;
@@ -268,6 +278,150 @@ pub fn search(p: &Parsed) -> Result<String, CliError> {
         outcome.search_time,
         power_diversity(&t, &outcome.plan),
         t.power_supplies().len()
+    );
+    Ok(out)
+}
+
+/// `recloud search --workers N [--stream] [--iters I]` — the
+/// population-based parallel annealer, in process. `--iters` gives every
+/// chain a deterministic iteration budget (the answer becomes a pure
+/// function of seed/workers/iters); without it every chain runs the
+/// wall-clock `--budget-ms`. `--stream` renders each chain's best-plan
+/// improvements as trajectory lines.
+fn search_parallel(p: &Parsed, workers: usize) -> Result<String, CliError> {
+    use recloud::search::{
+        ChainEvent, HolisticObjective, Objective, ParallelSearchConfig, ParallelSearcher,
+        ReliabilityObjective, SearchBudget, SearchConfig,
+    };
+    let t = build_topology(p)?;
+    let seed = p.u64_or("seed", 1)?;
+    let rounds = p.usize_or("rounds", 10_000)?;
+    let iters = p.usize_or("iters", 0)?;
+    let (label, spec) = build_spec(p)?;
+    let budget = if iters > 0 {
+        SearchBudget::Iterations(iters)
+    } else {
+        SearchBudget::WallClock(Duration::from_millis(p.u64_or("budget-ms", 2_000)?))
+    };
+    let rules = if p.has("distinct-racks") {
+        PlacementRules::distinct_racks()
+    } else {
+        PlacementRules::none()
+    };
+    let base = SearchConfig { budget, rounds, rules, ..SearchConfig::paper_default(seed) };
+    let mut config = ParallelSearchConfig::new(workers, base);
+    config.exchange_every = p.usize_or("exchange-every", config.exchange_every)?;
+    let workload = p.has("multi-objective").then(|| WorkloadMap::paper_default(&t, seed));
+    let objective: Box<dyn Objective + Sync> = match &workload {
+        Some(w) => Box::new(HolisticObjective::new(0.5, 0.5, w.clone())),
+        None => Box::new(ReliabilityObjective),
+    };
+    let model = FaultModel::paper_default(&t, seed);
+    let searcher = ParallelSearcher::new(&t, model);
+
+    let events: std::sync::Mutex<Vec<ChainEvent>> = std::sync::Mutex::new(Vec::new());
+    let sink = |e: ChainEvent| events.lock().unwrap().push(e);
+    let on_event: Option<&(dyn Fn(ChainEvent) + Sync)> =
+        if p.has("stream") { Some(&sink) } else { None };
+    let outcome = searcher.search(&spec, objective.as_ref(), &config, workload.as_ref(), on_event);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "app: {label}{}; {workers} annealing chains (exchange every {} ticks)",
+        if p.has("multi-objective") { " (holistic objective)" } else { "" },
+        config.exchange_every,
+    );
+    if p.has("stream") {
+        let mut events = events.into_inner().unwrap();
+        events.sort_by(|a, b| (a.chain, a.iteration).cmp(&(b.chain, b.iteration)));
+        for e in &events {
+            let _ = writeln!(
+                out,
+                "  [chain {}] iter {:>6}  M {:.5}  R {:.5}  T {:.3}",
+                e.chain, e.iteration, e.measure, e.reliability, e.temperature
+            );
+        }
+    }
+    let best = &outcome.best;
+    for (i, &h) in best.best_plan.hosts_of(0).iter().enumerate() {
+        let _ = writeln!(out, "  instance {i}: {h} (pod {})", t.pod_of(h));
+    }
+    let _ = writeln!(
+        out,
+        "reliability {:.5} (± {:.1e}); chain {} won",
+        best.best_reliability, best.best_ciw95, outcome.winner
+    );
+    let _ = writeln!(
+        out,
+        "{} plans explored across {} chains in {:?}; power diversity {}/{}",
+        outcome.combined.plans_assessed,
+        workers,
+        outcome.elapsed,
+        power_diversity(&t, &best.best_plan),
+        t.power_supplies().len()
+    );
+    Ok(out)
+}
+
+/// `recloud search --addr HOST:PORT [--stream]` — run the parallel search
+/// on a live daemon over RCS1 `SearchStream`, rendering `SearchEvent`
+/// frames as they arrive.
+fn search_remote(p: &Parsed) -> Result<String, CliError> {
+    use recloud_server::protocol::{Preset, SearchRequest};
+    use recloud_server::Client;
+    let addr = p.str_or("addr", "127.0.0.1:7070");
+    if p.get("topology").is_some() {
+        return Err(CliError::Invalid(
+            "--addr serves preset scales only; --topology is a local-search flag".into(),
+        ));
+    }
+    let scale = p.str_or("scale", "tiny");
+    let preset = Preset::from_name(&scale).ok_or_else(|| CliError::BadValue {
+        flag: "scale".into(),
+        value: scale.clone(),
+        expected: "tiny|small|medium|large",
+    })?;
+    let workers = p.u32_or("workers", 2)?;
+    let iters = p.u32_or("iters", 0)?;
+    let request = SearchRequest {
+        preset,
+        rounds: p.u32_or("rounds", 10_000)?,
+        seed: p.u64_or("seed", 1)?,
+        k: p.u32_or("k", 4)?,
+        n: p.u32_or("n", 5)?,
+        budget_ms: p.u32_or("budget-ms", 2_000)?,
+    };
+    let mut client = Client::connect(&addr)
+        .map_err(|e| CliError::Invalid(format!("cannot connect to {addr}: {e}")))?;
+    client
+        .set_timeout(Some(Duration::from_secs(300)))
+        .map_err(|e| CliError::Invalid(format!("set timeout: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "app: {}-of-{} on {scale} preset at {addr}; {workers} chains",
+        request.k, request.n
+    );
+    let stream = p.has("stream");
+    let mut improvements = 0u64;
+    let resp = client
+        .search_streaming(request, workers, iters, |e| {
+            improvements += 1;
+            if stream {
+                let _ = writeln!(
+                    out,
+                    "  [chain {}] iter {:>6}  M {:.5}  R {:.5}  T {:.3}",
+                    e.chain, e.iteration, e.measure, e.reliability, e.temperature
+                );
+            }
+        })
+        .map_err(|e| CliError::Invalid(format!("search stream: {e}")))?;
+    let _ = writeln!(out, "  hosts: {:?}", resp.hosts);
+    let _ = writeln!(
+        out,
+        "reliability {:.5} (± {:.1e}); {} plans explored, {improvements} streamed improvements",
+        resp.reliability, resp.ciw95, resp.plans_assessed
     );
     Ok(out)
 }

@@ -87,6 +87,16 @@ ASSESS OPTIONS:
 
 SEARCH OPTIONS:
     --budget-ms <int>                   search budget (default: 2000)
+    --workers <int>                     parallel annealing chains (default: 1)
+    --iters <int>                       deterministic per-chain iteration budget;
+                                        overrides --budget-ms and makes the
+                                        answer a pure function of the flags
+    --exchange-every <int>              iterations between best-plan exchanges
+                                        (0 = independent restarts)
+    --stream                            print each chain's best-plan trajectory
+                                        (one line per streamed improvement)
+    --addr <host:port>                  run on a live daemon instead (RCS1
+                                        SearchStream; preset scales only)
     --multi-objective                   Eq 7 holistic measure (reliability+load)
     --distinct-racks                    placement rule: one instance per rack
 
@@ -199,6 +209,46 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("holistic"), "{out}");
+    }
+
+    #[test]
+    fn parallel_search_is_deterministic_and_streams_trajectories() {
+        let cmd = "search --scale tiny --k 2 --n 3 --rounds 400 --workers 3 --iters 25 --stream";
+        let a = run_str(cmd).unwrap();
+        let b = run_str(cmd).unwrap();
+        // Everything but the wall-clock elapsed (after " in ") is a pure
+        // function of (seed, workers, iters): trajectories, winner, plan.
+        let stable = |s: &str| {
+            s.lines().map(|l| l.split(" in ").next().unwrap().to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(stable(&a), stable(&b), "iteration budget makes the search reproducible");
+        assert!(a.contains("3 annealing chains"), "{a}");
+        assert!(a.contains("[chain "), "{a}");
+        assert!(a.contains("won"), "{a}");
+        assert!(a.contains("plans explored across 3 chains"), "{a}");
+    }
+
+    #[test]
+    fn parallel_search_supports_rules_and_holistic_objective() {
+        let out = run_str(
+            "search --scale tiny --k 1 --n 2 --rounds 300 --workers 2 --iters 15 \
+             --multi-objective --distinct-racks",
+        )
+        .unwrap();
+        assert!(out.contains("holistic"), "{out}");
+        assert!(out.contains("2 annealing chains"), "{out}");
+    }
+
+    #[test]
+    fn parallel_search_validates_workers() {
+        let err = run_str("search --scale tiny --workers 0").unwrap_err();
+        assert!(err.to_string().contains("workers"), "{err}");
+    }
+
+    #[test]
+    fn remote_search_rejects_generator_topologies() {
+        let err = run_str("search --addr 127.0.0.1:1 --topology bcube").unwrap_err();
+        assert!(err.to_string().contains("preset"), "{err}");
     }
 
     #[test]
@@ -371,6 +421,33 @@ mod serve_tests {
             journal_out.contains("\"kind\"") || journal_out.contains("journal is empty"),
             "{journal_out}"
         );
+
+        // Remote parallel search over RCS1 SearchStream: trajectory lines
+        // arrive as SearchEvent frames, the summary carries the final plan.
+        let search_argv: Vec<String> = [
+            "search",
+            "--addr",
+            &addr,
+            "--workers",
+            "2",
+            "--iters",
+            "20",
+            "--rounds",
+            "400",
+            "--k",
+            "2",
+            "--n",
+            "3",
+            "--stream",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let search_out = run(&search_argv).unwrap();
+        assert!(search_out.contains("2 chains"), "{search_out}");
+        assert!(search_out.contains("[chain "), "{search_out}");
+        assert!(search_out.contains("streamed improvements"), "{search_out}");
+        assert!(search_out.contains("hosts:"), "{search_out}");
 
         let loadgen_argv: Vec<String> =
             ["loadgen", "--smoke", "--addr", &addr].iter().map(|s| s.to_string()).collect();

@@ -67,6 +67,11 @@ pub struct SearchConfig {
     /// instead of sampling noise. Disable to get fully independent
     /// estimates per plan (the noisier textbook setup).
     pub common_random_numbers: bool,
+    /// Explicit seed for the shared CRN table; `None` derives it from
+    /// `seed`. Parallel chains set the same override so every chain
+    /// assesses against one table and their measures stay directly
+    /// comparable at exchange boundaries.
+    pub crn_seed: Option<u64>,
 }
 
 impl SearchConfig {
@@ -85,6 +90,7 @@ impl SearchConfig {
             max_neighbor_retries: 64,
             initial_plan: None,
             common_random_numbers: true,
+            crn_seed: None,
         }
     }
 
@@ -144,6 +150,52 @@ pub struct SearchOutcome {
     /// Total search time.
     pub elapsed: Duration,
 }
+
+/// A plan together with its assessed figures — what a chain reports at
+/// an exchange boundary and what it may be told to adopt in return.
+#[derive(Clone, Debug)]
+pub struct BestReport {
+    /// The plan.
+    pub plan: DeploymentPlan,
+    /// Its measure under the search objective.
+    pub measure: f64,
+    /// Its assessed reliability score.
+    pub reliability: f64,
+    /// 95% confidence-interval width of the reliability estimate.
+    pub ciw95: f64,
+}
+
+/// Hooks into a running search, invoked from inside the §3.3.1 loop.
+/// [`Searcher::search`] runs with a no-op driver; parallel chains use a
+/// driver that streams improvements out and rendezvouses with their
+/// sibling chains at exchange boundaries.
+pub trait SearchDriver {
+    /// Called on every strict improvement of the best measure, including
+    /// the initial plan's assessment, with the schedule's temperature at
+    /// that moment.
+    fn on_best(&mut self, _point: &TrajectoryPoint, _temperature: f64) {}
+
+    /// Clock ticks between exchange boundaries; 0 means no boundaries.
+    /// Must be constant for the lifetime of one search — every chain of
+    /// a parallel population counts ticks identically, so a constant
+    /// period is what keeps their rendezvous points aligned.
+    fn boundary_every(&self) -> usize {
+        0
+    }
+
+    /// Called whenever the clock crosses a boundary, with the chain's
+    /// current best. May return a plan (with its assessed figures) to
+    /// adopt; adoption replaces the *current* plan when better, and the
+    /// best as well when it beats that too.
+    fn at_boundary(&mut self, _best: &BestReport) -> Option<BestReport> {
+        None
+    }
+}
+
+/// The do-nothing driver behind the plain sequential search.
+pub struct NoDriver;
+
+impl SearchDriver for NoDriver {}
 
 /// Cached handles into the process-wide [`recloud_obs::global()`]
 /// registry plus pre-interned journal kinds. Registered once per
@@ -223,6 +275,21 @@ impl<'a> Searcher<'a> {
         config: &SearchConfig,
         workload: Option<&WorkloadMap>,
     ) -> SearchOutcome {
+        self.search_driven(spec, objective, config, workload, &mut NoDriver)
+    }
+
+    /// The §3.3.1 search with a [`SearchDriver`] tapped into the loop —
+    /// the substrate of both trajectory streaming and the parallel
+    /// chains' best-plan exchange. With [`NoDriver`] this is exactly
+    /// [`Searcher::search`].
+    pub fn search_driven(
+        &mut self,
+        spec: &ApplicationSpec,
+        objective: &dyn Objective,
+        config: &SearchConfig,
+        workload: Option<&WorkloadMap>,
+        driver: &mut dyn SearchDriver,
+    ) -> SearchOutcome {
         let mut rng = Rng::new(config.seed);
         let mut stats = SearchStats::default();
         let mut clock = BudgetClock::start(config.budget, config.schedule);
@@ -244,6 +311,7 @@ impl<'a> Searcher<'a> {
                     break p;
                 }
                 stats.rule_rejections += 1;
+                self.obs.rule_rejections.inc();
                 if stats.rule_rejections > 10_000 {
                     panic!("placement rules rejected 10k random plans; pool too constrained");
                 }
@@ -251,7 +319,7 @@ impl<'a> Searcher<'a> {
         };
 
         // Sampling seed policy: one shared table (CRN) or fresh draws.
-        let crn_seed = config.seed ^ 0xC0FF_EE00_D15E_A5E5;
+        let crn_seed = config.crn_seed.unwrap_or(config.seed ^ 0xC0FF_EE00_D15E_A5E5);
         let next_seed = |rng: &mut Rng| {
             if config.common_random_numbers {
                 crn_seed
@@ -286,9 +354,23 @@ impl<'a> Searcher<'a> {
             best_measure,
             clock.temperature(),
         );
+        driver.on_best(&trajectory[0], clock.temperature());
+
+        // A saturated pool (every distinct host already carries an
+        // instance) leaves no legal neighbor move: `neighbor` would
+        // panic hunting for an unused host. The only reachable plan is
+        // the initial one, so skip Steps 3-6 and return it as the
+        // outcome instead of crashing mid-search.
+        let distinct_hosts = {
+            let mut hosts = self.pool.clone();
+            hosts.sort_unstable();
+            hosts.dedup();
+            hosts.len()
+        };
+        let saturated = spec.total_instances() >= distinct_hosts;
 
         // Steps 3-6.
-        while !clock.exhausted() && best_measure < config.desired {
+        while !saturated && !clock.exhausted() && best_measure < config.desired {
             // Step 3: neighbor generation with rule/symmetry filtering.
             let mut candidate = None;
             for _ in 0..config.max_neighbor_retries {
@@ -313,66 +395,112 @@ impl<'a> Searcher<'a> {
                 candidate = Some(n);
                 break;
             }
-            let Some(neighbor) = candidate else {
+            if let Some(neighbor) = candidate {
+                // Step 4: assess the neighbor.
+                let seed = next_seed(&mut rng);
+                let a = self.assessor.assess(spec, &neighbor, config.rounds, seed);
+                stats.plans_assessed += 1;
+                self.obs.plans_assessed.inc();
+                clock.tick();
+                let n_rel = a.estimate.score;
+                let n_measure = objective.measure(&neighbor, n_rel);
+
+                // Step 5: accept or reject.
+                let accept = if n_measure >= cur_measure {
+                    true
+                } else {
+                    let delta = config.delta.delta(cur_measure, n_measure);
+                    let t = clock.temperature();
+                    let p = acceptance_probability(delta, t);
+                    let coin = rng.next_f64() < p;
+                    let journal = recloud_obs::global().journal();
+                    if coin {
+                        stats.worse_accepted += 1;
+                        self.obs.worse_accepted.inc();
+                        journal.record(self.obs.accept_kind, stats.plans_assessed as u64, 0, p, t);
+                    } else {
+                        stats.worse_rejected += 1;
+                        self.obs.worse_rejected.inc();
+                        journal.record(self.obs.reject_kind, stats.plans_assessed as u64, 0, p, t);
+                    }
+                    coin
+                };
+                if accept {
+                    current = neighbor;
+                    cur_rel = n_rel;
+                    cur_measure = n_measure;
+                    if cur_measure > best_measure {
+                        best_measure = cur_measure;
+                        best_rel = cur_rel;
+                        best_plan = current.clone();
+                        best_ciw = a.estimate.ciw95();
+                        let point = TrajectoryPoint {
+                            iteration: stats.plans_assessed,
+                            elapsed: clock.elapsed(),
+                            measure: best_measure,
+                            reliability: best_rel,
+                        };
+                        trajectory.push(point);
+                        self.obs.improvements.inc();
+                        recloud_obs::global().journal().record(
+                            self.obs.best_kind,
+                            stats.plans_assessed as u64,
+                            0,
+                            best_measure,
+                            clock.temperature(),
+                        );
+                        driver.on_best(&point, clock.temperature());
+                    }
+                }
+            } else {
                 // Everything nearby is equivalent or invalid; count the
                 // attempt against the budget and try again from the same
-                // current plan.
+                // current plan (after any boundary work below).
                 clock.tick();
-                continue;
-            };
+            }
 
-            // Step 4: assess the neighbor.
-            let seed = next_seed(&mut rng);
-            let a = self.assessor.assess(spec, &neighbor, config.rounds, seed);
-            stats.plans_assessed += 1;
-            self.obs.plans_assessed.inc();
-            clock.tick();
-            let n_rel = a.estimate.score;
-            let n_measure = objective.measure(&neighbor, n_rel);
-
-            // Step 5: accept or reject.
-            let accept = if n_measure >= cur_measure {
-                true
-            } else {
-                let delta = config.delta.delta(cur_measure, n_measure);
-                let t = clock.temperature();
-                let p = acceptance_probability(delta, t);
-                let coin = rng.next_f64() < p;
-                let journal = recloud_obs::global().journal();
-                if coin {
-                    stats.worse_accepted += 1;
-                    self.obs.worse_accepted.inc();
-                    journal.record(self.obs.accept_kind, stats.plans_assessed as u64, 0, p, t);
-                } else {
-                    stats.worse_rejected += 1;
-                    self.obs.worse_rejected.inc();
-                    journal.record(self.obs.reject_kind, stats.plans_assessed as u64, 0, p, t);
-                }
-                coin
-            };
-            if accept {
-                current = neighbor;
-                cur_rel = n_rel;
-                cur_measure = n_measure;
-                if cur_measure > best_measure {
-                    best_measure = cur_measure;
-                    best_rel = cur_rel;
-                    best_plan = current.clone();
-                    best_ciw = a.estimate.ciw95();
-                    trajectory.push(TrajectoryPoint {
-                        iteration: stats.plans_assessed,
-                        elapsed: clock.elapsed(),
-                        measure: best_measure,
-                        reliability: best_rel,
-                    });
-                    self.obs.improvements.inc();
-                    recloud_obs::global().journal().record(
-                        self.obs.best_kind,
-                        stats.plans_assessed as u64,
-                        0,
-                        best_measure,
-                        clock.temperature(),
-                    );
+            // Exchange boundary: every chain ticks its clock exactly once
+            // per loop pass, so equal budgets cross the same boundaries —
+            // the alignment the parallel rendezvous relies on.
+            let every = driver.boundary_every();
+            if every != 0 && clock.iterations() % every == 0 {
+                let report = BestReport {
+                    plan: best_plan.clone(),
+                    measure: best_measure,
+                    reliability: best_rel,
+                    ciw95: best_ciw,
+                };
+                // Only a strictly better foreign plan is adopted — a
+                // chain's own best echoed back is a no-op, which keeps a
+                // single driven chain identical to the plain search.
+                if let Some(adopt) = driver.at_boundary(&report) {
+                    if adopt.measure > best_measure {
+                        best_plan = adopt.plan.clone();
+                        best_measure = adopt.measure;
+                        best_rel = adopt.reliability;
+                        best_ciw = adopt.ciw95;
+                        current = adopt.plan;
+                        // `cur_rel` deliberately stays stale: it is only
+                        // ever read after Step 5 refreshes it from a
+                        // fresh assessment.
+                        cur_measure = adopt.measure;
+                        let point = TrajectoryPoint {
+                            iteration: stats.plans_assessed,
+                            elapsed: clock.elapsed(),
+                            measure: best_measure,
+                            reliability: best_rel,
+                        };
+                        trajectory.push(point);
+                        self.obs.improvements.inc();
+                        recloud_obs::global().journal().record(
+                            self.obs.best_kind,
+                            stats.plans_assessed as u64,
+                            0,
+                            best_measure,
+                            clock.temperature(),
+                        );
+                        driver.on_best(&point, clock.temperature());
+                    }
                 }
             }
         }
@@ -421,7 +549,7 @@ impl<'a> Searcher<'a> {
         for r in 0..restarts {
             let mut cfg = config.clone();
             cfg.budget = per_restart_budget;
-            cfg.seed = config.seed.wrapping_add(0x9E37_79B9 * r as u64 + r as u64);
+            cfg.seed = restart_seed(config.seed, r);
             let out = self.search(spec, objective, &cfg, workload);
             let better = match &best {
                 None => true,
@@ -432,6 +560,18 @@ impl<'a> Searcher<'a> {
             }
         }
         best.expect("restarts >= 1")
+    }
+}
+
+/// Seed of restart `r`: restart 0 keeps the caller's seed (so one
+/// restart is exactly a plain search); later restarts draw
+/// SplitMix64-derived streams — full-width avalanche, no overflow for
+/// any `r` (the old `0x9E37_79B9 * r` multiply panicked in debug builds
+/// for large `r` and its 32-bit constant spread seeds poorly).
+fn restart_seed(master: u64, r: usize) -> u64 {
+    match r {
+        0 => master,
+        r => recloud_sampling::derive_seed(master, r as u64),
     }
 }
 
@@ -518,6 +658,57 @@ mod tests {
             .collect();
         assert!(!anneal.is_empty());
         assert!(anneal.iter().all(|e| e.f1.is_finite()), "f1 carries the temperature");
+    }
+
+    /// Regression: step-1 rule rejections must hit the global
+    /// `search.rule_rejections_total` counter, not just `SearchStats` —
+    /// the old code only incremented the counter in the step-3 loop, so
+    /// initial-plan rejections silently undercounted. One iteration
+    /// keeps step 3 out of the picture entirely.
+    #[test]
+    fn initial_plan_rule_rejections_hit_the_global_counter() {
+        let registry = recloud_obs::global();
+        let mut assessor = engine(7);
+        let spec = ApplicationSpec::k_of_n(2, 4);
+        let mut cfg = SearchConfig::iterations(1, 200, 21);
+        cfg.rules = PlacementRules::distinct_pods();
+        let before = registry.snapshot().counter("search.rule_rejections_total").unwrap_or(0);
+        let out = Searcher::new(&mut assessor).search(&spec, &ReliabilityObjective, &cfg, None);
+        let after = registry.snapshot().counter("search.rule_rejections_total").unwrap_or(0);
+        assert!(
+            out.stats.rule_rejections > 0,
+            "seed must make step 1 reject at least one random plan (got {:?})",
+            out.stats
+        );
+        assert_eq!(out.stats.plans_assessed, 1, "budget of 1 keeps step 3 out");
+        assert!(
+            after - before >= out.stats.rule_rejections as u64,
+            "counter delta {} must cover the {} initial-plan rejections",
+            after - before,
+            out.stats.rule_rejections
+        );
+    }
+
+    /// Regression: a fully-saturated pool (as many distinct hosts as
+    /// instances) used to panic inside `DeploymentPlan::neighbor`
+    /// ("no unused host available"). Now the search detects it up front
+    /// and returns the only possible plan as the outcome.
+    #[test]
+    fn saturated_pool_returns_initial_plan_instead_of_panicking() {
+        let mut assessor = engine(9);
+        let pool = assessor.topology().hosts()[..3].to_vec();
+        let spec = ApplicationSpec::k_of_n(2, 3);
+        let cfg = SearchConfig::iterations(25, 500, 17);
+        let mut s = Searcher::new(&mut assessor).with_pool(pool.clone());
+        let out = s.search(&spec, &ReliabilityObjective, &cfg, None);
+        assert_eq!(out.stats.plans_assessed, 1, "only the initial plan is reachable");
+        let mut used: Vec<_> = out.best_plan.all_hosts().collect();
+        used.sort_unstable();
+        let mut expect = pool;
+        expect.sort_unstable();
+        assert_eq!(used, expect, "the plan must use every pooled host exactly once");
+        assert!(out.best_reliability > 0.0);
+        assert_eq!(out.trajectory.len(), 1);
     }
 
     #[test]
@@ -651,6 +842,26 @@ mod restart_tests {
         let mut searcher3 = Searcher::new(&mut assessor3);
         let plain = searcher3.search(&spec, &ReliabilityObjective, &config, None);
         assert_eq!(single.best_plan, plain.best_plan);
+    }
+
+    /// Regression: restart seeds come from the shared SplitMix64 stream
+    /// derivation. The old `0x9E37_79B9 * r` offset overflow-panicked in
+    /// debug builds once `r` crossed `u64::MAX / 0x9E37_79B9` and its
+    /// 32-bit constant clustered seeds; the derived streams must be
+    /// well-defined and pairwise distinct even at extreme indices.
+    #[test]
+    fn restart_seeds_are_distinct_and_never_overflow() {
+        let master = 0xDEAD_BEEF_CAFE_F00D_u64;
+        let mut seeds: Vec<u64> = (0..1_000).map(|r| restart_seed(master, r)).collect();
+        // Indices far past the old overflow threshold (~7.4e9).
+        for r in [u64::MAX / 0x9E37_79B9 + 1, u64::MAX - 1, u64::MAX] {
+            seeds.push(restart_seed(master, r as usize));
+        }
+        assert_eq!(restart_seed(master, 0), master, "one restart stays a plain search");
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), n, "restart seeds must be pairwise distinct");
     }
 
     #[test]

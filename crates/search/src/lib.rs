@@ -26,12 +26,17 @@ pub mod annealing;
 pub mod common_practice;
 pub mod migration;
 pub mod objective;
+pub mod parallel;
 pub mod schedule;
 pub mod transform;
 
-pub use annealing::{SearchConfig, SearchOutcome, SearchStats, Searcher};
+pub use annealing::{
+    BestReport, NoDriver, SearchConfig, SearchDriver, SearchOutcome, SearchStats, Searcher,
+    TrajectoryPoint,
+};
 pub use common_practice::{common_practice, enhanced_common_practice};
 pub use migration::{migration_cost, MigrationBudget, MigrationObjective};
 pub use objective::{HolisticObjective, LatencyObjective, Objective, ReliabilityObjective};
+pub use parallel::{ChainEvent, ParallelOutcome, ParallelSearchConfig, ParallelSearcher};
 pub use schedule::{DeltaRule, SearchBudget, TemperatureSchedule};
 pub use transform::SymmetryChecker;

@@ -39,8 +39,10 @@ use recloud_topology::{ComponentId, FatTreeMeta, Topology, TopologyKind};
 /// Sound single-move symmetry checker over a fat-tree.
 pub struct SymmetryChecker {
     meta: Option<FatTreeMeta>,
-    /// Probability class per component: the 4-decimal probability scaled
-    /// to an integer (same class ⟺ identical assigned probability).
+    /// Probability class per component: the probability scaled by 1e8 and
+    /// rounded to an integer (same class ⟺ identical assigned probability
+    /// to 8 decimals — finer than the paper's 4-decimal grid, so two
+    /// components never collapse into one class by accident).
     prob_class: Vec<u64>,
     /// Raw power-supply id per component (u32::MAX = none).
     power_of: Vec<u32>,

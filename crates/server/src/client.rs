@@ -4,7 +4,7 @@
 
 use crate::protocol::{
     read_frame, write_frame, AssessRequest, AssessResponse, MetricsResponse, PartialResponse,
-    Request, Response, StatsResponse,
+    Request, Response, SearchEventResponse, SearchRequest, SearchResponse, StatsResponse,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -97,6 +97,45 @@ impl Client {
                     }
                 }
                 Response::Assess(a) => return Ok((a, cancelled)),
+                Response::Busy { queued, capacity } => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!("busy {queued}/{capacity}"),
+                    ));
+                }
+                Response::Error { code, message } => {
+                    return Err(bad_data(format!("server error {code:?}: {message}")));
+                }
+                other => return Err(bad_data(format!("unexpected mid-stream frame {other:?}"))),
+            }
+        }
+    }
+
+    /// Streaming parallel search: sends a `SearchStream` request
+    /// (`workers` annealing chains; `iters > 0` makes the answer a pure
+    /// function of the request, `iters == 0` uses the request's wall-clock
+    /// budget) and invokes `on_event` for every `SearchEvent` frame — one
+    /// per best-plan improvement in any chain — before returning the
+    /// final search result. A search cannot be cancelled without changing
+    /// its answer, so unlike [`Client::assess_streaming`] the callback
+    /// has no break path.
+    pub fn search_streaming(
+        &mut self,
+        request: SearchRequest,
+        workers: u32,
+        iters: u32,
+        mut on_event: impl FnMut(&SearchEventResponse),
+    ) -> io::Result<SearchResponse> {
+        write_frame(
+            &mut self.stream,
+            &Request::SearchStream { req: request, workers, iters }.encode(),
+        )?;
+        loop {
+            let payload = read_frame(&mut self.stream)?
+                .ok_or_else(|| bad_data("server closed the connection mid-stream"))?;
+            match Response::decode(payload.into()).map_err(|e| bad_data(e.to_string()))? {
+                Response::SearchEvent(e) => on_event(&e),
+                Response::Search(s) => return Ok(s),
                 Response::Busy { queued, capacity } => {
                     return Err(io::Error::new(
                         io::ErrorKind::WouldBlock,

@@ -17,17 +17,35 @@
 
 use crate::protocol::{
     AssessRequest, AssessResponse, CompareEntry, CompareRequest, CompareResponse, Preset,
-    SearchRequest, SearchResponse,
+    SearchEventResponse, SearchRequest, SearchResponse,
 };
 use recloud::{DeployError, ReCloud};
 use recloud_apps::{ApplicationSpec, DeploymentPlan, Requirements};
 use recloud_assess::{compare_plans, Assessor, PartialEstimate, SamplerKind};
 use recloud_faults::FaultModel;
+use recloud_search::{
+    ParallelSearchConfig, ParallelSearcher, ReliabilityObjective, SearchBudget, SearchConfig,
+};
 use recloud_topology::{ComponentId, ComponentKind, Topology};
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
+
+/// The per-chain [`SearchConfig`] a SearchStream request describes: paper
+/// defaults under the request's seed and rounds, with a deterministic
+/// iteration budget when `iters > 0` (the streamed answer becomes a pure
+/// function of `(seed, workers, iters)`) and the wall-clock `budget_ms`
+/// otherwise. Public so tests and clients can reproduce the server's
+/// search bit-for-bit.
+pub fn stream_search_config(req: &SearchRequest, iters: u32) -> SearchConfig {
+    let budget = if iters > 0 {
+        SearchBudget::Iterations(iters as usize)
+    } else {
+        SearchBudget::WallClock(Duration::from_millis(req.budget_ms as u64))
+    };
+    SearchConfig { budget, rounds: req.rounds as usize, ..SearchConfig::paper_default(req.seed) }
+}
 
 /// Builds the application spec a request describes: one layer is a plain
 /// K-of-N app, several layers share `(k, n)` per layer.
@@ -249,6 +267,52 @@ impl EnginePool {
         })
     }
 
+    /// Runs the population-based parallel annealing search (`workers`
+    /// chains over one shared CRN table), forwarding every chain's
+    /// best-plan improvements to `on_event` as they happen. The final
+    /// answer is exactly [`ParallelSearcher::search`] under
+    /// [`stream_search_config`] — streaming observes the search, it never
+    /// changes it.
+    pub fn search_streaming(
+        &mut self,
+        req: &SearchRequest,
+        workers: u32,
+        iters: u32,
+        on_event: &(dyn Fn(SearchEventResponse) + Sync),
+    ) -> Result<SearchResponse, String> {
+        let slot = self.slot(req.preset, req.seed);
+        let spec = ApplicationSpec::k_of_n(req.k, req.n);
+        if spec.total_instances() > slot.topology.hosts().len() {
+            return Err(format!(
+                "n={} exceeds the preset's {} hosts",
+                req.n,
+                slot.topology.hosts().len()
+            ));
+        }
+        let model = FaultModel::paper_default(&slot.topology, req.seed);
+        let searcher =
+            ParallelSearcher::with_sampler(&slot.topology, model, SamplerKind::ExtendedDagger);
+        let config =
+            ParallelSearchConfig::new(workers.max(1) as usize, stream_search_config(req, iters));
+        let sink = |e: recloud_search::ChainEvent| {
+            on_event(SearchEventResponse {
+                chain: e.chain as u32,
+                iteration: e.iteration as u64,
+                elapsed_us: e.elapsed.as_micros() as u64,
+                measure: e.measure,
+                reliability: e.reliability,
+                temperature: e.temperature,
+            });
+        };
+        let outcome = searcher.search(&spec, &ReliabilityObjective, &config, None, Some(&sink));
+        Ok(SearchResponse {
+            reliability: outcome.best.best_reliability,
+            ciw95: outcome.best.best_ciw95,
+            plans_assessed: outcome.combined.plans_assessed as u64,
+            hosts: outcome.best.best_plan.hosts_of(0).iter().map(|h| h.index() as u32).collect(),
+        })
+    }
+
     /// Engines currently materialized (for tests/introspection).
     pub fn engines(&self) -> usize {
         self.slots.len()
@@ -398,6 +462,30 @@ mod tests {
         assert!(!completed, "a pre-set cancel stops after the first chunk");
         assert!(cut.rounds < req.rounds as u64);
         assert!(cut.rounds > 0, "at least one chunk always runs");
+    }
+
+    /// The streamed parallel search is a pure function of
+    /// `(seed, workers, iters)`: repeated runs agree bit-for-bit, every
+    /// chain spends its full iteration budget, and the events carry
+    /// in-range chain indices.
+    #[test]
+    fn streamed_search_is_deterministic_across_runs() {
+        let mut pool = EnginePool::new();
+        let req =
+            SearchRequest { preset: Preset::Tiny, rounds: 600, seed: 17, k: 2, n: 3, budget_ms: 0 };
+        let events = std::sync::Mutex::new(Vec::new());
+        let a = pool.search_streaming(&req, 3, 25, &|e| events.lock().unwrap().push(e)).unwrap();
+        let b = pool.search_streaming(&req, 3, 25, &|_| {}).unwrap();
+        assert_eq!(a.reliability.to_bits(), b.reliability.to_bits());
+        assert_eq!(a.ciw95.to_bits(), b.ciw95.to_bits());
+        assert_eq!(a.hosts, b.hosts);
+        assert_eq!(a.plans_assessed, b.plans_assessed);
+        assert_eq!(a.plans_assessed, 3 * 25, "every chain spends its whole budget");
+        let events = events.into_inner().unwrap();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.chain < 3));
+        let topology = Preset::Tiny.scale().build();
+        EnginePool::check_hosts(&topology, &[a.hosts.clone()]).unwrap();
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | 0x07 | MetricsDump      | `journal_tail:u32` |
 //! | 0x08 | AssessStream     | AssessPlan body, then `cadence:u32` (partial every `cadence` chunks) |
 //! | 0x09 | AssessCancel     | (empty; only meaningful mid-stream) |
+//! | 0x0A | SearchStream     | SearchPlacement body, then `workers:u32 iters:u32` |
 //!
 //! Response kinds (server → client):
 //!
@@ -35,6 +36,7 @@
 //! | 0x88 | ShutdownAck  | `completed:u64` |
 //! | 0x89 | MetricsResult| serialized instrument snapshot + journal tail (see [`MetricsResponse`]) |
 //! | 0x8A | Partial      | `rounds_done:u64 rounds_total:u64 score:f64 ciw:f64` |
+//! | 0x8B | SearchEvent  | `chain:u32 iteration:u64 elapsed_us:u64 measure:f64 reliability:f64 temperature:f64` |
 //!
 //! An AssessStream exchange is: client sends 0x08, server emits zero or
 //! more 0x8A Partial frames (one every `cadence` fed chunks) and finishes
@@ -43,6 +45,18 @@
 //! client may send 0x09 AssessCancel at any point mid-stream; the server
 //! stops feeding chunks and still sends the final 0x82 covering the rounds
 //! done so far. An AssessCancel outside a stream is a silent no-op.
+//!
+//! A SearchStream exchange runs the population-based parallel annealer
+//! (`workers` chains) server-side: the server emits one 0x8B SearchEvent
+//! per best-plan improvement in any chain (`anneal.best` trajectory
+//! points: iteration, wall-clock offset, measure, reliability,
+//! temperature) and finishes with a 0x83 SearchResult. With `iters > 0`
+//! the search runs a deterministic iteration budget per chain and the
+//! final frame is a pure function of (seed, workers, iters) — identical
+//! to a non-streamed parallel search with the same configuration;
+//! `iters = 0` falls back to the wall-clock `budget_ms`. AssessCancel
+//! mid-stream is accepted and ignored (a search cannot stop early
+//! without changing its answer).
 //!
 //! All integers little-endian; `f64` as IEEE-754 bits — the same
 //! conventions as the parallel engine's RCW1 codec, so a reliability score
@@ -79,6 +93,10 @@ pub const MAX_LAYERS: u32 = 16;
 pub const MAX_INSTANCES: u32 = 1_024;
 /// Upper bound on candidate plans per ComparePlans request.
 pub const MAX_PLANS: u32 = 64;
+/// Upper bound on parallel annealing chains per SearchStream request.
+pub const MAX_SEARCH_CHAINS: u32 = 64;
+/// Upper bound on per-chain iterations per SearchStream request.
+pub const MAX_SEARCH_ITERS: u32 = 1_000_000;
 
 /// Decode failure. Any of these on a live connection is a protocol error:
 /// the server answers with an [`Response::Error`] frame and drops the
@@ -263,6 +281,20 @@ pub enum Request {
     /// feeding chunks and sends the final Assess frame over the rounds
     /// done so far. Outside a stream this is a silent no-op (no response).
     AssessCancel,
+    /// Search for a plan with the population-based parallel annealer,
+    /// streaming [`Response::SearchEvent`] best-plan improvements as they
+    /// happen; finishes with a [`Response::Search`] carrying the winning
+    /// chain's outcome.
+    SearchStream {
+        /// The underlying search, exactly as SearchPlacement carries it.
+        req: SearchRequest,
+        /// Annealing chains to run concurrently (>= 1).
+        workers: u32,
+        /// Per-chain iteration budget. Nonzero makes the search a pure
+        /// function of (seed, workers, iters); 0 falls back to the
+        /// wall-clock `budget_ms`.
+        iters: u32,
+    },
 }
 
 /// Error codes carried in [`Response::Error`] frames.
@@ -386,6 +418,25 @@ pub struct PartialResponse {
     pub ciw: f64,
 }
 
+/// One best-plan improvement inside a streamed parallel search: a
+/// trajectory point from whichever chain just raised its own best, tagged
+/// with the chain index. `iteration` counts plans assessed by that chain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SearchEventResponse {
+    /// Which annealing chain improved (0-based).
+    pub chain: u32,
+    /// Plans assessed by that chain when the improvement landed.
+    pub iteration: u64,
+    /// Microseconds since that chain's search started.
+    pub elapsed_us: u64,
+    /// The new best objective measure M (Eq 7).
+    pub measure: f64,
+    /// The new best plan's reliability R (Eq 1).
+    pub reliability: f64,
+    /// The temperature t (Eq 6) at the improvement.
+    pub temperature: f64,
+}
+
 /// The MetricsDump answer: a merged snapshot of the server's private
 /// registry and the process-global one (assess/search instruments),
 /// plus up to `journal_tail` of the newest journal events.
@@ -438,6 +489,9 @@ pub enum Response {
     /// A mid-stream running estimate; only appears between an
     /// AssessStream request and its final [`Response::Assess`].
     Partial(PartialResponse),
+    /// A best-plan improvement; only appears between a SearchStream
+    /// request and its final [`Response::Search`].
+    SearchEvent(SearchEventResponse),
 }
 
 fn put_header(w: &mut ByteWriter, kind: u8) {
@@ -691,6 +745,19 @@ impl Request {
                 put_header(&mut w, 0x09);
                 w.freeze()
             }
+            Request::SearchStream { req: s, workers, iters } => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 1 + 4 + 8 + 4 + 4 + 4 + 4 + 4);
+                put_header(&mut w, 0x0A);
+                w.put_u8(s.preset.tag());
+                w.put_u32_le(s.rounds);
+                w.put_u64_le(s.seed);
+                w.put_u32_le(s.k);
+                w.put_u32_le(s.n);
+                w.put_u32_le(s.budget_ms);
+                w.put_u32_le(*workers);
+                w.put_u32_le(*iters);
+                w.freeze()
+            }
         }
     }
 
@@ -742,6 +809,18 @@ impl Request {
                 cadence: r.get_u32_le().ok_or(ProtoError::Truncated)?,
             },
             0x09 => Request::AssessCancel,
+            0x0A => Request::SearchStream {
+                req: SearchRequest {
+                    preset: Preset::from_tag(r.get_u8().ok_or(ProtoError::Truncated)?)?,
+                    rounds: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                    seed: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                    k: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                    n: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                    budget_ms: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                },
+                workers: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                iters: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+            },
             other => return Err(ProtoError::BadKind(other)),
         };
         finish(&r)?;
@@ -847,6 +926,17 @@ impl Response {
                 w.put_f64_le(p.ciw);
                 w.freeze()
             }
+            Response::SearchEvent(e) => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 4 + 8 + 8 + 8 + 8 + 8);
+                put_header(&mut w, 0x8B);
+                w.put_u32_le(e.chain);
+                w.put_u64_le(e.iteration);
+                w.put_u64_le(e.elapsed_us);
+                w.put_f64_le(e.measure);
+                w.put_f64_le(e.reliability);
+                w.put_f64_le(e.temperature);
+                w.freeze()
+            }
         }
     }
 
@@ -920,6 +1010,14 @@ impl Response {
                 rounds_total: r.get_u64_le().ok_or(ProtoError::Truncated)?,
                 score: r.get_f64_le().ok_or(ProtoError::Truncated)?,
                 ciw: r.get_f64_le().ok_or(ProtoError::Truncated)?,
+            }),
+            0x8B => Response::SearchEvent(SearchEventResponse {
+                chain: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+                iteration: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                elapsed_us: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                measure: r.get_f64_le().ok_or(ProtoError::Truncated)?,
+                reliability: r.get_f64_le().ok_or(ProtoError::Truncated)?,
+                temperature: r.get_f64_le().ok_or(ProtoError::Truncated)?,
             }),
             other => return Err(ProtoError::BadKind(other)),
         };
@@ -1003,6 +1101,19 @@ pub fn validate_shape(req: &Request) -> Result<(), String> {
             Ok(())
         }
         Request::SearchPlacement(s) => check_spec(s.k, s.n, s.rounds),
+        Request::SearchStream { req: s, workers, iters } => {
+            check_spec(s.k, s.n, s.rounds)?;
+            if *workers == 0 || *workers > MAX_SEARCH_CHAINS {
+                return Err(format!("need 1..={MAX_SEARCH_CHAINS} search chains (got {workers})"));
+            }
+            if *iters > MAX_SEARCH_ITERS {
+                return Err(format!("iters={iters} exceeds the {MAX_SEARCH_ITERS} limit"));
+            }
+            if *iters == 0 && s.budget_ms == 0 {
+                return Err("need a budget: iters > 0 or budget_ms > 0".to_string());
+            }
+            Ok(())
+        }
         Request::ComparePlans(c) => {
             check_spec(c.k, c.n, c.rounds)?;
             if c.plans.is_empty() || c.plans.len() > MAX_PLANS as usize {
@@ -1076,6 +1187,18 @@ mod tests {
                 cadence: 4,
             },
             Request::AssessCancel,
+            Request::SearchStream {
+                req: SearchRequest {
+                    preset: Preset::Tiny,
+                    rounds: 2_000,
+                    seed: 13,
+                    k: 2,
+                    n: 3,
+                    budget_ms: 0,
+                },
+                workers: 4,
+                iters: 150,
+            },
         ]
     }
 
@@ -1159,6 +1282,14 @@ mod tests {
                 rounds_total: 50_400,
                 score: 0.991_5,
                 ciw: 0.012_3,
+            }),
+            Response::SearchEvent(SearchEventResponse {
+                chain: 2,
+                iteration: 37,
+                elapsed_us: 12_345,
+                measure: 0.999_25,
+                reliability: 0.999_25,
+                temperature: 0.75,
             }),
         ]
     }
@@ -1332,6 +1463,26 @@ mod tests {
         let bad_stream = Request::AssessStream { req: bad_k, cadence: 1 };
         assert!(validate_shape(&bad_stream).unwrap_err().contains("k <= n"));
         assert!(validate_shape(&Request::AssessCancel).is_ok());
+        // SearchStream: chain count and budget shape are admission-checked.
+        let s =
+            SearchRequest { preset: Preset::Tiny, rounds: 100, seed: 1, k: 2, n: 3, budget_ms: 0 };
+        let ok_stream = Request::SearchStream { req: s, workers: 4, iters: 50 };
+        assert!(validate_shape(&ok_stream).is_ok());
+        let no_chains = Request::SearchStream { req: s, workers: 0, iters: 50 };
+        assert!(validate_shape(&no_chains).unwrap_err().contains("search chains"));
+        let too_many = Request::SearchStream { req: s, workers: MAX_SEARCH_CHAINS + 1, iters: 50 };
+        assert!(validate_shape(&too_many).unwrap_err().contains("search chains"));
+        let no_budget = Request::SearchStream { req: s, workers: 1, iters: 0 };
+        assert!(validate_shape(&no_budget).unwrap_err().contains("budget"));
+        let wall_clock_ok = Request::SearchStream {
+            req: SearchRequest { budget_ms: 25, ..s },
+            workers: 1,
+            iters: 0,
+        };
+        assert!(validate_shape(&wall_clock_ok).is_ok());
+        let bad_spec =
+            Request::SearchStream { req: SearchRequest { k: 4, ..s }, workers: 1, iters: 50 };
+        assert!(validate_shape(&bad_spec).unwrap_err().contains("k <= n"));
     }
 
     /// Satellite: the deprecated Stats frame and its MetricsDump

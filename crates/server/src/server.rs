@@ -32,7 +32,8 @@ use crate::cache::ResultCache;
 use crate::engine::{build_plan, shape_for, spec_for, EnginePool};
 use crate::protocol::{
     self, validate_shape, AssessRequest, CompareRequest, ErrorCode, MetricsResponse,
-    PartialResponse, Request, Response, SearchRequest, StatsResponse, MAX_FRAME_LEN,
+    PartialResponse, Request, Response, SearchEventResponse, SearchRequest, StatsResponse,
+    MAX_FRAME_LEN,
 };
 use recloud::sync::{self, Receiver, Sender};
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
@@ -102,8 +103,8 @@ struct Counters {
 /// excluded — its "latency" is the drain, not a serving cost — and so is
 /// `AssessCancel`, which has no reply frame. A `stream` sample is the
 /// whole exchange, first partial to final frame.
-const LATENCY_KINDS: [&str; 7] =
-    ["ping", "assess", "search", "compare", "stats", "metrics", "stream"];
+const LATENCY_KINDS: [&str; 8] =
+    ["ping", "assess", "search", "compare", "stats", "metrics", "stream", "search_stream"];
 
 /// Per-server observability handles, backed by a private
 /// [`Registry`] so concurrent servers (and tests) see isolated,
@@ -167,6 +168,7 @@ impl ServerInstruments {
             Request::Stats => Some(4),
             Request::MetricsDump { .. } => Some(5),
             Request::AssessStream { .. } => Some(6),
+            Request::SearchStream { .. } => Some(7),
             Request::Shutdown | Request::AssessCancel => None,
         }
     }
@@ -194,6 +196,15 @@ enum JobKind {
         /// Shared with the connection thread; the engine checks it
         /// between chunks and stops feeding once set.
         cancel: Arc<AtomicBool>,
+    },
+    /// A streamed parallel search. No cancel flag: stopping an annealing
+    /// population early would change its answer, so the drive always runs
+    /// its full budget (the connection thread merely stops forwarding
+    /// events when the client goes away).
+    StreamSearch {
+        req: SearchRequest,
+        workers: u32,
+        iters: u32,
     },
 }
 
@@ -381,6 +392,16 @@ impl Server {
                         Err(message) => Response::Error { code: ErrorCode::Invalid, message },
                     }
                 }
+                JobKind::StreamSearch { req, workers, iters } => {
+                    let reply = &job.reply;
+                    let sink = |e: SearchEventResponse| {
+                        let _ = reply.send(Response::SearchEvent(e));
+                    };
+                    match pool.search_streaming(req, *workers, *iters, &sink) {
+                        Ok(resp) => Response::Search(resp),
+                        Err(message) => Response::Error { code: ErrorCode::Invalid, message },
+                    }
+                }
             };
             if !matches!(response, Response::Error { .. }) {
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -509,6 +530,15 @@ impl Server {
             // it is a silent no-op with no response frame.
             Request::AssessCancel => return true,
             Request::SearchPlacement(req) => JobKind::Search(req),
+            Request::SearchStream { req, workers, iters } => {
+                // Search streams accept a mid-stream AssessCancel frame
+                // without protocol error, but ignore it: the flag below is
+                // never read by the search drive (stopping a population
+                // early would change its answer).
+                let cancel = Arc::new(AtomicBool::new(false));
+                let kind = JobKind::StreamSearch { req, workers, iters };
+                return self.dispatch_streaming(kind, stream, job_tx, &cancel);
+            }
             Request::ComparePlans(req) => {
                 let spec = spec_for(req.k, req.n, 1);
                 let mut plans = Vec::with_capacity(req.plans.len());
@@ -688,8 +718,8 @@ impl Server {
             // instant they are produced, and the 1 ms timeout only bounds
             // how stale the cancel/shutdown poll above can get.
             match reply_rx.recv_timeout(Duration::from_millis(1)) {
-                Ok(Response::Partial(p)) => {
-                    if writable && !self.reply(stream, &Response::Partial(p)) {
+                Ok(mid @ (Response::Partial(_) | Response::SearchEvent(_))) => {
+                    if writable && !self.reply(stream, &mid) {
                         // Client gone: cancel the drive, keep draining so
                         // the worker finishes cleanly.
                         writable = false;

@@ -5,8 +5,10 @@
 //! — the regression the cache invariant demands — an early-stopped
 //! stream never populates the result cache under the full-rounds key.
 
-use recloud_server::protocol::{AssessRequest, Preset, Response};
+use recloud_server::engine::stream_search_config;
+use recloud_server::protocol::{AssessRequest, Preset, Response, SearchRequest};
 use recloud_server::{Client, Server, ServerConfig};
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::ops::ControlFlow;
 use std::thread::JoinHandle;
@@ -154,6 +156,89 @@ fn cached_stream_degenerates_to_the_final_frame() {
     assert_eq!(partials, 0, "a cache hit streams nothing");
     assert!(streamed.cached);
     assert_eq!(streamed.score.to_bits(), plain.score.to_bits());
+
+    stop(daemon, &mut client);
+}
+
+/// Acceptance criterion: the `SearchStream` final frame carries the same
+/// outcome as a non-streaming search with identical config. The
+/// non-streamed side is reproduced independently here — same preset
+/// topology, same paper-default fault model, same per-chain config via
+/// [`stream_search_config`] — and the comparison is on the encoded RCS1
+/// frames, so it covers reliability, CIW, plans assessed and the plan's
+/// hosts bit-for-bit. Also pins the event stream's shape: per-chain
+/// improvements are strictly increasing and the best streamed measure is
+/// the returned reliability.
+#[test]
+fn search_stream_final_frame_matches_nonstreamed_search() {
+    let daemon = start(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let mut client = Client::connect(daemon.addr).unwrap();
+
+    let request =
+        SearchRequest { preset: Preset::Tiny, rounds: 1_200, seed: 99, k: 2, n: 3, budget_ms: 0 };
+    let (workers, iters) = (2u32, 40u32);
+    let mut events = Vec::new();
+    let streamed = client.search_streaming(request, workers, iters, |e| events.push(*e)).unwrap();
+
+    assert!(!events.is_empty(), "the initial best of each chain always streams");
+    let mut per_chain: HashMap<u32, Vec<f64>> = HashMap::new();
+    for e in &events {
+        assert!(e.chain < workers, "chain index within the population");
+        per_chain.entry(e.chain).or_default().push(e.measure);
+    }
+    for measures in per_chain.values() {
+        for pair in measures.windows(2) {
+            assert!(pair[1] > pair[0], "per-chain improvements are strict: {measures:?}");
+        }
+    }
+    let best_streamed = events.iter().map(|e| e.measure).fold(f64::MIN, f64::max);
+    assert_eq!(
+        best_streamed.to_bits(),
+        streamed.reliability.to_bits(),
+        "the top streamed improvement is the final answer"
+    );
+
+    // Independent non-streamed reproduction of the identical config.
+    let topology = Preset::Tiny.scale().build();
+    let model = recloud_faults::FaultModel::paper_default(&topology, request.seed);
+    let searcher = recloud_search::ParallelSearcher::with_sampler(
+        &topology,
+        model,
+        recloud_assess::SamplerKind::ExtendedDagger,
+    );
+    let config = recloud_search::ParallelSearchConfig::new(
+        workers as usize,
+        stream_search_config(&request, iters),
+    );
+    let spec = recloud_apps::ApplicationSpec::k_of_n(request.k, request.n);
+    let direct = searcher.search(&spec, &recloud_search::ReliabilityObjective, &config, None, None);
+    let direct_frame = Response::Search(recloud_server::protocol::SearchResponse {
+        reliability: direct.best.best_reliability,
+        ciw95: direct.best.best_ciw95,
+        plans_assessed: direct.combined.plans_assessed as u64,
+        hosts: direct.best.best_plan.hosts_of(0).iter().map(|h| h.index() as u32).collect(),
+    });
+    assert_eq!(
+        Response::Search(streamed).encode().as_slice(),
+        direct_frame.encode().as_slice(),
+        "streamed final frame must match the non-streamed search bit-for-bit"
+    );
+
+    stop(daemon, &mut client);
+}
+
+/// Shape validation guards the stream: zero chains is an Invalid error,
+/// and the connection survives to serve the corrected request.
+#[test]
+fn search_stream_rejects_zero_workers_but_keeps_the_connection() {
+    let daemon = start(ServerConfig::default());
+    let mut client = Client::connect(daemon.addr).unwrap();
+
+    let request =
+        SearchRequest { preset: Preset::Tiny, rounds: 500, seed: 1, k: 2, n: 3, budget_ms: 0 };
+    let err = client.search_streaming(request, 0, 10, |_| {}).unwrap_err();
+    assert!(err.to_string().contains("search chains"), "{err}");
+    assert_eq!(client.ping(7).unwrap(), 7, "Invalid is semantic: connection stays open");
 
     stop(daemon, &mut client);
 }

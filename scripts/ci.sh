@@ -71,6 +71,18 @@ echo "== streaming smoke gate =="
 # whose last step shuts the daemon down.
 target/release/recloud loadgen --smoke --stream --addr "$ADDR"
 
+echo "== search-stream smoke gate =="
+# The SearchStream path end to end: a deterministic 2-chain parallel
+# search on the live daemon must stream at least one per-chain
+# trajectory line and finish with a plan summary.
+SEARCH_OUT="$(target/release/recloud search --stream --addr "$ADDR" \
+  --workers 2 --iters 40 --rounds 500 --k 2 --n 3)"
+echo "$SEARCH_OUT" | grep -q '\[chain ' \
+  || { echo "search-stream gate: no trajectory lines"; kill "$SERVER_PID"; exit 1; }
+echo "$SEARCH_OUT" | grep -q 'streamed improvements' \
+  || { echo "search-stream gate: missing final summary"; kill "$SERVER_PID"; exit 1; }
+echo "search-stream gate: trajectories streamed"
+
 target/release/repro loadgen --smoke --addr "$ADDR"
 wait "$SERVER_PID"
 trap - EXIT
