@@ -18,7 +18,7 @@ use recloud_obs::{Counter, Gauge, Histogram};
 use recloud_routing::{make_router, Router};
 use recloud_sampling::{
     BitMatrix, ExtendedDaggerSampler, MonteCarloSampler, ReliabilityEstimate, ResultAccumulator,
-    Sampler,
+    Sampler, WideWord,
 };
 use recloud_topology::Topology;
 use std::ops::ControlFlow;
@@ -35,18 +35,68 @@ pub enum SamplerKind {
 }
 
 impl SamplerKind {
-    fn make(self, seed: u64) -> Box<dyn Sampler + Send> {
-        match self {
-            SamplerKind::ExtendedDagger => Box::new(ExtendedDaggerSampler::seeded(seed)),
-            SamplerKind::MonteCarlo => Box::new(MonteCarloSampler::seeded(seed)),
-        }
-    }
-
     /// Sampler name as reported in assessments.
     pub fn name(self) -> &'static str {
         match self {
             SamplerKind::ExtendedDagger => "dagger",
             SamplerKind::MonteCarlo => "monte-carlo",
+        }
+    }
+}
+
+/// A stack-allocated sampler of either kind. `run_chunk` constructs one
+/// per chunk; using an enum instead of `Box<dyn Sampler>` keeps the chunk
+/// hot loop free of heap allocation (both samplers are a bare RNG).
+enum AnySampler {
+    Dagger(ExtendedDaggerSampler),
+    Mc(MonteCarloSampler),
+}
+
+impl AnySampler {
+    fn new(kind: SamplerKind, seed: u64) -> Self {
+        match kind {
+            SamplerKind::ExtendedDagger => AnySampler::Dagger(ExtendedDaggerSampler::seeded(seed)),
+            SamplerKind::MonteCarlo => AnySampler::Mc(MonteCarloSampler::seeded(seed)),
+        }
+    }
+
+    fn sample_into(&mut self, probs: &[f64], matrix: &mut BitMatrix) {
+        match self {
+            AnySampler::Dagger(s) => s.sample_into(probs, matrix),
+            AnySampler::Mc(s) => s.sample_into(probs, matrix),
+        }
+    }
+}
+
+/// Lane width of the route-and-check kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchWidth {
+    /// One round per operation — the reference path every batched width is
+    /// proven bit-identical to.
+    Scalar,
+    /// 64 rounds per operation through the word-granular Router API (PR 2's
+    /// kernel, kept as the degenerate wide width).
+    Word64,
+    /// 256 rounds per operation through the wide Router API (the default).
+    Wide256,
+}
+
+impl BatchWidth {
+    /// Rounds processed per kernel operation.
+    pub fn lanes(self) -> usize {
+        match self {
+            BatchWidth::Scalar => 1,
+            BatchWidth::Word64 => 64,
+            BatchWidth::Wide256 => WideWord::LANES,
+        }
+    }
+
+    /// Name used in benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchWidth::Scalar => "scalar",
+            BatchWidth::Word64 => "word64",
+            BatchWidth::Wide256 => "batched",
         }
     }
 }
@@ -108,11 +158,12 @@ pub struct Assessor {
     model: FaultModel,
     kind: SamplerKind,
     router: Box<dyn Router + Send>,
-    /// Rounds per processing chunk; aligned to the dagger macro-cycle and
-    /// identical for serial and parallel execution.
+    /// Rounds per processing chunk; aligned to the dagger macro-cycle,
+    /// then rounded up to the kernel lane width (256), and identical for
+    /// serial and parallel execution.
     chunk_rounds: usize,
-    raw: BitMatrix,
-    collapsed: BitMatrix,
+    /// Per-chunk scratch matrices, sized once and reused for every chunk.
+    arena: ChunkArena,
     /// Collapsed tables of the most recent master seed, one per chunk.
     /// Lets common-random-number searches (which assess every plan on the
     /// same table, §3.3) skip sampling and collapsing entirely after the
@@ -123,11 +174,11 @@ pub struct Assessor {
     /// fault-tree collapsing — forced failures flow through the full
     /// correlated-failure path (what-if analyses, sensitivity reports).
     injector: Option<FaultInjector>,
-    /// Route-and-check 64 rounds per operation through the word-granular
-    /// router API (the default). Disable to force the scalar per-round
-    /// path — the two are bit-identical; the toggle exists for equivalence
-    /// tests and scalar-vs-batched benchmarking.
-    batched: bool,
+    /// Route-and-check lane width: 256 lanes by default, with the 64-lane
+    /// and scalar paths kept selectable — all widths are bit-identical;
+    /// the narrower ones exist for equivalence tests and width-vs-width
+    /// benchmarking.
+    width: BatchWidth,
     /// Cached global-registry instrument handles (stage histograms,
     /// rounds counter, cache_bytes gauge).
     obs: AssessInstruments,
@@ -136,6 +187,30 @@ pub struct Assessor {
 struct TableCache {
     master_seed: u64,
     chunks: Vec<BitMatrix>,
+}
+
+/// The reusable per-chunk scratch arena: the raw sampled-event matrix and
+/// the collapsed effective-state matrix, both wide-word aligned. Sized
+/// once per (model shape, chunk width) — at construction or reseed — and
+/// written in place by every chunk thereafter, so the sample → collapse →
+/// check hot loop performs no allocation.
+struct ChunkArena {
+    raw: BitMatrix,
+    collapsed: BitMatrix,
+}
+
+impl ChunkArena {
+    fn new(events: usize, components: usize, chunk_rounds: usize) -> Self {
+        ChunkArena {
+            raw: BitMatrix::new(events, chunk_rounds),
+            collapsed: BitMatrix::new(components, chunk_rounds),
+        }
+    }
+
+    /// Resident bytes of both matrices — exported as `assess.arena_bytes`.
+    fn bytes(&self) -> usize {
+        self.raw.bytes() + self.collapsed.bytes()
+    }
 }
 
 /// Cached handles into the process-wide [`recloud_obs::global()`]
@@ -152,6 +227,9 @@ struct AssessInstruments {
     assessments_total: Arc<Counter>,
     /// Current collapsed-table cache footprint of the newest engine.
     cache_bytes: Arc<Gauge>,
+    /// Current chunk-arena footprint (raw + collapsed scratch matrices)
+    /// of the newest engine.
+    arena_bytes: Arc<Gauge>,
 }
 
 impl AssessInstruments {
@@ -161,15 +239,28 @@ impl AssessInstruments {
             total_us: registry.histogram("assess.total_us"),
             assessments_total: registry.counter("assess.assessments_total"),
             cache_bytes: registry.gauge("assess.cache_bytes"),
+            arena_bytes: registry.gauge("assess.arena_bytes"),
         }
     }
 }
 
 impl Assessor {
-    /// Target chunk size in rounds before macro-cycle alignment. Chosen so
-    /// a Large-scale raw matrix stays around ~10 MB while chunks remain
-    /// numerous enough for 4-way parallel speedup at 10⁴ rounds.
+    /// Target chunk size in rounds before alignment. Chosen so a
+    /// Large-scale raw matrix stays around ~10 MB while chunks remain
+    /// numerous enough for 4-way parallel speedup at 10⁴ rounds. The
+    /// actual chunk width rounds this up to a dagger macro-cycle multiple
+    /// and then to the kernel lane width (256), so full chunks decompose
+    /// into whole wide words; extended-dagger truncation at chunk
+    /// boundaries is bias-free, so the extra lane-alignment rounds are
+    /// statistically harmless.
     const TARGET_CHUNK: usize = 2_500;
+
+    /// The chunk width for a probability vector: macro-cycle aligned, then
+    /// lane-width aligned.
+    fn chunk_width(probs: &[f64]) -> usize {
+        let s_max = ExtendedDaggerSampler::macro_cycle(probs);
+        (Self::TARGET_CHUNK.div_ceil(s_max) * s_max).next_multiple_of(WideWord::LANES)
+    }
 
     /// Creates a dagger-based assessor (reCloud's default).
     pub fn new(topology: &Topology, model: FaultModel) -> Self {
@@ -178,21 +269,19 @@ impl Assessor {
 
     /// Creates an assessor with an explicit sampler choice.
     pub fn with_sampler(topology: &Topology, model: FaultModel, kind: SamplerKind) -> Self {
-        let s_max = ExtendedDaggerSampler::macro_cycle(model.probs());
-        let chunk_rounds = Self::TARGET_CHUNK.div_ceil(s_max) * s_max;
-        let raw = BitMatrix::new(model.num_events(), chunk_rounds);
-        let collapsed = BitMatrix::new(model.num_topology_components(), chunk_rounds);
+        let chunk_rounds = Self::chunk_width(model.probs());
+        let arena =
+            ChunkArena::new(model.num_events(), model.num_topology_components(), chunk_rounds);
         Assessor {
             topology: topology.clone(),
             model,
             kind,
             router: make_router(topology),
             chunk_rounds,
-            raw,
-            collapsed,
+            arena,
             table_cache: None,
             injector: None,
-            batched: true,
+            width: BatchWidth::Wide256,
             obs: AssessInstruments::from_global(),
         }
     }
@@ -224,27 +313,42 @@ impl Assessor {
             self.topology.num_components(),
             "model was built for a different topology"
         );
-        let s_max = ExtendedDaggerSampler::macro_cycle(model.probs());
-        let chunk_rounds = Self::TARGET_CHUNK.div_ceil(s_max) * s_max;
+        let chunk_rounds = Self::chunk_width(model.probs());
         if chunk_rounds != self.chunk_rounds || model.num_events() != self.model.num_events() {
             self.chunk_rounds = chunk_rounds;
-            self.raw = BitMatrix::new(model.num_events(), chunk_rounds);
-            self.collapsed = BitMatrix::new(model.num_topology_components(), chunk_rounds);
+            self.arena =
+                ChunkArena::new(model.num_events(), model.num_topology_components(), chunk_rounds);
         }
         self.model = model;
         self.table_cache = None;
     }
 
-    /// Selects the batched (64-rounds-per-operation) or scalar
+    /// Selects the batched (wide, 256-rounds-per-operation) or scalar
     /// route-and-check path. Both produce bit-identical assessments; the
     /// scalar path exists for equivalence tests and benchmarking.
     pub fn set_batched(&mut self, batched: bool) {
-        self.batched = batched;
+        self.width = if batched { BatchWidth::Wide256 } else { BatchWidth::Scalar };
     }
 
-    /// True when the batched route-and-check path is active.
+    /// True when a batched (64- or 256-lane) route-and-check path is active.
     pub fn batched(&self) -> bool {
-        self.batched
+        self.width != BatchWidth::Scalar
+    }
+
+    /// Selects an explicit kernel lane width.
+    pub fn set_width(&mut self, width: BatchWidth) {
+        self.width = width;
+    }
+
+    /// The active kernel lane width.
+    pub fn width(&self) -> BatchWidth {
+        self.width
+    }
+
+    /// Bytes held by the reusable per-chunk scratch arena (raw +
+    /// collapsed matrices). Exported as the `assess.arena_bytes` gauge.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.bytes()
     }
 
     /// Bytes held by the cached collapsed failure-state tables (one
@@ -263,25 +367,37 @@ impl Assessor {
     /// cached-table paths, in both scalar and batched flavors.
     fn route_and_check(
         router: &mut dyn Router,
-        batched: bool,
+        width: BatchWidth,
         checker: &mut StructureChecker,
         table: &BitMatrix,
         rounds: usize,
         acc: &mut ResultAccumulator,
     ) {
-        if batched {
-            let words = rounds.div_ceil(64);
-            for w in 0..words {
-                let n = (rounds - w * 64).min(64);
-                router.begin_word(table, w);
-                let mask = checker.word_reliable(router, table, w, n);
-                acc.push_word(mask, n as u32);
+        match width {
+            BatchWidth::Wide256 => {
+                let wides = rounds.div_ceil(WideWord::LANES);
+                for ww in 0..wides {
+                    let n = (rounds - ww * WideWord::LANES).min(WideWord::LANES);
+                    router.begin_wide(table, ww);
+                    let mask = checker.wide_reliable(router, table, ww, n);
+                    acc.push_wide(mask, n as u32);
+                }
             }
-        } else {
-            for round in 0..rounds {
-                router.begin_round(table, round);
-                let ok = checker.round_reliable(router, table, round);
-                acc.push(ok);
+            BatchWidth::Word64 => {
+                let words = rounds.div_ceil(64);
+                for w in 0..words {
+                    let n = (rounds - w * 64).min(64);
+                    router.begin_word(table, w);
+                    let mask = checker.word_reliable(router, table, w, n);
+                    acc.push_word(mask, n as u32);
+                }
+            }
+            BatchWidth::Scalar => {
+                for round in 0..rounds {
+                    router.begin_round(table, round);
+                    let ok = checker.round_reliable(router, table, round);
+                    acc.push(ok);
+                }
             }
         }
     }
@@ -335,28 +451,28 @@ impl Assessor {
     ) -> Timings {
         assert!(rounds <= self.chunk_rounds, "chunk exceeds scratch capacity");
         let t0 = Instant::now();
-        let mut sampler = self.kind.make(chunk_seed);
-        // The scratch matrices are sized for a full chunk; for a short
-        // tail chunk we sample the full scratch width and check only the
-        // first `rounds` columns. Sampling whole chunks keeps the matrix
-        // shape fixed (no reallocation) at negligible cost.
+        let mut sampler = AnySampler::new(self.kind, chunk_seed);
+        // The arena matrices are sized for a full chunk; for a short tail
+        // chunk we sample the full arena width and check only the first
+        // `rounds` columns. Sampling whole chunks keeps the matrix shape
+        // fixed (no reallocation) at negligible cost.
         let t_sample = Instant::now();
-        sampler.sample_into(self.model.probs(), &mut self.raw);
+        sampler.sample_into(self.model.probs(), &mut self.arena.raw);
         if let Some(injector) = &self.injector {
-            injector.apply(&mut self.raw);
+            injector.apply(&mut self.arena.raw);
         }
         let sampling = t_sample.elapsed();
 
         let t_collapse = Instant::now();
-        self.model.collapse_into(&self.raw, &mut self.collapsed);
+        self.model.collapse_into(&self.arena.raw, &mut self.arena.collapsed);
         let collapse = t_collapse.elapsed();
 
         let t_check = Instant::now();
         Self::route_and_check(
             self.router.as_mut(),
-            self.batched,
+            self.width,
             checker,
-            &self.collapsed,
+            &self.arena.collapsed,
             rounds,
             acc,
         );
@@ -422,7 +538,7 @@ impl Assessor {
                 let mut local = ResultAccumulator::new();
                 Self::route_and_check(
                     self.router.as_mut(),
-                    self.batched,
+                    self.width,
                     &mut checker,
                     table,
                     task.rounds,
@@ -441,7 +557,7 @@ impl Assessor {
             while let Some(task) = driver.next_task() {
                 let mut local = ResultAccumulator::new();
                 let t = self.run_chunk(&mut checker, task.seed, task.rounds, &mut local);
-                chunks.push(self.collapsed.clone());
+                chunks.push(self.arena.collapsed.clone());
                 let partial = driver.feed(task.chunk, local.rounds(), local.successes(), &t);
                 let flow = on_partial(&partial);
                 if partial.stop_hint || flow.is_break() {
@@ -458,6 +574,7 @@ impl Assessor {
         self.obs.total_us.record(driver.timings().total.as_micros() as u64);
         self.obs.assessments_total.inc();
         self.obs.cache_bytes.set(self.cache_bytes() as i64);
+        self.obs.arena_bytes.set(self.arena.bytes() as i64);
         DrivenAssessment {
             assessment: Assessment {
                 estimate: driver.estimate(),
@@ -473,8 +590,8 @@ impl Assessor {
     pub fn sampling_time(&mut self, rounds: usize, seed: u64) -> Duration {
         let t0 = Instant::now();
         for (chunk, _n) in self.chunk_layout(rounds) {
-            let mut sampler = self.kind.make(Self::chunk_seed(seed, chunk));
-            sampler.sample_into(self.model.probs(), &mut self.raw);
+            let mut sampler = AnySampler::new(self.kind, Self::chunk_seed(seed, chunk));
+            sampler.sample_into(self.model.probs(), &mut self.arena.raw);
         }
         t0.elapsed()
     }
@@ -664,9 +781,9 @@ mod tests {
         assert_eq!(prefix.estimate.rounds, 4_000);
     }
 
-    /// The tentpole invariant: the bit-sliced kernel and the scalar loop
-    /// produce bit-identical assessments — same successes, same rounds —
-    /// across samplers, specs (simple and complex), and word-boundary
+    /// The tentpole invariant: every kernel lane width — scalar, 64-lane,
+    /// 256-lane — produces bit-identical assessments (same successes, same
+    /// rounds) across specs (simple and complex) and word/wide-boundary
     /// round counts, on both the fresh and the cached-table paths.
     #[test]
     fn batched_equals_scalar_bit_for_bit() {
@@ -679,22 +796,31 @@ mod tests {
         for (si, spec) in specs.iter().enumerate() {
             let mut rng = Rng::new(40 + si as u64);
             let plan = DeploymentPlan::random(spec, t.hosts(), &mut rng);
-            for rounds in [63usize, 64, 65, 2_500, 2_563] {
+            for rounds in [63usize, 64, 65, 255, 256, 257, 2_500, 2_563] {
                 let model = FaultModel::paper_default(&t, 11);
                 let mut scalar = Assessor::new(&t, model.clone());
                 scalar.set_batched(false);
-                let mut batched = Assessor::new(&t, model);
-                assert!(batched.batched());
+                let mut word64 = Assessor::new(&t, model.clone());
+                word64.set_width(BatchWidth::Word64);
+                let mut wide = Assessor::new(&t, model);
+                assert!(wide.batched());
+                assert_eq!(wide.width(), BatchWidth::Wide256);
                 let rs = scalar.assess(spec, &plan, rounds, 9);
-                let rb = batched.assess(spec, &plan, rounds, 9);
+                let rw = word64.assess(spec, &plan, rounds, 9);
+                let rb = wide.assess(spec, &plan, rounds, 9);
                 assert_eq!(
                     (rs.estimate.successes, rs.estimate.rounds),
                     (rb.estimate.successes, rb.estimate.rounds),
                     "spec {si} rounds {rounds} fresh"
                 );
+                assert_eq!(
+                    (rs.estimate.successes, rs.estimate.rounds),
+                    (rw.estimate.successes, rw.estimate.rounds),
+                    "spec {si} rounds {rounds} word64"
+                );
                 // Cached-table path (second assess with the same seed).
                 let rs2 = scalar.assess(spec, &plan, rounds, 9);
-                let rb2 = batched.assess(spec, &plan, rounds, 9);
+                let rb2 = wide.assess(spec, &plan, rounds, 9);
                 assert_eq!(rs2.estimate.successes, rb2.estimate.successes);
                 assert_eq!(rb.estimate.successes, rb2.estimate.successes);
             }
@@ -737,7 +863,8 @@ mod tests {
         let per_chunk = t.num_components() * a.chunk_rounds.div_ceil(64) * 8;
         assert_eq!(a.cache_bytes(), layout.len() * per_chunk);
         // Pin the absolute footprint so searches can't silently balloon:
-        // k=4 fat-tree = 36 components, chunk = 2520 rounds = 40 words.
+        // k=4 fat-tree = 36 components, chunk = 2560 rounds = 40 words
+        // (already a wide-word multiple, so no padding).
         assert_eq!(a.cache_bytes(), 3 * 36 * 40 * 8);
         a.set_injector(None); // invalidates the cache
         assert_eq!(a.cache_bytes(), 0);

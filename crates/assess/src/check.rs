@@ -20,7 +20,7 @@
 
 use recloud_apps::{ApplicationSpec, Connectivity, DeploymentPlan, Source};
 use recloud_routing::Router;
-use recloud_sampling::BitMatrix;
+use recloud_sampling::{BitMatrix, WideWord};
 use recloud_topology::ComponentId;
 
 /// Reusable per-plan round checker.
@@ -36,6 +36,8 @@ pub struct StructureChecker {
     /// Scratch for the bit-sliced K-of-N count: `ge[j]` is the round-lane
     /// mask of "at least j+1 instances reachable so far".
     ge: Vec<u64>,
+    /// 256-lane analogue of `ge` for the wide kernel.
+    gew: Vec<WideWord>,
     /// Memoized all-alive-world verdict (what screened-out rounds resolve
     /// to). Valid for the lifetime of the checker: the plan is fixed and
     /// the baseline depends only on plan and topology.
@@ -61,7 +63,86 @@ impl StructureChecker {
             None
         };
         let active = hosts.iter().map(|h| vec![false; h.len()]).collect();
-        StructureChecker { hosts, requirements, simple_k, active, ge: Vec::new(), baseline: None }
+        StructureChecker {
+            hosts,
+            requirements,
+            simple_k,
+            active,
+            ge: Vec::new(),
+            gew: Vec::new(),
+            baseline: None,
+        }
+    }
+
+    /// Checks the (up to) 256 rounds of wide word `wide` in one sweep; lane
+    /// r of the result is the verdict of round `256·wide + r`, bit-identical
+    /// to [`StructureChecker::round_reliable`] on that round. Only the low
+    /// `n` lanes are meaningful. The router must already have had
+    /// [`Router::begin_wide`] called for (`states`, `wide`).
+    ///
+    /// Strategy mirrors [`StructureChecker::word_reliable`] one width up:
+    /// K-of-N on a wide-native router folds 256-lane reach words through
+    /// the bit-sliced counter; everything else decomposes into the four
+    /// 64-round subwords and runs the word path (which itself screens and
+    /// falls back round-major as needed).
+    pub fn wide_reliable(
+        &mut self,
+        router: &mut dyn Router,
+        states: &BitMatrix,
+        wide: usize,
+        n: usize,
+    ) -> WideWord {
+        debug_assert!(n >= 1 && n <= WideWord::LANES, "a verdict wide word holds 1..=256 rounds");
+        if router.wide_native() {
+            if let Some(k) = self.simple_k {
+                return self.k_of_n_wide(router, states, wide, k);
+            }
+        }
+        let mut out = WideWord::ZERO;
+        let mut left = n;
+        for i in 0..WideWord::WORDS {
+            if left == 0 {
+                break;
+            }
+            let w = wide * WideWord::WORDS + i;
+            let take = left.min(64);
+            router.begin_word(states, w);
+            out.set_word(i, self.word_reliable(router, states, w, take));
+            left -= take;
+        }
+        out
+    }
+
+    /// Bit-sliced K-of-N over a wide-native router — the 256-lane mirror
+    /// of [`StructureChecker::k_of_n_word`].
+    fn k_of_n_wide(
+        &mut self,
+        router: &mut dyn Router,
+        states: &BitMatrix,
+        wide: usize,
+        k: u32,
+    ) -> WideWord {
+        if k == 0 {
+            return WideWord::ONES; // vacuous requirement, reliable in every round
+        }
+        let k = k as usize;
+        self.gew.clear();
+        self.gew.resize(k, WideWord::ZERO);
+        for i in 0..self.hosts[0].len() {
+            let h = self.hosts[0][i];
+            let reach = router.external_reach_wide(states, h, wide);
+            for j in (1..k).rev() {
+                let below = self.gew[j - 1];
+                self.gew[j] |= below & reach;
+            }
+            self.gew[0] |= reach;
+            // Early exit once every lane has k reachable instances; the
+            // remaining hosts cannot change the verdict.
+            if self.gew[k - 1].is_ones() {
+                break;
+            }
+        }
+        self.gew[k - 1]
     }
 
     /// Checks the (up to) 64 rounds of word `word` in one sweep; bit r of

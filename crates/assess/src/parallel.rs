@@ -19,7 +19,7 @@
 //! regardless of worker count or scheduling — the property the
 //! equivalence tests pin down.
 
-use crate::assessor::{Assessment, Assessor, SamplerKind, Timings};
+use crate::assessor::{Assessment, Assessor, BatchWidth, SamplerKind, Timings};
 use crate::check::StructureChecker;
 use crate::driver::AssessmentDriver;
 use crate::wire::{JobFrame, ResultFrame, TaskFrame};
@@ -37,9 +37,11 @@ pub struct ParallelAssessor {
     model: FaultModel,
     kind: SamplerKind,
     workers: usize,
-    /// Worker engines use the batched route-and-check path (the default);
-    /// scalar exists for equivalence tests and benchmarking.
-    batched: bool,
+    /// Kernel lane width of every worker engine: 256-lane wide by default;
+    /// the narrower paths exist for equivalence tests and benchmarking.
+    /// Chunks are lane-width aligned (the serial engine's layout), so full
+    /// chunks decompose into whole wide words on every worker.
+    width: BatchWidth,
 }
 
 impl ParallelAssessor {
@@ -59,13 +61,24 @@ impl ParallelAssessor {
         kind: SamplerKind,
     ) -> Self {
         assert!(workers >= 1, "need at least one worker");
-        ParallelAssessor { topology: topology.clone(), model, kind, workers, batched: true }
+        ParallelAssessor {
+            topology: topology.clone(),
+            model,
+            kind,
+            workers,
+            width: BatchWidth::Wide256,
+        }
     }
 
-    /// Selects the batched or scalar route-and-check path in every worker
-    /// engine. Both produce bit-identical assessments.
+    /// Selects the batched (wide) or scalar route-and-check path in every
+    /// worker engine. Both produce bit-identical assessments.
     pub fn set_batched(&mut self, batched: bool) {
-        self.batched = batched;
+        self.width = if batched { BatchWidth::Wide256 } else { BatchWidth::Scalar };
+    }
+
+    /// Selects an explicit kernel lane width for every worker engine.
+    pub fn set_width(&mut self, width: BatchWidth) {
+        self.width = width;
     }
 
     /// Assesses a plan over `rounds` rounds, distributing chunks over the
@@ -116,8 +129,11 @@ impl ParallelAssessor {
                 .map(|c| c.iter().map(|&h| ComponentId(h)).collect())
                 .collect();
             let plan = DeploymentPlan::new(spec, assignments);
+            // One engine per worker: its chunk arena (and router) are
+            // built once here and reused for every chunk the worker
+            // drains, so steady-state workers allocate nothing.
             let mut engine = Assessor::with_sampler(&self.topology, self.model.clone(), self.kind);
-            engine.set_batched(self.batched);
+            engine.set_width(self.width);
             let mut checker = StructureChecker::new(spec, &plan);
             while let Ok(task) = task_rx.recv() {
                 let task = TaskFrame::decode(task).expect("master sent a valid task");

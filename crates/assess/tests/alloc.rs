@@ -1,0 +1,79 @@
+//! Arena guard: the steady-state chunk loop — sample into the arena,
+//! collapse in place, wide route-and-check — must be allocation-free.
+//! The whole point of the reusable [`ChunkArena`] and the stack-built
+//! samplers is that after the first chunk warms every scratch buffer
+//! (arena matrices at construction, the checker's bit-sliced counters on
+//! first use, the router's wide scratch), subsequent chunks only write
+//! into memory that already exists. A counting global allocator proves
+//! it, so the hot path cannot silently regress back to per-chunk
+//! allocation.
+
+use recloud_apps::{ApplicationSpec, DeploymentPlan};
+use recloud_assess::{Assessor, StructureChecker};
+use recloud_faults::FaultModel;
+use recloud_sampling::{ResultAccumulator, Rng};
+use recloud_topology::FatTreeParams;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+// Per-thread allocation counter (const-initialized, no-Drop payload, so
+// reading it inside the allocator neither allocates nor recurses). Only
+// the measuring thread's allocations must count — the libtest harness
+// allocates on other threads concurrently.
+thread_local! {
+    static TL_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        TL_ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        TL_ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = TL_ALLOCATIONS.with(Cell::get);
+    f();
+    TL_ALLOCATIONS.with(Cell::get) - before
+}
+
+#[test]
+fn wide_chunk_loop_does_not_allocate() {
+    let t = FatTreeParams::new(4).build();
+    let model = FaultModel::paper_default(&t, 11);
+    let spec = ApplicationSpec::k_of_n(2, 4);
+    let mut rng = Rng::new(6);
+    let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+
+    // Setup may allocate — that is the point of the arena: construction
+    // sizes every scratch buffer once.
+    let mut engine = Assessor::new(&t, model);
+    let mut checker = StructureChecker::new(&spec, &plan);
+    let mut acc = ResultAccumulator::new();
+    // Warm-up chunk: first use grows the checker's bit-sliced K-of-N
+    // counters and fills the router's lazy per-pod scratch.
+    engine.run_chunk(&mut checker, Assessor::chunk_seed(42, 0), 2_000, &mut acc);
+
+    // Steady state: full and short-tail chunks alike must not allocate.
+    for (chunk, rounds) in [(1u32, 2_000usize), (2, 257), (3, 63)] {
+        let allocs = allocations_during(|| {
+            engine.run_chunk(&mut checker, Assessor::chunk_seed(42, chunk), rounds, &mut acc);
+        });
+        assert_eq!(allocs, 0, "chunk of {rounds} rounds allocated {allocs} times");
+    }
+    assert!(acc.rounds() > 0, "the counted chunks really ran");
+}

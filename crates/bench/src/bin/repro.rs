@@ -9,8 +9,9 @@
 //! Subcommands: `table2`, `fig7` … `fig12`, `ablation-delta`,
 //! `ablation-schedule`, `ablation-symmetry`, `ablation-fault-trees`,
 //! `bench-assess`, `bench-serve`, `bench-search`, `all`. Flags:
-//! `--quick` (small scales/rounds), `--paper-times` (restore the
-//! 3–300 s Figure 9 budgets), `--seed <n>`, `--json <path>` (the bench
+//! `--quick` (small scales/rounds), `--xl` (bench-assess: add the
+//! k = 64 XL stress scale), `--paper-times` (restore the 3–300 s
+//! Figure 9 budgets), `--seed <n>`, `--json <path>` (the bench
 //! subcommands: also write a machine-readable snapshot).
 
 use recloud_bench::figures::{self, ReproOptions};
@@ -18,8 +19,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: repro <table2|fig7|fig8|fig9|fig10|fig11|fig12|\
 ablation-delta|ablation-schedule|ablation-symmetry|ablation-fault-trees|\
-bench-assess|bench-serve|bench-search|loadgen|all> [--quick] [--paper-times] [--seed <n>] \
-[--json <path>] [--addr <host:port>] [--smoke]";
+bench-assess|bench-serve|bench-search|loadgen|all> [--quick] [--xl] [--paper-times] \
+[--seed <n>] [--json <path>] [--addr <host:port>] [--smoke]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--xl" => opts.xl = true,
             "--paper-times" => opts.paper_times = true,
             "--smoke" => smoke = true,
             "--addr" => match it.next() {

@@ -22,13 +22,16 @@ pub struct ReproOptions {
     /// Use the paper's original 3–300 s search budgets in Figure 9
     /// (default: a geometrically equivalent 0.5–16 s sweep).
     pub paper_times: bool,
+    /// Also bench the XL [64512] stress scale (k = 64, beyond Table 2) in
+    /// `bench-assess`.
+    pub xl: bool,
     /// Master seed.
     pub seed: u64,
 }
 
 impl Default for ReproOptions {
     fn default() -> Self {
-        ReproOptions { quick: false, paper_times: false, seed: 1 }
+        ReproOptions { quick: false, paper_times: false, xl: false, seed: 1 }
     }
 }
 
@@ -431,29 +434,35 @@ pub struct AssessBenchGroup {
     pub mad: Duration,
     /// Rounds routed-and-checked per second at the median.
     pub rounds_per_sec: f64,
+    /// Resident bytes of the engine's reusable chunk arena (raw +
+    /// collapsed scratch matrices) — the peak per-engine scratch
+    /// footprint at this scale.
+    pub arena_bytes: usize,
 }
 
-/// Benchmark of the route-and-check stage: scalar vs the 64-round
-/// bit-sliced kernel, on cached failure-state tables (so sampling and
+/// Benchmark of the route-and-check stage: scalar vs the 256-lane
+/// wide-word kernel, on cached failure-state tables (so sampling and
 /// collapse are paid once up front and the timed region is routing plus
-/// checking only). Prints a table and, when `json` is given, writes the
-/// results as a machine-readable snapshot (see `BENCH_assess.json`).
+/// checking only). Covers every Table 2 scale up to Large [27072], plus
+/// the XL [64512] stress scale when `opts.xl` is set. Prints a table
+/// and, when `json` is given, writes the results as a machine-readable
+/// snapshot (see `BENCH_assess.json`).
 pub fn bench_assess(opts: &ReproOptions, json: Option<&str>) {
-    head("Bench: route-and-check, scalar vs 64-round bit-sliced kernel");
+    head("Bench: route-and-check, scalar vs 256-lane wide-word kernel");
     let rounds = 10_000usize;
     let samples: usize =
         std::env::var("RECLOUD_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(9);
     let spec_label = "4-of-5";
     let spec = ApplicationSpec::k_of_n(4, 5);
-    let scales = if opts.quick {
-        vec![Scale::Tiny, Scale::Small]
-    } else {
-        vec![Scale::Tiny, Scale::Small, Scale::Medium]
-    };
+    let mut scales = if opts.quick { vec![Scale::Tiny, Scale::Small] } else { Scale::ALL.to_vec() };
+    if opts.xl {
+        scales.push(Scale::Xl);
+    }
     println!("spec: {spec_label}, rounds: {rounds}, samples per group: {samples}");
     let mut groups: Vec<AssessBenchGroup> = Vec::new();
     let mut speedups: Vec<(String, f64)> = Vec::new();
-    let mut t = TextTable::new(vec!["scale", "mode", "median", "mad", "rounds/s", "speedup"]);
+    let mut t =
+        TextTable::new(vec!["scale", "mode", "median", "mad", "rounds/s", "speedup", "arena"]);
     for scale in scales {
         let (topo, model) = paper_env(scale, opts.seed);
         let mut rng = Rng::new(opts.seed);
@@ -481,6 +490,7 @@ pub fn bench_assess(opts: &ReproOptions, json: Option<&str>) {
                 median,
                 mad,
                 rounds_per_sec: rounds as f64 / median.as_secs_f64().max(1e-12),
+                arena_bytes: assessor.arena_bytes(),
             });
         }
         let speedup = medians[0].as_secs_f64() / medians[1].as_secs_f64().max(1e-12);
@@ -493,6 +503,7 @@ pub fn bench_assess(opts: &ReproOptions, json: Option<&str>) {
                 fmt_ms(g.mad.as_secs_f64() * 1e3),
                 format!("{:.0}", g.rounds_per_sec),
                 if g.mode == "batched" { format!("{speedup:.1}x") } else { "1.0x".to_string() },
+                format!("{:.1} MB", g.arena_bytes as f64 / 1e6),
             ]);
         }
     }
@@ -581,12 +592,13 @@ fn assess_bench_json(
     for (i, g) in groups.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"scale\": \"{}\", \"mode\": \"{}\", \"median_ns\": {}, \"mad_ns\": {}, \
-             \"rounds_per_sec\": {:.1}}}{}\n",
+             \"rounds_per_sec\": {:.1}, \"arena_bytes\": {}}}{}\n",
             g.scale,
             g.mode,
             g.median.as_nanos(),
             g.mad.as_nanos(),
             g.rounds_per_sec,
+            g.arena_bytes,
             if i + 1 < groups.len() { "," } else { "" }
         ));
     }
@@ -1018,6 +1030,7 @@ mod tests {
                 median: Duration::from_nanos(1_500),
                 mad: Duration::from_nanos(20),
                 rounds_per_sec: 100.0,
+                arena_bytes: 123_456,
             },
             AssessBenchGroup {
                 scale: "Tiny".into(),
@@ -1025,6 +1038,7 @@ mod tests {
                 median: Duration::from_nanos(500),
                 mad: Duration::from_nanos(10),
                 rounds_per_sec: 300.0,
+                arena_bytes: 123_456,
             },
         ];
         let speedups = vec![("Tiny".to_string(), 3.0)];
@@ -1036,6 +1050,7 @@ mod tests {
         assert!(body.ends_with("}\n"));
         assert!(body.contains("\"benchmark\": \"assess-route-and-check\""));
         assert!(body.contains("\"median_ns\": 1500"));
+        assert!(body.contains("\"arena_bytes\": 123456"));
         assert!(body.contains("\"batched_over_scalar\": 3.00"));
         assert!(body.contains("\"obs_overhead_pct\": 0.37"));
         assert!(body.contains("\"instruments\": {\"counters\":{"));

@@ -39,11 +39,12 @@ fn build_topology(p: &Parsed) -> Result<Topology, CliError> {
         "small" => Scale::Small,
         "medium" => Scale::Medium,
         "large" => Scale::Large,
+        "xl" => Scale::Xl,
         other => {
             return Err(CliError::BadValue {
                 flag: "scale".into(),
                 value: other.into(),
-                expected: "tiny|small|medium|large",
+                expected: "tiny|small|medium|large|xl",
             })
         }
     };
@@ -380,7 +381,7 @@ fn search_remote(p: &Parsed) -> Result<String, CliError> {
     let preset = Preset::from_name(&scale).ok_or_else(|| CliError::BadValue {
         flag: "scale".into(),
         value: scale.clone(),
-        expected: "tiny|small|medium|large",
+        expected: "tiny|small|medium|large|xl",
     })?;
     let workers = p.u32_or("workers", 2)?;
     let iters = p.u32_or("iters", 0)?;
@@ -802,7 +803,7 @@ pub fn loadgen(p: &Parsed) -> Result<String, CliError> {
     let preset = Preset::from_name(&scale).ok_or_else(|| CliError::BadValue {
         flag: "scale".into(),
         value: scale.clone(),
-        expected: "tiny|small|medium|large",
+        expected: "tiny|small|medium|large|xl",
     })?;
     let config = LoadgenConfig {
         addr,

@@ -68,7 +68,7 @@ COMMANDS:
     help         show this text
 
 COMMON OPTIONS:
-    --scale <tiny|small|medium|large>   paper preset (default: tiny)
+    --scale <tiny|small|medium|large|xl> paper preset (default: tiny)
     --topology <fattree|leafspine|jellyfish|bcube|vl2>
                                         generator when not using --scale
     --k <int> --n <int>                 K-of-N redundancy (default: 4-of-5)

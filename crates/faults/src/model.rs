@@ -201,8 +201,11 @@ impl FaultModel {
     }
 
     /// Collapses raw sampled event states into effective per-component
-    /// states, word-parallel. `out` must have `num_topology_components()`
-    /// rows and the same round count as `raw`.
+    /// states, 256 rounds per operation: dependency trees are evaluated
+    /// over [`recloud_sampling::WideWord`]s and written directly into the
+    /// wide-aligned rows
+    /// of `out`. `out` must have `num_topology_components()` rows and the
+    /// same round count as `raw` (which makes their wide layouts match).
     ///
     /// After this call, downstream route-and-check only ever looks at
     /// `out`: all correlated-failure reasoning has been folded in.
@@ -210,18 +213,18 @@ impl FaultModel {
         assert_eq!(raw.components(), self.num_events(), "raw matrix shape mismatch");
         assert_eq!(out.components(), self.topo_components, "out matrix shape mismatch");
         assert_eq!(raw.rounds(), out.rounds(), "round count mismatch");
-        let words = raw.words_per_row();
+        let wides = raw.wide_words_per_row();
         for c in 0..self.topo_components {
             match &self.trees[c] {
                 None => {
-                    for w in 0..words {
-                        out.set_word(c, w, raw.word(c, w));
+                    for ww in 0..wides {
+                        out.set_wide_word(c, ww, raw.wide_word(c, ww));
                     }
                 }
                 Some(tree) => {
-                    for w in 0..words {
-                        let dep = tree.eval_word(&|e: ComponentId| raw.word(e.index(), w));
-                        out.set_word(c, w, raw.word(c, w) | dep);
+                    for ww in 0..wides {
+                        let dep = tree.eval_wide(&|e: ComponentId| raw.wide_word(e.index(), ww));
+                        out.set_wide_word(c, ww, raw.wide_word(c, ww) | dep);
                     }
                 }
             }

@@ -16,7 +16,7 @@
 //! either per-round or word-parallel (64 rounds per operation; the hot path
 //! of assessment).
 
-use recloud_sampling::BitMatrix;
+use recloud_sampling::{BitMatrix, WideWord};
 use recloud_topology::ComponentId;
 
 /// Index of a node within one [`FaultTree`].
@@ -130,6 +130,46 @@ impl FaultTree {
                 for (lane, &count) in counts.iter().enumerate() {
                     if u32::from(count) >= *k {
                         out |= 1u64 << lane;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Wide-parallel evaluation: computes the failure lanes of 256 rounds
+    /// at once. `wide_of(c)` returns the 256-round wide word of component
+    /// `c`'s raw sampled states — the 256-lane analogue of
+    /// [`FaultTree::eval_word`].
+    pub fn eval_wide(&self, wide_of: &dyn Fn(ComponentId) -> WideWord) -> WideWord {
+        self.eval_node_wide(self.root, wide_of)
+    }
+
+    fn eval_node_wide(&self, id: NodeId, wide_of: &dyn Fn(ComponentId) -> WideWord) -> WideWord {
+        match &self.nodes[id as usize] {
+            Node::Basic(c) => wide_of(*c),
+            Node::Or(ch) => {
+                ch.iter().fold(WideWord::ZERO, |acc, &c| acc | self.eval_node_wide(c, wide_of))
+            }
+            Node::And(ch) => {
+                ch.iter().fold(WideWord::ONES, |acc, &c| acc & self.eval_node_wide(c, wide_of))
+            }
+            Node::KofN(k, ch) => {
+                // Bitwise thresholding: count failures per round lane.
+                let mut counts = [0u8; WideWord::LANES];
+                for &c in ch {
+                    let w = self.eval_node_wide(c, wide_of);
+                    if w.is_zero() {
+                        continue;
+                    }
+                    for (lane, count) in counts.iter_mut().enumerate() {
+                        *count += w.bit(lane) as u8;
+                    }
+                }
+                let mut out = WideWord::ZERO;
+                for (lane, &count) in counts.iter().enumerate() {
+                    if u32::from(count) >= *k {
+                        out.set_word(lane / 64, out.word(lane / 64) | 1u64 << (lane % 64));
                     }
                 }
                 out
@@ -344,6 +384,29 @@ mod tests {
         for lane in 0..64 {
             let scalar = t.eval(&|x: ComponentId| (words[x.index()] >> lane) & 1 == 1);
             assert_eq!((word >> lane) & 1 == 1, scalar, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn wide_eval_matches_word_eval() {
+        // fig5 (OR/AND mix) plus a K-of-N gate, both against 4 distinct
+        // subwords per event so every lane region differs.
+        let trees = vec![fig5(), {
+            let mut b = FaultTreeBuilder::new();
+            let leaves: Vec<_> = (0..7).map(|i| b.basic(c(i))).collect();
+            let root = b.k_of_n(4, leaves);
+            b.build(root)
+        }];
+        for t in trees {
+            let wide_of = |x: ComponentId| {
+                let base = 0x9E37_79B9_7F4A_7C15u64.rotate_left(x.0 * 13) ^ (x.0 as u64 * 0x5AA5);
+                WideWord([base, base.rotate_left(17), !base, base.wrapping_mul(3)])
+            };
+            let wide = t.eval_wide(&wide_of);
+            for i in 0..WideWord::WORDS {
+                let word = t.eval_word(&|x: ComponentId| wide_of(x).word(i));
+                assert_eq!(wide.word(i), word, "subword {i}");
+            }
         }
     }
 

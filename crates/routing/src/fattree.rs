@@ -23,7 +23,7 @@
 //! tests in `lib.rs` and by property tests.
 
 use crate::Router;
-use recloud_sampling::BitMatrix;
+use recloud_sampling::{BitMatrix, WideWord};
 use recloud_topology::{ComponentId, FatTreeMeta, Topology};
 
 /// O(1)-per-query router for fat-trees with a dedicated border pod.
@@ -54,6 +54,17 @@ pub struct FatTreeRouter {
     pod_agg_any_w: Vec<u64>,
     pod_wstamp: Vec<u32>,
     wepoch: u32,
+    /// Wide-protocol context (the 256-lane kernel) — same shapes as the
+    /// word-protocol masks above, one [`WideWord`] lane per round of the
+    /// current wide word.
+    wide: usize,
+    core_any_ww: Vec<WideWord>,
+    border_ok_ww: Vec<WideWord>,
+    agg_ww: Vec<WideWord>,
+    pod_ext_ww: Vec<WideWord>,
+    pod_agg_any_ww: Vec<WideWord>,
+    pod_wwstamp: Vec<u32>,
+    wwepoch: u32,
 }
 
 impl FatTreeRouter {
@@ -83,6 +94,14 @@ impl FatTreeRouter {
             pod_agg_any_w: vec![0; pods],
             pod_wstamp: vec![0; pods],
             wepoch: 0,
+            wide: 0,
+            core_any_ww: vec![WideWord::ZERO; half],
+            border_ok_ww: vec![WideWord::ZERO; half],
+            agg_ww: vec![WideWord::ZERO; pods * half],
+            pod_ext_ww: vec![WideWord::ZERO; pods],
+            pod_agg_any_ww: vec![WideWord::ZERO; pods],
+            pod_wwstamp: vec![0; pods],
+            wwepoch: 0,
         }
     }
 
@@ -121,6 +140,35 @@ impl FatTreeRouter {
         self.pod_ext_w[p] = ext;
         self.pod_agg_any_w[p] = any;
         self.pod_wstamp[p] = self.wepoch;
+    }
+
+    /// 256-lane "alive" mask of one component over the rounds of wide word
+    /// `wide`; same tail-lane contract as [`FatTreeRouter::alive_word`].
+    #[inline]
+    fn alive_wide(states: &BitMatrix, c: ComponentId, wide: usize) -> WideWord {
+        !states.wide_word(c.index(), wide)
+    }
+
+    /// Fills the per-pod wide-lane masks on first use within a wide word —
+    /// the 256-lane mirror of [`FatTreeRouter::pod_words_of`].
+    #[inline]
+    fn pod_wides_of(&mut self, states: &BitMatrix, pod: u32) {
+        let p = pod as usize;
+        if self.pod_wwstamp[p] == self.wwepoch {
+            return;
+        }
+        let half = self.meta.half as usize;
+        let mut ext = WideWord::ZERO;
+        let mut any = WideWord::ZERO;
+        for g in 0..half {
+            let agg = Self::alive_wide(states, self.meta.agg(pod, g as u32), self.wide);
+            self.agg_ww[p * half + g] = agg;
+            ext |= agg & self.border_ok_ww[g];
+            any |= agg;
+        }
+        self.pod_ext_ww[p] = ext;
+        self.pod_agg_any_ww[p] = any;
+        self.pod_wwstamp[p] = self.wwepoch;
     }
 
     /// Per-pod agg mask, computed on first use in a round. Keeping this
@@ -276,6 +324,80 @@ impl Router for FatTreeRouter {
         let mut cross = 0u64;
         for g in 0..half {
             cross |= self.agg_w[ia + g] & self.agg_w[ib + g] & self.core_any_w[g];
+        }
+        both & ea & eb & cross
+    }
+
+    /// Digests the switch tiers once per 256 rounds — the wide analogue of
+    /// [`Router::begin_word`].
+    fn begin_wide(&mut self, states: &BitMatrix, wide: usize) {
+        self.wide = wide;
+        self.wwepoch = self.wwepoch.wrapping_add(1).max(1);
+        let half = self.meta.half;
+        for g in 0..half {
+            let mut any = WideWord::ZERO;
+            for j in 0..half {
+                any |= Self::alive_wide(states, self.meta.core(g, j), wide);
+                if any.is_ones() {
+                    break; // every lane already covered
+                }
+            }
+            self.core_any_ww[g as usize] = any;
+            self.border_ok_ww[g as usize] =
+                any & Self::alive_wide(states, self.meta.border(g), wide);
+        }
+    }
+
+    fn wide_native(&self) -> bool {
+        true
+    }
+
+    fn external_reach_wide(
+        &mut self,
+        states: &BitMatrix,
+        host: ComponentId,
+        wide: usize,
+    ) -> WideWord {
+        debug_assert!(self.meta.is_host(host), "external_reach_wide takes a host id");
+        debug_assert_eq!(wide, self.wide, "begin_wide installs the wide context");
+        let pos = self.meta.host_position(host);
+        self.pod_wides_of(states, pos.pod);
+        Self::alive_wide(states, host, wide)
+            & Self::alive_wide(states, self.meta.edge(pos.pod, pos.edge), wide)
+            & self.pod_ext_ww[pos.pod as usize]
+    }
+
+    fn connects_wide(
+        &mut self,
+        states: &BitMatrix,
+        a: ComponentId,
+        b: ComponentId,
+        wide: usize,
+    ) -> WideWord {
+        debug_assert!(self.meta.is_host(a) && self.meta.is_host(b), "connects_wide takes host ids");
+        debug_assert_eq!(wide, self.wide, "begin_wide installs the wide context");
+        let both = Self::alive_wide(states, a, wide) & Self::alive_wide(states, b, wide);
+        if a == b {
+            return both;
+        }
+        let pa = self.meta.host_position(a);
+        let pb = self.meta.host_position(b);
+        let ea = Self::alive_wide(states, self.meta.edge(pa.pod, pa.edge), wide);
+        if pa.pod == pb.pod && pa.edge == pb.edge {
+            return both & ea;
+        }
+        let eb = Self::alive_wide(states, self.meta.edge(pb.pod, pb.edge), wide);
+        if pa.pod == pb.pod {
+            self.pod_wides_of(states, pa.pod);
+            return both & ea & eb & self.pod_agg_any_ww[pa.pod as usize];
+        }
+        self.pod_wides_of(states, pa.pod);
+        self.pod_wides_of(states, pb.pod);
+        let half = self.meta.half as usize;
+        let (ia, ib) = (pa.pod as usize * half, pb.pod as usize * half);
+        let mut cross = WideWord::ZERO;
+        for g in 0..half {
+            cross |= self.agg_ww[ia + g] & self.agg_ww[ib + g] & self.core_any_ww[g];
         }
         both & ea & eb & cross
     }
@@ -439,6 +561,90 @@ mod tests {
         let conn = r.connects_word(&states, h, m.host(1, 0, 0), 0) & states.word_mask(0);
         assert_eq!(conn & 0b11, 0);
         assert_eq!(conn | 0b11, !0);
+    }
+
+    /// Wide lanes are independent across the full 256-lane span and across
+    /// wide-word boundaries — the 256-lane mirror of
+    /// `word_lanes_are_independent`.
+    #[test]
+    fn wide_lanes_are_independent() {
+        let (t, m, _) = setup(4);
+        let mut states = BitMatrix::new(t.num_components(), 300);
+        // Failures staged one per lane region: round 0 (word 0), round 65
+        // (word 1), round 130 (word 2), round 200 (word 3), round 256
+        // (second wide word).
+        states.set(m.edge(0, 0).index(), 0);
+        for g in 0..m.half {
+            states.set(m.agg(0, g).index(), 65);
+        }
+        for j in 0..m.half {
+            states.set(m.core(0, j).index(), 130);
+        }
+        states.set(m.border(1).index(), 130);
+        let h = m.host(0, 0, 0);
+        states.set(h.index(), 200);
+        states.set(h.index(), 256);
+
+        let mut r = FatTreeRouter::new(&t);
+        r.begin_wide(&states, 0);
+        let reach = r.external_reach_wide(&states, h, 0) & states.wide_mask(0);
+        let mut expect = WideWord::ONES;
+        for lane in [0usize, 65, 130, 200] {
+            expect.set_word(lane / 64, expect.word(lane / 64) & !(1u64 << (lane % 64)));
+        }
+        assert_eq!(reach, expect & states.wide_mask(0));
+        r.begin_wide(&states, 1);
+        let reach1 = r.external_reach_wide(&states, h, 1) & states.wide_mask(1);
+        let mut expect1 = states.wide_mask(1);
+        expect1.set_word(0, expect1.word(0) & !1); // round 256 = lane 0
+        assert_eq!(reach1, expect1);
+
+        // Cross-pod connectivity: round 130's dead core group 0 still
+        // leaves group 1 cores for east-west, so only rounds 0, 65, 200 cut
+        // it in the first wide word.
+        r.begin_wide(&states, 0);
+        let conn = r.connects_wide(&states, h, m.host(1, 0, 0), 0) & states.wide_mask(0);
+        let mut cexpect = WideWord::ONES;
+        for lane in [0usize, 65, 200] {
+            cexpect.set_word(lane / 64, cexpect.word(lane / 64) & !(1u64 << (lane % 64)));
+        }
+        assert_eq!(conn, cexpect & states.wide_mask(0));
+    }
+
+    /// The native wide path must equal the four word queries it replaces.
+    #[test]
+    fn wide_equals_stacked_words() {
+        let (t, m, _) = setup(4);
+        let rounds = 257;
+        let mut states = BitMatrix::new(t.num_components(), rounds);
+        let mut rng = recloud_sampling::Rng::new(42);
+        for c in 0..states.components() {
+            for r in 0..rounds {
+                if rng.next_below(12) == 0 {
+                    states.set(c, r);
+                }
+            }
+        }
+        let mut r = FatTreeRouter::new(&t);
+        let hosts = [m.host(0, 0, 0), m.host(0, 0, 1), m.host(1, 1, 0), m.host(2, 0, 1)];
+        for ww in 0..states.wide_words_per_row() {
+            r.begin_wide(&states, ww);
+            let mask = states.wide_mask(ww);
+            let reach: Vec<WideWord> =
+                hosts.iter().map(|&h| r.external_reach_wide(&states, h, ww) & mask).collect();
+            let conn: Vec<WideWord> =
+                hosts.iter().map(|&h| r.connects_wide(&states, hosts[0], h, ww) & mask).collect();
+            for i in 0..WideWord::WORDS {
+                let w = ww * WideWord::WORDS + i;
+                r.begin_word(&states, w);
+                for (j, &h) in hosts.iter().enumerate() {
+                    let rw = r.external_reach_word(&states, h, w) & states.word_mask(w);
+                    assert_eq!(reach[j].word(i), rw, "reach ww={ww} sub={i} host={h}");
+                    let cw = r.connects_word(&states, hosts[0], h, w) & states.word_mask(w);
+                    assert_eq!(conn[j].word(i), cw, "conn ww={ww} sub={i} host={h}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -39,11 +39,11 @@ pub use fattree::FatTreeRouter;
 pub use generic::GenericRouter;
 pub use updown::UpDownRouter;
 
-use recloud_sampling::BitMatrix;
+use recloud_sampling::{BitMatrix, WideWord};
 use recloud_topology::{ComponentId, Topology, TopologyKind};
 
-/// Reachability oracle for one sampling round — or, through the word API,
-/// for 64 rounds at a time.
+/// Reachability oracle for one sampling round — or, through the word and
+/// wide APIs, for 64 or 256 rounds at a time.
 ///
 /// Scalar protocol: call [`Router::begin_round`] with the collapsed state
 /// matrix and a round index, then issue queries *against the same matrix
@@ -57,8 +57,16 @@ use recloud_topology::{ComponentId, Topology, TopologyKind};
 /// the scalar query on that round. Bits beyond the matrix's round count
 /// are unspecified — callers mask with [`BitMatrix::word_mask`].
 ///
-/// The two protocols share router scratch: interleaving them is allowed
-/// only by re-issuing the relevant `begin_*` call first.
+/// Wide protocol (the 256-lane kernel): call [`Router::begin_wide`] with a
+/// wide-word index `ww`, then issue [`Router::external_reach_wide`] /
+/// [`Router::connects_wide`] queries for the same `(states, ww)`. Lane `r`
+/// of a result wide word is the verdict for round `256·ww + r`. The default
+/// implementations decompose a wide word into its four 64-round subwords
+/// through the word API, so every router gets the wide API for free and the
+/// 64-bit path remains the degenerate width.
+///
+/// All protocols share router scratch: interleaving them is allowed only by
+/// re-issuing the relevant `begin_*` call first.
 pub trait Router {
     /// Installs the failure states of one round (the per-round context
     /// setup). `states` must be the *collapsed* matrix: one row per
@@ -167,6 +175,70 @@ pub trait Router {
             if self.connects(states, a, b) {
                 out |= 1 << r;
             }
+        }
+        out
+    }
+
+    /// Installs the context for the 256 rounds of wide word `wide` (the
+    /// 256-lane analogue of [`Router::begin_word`]). The default is a
+    /// no-op: the fallback wide queries re-issue [`Router::begin_word`]
+    /// per 64-round subword.
+    fn begin_wide(&mut self, _states: &BitMatrix, _wide: usize) {}
+
+    /// True when the wide queries are answered natively in 256-lane bit
+    /// algebra rather than by the word-decomposition default.
+    fn wide_native(&self) -> bool {
+        false
+    }
+
+    /// Screen mask for wide word `wide` — the 256-lane analogue of
+    /// [`Router::screen_word`]: a clear lane proves the round equals the
+    /// all-alive baseline.
+    fn screen_wide(&mut self, states: &BitMatrix, wide: usize) -> WideWord {
+        states.any_failed_wide(wide)
+    }
+
+    /// 256-round batched [`Router::external_reaches`]: lane r of the
+    /// result is the verdict for round `256·wide + r`. The default
+    /// assembles the four 64-round subwords through the word API
+    /// (re-issuing [`Router::begin_word`] per subword); alignment-padding
+    /// subwords contribute zero lanes. Lanes beyond the round count are
+    /// unspecified — callers mask with [`BitMatrix::wide_mask`].
+    fn external_reach_wide(
+        &mut self,
+        states: &BitMatrix,
+        host: ComponentId,
+        wide: usize,
+    ) -> WideWord {
+        let mut out = WideWord::ZERO;
+        for i in 0..WideWord::WORDS {
+            let w = wide * WideWord::WORDS + i;
+            if states.rounds_in_word(w) == 0 {
+                break;
+            }
+            self.begin_word(states, w);
+            out.set_word(i, self.external_reach_word(states, host, w));
+        }
+        out
+    }
+
+    /// 256-round batched [`Router::connects`]; same contract and default
+    /// strategy as [`Router::external_reach_wide`].
+    fn connects_wide(
+        &mut self,
+        states: &BitMatrix,
+        a: ComponentId,
+        b: ComponentId,
+        wide: usize,
+    ) -> WideWord {
+        let mut out = WideWord::ZERO;
+        for i in 0..WideWord::WORDS {
+            let w = wide * WideWord::WORDS + i;
+            if states.rounds_in_word(w) == 0 {
+                break;
+            }
+            self.begin_word(states, w);
+            out.set_word(i, self.connects_word(states, a, b, w));
         }
         out
     }
@@ -297,6 +369,65 @@ mod agreement_tests {
                 }
             }
         }
+    }
+
+    /// Every router's wide API must agree lane-for-lane with its own word
+    /// verdicts — native 256-lane algebra (analytic) and the
+    /// word-decomposition default (reference BFS routers) alike — across a
+    /// full wide word plus a ragged tail.
+    #[test]
+    fn wide_api_agrees_with_word_for_every_router() {
+        let t = FatTreeParams::new(4).build();
+        let rounds = 300; // 1 full wide word + a 44-round tail
+        let states = random_states(&t, rounds, 0.08, 21);
+        let hosts = t.hosts();
+        let probes: Vec<_> = hosts.iter().step_by(5).copied().collect();
+        let routers: Vec<Box<dyn Router>> = vec![
+            Box::new(FatTreeRouter::new(&t)),
+            Box::new(UpDownRouter::for_fat_tree(&t)),
+            Box::new(GenericRouter::new(&t)),
+        ];
+        for mut r in routers {
+            let name = r.name();
+            for ww in 0..states.wide_words_per_row() {
+                let mask = states.wide_mask(ww);
+                r.begin_wide(&states, ww);
+                let screen = r.screen_wide(&states, ww);
+                let reach: Vec<WideWord> =
+                    probes.iter().map(|&h| r.external_reach_wide(&states, h, ww) & mask).collect();
+                r.begin_wide(&states, ww);
+                let conn: Vec<WideWord> = probes
+                    .iter()
+                    .map(|&h| r.connects_wide(&states, probes[0], h, ww) & mask)
+                    .collect();
+                for i in 0..WideWord::WORDS {
+                    let w = ww * WideWord::WORDS + i;
+                    let wmask = states.word_mask(w);
+                    assert_eq!(screen.word(i), states.any_failed_word(w), "{name}: screen");
+                    r.begin_word(&states, w);
+                    for (j, &h) in probes.iter().enumerate() {
+                        assert_eq!(
+                            reach[j].word(i),
+                            r.external_reach_word(&states, h, w) & wmask,
+                            "{name}: external ww={ww} sub={i} host {h}"
+                        );
+                        assert_eq!(
+                            conn[j].word(i),
+                            r.connects_word(&states, probes[0], h, w) & wmask,
+                            "{name}: connects ww={ww} sub={i} host {h}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_analytic_router_is_wide_native() {
+        let t = FatTreeParams::new(4).build();
+        assert!(FatTreeRouter::new(&t).wide_native());
+        assert!(!UpDownRouter::for_fat_tree(&t).wide_native());
+        assert!(!GenericRouter::new(&t).wide_native());
     }
 
     /// The screen mask may only clear a bit when the round is genuinely

@@ -12,6 +12,8 @@
 //! parallel workers) in O(1) memory via Welford-style moment tracking —
 //! for 0/1 data, tracking the success count is exact and sufficient.
 
+use crate::wide::WideWord;
+
 /// Streaming accumulator over per-round 0/1 verdicts.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ResultAccumulator {
@@ -43,6 +45,20 @@ impl ResultAccumulator {
     pub fn push_word(&mut self, mask: u64, n: u32) {
         assert!(n <= 64, "a verdict word holds at most 64 rounds");
         let valid = if n == 64 { !0 } else { (1u64 << n) - 1 };
+        self.rounds += n as u64;
+        self.successes += (mask & valid).count_ones() as u64;
+    }
+
+    /// Records one 256-round verdict wide word from the 256-lane
+    /// route-and-check path: lane r of `mask` is round r's verdict, of
+    /// which only the low `n` lanes are valid.
+    ///
+    /// # Panics
+    /// Panics if `n > 256`.
+    #[inline]
+    pub fn push_wide(&mut self, mask: WideWord, n: u32) {
+        assert!(n <= WideWord::LANES as u32, "a verdict wide word holds at most 256 rounds");
+        let valid = WideWord::lane_mask(n as usize);
         self.rounds += n as u64;
         self.successes += (mask & valid).count_ones() as u64;
     }
@@ -200,6 +216,34 @@ mod tests {
     #[should_panic(expected = "at most 64 rounds")]
     fn push_word_rejects_oversized() {
         ResultAccumulator::new().push_word(0, 65);
+    }
+
+    #[test]
+    fn push_wide_equals_word_pushes() {
+        let mask = WideWord([0xDEAD_BEEF_0123_4567, !0, 0, 0x8000_0000_0000_0001]);
+        for n in [1u32, 63, 64, 65, 128, 255, 256] {
+            let mut wide = ResultAccumulator::new();
+            wide.push_wide(mask, n);
+            let mut words = ResultAccumulator::new();
+            let mut left = n;
+            for i in 0..4 {
+                let take = left.min(64);
+                words.push_word(mask.word(i), take);
+                left -= take;
+            }
+            assert_eq!(wide, words, "n={n}");
+        }
+        // Garbage above the valid lanes must not count.
+        let mut acc = ResultAccumulator::new();
+        acc.push_wide(WideWord::ONES, 70);
+        assert_eq!(acc.rounds(), 70);
+        assert_eq!(acc.successes(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256 rounds")]
+    fn push_wide_rejects_oversized() {
+        ResultAccumulator::new().push_wide(WideWord::ZERO, 257);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod proptest;
 pub mod rng;
 pub mod state;
 pub mod sync;
+pub mod wide;
 pub mod wire;
 
 pub use dagger::DaggerCycle;
@@ -53,6 +54,7 @@ pub use extended::ExtendedDaggerSampler;
 pub use montecarlo::MonteCarloSampler;
 pub use rng::{derive_seed, normal_probability, Rng};
 pub use state::{BitMatrix, BitRow};
+pub use wide::WideWord;
 
 /// A failure-state generator: fills a component × round bit matrix where a
 /// set bit means "failed in that round".

@@ -2,14 +2,19 @@
 //!
 //! The failure-state table of §3.2.1 (Table 1) — one row per component, one
 //! column per sampling round — is stored as a bit matrix: a set bit means
-//! *failed*. Rows are 64-bit-word aligned so per-round reads and per-row
-//! population counts are branch-free.
+//! *failed*. Rows are padded to [`WideWord`] alignment (4×u64, 256 rounds)
+//! so per-round reads, per-row population counts, and 256-lane wide reads
+//! are all branch-free; padding words are invisible to every accessor and
+//! are kept zero by all writers (`set_word`/`set_wide_word` mask, bit
+//! writers bounds-check against `rounds`).
 //!
 //! At the paper's largest setting (≈30K components × 10⁴ rounds) this is
 //! ~37 MB; assessment code typically works in *blocks* of rounds (one
 //! extended-dagger macro-cycle at a time), which keeps the working set in
 //! cache. Both layouts are served by the same structure since rows are
 //! independent.
+
+use crate::wide::WideWord;
 
 /// A borrowed view of one component's failure states across rounds.
 #[derive(Clone, Copy, Debug)]
@@ -60,9 +65,10 @@ pub struct BitMatrix {
 }
 
 impl BitMatrix {
-    /// An all-alive matrix of the given shape.
+    /// An all-alive matrix of the given shape. Rows are padded to wide-word
+    /// alignment so each row holds a whole number of [`WideWord`]s.
     pub fn new(components: usize, rounds: usize) -> Self {
-        let words_per_row = rounds.div_ceil(64);
+        let words_per_row = rounds.div_ceil(64).next_multiple_of(WideWord::WORDS);
         BitMatrix { components, rounds, words_per_row, bits: vec![0; components * words_per_row] }
     }
 
@@ -125,30 +131,26 @@ impl BitMatrix {
     }
 
     /// Writes the `w`-th 64-round word of component `c`'s row. Bits beyond
-    /// the round count are masked off so population counts stay exact.
+    /// the round count are masked off so population counts stay exact —
+    /// this includes alignment-padding words, where every bit is masked,
+    /// so blanket row writes (e.g. fault injection) stay safe.
     #[inline]
     pub fn set_word(&mut self, c: usize, w: usize, value: u64) {
         debug_assert!(c < self.components && w < self.words_per_row);
-        let mut v = value;
-        if w == self.words_per_row - 1 {
-            let tail = self.rounds % 64;
-            if tail != 0 {
-                v &= (1u64 << tail) - 1;
-            }
-        }
-        self.bits[c * self.words_per_row + w] = v;
+        self.bits[c * self.words_per_row + w] = value & self.word_mask(w);
     }
 
-    /// Number of valid rounds covered by word `w` (64 for every word but a
-    /// short tail, where it is `rounds % 64`).
+    /// Number of valid rounds covered by word `w` (64 for every word but
+    /// the tail, where it is `rounds % 64`; 0 for alignment-padding words).
     #[inline]
     pub fn rounds_in_word(&self, w: usize) -> usize {
         debug_assert!(w < self.words_per_row || (self.words_per_row == 0 && w == 0));
-        (self.rounds - w * 64).min(64)
+        self.rounds.saturating_sub(w * 64).min(64)
     }
 
     /// Mask of the valid round bits of word `w`: bit r is set iff round
-    /// `64·w + r` exists. All-ones except possibly for the tail word.
+    /// `64·w + r` exists. All-ones except for the tail word, and all-zeros
+    /// for alignment-padding words.
     #[inline]
     pub fn word_mask(&self, w: usize) -> u64 {
         let n = self.rounds_in_word(w);
@@ -157,6 +159,69 @@ impl BitMatrix {
         } else {
             (1u64 << n) - 1
         }
+    }
+
+    /// Number of [`WideWord`]s per component row.
+    #[inline]
+    pub fn wide_words_per_row(&self) -> usize {
+        self.words_per_row / WideWord::WORDS
+    }
+
+    /// Reads the `ww`-th 256-round wide word of component `c`'s row.
+    #[inline]
+    pub fn wide_word(&self, c: usize, ww: usize) -> WideWord {
+        debug_assert!(c < self.components && ww < self.wide_words_per_row());
+        let start = c * self.words_per_row + ww * WideWord::WORDS;
+        WideWord([
+            self.bits[start],
+            self.bits[start + 1],
+            self.bits[start + 2],
+            self.bits[start + 3],
+        ])
+    }
+
+    /// Writes the `ww`-th 256-round wide word of component `c`'s row. Like
+    /// [`BitMatrix::set_word`], lanes beyond the round count are masked off.
+    #[inline]
+    pub fn set_wide_word(&mut self, c: usize, ww: usize, value: WideWord) {
+        debug_assert!(c < self.components && ww < self.wide_words_per_row());
+        let start = c * self.words_per_row + ww * WideWord::WORDS;
+        let masked = value & self.wide_mask(ww);
+        self.bits[start] = masked.word(0);
+        self.bits[start + 1] = masked.word(1);
+        self.bits[start + 2] = masked.word(2);
+        self.bits[start + 3] = masked.word(3);
+    }
+
+    /// Number of valid rounds covered by wide word `ww` (256 for every wide
+    /// word but the tail, where it is `rounds % 256`).
+    #[inline]
+    pub fn rounds_in_wide(&self, ww: usize) -> usize {
+        self.rounds.saturating_sub(ww * WideWord::LANES).min(WideWord::LANES)
+    }
+
+    /// Mask of the valid round lanes of wide word `ww`: lane r is set iff
+    /// round `256·ww + r` exists.
+    #[inline]
+    pub fn wide_mask(&self, ww: usize) -> WideWord {
+        WideWord::lane_mask(self.rounds_in_wide(ww))
+    }
+
+    /// OR of every component's wide word `ww` — the 256-lane analogue of
+    /// [`BitMatrix::any_failed_word`]: a zero lane proves the round's
+    /// verdict equals the all-alive baseline.
+    pub fn any_failed_wide(&self, ww: usize) -> WideWord {
+        debug_assert!(ww < self.wide_words_per_row());
+        let mut acc = [0u64; 4];
+        let mut i = ww * WideWord::WORDS;
+        for _ in 0..self.components {
+            acc[0] |= self.bits[i];
+            acc[1] |= self.bits[i + 1];
+            acc[2] |= self.bits[i + 2];
+            acc[3] |= self.bits[i + 3];
+            i += self.words_per_row;
+        }
+        WideWord(acc)
     }
 
     /// OR of every component's word `w`: bit r is set iff *any* component
@@ -249,8 +314,35 @@ mod tests {
     #[test]
     fn bytes_accounts_padding() {
         let m = BitMatrix::new(2, 65);
-        // 65 bits -> 2 words per row, 2 rows -> 32 bytes.
-        assert_eq!(m.bytes(), 32);
+        // 65 bits -> 2 words, padded to one wide word (4), 2 rows -> 64 bytes.
+        assert_eq!(m.bytes(), 64);
+        assert_eq!(m.words_per_row(), 4);
+        assert_eq!(m.wide_words_per_row(), 1);
+        let exact = BitMatrix::new(3, 256);
+        assert_eq!(exact.words_per_row(), 4);
+        assert_eq!(exact.bytes(), 3 * 4 * 8);
+    }
+
+    #[test]
+    fn padding_words_are_inert() {
+        // 65 rounds: words 2 and 3 of the row are pure alignment padding.
+        let mut m = BitMatrix::new(1, 65);
+        assert_eq!(m.rounds_in_word(0), 64);
+        assert_eq!(m.rounds_in_word(1), 1);
+        assert_eq!(m.rounds_in_word(2), 0);
+        assert_eq!(m.rounds_in_word(3), 0);
+        assert_eq!(m.word_mask(1), 1);
+        assert_eq!(m.word_mask(2), 0);
+        // Blanket writes across the whole row (the fault-injection pattern)
+        // leave tail and padding bits clear.
+        for w in 0..m.words_per_row() {
+            m.set_word(0, w, u64::MAX);
+        }
+        assert_eq!(m.word(0, 1), 1);
+        assert_eq!(m.word(0, 2), 0);
+        assert_eq!(m.word(0, 3), 0);
+        assert_eq!(m.total_failures(), 65);
+        assert_eq!(m.row(0).count_ones(), 65);
     }
 
     #[test]
@@ -264,6 +356,55 @@ mod tests {
         let exact = BitMatrix::new(1, 64);
         assert_eq!(exact.rounds_in_word(0), 64);
         assert_eq!(exact.word_mask(0), !0);
+    }
+
+    #[test]
+    fn wide_words_mirror_narrow_words_at_lane_boundaries() {
+        // 255/256/257 rounds: the wide analogue of PR 2's 63/64/65 coverage.
+        for rounds in [255usize, 256, 257] {
+            let mut m = BitMatrix::new(2, rounds);
+            for r in (0..rounds).step_by(13) {
+                m.set(0, r);
+                if r % 2 == 0 {
+                    m.set(1, r);
+                }
+            }
+            assert_eq!(m.wide_words_per_row(), rounds.div_ceil(256));
+            for ww in 0..m.wide_words_per_row() {
+                let n = m.rounds_in_wide(ww);
+                assert_eq!(n, (rounds - ww * 256).min(256));
+                assert_eq!(m.wide_mask(ww), WideWord::lane_mask(n));
+                for c in 0..2 {
+                    let wide = m.wide_word(c, ww);
+                    for i in 0..WideWord::WORDS {
+                        let w = ww * WideWord::WORDS + i;
+                        assert_eq!(wide.word(i), m.word(c, w), "c={c} ww={ww} i={i}");
+                    }
+                }
+                let any = m.any_failed_wide(ww);
+                for i in 0..WideWord::WORDS {
+                    assert_eq!(any.word(i), m.any_failed_word(ww * WideWord::WORDS + i));
+                }
+            }
+            // count_ones over rows ignores padding lanes.
+            let expect0 = (0..rounds).step_by(13).count();
+            assert_eq!(m.row(0).count_ones(), expect0, "rounds={rounds}");
+        }
+    }
+
+    #[test]
+    fn set_wide_word_masks_tail_lanes() {
+        for rounds in [255usize, 256, 257] {
+            let mut m = BitMatrix::new(1, rounds);
+            for ww in 0..m.wide_words_per_row() {
+                m.set_wide_word(0, ww, WideWord::ONES);
+            }
+            assert_eq!(m.total_failures(), rounds, "rounds={rounds}");
+            // Round-trip: reads return exactly what survived the mask.
+            for ww in 0..m.wide_words_per_row() {
+                assert_eq!(m.wide_word(0, ww), m.wide_mask(ww));
+            }
+        }
     }
 
     #[test]

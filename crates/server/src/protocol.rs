@@ -135,7 +135,8 @@ impl fmt::Display for ProtoError {
 
 impl std::error::Error for ProtoError {}
 
-/// Topology preset tags carried on the wire (the four Table 2 scales).
+/// Topology preset tags carried on the wire (the four Table 2 scales,
+/// plus the extrapolated XL stress scale).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Preset {
@@ -147,16 +148,19 @@ pub enum Preset {
     Medium = 2,
     /// k = 48 fat-tree, 27 072 hosts.
     Large = 3,
+    /// k = 64 fat-tree, 64 512 hosts (beyond Table 2).
+    Xl = 4,
 }
 
 impl Preset {
-    /// The corresponding Table 2 scale.
+    /// The corresponding topology scale.
     pub fn scale(self) -> Scale {
         match self {
             Preset::Tiny => Scale::Tiny,
             Preset::Small => Scale::Small,
             Preset::Medium => Scale::Medium,
             Preset::Large => Scale::Large,
+            Preset::Xl => Scale::Xl,
         }
     }
 
@@ -172,17 +176,20 @@ impl Preset {
             1 => Ok(Preset::Small),
             2 => Ok(Preset::Medium),
             3 => Ok(Preset::Large),
+            4 => Ok(Preset::Xl),
             other => Err(ProtoError::BadPreset(other)),
         }
     }
 
-    /// Parses a CLI-style name ("tiny" | "small" | "medium" | "large").
+    /// Parses a CLI-style name ("tiny" | "small" | "medium" | "large" |
+    /// "xl").
     pub fn from_name(name: &str) -> Option<Preset> {
         match name {
             "tiny" => Some(Preset::Tiny),
             "small" => Some(Preset::Small),
             "medium" => Some(Preset::Medium),
             "large" => Some(Preset::Large),
+            "xl" => Some(Preset::Xl),
             _ => None,
         }
     }
@@ -1549,10 +1556,11 @@ mod tests {
 
     #[test]
     fn preset_names_and_tags_roundtrip() {
-        for p in [Preset::Tiny, Preset::Small, Preset::Medium, Preset::Large] {
+        for p in [Preset::Tiny, Preset::Small, Preset::Medium, Preset::Large, Preset::Xl] {
             assert_eq!(Preset::from_tag(p.tag()).unwrap(), p);
         }
         assert_eq!(Preset::from_name("tiny"), Some(Preset::Tiny));
+        assert_eq!(Preset::from_name("xl"), Some(Preset::Xl));
         assert_eq!(Preset::from_name("nowhere"), None);
         assert!(Preset::from_tag(7).is_err());
     }

@@ -1,4 +1,4 @@
-//! The four evaluation scales of Table 2.
+//! The four evaluation scales of Table 2, plus an extrapolated XL scale.
 
 use crate::fattree::FatTreeParams;
 use crate::topology::Topology;
@@ -6,7 +6,8 @@ use std::fmt;
 
 /// Data-center scale presets used throughout the paper's evaluation (§4.1,
 /// Table 2): fat-trees with k = 8, 16, 24 and 48 ports per switch, a
-/// dedicated border pod, and five shared power supplies.
+/// dedicated border pod, and five shared power supplies. [`Scale::Xl`]
+/// (k = 64) extrapolates one step past Table 2 for stress benchmarking.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Scale {
     /// k = 8: 112 hosts.
@@ -17,10 +18,14 @@ pub enum Scale {
     Medium,
     /// k = 48: 27,072 hosts.
     Large,
+    /// k = 64: 64,512 hosts — beyond Table 2, for stress benchmarks.
+    Xl,
 }
 
 impl Scale {
-    /// All four scales, smallest first.
+    /// The four paper scales (Table 2), smallest first. [`Scale::Xl`] is
+    /// deliberately excluded: it is opt-in for benchmarks, and figure
+    /// sweeps over `ALL` must keep reproducing the paper exactly.
     pub const ALL: [Scale; 4] = [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large];
 
     /// The fat-tree port count for this scale.
@@ -30,10 +35,11 @@ impl Scale {
             Scale::Small => 16,
             Scale::Medium => 24,
             Scale::Large => 48,
+            Scale::Xl => 64,
         }
     }
 
-    /// Number of hosts at this scale (Table 2).
+    /// Number of hosts at this scale (Table 2 for the paper scales).
     pub fn hosts(self) -> usize {
         let k = self.k() as usize;
         (k - 1) * (k / 2) * (k / 2)
@@ -57,6 +63,7 @@ impl fmt::Display for Scale {
             Scale::Small => "Small",
             Scale::Medium => "Medium",
             Scale::Large => "Large",
+            Scale::Xl => "XL",
         };
         f.write_str(s)
     }
@@ -72,6 +79,7 @@ mod tests {
         assert_eq!(Scale::Small.hosts(), 960);
         assert_eq!(Scale::Medium.hosts(), 3_312);
         assert_eq!(Scale::Large.hosts(), 27_072);
+        assert_eq!(Scale::Xl.hosts(), 64_512);
     }
 
     #[test]
@@ -86,5 +94,12 @@ mod tests {
     fn labels_match_paper_axis_style() {
         assert_eq!(Scale::Tiny.label(), "Tiny [112]");
         assert_eq!(Scale::Large.label(), "Large [27072]");
+        assert_eq!(Scale::Xl.label(), "XL [64512]");
+    }
+
+    #[test]
+    fn all_is_exactly_the_paper_scales_in_order() {
+        assert_eq!(Scale::ALL, [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large]);
+        assert!(!Scale::ALL.contains(&Scale::Xl), "XL is opt-in, not a Table 2 scale");
     }
 }

@@ -63,6 +63,21 @@ target/release/recloud journal --tail 16 --addr "$ADDR" | grep -q '"kind"' \
   || { echo "metrics gate: journal returned no events"; kill "$SERVER_PID"; exit 1; }
 echo "metrics gate: instruments recorded real traffic"
 
+echo "== large-scale assess smoke gate =="
+# The wide-word kernel at benchmark scale: a short burst of Large [27072]
+# AssessPlan requests through the live daemon (engine construction, the
+# k = 48 analytic router, and the 256-lane route-and-check all on the
+# serving path). Runs inside the daemon trap, so a failure here cannot
+# orphan the server.
+LARGE_OUT="$(target/release/recloud loadgen --addr "$ADDR" \
+  --scale large --requests 4 --rounds 512)"
+echo "$LARGE_OUT"
+echo "$LARGE_OUT" | grep -q '^4 ok' \
+  || { echo "large assess gate: not every request succeeded"; kill "$SERVER_PID"; exit 1; }
+echo "$LARGE_OUT" | grep -q ' 0 errors' \
+  || { echo "large assess gate: requests errored"; kill "$SERVER_PID"; exit 1; }
+echo "large assess gate: Large [27072] served cleanly"
+
 echo "== streaming smoke gate =="
 # The RCS1 streaming path against the live daemon: a run-to-completion
 # AssessStream whose final frame matches a cached plain replay, then a

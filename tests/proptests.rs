@@ -268,6 +268,55 @@ fn batched_assessment_equals_scalar() {
     });
 }
 
+/// Every kernel lane width — scalar, 64-lane, 256-lane — yields bit-for-bit
+/// identical estimates across random topologies (fat-tree and leaf-spine,
+/// so both the wide-native and the decomposing generic path are covered),
+/// K-of-N and layered specs, wide-boundary round counts, and 1/2/4 parallel
+/// workers.
+#[test]
+fn kernel_widths_agree_across_topologies_specs_and_workers() {
+    use recloud::assess::{BatchWidth, ParallelAssessor};
+    forall("scalar == 64-lane == 256-lane across workers", |g| {
+        let t = if g.any_bool() {
+            FatTreeParams::new(4).build()
+        } else {
+            LeafSpineParams::new(3, 4, 3).border_spines(2).build()
+        };
+        let k = g.u32_in(1..4);
+        let n = k + g.u32_in(1..4);
+        let spec = if g.any_bool() {
+            ApplicationSpec::k_of_n(k, n)
+        } else {
+            ApplicationSpec::layered(&[(k, n), (1, 2)])
+        };
+        // Straddle the 256-lane boundary: up to ~2 wide words plus a tail.
+        let rounds = (g.usize_in(0..3) * 256 + g.usize_in(0..9)).max(1);
+        let seed = g.any_u64();
+        let model = FaultModel::paper_default(&t, 7);
+        let mut rng = recloud::sampling::Rng::new(seed);
+        let plan = DeploymentPlan::random(&spec, t.hosts(), &mut rng);
+
+        let mut scalar = Assessor::new(&t, model.clone());
+        scalar.set_width(BatchWidth::Scalar);
+        let want = scalar.assess(&spec, &plan, rounds, seed ^ 0x5A5A).estimate;
+        for width in [BatchWidth::Word64, BatchWidth::Wide256] {
+            let mut a = Assessor::new(&t, model.clone());
+            a.set_width(width);
+            let got = a.assess(&spec, &plan, rounds, seed ^ 0x5A5A).estimate;
+            prop_assert_eq!(got.rounds, want.rounds);
+            prop_assert_eq!(got.successes, want.successes, "{width:?} rounds={rounds}");
+            prop_assert_eq!(got.score.to_bits(), want.score.to_bits(), "{width:?}");
+        }
+        let workers = [1usize, 2, 4][g.usize_in(0..3)];
+        let mut par = ParallelAssessor::new(&t, model, workers);
+        par.set_width([BatchWidth::Word64, BatchWidth::Wide256][g.usize_in(0..2)]);
+        let got = par.assess(&spec, &plan, rounds, seed ^ 0x5A5A).estimate;
+        prop_assert_eq!(got.successes, want.successes, "parallel workers={workers}");
+        prop_assert_eq!(got.rounds, want.rounds);
+        Ok(())
+    });
+}
+
 /// The resumable driver's chunk layout: sizes sum exactly to the round
 /// count, chunk ids are dense and unique, only the tail chunk may be
 /// short, and `chunk_seed` never collides across (master, chunk) pairs —
