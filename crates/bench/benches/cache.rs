@@ -1,0 +1,165 @@
+//! Result-cache and result-store benches: LRU churn at full capacity
+//! (every insert evicts) across cache sizes, plus store append/replay
+//! throughput — with an inline guard asserting eviction cost stays
+//! sub-linear in capacity, so the O(n) eviction scan this replaced
+//! cannot silently come back.
+
+use recloud_bench::harness::{black_box, Harness};
+use recloud_server::protocol::AssessResponse;
+use recloud_server::ResultCache;
+use recloud_store::{Entry, Op, Store, StoreConfig};
+use std::time::Instant;
+
+/// Inserts per timed block; the reported median is for the whole block.
+const OPS: u64 = 100_000;
+
+fn response(seed: u64) -> AssessResponse {
+    AssessResponse {
+        score: seed as f64 / u64::MAX as f64,
+        variance: 1e-6,
+        rounds: 1_000,
+        successes: 990,
+        cached: false,
+    }
+}
+
+/// A cheap splitmix-style key stream: distinct keys, no allocation.
+fn key(i: u64) -> u128 {
+    let mut x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    (x as u128) << 64 | i as u128
+}
+
+/// Mean nanoseconds per insert into a cache already at `capacity`, so
+/// every insert evicts the LRU victim.
+fn churn_ns_per_op(capacity: usize) -> f64 {
+    let mut cache = ResultCache::new(capacity);
+    for i in 0..capacity as u64 {
+        cache.insert(key(i), response(i));
+    }
+    let start = Instant::now();
+    for i in 0..OPS {
+        cache.insert(key(capacity as u64 + i), response(i));
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    black_box(cache.len());
+    elapsed / OPS as f64
+}
+
+fn bench_cache(c: &mut Harness) {
+    let mut group = c.benchmark_group(format!("result_cache ({OPS} ops per sample)"));
+    group.sample_size(10);
+
+    for capacity in [1_024usize, 65_536] {
+        group.bench_function(format!("churn_at_capacity_{capacity}"), |b| {
+            let mut cache = ResultCache::new(capacity);
+            for i in 0..capacity as u64 {
+                cache.insert(key(i), response(i));
+            }
+            let mut next = capacity as u64;
+            b.iter(|| {
+                for _ in 0..OPS {
+                    cache.insert(key(next), response(next));
+                    next += 1;
+                }
+                black_box(cache.len())
+            });
+        });
+    }
+
+    group.bench_function("hit_get_at_capacity_65536", |b| {
+        let capacity = 65_536usize;
+        let mut cache = ResultCache::new(capacity);
+        for i in 0..capacity as u64 {
+            cache.insert(key(i), response(i));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut hits = 0u64;
+            for _ in 0..OPS {
+                hits += cache.get(key(i % capacity as u64)).is_some() as u64;
+                i += 1;
+            }
+            black_box(hits)
+        });
+    });
+
+    group.finish();
+
+    // The regression guard: a 64x larger cache must not cost anywhere
+    // near 64x per evicting insert. The old linear scan scaled ~64x
+    // here; the ordered index scales ~log(n). The 10x bound leaves room
+    // for cache-hierarchy effects while still failing any O(n) return.
+    let small = churn_ns_per_op(1_024);
+    let large = churn_ns_per_op(65_536);
+    let ratio = large / small.max(1e-9);
+    println!("cache churn: {small:.0} ns/insert at 1k, {large:.0} ns/insert at 64k ({ratio:.1}x)");
+    assert!(
+        ratio < 10.0,
+        "LRU eviction cost scaled {ratio:.1}x across a 64x capacity jump — \
+         eviction has regressed toward a linear scan"
+    );
+}
+
+fn bench_store(c: &mut Harness) {
+    let mut group = c.benchmark_group("result_store (10k ops per sample)");
+    group.sample_size(10);
+    const STORE_OPS: u64 = 10_000;
+
+    let dir = std::env::temp_dir().join(format!("recloud-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    group.bench_function("append_10k", |b| {
+        let append_dir = dir.join("append");
+        let _ = std::fs::remove_dir_all(&append_dir);
+        let (mut store, _) = Store::open(&append_dir, StoreConfig::default()).unwrap();
+        let mut next = 0u64;
+        b.iter(|| {
+            for _ in 0..STORE_OPS {
+                let e = Entry {
+                    key: key(next),
+                    score: 0.5,
+                    variance: 1e-6,
+                    rounds: 1_000,
+                    successes: 990,
+                };
+                store.append(&Op::Put(e)).unwrap();
+                next += 1;
+            }
+            black_box(store.bytes())
+        });
+    });
+
+    group.bench_function("replay_100k", |b| {
+        let replay_dir = dir.join("replay");
+        let _ = std::fs::remove_dir_all(&replay_dir);
+        {
+            let (mut store, _) = Store::open(&replay_dir, StoreConfig::default()).unwrap();
+            for i in 0..100_000u64 {
+                let e = Entry {
+                    key: key(i),
+                    score: 0.5,
+                    variance: 1e-6,
+                    rounds: 1_000,
+                    successes: 990,
+                };
+                store.append(&Op::Put(e)).unwrap();
+            }
+        }
+        b.iter(|| {
+            let (_store, recovery) = Store::open(&replay_dir, StoreConfig::default()).unwrap();
+            black_box(recovery.ops.len())
+        });
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let mut harness = Harness::new();
+    bench_cache(&mut harness);
+    bench_store(&mut harness);
+    harness.finish();
+}

@@ -647,6 +647,19 @@ impl StreamOverheadRow {
     }
 }
 
+/// One warm-start measurement: a store-backed daemon is populated with
+/// distinct-seed entries, dropped, and restarted on the same log.
+pub struct WarmStartRow {
+    /// Distinct assessments written to the store before the restart.
+    pub entries: usize,
+    /// Wall-clock spent in `Server::bind` replaying the log.
+    pub replay_ms: f64,
+    /// `store.replayed_total` after the restart.
+    pub replayed: u64,
+    /// Fraction of the identical post-restart request mix served as hits.
+    pub hit_rate: f64,
+}
+
 /// Bench: the placement-as-a-service daemon under client load — an
 /// in-process server on an ephemeral port, hit first with a cache-miss
 /// mix (every request a fresh master seed → every request runs the
@@ -659,7 +672,7 @@ pub fn bench_serve(opts: &ReproOptions, json: Option<&str>) {
     let rounds = 1_000u32;
     let config =
         ServerConfig { workers: ServerConfig::default().workers.min(4), ..ServerConfig::default() };
-    let server = Server::bind(("127.0.0.1", 0), config).expect("bind ephemeral port");
+    let server = Server::bind(("127.0.0.1", 0), config.clone()).expect("bind ephemeral port");
     let addr = server.local_addr().to_string();
     println!(
         "server: {addr}, {} workers, queue {}, cache {}",
@@ -724,6 +737,54 @@ pub fn bench_serve(opts: &ReproOptions, json: Option<&str>) {
         instruments = client.metrics(0).expect("metrics frame").snapshot;
         client.shutdown().expect("shutdown frame");
     });
+    // Warm start: populate a store-backed daemon with a distinct-seed
+    // mix, drop it, time how long the restart spends replaying the log,
+    // then replay the identical mix — every request should come back as
+    // a hit without an assessor run.
+    let store_dir = std::env::temp_dir().join(format!("recloud-bench-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let entries = if opts.quick { 100 } else { 400 };
+    let store_config = ServerConfig { store_dir: Some(store_dir.clone()), ..config.clone() };
+    let fill = LoadgenConfig {
+        addr: String::new(), // patched per daemon below
+        requests: entries,
+        connections: 4,
+        preset: recloud_server::Preset::Tiny,
+        rounds,
+        seed: opts.seed ^ 0x57a7_57a7,
+        distinct_seeds: true,
+        ..LoadgenConfig::default()
+    };
+    let populate = Server::bind(("127.0.0.1", 0), store_config.clone()).expect("bind store server");
+    let addr = populate.local_addr().to_string();
+    std::thread::scope(|scope| {
+        scope.spawn(|| populate.run());
+        recloud_server::run_load(&LoadgenConfig { addr: addr.clone(), ..fill.clone() })
+            .expect("populate phase");
+        let mut client = Client::connect(&addr).expect("populate connection");
+        client.shutdown().expect("populate shutdown");
+    });
+    let replay_start = std::time::Instant::now();
+    let warmed = Server::bind(("127.0.0.1", 0), store_config).expect("bind warmed server");
+    let replay_ms = replay_start.elapsed().as_secs_f64() * 1e3;
+    let addr = warmed.local_addr().to_string();
+    let mut warm_start: Vec<WarmStartRow> = Vec::new();
+    std::thread::scope(|scope| {
+        scope.spawn(|| warmed.run());
+        let report =
+            recloud_server::run_load(&LoadgenConfig { addr: addr.clone(), ..fill.clone() })
+                .expect("warm phase");
+        let mut client = Client::connect(&addr).expect("warm connection");
+        let snap = client.metrics(0).expect("warm metrics").snapshot;
+        client.shutdown().expect("warm shutdown");
+        warm_start.push(WarmStartRow {
+            entries,
+            replay_ms,
+            replayed: snap.counter("store.replayed_total").unwrap_or(0),
+            hit_rate: report.cached as f64 / report.ok.max(1) as f64,
+        });
+    });
+    let _ = std::fs::remove_dir_all(&store_dir);
     let mut t = TextTable::new(vec!["phase", "ok", "cached", "busy", "req/s", "p50", "p95"]);
     for p in &phases {
         let r = &p.report;
@@ -756,8 +817,18 @@ pub fn bench_serve(opts: &ReproOptions, json: Option<&str>) {
         "server cache: {hits} hits / {misses} misses (hit rate {:.1}%)",
         100.0 * hits as f64 / (hits + misses).max(1) as f64
     );
+    for w in &warm_start {
+        println!(
+            "warm start: {} entries replayed in {:.1} ms ({} ops), post-restart hit rate {:.1}%",
+            w.entries,
+            w.replay_ms,
+            w.replayed,
+            100.0 * w.hit_rate
+        );
+    }
     if let Some(path) = json {
-        let body = serve_bench_json(rounds, config.workers, &phases, &overhead, &instruments);
+        let body =
+            serve_bench_json(rounds, config.workers, &phases, &overhead, &warm_start, &instruments);
         std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("wrote {path}");
     }
@@ -770,6 +841,7 @@ fn serve_bench_json(
     workers: usize,
     phases: &[ServeBenchPhase],
     overhead: &[StreamOverheadRow],
+    warm_start: &[WarmStartRow],
     instruments: &recloud_obs::MetricsSnapshot,
 ) -> String {
     let mut s = String::new();
@@ -807,6 +879,19 @@ fn serve_bench_json(
             row.streamed.partials as f64 / row.streamed.ok.max(1) as f64,
             row.overhead_pct(),
             if i + 1 < overhead.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"warm_start\": [\n");
+    for (i, w) in warm_start.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"entries\": {}, \"replay_ms\": {:.2}, \"replayed_ops\": {}, \
+             \"hit_rate\": {:.4}}}{}\n",
+            w.entries,
+            w.replay_ms,
+            w.replayed,
+            w.hit_rate,
+            if i + 1 < warm_start.len() { "," } else { "" }
         ));
     }
     s.push_str("  ],\n");
@@ -1176,12 +1261,14 @@ mod tests {
                 ..Default::default()
             },
         }];
+        let warm_start =
+            vec![WarmStartRow { entries: 400, replay_ms: 12.5, replayed: 400, hit_rate: 1.0 }];
         let r = recloud_obs::Registry::new();
         r.counter("server.requests_total").add(10_601);
         r.counter("server.cache_hits_total").add(9_999);
         r.counter("server.cache_misses_total").add(601);
         r.histogram("server.latency_us.assess").record(80);
-        let body = serve_bench_json(1_000, 4, &phases, &overhead, &r.snapshot());
+        let body = serve_bench_json(1_000, 4, &phases, &overhead, &warm_start, &r.snapshot());
         assert!(body.starts_with("{\n"));
         assert!(body.ends_with("}\n"));
         assert!(body.contains("\"benchmark\": \"serve\""));
@@ -1191,6 +1278,9 @@ mod tests {
         assert!(body.contains(
             "{\"rounds\": 10000, \"plain_rps\": 200.0, \"stream_rps\": 190.0, \
              \"partials_per_request\": 4.0, \"overhead_pct\": 5.00}"
+        ));
+        assert!(body.contains(
+            "{\"entries\": 400, \"replay_ms\": 12.50, \"replayed_ops\": 400, \"hit_rate\": 1.0000}"
         ));
         assert!(body.contains("\"hits\": 9999"));
         assert!(body.contains("\"misses\": 601"));

@@ -668,6 +668,8 @@ pub fn serve(p: &Parsed) -> Result<String, CliError> {
         queue_capacity: p.usize_or("queue", defaults.queue_capacity)?,
         cache_capacity: p.usize_or("cache", defaults.cache_capacity)?,
         read_timeout: defaults.read_timeout,
+        store_dir: p.get("store").map(std::path::PathBuf::from),
+        peer: p.get("peer").map(str::to_string),
     };
     if config.workers == 0 {
         return Err(CliError::Invalid("--workers must be at least 1".into()));
@@ -746,14 +748,30 @@ pub fn stats(p: &Parsed) -> Result<String, CliError> {
         rate * 100.0,
         s.counter("server.cache_evictions_total").unwrap_or(0)
     );
+    let _ = writeln!(out, "  cache bytes: {} resident", s.gauge("server.cache_bytes").unwrap_or(0));
+    if s.counter("store.appended_total").is_some() {
+        let _ = writeln!(
+            out,
+            "  store: {} appended, {} replayed, {} synced from peer, {} sync pulls served, {} bytes on disk",
+            s.counter("store.appended_total").unwrap_or(0),
+            s.counter("store.replayed_total").unwrap_or(0),
+            s.counter("store.synced_total").unwrap_or(0),
+            s.counter("store.sync_served_total").unwrap_or(0),
+            s.gauge("store.bytes").unwrap_or(0)
+        );
+    }
     let _ = writeln!(
         out,
         "  busy rejections: {}, decode errors: {}",
         s.counter("server.busy_total").unwrap_or(0),
         s.counter("server.decode_errors_total").unwrap_or(0)
     );
-    let extra: Vec<&str> =
-        s.counters.iter().map(|(n, _)| n.as_str()).filter(|n| !n.starts_with("server.")).collect();
+    let extra: Vec<&str> = s
+        .counters
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .filter(|n| !n.starts_with("server.") && !n.starts_with("store."))
+        .collect();
     if !extra.is_empty() {
         let _ = writeln!(out, "  non-server counters: {}", extra.join(", "));
     }

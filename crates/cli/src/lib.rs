@@ -113,6 +113,11 @@ SERVE OPTIONS:
     --port-file <path>                  write the bound port for scripts
     --workers <int> --queue <int>       worker pool size / admission bound
     --cache <int>                       result-cache entries (0 disables)
+    --store <dir>                       append-only result store: replayed on
+                                        boot to warm the cache, appended on
+                                        every finished assessment
+    --peer <host:port>                  pull cache entries from a running
+                                        daemon on boot (RCS1 CacheSync)
 
 LOADGEN OPTIONS:
     --addr <host:port>                  daemon address (default: 127.0.0.1:7070)

@@ -3,16 +3,17 @@
 //! Assessments are deterministic in `(preset, spec, plan, rounds, seed)`
 //! — the exact inputs [`recloud_assess::assessment_key`] fingerprints —
 //! so a repeated request can be answered from memory without touching the
-//! worker pool at all. The cache is a plain `HashMap` plus a logical
-//! clock: every hit or insert stamps the entry with the current tick, and
-//! eviction scans for the smallest stamp. The scan is O(capacity), which
-//! is deliberate — capacities are small (hundreds to a few thousand
-//! entries of five words each) and the scan only runs on insert-at-full,
-//! so a doubly-linked intrusive list would buy nothing measurable while
-//! costing `unsafe` or index juggling.
+//! worker pool at all. The cache is a `HashMap` plus a tick-indexed
+//! recency map: every hit or insert stamps the entry with the current
+//! logical tick and moves it in a `BTreeMap<tick, key>`, so the LRU
+//! victim is the recency map's first entry — O(log n) per operation
+//! instead of the former O(capacity) full-map scan per insert-at-full
+//! (which dominated the cached path once the durable store made large,
+//! always-full caches the normal case). Ticks strictly increase, so each
+//! tick maps to at most one key and the `BTreeMap` never collides.
 
-use crate::protocol::AssessResponse;
-use std::collections::HashMap;
+use crate::protocol::{AssessResponse, CacheEntry};
+use std::collections::{BTreeMap, HashMap};
 
 struct Entry {
     value: AssessResponse,
@@ -25,12 +26,27 @@ pub struct ResultCache {
     capacity: usize,
     tick: u64,
     map: HashMap<u128, Entry>,
+    /// Recency index: `last_used tick → key`, kept exactly in sync with
+    /// `map`. First entry is the LRU victim, last the most recent.
+    order: BTreeMap<u64, u128>,
 }
+
+/// Bytes one resident entry costs: the `HashMap` slot (key + value +
+/// recency stamp) plus the `BTreeMap` index pair. Deliberately the
+/// *accounting* size — allocator slack and table overcapacity are not
+/// modeled — so `bytes()` is exactly linear in `len()` and testable.
+const ENTRY_BYTES: usize =
+    std::mem::size_of::<(u128, Entry)>() + std::mem::size_of::<(u64, u128)>();
 
 impl ResultCache {
     /// A cache holding at most `capacity` entries; zero disables caching.
     pub fn new(capacity: usize) -> Self {
-        ResultCache { capacity, tick: 0, map: HashMap::with_capacity(capacity.min(1 << 12)) }
+        ResultCache {
+            capacity,
+            tick: 0,
+            map: HashMap::with_capacity(capacity.min(1 << 12)),
+            order: BTreeMap::new(),
+        }
     }
 
     /// Looks up a fingerprint, refreshing its recency on hit. The returned
@@ -38,35 +54,78 @@ impl ResultCache {
     pub fn get(&mut self, key: u128) -> Option<AssessResponse> {
         self.tick += 1;
         let tick = self.tick;
-        self.map.get_mut(&key).map(|e| {
-            e.last_used = tick;
-            AssessResponse { cached: true, ..e.value }
-        })
+        let entry = self.map.get_mut(&key)?;
+        self.order.remove(&entry.last_used);
+        self.order.insert(tick, key);
+        entry.last_used = tick;
+        Some(AssessResponse { cached: true, ..entry.value })
     }
 
     /// Stores a finished assessment, evicting the least-recently-used
     /// entry when full. The stored copy has `cached` forced false — the
     /// flag describes how a *response* was produced, not the entry.
     /// Returns the fingerprint of the evicted entry, if any, so the
-    /// serving layer can count evictions.
+    /// serving layer can count evictions (and tombstone them in the
+    /// durable store).
     pub fn insert(&mut self, key: u128, value: AssessResponse) -> Option<u128> {
         if self.capacity == 0 {
             return None;
         }
         self.tick += 1;
         let mut evicted = None;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some(&oldest) = self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k)
-            {
-                self.map.remove(&oldest);
-                evicted = Some(oldest);
+        if let Some(existing) = self.map.get(&key) {
+            self.order.remove(&existing.last_used);
+        } else if self.map.len() >= self.capacity {
+            if let Some((&oldest_tick, &oldest_key)) = self.order.first_key_value() {
+                self.order.remove(&oldest_tick);
+                self.map.remove(&oldest_key);
+                evicted = Some(oldest_key);
             }
         }
+        self.order.insert(self.tick, key);
         self.map.insert(
             key,
             Entry { value: AssessResponse { cached: false, ..value }, last_used: self.tick },
         );
         evicted
+    }
+
+    /// Drops a fingerprint without touching recency bookkeeping of other
+    /// entries. Used when replaying `Evict` tombstones from the store.
+    pub fn remove(&mut self, key: u128) -> bool {
+        match self.map.remove(&key) {
+            Some(entry) => {
+                self.order.remove(&entry.last_used);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True when the fingerprint is resident. Does not refresh recency —
+    /// peer cache-sync uses this to dedup without disturbing LRU order.
+    pub fn contains(&self, key: u128) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Up to `max` resident entries, most recently used first — the
+    /// payload of a `CacheSegment` response. Does not refresh recency.
+    pub fn recent(&self, max: usize) -> Vec<CacheEntry> {
+        self.order
+            .iter()
+            .rev()
+            .take(max)
+            .map(|(_, &key)| {
+                let value = &self.map[&key].value;
+                CacheEntry {
+                    key,
+                    score: value.score,
+                    variance: value.variance,
+                    rounds: value.rounds,
+                    successes: value.successes,
+                }
+            })
+            .collect()
     }
 
     /// Entries currently resident.
@@ -77,6 +136,12 @@ impl ResultCache {
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Accounting bytes resident entries cost (`len() ×` a pinned
+    /// per-entry size) — the `server.cache_bytes` gauge.
+    pub fn bytes(&self) -> usize {
+        self.map.len() * ENTRY_BYTES
     }
 }
 
@@ -130,5 +195,82 @@ mod tests {
         c.insert(1, resp(0.1));
         assert!(c.is_empty());
         assert_eq!(c.get(1), None);
+    }
+
+    #[test]
+    fn eviction_order_matches_a_reference_lru_under_churn() {
+        // The tick-indexed order map must agree with a brute-force LRU
+        // (the old O(n) scan) over a long mixed get/insert sequence.
+        let capacity = 8;
+        let mut c = ResultCache::new(capacity);
+        let mut reference: Vec<u128> = Vec::new(); // LRU first
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for step in 0..4000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = u128::from(state >> 52); // small key space forces reuse
+            if state & 1 == 0 {
+                let hit = c.get(key).is_some();
+                assert_eq!(hit, reference.contains(&key), "step {step}");
+                if hit {
+                    reference.retain(|&k| k != key);
+                    reference.push(key);
+                }
+            } else {
+                let evicted = c.insert(key, resp(0.1));
+                if let Some(pos) = reference.iter().position(|&k| k == key) {
+                    reference.remove(pos);
+                    assert_eq!(evicted, None, "step {step}");
+                } else if reference.len() >= capacity {
+                    let oldest = reference.remove(0);
+                    assert_eq!(evicted, Some(oldest), "step {step}");
+                } else {
+                    assert_eq!(evicted, None, "step {step}");
+                }
+                reference.push(key);
+            }
+            assert_eq!(c.len(), reference.len(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn remove_and_contains_skip_recency() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, resp(0.1));
+        c.insert(2, resp(0.2));
+        assert!(c.contains(1));
+        // contains() must not have refreshed key 1: inserting a third
+        // key still evicts 1 as the LRU entry.
+        assert_eq!(c.insert(3, resp(0.3)), Some(1));
+        assert!(c.remove(2));
+        assert!(!c.remove(2), "double remove reports absence");
+        assert!(!c.contains(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn recent_lists_most_recently_used_first() {
+        let mut c = ResultCache::new(4);
+        c.insert(1, resp(0.1));
+        c.insert(2, resp(0.2));
+        c.insert(3, resp(0.3));
+        c.get(1);
+        let keys: Vec<u128> = c.recent(2).iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![1, 3]);
+        let all: Vec<u128> = c.recent(10).iter().map(|e| e.key).collect();
+        assert_eq!(all, vec![1, 3, 2]);
+        assert_eq!(c.recent(10)[0].score, 0.1);
+    }
+
+    #[test]
+    fn bytes_is_linear_in_len() {
+        let mut c = ResultCache::new(8);
+        assert_eq!(c.bytes(), 0);
+        c.insert(1, resp(0.1));
+        let per_entry = c.bytes();
+        assert!(per_entry > 0);
+        c.insert(2, resp(0.2));
+        assert_eq!(c.bytes(), 2 * per_entry);
+        c.remove(1);
+        assert_eq!(c.bytes(), per_entry);
     }
 }

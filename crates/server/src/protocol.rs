@@ -21,6 +21,7 @@
 //! | 0x08 | AssessStream     | AssessPlan body, then `cadence:u32` (partial every `cadence` chunks) |
 //! | 0x09 | AssessCancel     | (empty; only meaningful mid-stream) |
 //! | 0x0A | SearchStream     | SearchPlacement body, then `workers:u32 iters:u32` |
+//! | 0x0B | CacheSync        | `max_entries:u32` |
 //!
 //! Response kinds (server → client):
 //!
@@ -37,6 +38,7 @@
 //! | 0x89 | MetricsResult| serialized instrument snapshot + journal tail (see [`MetricsResponse`]) |
 //! | 0x8A | Partial      | `rounds_done:u64 rounds_total:u64 score:f64 ciw:f64` |
 //! | 0x8B | SearchEvent  | `chain:u32 iteration:u64 elapsed_us:u64 measure:f64 reliability:f64 temperature:f64` |
+//! | 0x8C | CacheSegment | `n:u32 { key_lo:u64 key_hi:u64 score:f64 variance:f64 rounds:u64 successes:u64 }…` |
 //!
 //! An AssessStream exchange is: client sends 0x08, server emits zero or
 //! more 0x8A Partial frames (one every `cadence` fed chunks) and finishes
@@ -65,6 +67,15 @@
 //! truncation on any prefix, wrong magic and unknown kinds surface as
 //! [`ProtoError`]s, never panics — hostile bytes are an expected input for
 //! a network daemon.
+//!
+//! A CacheSync exchange is one shot: the requester (typically a freshly
+//! started daemon told `--peer <addr>`) asks for up to `max_entries`
+//! cache entries and the server answers with a single 0x8C CacheSegment
+//! carrying its most-recently-used entries, fingerprint included, so
+//! the requester can adopt whatever it is missing. Entries travel
+//! without the transient `cached` flag — the fingerprint *is* the
+//! identity, and the assessment fields cross bit-exactly like every
+//! other f64 on this wire.
 //!
 //! MetricsDump was added after Shutdown (0x06) and Busy (0x86) already
 //! occupied the original kind proposal, so it takes the next free pair
@@ -97,6 +108,9 @@ pub const MAX_PLANS: u32 = 64;
 pub const MAX_SEARCH_CHAINS: u32 = 64;
 /// Upper bound on per-chain iterations per SearchStream request.
 pub const MAX_SEARCH_ITERS: u32 = 1_000_000;
+/// Upper bound on entries per CacheSync request — sized so a maximal
+/// CacheSegment (48 bytes per entry) stays well under [`MAX_FRAME_LEN`].
+pub const MAX_SYNC_ENTRIES: u32 = 16_384;
 
 /// Decode failure. Any of these on a live connection is a protocol error:
 /// the server answers with an [`Response::Error`] frame and drops the
@@ -302,6 +316,13 @@ pub enum Request {
         /// wall-clock `budget_ms`.
         iters: u32,
     },
+    /// Pull up to `max_entries` of the peer's most-recently-used cache
+    /// entries as one [`Response::CacheSegment`] — the fleet
+    /// warm-start path (`recloud serve --peer`).
+    CacheSync {
+        /// Entry budget, `1..=`[`MAX_SYNC_ENTRIES`].
+        max_entries: u32,
+    },
 }
 
 /// Error codes carried in [`Response::Error`] frames.
@@ -444,6 +465,31 @@ pub struct SearchEventResponse {
     pub temperature: f64,
 }
 
+/// One cache entry in flight inside a [`CacheSegmentResponse`]: the
+/// assessment fingerprint plus the determining [`AssessResponse`]
+/// fields (the transient `cached` flag never travels).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheEntry {
+    /// Assessment fingerprint (`recloud_assess::assessment_key`).
+    pub key: u128,
+    /// Reliability score (Eq 1).
+    pub score: f64,
+    /// Conservative variance (Eq 2).
+    pub variance: f64,
+    /// Rounds checked.
+    pub rounds: u64,
+    /// Rounds in which the plan was reliable.
+    pub successes: u64,
+}
+
+/// The CacheSync answer: the peer's most-recently-used cache entries,
+/// newest first, at most the request's `max_entries`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CacheSegmentResponse {
+    /// Cache entries, most recently used first.
+    pub entries: Vec<CacheEntry>,
+}
+
 /// The MetricsDump answer: a merged snapshot of the server's private
 /// registry and the process-global one (assess/search instruments),
 /// plus up to `journal_tail` of the newest journal events.
@@ -499,6 +545,8 @@ pub enum Response {
     /// A best-plan improvement; only appears between a SearchStream
     /// request and its final [`Response::Search`].
     SearchEvent(SearchEventResponse),
+    /// A batch of cache entries answering a [`Request::CacheSync`].
+    CacheSegment(CacheSegmentResponse),
 }
 
 fn put_header(w: &mut ByteWriter, kind: u8) {
@@ -765,6 +813,12 @@ impl Request {
                 w.put_u32_le(*iters);
                 w.freeze()
             }
+            Request::CacheSync { max_entries } => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 4);
+                put_header(&mut w, 0x0B);
+                w.put_u32_le(*max_entries);
+                w.freeze()
+            }
         }
     }
 
@@ -828,6 +882,9 @@ impl Request {
                 workers: r.get_u32_le().ok_or(ProtoError::Truncated)?,
                 iters: r.get_u32_le().ok_or(ProtoError::Truncated)?,
             },
+            0x0B => {
+                Request::CacheSync { max_entries: r.get_u32_le().ok_or(ProtoError::Truncated)? }
+            }
             other => return Err(ProtoError::BadKind(other)),
         };
         finish(&r)?;
@@ -944,6 +1001,20 @@ impl Response {
                 w.put_f64_le(e.temperature);
                 w.freeze()
             }
+            Response::CacheSegment(c) => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 4 + 48 * c.entries.len());
+                put_header(&mut w, 0x8C);
+                w.put_u32_le(c.entries.len() as u32);
+                for e in &c.entries {
+                    w.put_u64_le(e.key as u64);
+                    w.put_u64_le((e.key >> 64) as u64);
+                    w.put_f64_le(e.score);
+                    w.put_f64_le(e.variance);
+                    w.put_u64_le(e.rounds);
+                    w.put_u64_le(e.successes);
+                }
+                w.freeze()
+            }
         }
     }
 
@@ -1026,6 +1097,25 @@ impl Response {
                 reliability: r.get_f64_le().ok_or(ProtoError::Truncated)?,
                 temperature: r.get_f64_le().ok_or(ProtoError::Truncated)?,
             }),
+            0x8C => {
+                let n = r.get_u32_le().ok_or(ProtoError::Truncated)? as usize;
+                if r.remaining() < 48 * n {
+                    return Err(ProtoError::Truncated);
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key_lo = r.get_u64_le().unwrap();
+                    let key_hi = r.get_u64_le().unwrap();
+                    entries.push(CacheEntry {
+                        key: u128::from(key_lo) | (u128::from(key_hi) << 64),
+                        score: r.get_f64_le().unwrap(),
+                        variance: r.get_f64_le().unwrap(),
+                        rounds: r.get_u64_le().unwrap(),
+                        successes: r.get_u64_le().unwrap(),
+                    });
+                }
+                Response::CacheSegment(CacheSegmentResponse { entries })
+            }
             other => return Err(ProtoError::BadKind(other)),
         };
         finish(&r)?;
@@ -1121,6 +1211,14 @@ pub fn validate_shape(req: &Request) -> Result<(), String> {
             }
             Ok(())
         }
+        Request::CacheSync { max_entries } => {
+            if *max_entries == 0 || *max_entries > MAX_SYNC_ENTRIES {
+                return Err(format!(
+                    "need 1..={MAX_SYNC_ENTRIES} sync entries (got {max_entries})"
+                ));
+            }
+            Ok(())
+        }
         Request::ComparePlans(c) => {
             check_spec(c.k, c.n, c.rounds)?;
             if c.plans.is_empty() || c.plans.len() > MAX_PLANS as usize {
@@ -1206,6 +1304,8 @@ mod tests {
                 workers: 4,
                 iters: 150,
             },
+            Request::CacheSync { max_entries: 1 },
+            Request::CacheSync { max_entries: MAX_SYNC_ENTRIES },
         ]
     }
 
@@ -1298,6 +1398,19 @@ mod tests {
                 reliability: 0.999_25,
                 temperature: 0.75,
             }),
+            Response::CacheSegment(CacheSegmentResponse {
+                entries: vec![
+                    CacheEntry {
+                        key: u128::MAX,
+                        score: 0.999_75,
+                        variance: 3.2e-7,
+                        rounds: 50_000,
+                        successes: 49_987,
+                    },
+                    CacheEntry { key: 1, score: 0.0, variance: 0.0, rounds: 1, successes: 0 },
+                ],
+            }),
+            Response::CacheSegment(CacheSegmentResponse::default()),
         ]
     }
 
@@ -1490,6 +1603,13 @@ mod tests {
         let bad_spec =
             Request::SearchStream { req: SearchRequest { k: 4, ..s }, workers: 1, iters: 50 };
         assert!(validate_shape(&bad_spec).unwrap_err().contains("k <= n"));
+        // CacheSync: the entry budget is admission-checked.
+        assert!(validate_shape(&Request::CacheSync { max_entries: 1 }).is_ok());
+        assert!(validate_shape(&Request::CacheSync { max_entries: MAX_SYNC_ENTRIES }).is_ok());
+        let no_entries = Request::CacheSync { max_entries: 0 };
+        assert!(validate_shape(&no_entries).unwrap_err().contains("sync entries"));
+        let too_greedy = Request::CacheSync { max_entries: MAX_SYNC_ENTRIES + 1 };
+        assert!(validate_shape(&too_greedy).unwrap_err().contains("sync entries"));
     }
 
     /// Satellite: the deprecated Stats frame and its MetricsDump

@@ -29,24 +29,27 @@
 //! returns.
 
 use crate::cache::ResultCache;
+use crate::client::Client;
 use crate::engine::{build_plan, shape_for, spec_for, EnginePool};
 use crate::protocol::{
-    self, validate_shape, AssessRequest, CompareRequest, ErrorCode, MetricsResponse,
-    PartialResponse, Request, Response, SearchEventResponse, SearchRequest, StatsResponse,
-    MAX_FRAME_LEN,
+    self, validate_shape, AssessRequest, AssessResponse, CacheSegmentResponse, CompareRequest,
+    ErrorCode, MetricsResponse, PartialResponse, Request, Response, SearchEventResponse,
+    SearchRequest, StatsResponse, MAX_FRAME_LEN, MAX_SYNC_ENTRIES,
 };
 use recloud::sync::{self, Receiver, Sender};
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
 use recloud_assess::assessment_key;
 use recloud_obs::{Counter, Gauge, Histogram, KindId, Registry};
+use recloud_store::{Entry as StoreEntry, Op as StoreOp, Store, StoreConfig};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tunables of one server instance.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Assessment worker threads.
     pub workers: usize,
@@ -58,6 +61,15 @@ pub struct ServerConfig {
     /// Poll interval for connection reads — bounds how long shutdown
     /// waits on an idle connection.
     pub read_timeout: Duration,
+    /// Durable result store directory. `Some` makes every uncached
+    /// assessment append to the spill log and replays the log into the
+    /// cache on bind, before any connection is accepted.
+    pub store_dir: Option<PathBuf>,
+    /// Peer daemon address to warm-start from: on bind, a `CacheSync`
+    /// request pulls the peer's hottest cache entries and adopts the
+    /// missing ones (best effort — an unreachable peer is a warning,
+    /// not a bind failure).
+    pub peer: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +80,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_capacity: 4_096,
             read_timeout: Duration::from_millis(50),
+            store_dir: None,
+            peer: None,
         }
     }
 }
@@ -103,8 +117,8 @@ struct Counters {
 /// excluded — its "latency" is the drain, not a serving cost — and so is
 /// `AssessCancel`, which has no reply frame. A `stream` sample is the
 /// whole exchange, first partial to final frame.
-const LATENCY_KINDS: [&str; 8] =
-    ["ping", "assess", "search", "compare", "stats", "metrics", "stream", "search_stream"];
+const LATENCY_KINDS: [&str; 9] =
+    ["ping", "assess", "search", "compare", "stats", "metrics", "stream", "search_stream", "sync"];
 
 /// Per-server observability handles, backed by a private
 /// [`Registry`] so concurrent servers (and tests) see isolated,
@@ -123,6 +137,18 @@ struct ServerInstruments {
     /// Streams whose drive was cancelled before every chunk ran (client
     /// cancel, client hangup, or shutdown).
     stream_cancelled: Arc<Counter>,
+    /// Operations (`Put` + `Evict`) appended to the durable store.
+    store_appended: Arc<Counter>,
+    /// Operations replayed from the store into the cache at bind.
+    store_replayed: Arc<Counter>,
+    /// Entries adopted from a `--peer` CacheSync pull at bind.
+    store_synced: Arc<Counter>,
+    /// CacheSync requests this daemon answered for peers.
+    sync_served: Arc<Counter>,
+    /// On-disk bytes across the store's segments.
+    store_bytes: Arc<Gauge>,
+    /// Accounting bytes resident in the result cache.
+    cache_bytes: Arc<Gauge>,
     /// Wall-clock per served request, admission wait included, indexed
     /// like [`LATENCY_KINDS`].
     latency: [Arc<Histogram>; LATENCY_KINDS.len()],
@@ -150,6 +176,12 @@ impl ServerInstruments {
             decode_errors: registry.counter("server.decode_errors_total"),
             queue_depth: registry.gauge("server.queue_depth"),
             stream_cancelled: registry.counter("server.stream_cancelled_total"),
+            store_appended: registry.counter("store.appended_total"),
+            store_replayed: registry.counter("store.replayed_total"),
+            store_synced: registry.counter("store.synced_total"),
+            sync_served: registry.counter("store.sync_served_total"),
+            store_bytes: registry.gauge("store.bytes"),
+            cache_bytes: registry.gauge("server.cache_bytes"),
             latency,
             conn_close,
             stream_cancel,
@@ -169,6 +201,7 @@ impl ServerInstruments {
             Request::MetricsDump { .. } => Some(5),
             Request::AssessStream { .. } => Some(6),
             Request::SearchStream { .. } => Some(7),
+            Request::CacheSync { .. } => Some(8),
             Request::Shutdown | Request::AssessCancel => None,
         }
     }
@@ -221,6 +254,9 @@ pub struct Server {
     counters: Counters,
     obs: ServerInstruments,
     cache: Mutex<ResultCache>,
+    /// The durable spill log (`--store`); every uncached assessment is
+    /// appended, evictions become tombstones.
+    store: Option<Mutex<Store>>,
     depth: AtomicUsize,
     shutdown: AtomicBool,
 }
@@ -228,17 +264,57 @@ pub struct Server {
 impl Server {
     /// Binds the daemon (port 0 picks an ephemeral port — read it back
     /// with [`Server::local_addr`]).
+    ///
+    /// With [`ServerConfig::store_dir`] set, the spill log is opened
+    /// (recovering its longest valid prefix) and replayed into the LRU
+    /// cache *before* the bind returns — a restarted daemon accepts its
+    /// first connection already warm. With [`ServerConfig::peer`] set,
+    /// a `CacheSync` pull against the peer then adopts whatever hot
+    /// entries this daemon is still missing; an unreachable peer only
+    /// logs a warning.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
         assert!(config.workers >= 1, "need at least one worker");
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let obs = ServerInstruments::new();
+        let mut cache = ResultCache::new(config.cache_capacity);
+        let mut store = match &config.store_dir {
+            Some(dir) => {
+                let (store, recovery) = Store::open(dir, StoreConfig::default())?;
+                for op in &recovery.ops {
+                    match op {
+                        StoreOp::Put(e) => {
+                            cache.insert(e.key, entry_response(e));
+                        }
+                        StoreOp::Evict(key) => {
+                            cache.remove(*key);
+                        }
+                    }
+                    obs.store_replayed.inc();
+                }
+                obs.store_bytes.set(store.bytes() as i64);
+                Some(store)
+            }
+            None => None,
+        };
+        if let Some(peer) = &config.peer {
+            match pull_from_peer(peer, &mut cache, store.as_mut()) {
+                Ok(adopted) => obs.store_synced.add(adopted),
+                Err(e) => eprintln!("warning: cache sync with peer {peer} failed: {e}"),
+            }
+            if let Some(store) = &store {
+                obs.store_bytes.set(store.bytes() as i64);
+            }
+        }
+        obs.cache_bytes.set(cache.bytes() as i64);
         Ok(Server {
             listener,
             local_addr,
             config,
             counters: Counters::default(),
-            obs: ServerInstruments::new(),
-            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            obs,
+            cache: Mutex::new(cache),
+            store: store.map(Mutex::new),
             depth: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
         })
@@ -341,9 +417,7 @@ impl Server {
             let response = match &job.kind {
                 JobKind::Assess { req, spec, plan, key } => match pool.assess(req, spec, plan) {
                     Ok(resp) => {
-                        if self.cache.lock().unwrap().insert(*key, resp).is_some() {
-                            self.obs.cache_evictions.inc();
-                        }
+                        self.cache_finished_assessment(*key, resp);
                         Response::Assess(resp)
                     }
                     Err(message) => Response::Error { code: ErrorCode::Invalid, message },
@@ -370,9 +444,11 @@ impl Server {
                     match streamed {
                         Ok((resp, completed)) => {
                             if completed {
-                                if self.cache.lock().unwrap().insert(*key, resp).is_some() {
-                                    self.obs.cache_evictions.inc();
-                                }
+                                // Only completed drives reach the cache —
+                                // and therefore the durable store: a spill
+                                // log must never launder a cancelled
+                                // partial result into a future hit.
+                                self.cache_finished_assessment(*key, resp);
                             } else {
                                 // A cancelled drive covers fewer rounds
                                 // than `key` declares — caching it would
@@ -407,6 +483,39 @@ impl Server {
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
             }
             let _ = job.reply.send(response);
+        }
+    }
+
+    /// One uncached assessment finished: insert it into the LRU cache
+    /// and mirror the transition into the durable store — a `Put` for
+    /// the new entry, an `Evict` tombstone when the insert pushed out a
+    /// victim. Lock order is cache before store, matching every other
+    /// path that takes both.
+    fn cache_finished_assessment(&self, key: u128, resp: AssessResponse) {
+        let evicted = {
+            let mut cache = self.cache.lock().unwrap();
+            let evicted = cache.insert(key, resp);
+            self.obs.cache_bytes.set(cache.bytes() as i64);
+            evicted
+        };
+        if evicted.is_some() {
+            self.obs.cache_evictions.inc();
+        }
+        if let Some(store) = &self.store {
+            let mut store = store.lock().unwrap();
+            let mut ops_appended = 0;
+            match store.append(&StoreOp::Put(response_entry(key, &resp))) {
+                Ok(_) => ops_appended += 1,
+                Err(e) => eprintln!("warning: store append failed: {e}"),
+            }
+            if let Some(victim) = evicted {
+                match store.append(&StoreOp::Evict(victim)) {
+                    Ok(_) => ops_appended += 1,
+                    Err(e) => eprintln!("warning: store append failed: {e}"),
+                }
+            }
+            self.obs.store_appended.add(ops_appended);
+            self.obs.store_bytes.set(store.bytes() as i64);
         }
     }
 
@@ -529,6 +638,14 @@ impl Server {
             // client decided to stop) makes it inherently best-effort, so
             // it is a silent no-op with no response frame.
             Request::AssessCancel => return true,
+            // Served connection-side straight out of the cache — a peer
+            // warming up must not cost this daemon any worker time.
+            Request::CacheSync { max_entries } => {
+                let entries = self.cache.lock().unwrap().recent(max_entries as usize);
+                self.obs.sync_served.inc();
+                return self
+                    .reply(stream, &Response::CacheSegment(CacheSegmentResponse { entries }));
+            }
             Request::SearchPlacement(req) => JobKind::Search(req),
             Request::SearchStream { req, workers, iters } => {
                 // Search streams accept a mid-stream AssessCancel frame
@@ -800,6 +917,66 @@ impl Server {
         }
         ReadExact::Done
     }
+}
+
+/// A store entry rehydrated as the response it will answer with. The
+/// `cached` flag is transient serving state, not part of the entry;
+/// `ResultCache::get` forces it true on every hit anyway.
+fn entry_response(e: &StoreEntry) -> AssessResponse {
+    AssessResponse {
+        score: e.score,
+        variance: e.variance,
+        rounds: e.rounds,
+        successes: e.successes,
+        cached: false,
+    }
+}
+
+fn response_entry(key: u128, resp: &AssessResponse) -> StoreEntry {
+    StoreEntry {
+        key,
+        score: resp.score,
+        variance: resp.variance,
+        rounds: resp.rounds,
+        successes: resp.successes,
+    }
+}
+
+/// Pulls the peer's hottest cache entries over one CacheSync exchange
+/// and adopts every fingerprint this cache is missing, oldest first so
+/// the peer's recency order is reproduced locally. Adopted entries are
+/// also appended to the durable store (when there is one) — after a
+/// sync, a restart no longer needs the peer. Returns how many entries
+/// were adopted.
+fn pull_from_peer(
+    peer: &str,
+    cache: &mut ResultCache,
+    mut store: Option<&mut Store>,
+) -> std::io::Result<u64> {
+    let mut client = Client::connect(peer)?;
+    let entries = client.cache_sync(MAX_SYNC_ENTRIES)?;
+    let mut adopted = 0;
+    for e in entries.iter().rev() {
+        if cache.contains(e.key) {
+            continue;
+        }
+        let resp = AssessResponse {
+            score: e.score,
+            variance: e.variance,
+            rounds: e.rounds,
+            successes: e.successes,
+            cached: false,
+        };
+        let evicted = cache.insert(e.key, resp);
+        if let Some(store) = store.as_deref_mut() {
+            store.append(&StoreOp::Put(response_entry(e.key, &resp)))?;
+            if let Some(victim) = evicted {
+                store.append(&StoreOp::Evict(victim))?;
+            }
+        }
+        adopted += 1;
+    }
+    Ok(adopted)
 }
 
 /// Spec, plan and cache key for an assess-family request; `Err` carries

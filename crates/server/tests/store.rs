@@ -1,0 +1,209 @@
+//! End-to-end tests for the durable result store: a daemon restarted with
+//! `--store` must answer previously-assessed plans from the replayed cache
+//! without touching the worker pool, survive a torn tail on its active
+//! segment, and a fresh daemon started with `--peer` must converge on a
+//! running daemon's cache via the RCS1 `CacheSync` exchange.
+
+use recloud_server::protocol::{AssessRequest, Preset};
+use recloud_server::{Client, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::ops::ControlFlow;
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+
+struct Daemon {
+    addr: SocketAddr,
+    handle: JoinHandle<recloud_server::ServeSummary>,
+}
+
+fn start(config: ServerConfig) -> Daemon {
+    let server = Server::bind(("127.0.0.1", 0), config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    Daemon { addr, handle }
+}
+
+fn stop(daemon: Daemon, client: &mut Client) -> recloud_server::ServeSummary {
+    client.shutdown().expect("shutdown ack");
+    daemon.handle.join().expect("server thread exits cleanly")
+}
+
+fn tiny_hosts(n: usize) -> Vec<u32> {
+    let t = Preset::Tiny.scale().build();
+    t.hosts()[..n].iter().map(|h| h.index() as u32).collect()
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("recloud-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn request(seed: u64) -> AssessRequest {
+    AssessRequest {
+        preset: Preset::Tiny,
+        rounds: 600,
+        seed,
+        k: 2,
+        n: 3,
+        assignments: vec![tiny_hosts(3)],
+    }
+}
+
+/// The newest (highest-id) segment file in a store directory — the one a
+/// crash mid-append would tear.
+fn active_segment(dir: &Path) -> PathBuf {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "log"))
+        .collect();
+    segments.sort();
+    segments.pop().expect("store has at least one segment")
+}
+
+/// Acceptance criterion: fill a daemon over TCP, drop it, tear the active
+/// segment's tail (as a crash mid-append would), restart on the same store
+/// — the first request is a cache hit and the worker pool never runs.
+#[test]
+fn warm_start_answers_from_the_replayed_log_without_the_worker_pool() {
+    let dir = store_dir("warm");
+    let config =
+        ServerConfig { workers: 2, store_dir: Some(dir.clone()), ..ServerConfig::default() };
+
+    let daemon = start(config.clone());
+    let mut client = Client::connect(daemon.addr).unwrap();
+    let cold = client.assess(request(11)).unwrap();
+    assert!(!cold.cached);
+    assert!(!client.assess(request(12)).unwrap().cached);
+    let m = client.metrics(0).unwrap();
+    assert!(m.snapshot.counter("store.appended_total").unwrap_or(0) >= 2);
+    assert!(m.snapshot.gauge("store.bytes").unwrap_or(0) > 0, "appends grow the log");
+    assert!(m.snapshot.gauge("server.cache_bytes").unwrap_or(0) > 0);
+    stop(daemon, &mut client);
+
+    // Simulate the torn write of an interrupted append: a length prefix
+    // promising a record that never finished landing.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(active_segment(&dir)).unwrap();
+        f.write_all(&[61, 0, 0, 0, 1, 0xde, 0xad]).unwrap();
+    }
+
+    let daemon = start(config);
+    let mut client = Client::connect(daemon.addr).unwrap();
+    let warmed = client.assess(request(11)).unwrap();
+    assert!(warmed.cached, "replayed entry must be served as a hit");
+    assert_eq!(warmed.score.to_bits(), cold.score.to_bits(), "replay is bit-faithful");
+    assert_eq!(warmed.variance.to_bits(), cold.variance.to_bits());
+    assert_eq!(warmed.rounds, cold.rounds);
+    assert_eq!(warmed.successes, cold.successes);
+    assert!(client.assess(request(12)).unwrap().cached);
+
+    let m = client.metrics(0).unwrap();
+    assert!(m.snapshot.counter("store.replayed_total").unwrap_or(0) >= 2);
+    assert_eq!(m.snapshot.counter("server.cache_hits_total"), Some(2));
+    assert_eq!(
+        m.snapshot.counter("server.cache_misses_total"),
+        Some(0),
+        "warm start must never reach the worker pool"
+    );
+    stop(daemon, &mut client);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A fresh daemon started with `--peer` pulls the running daemon's cache
+/// through CacheSync and then answers the same plans as hits, writing the
+/// adopted entries into its own store.
+#[test]
+fn peer_sync_converges_a_fresh_daemon_on_a_running_one() {
+    let a = start(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let mut client_a = Client::connect(a.addr).unwrap();
+    let first = client_a.assess(request(21)).unwrap();
+    client_a.assess(request(22)).unwrap();
+
+    // The raw exchange: newest entry first, keys distinct.
+    let entries = client_a.cache_sync(64).unwrap();
+    assert_eq!(entries.len(), 2);
+    assert_ne!(entries[0].key, entries[1].key);
+
+    let dir = store_dir("peer");
+    let b = start(ServerConfig {
+        workers: 2,
+        store_dir: Some(dir.clone()),
+        peer: Some(a.addr.to_string()),
+        ..ServerConfig::default()
+    });
+    let mut client_b = Client::connect(b.addr).unwrap();
+    let synced = client_b.assess(request(21)).unwrap();
+    assert!(synced.cached, "peer-synced entry must be a hit");
+    assert_eq!(synced.score.to_bits(), first.score.to_bits(), "sync is bit-faithful");
+    assert!(client_b.assess(request(22)).unwrap().cached);
+
+    let mb = client_b.metrics(0).unwrap();
+    assert_eq!(mb.snapshot.counter("store.synced_total"), Some(2));
+    assert_eq!(mb.snapshot.counter("server.cache_misses_total"), Some(0));
+    assert!(
+        mb.snapshot.gauge("store.bytes").unwrap_or(0) > 5, // more than a bare segment header
+        "adopted entries land in B's own store"
+    );
+    let ma = client_a.metrics(0).unwrap();
+    assert!(ma.snapshot.counter("store.sync_served_total").unwrap_or(0) >= 2);
+
+    stop(b, &mut client_b);
+    stop(a, &mut client_a);
+
+    // B's store now carries the synced entries: a restart no longer needs
+    // the peer (which is gone by now) to stay warm.
+    let c =
+        start(ServerConfig { workers: 2, store_dir: Some(dir.clone()), ..ServerConfig::default() });
+    let mut client_c = Client::connect(c.addr).unwrap();
+    assert!(client_c.assess(request(21)).unwrap().cached);
+    stop(c, &mut client_c);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unreachable peer is a warning, not a failure — the daemon still
+/// comes up cold and serves.
+#[test]
+fn unreachable_peer_degrades_to_a_cold_start() {
+    let daemon = start(ServerConfig {
+        workers: 1,
+        peer: Some("127.0.0.1:1".into()), // nothing listens here
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(daemon.addr).unwrap();
+    assert!(!client.assess(request(31)).unwrap().cached);
+    let m = client.metrics(0).unwrap();
+    assert_eq!(m.snapshot.counter("store.synced_total"), Some(0));
+    stop(daemon, &mut client);
+}
+
+/// PR 5 invariant, extended to the spill log: a cancelled stream's partial
+/// answer must never be persisted — after a restart the same plan is a
+/// miss, not a stale hit.
+#[test]
+fn cancelled_streams_never_reach_the_store() {
+    let dir = store_dir("cancel");
+    let config =
+        ServerConfig { workers: 1, store_dir: Some(dir.clone()), ..ServerConfig::default() };
+
+    let daemon = start(config.clone());
+    let mut client = Client::connect(daemon.addr).unwrap();
+    let long = AssessRequest { rounds: 200_000, ..request(41) };
+    let (partial, stopped) = client.assess_streaming(long, 1, |_| ControlFlow::Break(())).unwrap();
+    assert!(stopped, "callback break must cancel the stream");
+    assert!(partial.rounds < 200_000, "cancelled stream ends early");
+    let m = client.metrics(0).unwrap();
+    assert_eq!(m.snapshot.counter("store.appended_total"), Some(0));
+    stop(daemon, &mut client);
+
+    // An empty log replays nothing: the restarted daemon starts cold, so
+    // the cancelled plan cannot be answered from a stale partial.
+    let daemon = start(config);
+    let mut client = Client::connect(daemon.addr).unwrap();
+    let m = client.metrics(0).unwrap();
+    assert_eq!(m.snapshot.counter("store.replayed_total"), Some(0));
+    stop(daemon, &mut client);
+    let _ = std::fs::remove_dir_all(&dir);
+}

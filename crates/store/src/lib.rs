@@ -1,0 +1,682 @@
+//! Append-only, crash-safe spill log for `fingerprint → assessment`
+//! entries — the durable half of the server's result cache.
+//!
+//! # On-disk format
+//!
+//! A store is a directory of segment files named `seg-%016x.log`,
+//! ordered by segment id. Each segment starts with a 5-byte header and
+//! is followed by length-prefixed records, all encoded with the
+//! project's own wire codec ([`recloud::wire`], little-endian):
+//!
+//! ```text
+//! segment  := magic:u32 (0x5243_534C) version:u8 (1) record*
+//! record   := len:u32 body checksum:u64      (len = |body| + 8)
+//! body     := op:u8 key_lo:u64 key_hi:u64 payload?
+//! payload  := score:f64 variance:f64 rounds:u64 successes:u64   (op = 1, Put)
+//!             (absent for op = 2, Evict — a tombstone)
+//! checksum := FNV-1a-64 over body
+//! ```
+//!
+//! A `Put` record is 61 bytes framed, an `Evict` tombstone 29.
+//!
+//! # Crash safety
+//!
+//! The log is recovered, never validated: [`Store::open`] scans the
+//! segments in id order and replays every record up to — exactly — the
+//! longest valid prefix. The first torn, truncated, or
+//! checksum-corrupt record ends the log: that segment is truncated to
+//! the bytes before it and every later segment is deleted. Recovery
+//! never fails on corrupt data and never panics; a store that lost its
+//! tail simply remembers fewer entries.
+//!
+//! Replay semantics are last-write-wins: a later `Put` for the same
+//! key supersedes an earlier one, an `Evict` drops the key. That makes
+//! [compaction](Store::compact) trivially crash-safe — the compacted
+//! segment gets the *next* segment id, so if a crash lands between the
+//! rename and the old-segment deletes, replaying old-then-compacted
+//! reproduces the same final state.
+//!
+//! # Rotation and compaction
+//!
+//! Appends go to the highest-id (active) segment; when a record would
+//! push it past [`StoreConfig::segment_max_bytes`] a fresh segment is
+//! started. [`Store::compact`] folds the whole log to its live set
+//! (dropping superseded `Put`s and everything evicted), writes the
+//! survivors to a single new segment via a `.tmp` + rename, and
+//! deletes the old files.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use recloud::wire::{ByteReader, ByteWriter, Bytes};
+
+/// Magic value opening every segment file (`"RCSL"` read as LE bytes).
+pub const SEGMENT_MAGIC: u32 = 0x5243_534C;
+/// Current segment format version.
+pub const SEGMENT_VERSION: u8 = 1;
+/// Bytes of segment header: magic + version.
+pub const HEADER_LEN: usize = 5;
+/// Upper bound accepted for a record's framed `len` field; anything
+/// larger is treated as corruption (the real records are ≤ 61 bytes).
+pub const MAX_RECORD_LEN: u32 = 1 << 16;
+/// Framed size of a `Put` record: 4 (len) + 49 (body) + 8 (checksum).
+pub const PUT_RECORD_LEN: u64 = 61;
+/// Framed size of an `Evict` tombstone: 4 (len) + 17 (body) + 8 (checksum).
+pub const EVICT_RECORD_LEN: u64 = 29;
+
+const OP_PUT: u8 = 1;
+const OP_EVICT: u8 = 2;
+const PUT_BODY_LEN: usize = 49;
+const EVICT_BODY_LEN: usize = 17;
+
+/// One durable cache entry: the assessment fingerprint plus the fields
+/// of the `AssessResponse` it maps to (the server re-derives the
+/// transient `cached` flag on replay).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Assessment fingerprint (`recloud_assess::assessment_key`).
+    pub key: u128,
+    /// Estimated reliability.
+    pub score: f64,
+    /// Estimator variance.
+    pub variance: f64,
+    /// Monte-Carlo rounds behind the estimate.
+    pub rounds: u64,
+    /// Rounds in which the deployment survived.
+    pub successes: u64,
+}
+
+/// One logical log operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Insert or supersede an entry.
+    Put(Entry),
+    /// Tombstone: the key was evicted from the cache.
+    Evict(u128),
+}
+
+impl Op {
+    /// The fingerprint this operation applies to.
+    pub fn key(&self) -> u128 {
+        match self {
+            Op::Put(e) => e.key,
+            Op::Evict(k) => *k,
+        }
+    }
+}
+
+/// Store tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Rotate to a fresh segment once the active one would exceed this
+    /// many bytes (header included).
+    pub segment_max_bytes: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { segment_max_bytes: 4 << 20 }
+    }
+}
+
+/// What [`Store::open`] found on disk.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Every valid record, in log order; fold with last-write-wins.
+    pub ops: Vec<Op>,
+    /// Bytes cut from the first corrupt segment (torn tail, bad
+    /// checksum, bad header …).
+    pub truncated_bytes: u64,
+    /// Segments after the corruption point that were deleted outright.
+    pub segments_dropped: u64,
+}
+
+impl Recovery {
+    /// Folds the op stream to its live set (last-write-wins), returning
+    /// the entries in the order of their final write.
+    pub fn live_entries(&self) -> Vec<Entry> {
+        fold_live(&self.ops)
+    }
+}
+
+/// Result of a [`Store::compact`] pass.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactStats {
+    /// Entries that survived the fold.
+    pub live_entries: u64,
+    /// On-disk bytes before compaction.
+    pub bytes_before: u64,
+    /// On-disk bytes after compaction.
+    pub bytes_after: u64,
+    /// Old segment files deleted.
+    pub segments_removed: u64,
+}
+
+/// An open append-only result store rooted at one directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    config: StoreConfig,
+    active: File,
+    active_id: u64,
+    active_len: u64,
+    sealed_bytes: u64,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at `dir`, recovering the
+    /// longest valid prefix of the log. Corrupt tails are truncated on
+    /// disk, segments past the corruption point deleted, and leftover
+    /// `.tmp` files from an interrupted compaction removed.
+    pub fn open(dir: &Path, config: StoreConfig) -> io::Result<(Store, Recovery)> {
+        fs::create_dir_all(dir)?;
+        let mut segments = Vec::new();
+        for dirent in fs::read_dir(dir)? {
+            let dirent = dirent?;
+            let name = dirent.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".tmp") {
+                fs::remove_file(dirent.path())?;
+            } else if let Some(id) = parse_segment_id(&name) {
+                segments.push((id, dirent.path()));
+            }
+        }
+        segments.sort_by_key(|(id, _)| *id);
+
+        let mut recovery = Recovery::default();
+        let mut corrupt_at = None;
+        for (index, (_, path)) in segments.iter().enumerate() {
+            let mut buf = Vec::new();
+            File::open(path)?.read_to_end(&mut buf)?;
+            let scan = scan_segment(&buf);
+            recovery.ops.extend(scan.ops);
+            if scan.valid_len < buf.len() {
+                recovery.truncated_bytes = (buf.len() - scan.valid_len) as u64;
+                let file = OpenOptions::new().write(true).open(path)?;
+                file.set_len(scan.valid_len as u64)?;
+                corrupt_at = Some(index);
+                break;
+            }
+        }
+        if let Some(index) = corrupt_at {
+            for (_, path) in segments.drain(index + 1..) {
+                fs::remove_file(path)?;
+                recovery.segments_dropped += 1;
+            }
+        }
+
+        let (active_id, active_path) = match segments.last() {
+            Some((id, path)) => (*id, path.clone()),
+            None => {
+                let path = dir.join(segment_file_name(0));
+                write_fresh_segment(&path, &[])?;
+                (0, path)
+            }
+        };
+        let mut active = OpenOptions::new().read(true).write(true).open(&active_path)?;
+        let mut active_len = active.seek(SeekFrom::End(0))?;
+        if active_len < HEADER_LEN as u64 {
+            // Header was part of the corrupt prefix; start the segment
+            // over so future appends land in a well-formed file.
+            active.set_len(0)?;
+            active.seek(SeekFrom::Start(0))?;
+            active.write_all(&segment_header())?;
+            active_len = HEADER_LEN as u64;
+        }
+        let mut sealed_bytes = 0;
+        for (_, path) in &segments[..segments.len().saturating_sub(1)] {
+            sealed_bytes += fs::metadata(path)?.len();
+        }
+        let store =
+            Store { dir: dir.to_path_buf(), config, active, active_id, active_len, sealed_bytes };
+        Ok((store, recovery))
+    }
+
+    /// Appends one operation, rotating segments as needed. Returns the
+    /// framed bytes written.
+    pub fn append(&mut self, op: &Op) -> io::Result<u64> {
+        let record = encode_record(op);
+        let len = record.len() as u64;
+        if self.active_len > HEADER_LEN as u64
+            && self.active_len + len > self.config.segment_max_bytes
+        {
+            self.rotate()?;
+        }
+        self.active.write_all(&record)?;
+        self.active_len += len;
+        Ok(len)
+    }
+
+    /// Folds the log to its live set and rewrites it as one fresh
+    /// segment (id `active + 1`, via `.tmp` + rename), then deletes the
+    /// old segments. Crash-safe at every step: the compacted segment is
+    /// *later* in the log, so last-write-wins replay of any surviving
+    /// file combination reproduces the same state.
+    pub fn compact(&mut self) -> io::Result<CompactStats> {
+        let bytes_before = self.bytes();
+        let mut old = Vec::new();
+        let mut ops = Vec::new();
+        for (id, path) in list_segments(&self.dir)? {
+            let mut buf = Vec::new();
+            File::open(&path)?.read_to_end(&mut buf)?;
+            ops.extend(scan_segment(&buf).ops);
+            old.push((id, path));
+        }
+        let live = fold_live(&ops);
+
+        let next_id = self.active_id + 1;
+        let final_path = self.dir.join(segment_file_name(next_id));
+        let tmp_path = self.dir.join(format!("{}.tmp", segment_file_name(next_id)));
+        let records: Vec<Op> = live.iter().copied().map(Op::Put).collect();
+        write_fresh_segment(&tmp_path, &records)?;
+        fs::rename(&tmp_path, &final_path)?;
+        // Make the rename itself durable before deleting the only other
+        // copies of the data.
+        File::open(&self.dir)?.sync_all()?;
+        let mut segments_removed = 0;
+        for (_, path) in &old {
+            fs::remove_file(path)?;
+            segments_removed += 1;
+        }
+
+        self.active = OpenOptions::new().read(true).write(true).open(&final_path)?;
+        self.active_len = self.active.seek(SeekFrom::End(0))?;
+        self.active_id = next_id;
+        self.sealed_bytes = 0;
+        Ok(CompactStats {
+            live_entries: live.len() as u64,
+            bytes_before,
+            bytes_after: self.bytes(),
+            segments_removed,
+        })
+    }
+
+    /// Total on-disk bytes across every segment.
+    pub fn bytes(&self) -> u64 {
+        self.sealed_bytes + self.active_len
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Paths of every segment file, in log (id) order.
+    pub fn segment_paths(&self) -> io::Result<Vec<PathBuf>> {
+        Ok(list_segments(&self.dir)?.into_iter().map(|(_, p)| p).collect())
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.sealed_bytes += self.active_len;
+        self.active_id += 1;
+        let path = self.dir.join(segment_file_name(self.active_id));
+        write_fresh_segment(&path, &[])?;
+        self.active = OpenOptions::new().read(true).write(true).open(&path)?;
+        self.active.seek(SeekFrom::End(0))?;
+        self.active_len = HEADER_LEN as u64;
+        Ok(())
+    }
+}
+
+fn segment_file_name(id: u64) -> String {
+    format!("seg-{id:016x}.log")
+}
+
+fn parse_segment_id(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for dirent in fs::read_dir(dir)? {
+        let dirent = dirent?;
+        if let Some(id) = parse_segment_id(&dirent.file_name().to_string_lossy()) {
+            segments.push((id, dirent.path()));
+        }
+    }
+    segments.sort_by_key(|(id, _)| *id);
+    Ok(segments)
+}
+
+fn segment_header() -> [u8; HEADER_LEN] {
+    let mut w = ByteWriter::with_capacity(HEADER_LEN);
+    w.put_u32_le(SEGMENT_MAGIC);
+    w.put_u8(SEGMENT_VERSION);
+    let v = w.into_vec();
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&v);
+    header
+}
+
+fn write_fresh_segment(path: &Path, ops: &[Op]) -> io::Result<()> {
+    let mut w = ByteWriter::with_capacity(HEADER_LEN + ops.len() * PUT_RECORD_LEN as usize);
+    w.put_slice(&segment_header());
+    for op in ops {
+        w.put_slice(&encode_record(op));
+    }
+    let mut file = File::create(path)?;
+    file.write_all(&w.into_vec())?;
+    file.sync_all()
+}
+
+/// FNV-1a over 64 bits — the per-record checksum.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn encode_record(op: &Op) -> Vec<u8> {
+    let mut body = ByteWriter::with_capacity(PUT_BODY_LEN);
+    match op {
+        Op::Put(e) => {
+            body.put_u8(OP_PUT);
+            body.put_u64_le(e.key as u64);
+            body.put_u64_le((e.key >> 64) as u64);
+            body.put_f64_le(e.score);
+            body.put_f64_le(e.variance);
+            body.put_u64_le(e.rounds);
+            body.put_u64_le(e.successes);
+        }
+        Op::Evict(key) => {
+            body.put_u8(OP_EVICT);
+            body.put_u64_le(*key as u64);
+            body.put_u64_le((*key >> 64) as u64);
+        }
+    }
+    let body = body.into_vec();
+    let mut w = ByteWriter::with_capacity(4 + body.len() + 8);
+    w.put_u32_le((body.len() + 8) as u32);
+    w.put_slice(&body);
+    w.put_u64_le(fnv1a_64(&body));
+    w.into_vec()
+}
+
+fn decode_body(body: Bytes) -> Option<Op> {
+    let len = body.len();
+    let mut r = ByteReader::new(body);
+    let op = match r.get_u8()? {
+        OP_PUT if len == PUT_BODY_LEN => {
+            let key = u128::from(r.get_u64_le()?) | (u128::from(r.get_u64_le()?) << 64);
+            Op::Put(Entry {
+                key,
+                score: r.get_f64_le()?,
+                variance: r.get_f64_le()?,
+                rounds: r.get_u64_le()?,
+                successes: r.get_u64_le()?,
+            })
+        }
+        OP_EVICT if len == EVICT_BODY_LEN => {
+            let key = u128::from(r.get_u64_le()?) | (u128::from(r.get_u64_le()?) << 64);
+            Op::Evict(key)
+        }
+        _ => return None,
+    };
+    r.is_exhausted().then_some(op)
+}
+
+struct SegmentScan {
+    ops: Vec<Op>,
+    /// Bytes of valid prefix; `< buf.len()` means corruption was hit.
+    valid_len: usize,
+}
+
+/// Decodes records until the first torn / corrupt one. Never fails:
+/// corruption just ends the valid prefix.
+fn scan_segment(buf: &[u8]) -> SegmentScan {
+    let bytes = Bytes::copy_from_slice(buf);
+    let header = segment_header();
+    if buf.len() < HEADER_LEN || buf[..HEADER_LEN] != header {
+        return SegmentScan { ops: Vec::new(), valid_len: 0 };
+    }
+    let mut ops = Vec::new();
+    let mut pos = HEADER_LEN;
+    loop {
+        let Some(frame) = buf.get(pos..pos + 4) else {
+            break;
+        };
+        let len = u32::from_le_bytes(frame.try_into().unwrap()) as usize;
+        if len < 9 || len as u32 > MAX_RECORD_LEN || pos + 4 + len > buf.len() {
+            break;
+        }
+        let body = bytes.slice(pos + 4..pos + 4 + len - 8);
+        let checksum =
+            u64::from_le_bytes(buf[pos + 4 + len - 8..pos + 4 + len].try_into().unwrap());
+        if fnv1a_64(body.as_slice()) != checksum {
+            break;
+        }
+        let Some(op) = decode_body(body) else {
+            break;
+        };
+        ops.push(op);
+        pos += 4 + len;
+    }
+    SegmentScan { ops, valid_len: pos }
+}
+
+fn fold_live(ops: &[Op]) -> Vec<Entry> {
+    let mut live: HashMap<u128, (usize, Entry)> = HashMap::new();
+    for (seq, op) in ops.iter().enumerate() {
+        match op {
+            Op::Put(e) => {
+                live.insert(e.key, (seq, *e));
+            }
+            Op::Evict(key) => {
+                live.remove(key);
+            }
+        }
+    }
+    let mut entries: Vec<(usize, Entry)> = live.into_values().collect();
+    entries.sort_by_key(|(seq, _)| *seq);
+    entries.into_iter().map(|(_, e)| e).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("recloud-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry(key: u128, rounds: u64) -> Entry {
+        Entry {
+            key,
+            score: 0.5 + (rounds as f64) * 1e-6,
+            variance: 1e-4,
+            rounds,
+            successes: rounds / 2,
+        }
+    }
+
+    #[test]
+    fn record_sizes_are_pinned() {
+        assert_eq!(encode_record(&Op::Put(entry(7, 10))).len() as u64, PUT_RECORD_LEN);
+        assert_eq!(encode_record(&Op::Evict(7)).len() as u64, EVICT_RECORD_LEN);
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let dir = tempdir("roundtrip");
+        let ops = vec![
+            Op::Put(entry(1, 100)),
+            Op::Put(entry(2, 200)),
+            Op::Evict(1),
+            Op::Put(entry(2, 300)),
+        ];
+        {
+            let (mut store, recovery) = Store::open(&dir, StoreConfig::default()).unwrap();
+            assert!(recovery.ops.is_empty());
+            for op in &ops {
+                store.append(op).unwrap();
+            }
+        }
+        let (store, recovery) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovery.ops, ops);
+        assert_eq!(recovery.truncated_bytes, 0);
+        assert_eq!(recovery.live_entries(), vec![entry(2, 300)]);
+        assert_eq!(store.bytes(), HEADER_LEN as u64 + 3 * PUT_RECORD_LEN + EVICT_RECORD_LEN);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_spreads_the_log_over_segments() {
+        let dir = tempdir("rotate");
+        let config = StoreConfig { segment_max_bytes: HEADER_LEN as u64 + 2 * PUT_RECORD_LEN };
+        let ops: Vec<Op> = (0..7).map(|i| Op::Put(entry(i, i as u64 * 10))).collect();
+        {
+            let (mut store, _) = Store::open(&dir, config).unwrap();
+            for op in &ops {
+                store.append(op).unwrap();
+            }
+            assert_eq!(store.segment_paths().unwrap().len(), 4);
+        }
+        let (_, recovery) = Store::open(&dir, config).unwrap();
+        assert_eq!(recovery.ops, ops);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovers_the_prefix() {
+        let dir = tempdir("torn");
+        let ops = vec![Op::Put(entry(1, 10)), Op::Put(entry(2, 20)), Op::Put(entry(3, 30))];
+        let path = {
+            let (mut store, _) = Store::open(&dir, StoreConfig::default()).unwrap();
+            for op in &ops {
+                store.append(op).unwrap();
+            }
+            store.segment_paths().unwrap()[0].clone()
+        };
+        // Cut the file mid-way through the third record.
+        let full = fs::metadata(&path).unwrap().len();
+        OpenOptions::new().write(true).open(&path).unwrap().set_len(full - 20).unwrap();
+        let (mut store, recovery) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovery.ops, ops[..2]);
+        assert_eq!(recovery.truncated_bytes, PUT_RECORD_LEN - 20);
+        // The store stays appendable after surgery.
+        store.append(&Op::Put(entry(4, 40))).unwrap();
+        drop(store);
+        let (_, recovery) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovery.ops, vec![ops[0], ops[1], Op::Put(entry(4, 40))]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_flip_drops_the_record_and_the_tail() {
+        let dir = tempdir("flip");
+        let ops = vec![Op::Put(entry(1, 10)), Op::Put(entry(2, 20)), Op::Put(entry(3, 30))];
+        let path = {
+            let (mut store, _) = Store::open(&dir, StoreConfig::default()).unwrap();
+            for op in &ops {
+                store.append(op).unwrap();
+            }
+            store.segment_paths().unwrap()[0].clone()
+        };
+        // Flip one bit inside the second record's body.
+        let mut buf = fs::read(&path).unwrap();
+        let offset = HEADER_LEN + PUT_RECORD_LEN as usize + 10;
+        buf[offset] ^= 0x40;
+        fs::write(&path, &buf).unwrap();
+        let (_, recovery) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovery.ops, ops[..1]);
+        assert_eq!(recovery.truncated_bytes, 2 * PUT_RECORD_LEN);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_a_middle_segment_drops_later_segments() {
+        let dir = tempdir("midseg");
+        let config = StoreConfig { segment_max_bytes: HEADER_LEN as u64 + 2 * PUT_RECORD_LEN };
+        let ops: Vec<Op> = (0..6).map(|i| Op::Put(entry(i, i as u64))).collect();
+        let paths = {
+            let (mut store, _) = Store::open(&dir, config).unwrap();
+            for op in &ops {
+                store.append(op).unwrap();
+            }
+            store.segment_paths().unwrap()
+        };
+        assert_eq!(paths.len(), 3);
+        let mut buf = fs::read(&paths[1]).unwrap();
+        let len = buf.len();
+        buf[len - 1] ^= 0x01;
+        fs::write(&paths[1], &buf).unwrap();
+        let (store, recovery) = Store::open(&dir, config).unwrap();
+        // Segment 0 fully, segment 1's first record, segment 2 deleted.
+        assert_eq!(recovery.ops, ops[..3]);
+        assert_eq!(recovery.segments_dropped, 1);
+        assert_eq!(store.segment_paths().unwrap().len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_superseded_and_evicted_keys() {
+        let dir = tempdir("compact");
+        let config = StoreConfig { segment_max_bytes: HEADER_LEN as u64 + 3 * PUT_RECORD_LEN };
+        let (mut store, _) = Store::open(&dir, config).unwrap();
+        for i in 0..4u128 {
+            store.append(&Op::Put(entry(i, 1))).unwrap();
+        }
+        for i in 0..4u128 {
+            store.append(&Op::Put(entry(i, 2))).unwrap();
+        }
+        store.append(&Op::Evict(0)).unwrap();
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.live_entries, 3);
+        assert!(stats.bytes_after < stats.bytes_before);
+        assert_eq!(store.segment_paths().unwrap().len(), 1);
+        // Compacted state must replay identically.
+        store.append(&Op::Put(entry(9, 9))).unwrap();
+        drop(store);
+        let (_, recovery) = Store::open(&dir, config).unwrap();
+        assert_eq!(
+            recovery.live_entries(),
+            vec![entry(1, 2), entry(2, 2), entry(3, 2), entry(9, 9)]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open() {
+        let dir = tempdir("tmp");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("seg-0000000000000007.log.tmp"), b"half a compaction").unwrap();
+        let (store, _) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.segment_paths().unwrap().len(), 1);
+        assert!(!dir.join("seg-0000000000000007.log.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_header_yields_an_empty_but_usable_store() {
+        let dir = tempdir("header");
+        {
+            let (mut store, _) = Store::open(&dir, StoreConfig::default()).unwrap();
+            store.append(&Op::Put(entry(1, 1))).unwrap();
+        }
+        let path = list_segments(&dir).unwrap()[0].1.clone();
+        let mut buf = fs::read(&path).unwrap();
+        buf[0] ^= 0xff;
+        fs::write(&path, &buf).unwrap();
+        let (mut store, recovery) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert!(recovery.ops.is_empty());
+        assert_eq!(recovery.truncated_bytes, HEADER_LEN as u64 + PUT_RECORD_LEN);
+        store.append(&Op::Put(entry(2, 2))).unwrap();
+        drop(store);
+        let (_, recovery) = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovery.ops, vec![Op::Put(entry(2, 2))]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

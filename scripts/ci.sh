@@ -104,4 +104,50 @@ trap - EXIT
 rm -f "$PORT_FILE"
 echo "server smoke: clean exit"
 
+echo "== warm-start smoke gate =="
+# The durable store end to end: populate a daemon running with --store,
+# shut it down, restart on the same directory — the replayed log must
+# warm the cache (store.replayed_total > 0) and the very first repeat of
+# the populate request must be answered as a hit without a single cache
+# miss, i.e. without touching the worker pool.
+STORE_DIR="$(mktemp -d)"
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE"
+target/release/recloud serve --port 0 --port-file "$PORT_FILE" --store "$STORE_DIR" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$STORE_DIR"' EXIT
+for _ in $(seq 1 300); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "warm-start gate: no port file (cold run)"; exit 1; }
+ADDR="127.0.0.1:$(cat "$PORT_FILE")"
+target/release/recloud loadgen --addr "$ADDR" --requests 4 --rounds 200
+target/release/recloud loadgen --smoke --addr "$ADDR"   # ends with Shutdown
+wait "$SERVER_PID"
+
+rm -f "$PORT_FILE"
+target/release/recloud serve --port 0 --port-file "$PORT_FILE" --store "$STORE_DIR" &
+SERVER_PID=$!
+for _ in $(seq 1 300); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "warm-start gate: no port file (warm run)"; exit 1; }
+ADDR="127.0.0.1:$(cat "$PORT_FILE")"
+STATS_JSON="$(target/release/recloud stats --json --addr "$ADDR")"
+echo "$STATS_JSON" | grep -q '"store.replayed_total":[1-9]' \
+  || { echo "warm-start gate: nothing replayed from the store"; exit 1; }
+WARM_OUT="$(target/release/recloud loadgen --addr "$ADDR" --requests 1 --connections 1 --rounds 200)"
+echo "$WARM_OUT" | grep -q '^1 ok (1 cached)' \
+  || { echo "warm-start gate: replayed entry was not served as a hit"; echo "$WARM_OUT"; exit 1; }
+target/release/recloud stats --json --addr "$ADDR" | grep -q '"server.cache_misses_total":0' \
+  || { echo "warm-start gate: warm start reached the worker pool"; exit 1; }
+target/release/recloud loadgen --smoke --addr "$ADDR"   # ends with Shutdown
+wait "$SERVER_PID"
+trap - EXIT
+rm -f "$PORT_FILE"
+rm -rf "$STORE_DIR"
+echo "warm-start gate: restart served from the replayed log"
+
 echo "ci: all gates passed"

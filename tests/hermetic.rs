@@ -77,8 +77,8 @@ fn dependency_entries(text: &str) -> Vec<(String, String)> {
 fn every_dependency_is_a_path_dependency() {
     let manifests = workspace_manifests();
     assert!(
-        manifests.len() >= 14,
-        "expected the root + 13 crate manifests (obs included), found {}",
+        manifests.len() >= 15,
+        "expected the root + 14 crate manifests (store included), found {}",
         manifests.len()
     );
     let mut violations = Vec::new();
@@ -117,6 +117,27 @@ fn server_crate_is_present_and_path_only() {
         assert!(
             is_hermetic_dependency(&value),
             "recloud-server dependency '{name} = {value}' is not path-only"
+        );
+    }
+}
+
+#[test]
+fn store_crate_is_present_and_path_only() {
+    // The durable result store is the crate most tempted by serialization
+    // and checksum deps (serde, crc32fast, bincode); pin that it exists
+    // and leans only on the in-repo `recloud::wire` codec.
+    let manifests = workspace_manifests();
+    let store = manifests
+        .iter()
+        .find(|m| m.ends_with("crates/store/Cargo.toml"))
+        .expect("crates/store/Cargo.toml must exist");
+    let text = std::fs::read_to_string(store).unwrap();
+    let entries = dependency_entries(&text);
+    assert!(!entries.is_empty(), "store manifest declares no dependencies?");
+    for (name, value) in entries {
+        assert!(
+            is_hermetic_dependency(&value),
+            "recloud-store dependency '{name} = {value}' is not path-only"
         );
     }
 }
