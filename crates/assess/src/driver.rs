@@ -27,7 +27,7 @@
 //! exactly the rounds fed so far.
 
 use crate::assessor::{Assessor, Timings};
-use recloud_obs::{Counter, Histogram};
+use recloud_obs::{Counter, Histogram, LocalHistogram};
 use recloud_sampling::{ReliabilityEstimate, ResultAccumulator};
 use std::sync::Arc;
 use std::time::Duration;
@@ -66,12 +66,20 @@ pub struct ChunkTask {
 
 /// Per-chunk observability handles (process-global `assess.*` names).
 /// The driver records once per *fed chunk*, never per round, so the
-/// recording stays off the bit-sliced hot path.
+/// recording stays off the bit-sliced hot path — and it batches into
+/// plain local accumulators, flushed into the shared atomics once when
+/// the driver is dropped. The flushed histogram contents are
+/// bit-identical to per-chunk shared records; only their visibility is
+/// deferred to the end of the drive.
 struct DriverInstruments {
     sampling_us: Arc<Histogram>,
     collapse_us: Arc<Histogram>,
     check_us: Arc<Histogram>,
     rounds_total: Arc<Counter>,
+    sampling_batch: LocalHistogram,
+    collapse_batch: LocalHistogram,
+    check_batch: LocalHistogram,
+    rounds_batch: u64,
 }
 
 impl DriverInstruments {
@@ -82,6 +90,21 @@ impl DriverInstruments {
             collapse_us: registry.histogram("assess.collapse_us"),
             check_us: registry.histogram("assess.check_us"),
             rounds_total: registry.counter("assess.rounds_total"),
+            sampling_batch: LocalHistogram::new(),
+            collapse_batch: LocalHistogram::new(),
+            check_batch: LocalHistogram::new(),
+            rounds_batch: 0,
+        }
+    }
+}
+
+impl Drop for DriverInstruments {
+    fn drop(&mut self) {
+        self.sampling_batch.flush_into(&self.sampling_us);
+        self.collapse_batch.flush_into(&self.collapse_us);
+        self.check_batch.flush_into(&self.check_us);
+        if self.rounds_batch != 0 {
+            self.rounds_total.add(std::mem::take(&mut self.rounds_batch));
         }
     }
 }
@@ -152,14 +175,29 @@ impl AssessmentDriver {
         self.acc.push_batch(rounds, successes);
         self.timings.merge(timings);
         self.fed += 1;
-        if timings.sampling > Duration::ZERO {
-            self.obs.sampling_us.record(timings.sampling.as_micros() as u64);
+        if recloud_obs::enabled() {
+            if timings.sampling > Duration::ZERO {
+                self.obs.sampling_batch.record(timings.sampling.as_micros() as u64);
+            }
+            if timings.collapse > Duration::ZERO {
+                self.obs.collapse_batch.record(timings.collapse.as_micros() as u64);
+            }
+            self.obs.check_batch.record(timings.check.as_micros() as u64);
+            self.obs.rounds_batch += rounds;
+            if let Some(ctx) = recloud_obs::current_span() {
+                let end_us = recloud_obs::trace::now_us();
+                let dur_us = timings.total.as_micros() as u64;
+                recloud_obs::tracer().record(
+                    ctx.trace_id,
+                    ctx.span,
+                    "assess.chunk",
+                    end_us.saturating_sub(dur_us),
+                    end_us,
+                    rounds,
+                    chunk as u64,
+                );
+            }
         }
-        if timings.collapse > Duration::ZERO {
-            self.obs.collapse_us.record(timings.collapse.as_micros() as u64);
-        }
-        self.obs.check_us.record(timings.check.as_micros() as u64);
-        self.obs.rounds_total.add(rounds);
         let estimate = self.acc.estimate();
         let ciw = estimate.ciw95();
         PartialEstimate {

@@ -156,6 +156,9 @@ pub fn topo(p: &Parsed) -> Result<String, CliError> {
 
 /// `recloud assess`.
 pub fn assess(p: &Parsed) -> Result<String, CliError> {
+    if p.get("addr").is_some() {
+        return assess_remote(p);
+    }
     let t = build_topology(p)?;
     let seed = p.u64_or("seed", 1)?;
     let rounds = p.usize_or("rounds", 10_000)?;
@@ -427,6 +430,268 @@ fn search_remote(p: &Parsed) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `recloud assess --addr HOST:PORT [--stream]` — run the assessment on
+/// a live daemon over RCS1, with end-to-end tracing: the connection is
+/// armed with a `TraceContext` frame before the request so the server
+/// records its work (queue wait, cache lookup, worker execution,
+/// per-chunk kernel spans, store append) under this client's root span,
+/// and the client's own spans (connect, request, one per streamed
+/// Partial) are shipped back with `TraceUpload` afterwards — one causal
+/// tree, fetchable with `recloud trace`.
+fn assess_remote(p: &Parsed) -> Result<String, CliError> {
+    use recloud_obs::trace::{self, CLIENT_ID_BASE};
+    use recloud_server::loadgen::first_hosts;
+    use recloud_server::protocol::{AssessRequest, Preset, TraceSpan};
+    use recloud_server::Client;
+    let addr = p.str_or("addr", "127.0.0.1:7070");
+    if p.get("topology").is_some() {
+        return Err(CliError::Invalid(
+            "--addr serves preset scales only; --topology is a local-assess flag".into(),
+        ));
+    }
+    let scale = p.str_or("scale", "tiny");
+    let preset = Preset::from_name(&scale).ok_or_else(|| CliError::BadValue {
+        flag: "scale".into(),
+        value: scale.clone(),
+        expected: "tiny|small|medium|large|xl",
+    })?;
+    let k = p.u32_or("k", 4)?;
+    let n = p.u32_or("n", 5)?;
+    if k == 0 || k > n {
+        return Err(CliError::Invalid(format!("need 1 <= k <= n (got k={k}, n={n})")));
+    }
+    let request = AssessRequest {
+        preset,
+        rounds: p.u32_or("rounds", 10_000)?,
+        seed: p.u64_or("seed", 1)?,
+        k,
+        n,
+        assignments: vec![first_hosts(preset, n as usize)],
+    };
+
+    // Client-originated spans join the server's via the shared trace id;
+    // ids allocated from CLIENT_ID_BASE cannot collide with the server's
+    // (base 0). `| 1` keeps clear of the reserved id 0.
+    let tracer = recloud_obs::tracer();
+    let trace_id = trace::now_us() | 1;
+    tracer.begin(trace_id, CLIENT_ID_BASE);
+    let root = tracer.start(trace_id, 0, "client.request");
+
+    let connect_start = trace::now_us();
+    let mut client = Client::connect(&addr)
+        .map_err(|e| CliError::Invalid(format!("cannot connect to {addr}: {e}")))?;
+    tracer.record(trace_id, root, "client.connect", connect_start, trace::now_us(), 0, 0);
+    client
+        .set_timeout(Some(Duration::from_secs(300)))
+        .map_err(|e| CliError::Invalid(format!("set timeout: {e}")))?;
+    client.set_trace(trace_id, root).map_err(|e| CliError::Invalid(format!("arm trace: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "app: {k}-of-{n} on {scale} preset at {addr}");
+    let a = if p.has("stream") {
+        let cadence = p.u32_or("cadence", 4)?.max(1);
+        let mut partials = 0u64;
+        let (a, _stopped) = client
+            .assess_streaming(request, cadence, |partial| {
+                partials += 1;
+                let at = trace::now_us();
+                tracer.record(
+                    trace_id,
+                    root,
+                    "client.partial",
+                    at,
+                    at,
+                    partial.rounds_done,
+                    partials,
+                );
+                let _ = writeln!(
+                    out,
+                    "  partial {:>3}: {:>9}/{} rounds  R {:.5}  CIW {:.2e}",
+                    partials, partial.rounds_done, partial.rounds_total, partial.score, partial.ciw
+                );
+                std::ops::ControlFlow::Continue(())
+            })
+            .map_err(|e| CliError::Invalid(format!("assess stream: {e}")))?;
+        a
+    } else {
+        client.assess(request).map_err(|e| CliError::Invalid(format!("assess: {e}")))?
+    };
+    tracer.end(trace_id, root);
+
+    // Ship the client's side of the tree; the server absorbs it into the
+    // trace (its own side already finished when the reply was sent).
+    if let Some((spans, _dropped)) = tracer.spans(trace_id) {
+        let wire: Vec<TraceSpan> = spans
+            .iter()
+            .map(|s| TraceSpan {
+                id: s.id,
+                parent: s.parent,
+                kind: s.kind.to_string(),
+                start_us: s.start_us,
+                end_us: s.end_us,
+                v0: s.v0,
+                v1: s.v1,
+            })
+            .collect();
+        let _ = client.trace_upload(trace_id, wire);
+    }
+
+    let _ = writeln!(
+        out,
+        "reliability {:.5} (95% CI width {:.2e}) over {} rounds{}",
+        a.score,
+        4.0 * a.variance.sqrt(),
+        a.rounds,
+        if a.cached { " [cached]" } else { "" }
+    );
+    let _ = writeln!(out, "trace {trace_id}; fetch: recloud trace --addr {addr} --id {trace_id}");
+    Ok(out)
+}
+
+/// `recloud trace [--addr HOST:PORT] [--id X] [--chrome out.json]` —
+/// fetch an assembled span tree from a live daemon and render it.
+/// `--id 0` (the default) asks for the most recently finished trace;
+/// `--chrome` additionally writes Chrome trace-event JSON (load in
+/// `chrome://tracing` or ui.perfetto.dev).
+pub fn trace(p: &Parsed) -> Result<String, CliError> {
+    use recloud_server::Client;
+    let addr = p.str_or("addr", "127.0.0.1:7070");
+    let id = p.u64_or("id", 0)?;
+    let mut client = Client::connect(&addr)
+        .map_err(|e| CliError::Invalid(format!("cannot connect to {addr}: {e}")))?;
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| CliError::Invalid(format!("set timeout: {e}")))?;
+    let t = client.trace_dump(id).map_err(|e| CliError::Invalid(format!("trace dump: {e}")))?;
+    if t.trace_id == 0 {
+        return Err(CliError::Invalid(if id == 0 {
+            "no finished trace on the server yet (run e.g. `recloud assess --addr … --stream` first)"
+                .into()
+        } else {
+            format!("trace {id} not found on the server (evicted or never recorded)")
+        }));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace {}: {} spans{}",
+        t.trace_id,
+        t.spans.len(),
+        if t.dropped > 0 { format!(" ({} dropped)", t.dropped) } else { String::new() }
+    );
+    render_span_tree(&t.spans, &mut out);
+    if let Some(path) = p.get("chrome") {
+        let json = chrome_trace_json(&t.spans);
+        std::fs::write(path, &json).map_err(|e| CliError::Invalid(format!("write {path}: {e}")))?;
+        let _ = writeln!(out, "chrome trace written to {path}");
+    }
+    Ok(out)
+}
+
+/// Renders spans as an indented forest ordered by start time, offsets
+/// relative to the earliest span. Spans whose parent is absent (dropped
+/// past capacity, or a mid-trace dump) surface as extra roots rather
+/// than disappearing.
+fn render_span_tree(spans: &[recloud_server::TraceSpan], out: &mut String) {
+    use std::collections::{HashMap, HashSet};
+    let ids: HashSet<u32> = spans.iter().map(|s| s.id).collect();
+    let mut children: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent != 0 && ids.contains(&s.parent) {
+            children.entry(s.parent).or_default().push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+    let by_start = |&i: &usize| (spans[i].start_us, spans[i].id);
+    roots.sort_by_key(by_start);
+    for v in children.values_mut() {
+        v.sort_by_key(by_start);
+    }
+    let base = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+    // Depth-first with an explicit stack; children pushed in reverse so
+    // the earliest-started child prints first.
+    let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        let s = &spans[i];
+        let dur = if s.end_us == 0 {
+            "open".to_string()
+        } else {
+            format!("{} us", s.end_us.saturating_sub(s.start_us))
+        };
+        let tags = if s.v0 != 0 || s.v1 != 0 {
+            format!("  [v0={} v1={}]", s.v0, s.v1)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  {:indent$}{:<16} +{} us  {}{}",
+            "",
+            s.kind,
+            s.start_us.saturating_sub(base),
+            dur,
+            tags,
+            indent = depth * 2
+        );
+        if let Some(kids) = children.get(&s.id) {
+            for &k in kids.iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+    }
+}
+
+/// Chrome trace-event JSON: one "X" (complete) event per span with
+/// microsecond timestamps relative to the earliest span, client spans on
+/// tid 2 and server spans on tid 1, span ids and tags in `args`.
+fn chrome_trace_json(spans: &[recloud_server::TraceSpan]) -> String {
+    use recloud_obs::trace::CLIENT_ID_BASE;
+    let base = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let end = if s.end_us == 0 { s.start_us } else { s.end_us };
+        let tid = if s.id >= CLIENT_ID_BASE { 2 } else { 1 };
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"recloud\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\
+             \"ts\":{},\"dur\":{},\"args\":{{\"id\":{},\"parent\":{},\"v0\":{},\"v1\":{}}}}}",
+            json_quote(&s.kind),
+            s.start_us.saturating_sub(base),
+            end.saturating_sub(s.start_us).max(1),
+            s.id,
+            s.parent,
+            s.v0,
+            s.v1
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Minimal JSON string quoting for span kinds (matches the repo's other
+/// hand-rolled JSON emitters).
+fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// `recloud compare`.
 pub fn compare(p: &Parsed) -> Result<String, CliError> {
     let t = build_topology(p)?;
@@ -670,6 +935,7 @@ pub fn serve(p: &Parsed) -> Result<String, CliError> {
         read_timeout: defaults.read_timeout,
         store_dir: p.get("store").map(std::path::PathBuf::from),
         peer: p.get("peer").map(str::to_string),
+        store_config: defaults.store_config,
     };
     if config.workers == 0 {
         return Err(CliError::Invalid("--workers must be at least 1".into()));

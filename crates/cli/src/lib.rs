@@ -38,6 +38,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "loadgen" => commands::loadgen(&parsed),
         "stats" => commands::stats(&parsed),
         "journal" => commands::journal(&parsed),
+        "trace" => commands::trace(&parsed),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -65,6 +66,7 @@ COMMANDS:
     stats        read a running daemon's instruments (latency quantiles,
                  queue depth, cache hit rate; --json for raw snapshot)
     journal      print a running daemon's newest journal events as JSON lines
+    trace        fetch a request's causal span tree from a running daemon
     help         show this text
 
 COMMON OPTIONS:
@@ -84,6 +86,10 @@ ASSESS OPTIONS:
     --cadence <int>                     chunks per progress line (default: 4)
     --monte-carlo                       plain Monte Carlo instead of dagger
     --hosts <id,...>                    explicit plan host ids (else random)
+    --addr <host:port>                  run on a live daemon instead (RCS1;
+                                        preset scales only) — the round trip
+                                        is traced end to end, client spans
+                                        joining the server's in one tree
 
 SEARCH OPTIONS:
     --budget-ms <int>                   search budget (default: 2000)
@@ -132,7 +138,14 @@ LOADGEN OPTIONS:
 STATS / JOURNAL OPTIONS:
     --addr <host:port>                  daemon address (default: 127.0.0.1:7070)
     --json                              stats: print the raw snapshot JSON
-    --tail <int>                        journal: newest N events (default: 64)"
+    --tail <int>                        journal: newest N events (default: 64)
+
+TRACE OPTIONS:
+    --addr <host:port>                  daemon address (default: 127.0.0.1:7070)
+    --id <int>                          trace id (default: 0 = most recently
+                                        finished trace)
+    --chrome <path>                     also write Chrome trace-event JSON
+                                        (chrome://tracing, ui.perfetto.dev)"
 }
 
 #[cfg(test)]

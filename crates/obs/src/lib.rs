@@ -14,6 +14,10 @@
 //! * **Journal** ([`Journal`]) — a fixed-capacity lock-free ring buffer
 //!   of structured events (seqlock-validated slots, no `unsafe`), with
 //!   JSON-lines export for post-mortem debugging of the daemon.
+//! * **Traces** ([`trace::Tracer`]) — per-request causal span trees
+//!   over fixed-capacity preallocated storage, propagated across
+//!   layers via a thread-local [`trace::SpanCtx`] and across the wire
+//!   via the RCS1 trace-context frame.
 //!
 //! Instruments live in a [`Registry`] keyed by name. Library layers
 //! (assess, search) record into the process-wide [`global()`] registry;
@@ -32,11 +36,17 @@ mod journal;
 mod metrics;
 mod registry;
 mod span;
+pub mod trace;
 
 pub use journal::{Event, Journal, KindId};
-pub use metrics::{bucket_of, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use metrics::{
+    bucket_of, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram,
+};
 pub use registry::{global, MetricsSnapshot, Registry};
 pub use span::SpanGuard;
+pub use trace::{
+    current_span, intern_kind, tracer, with_current_span, SpanCtx, SpanRecord, Tracer,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 

@@ -5,7 +5,7 @@
 use crate::protocol::{
     read_frame, write_frame, AssessRequest, AssessResponse, CacheEntry, MetricsResponse,
     PartialResponse, Request, Response, SearchEventResponse, SearchRequest, SearchResponse,
-    StatsResponse,
+    StatsResponse, TraceResponse, TraceSpan,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -168,6 +168,31 @@ impl Client {
                 Err(bad_data(format!("server error {code:?}: {message}")))
             }
             other => Err(bad_data(format!("expected CacheSegment, got {other:?}"))),
+        }
+    }
+
+    /// Arms tracing for this connection's next request: the server will
+    /// record its work as a span tree under `parent_span` in `trace_id`.
+    /// Fire-and-forget — the server sends no response frame.
+    pub fn set_trace(&mut self, trace_id: u64, parent_span: u32) -> io::Result<()> {
+        write_frame(&mut self.stream, &Request::TraceContext { trace_id, parent_span }.encode())
+    }
+
+    /// Ships this client's completed spans to the server, which absorbs
+    /// them into the trace and marks it finished. Fire-and-forget.
+    pub fn trace_upload(&mut self, trace_id: u64, spans: Vec<TraceSpan>) -> io::Result<()> {
+        write_frame(&mut self.stream, &Request::TraceUpload { trace_id, spans }.encode())
+    }
+
+    /// Fetches a trace's assembled span tree (`trace_id` 0 asks for the
+    /// most recently finished trace).
+    pub fn trace_dump(&mut self, trace_id: u64) -> io::Result<TraceResponse> {
+        match self.call(&Request::TraceDump { trace_id })? {
+            Response::Trace(t) => Ok(t),
+            Response::Error { code, message } => {
+                Err(bad_data(format!("server error {code:?}: {message}")))
+            }
+            other => Err(bad_data(format!("expected TraceResult, got {other:?}"))),
         }
     }
 

@@ -42,5 +42,5 @@ pub use cache::ResultCache;
 pub use client::Client;
 pub use engine::EnginePool;
 pub use loadgen::{run_load, smoke, smoke_stream, LoadReport, LoadgenConfig};
-pub use protocol::{Preset, Request, Response};
+pub use protocol::{Preset, Request, Response, TraceResponse, TraceSpan};
 pub use server::{ServeSummary, Server, ServerConfig};

@@ -22,6 +22,9 @@
 //! | 0x09 | AssessCancel     | (empty; only meaningful mid-stream) |
 //! | 0x0A | SearchStream     | SearchPlacement body, then `workers:u32 iters:u32` |
 //! | 0x0B | CacheSync        | `max_entries:u32` |
+//! | 0x0C | TraceDump        | `trace_id:u64` (0 = most recently finished trace) |
+//! | 0x0D | TraceContext     | `trace_id:u64 parent_span:u32` (fire-and-forget; no response) |
+//! | 0x0E | TraceUpload      | `trace_id:u64 n:u32 { id:u32 parent:u32 kind:str start_us:u64 end_us:u64 v0:u64 v1:u64 }…` (fire-and-forget) |
 //!
 //! Response kinds (server → client):
 //!
@@ -39,6 +42,7 @@
 //! | 0x8A | Partial      | `rounds_done:u64 rounds_total:u64 score:f64 ciw:f64` |
 //! | 0x8B | SearchEvent  | `chain:u32 iteration:u64 elapsed_us:u64 measure:f64 reliability:f64 temperature:f64` |
 //! | 0x8C | CacheSegment | `n:u32 { key_lo:u64 key_hi:u64 score:f64 variance:f64 rounds:u64 successes:u64 }…` |
+//! | 0x8D | TraceResult  | `trace_id:u64 dropped:u64 n:u32 { span… }…` (span layout as TraceUpload) |
 //!
 //! An AssessStream exchange is: client sends 0x08, server emits zero or
 //! more 0x8A Partial frames (one every `cadence` fed chunks) and finishes
@@ -77,6 +81,18 @@
 //! identity, and the assessment fields cross bit-exactly like every
 //! other f64 on this wire.
 //!
+//! Tracing rides on three frames. A client that wants its request traced
+//! sends 0x0D TraceContext first — fire-and-forget, no response — naming
+//! the trace id and the client-side span the server's work should hang
+//! under; the connection's next request is then recorded as a span tree
+//! (queue wait, cache lookup, worker execution, per-chunk kernel spans,
+//! store append). After the response, the client may send 0x0E
+//! TraceUpload (also fire-and-forget) to contribute its own completed
+//! spans — connect, request, per-Partial — which the server absorbs into
+//! the same tree and marks the trace finished. Anyone can then fetch the
+//! assembled tree with 0x0C TraceDump (`trace_id` 0 means "the most
+//! recently finished trace") and gets one 0x8D TraceResult back.
+//!
 //! MetricsDump was added after Shutdown (0x06) and Busy (0x86) already
 //! occupied the original kind proposal, so it takes the next free pair
 //! (0x07 request / 0x89 response) — existing frames keep their kinds
@@ -111,6 +127,10 @@ pub const MAX_SEARCH_ITERS: u32 = 1_000_000;
 /// Upper bound on entries per CacheSync request — sized so a maximal
 /// CacheSegment (48 bytes per entry) stays well under [`MAX_FRAME_LEN`].
 pub const MAX_SYNC_ENTRIES: u32 = 16_384;
+/// Upper bound on spans per TraceUpload / TraceResult frame — covers the
+/// tracer's per-trace capacity from both id bases with room to spare
+/// while keeping a maximal frame well under [`MAX_FRAME_LEN`].
+pub const MAX_TRACE_SPANS: u32 = 2_048;
 
 /// Decode failure. Any of these on a live connection is a protocol error:
 /// the server answers with an [`Response::Error`] frame and drops the
@@ -323,6 +343,83 @@ pub enum Request {
         /// Entry budget, `1..=`[`MAX_SYNC_ENTRIES`].
         max_entries: u32,
     },
+    /// Fetch a finished trace's span tree as one [`Response::Trace`].
+    TraceDump {
+        /// The trace to fetch; 0 asks for the most recently finished one.
+        trace_id: u64,
+    },
+    /// Arm tracing for this connection's next request (fire-and-forget —
+    /// the server sends no response). The server's request span will be
+    /// parented under the client's `parent_span`.
+    TraceContext {
+        /// Nonzero trace id chosen by the client.
+        trace_id: u64,
+        /// Client-side span to parent the server's work under (0 = root).
+        parent_span: u32,
+    },
+    /// Contribute the client's completed spans to a trace and mark it
+    /// finished (fire-and-forget — the server sends no response).
+    TraceUpload {
+        /// The trace the spans belong to.
+        trace_id: u64,
+        /// Completed client-side spans, ids from the client's base.
+        spans: Vec<TraceSpan>,
+    },
+}
+
+/// One span on the wire (inside [`Request::TraceUpload`] and
+/// [`Response::Trace`]): the tracer's record with the stage name carried
+/// as a length-prefixed string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Span id, unique within the trace; never 0.
+    pub id: u32,
+    /// Parent span id; 0 marks a root span.
+    pub parent: u32,
+    /// Stage name, e.g. `"queue.wait"` or `"assess.chunk"`.
+    pub kind: String,
+    /// Absolute start, microseconds since the Unix epoch.
+    pub start_us: u64,
+    /// Absolute end; 0 if the span never closed.
+    pub end_us: u64,
+    /// First kind-specific tag (e.g. rounds for `assess.chunk`).
+    pub v0: u64,
+    /// Second kind-specific tag (e.g. chunk index).
+    pub v1: u64,
+}
+
+fn put_trace_spans(w: &mut ByteWriter, spans: &[TraceSpan]) {
+    w.put_u32_le(spans.len() as u32);
+    for s in spans {
+        w.put_u32_le(s.id);
+        w.put_u32_le(s.parent);
+        put_str(w, &s.kind);
+        w.put_u64_le(s.start_us);
+        w.put_u64_le(s.end_us);
+        w.put_u64_le(s.v0);
+        w.put_u64_le(s.v1);
+    }
+}
+
+fn get_trace_spans(r: &mut ByteReader) -> Result<Vec<TraceSpan>, ProtoError> {
+    let n = r.get_u32_le().ok_or(ProtoError::Truncated)? as usize;
+    let mut spans = Vec::with_capacity(n.min(MAX_TRACE_SPANS as usize));
+    for _ in 0..n {
+        spans.push(TraceSpan {
+            id: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+            parent: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+            kind: get_str(r)?,
+            start_us: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+            end_us: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+            v0: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+            v1: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+        });
+    }
+    Ok(spans)
+}
+
+fn trace_spans_len(spans: &[TraceSpan]) -> usize {
+    4 + spans.iter().map(|s| 4 + 4 + 2 + s.kind.len() + 4 * 8).sum::<usize>()
 }
 
 /// Error codes carried in [`Response::Error`] frames.
@@ -490,6 +587,19 @@ pub struct CacheSegmentResponse {
     pub entries: Vec<CacheEntry>,
 }
 
+/// The TraceDump answer: one trace's assembled span tree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceResponse {
+    /// The trace the spans belong to; 0 when no such trace exists (the
+    /// id was never begun, was evicted, or nothing has finished yet).
+    pub trace_id: u64,
+    /// Spans dropped past the tracer's per-trace capacity.
+    pub dropped: u64,
+    /// Spans in record order (parents precede children per process, but
+    /// absorbed client spans may follow server spans that reference them).
+    pub spans: Vec<TraceSpan>,
+}
+
 /// The MetricsDump answer: a merged snapshot of the server's private
 /// registry and the process-global one (assess/search instruments),
 /// plus up to `journal_tail` of the newest journal events.
@@ -547,6 +657,8 @@ pub enum Response {
     SearchEvent(SearchEventResponse),
     /// A batch of cache entries answering a [`Request::CacheSync`].
     CacheSegment(CacheSegmentResponse),
+    /// A trace's span tree answering a [`Request::TraceDump`].
+    Trace(TraceResponse),
 }
 
 fn put_header(w: &mut ByteWriter, kind: u8) {
@@ -819,6 +931,26 @@ impl Request {
                 w.put_u32_le(*max_entries);
                 w.freeze()
             }
+            Request::TraceDump { trace_id } => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 8);
+                put_header(&mut w, 0x0C);
+                w.put_u64_le(*trace_id);
+                w.freeze()
+            }
+            Request::TraceContext { trace_id, parent_span } => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 8 + 4);
+                put_header(&mut w, 0x0D);
+                w.put_u64_le(*trace_id);
+                w.put_u32_le(*parent_span);
+                w.freeze()
+            }
+            Request::TraceUpload { trace_id, spans } => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 8 + trace_spans_len(spans));
+                put_header(&mut w, 0x0E);
+                w.put_u64_le(*trace_id);
+                put_trace_spans(&mut w, spans);
+                w.freeze()
+            }
         }
     }
 
@@ -885,6 +1017,15 @@ impl Request {
             0x0B => {
                 Request::CacheSync { max_entries: r.get_u32_le().ok_or(ProtoError::Truncated)? }
             }
+            0x0C => Request::TraceDump { trace_id: r.get_u64_le().ok_or(ProtoError::Truncated)? },
+            0x0D => Request::TraceContext {
+                trace_id: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                parent_span: r.get_u32_le().ok_or(ProtoError::Truncated)?,
+            },
+            0x0E => Request::TraceUpload {
+                trace_id: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                spans: get_trace_spans(&mut r)?,
+            },
             other => return Err(ProtoError::BadKind(other)),
         };
         finish(&r)?;
@@ -1015,6 +1156,15 @@ impl Response {
                 }
                 w.freeze()
             }
+            Response::Trace(t) => {
+                let mut w =
+                    ByteWriter::with_capacity(HEADER_LEN + 8 + 8 + trace_spans_len(&t.spans));
+                put_header(&mut w, 0x8D);
+                w.put_u64_le(t.trace_id);
+                w.put_u64_le(t.dropped);
+                put_trace_spans(&mut w, &t.spans);
+                w.freeze()
+            }
         }
     }
 
@@ -1116,6 +1266,11 @@ impl Response {
                 }
                 Response::CacheSegment(CacheSegmentResponse { entries })
             }
+            0x8D => Response::Trace(TraceResponse {
+                trace_id: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                dropped: r.get_u64_le().ok_or(ProtoError::Truncated)?,
+                spans: get_trace_spans(&mut r)?,
+            }),
             other => return Err(ProtoError::BadKind(other)),
         };
         finish(&r)?;
@@ -1188,7 +1343,26 @@ pub fn validate_shape(req: &Request) -> Result<(), String> {
         | Request::Stats
         | Request::Shutdown
         | Request::MetricsDump { .. }
-        | Request::AssessCancel => Ok(()),
+        | Request::AssessCancel
+        | Request::TraceDump { .. } => Ok(()),
+        Request::TraceContext { trace_id, .. } => {
+            if *trace_id == 0 {
+                return Err("trace id 0 is reserved for \"no trace\"".to_string());
+            }
+            Ok(())
+        }
+        Request::TraceUpload { trace_id, spans } => {
+            if *trace_id == 0 {
+                return Err("trace id 0 is reserved for \"no trace\"".to_string());
+            }
+            if spans.len() > MAX_TRACE_SPANS as usize {
+                return Err(format!(
+                    "need at most {MAX_TRACE_SPANS} uploaded spans (got {})",
+                    spans.len()
+                ));
+            }
+            Ok(())
+        }
         Request::AssessPlan(a) => check_assess(a),
         Request::AssessStream { req: a, cadence } => {
             check_assess(a)?;
@@ -1306,6 +1480,34 @@ mod tests {
             },
             Request::CacheSync { max_entries: 1 },
             Request::CacheSync { max_entries: MAX_SYNC_ENTRIES },
+            Request::TraceDump { trace_id: 0 },
+            Request::TraceDump { trace_id: u64::MAX },
+            Request::TraceContext { trace_id: 0xDEAD_BEEF, parent_span: 1 << 20 },
+            Request::TraceUpload { trace_id: 1, spans: vec![] },
+            Request::TraceUpload { trace_id: 2, spans: sample_trace_spans() },
+        ]
+    }
+
+    fn sample_trace_spans() -> Vec<TraceSpan> {
+        vec![
+            TraceSpan {
+                id: (1 << 20) + 1,
+                parent: 0,
+                kind: "client.request".into(),
+                start_us: 1_700_000_000_000_000,
+                end_us: 1_700_000_000_250_000,
+                v0: 0,
+                v1: 0,
+            },
+            TraceSpan {
+                id: (1 << 20) + 2,
+                parent: (1 << 20) + 1,
+                kind: "client.connect".into(),
+                start_us: 1_700_000_000_000_100,
+                end_us: 0,
+                v0: u64::MAX,
+                v1: 7,
+            },
         ]
     }
 
@@ -1411,6 +1613,12 @@ mod tests {
                 ],
             }),
             Response::CacheSegment(CacheSegmentResponse::default()),
+            Response::Trace(TraceResponse {
+                trace_id: 42,
+                dropped: 3,
+                spans: sample_trace_spans(),
+            }),
+            Response::Trace(TraceResponse::default()),
         ]
     }
 
@@ -1610,6 +1818,18 @@ mod tests {
         assert!(validate_shape(&no_entries).unwrap_err().contains("sync entries"));
         let too_greedy = Request::CacheSync { max_entries: MAX_SYNC_ENTRIES + 1 };
         assert!(validate_shape(&too_greedy).unwrap_err().contains("sync entries"));
+        // Tracing: id 0 is reserved, upload span counts are bounded.
+        assert!(validate_shape(&Request::TraceDump { trace_id: 0 }).is_ok());
+        assert!(validate_shape(&Request::TraceContext { trace_id: 5, parent_span: 0 }).is_ok());
+        let zero_ctx = Request::TraceContext { trace_id: 0, parent_span: 1 };
+        assert!(validate_shape(&zero_ctx).unwrap_err().contains("trace id 0"));
+        assert!(validate_shape(&Request::TraceUpload { trace_id: 5, spans: vec![] }).is_ok());
+        let zero_upload = Request::TraceUpload { trace_id: 0, spans: vec![] };
+        assert!(validate_shape(&zero_upload).unwrap_err().contains("trace id 0"));
+        let span = sample_trace_spans().remove(0);
+        let flood =
+            Request::TraceUpload { trace_id: 5, spans: vec![span; MAX_TRACE_SPANS as usize + 1] };
+        assert!(validate_shape(&flood).unwrap_err().contains("uploaded spans"));
     }
 
     /// Satellite: the deprecated Stats frame and its MetricsDump

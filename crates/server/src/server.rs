@@ -34,12 +34,12 @@ use crate::engine::{build_plan, shape_for, spec_for, EnginePool};
 use crate::protocol::{
     self, validate_shape, AssessRequest, AssessResponse, CacheSegmentResponse, CompareRequest,
     ErrorCode, MetricsResponse, PartialResponse, Request, Response, SearchEventResponse,
-    SearchRequest, StatsResponse, MAX_FRAME_LEN, MAX_SYNC_ENTRIES,
+    SearchRequest, StatsResponse, TraceResponse, TraceSpan, MAX_FRAME_LEN, MAX_SYNC_ENTRIES,
 };
 use recloud::sync::{self, Receiver, Sender};
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
 use recloud_assess::assessment_key;
-use recloud_obs::{Counter, Gauge, Histogram, KindId, Registry};
+use recloud_obs::{trace, Counter, Gauge, Histogram, KindId, Registry, SpanCtx, SpanRecord};
 use recloud_store::{Entry as StoreEntry, Op as StoreOp, Store, StoreConfig};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -70,6 +70,9 @@ pub struct ServerConfig {
     /// missing ones (best effort — an unreachable peer is a warning,
     /// not a bind failure).
     pub peer: Option<String>,
+    /// Durable-store tuning (segment rotation, auto-compaction
+    /// thresholds); only consulted when `store_dir` is set.
+    pub store_config: StoreConfig,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +85,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(50),
             store_dir: None,
             peer: None,
+            store_config: StoreConfig::default(),
         }
     }
 }
@@ -145,6 +149,8 @@ struct ServerInstruments {
     store_synced: Arc<Counter>,
     /// CacheSync requests this daemon answered for peers.
     sync_served: Arc<Counter>,
+    /// Compaction passes the store ran (size-triggered and manual).
+    store_compactions: Arc<Counter>,
     /// On-disk bytes across the store's segments.
     store_bytes: Arc<Gauge>,
     /// Accounting bytes resident in the result cache.
@@ -180,6 +186,7 @@ impl ServerInstruments {
             store_replayed: registry.counter("store.replayed_total"),
             store_synced: registry.counter("store.synced_total"),
             sync_served: registry.counter("store.sync_served_total"),
+            store_compactions: registry.counter("store.compactions_total"),
             store_bytes: registry.gauge("store.bytes"),
             cache_bytes: registry.gauge("server.cache_bytes"),
             latency,
@@ -202,7 +209,13 @@ impl ServerInstruments {
             Request::AssessStream { .. } => Some(6),
             Request::SearchStream { .. } => Some(7),
             Request::CacheSync { .. } => Some(8),
-            Request::Shutdown | Request::AssessCancel => None,
+            // Trace frames are connection-side bookkeeping (two of the
+            // three don't even reply) — no latency histogram.
+            Request::Shutdown
+            | Request::AssessCancel
+            | Request::TraceDump { .. }
+            | Request::TraceContext { .. }
+            | Request::TraceUpload { .. } => None,
         }
     }
 }
@@ -244,6 +257,11 @@ enum JobKind {
 struct Job {
     kind: JobKind,
     reply: Sender<Response>,
+    /// Trace context of a traced request — `span` is the server-side
+    /// request span the worker's spans hang under.
+    trace: Option<SpanCtx>,
+    /// Open `queue.wait` span the worker closes on dequeue (0 = none).
+    queue_span: u32,
 }
 
 /// One bound daemon; [`Server::run`] serves until a `Shutdown` frame.
@@ -280,7 +298,7 @@ impl Server {
         let mut cache = ResultCache::new(config.cache_capacity);
         let mut store = match &config.store_dir {
             Some(dir) => {
-                let (store, recovery) = Store::open(dir, StoreConfig::default())?;
+                let (store, recovery) = Store::open(dir, config.store_config)?;
                 for op in &recovery.ops {
                     match op {
                         StoreOp::Put(e) => {
@@ -414,75 +432,95 @@ impl Server {
         while let Ok(job) = rx.recv() {
             self.depth.fetch_sub(1, Ordering::AcqRel);
             self.obs.queue_depth.add(-1);
-            let response = match &job.kind {
-                JobKind::Assess { req, spec, plan, key } => match pool.assess(req, spec, plan) {
-                    Ok(resp) => {
-                        self.cache_finished_assessment(*key, resp);
-                        Response::Assess(resp)
-                    }
-                    Err(message) => Response::Error { code: ErrorCode::Invalid, message },
-                },
-                JobKind::Search(req) => match pool.search(req) {
-                    Ok(resp) => Response::Search(resp),
-                    Err(message) => Response::Error { code: ErrorCode::Invalid, message },
-                },
-                JobKind::Compare { req, spec, plans } => match pool.compare(req, spec, plans) {
-                    Ok(resp) => Response::Compare(resp),
-                    Err(message) => Response::Error { code: ErrorCode::Invalid, message },
-                },
-                JobKind::StreamAssess { req, cadence, spec, plan, key, cancel } => {
-                    let reply = &job.reply;
-                    let streamed =
-                        pool.assess_streaming(req, spec, plan, *cadence, cancel, &mut |p| {
-                            let _ = reply.send(Response::Partial(PartialResponse {
-                                rounds_done: p.rounds_done,
-                                rounds_total: p.rounds_total,
-                                score: p.r,
-                                ciw: p.ciw,
-                            }));
-                        });
-                    match streamed {
-                        Ok((resp, completed)) => {
-                            if completed {
-                                // Only completed drives reach the cache —
-                                // and therefore the durable store: a spill
-                                // log must never launder a cancelled
-                                // partial result into a future hit.
-                                self.cache_finished_assessment(*key, resp);
-                            } else {
-                                // A cancelled drive covers fewer rounds
-                                // than `key` declares — caching it would
-                                // poison every future full-rounds lookup,
-                                // so the partial result stays out.
-                                self.obs.stream_cancelled.inc();
-                                self.obs.registry.journal().record(
-                                    self.obs.stream_cancel,
-                                    resp.rounds,
-                                    (req.rounds as u64).saturating_sub(resp.rounds),
-                                    0.0,
-                                    0.0,
-                                );
-                            }
-                            Response::Assess(resp)
-                        }
-                        Err(message) => Response::Error { code: ErrorCode::Invalid, message },
-                    }
+            // A traced job: close its queue.wait span and run the work
+            // under a worker.exec span, so the driver's per-chunk spans
+            // (read off the thread-local context) attach underneath.
+            let exec = job.trace.map(|ctx| {
+                trace::tracer().end(ctx.trace_id, job.queue_span);
+                SpanCtx {
+                    trace_id: ctx.trace_id,
+                    span: trace::tracer().start(ctx.trace_id, ctx.span, "worker.exec"),
                 }
-                JobKind::StreamSearch { req, workers, iters } => {
-                    let reply = &job.reply;
-                    let sink = |e: SearchEventResponse| {
-                        let _ = reply.send(Response::SearchEvent(e));
-                    };
-                    match pool.search_streaming(req, *workers, *iters, &sink) {
-                        Ok(resp) => Response::Search(resp),
-                        Err(message) => Response::Error { code: ErrorCode::Invalid, message },
-                    }
-                }
+            });
+            let response = match exec {
+                Some(ctx) => trace::with_current_span(ctx, || self.run_job(&job, &mut pool)),
+                None => self.run_job(&job, &mut pool),
             };
+            if let Some(ctx) = exec {
+                trace::tracer().end(ctx.trace_id, ctx.span);
+            }
             if !matches!(response, Response::Error { .. }) {
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
             }
             let _ = job.reply.send(response);
+        }
+    }
+
+    /// Executes one dequeued job on this worker's engine pool.
+    fn run_job(&self, job: &Job, pool: &mut EnginePool) -> Response {
+        match &job.kind {
+            JobKind::Assess { req, spec, plan, key } => match pool.assess(req, spec, plan) {
+                Ok(resp) => {
+                    self.cache_finished_assessment(*key, resp);
+                    Response::Assess(resp)
+                }
+                Err(message) => Response::Error { code: ErrorCode::Invalid, message },
+            },
+            JobKind::Search(req) => match pool.search(req) {
+                Ok(resp) => Response::Search(resp),
+                Err(message) => Response::Error { code: ErrorCode::Invalid, message },
+            },
+            JobKind::Compare { req, spec, plans } => match pool.compare(req, spec, plans) {
+                Ok(resp) => Response::Compare(resp),
+                Err(message) => Response::Error { code: ErrorCode::Invalid, message },
+            },
+            JobKind::StreamAssess { req, cadence, spec, plan, key, cancel } => {
+                let reply = &job.reply;
+                let streamed = pool.assess_streaming(req, spec, plan, *cadence, cancel, &mut |p| {
+                    let _ = reply.send(Response::Partial(PartialResponse {
+                        rounds_done: p.rounds_done,
+                        rounds_total: p.rounds_total,
+                        score: p.r,
+                        ciw: p.ciw,
+                    }));
+                });
+                match streamed {
+                    Ok((resp, completed)) => {
+                        if completed {
+                            // Only completed drives reach the cache —
+                            // and therefore the durable store: a spill
+                            // log must never launder a cancelled
+                            // partial result into a future hit.
+                            self.cache_finished_assessment(*key, resp);
+                        } else {
+                            // A cancelled drive covers fewer rounds
+                            // than `key` declares — caching it would
+                            // poison every future full-rounds lookup,
+                            // so the partial result stays out.
+                            self.obs.stream_cancelled.inc();
+                            self.obs.registry.journal().record(
+                                self.obs.stream_cancel,
+                                resp.rounds,
+                                (req.rounds as u64).saturating_sub(resp.rounds),
+                                0.0,
+                                0.0,
+                            );
+                        }
+                        Response::Assess(resp)
+                    }
+                    Err(message) => Response::Error { code: ErrorCode::Invalid, message },
+                }
+            }
+            JobKind::StreamSearch { req, workers, iters } => {
+                let reply = &job.reply;
+                let sink = |e: SearchEventResponse| {
+                    let _ = reply.send(Response::SearchEvent(e));
+                };
+                match pool.search_streaming(req, *workers, *iters, &sink) {
+                    Ok(resp) => Response::Search(resp),
+                    Err(message) => Response::Error { code: ErrorCode::Invalid, message },
+                }
+            }
         }
     }
 
@@ -502,8 +540,10 @@ impl Server {
             self.obs.cache_evictions.inc();
         }
         if let Some(store) = &self.store {
+            let span_start = recloud_obs::current_span().map(|_| trace::now_us());
             let mut store = store.lock().unwrap();
             let mut ops_appended = 0;
+            let compactions_before = store.compactions();
             match store.append(&StoreOp::Put(response_entry(key, &resp))) {
                 Ok(_) => ops_appended += 1,
                 Err(e) => eprintln!("warning: store append failed: {e}"),
@@ -514,8 +554,23 @@ impl Server {
                     Err(e) => eprintln!("warning: store append failed: {e}"),
                 }
             }
+            let compacted = store.compactions() - compactions_before;
+            if compacted > 0 {
+                self.obs.store_compactions.add(compacted);
+            }
             self.obs.store_appended.add(ops_appended);
             self.obs.store_bytes.set(store.bytes() as i64);
+            if let (Some(ctx), Some(start_us)) = (recloud_obs::current_span(), span_start) {
+                trace::tracer().record(
+                    ctx.trace_id,
+                    ctx.span,
+                    "store.append",
+                    start_us,
+                    trace::now_us(),
+                    ops_appended,
+                    compacted,
+                );
+            }
         }
     }
 
@@ -524,6 +579,8 @@ impl Server {
         let _ = stream.set_read_timeout(Some(self.config.read_timeout));
         let mut frames: u64 = 0;
         let mut decode_errors: u64 = 0;
+        // Armed by a TraceContext frame; consumed by the next request.
+        let mut trace_ctx: Option<(u64, u32)> = None;
         loop {
             match self.read_frame_polling(&mut stream) {
                 FrameRead::Closed | FrameRead::ShuttingDown | FrameRead::Io => break,
@@ -568,7 +625,7 @@ impl Server {
                     self.obs.requests_total.inc();
                     let latency = ServerInstruments::latency_index(&request);
                     let started = Instant::now();
-                    let keep = self.handle(request, &mut stream, &job_tx);
+                    let keep = self.handle(request, &mut stream, &job_tx, &mut trace_ctx);
                     if let Some(i) = latency {
                         self.obs.latency[i].record(started.elapsed().as_micros() as u64);
                     }
@@ -582,10 +639,98 @@ impl Server {
     }
 
     /// Handles one decoded request; returns false to close the connection.
-    fn handle(&self, request: Request, stream: &mut TcpStream, job_tx: &Sender<Job>) -> bool {
+    ///
+    /// The trace frames are connection-side: TraceContext arms `trace_ctx`
+    /// for the connection's next request (fire-and-forget), TraceUpload
+    /// absorbs the client's spans (fire-and-forget), TraceDump answers
+    /// from the tracer. Any other request consumes the armed context and
+    /// runs under a `server.request` span parented beneath the client's.
+    fn handle(
+        &self,
+        request: Request,
+        stream: &mut TcpStream,
+        job_tx: &Sender<Job>,
+        trace_ctx: &mut Option<(u64, u32)>,
+    ) -> bool {
         if let Err(message) = validate_shape(&request) {
             return self.reply(stream, &Response::Error { code: ErrorCode::Invalid, message });
         }
+        match request {
+            Request::TraceContext { trace_id, parent_span } => {
+                trace::tracer().begin(trace_id, 0);
+                *trace_ctx = Some((trace_id, parent_span));
+                return true;
+            }
+            Request::TraceUpload { trace_id, spans } => {
+                let records: Vec<SpanRecord> = spans
+                    .iter()
+                    .map(|s| SpanRecord {
+                        id: s.id,
+                        parent: s.parent,
+                        kind: recloud_obs::intern_kind(&s.kind),
+                        start_us: s.start_us,
+                        end_us: s.end_us,
+                        v0: s.v0,
+                        v1: s.v1,
+                    })
+                    .collect();
+                trace::tracer().absorb(trace_id, &records);
+                trace::tracer().finish(trace_id);
+                return true;
+            }
+            Request::TraceDump { trace_id } => {
+                let id = if trace_id == 0 {
+                    trace::tracer().latest_finished().unwrap_or(0)
+                } else {
+                    trace_id
+                };
+                let resp = match trace::tracer().spans(id) {
+                    Some((spans, dropped)) => TraceResponse {
+                        trace_id: id,
+                        dropped,
+                        spans: spans
+                            .iter()
+                            .map(|s| TraceSpan {
+                                id: s.id,
+                                parent: s.parent,
+                                kind: s.kind.to_string(),
+                                start_us: s.start_us,
+                                end_us: s.end_us,
+                                v0: s.v0,
+                                v1: s.v1,
+                            })
+                            .collect(),
+                    },
+                    None => TraceResponse::default(),
+                };
+                return self.reply(stream, &Response::Trace(resp));
+            }
+            other => {
+                let traced = trace_ctx.take().map(|(trace_id, parent)| SpanCtx {
+                    trace_id,
+                    span: trace::tracer().start(trace_id, parent, "server.request"),
+                });
+                let keep = self.handle_inner(other, stream, job_tx, traced);
+                if let Some(ctx) = traced {
+                    trace::tracer().end(ctx.trace_id, ctx.span);
+                    // Finish server-side too: TraceDump{0} finds the trace
+                    // even when the client never uploads its own spans.
+                    trace::tracer().finish(ctx.trace_id);
+                }
+                keep
+            }
+        }
+    }
+
+    /// Handles one non-trace request, possibly under a traced context
+    /// (`traced.span` is the open `server.request` span).
+    fn handle_inner(
+        &self,
+        request: Request,
+        stream: &mut TcpStream,
+        job_tx: &Sender<Job>,
+        traced: Option<SpanCtx>,
+    ) -> bool {
         let kind = match request {
             Request::Ping { token } => return self.reply(stream, &Response::Pong { token }),
             Request::Stats => return self.reply(stream, &Response::Stats(self.stats())),
@@ -603,7 +748,7 @@ impl Server {
                     Ok(parts) => parts,
                     Err(response) => return self.reply(stream, &response),
                 };
-                if let Some(hit) = self.cache.lock().unwrap().get(key) {
+                if let Some(hit) = self.cache_lookup(key, traced) {
                     self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                     self.obs.cache_hits.inc();
                     self.counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -618,7 +763,7 @@ impl Server {
                     Ok(parts) => parts,
                     Err(response) => return self.reply(stream, &response),
                 };
-                if let Some(hit) = self.cache.lock().unwrap().get(key) {
+                if let Some(hit) = self.cache_lookup(key, traced) {
                     self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                     self.obs.cache_hits.inc();
                     self.counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -631,7 +776,7 @@ impl Server {
                 let cancel = Arc::new(AtomicBool::new(false));
                 let kind =
                     JobKind::StreamAssess { req, cadence, spec, plan, key, cancel: cancel.clone() };
-                return self.dispatch_streaming(kind, stream, job_tx, &cancel);
+                return self.dispatch_streaming(kind, stream, job_tx, &cancel, traced);
             }
             // A cancel with no stream in flight on this connection: the
             // race it guards against (final frame already sent when the
@@ -654,7 +799,7 @@ impl Server {
                 // early would change its answer).
                 let cancel = Arc::new(AtomicBool::new(false));
                 let kind = JobKind::StreamSearch { req, workers, iters };
-                return self.dispatch_streaming(kind, stream, job_tx, &cancel);
+                return self.dispatch_streaming(kind, stream, job_tx, &cancel, traced);
             }
             Request::ComparePlans(req) => {
                 let spec = spec_for(req.k, req.n, 1);
@@ -672,8 +817,33 @@ impl Server {
                 }
                 JobKind::Compare { req, spec, plans }
             }
+            // Trace frames never reach here — `handle` consumes them.
+            Request::TraceDump { .. }
+            | Request::TraceContext { .. }
+            | Request::TraceUpload { .. } => {
+                return true;
+            }
         };
-        self.dispatch(kind, stream, job_tx)
+        self.dispatch(kind, stream, job_tx, traced)
+    }
+
+    /// Cache probe, recorded as a `cache.lookup` span (`v0` = hit) when
+    /// the request is traced.
+    fn cache_lookup(&self, key: u128, traced: Option<SpanCtx>) -> Option<AssessResponse> {
+        let start = traced.map(|_| trace::now_us());
+        let hit = self.cache.lock().unwrap().get(key);
+        if let (Some(ctx), Some(start_us)) = (traced, start) {
+            trace::tracer().record(
+                ctx.trace_id,
+                ctx.span,
+                "cache.lookup",
+                start_us,
+                trace::now_us(),
+                hit.is_some() as u64,
+                0,
+            );
+        }
+        hit
     }
 
     /// Admission control: wins a compare-exchange on the queue depth or
@@ -684,6 +854,7 @@ impl Server {
         kind: JobKind,
         stream: &mut TcpStream,
         job_tx: &Sender<Job>,
+        traced: Option<SpanCtx>,
     ) -> Result<Receiver<Response>, bool> {
         let capacity = self.config.queue_capacity;
         let admitted = self
@@ -710,7 +881,12 @@ impl Server {
             ));
         }
         let (reply_tx, reply_rx) = sync::channel::<Response>();
-        if job_tx.send(Job { kind, reply: reply_tx }).is_err() {
+        // The queue.wait span opens here and closes when a worker
+        // dequeues the job — admission wait becomes visible in the tree.
+        let queue_span = traced
+            .map(|ctx| trace::tracer().start(ctx.trace_id, ctx.span, "queue.wait"))
+            .unwrap_or(0);
+        if job_tx.send(Job { kind, reply: reply_tx, trace: traced, queue_span }).is_err() {
             self.depth.fetch_sub(1, Ordering::AcqRel);
             self.obs.queue_depth.add(-1);
             return Err(self.reply(
@@ -725,8 +901,14 @@ impl Server {
     }
 
     /// Admission control + enqueue + blocking wait for the worker reply.
-    fn dispatch(&self, kind: JobKind, stream: &mut TcpStream, job_tx: &Sender<Job>) -> bool {
-        let reply_rx = match self.enqueue(kind, stream, job_tx) {
+    fn dispatch(
+        &self,
+        kind: JobKind,
+        stream: &mut TcpStream,
+        job_tx: &Sender<Job>,
+        traced: Option<SpanCtx>,
+    ) -> bool {
+        let reply_rx = match self.enqueue(kind, stream, job_tx, traced) {
             Ok(rx) => rx,
             Err(keep) => return keep,
         };
@@ -754,8 +936,9 @@ impl Server {
         stream: &mut TcpStream,
         job_tx: &Sender<Job>,
         cancel: &AtomicBool,
+        traced: Option<SpanCtx>,
     ) -> bool {
-        let reply_rx = match self.enqueue(kind, stream, job_tx) {
+        let reply_rx = match self.enqueue(kind, stream, job_tx, traced) {
             Ok(rx) => rx,
             Err(keep) => return keep,
         };
@@ -836,11 +1019,23 @@ impl Server {
             // how stale the cancel/shutdown poll above can get.
             match reply_rx.recv_timeout(Duration::from_millis(1)) {
                 Ok(mid @ (Response::Partial(_) | Response::SearchEvent(_))) => {
+                    let start = traced.map(|_| trace::now_us());
                     if writable && !self.reply(stream, &mid) {
                         // Client gone: cancel the drive, keep draining so
                         // the worker finishes cleanly.
                         writable = false;
                         cancel.store(true, Ordering::Release);
+                    }
+                    if let (Some(ctx), Some(start_us)) = (traced, start) {
+                        trace::tracer().record(
+                            ctx.trace_id,
+                            ctx.span,
+                            "partial.emit",
+                            start_us,
+                            trace::now_us(),
+                            writable as u64,
+                            0,
+                        );
                     }
                 }
                 Ok(response) => break Some(response),

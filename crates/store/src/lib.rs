@@ -44,10 +44,18 @@
 //! (dropping superseded `Put`s and everything evicted), writes the
 //! survivors to a single new segment via a `.tmp` + rename, and
 //! deletes the old files.
+//!
+//! Compaction is also *size-triggered*: the store tracks its live key
+//! set (`Put` inserts, `Evict` removes — exact, since records have
+//! fixed sizes) and [`Store::append`] runs a compaction automatically
+//! once the log holds at least [`StoreConfig::compact_min_bytes`] and
+//! the live fraction drops below [`StoreConfig::compact_live_ratio`].
+//! [`Store::compactions`] counts the passes for the server's
+//! `store.compactions_total` counter.
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -115,11 +123,23 @@ pub struct StoreConfig {
     /// Rotate to a fresh segment once the active one would exceed this
     /// many bytes (header included).
     pub segment_max_bytes: u64,
+    /// Auto-compaction floor: [`Store::append`] never compacts while
+    /// the log is smaller than this (0 disables the size check, making
+    /// the ratio alone decide; `u64::MAX` disables auto-compaction).
+    pub compact_min_bytes: u64,
+    /// Auto-compaction trigger: compact when `live_bytes / bytes`
+    /// drops below this fraction (superseded puts and tombstones
+    /// dominate the log).
+    pub compact_live_ratio: f64,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { segment_max_bytes: 4 << 20 }
+        StoreConfig {
+            segment_max_bytes: 4 << 20,
+            compact_min_bytes: 64 << 10,
+            compact_live_ratio: 0.5,
+        }
     }
 }
 
@@ -165,6 +185,10 @@ pub struct Store {
     active_id: u64,
     active_len: u64,
     sealed_bytes: u64,
+    /// Keys currently live (puts minus evicts) — exact, maintained on
+    /// every append and rebuilt by recovery/compaction.
+    live: HashSet<u128>,
+    compactions: u64,
 }
 
 impl Store {
@@ -231,12 +255,33 @@ impl Store {
         for (_, path) in &segments[..segments.len().saturating_sub(1)] {
             sealed_bytes += fs::metadata(path)?.len();
         }
-        let store =
-            Store { dir: dir.to_path_buf(), config, active, active_id, active_len, sealed_bytes };
+        let mut live = HashSet::new();
+        for op in &recovery.ops {
+            match op {
+                Op::Put(e) => {
+                    live.insert(e.key);
+                }
+                Op::Evict(key) => {
+                    live.remove(key);
+                }
+            }
+        }
+        let store = Store {
+            dir: dir.to_path_buf(),
+            config,
+            active,
+            active_id,
+            active_len,
+            sealed_bytes,
+            live,
+            compactions: 0,
+        };
         Ok((store, recovery))
     }
 
-    /// Appends one operation, rotating segments as needed. Returns the
+    /// Appends one operation, rotating segments as needed and running a
+    /// size-triggered compaction when the live fraction of the log
+    /// drops below [`StoreConfig::compact_live_ratio`]. Returns the
     /// framed bytes written.
     pub fn append(&mut self, op: &Op) -> io::Result<u64> {
         let record = encode_record(op);
@@ -248,7 +293,40 @@ impl Store {
         }
         self.active.write_all(&record)?;
         self.active_len += len;
+        match op {
+            Op::Put(e) => {
+                self.live.insert(e.key);
+            }
+            Op::Evict(key) => {
+                self.live.remove(key);
+            }
+        }
+        if self.should_compact() {
+            self.compact()?;
+        }
         Ok(len)
+    }
+
+    /// Keys currently live in the log (puts minus evicts).
+    pub fn live_entries(&self) -> u64 {
+        self.live.len() as u64
+    }
+
+    /// Exact on-disk bytes a compacted log would occupy: one header
+    /// plus one fixed-size `Put` record per live key.
+    pub fn live_bytes(&self) -> u64 {
+        HEADER_LEN as u64 + self.live.len() as u64 * PUT_RECORD_LEN
+    }
+
+    /// Compaction passes completed so far (size-triggered and manual).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    fn should_compact(&self) -> bool {
+        let total = self.bytes();
+        total >= self.config.compact_min_bytes
+            && (self.live_bytes() as f64) < self.config.compact_live_ratio * total as f64
     }
 
     /// Folds the log to its live set and rewrites it as one fresh
@@ -287,6 +365,8 @@ impl Store {
         self.active_len = self.active.seek(SeekFrom::End(0))?;
         self.active_id = next_id;
         self.sealed_bytes = 0;
+        self.live = live.iter().map(|e| e.key).collect();
+        self.compactions += 1;
         Ok(CompactStats {
             live_entries: live.len() as u64,
             bytes_before,
@@ -535,7 +615,10 @@ mod tests {
     #[test]
     fn rotation_spreads_the_log_over_segments() {
         let dir = tempdir("rotate");
-        let config = StoreConfig { segment_max_bytes: HEADER_LEN as u64 + 2 * PUT_RECORD_LEN };
+        let config = StoreConfig {
+            segment_max_bytes: HEADER_LEN as u64 + 2 * PUT_RECORD_LEN,
+            ..StoreConfig::default()
+        };
         let ops: Vec<Op> = (0..7).map(|i| Op::Put(entry(i, i as u64 * 10))).collect();
         {
             let (mut store, _) = Store::open(&dir, config).unwrap();
@@ -599,7 +682,10 @@ mod tests {
     #[test]
     fn corruption_in_a_middle_segment_drops_later_segments() {
         let dir = tempdir("midseg");
-        let config = StoreConfig { segment_max_bytes: HEADER_LEN as u64 + 2 * PUT_RECORD_LEN };
+        let config = StoreConfig {
+            segment_max_bytes: HEADER_LEN as u64 + 2 * PUT_RECORD_LEN,
+            ..StoreConfig::default()
+        };
         let ops: Vec<Op> = (0..6).map(|i| Op::Put(entry(i, i as u64))).collect();
         let paths = {
             let (mut store, _) = Store::open(&dir, config).unwrap();
@@ -624,7 +710,10 @@ mod tests {
     #[test]
     fn compaction_drops_superseded_and_evicted_keys() {
         let dir = tempdir("compact");
-        let config = StoreConfig { segment_max_bytes: HEADER_LEN as u64 + 3 * PUT_RECORD_LEN };
+        let config = StoreConfig {
+            segment_max_bytes: HEADER_LEN as u64 + 3 * PUT_RECORD_LEN,
+            ..StoreConfig::default()
+        };
         let (mut store, _) = Store::open(&dir, config).unwrap();
         for i in 0..4u128 {
             store.append(&Op::Put(entry(i, 1))).unwrap();
@@ -645,6 +734,49 @@ mod tests {
             recovery.live_entries(),
             vec![entry(1, 2), entry(2, 2), entry(3, 2), entry(9, 9)]
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_triggers_compaction_when_the_live_fraction_drops() {
+        let dir = tempdir("autocompact");
+        let config = StoreConfig {
+            segment_max_bytes: 4 << 20,
+            compact_min_bytes: HEADER_LEN as u64 + 8 * PUT_RECORD_LEN,
+            compact_live_ratio: 0.5,
+        };
+        let (mut store, _) = Store::open(&dir, config).unwrap();
+        // Supersede one key over and over: live stays at 1 entry while
+        // the log grows, so the live fraction decays toward zero.
+        for i in 0..16u64 {
+            store.append(&Op::Put(entry(1, i))).unwrap();
+        }
+        assert!(store.compactions() >= 1, "auto-compaction never fired");
+        assert_eq!(store.live_entries(), 1);
+        assert_eq!(store.segment_paths().unwrap().len(), 1);
+        assert!(
+            store.bytes() < config.compact_min_bytes,
+            "compacted log holds one live record, got {} bytes",
+            store.bytes()
+        );
+        // The compacted state replays the surviving entry.
+        drop(store);
+        let (store, recovery) = Store::open(&dir, config).unwrap();
+        assert_eq!(recovery.live_entries(), vec![entry(1, 15)]);
+        assert_eq!(store.live_entries(), 1, "recovery reseeds the live set");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disabled_auto_compaction_never_fires() {
+        let dir = tempdir("nocompact");
+        let config = StoreConfig { compact_min_bytes: u64::MAX, ..StoreConfig::default() };
+        let (mut store, _) = Store::open(&dir, config).unwrap();
+        for i in 0..16u64 {
+            store.append(&Op::Put(entry(1, i))).unwrap();
+        }
+        assert_eq!(store.compactions(), 0);
+        assert_eq!(store.bytes(), HEADER_LEN as u64 + 16 * PUT_RECORD_LEN);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -68,7 +68,8 @@ fn write_log(dir: &Path, config: StoreConfig, ops: &[Op]) -> Vec<PathBuf> {
 #[test]
 fn torn_tail_recovers_exactly_the_contained_records() {
     forall("torn tail recovers longest valid prefix", |g| {
-        let config = StoreConfig { segment_max_bytes: g.u64_in(128..=1024) };
+        let config =
+            StoreConfig { segment_max_bytes: g.u64_in(128..=1024), ..StoreConfig::default() };
         let ops = random_ops(g, 40);
         let dir = tempdir("torn", g.seed());
         let paths = write_log(&dir, config, &ops);
@@ -97,7 +98,8 @@ fn torn_tail_recovers_exactly_the_contained_records() {
 #[test]
 fn bit_flip_recovers_exactly_the_records_before_it() {
     forall("bit flip recovers records strictly before it", |g| {
-        let config = StoreConfig { segment_max_bytes: g.u64_in(128..=1024) };
+        let config =
+            StoreConfig { segment_max_bytes: g.u64_in(128..=1024), ..StoreConfig::default() };
         let ops = random_ops(g, 40);
         let dir = tempdir("flip", g.seed());
         let paths = write_log(&dir, config, &ops);
@@ -164,7 +166,8 @@ fn truncated_length_prefix_never_panics() {
 #[test]
 fn compaction_preserves_the_live_fold() {
     forall("compaction preserves last-write-wins fold", |g| {
-        let config = StoreConfig { segment_max_bytes: g.u64_in(128..=512) };
+        let config =
+            StoreConfig { segment_max_bytes: g.u64_in(128..=512), ..StoreConfig::default() };
         let ops = random_ops(g, 60);
         let dir = tempdir("compact", g.seed());
         let (mut store, _) = Store::open(&dir, config).unwrap();

@@ -98,6 +98,36 @@ echo "$SEARCH_OUT" | grep -q 'streamed improvements' \
   || { echo "search-stream gate: missing final summary"; kill "$SERVER_PID"; exit 1; }
 echo "search-stream gate: trajectories streamed"
 
+echo "== trace smoke gate =="
+# End-to-end request tracing: a traced streamed assessment must leave a
+# single retrievable causal span tree on the daemon — `recloud trace`
+# (TraceDump 0x0C, id 0 = latest finished) has to show the root and the
+# pipeline stages on both sides of the wire, and the --chrome export
+# must be valid Chrome trace-event JSON.
+CHROME_JSON="$(mktemp)"
+ASSESS_OUT="$(target/release/recloud assess --stream --addr "$ADDR" \
+  --rounds 9000 --seed 271828 --k 2 --n 3)"
+echo "$ASSESS_OUT" | grep -q 'reliability ' \
+  || { echo "trace gate: streamed assess failed"; kill "$SERVER_PID"; exit 1; }
+TRACE_ID="$(echo "$ASSESS_OUT" | sed -n 's/^trace \([0-9]*\);.*/\1/p')"
+[ -n "$TRACE_ID" ] || { echo "trace gate: no trace id in assess output"; kill "$SERVER_PID"; exit 1; }
+TRACE_OUT="$(target/release/recloud trace --addr "$ADDR" --id "$TRACE_ID" --chrome "$CHROME_JSON")"
+echo "$TRACE_OUT" | head -n 8
+for STAGE in client.request client.connect server.request queue.wait \
+             cache.lookup worker.exec assess.chunk partial.emit; do
+  echo "$TRACE_OUT" | grep -q "$STAGE" \
+    || { echo "trace gate: stage $STAGE missing from span tree"; kill "$SERVER_PID"; exit 1; }
+done
+SPANS="$(echo "$TRACE_OUT" | sed -n 's/^trace [0-9]*: \([0-9]*\) spans.*/\1/p')"
+[ "${SPANS:-0}" -ge 10 ] \
+  || { echo "trace gate: only ${SPANS:-0} spans, expected >= 10"; kill "$SERVER_PID"; exit 1; }
+python3 -m json.tool "$CHROME_JSON" > /dev/null \
+  || { echo "trace gate: --chrome output is not valid JSON"; kill "$SERVER_PID"; exit 1; }
+grep -q '"traceEvents"' "$CHROME_JSON" \
+  || { echo "trace gate: chrome export has no traceEvents"; kill "$SERVER_PID"; exit 1; }
+rm -f "$CHROME_JSON"
+echo "trace gate: $SPANS-span causal tree retrieved and exported"
+
 target/release/repro loadgen --smoke --addr "$ADDR"
 wait "$SERVER_PID"
 trap - EXIT
