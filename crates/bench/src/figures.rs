@@ -647,6 +647,33 @@ impl StreamOverheadRow {
     }
 }
 
+/// One connection-count frontier measurement: a fleet of idle
+/// connections is attached to the reactor, then the cached request mix
+/// re-runs and records its tail latency. Flat p99 across fleet sizes is
+/// the readiness-polling payoff — idle sockets cost the event loop a
+/// table entry, not a thread.
+pub struct ConnectionFrontierRow {
+    /// Idle connections attached while the probe mix ran.
+    pub connections: usize,
+    /// The cached probe mix under that fleet.
+    pub report: recloud_server::LoadReport,
+}
+
+/// The tenant-isolation measurement: a "hog" tenant saturating a budget
+/// of one inflight request while a "victim" tenant replays its cached
+/// mix. The hog absorbs `Busy` rejections; the victim's p99 should stay
+/// near its solo baseline.
+pub struct TenantIsolationRow {
+    /// Per-tenant admission budget the daemon ran with.
+    pub budget: usize,
+    /// The victim mix with the daemon to itself.
+    pub solo: recloud_server::LoadReport,
+    /// The same victim mix while the hog saturated its budget.
+    pub victim: recloud_server::LoadReport,
+    /// The hog's own report (mostly `Busy`).
+    pub hog: recloud_server::LoadReport,
+}
+
 /// One warm-start measurement: a store-backed daemon is populated with
 /// distinct-seed entries, dropped, and restarted on the same log.
 pub struct WarmStartRow {
@@ -680,6 +707,7 @@ pub fn bench_serve(opts: &ReproOptions, json: Option<&str>) {
     );
     let mut phases: Vec<ServeBenchPhase> = Vec::new();
     let mut overhead: Vec<StreamOverheadRow> = Vec::new();
+    let mut frontier: Vec<ConnectionFrontierRow> = Vec::new();
     let mut instruments = recloud_obs::MetricsSnapshot::default();
     std::thread::scope(|scope| {
         scope.spawn(|| server.run());
@@ -733,6 +761,29 @@ pub fn bench_serve(opts: &ReproOptions, json: Option<&str>) {
                 streamed: recloud_server::run_load(&stream_cfg).expect("streamed overhead phase"),
             });
         }
+        // Connection-count frontier: attach a fleet of idle clients,
+        // then re-run the cached mix. The reactor polls the idle
+        // sockets from its readiness table, so the probe's p99 should
+        // barely move between 1 and 1000 attached connections.
+        for fleet_size in [1usize, 64, 256, 1_000] {
+            let mut fleet = Vec::with_capacity(fleet_size);
+            for i in 0..fleet_size {
+                let mut c = Client::connect(&addr).expect("frontier fleet connect");
+                c.set_timeout(Some(Duration::from_secs(60))).expect("frontier fleet timeout");
+                assert_eq!(c.ping(i as u64).expect("frontier fleet ping"), i as u64);
+                fleet.push(c);
+            }
+            let probe = LoadgenConfig {
+                requests: if opts.quick { 500 } else { 2_000 },
+                distinct_seeds: false,
+                ..base.clone()
+            };
+            frontier.push(ConnectionFrontierRow {
+                connections: fleet_size,
+                report: recloud_server::run_load(&probe).expect("frontier probe"),
+            });
+            drop(fleet);
+        }
         let mut client = Client::connect(&addr).expect("metrics connection");
         instruments = client.metrics(0).expect("metrics frame").snapshot;
         client.shutdown().expect("shutdown frame");
@@ -785,6 +836,46 @@ pub fn bench_serve(opts: &ReproOptions, json: Option<&str>) {
         });
     });
     let _ = std::fs::remove_dir_all(&store_dir);
+    // Tenant isolation: a daemon pinned to one inflight request per
+    // tenant. The victim records a solo baseline, then replays the same
+    // mix while a hog tenant floods distinct-seed long assessments —
+    // the hog eats `Busy`, the victim's tail should barely move.
+    let budget = 1usize;
+    let tenant_config = ServerConfig { tenant_budget: Some(budget), ..config.clone() };
+    let tenant_server = Server::bind(("127.0.0.1", 0), tenant_config).expect("bind tenant server");
+    let addr = tenant_server.local_addr().to_string();
+    let mut isolation: Option<TenantIsolationRow> = None;
+    std::thread::scope(|scope| {
+        scope.spawn(|| tenant_server.run());
+        let victim = LoadgenConfig {
+            addr: addr.clone(),
+            requests: if opts.quick { 500 } else { 2_000 },
+            connections: 2,
+            preset: recloud_server::Preset::Tiny,
+            rounds,
+            seed: opts.seed ^ 0x7e4a_7e4a,
+            tenant: Some("victim".into()),
+            ..LoadgenConfig::default()
+        };
+        let solo = recloud_server::run_load(&victim).expect("victim solo phase");
+        let hog = LoadgenConfig {
+            requests: if opts.quick { 64 } else { 128 },
+            connections: 4,
+            rounds: if opts.quick { 50_000 } else { 100_000 },
+            distinct_seeds: true,
+            seed: opts.seed ^ 0x9099_9099,
+            tenant: Some("hog".into()),
+            ..victim.clone()
+        };
+        let hog_handle = scope.spawn(move || recloud_server::run_load(&hog).expect("hog phase"));
+        std::thread::sleep(Duration::from_millis(50));
+        let contended = recloud_server::run_load(&victim).expect("victim contended phase");
+        let hog_report = hog_handle.join().expect("hog thread");
+        let mut client = Client::connect(&addr).expect("tenant shutdown connection");
+        client.shutdown().expect("tenant shutdown");
+        isolation = Some(TenantIsolationRow { budget, solo, victim: contended, hog: hog_report });
+    });
+    let isolation = isolation.expect("tenant isolation row");
     let mut t = TextTable::new(vec!["phase", "ok", "cached", "busy", "req/s", "p50", "p95"]);
     for p in &phases {
         let r = &p.report;
@@ -811,6 +902,28 @@ pub fn bench_serve(opts: &ReproOptions, json: Option<&str>) {
         ]);
     }
     t.print();
+    let mut t = TextTable::new(vec!["idle conns", "ok", "req/s", "p50", "p95", "p99"]);
+    for row in &frontier {
+        let r = &row.report;
+        t.row(vec![
+            row.connections.to_string(),
+            r.ok.to_string(),
+            format!("{:.0}", r.throughput_rps),
+            format!("{} us", r.p50_us),
+            format!("{} us", r.p95_us),
+            format!("{} us", r.p99_us),
+        ]);
+    }
+    t.print();
+    println!(
+        "tenant isolation (budget {}): victim p99 {} us solo -> {} us contended; \
+         hog {} served / {} busy",
+        isolation.budget,
+        isolation.solo.p99_us,
+        isolation.victim.p99_us,
+        isolation.hog.ok,
+        isolation.hog.busy
+    );
     let hits = instruments.counter("server.cache_hits_total").unwrap_or(0);
     let misses = instruments.counter("server.cache_misses_total").unwrap_or(0);
     println!(
@@ -827,8 +940,16 @@ pub fn bench_serve(opts: &ReproOptions, json: Option<&str>) {
         );
     }
     if let Some(path) = json {
-        let body =
-            serve_bench_json(rounds, config.workers, &phases, &overhead, &warm_start, &instruments);
+        let body = serve_bench_json(
+            rounds,
+            config.workers,
+            &phases,
+            &overhead,
+            &frontier,
+            &isolation,
+            &warm_start,
+            &instruments,
+        );
         std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("wrote {path}");
     }
@@ -836,11 +957,14 @@ pub fn bench_serve(opts: &ReproOptions, json: Option<&str>) {
 
 /// Hand-rolled JSON encoding of the serving benchmark (shape pinned by a
 /// test, like `assess_bench_json`).
+#[allow(clippy::too_many_arguments)]
 fn serve_bench_json(
     rounds: u32,
     workers: usize,
     phases: &[ServeBenchPhase],
     overhead: &[StreamOverheadRow],
+    frontier: &[ConnectionFrontierRow],
+    isolation: &TenantIsolationRow,
     warm_start: &[WarmStartRow],
     instruments: &recloud_obs::MetricsSnapshot,
 ) -> String {
@@ -855,7 +979,8 @@ fn serve_bench_json(
         let r = &p.report;
         s.push_str(&format!(
             "    {{\"phase\": \"{}\", \"ok\": {}, \"cached\": {}, \"busy\": {}, \
-             \"errors\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}}}{}\n",
+             \"errors\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \
+             \"p99_us\": {}}}{}\n",
             p.phase,
             r.ok,
             r.cached,
@@ -864,6 +989,7 @@ fn serve_bench_json(
             r.throughput_rps,
             r.p50_us,
             r.p95_us,
+            r.p99_us,
             if i + 1 < phases.len() { "," } else { "" }
         ));
     }
@@ -882,6 +1008,32 @@ fn serve_bench_json(
         ));
     }
     s.push_str("  ],\n");
+    s.push_str("  \"connection_frontier\": [\n");
+    for (i, row) in frontier.iter().enumerate() {
+        let r = &row.report;
+        s.push_str(&format!(
+            "    {{\"connections\": {}, \"ok\": {}, \"throughput_rps\": {:.1}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}{}\n",
+            row.connections,
+            r.ok,
+            r.throughput_rps,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            if i + 1 < frontier.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"tenant_isolation\": {{\"budget\": {}, \"solo_p99_us\": {}, \
+         \"contended_p99_us\": {}, \"victim_busy\": {}, \"hog_ok\": {}, \"hog_busy\": {}}},\n",
+        isolation.budget,
+        isolation.solo.p99_us,
+        isolation.victim.p99_us,
+        isolation.victim.busy,
+        isolation.hog.ok,
+        isolation.hog.busy
+    ));
     s.push_str("  \"warm_start\": [\n");
     for (i, w) in warm_start.iter().enumerate() {
         s.push_str(&format!(
@@ -1227,6 +1379,7 @@ mod tests {
                     throughput_rps: 600.0,
                     p50_us: 1_500,
                     p95_us: 4_000,
+                    p99_us: 6_000,
                 },
             },
             ServeBenchPhase {
@@ -1242,6 +1395,7 @@ mod tests {
                     throughput_rps: 10_000.0,
                     p50_us: 80,
                     p95_us: 200,
+                    p99_us: 300,
                 },
             },
         ];
@@ -1261,6 +1415,41 @@ mod tests {
                 ..Default::default()
             },
         }];
+        let frontier = vec![
+            ConnectionFrontierRow {
+                connections: 1,
+                report: recloud_server::LoadReport {
+                    ok: 2_000,
+                    throughput_rps: 9_000.0,
+                    p50_us: 90,
+                    p95_us: 210,
+                    p99_us: 320,
+                    ..Default::default()
+                },
+            },
+            ConnectionFrontierRow {
+                connections: 1_000,
+                report: recloud_server::LoadReport {
+                    ok: 2_000,
+                    throughput_rps: 8_500.0,
+                    p50_us: 95,
+                    p95_us: 230,
+                    p99_us: 410,
+                    ..Default::default()
+                },
+            },
+        ];
+        let isolation = TenantIsolationRow {
+            budget: 1,
+            solo: recloud_server::LoadReport { ok: 2_000, p99_us: 300, ..Default::default() },
+            victim: recloud_server::LoadReport { ok: 2_000, p99_us: 450, ..Default::default() },
+            hog: recloud_server::LoadReport {
+                ok: 30,
+                busy: 98,
+                p99_us: 120_000,
+                ..Default::default()
+            },
+        };
         let warm_start =
             vec![WarmStartRow { entries: 400, replay_ms: 12.5, replayed: 400, hit_rate: 1.0 }];
         let r = recloud_obs::Registry::new();
@@ -1268,7 +1457,16 @@ mod tests {
         r.counter("server.cache_hits_total").add(9_999);
         r.counter("server.cache_misses_total").add(601);
         r.histogram("server.latency_us.assess").record(80);
-        let body = serve_bench_json(1_000, 4, &phases, &overhead, &warm_start, &r.snapshot());
+        let body = serve_bench_json(
+            1_000,
+            4,
+            &phases,
+            &overhead,
+            &frontier,
+            &isolation,
+            &warm_start,
+            &r.snapshot(),
+        );
         assert!(body.starts_with("{\n"));
         assert!(body.ends_with("}\n"));
         assert!(body.contains("\"benchmark\": \"serve\""));
@@ -1281,6 +1479,14 @@ mod tests {
         ));
         assert!(body.contains(
             "{\"entries\": 400, \"replay_ms\": 12.50, \"replayed_ops\": 400, \"hit_rate\": 1.0000}"
+        ));
+        assert!(body.contains(
+            "{\"connections\": 1000, \"ok\": 2000, \"throughput_rps\": 8500.0, \
+             \"p50_us\": 95, \"p95_us\": 230, \"p99_us\": 410}"
+        ));
+        assert!(body.contains(
+            "\"tenant_isolation\": {\"budget\": 1, \"solo_p99_us\": 300, \
+             \"contended_p99_us\": 450, \"victim_busy\": 0, \"hog_ok\": 30, \"hog_busy\": 98}"
         ));
         assert!(body.contains("\"hits\": 9999"));
         assert!(body.contains("\"misses\": 601"));

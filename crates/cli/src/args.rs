@@ -128,6 +128,23 @@ impl Parsed {
         Ok(self.usize_or(flag, default as usize)? as u64)
     }
 
+    /// Integer flag; `None` when absent.
+    pub fn usize_opt(&self, flag: &str) -> Result<Option<usize>, CliError> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| CliError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected: "integer",
+            }),
+        }
+    }
+
+    /// u64 flag; `None` when absent.
+    pub fn u64_opt(&self, flag: &str) -> Result<Option<u64>, CliError> {
+        Ok(self.usize_opt(flag)?.map(|v| v as u64))
+    }
+
     /// Float flag; `None` when absent.
     pub fn f64_opt(&self, flag: &str) -> Result<Option<f64>, CliError> {
         match self.get(flag) {

@@ -926,8 +926,19 @@ pub fn availability(p: &Parsed) -> Result<String, CliError> {
 /// optionally mirrored into `--port-file`) so scripts can discover an
 /// ephemeral port before the call blocks.
 pub fn serve(p: &Parsed) -> Result<String, CliError> {
-    use recloud_server::{Server, ServerConfig};
+    use recloud_server::{PollerKind, Server, ServerConfig};
     let defaults = ServerConfig::default();
+    let poller = match p.str_or("poller", "auto").as_str() {
+        "auto" => PollerKind::Auto,
+        "scan" => PollerKind::Scan,
+        value => {
+            return Err(CliError::BadValue {
+                flag: "poller".into(),
+                value: value.into(),
+                expected: "auto|scan",
+            });
+        }
+    };
     let config = ServerConfig {
         workers: p.usize_or("workers", defaults.workers)?,
         queue_capacity: p.usize_or("queue", defaults.queue_capacity)?,
@@ -936,6 +947,9 @@ pub fn serve(p: &Parsed) -> Result<String, CliError> {
         store_dir: p.get("store").map(std::path::PathBuf::from),
         peer: p.get("peer").map(str::to_string),
         store_config: defaults.store_config,
+        tenant_budget: p.usize_opt("tenant-budget")?,
+        compact_after: p.u64_opt("compact-after-ms")?.map(Duration::from_millis),
+        poller,
     };
     if config.workers == 0 {
         return Err(CliError::Invalid("--workers must be at least 1".into()));
@@ -1077,6 +1091,16 @@ pub fn loadgen(p: &Parsed) -> Result<String, CliError> {
         // The stream smoke leaves the daemon running (so it can precede
         // the plain smoke, whose last step is a clean Shutdown).
         if p.has("stream") {
+            // --connections turns it into the fleet gate: that many
+            // persistent connections held open at once, with streaming
+            // and cache hits proven mid-fleet.
+            if p.get("connections").is_some() {
+                let connections = p.usize_or("connections", 1_000)?;
+                recloud_server::smoke_fleet(&addr, connections).map_err(CliError::Invalid)?;
+                return Ok(format!(
+                    "fleet smoke OK against {addr} ({connections} concurrent connections)\n"
+                ));
+            }
             recloud_server::smoke_stream(&addr).map_err(CliError::Invalid)?;
             return Ok(format!("stream smoke OK against {addr}\n"));
         }
@@ -1099,6 +1123,7 @@ pub fn loadgen(p: &Parsed) -> Result<String, CliError> {
         distinct_seeds: p.has("distinct-seeds"),
         stream: p.has("stream"),
         cadence: p.u32_or("cadence", 1)?,
+        tenant: p.get("tenant").map(str::to_string),
     };
     let r = run_load(&config).map_err(|e| CliError::Invalid(format!("loadgen failed: {e}")))?;
     let mut out = String::new();
@@ -1117,8 +1142,8 @@ pub fn loadgen(p: &Parsed) -> Result<String, CliError> {
     }
     let _ = writeln!(
         out,
-        "throughput {:.0} req/s, latency p50 {} us / p95 {} us",
-        r.throughput_rps, r.p50_us, r.p95_us
+        "throughput {:.0} req/s, latency p50 {} us / p95 {} us / p99 {} us",
+        r.throughput_rps, r.p50_us, r.p95_us, r.p99_us
     );
     Ok(out)
 }

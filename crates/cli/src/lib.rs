@@ -124,6 +124,13 @@ SERVE OPTIONS:
                                         every finished assessment
     --peer <host:port>                  pull cache entries from a running
                                         daemon on boot (RCS1 CacheSync)
+    --tenant-budget <int>               per-tenant in-flight cap: an
+                                        over-budget tenant gets Busy while
+                                        other tenants are unaffected
+    --compact-after-ms <int>            compact the store once its size/
+                                        live-ratio thresholds hold this long
+    --poller <auto|scan>                readiness backend (auto = epoll on
+                                        Linux, scan = portable fallback)
 
 LOADGEN OPTIONS:
     --addr <host:port>                  daemon address (default: 127.0.0.1:7070)
@@ -134,6 +141,12 @@ LOADGEN OPTIONS:
                                         --cadence <int> chunks per Partial
     --requests <int> --connections <int>
     --distinct-seeds                    fresh seed per request (cache-miss mix)
+    --tenant <id>                       introduce connections as this tenant
+                                        (Hello frame; admission budgets and
+                                        per-tenant metrics apply)
+                                        with --smoke --stream, --connections
+                                        runs the fleet gate instead: that many
+                                        concurrent connections held open
 
 STATS / JOURNAL OPTIONS:
     --addr <host:port>                  daemon address (default: 127.0.0.1:7070)

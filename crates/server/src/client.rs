@@ -151,6 +151,21 @@ impl Client {
         }
     }
 
+    /// Introduces this connection as `tenant` for admission accounting:
+    /// every later request on it counts against that tenant's in-flight
+    /// budget and metrics series. Returns the tenant id the server
+    /// acknowledged. A connection that never says hello serves as the
+    /// `default` tenant; a second hello re-homes the connection.
+    pub fn hello(&mut self, tenant: &str) -> io::Result<String> {
+        match self.call(&Request::Hello { tenant: tenant.to_string() })? {
+            Response::HelloAck { tenant } => Ok(tenant),
+            Response::Error { code, message } => {
+                Err(bad_data(format!("server error {code:?}: {message}")))
+            }
+            other => Err(bad_data(format!("expected HelloAck, got {other:?}"))),
+        }
+    }
+
     /// Sends a bare `AssessCancel` frame. No response is defined for it;
     /// outside a stream the server treats it as a silent no-op.
     /// [`Client::assess_streaming`] sends it automatically when its

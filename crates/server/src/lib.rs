@@ -21,8 +21,12 @@
 //! * [`engine`] — per-worker engine pools that keep `(topology,
 //!   Assessor)` pairs warm across requests and reseed in place,
 //!   bit-identical to a cold CLI run;
-//! * [`server`] — the daemon: scoped acceptor / connection / worker
-//!   threads around a bounded MPMC job queue with explicit `Busy`
+//! * [`reactor`] — the readiness-polling substrate: hand-declared
+//!   `epoll` FFI on Linux, a portable non-blocking scan fallback, and
+//!   the armed loopback waker workers use to nudge the event loop;
+//! * [`server`] — the daemon: one reactor thread driving per-connection
+//!   state machines plus a scoped worker pool around a bounded MPMC job
+//!   queue, with per-tenant admission budgets, explicit `Busy`
 //!   backpressure and drain-then-exit shutdown;
 //! * [`client`] + [`loadgen`] — a blocking client, a latency/throughput
 //!   load generator and the CI smoke sequence.
@@ -36,11 +40,13 @@ pub mod client;
 pub mod engine;
 pub mod loadgen;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
 pub use cache::ResultCache;
 pub use client::Client;
 pub use engine::EnginePool;
-pub use loadgen::{run_load, smoke, smoke_stream, LoadReport, LoadgenConfig};
+pub use loadgen::{run_load, smoke, smoke_fleet, smoke_stream, LoadReport, LoadgenConfig};
 pub use protocol::{Preset, Request, Response, TraceResponse, TraceSpan};
+pub use reactor::PollerKind;
 pub use server::{ServeSummary, Server, ServerConfig};

@@ -48,6 +48,11 @@ pub struct LoadgenConfig {
     pub stream: bool,
     /// Chunks per `Partial` frame in stream mode.
     pub cadence: u32,
+    /// Tenant id to introduce each connection as (a `Hello` frame before
+    /// any load). `None` sends no Hello, so the server serves the run as
+    /// the `default` tenant — and counter-exact smoke gates see only the
+    /// frames they always did.
+    pub tenant: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -62,6 +67,7 @@ impl Default for LoadgenConfig {
             distinct_seeds: false,
             stream: false,
             cadence: 1,
+            tenant: None,
         }
     }
 }
@@ -89,6 +95,9 @@ pub struct LoadReport {
     pub p50_us: u64,
     /// 95th-percentile request latency, microseconds.
     pub p95_us: u64,
+    /// 99th-percentile request latency, microseconds — the tail the
+    /// connection-count frontier tracks.
+    pub p99_us: u64,
 }
 
 fn quantile_us(sorted: &[u64], q: f64) -> u64 {
@@ -117,6 +126,11 @@ pub fn run_load(config: &LoadgenConfig) -> io::Result<LoadReport> {
             let tx = result_tx.clone();
             let hosts = hosts.clone();
             let mut client = Client::connect(&config.addr)?;
+            if let Some(tenant) = &config.tenant {
+                client
+                    .hello(tenant)
+                    .map_err(|e| io::Error::new(e.kind(), format!("hello: {e}")))?;
+            }
             scope.spawn(move || {
                 let (mut ok, mut cached, mut busy, mut errors) = (0u64, 0u64, 0u64, 0u64);
                 let mut partials = 0u64;
@@ -181,7 +195,69 @@ pub fn run_load(config: &LoadgenConfig) -> io::Result<LoadReport> {
     all_latencies.sort_unstable();
     report.p50_us = quantile_us(&all_latencies, 0.50);
     report.p95_us = quantile_us(&all_latencies, 0.95);
+    report.p99_us = quantile_us(&all_latencies, 0.99);
     Ok(report)
+}
+
+/// Connection-count smoke: attaches `connections` persistent clients to
+/// the daemon, proves every one is live with a ping, then — while the
+/// whole fleet stays connected — runs a full streaming assessment on one
+/// connection and a cache-hit replay on another. A thread-per-connection
+/// server would need a thread per attached client to pass; the reactor
+/// serves the fleet with O(workers) threads, which the
+/// `server.connections_open` gauge check pins down. Leaves the daemon
+/// running — the caller owns shutdown.
+pub fn smoke_fleet(addr: &str, connections: usize) -> Result<(), String> {
+    let step = |what: String, e: io::Error| format!("fleet {what}: {e}");
+    let mut fleet = Vec::with_capacity(connections);
+    for i in 0..connections {
+        let mut client = Client::connect(addr).map_err(|e| step(format!("connect #{i}"), e))?;
+        client
+            .set_timeout(Some(Duration::from_secs(60)))
+            .map_err(|e| step("set timeout".into(), e))?;
+        fleet.push(client);
+    }
+    for (i, client) in fleet.iter_mut().enumerate() {
+        let token = client.ping(i as u64).map_err(|e| step(format!("ping #{i}"), e))?;
+        if token != i as u64 {
+            return Err(format!("fleet ping #{i} echoed {token}"));
+        }
+    }
+    // With the fleet attached, streaming still flows end to end.
+    let request = AssessRequest {
+        preset: Preset::Tiny,
+        rounds: 2_000,
+        seed: 97,
+        k: 2,
+        n: 3,
+        assignments: vec![first_hosts(Preset::Tiny, 3)],
+    };
+    let mut partials = 0u64;
+    let (final_frame, stopped) = fleet[0]
+        .assess_streaming(request.clone(), 1, |_| {
+            partials += 1;
+            std::ops::ControlFlow::Continue(())
+        })
+        .map_err(|e| step("streaming assess".into(), e))?;
+    if stopped || partials == 0 || final_frame.rounds != u64::from(request.rounds) {
+        return Err(format!(
+            "fleet stream answered rounds={} with {partials} partials",
+            final_frame.rounds
+        ));
+    }
+    // Another connection hits the cache the stream populated.
+    let replay = fleet[connections - 1].assess(request).map_err(|e| step("replay".into(), e))?;
+    if !replay.cached {
+        return Err("fleet replay missed the cache the completed stream populated".into());
+    }
+    // The daemon itself must see the whole fleet attached at once.
+    let metrics = fleet[0].metrics(0).map_err(|e| step("metrics".into(), e))?;
+    match metrics.snapshot.gauge("server.connections_open") {
+        Some(open) if open >= connections as i64 => Ok(()),
+        open => Err(format!(
+            "server.connections_open reports {open:?} with {connections} clients attached"
+        )),
+    }
 }
 
 /// The CI smoke sequence against a freshly started server. Returns a

@@ -25,6 +25,7 @@
 //! | 0x0C | TraceDump        | `trace_id:u64` (0 = most recently finished trace) |
 //! | 0x0D | TraceContext     | `trace_id:u64 parent_span:u32` (fire-and-forget; no response) |
 //! | 0x0E | TraceUpload      | `trace_id:u64 n:u32 { id:u32 parent:u32 kind:str start_us:u64 end_us:u64 v0:u64 v1:u64 }…` (fire-and-forget) |
+//! | 0x0F | Hello            | `tenant:str` (`len:u16 utf8…`) |
 //!
 //! Response kinds (server → client):
 //!
@@ -43,6 +44,7 @@
 //! | 0x8B | SearchEvent  | `chain:u32 iteration:u64 elapsed_us:u64 measure:f64 reliability:f64 temperature:f64` |
 //! | 0x8C | CacheSegment | `n:u32 { key_lo:u64 key_hi:u64 score:f64 variance:f64 rounds:u64 successes:u64 }…` |
 //! | 0x8D | TraceResult  | `trace_id:u64 dropped:u64 n:u32 { span… }…` (span layout as TraceUpload) |
+//! | 0x8E | HelloAck     | `tenant:str` (the tenant the connection is now attributed to) |
 //!
 //! An AssessStream exchange is: client sends 0x08, server emits zero or
 //! more 0x8A Partial frames (one every `cadence` fed chunks) and finishes
@@ -93,6 +95,17 @@
 //! assembled tree with 0x0C TraceDump (`trace_id` 0 means "the most
 //! recently finished trace") and gets one 0x8D TraceResult back.
 //!
+//! A Hello frame names the tenant the connection's subsequent requests
+//! belong to: the server validates the id (non-empty, at most
+//! [`MAX_TENANT_LEN`] bytes, `[A-Za-z0-9._-]` only — tenant ids embed
+//! into instrument names), answers with 0x8E HelloAck, and from then on
+//! attributes the connection's work to per-tenant
+//! `tenant.<id>.{requests_total,busy_total,latency_us}` series and the
+//! per-tenant admission budget (`recloud serve --tenant-budget N`). A
+//! connection that never says Hello serves under the `default` tenant —
+//! Hello is strictly opt-in, and a later Hello re-homes the connection
+//! (mid-stream it is a protocol error like any other non-cancel frame).
+//!
 //! MetricsDump was added after Shutdown (0x06) and Busy (0x86) already
 //! occupied the original kind proposal, so it takes the next free pair
 //! (0x07 request / 0x89 response) — existing frames keep their kinds
@@ -131,6 +144,12 @@ pub const MAX_SYNC_ENTRIES: u32 = 16_384;
 /// tracer's per-trace capacity from both id bases with room to spare
 /// while keeping a maximal frame well under [`MAX_FRAME_LEN`].
 pub const MAX_TRACE_SPANS: u32 = 2_048;
+/// Upper bound on a tenant id's byte length — tenant ids embed into
+/// instrument names (`tenant.<id>.requests_total`), so they stay short
+/// and charset-restricted.
+pub const MAX_TENANT_LEN: usize = 64;
+/// The tenant a connection serves under until (unless) it says Hello.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// Decode failure. Any of these on a live connection is a protocol error:
 /// the server answers with an [`Response::Error`] frame and drops the
@@ -364,6 +383,14 @@ pub enum Request {
         trace_id: u64,
         /// Completed client-side spans, ids from the client's base.
         spans: Vec<TraceSpan>,
+    },
+    /// Name the tenant this connection's subsequent requests belong to;
+    /// answered with [`Response::HelloAck`]. Connections that never say
+    /// Hello serve under [`DEFAULT_TENANT`].
+    Hello {
+        /// Tenant id: non-empty, at most [`MAX_TENANT_LEN`] bytes of
+        /// `[A-Za-z0-9._-]` (it embeds into instrument names).
+        tenant: String,
     },
 }
 
@@ -659,6 +686,12 @@ pub enum Response {
     CacheSegment(CacheSegmentResponse),
     /// A trace's span tree answering a [`Request::TraceDump`].
     Trace(TraceResponse),
+    /// Acknowledges a [`Request::Hello`], echoing the tenant the
+    /// connection is now attributed to.
+    HelloAck {
+        /// The accepted tenant id.
+        tenant: String,
+    },
 }
 
 fn put_header(w: &mut ByteWriter, kind: u8) {
@@ -951,6 +984,12 @@ impl Request {
                 put_trace_spans(&mut w, spans);
                 w.freeze()
             }
+            Request::Hello { tenant } => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 2 + tenant.len());
+                put_header(&mut w, 0x0F);
+                put_str(&mut w, tenant);
+                w.freeze()
+            }
         }
     }
 
@@ -1026,6 +1065,7 @@ impl Request {
                 trace_id: r.get_u64_le().ok_or(ProtoError::Truncated)?,
                 spans: get_trace_spans(&mut r)?,
             },
+            0x0F => Request::Hello { tenant: get_str(&mut r)? },
             other => return Err(ProtoError::BadKind(other)),
         };
         finish(&r)?;
@@ -1165,6 +1205,12 @@ impl Response {
                 put_trace_spans(&mut w, &t.spans);
                 w.freeze()
             }
+            Response::HelloAck { tenant } => {
+                let mut w = ByteWriter::with_capacity(HEADER_LEN + 2 + tenant.len());
+                put_header(&mut w, 0x8E);
+                put_str(&mut w, tenant);
+                w.freeze()
+            }
         }
     }
 
@@ -1271,6 +1317,7 @@ impl Response {
                 dropped: r.get_u64_le().ok_or(ProtoError::Truncated)?,
                 spans: get_trace_spans(&mut r)?,
             }),
+            0x8E => Response::HelloAck { tenant: get_str(&mut r)? },
             other => return Err(ProtoError::BadKind(other)),
         };
         finish(&r)?;
@@ -1360,6 +1407,24 @@ pub fn validate_shape(req: &Request) -> Result<(), String> {
                     "need at most {MAX_TRACE_SPANS} uploaded spans (got {})",
                     spans.len()
                 ));
+            }
+            Ok(())
+        }
+        Request::Hello { tenant } => {
+            if tenant.is_empty() {
+                return Err("tenant id must not be empty".to_string());
+            }
+            if tenant.len() > MAX_TENANT_LEN {
+                return Err(format!(
+                    "tenant id exceeds {MAX_TENANT_LEN} bytes (got {})",
+                    tenant.len()
+                ));
+            }
+            if let Some(c) = tenant
+                .chars()
+                .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.')))
+            {
+                return Err(format!("tenant id may only contain [A-Za-z0-9._-] (got {c:?})"));
             }
             Ok(())
         }
@@ -1485,6 +1550,8 @@ mod tests {
             Request::TraceContext { trace_id: 0xDEAD_BEEF, parent_span: 1 << 20 },
             Request::TraceUpload { trace_id: 1, spans: vec![] },
             Request::TraceUpload { trace_id: 2, spans: sample_trace_spans() },
+            Request::Hello { tenant: "default".into() },
+            Request::Hello { tenant: "team-a.prod_01".into() },
         ]
     }
 
@@ -1619,6 +1686,8 @@ mod tests {
                 spans: sample_trace_spans(),
             }),
             Response::Trace(TraceResponse::default()),
+            Response::HelloAck { tenant: "default".into() },
+            Response::HelloAck { tenant: "team-a.prod_01".into() },
         ]
     }
 
@@ -1830,6 +1899,21 @@ mod tests {
         let flood =
             Request::TraceUpload { trace_id: 5, spans: vec![span; MAX_TRACE_SPANS as usize + 1] };
         assert!(validate_shape(&flood).unwrap_err().contains("uploaded spans"));
+        // Hello: tenant ids are bounded and charset-restricted (they
+        // embed into instrument names).
+        assert!(validate_shape(&Request::Hello { tenant: "team-a.prod_01".into() }).is_ok());
+        assert!(validate_shape(&Request::Hello { tenant: "x".repeat(MAX_TENANT_LEN) }).is_ok());
+        let empty = Request::Hello { tenant: String::new() };
+        assert!(validate_shape(&empty).unwrap_err().contains("empty"));
+        let long = Request::Hello { tenant: "x".repeat(MAX_TENANT_LEN + 1) };
+        assert!(validate_shape(&long).unwrap_err().contains("exceeds"));
+        for bad in ["a b", "a/b", "a\nb", "tenant!", "é"] {
+            let req = Request::Hello { tenant: bad.into() };
+            assert!(
+                validate_shape(&req).unwrap_err().contains("A-Za-z0-9"),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     /// Satellite: the deprecated Stats frame and its MetricsDump

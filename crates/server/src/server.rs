@@ -1,49 +1,67 @@
 //! The placement-as-a-service daemon.
 //!
-//! Thread topology (all scoped — no detached threads, no `Arc` juggling):
+//! Thread topology (all scoped — no detached threads; O(workers) total,
+//! independent of connection count):
 //!
 //! ```text
-//!                 ┌──────────────┐
-//!  TCP clients ──▶│ accept loop  │── spawns one connection thread each
-//!                 └──────────────┘
-//!   connection threads: frame I/O, decode, validate, cache lookup
-//!        │ admission control (depth < queue_capacity, else Busy)
+//!                 ┌───────────────────────────────────────────┐
+//!  TCP clients ──▶│ reactor thread: accept, readiness-polled  │
+//!   (thousands,   │ frame I/O, decode, validate, cache lookup,│
+//!    nonblocking) │ per-tenant + global admission, timer tick │
+//!                 └───────────────────────────────────────────┘
+//!        │ admission control (tenant budget, then depth < capacity)
 //!        ▼
 //!   bounded MPMC job queue (recloud::sync::channel + atomic depth)
-//!        │                                    ▲ reply (oneshot channel)
-//!        ▼                                    │
-//!   worker pool (scoped_workers): EnginePool per worker ─────┘
+//!        │                          ▲ reply channel + reactor waker
+//!        ▼                          │
+//!   worker pool (scoped): EnginePool per worker ─────┘
 //! ```
 //!
-//! Backpressure is explicit: a connection thread only enqueues after
-//! winning a compare-exchange on the queue depth; at capacity the client
-//! gets a `Busy` frame immediately instead of unbounded queueing — the
-//! reCloud analogue of the paper's observation that assessment cost, not
-//! connection count, is the scarce resource.
+//! The reactor (see [`crate::reactor`]) drives one state machine per
+//! connection: incremental frame decode from a per-connection inbound
+//! buffer, buffered nonblocking writes, streaming `Partial` /
+//! `SearchEvent` fan-out, and mid-stream cancel detection — so an idle
+//! streaming client costs a few hundred bytes of buffer, not a thread.
+//! Workers never touch sockets; they send responses down the job's
+//! reply channel and nudge the reactor through an armed waker, which
+//! keeps partial-frame forwarding latency at "one wake byte", not a
+//! poll-interval.
+//!
+//! Backpressure is explicit and now two-level: a request is admitted
+//! only when its tenant is under its in-flight budget (`Hello` names
+//! the tenant; connections that never say Hello serve as `default`)
+//! and the global queue depth compare-exchange succeeds; otherwise the
+//! client gets `Busy` immediately instead of unbounded queueing — the
+//! reCloud analogue of the paper's observation that assessment cost,
+//! not connection count, is the scarce resource.
 //!
 //! Shutdown is graceful by construction: the `Shutdown` frame flips a
-//! flag and self-connects to unblock `accept`; dropping the acceptor's
-//! job sender lets the level-triggered queue drain, so every admitted
-//! job still completes and answers before the worker pool exits, and the
-//! scope guarantees every thread is joined before [`Server::run`]
-//! returns.
+//! flag and self-connects to unblock the poller; the reactor stops
+//! accepting, cancels streaming drives, drains every admitted job to
+//! its final frame, flushes, and only then drops the job sender so the
+//! worker pool exits — the scope guarantees every thread is joined
+//! before [`Server::run`] returns.
 
 use crate::cache::ResultCache;
 use crate::client::Client;
 use crate::engine::{build_plan, shape_for, spec_for, EnginePool};
 use crate::protocol::{
-    self, validate_shape, AssessRequest, AssessResponse, CacheSegmentResponse, CompareRequest,
-    ErrorCode, MetricsResponse, PartialResponse, Request, Response, SearchEventResponse,
-    SearchRequest, StatsResponse, TraceResponse, TraceSpan, MAX_FRAME_LEN, MAX_SYNC_ENTRIES,
+    validate_shape, AssessRequest, AssessResponse, CacheSegmentResponse, CompareRequest, ErrorCode,
+    MetricsResponse, PartialResponse, Request, Response, SearchEventResponse, SearchRequest,
+    StatsResponse, TraceResponse, TraceSpan, DEFAULT_TENANT, MAX_FRAME_LEN, MAX_SYNC_ENTRIES,
 };
-use recloud::sync::{self, Receiver, Sender};
+use crate::reactor::{raw_fd, Poller, PollerKind, Waker};
+use recloud::sync::{self, Receiver, Sender, TryRecvError};
 use recloud_apps::{ApplicationSpec, DeploymentPlan};
 use recloud_assess::assessment_key;
 use recloud_obs::{trace, Counter, Gauge, Histogram, KindId, Registry, SpanCtx, SpanRecord};
 use recloud_store::{Entry as StoreEntry, Op as StoreOp, Store, StoreConfig};
-use std::io::Read;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -73,6 +91,19 @@ pub struct ServerConfig {
     /// Durable-store tuning (segment rotation, auto-compaction
     /// thresholds); only consulted when `store_dir` is set.
     pub store_config: StoreConfig,
+    /// Per-tenant in-flight budget: a tenant with this many admitted,
+    /// unfinished jobs gets `Busy` while every other tenant is
+    /// unaffected. `None` disables per-tenant admission (the global
+    /// queue bound still applies).
+    pub tenant_budget: Option<usize>,
+    /// Periodic auto-compaction: when the store's size/live-ratio
+    /// compaction thresholds hold continuously for this long, the
+    /// reactor's timer tick compacts — catching stores that crossed
+    /// the threshold via replay or eviction patterns no append revisits.
+    pub compact_after: Option<Duration>,
+    /// Readiness backend; `Auto` uses epoll on Linux. Tests force
+    /// `Scan` to cover the portable fallback.
+    pub poller: PollerKind,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +117,9 @@ impl Default for ServerConfig {
             store_dir: None,
             peer: None,
             store_config: StoreConfig::default(),
+            tenant_budget: None,
+            compact_after: None,
+            poller: PollerKind::Auto,
         }
     }
 }
@@ -155,6 +189,9 @@ struct ServerInstruments {
     store_bytes: Arc<Gauge>,
     /// Accounting bytes resident in the result cache.
     cache_bytes: Arc<Gauge>,
+    /// Connections currently registered with the reactor (streaming,
+    /// idle and zombie alike).
+    connections_open: Arc<Gauge>,
     /// Wall-clock per served request, admission wait included, indexed
     /// like [`LATENCY_KINDS`].
     latency: [Arc<Histogram>; LATENCY_KINDS.len()],
@@ -189,6 +226,7 @@ impl ServerInstruments {
             store_compactions: registry.counter("store.compactions_total"),
             store_bytes: registry.gauge("store.bytes"),
             cache_bytes: registry.gauge("server.cache_bytes"),
+            connections_open: registry.gauge("server.connections_open"),
             latency,
             conn_close,
             stream_cancel,
@@ -210,12 +248,14 @@ impl ServerInstruments {
             Request::SearchStream { .. } => Some(7),
             Request::CacheSync { .. } => Some(8),
             // Trace frames are connection-side bookkeeping (two of the
-            // three don't even reply) — no latency histogram.
+            // three don't even reply) — no latency histogram. Hello is
+            // likewise per-connection setup, not served work.
             Request::Shutdown
             | Request::AssessCancel
             | Request::TraceDump { .. }
             | Request::TraceContext { .. }
-            | Request::TraceUpload { .. } => None,
+            | Request::TraceUpload { .. }
+            | Request::Hello { .. } => None,
         }
     }
 }
@@ -343,33 +383,23 @@ impl Server {
         self.local_addr
     }
 
-    /// Serves until shut down; blocks the calling thread. Every admitted
-    /// job completes and answers before this returns.
+    /// Serves until shut down; blocks the calling thread (which becomes
+    /// the reactor). Every admitted job completes and answers before
+    /// this returns. Thread count is `workers + 1`, independent of how
+    /// many connections attach.
     pub fn run(&self) -> ServeSummary {
         let (job_tx, job_rx) = sync::channel::<Job>();
+        let waker = Waker::new().expect("loopback waker pair");
         std::thread::scope(|scope| {
             for _ in 0..self.config.workers {
                 let rx = job_rx.clone();
-                scope.spawn(move || self.worker_loop(rx));
+                let waker = &waker;
+                scope.spawn(move || self.worker_loop(rx, waker));
             }
             drop(job_rx);
-            loop {
-                let stream = match self.listener.accept() {
-                    Ok((stream, _)) => stream,
-                    Err(_) => {
-                        if self.shutdown.load(Ordering::Acquire) {
-                            break;
-                        }
-                        continue;
-                    }
-                };
-                if self.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                let tx = job_tx.clone();
-                scope.spawn(move || self.serve_connection(stream, tx));
-            }
-            drop(job_tx);
+            Reactor::new(self, &waker, job_tx).run();
+            // Reactor drop released the last job sender → workers drain
+            // the queue and exit; the scope joins them.
         });
         self.summary()
     }
@@ -427,7 +457,7 @@ impl Server {
         MetricsResponse { snapshot, events }
     }
 
-    fn worker_loop(&self, rx: Receiver<Job>) {
+    fn worker_loop(&self, rx: Receiver<Job>, waker: &Waker) {
         let mut pool = EnginePool::new();
         while let Ok(job) = rx.recv() {
             self.depth.fetch_sub(1, Ordering::AcqRel);
@@ -443,8 +473,8 @@ impl Server {
                 }
             });
             let response = match exec {
-                Some(ctx) => trace::with_current_span(ctx, || self.run_job(&job, &mut pool)),
-                None => self.run_job(&job, &mut pool),
+                Some(ctx) => trace::with_current_span(ctx, || self.run_job(&job, &mut pool, waker)),
+                None => self.run_job(&job, &mut pool, waker),
             };
             if let Some(ctx) = exec {
                 trace::tracer().end(ctx.trace_id, ctx.span);
@@ -453,11 +483,14 @@ impl Server {
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
             }
             let _ = job.reply.send(response);
+            // Nudge the reactor so the final frame forwards immediately
+            // instead of waiting out the poll tick.
+            waker.wake();
         }
     }
 
     /// Executes one dequeued job on this worker's engine pool.
-    fn run_job(&self, job: &Job, pool: &mut EnginePool) -> Response {
+    fn run_job(&self, job: &Job, pool: &mut EnginePool, waker: &Waker) -> Response {
         match &job.kind {
             JobKind::Assess { req, spec, plan, key } => match pool.assess(req, spec, plan) {
                 Ok(resp) => {
@@ -483,6 +516,7 @@ impl Server {
                         score: p.r,
                         ciw: p.ciw,
                     }));
+                    waker.wake();
                 });
                 match streamed {
                     Ok((resp, completed)) => {
@@ -515,6 +549,7 @@ impl Server {
                 let reply = &job.reply;
                 let sink = |e: SearchEventResponse| {
                     let _ = reply.send(Response::SearchEvent(e));
+                    waker.wake();
                 };
                 match pool.search_streaming(req, *workers, *iters, &sink) {
                     Ok(resp) => Response::Search(resp),
@@ -574,259 +609,6 @@ impl Server {
         }
     }
 
-    fn serve_connection(&self, mut stream: TcpStream, job_tx: Sender<Job>) {
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
-        let mut frames: u64 = 0;
-        let mut decode_errors: u64 = 0;
-        // Armed by a TraceContext frame; consumed by the next request.
-        let mut trace_ctx: Option<(u64, u32)> = None;
-        loop {
-            match self.read_frame_polling(&mut stream) {
-                FrameRead::Closed | FrameRead::ShuttingDown | FrameRead::Io => break,
-                FrameRead::Oversized(len) => {
-                    self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    decode_errors += 1;
-                    self.obs.decode_errors.inc();
-                    self.reply(
-                        &mut stream,
-                        &Response::Error {
-                            code: ErrorCode::Oversized,
-                            message: format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
-                        },
-                    );
-                    break;
-                }
-                FrameRead::HalfFrame => {
-                    self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    decode_errors += 1;
-                    self.obs.decode_errors.inc();
-                    break;
-                }
-                FrameRead::Frame(payload) => {
-                    self.counters.received.fetch_add(1, Ordering::Relaxed);
-                    frames += 1;
-                    let request = match Request::decode(payload.into()) {
-                        Ok(request) => request,
-                        Err(e) => {
-                            self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                            decode_errors += 1;
-                            self.obs.decode_errors.inc();
-                            self.reply(
-                                &mut stream,
-                                &Response::Error {
-                                    code: ErrorCode::Malformed,
-                                    message: e.to_string(),
-                                },
-                            );
-                            break;
-                        }
-                    };
-                    self.obs.requests_total.inc();
-                    let latency = ServerInstruments::latency_index(&request);
-                    let started = Instant::now();
-                    let keep = self.handle(request, &mut stream, &job_tx, &mut trace_ctx);
-                    if let Some(i) = latency {
-                        self.obs.latency[i].record(started.elapsed().as_micros() as u64);
-                    }
-                    if !keep {
-                        break;
-                    }
-                }
-            }
-        }
-        self.obs.registry.journal().record(self.obs.conn_close, frames, decode_errors, 0.0, 0.0);
-    }
-
-    /// Handles one decoded request; returns false to close the connection.
-    ///
-    /// The trace frames are connection-side: TraceContext arms `trace_ctx`
-    /// for the connection's next request (fire-and-forget), TraceUpload
-    /// absorbs the client's spans (fire-and-forget), TraceDump answers
-    /// from the tracer. Any other request consumes the armed context and
-    /// runs under a `server.request` span parented beneath the client's.
-    fn handle(
-        &self,
-        request: Request,
-        stream: &mut TcpStream,
-        job_tx: &Sender<Job>,
-        trace_ctx: &mut Option<(u64, u32)>,
-    ) -> bool {
-        if let Err(message) = validate_shape(&request) {
-            return self.reply(stream, &Response::Error { code: ErrorCode::Invalid, message });
-        }
-        match request {
-            Request::TraceContext { trace_id, parent_span } => {
-                trace::tracer().begin(trace_id, 0);
-                *trace_ctx = Some((trace_id, parent_span));
-                return true;
-            }
-            Request::TraceUpload { trace_id, spans } => {
-                let records: Vec<SpanRecord> = spans
-                    .iter()
-                    .map(|s| SpanRecord {
-                        id: s.id,
-                        parent: s.parent,
-                        kind: recloud_obs::intern_kind(&s.kind),
-                        start_us: s.start_us,
-                        end_us: s.end_us,
-                        v0: s.v0,
-                        v1: s.v1,
-                    })
-                    .collect();
-                trace::tracer().absorb(trace_id, &records);
-                trace::tracer().finish(trace_id);
-                return true;
-            }
-            Request::TraceDump { trace_id } => {
-                let id = if trace_id == 0 {
-                    trace::tracer().latest_finished().unwrap_or(0)
-                } else {
-                    trace_id
-                };
-                let resp = match trace::tracer().spans(id) {
-                    Some((spans, dropped)) => TraceResponse {
-                        trace_id: id,
-                        dropped,
-                        spans: spans
-                            .iter()
-                            .map(|s| TraceSpan {
-                                id: s.id,
-                                parent: s.parent,
-                                kind: s.kind.to_string(),
-                                start_us: s.start_us,
-                                end_us: s.end_us,
-                                v0: s.v0,
-                                v1: s.v1,
-                            })
-                            .collect(),
-                    },
-                    None => TraceResponse::default(),
-                };
-                return self.reply(stream, &Response::Trace(resp));
-            }
-            other => {
-                let traced = trace_ctx.take().map(|(trace_id, parent)| SpanCtx {
-                    trace_id,
-                    span: trace::tracer().start(trace_id, parent, "server.request"),
-                });
-                let keep = self.handle_inner(other, stream, job_tx, traced);
-                if let Some(ctx) = traced {
-                    trace::tracer().end(ctx.trace_id, ctx.span);
-                    // Finish server-side too: TraceDump{0} finds the trace
-                    // even when the client never uploads its own spans.
-                    trace::tracer().finish(ctx.trace_id);
-                }
-                keep
-            }
-        }
-    }
-
-    /// Handles one non-trace request, possibly under a traced context
-    /// (`traced.span` is the open `server.request` span).
-    fn handle_inner(
-        &self,
-        request: Request,
-        stream: &mut TcpStream,
-        job_tx: &Sender<Job>,
-        traced: Option<SpanCtx>,
-    ) -> bool {
-        let kind = match request {
-            Request::Ping { token } => return self.reply(stream, &Response::Pong { token }),
-            Request::Stats => return self.reply(stream, &Response::Stats(self.stats())),
-            Request::MetricsDump { journal_tail } => {
-                return self.reply(stream, &Response::Metrics(self.metrics(journal_tail)));
-            }
-            Request::Shutdown => {
-                let completed = self.counters.completed.load(Ordering::Relaxed);
-                self.reply(stream, &Response::ShutdownAck { completed });
-                self.begin_shutdown();
-                return false;
-            }
-            Request::AssessPlan(req) => {
-                let (spec, plan, key) = match prepare_assess(&req) {
-                    Ok(parts) => parts,
-                    Err(response) => return self.reply(stream, &response),
-                };
-                if let Some(hit) = self.cache_lookup(key, traced) {
-                    self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    self.obs.cache_hits.inc();
-                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                    return self.reply(stream, &Response::Assess(hit));
-                }
-                self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-                self.obs.cache_misses.inc();
-                JobKind::Assess { req, spec, plan, key }
-            }
-            Request::AssessStream { req, cadence } => {
-                let (spec, plan, key) = match prepare_assess(&req) {
-                    Ok(parts) => parts,
-                    Err(response) => return self.reply(stream, &response),
-                };
-                if let Some(hit) = self.cache_lookup(key, traced) {
-                    self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    self.obs.cache_hits.inc();
-                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                    // A degenerate stream: the cached final frame with no
-                    // partials — the answer is already known in full.
-                    return self.reply(stream, &Response::Assess(hit));
-                }
-                self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-                self.obs.cache_misses.inc();
-                let cancel = Arc::new(AtomicBool::new(false));
-                let kind =
-                    JobKind::StreamAssess { req, cadence, spec, plan, key, cancel: cancel.clone() };
-                return self.dispatch_streaming(kind, stream, job_tx, &cancel, traced);
-            }
-            // A cancel with no stream in flight on this connection: the
-            // race it guards against (final frame already sent when the
-            // client decided to stop) makes it inherently best-effort, so
-            // it is a silent no-op with no response frame.
-            Request::AssessCancel => return true,
-            // Served connection-side straight out of the cache — a peer
-            // warming up must not cost this daemon any worker time.
-            Request::CacheSync { max_entries } => {
-                let entries = self.cache.lock().unwrap().recent(max_entries as usize);
-                self.obs.sync_served.inc();
-                return self
-                    .reply(stream, &Response::CacheSegment(CacheSegmentResponse { entries }));
-            }
-            Request::SearchPlacement(req) => JobKind::Search(req),
-            Request::SearchStream { req, workers, iters } => {
-                // Search streams accept a mid-stream AssessCancel frame
-                // without protocol error, but ignore it: the flag below is
-                // never read by the search drive (stopping a population
-                // early would change its answer).
-                let cancel = Arc::new(AtomicBool::new(false));
-                let kind = JobKind::StreamSearch { req, workers, iters };
-                return self.dispatch_streaming(kind, stream, job_tx, &cancel, traced);
-            }
-            Request::ComparePlans(req) => {
-                let spec = spec_for(req.k, req.n, 1);
-                let mut plans = Vec::with_capacity(req.plans.len());
-                for hosts in &req.plans {
-                    match build_plan(&spec, std::slice::from_ref(hosts)) {
-                        Ok(plan) => plans.push(plan),
-                        Err(message) => {
-                            return self.reply(
-                                stream,
-                                &Response::Error { code: ErrorCode::Invalid, message },
-                            );
-                        }
-                    }
-                }
-                JobKind::Compare { req, spec, plans }
-            }
-            // Trace frames never reach here — `handle` consumes them.
-            Request::TraceDump { .. }
-            | Request::TraceContext { .. }
-            | Request::TraceUpload { .. } => {
-                return true;
-            }
-        };
-        self.dispatch(kind, stream, job_tx, traced)
-    }
-
     /// Cache probe, recorded as a `cache.lookup` span (`v0` = hit) when
     /// the request is traced.
     fn cache_lookup(&self, key: u128, traced: Option<SpanCtx>) -> Option<AssessResponse> {
@@ -844,273 +626,6 @@ impl Server {
             );
         }
         hit
-    }
-
-    /// Admission control: wins a compare-exchange on the queue depth or
-    /// answers `Busy`. Returns the reply receiver once the job is queued,
-    /// or the keep-connection verdict of the rejection/failure reply.
-    fn enqueue(
-        &self,
-        kind: JobKind,
-        stream: &mut TcpStream,
-        job_tx: &Sender<Job>,
-        traced: Option<SpanCtx>,
-    ) -> Result<Receiver<Response>, bool> {
-        let capacity = self.config.queue_capacity;
-        let admitted = self
-            .depth
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |d| {
-                if d < capacity {
-                    Some(d + 1)
-                } else {
-                    None
-                }
-            })
-            .is_ok();
-        if admitted {
-            self.obs.queue_depth.add(1);
-        } else {
-            self.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
-            self.obs.busy_rejections.inc();
-            return Err(self.reply(
-                stream,
-                &Response::Busy {
-                    queued: self.depth.load(Ordering::Relaxed) as u32,
-                    capacity: capacity as u32,
-                },
-            ));
-        }
-        let (reply_tx, reply_rx) = sync::channel::<Response>();
-        // The queue.wait span opens here and closes when a worker
-        // dequeues the job — admission wait becomes visible in the tree.
-        let queue_span = traced
-            .map(|ctx| trace::tracer().start(ctx.trace_id, ctx.span, "queue.wait"))
-            .unwrap_or(0);
-        if job_tx.send(Job { kind, reply: reply_tx, trace: traced, queue_span }).is_err() {
-            self.depth.fetch_sub(1, Ordering::AcqRel);
-            self.obs.queue_depth.add(-1);
-            return Err(self.reply(
-                stream,
-                &Response::Error {
-                    code: ErrorCode::Internal,
-                    message: "worker pool is gone".into(),
-                },
-            ));
-        }
-        Ok(reply_rx)
-    }
-
-    /// Admission control + enqueue + blocking wait for the worker reply.
-    fn dispatch(
-        &self,
-        kind: JobKind,
-        stream: &mut TcpStream,
-        job_tx: &Sender<Job>,
-        traced: Option<SpanCtx>,
-    ) -> bool {
-        let reply_rx = match self.enqueue(kind, stream, job_tx, traced) {
-            Ok(rx) => rx,
-            Err(keep) => return keep,
-        };
-        match reply_rx.recv() {
-            Ok(response) => self.reply(stream, &response),
-            Err(_) => self.reply(
-                stream,
-                &Response::Error {
-                    code: ErrorCode::Internal,
-                    message: "worker dropped the job".into(),
-                },
-            ),
-        }
-    }
-
-    /// Streaming dispatch: same admission as [`Server::dispatch`], then a
-    /// multiplexed wait — worker partials forward to the client as chunks
-    /// are fed, while the socket is polled for a mid-stream
-    /// `AssessCancel`. The worker always produces a final non-partial
-    /// frame (cancelled drives answer over the rounds done so far), so
-    /// this loop always terminates by draining to it.
-    fn dispatch_streaming(
-        &self,
-        kind: JobKind,
-        stream: &mut TcpStream,
-        job_tx: &Sender<Job>,
-        cancel: &AtomicBool,
-        traced: Option<SpanCtx>,
-    ) -> bool {
-        let reply_rx = match self.enqueue(kind, stream, job_tx, traced) {
-            Ok(rx) => rx,
-            Err(keep) => return keep,
-        };
-        let mut inbound: Vec<u8> = Vec::new();
-        let mut scratch = [0u8; 1024];
-        let mut writable = true; // client socket still accepts frames
-        let mut peer_open = true; // client socket still produces bytes
-        let outcome = loop {
-            // Opportunistic cancel poll: flip the socket non-blocking for
-            // one read, then back, so partial-frame *writes* below stay
-            // blocking (a slow reader must not look like a gone one). An
-            // SO_RCVTIMEO-based poll would add its timer granularity to
-            // every forwarded partial; this costs two fcntls instead.
-            if peer_open {
-                let _ = stream.set_nonblocking(true);
-                let polled = stream.read(&mut scratch);
-                let _ = stream.set_nonblocking(false);
-                match polled {
-                    Ok(0) => {
-                        peer_open = false;
-                        writable = false;
-                        cancel.store(true, Ordering::Release);
-                    }
-                    Ok(n) => {
-                        inbound.extend_from_slice(&scratch[..n]);
-                        loop {
-                            match take_frame(&mut inbound) {
-                                TakenFrame::Incomplete => break,
-                                TakenFrame::Oversized => {
-                                    self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                                    self.obs.decode_errors.inc();
-                                    peer_open = false;
-                                    writable = false;
-                                    cancel.store(true, Ordering::Release);
-                                    break;
-                                }
-                                TakenFrame::Frame(payload) => {
-                                    self.counters.received.fetch_add(1, Ordering::Relaxed);
-                                    self.obs.requests_total.inc();
-                                    match Request::decode(payload.into()) {
-                                        Ok(Request::AssessCancel) => {
-                                            cancel.store(true, Ordering::Release);
-                                        }
-                                        // Only AssessCancel is defined
-                                        // mid-stream; anything else is a
-                                        // protocol error that also stops
-                                        // the drive.
-                                        _ => {
-                                            self.counters
-                                                .protocol_errors
-                                                .fetch_add(1, Ordering::Relaxed);
-                                            self.obs.decode_errors.inc();
-                                            peer_open = false;
-                                            writable = false;
-                                            cancel.store(true, Ordering::Release);
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut
-                            || e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(_) => {
-                        peer_open = false;
-                        writable = false;
-                        cancel.store(true, Ordering::Release);
-                    }
-                }
-            }
-            if self.shutdown.load(Ordering::Acquire) {
-                cancel.store(true, Ordering::Release);
-            }
-            // Block on the worker's reply channel: partials forward the
-            // instant they are produced, and the 1 ms timeout only bounds
-            // how stale the cancel/shutdown poll above can get.
-            match reply_rx.recv_timeout(Duration::from_millis(1)) {
-                Ok(mid @ (Response::Partial(_) | Response::SearchEvent(_))) => {
-                    let start = traced.map(|_| trace::now_us());
-                    if writable && !self.reply(stream, &mid) {
-                        // Client gone: cancel the drive, keep draining so
-                        // the worker finishes cleanly.
-                        writable = false;
-                        cancel.store(true, Ordering::Release);
-                    }
-                    if let (Some(ctx), Some(start_us)) = (traced, start) {
-                        trace::tracer().record(
-                            ctx.trace_id,
-                            ctx.span,
-                            "partial.emit",
-                            start_us,
-                            trace::now_us(),
-                            writable as u64,
-                            0,
-                        );
-                    }
-                }
-                Ok(response) => break Some(response),
-                Err(sync::RecvTimeoutError::Timeout) => {}
-                Err(sync::RecvTimeoutError::Disconnected) => break None,
-            }
-        };
-        match outcome {
-            Some(response) => writable && self.reply(stream, &response),
-            None => {
-                writable
-                    && self.reply(
-                        stream,
-                        &Response::Error {
-                            code: ErrorCode::Internal,
-                            message: "worker dropped the job".into(),
-                        },
-                    )
-            }
-        }
-    }
-
-    fn reply(&self, stream: &mut TcpStream, response: &Response) -> bool {
-        protocol::write_frame(stream, &response.encode()).is_ok()
-    }
-
-    /// Reads one frame, polling the shutdown flag across read timeouts so
-    /// idle connections notice shutdown within `read_timeout`. Keeps
-    /// partial-read state across timeouts, so a slow writer is fine — but
-    /// a peer that disconnects mid-frame is a [`FrameRead::HalfFrame`]
-    /// protocol error, and an oversized length prefix is rejected before
-    /// any payload allocation.
-    fn read_frame_polling(&self, stream: &mut TcpStream) -> FrameRead {
-        let mut prefix = [0u8; 4];
-        match self.read_exact_polling(stream, &mut prefix) {
-            ReadExact::Done => {}
-            ReadExact::CleanEof => return FrameRead::Closed,
-            ReadExact::MidEof => return FrameRead::HalfFrame,
-            ReadExact::ShuttingDown => return FrameRead::ShuttingDown,
-            ReadExact::Io => return FrameRead::Io,
-        }
-        let len = u32::from_le_bytes(prefix) as usize;
-        if len > MAX_FRAME_LEN {
-            return FrameRead::Oversized(len);
-        }
-        let mut payload = vec![0u8; len];
-        match self.read_exact_polling(stream, &mut payload) {
-            ReadExact::Done => FrameRead::Frame(payload),
-            ReadExact::CleanEof | ReadExact::MidEof => FrameRead::HalfFrame,
-            ReadExact::ShuttingDown => FrameRead::ShuttingDown,
-            ReadExact::Io => FrameRead::Io,
-        }
-    }
-
-    fn read_exact_polling(&self, stream: &mut TcpStream, buf: &mut [u8]) -> ReadExact {
-        let mut filled = 0;
-        while filled < buf.len() {
-            match stream.read(&mut buf[filled..]) {
-                Ok(0) => {
-                    return if filled == 0 { ReadExact::CleanEof } else { ReadExact::MidEof };
-                }
-                Ok(n) => filled += n,
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    if self.shutdown.load(Ordering::Acquire) {
-                        return ReadExact::ShuttingDown;
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => return ReadExact::Io,
-            }
-        }
-        ReadExact::Done
     }
 }
 
@@ -1194,21 +709,22 @@ fn prepare_assess(
 
 enum TakenFrame {
     Frame(Vec<u8>),
-    Oversized,
+    /// Length prefix beyond `MAX_FRAME_LEN` — carries the claimed length
+    /// for the error message.
+    Oversized(usize),
     Incomplete,
 }
 
 /// Extracts one complete length-prefixed frame from an incremental byte
-/// buffer. The mid-stream cancel path reads the socket with a short
-/// timeout, so frames arrive in arbitrary fragments and partial bytes
-/// stay buffered across polls.
+/// buffer. The reactor reads sockets nonblocking, so frames arrive in
+/// arbitrary fragments and partial bytes stay buffered across polls.
 fn take_frame(buf: &mut Vec<u8>) -> TakenFrame {
     if buf.len() < 4 {
         return TakenFrame::Incomplete;
     }
     let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
     if len > MAX_FRAME_LEN {
-        return TakenFrame::Oversized;
+        return TakenFrame::Oversized(len);
     }
     if buf.len() < 4 + len {
         return TakenFrame::Incomplete;
@@ -1218,19 +734,1008 @@ fn take_frame(buf: &mut Vec<u8>) -> TakenFrame {
     TakenFrame::Frame(payload)
 }
 
-enum FrameRead {
-    Frame(Vec<u8>),
-    Closed,
-    HalfFrame,
-    Oversized(usize),
-    ShuttingDown,
-    Io,
+/// Poller token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Poller token of the reactor waker's read end.
+const TOKEN_WAKER: u64 = 1;
+/// First token handed to an accepted connection.
+const TOKEN_FIRST_CONN: u64 = 2;
+/// Buffered-outbound cap per connection. A client that lets this much
+/// pile up unread is treated as gone (its stream is cancelled, the
+/// buffer dropped) instead of growing server memory without bound.
+const OUTBOUND_CAP: usize = 16 << 20;
+/// How long shutdown keeps flushing already-buffered final frames to
+/// slow readers before dropping them.
+const SHUTDOWN_FLUSH_GRACE: Duration = Duration::from_secs(5);
+
+/// Per-tenant serving state, created on first sight of a tenant id
+/// (from a `Hello` frame, or [`DEFAULT_TENANT`] for connections that
+/// never send one). The instruments live in the server registry, so a
+/// `MetricsDump` carries per-tenant series without any wire change;
+/// `inflight` is the count the admission budget bounds — touched only
+/// by the reactor thread, hence `Cell`, not an atomic.
+struct TenantState {
+    requests_total: Arc<Counter>,
+    busy_total: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    inflight: Cell<usize>,
 }
 
-enum ReadExact {
-    Done,
-    CleanEof,
-    MidEof,
-    ShuttingDown,
-    Io,
+/// A job admitted on a connection and not yet answered with its final
+/// frame.
+struct Inflight {
+    reply: Receiver<Response>,
+    /// Streaming jobs keep reading the socket (for a mid-stream
+    /// `AssessCancel`) and forward `Partial`/`SearchEvent` frames;
+    /// non-streaming jobs leave pipelined bytes buffered until the
+    /// final frame goes out, exactly like the blocking server did.
+    streaming: bool,
+    /// Cancel flag shared with the worker's drive. `None` for
+    /// non-streaming jobs; search streams carry one that their drive
+    /// never reads (stopping a population early would change its
+    /// answer) so a mid-stream cancel frame stays a legal no-op.
+    cancel: Option<Arc<AtomicBool>>,
+    traced: Option<SpanCtx>,
+    latency_idx: Option<usize>,
+    started: Instant,
+    tenant: Rc<TenantState>,
+}
+
+/// One connection's state machine: incremental inbound decode, buffered
+/// nonblocking writes, at most one in-flight job.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    /// Bytes read but not yet consumed as frames.
+    inbound: Vec<u8>,
+    /// Encoded frames not yet accepted by the socket; `out_pos` is the
+    /// flushed prefix.
+    outbound: Vec<u8>,
+    out_pos: usize,
+    /// Frames decoded on this connection (journalled at close).
+    frames: u64,
+    /// Decode errors this connection produced (journalled at close).
+    decode_errors: u64,
+    /// Armed by a TraceContext frame; consumed by the next request.
+    trace_ctx: Option<(u64, u32)>,
+    /// Set by `Hello` (a later Hello re-homes the connection); `None`
+    /// until first work, then pinned to [`DEFAULT_TENANT`].
+    tenant: Option<Rc<TenantState>>,
+    /// Read side still produces bytes (no EOF or error seen).
+    peer_open: bool,
+    /// Write side still accepts frames.
+    writable: bool,
+    /// Close once the outbound buffer flushes and no job is in flight.
+    closing: bool,
+    /// Interest bits currently registered with the poller.
+    want_read: bool,
+    want_write: bool,
+    inflight: Option<Inflight>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, token: u64) -> Conn {
+        Conn {
+            stream,
+            token,
+            inbound: Vec::new(),
+            outbound: Vec::new(),
+            out_pos: 0,
+            frames: 0,
+            decode_errors: 0,
+            trace_ctx: None,
+            tenant: None,
+            peer_open: true,
+            writable: true,
+            closing: false,
+            want_read: true,
+            want_write: false,
+            inflight: None,
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.out_pos >= self.outbound.len()
+    }
+
+    /// The client is gone for writing purposes: drop the buffer and
+    /// cancel any streaming drive (the worker still finishes cleanly
+    /// and the connection drains as a zombie to its final frame).
+    fn mark_unwritable(&mut self) {
+        self.writable = false;
+        self.outbound.clear();
+        self.out_pos = 0;
+        if let Some(inflight) = &self.inflight {
+            if let Some(cancel) = &inflight.cancel {
+                cancel.store(true, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// Encodes a response onto the connection's outbound buffer (transport
+/// length prefix + payload), enforcing [`OUTBOUND_CAP`].
+fn buffer_frame(conn: &mut Conn, response: &Response) {
+    if !conn.writable {
+        return;
+    }
+    let payload = response.encode();
+    debug_assert!(payload.len() <= MAX_FRAME_LEN, "oversized response frame");
+    conn.outbound.reserve(4 + payload.len());
+    conn.outbound.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    conn.outbound.extend_from_slice(payload.as_slice());
+    if conn.outbound.len() - conn.out_pos > OUTBOUND_CAP {
+        conn.mark_unwritable();
+        return;
+    }
+    // Reclaim the flushed prefix once it dominates the buffer.
+    if conn.out_pos > 4096 && conn.out_pos * 2 >= conn.outbound.len() {
+        conn.outbound.drain(..conn.out_pos);
+        conn.out_pos = 0;
+    }
+}
+
+/// Writes as much buffered outbound as the socket accepts right now.
+fn flush_outbound(conn: &mut Conn) -> bool {
+    if !conn.writable || conn.flushed() {
+        return false;
+    }
+    let mut work = false;
+    while conn.out_pos < conn.outbound.len() {
+        match (&conn.stream).write(&conn.outbound[conn.out_pos..]) {
+            Ok(0) => {
+                conn.mark_unwritable();
+                break;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                work = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.mark_unwritable();
+                break;
+            }
+        }
+    }
+    if conn.flushed() {
+        conn.outbound.clear();
+        conn.out_pos = 0;
+    }
+    if !conn.writable && conn.inflight.is_none() {
+        conn.closing = true;
+    }
+    work
+}
+
+/// The event loop that owns every connection. Single-threaded: all
+/// per-connection and per-tenant state is plain (`Rc`/`Cell`) data, and
+/// the only cross-thread traffic is the job queue in, reply channels
+/// out, and the waker bytes workers send back.
+struct Reactor<'a> {
+    srv: &'a Server,
+    waker: &'a Waker,
+    job_tx: Sender<Job>,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    tenants: HashMap<String, Rc<TenantState>>,
+    next_token: u64,
+    ready: Vec<u64>,
+    /// Since when the store's compaction thresholds have held
+    /// continuously (timed auto-compaction).
+    compact_held_since: Option<Instant>,
+    /// When the shutdown drain began (bounds the flush grace).
+    shutdown_seen: Option<Instant>,
+}
+
+impl<'a> Reactor<'a> {
+    fn new(srv: &'a Server, waker: &'a Waker, job_tx: Sender<Job>) -> Reactor<'a> {
+        Reactor {
+            srv,
+            waker,
+            job_tx,
+            poller: Poller::new(srv.config.poller),
+            conns: HashMap::new(),
+            tenants: HashMap::new(),
+            next_token: TOKEN_FIRST_CONN,
+            ready: Vec::new(),
+            compact_held_since: None,
+            shutdown_seen: None,
+        }
+    }
+
+    fn run(mut self) {
+        self.srv.listener.set_nonblocking(true).expect("nonblocking listener");
+        self.poller.register(raw_fd(&self.srv.listener), TOKEN_LISTENER);
+        self.poller.register(self.waker.fd(), TOKEN_WAKER);
+        let tick = self.srv.config.read_timeout;
+        let mut did_work = true;
+        loop {
+            // Arm before sweeping: a worker reply that lands between
+            // this sweep and the wait leaves a wake byte the wait will
+            // see — never a lost wakeup.
+            self.waker.arm();
+            did_work |= self.sweep_replies();
+            self.poller.set_idle(!did_work);
+            let timeout = if did_work { Duration::ZERO } else { tick };
+            let mut ready = std::mem::take(&mut self.ready);
+            self.poller.wait(&mut ready, timeout);
+            did_work = false;
+            for &token in &ready {
+                match token {
+                    TOKEN_LISTENER => did_work |= self.accept_ready(),
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => did_work |= self.conn_ready(token),
+                }
+            }
+            self.ready = ready;
+            did_work |= self.sweep_replies();
+            if self.srv.shutdown.load(Ordering::Acquire) && self.drain_shutdown() {
+                return;
+            }
+            self.compaction_tick();
+        }
+    }
+
+    /// Accepts every pending connection (level-triggered: drain until
+    /// `WouldBlock`). Under shutdown, late connectors — including the
+    /// throwaway self-connection `begin_shutdown` makes to unblock the
+    /// poller — are accepted and dropped.
+    fn accept_ready(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            match self.srv.listener.accept() {
+                Ok((stream, _)) => {
+                    any = true;
+                    if self.srv.shutdown.load(Ordering::Acquire) {
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.poller.register(raw_fd(&stream), token);
+                    self.srv.obs.connections_open.add(1);
+                    self.conns.insert(token, Conn::new(stream, token));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        any
+    }
+
+    /// One connection's socket reported ready (or the scan backend is
+    /// probing it): flush, read, drain worker replies, decide its fate.
+    fn conn_ready(&mut self, token: u64) -> bool {
+        let Some(mut conn) = self.conns.remove(&token) else { return false };
+        let mut work = flush_outbound(&mut conn);
+        work |= self.pump_read(&mut conn);
+        work |= self.drain_reply(&mut conn);
+        work |= flush_outbound(&mut conn);
+        self.settle(conn);
+        work
+    }
+
+    /// Drains worker replies on every connection with an in-flight job.
+    fn sweep_replies(&mut self) -> bool {
+        let waiting: Vec<u64> =
+            self.conns.iter().filter(|(_, c)| c.inflight.is_some()).map(|(&t, _)| t).collect();
+        let mut work = false;
+        for token in waiting {
+            let Some(mut conn) = self.conns.remove(&token) else { continue };
+            work |= self.drain_reply(&mut conn);
+            work |= flush_outbound(&mut conn);
+            self.settle(conn);
+        }
+        work
+    }
+
+    /// Decides a connection's fate after any activity: close it once it
+    /// is `closing` with nothing left to send and no job in flight,
+    /// otherwise sync the poller's interest bits with what the state
+    /// machine is actually waiting for and keep it. Interest is a
+    /// wakeup hint, not a correctness gate — the scan backend reports
+    /// every token and relies on these same state checks.
+    fn settle(&mut self, mut conn: Conn) {
+        if conn.inflight.is_none() && conn.closing && (conn.flushed() || !conn.writable) {
+            self.close_conn(conn);
+            return;
+        }
+        // Read interest drops while a non-streaming job is in flight:
+        // the blocking server did not read the socket there either (a
+        // pipelined frame waits in the kernel buffer), and with a
+        // level-triggered poller a readable-but-ignored socket would
+        // spin the loop.
+        let want_read = conn.peer_open
+            && !conn.closing
+            && conn.inflight.as_ref().map_or(true, |inflight| inflight.streaming);
+        let want_write = conn.writable && !conn.flushed();
+        if (want_read, want_write) != (conn.want_read, conn.want_write) {
+            self.poller.set_interest(raw_fd(&conn.stream), conn.token, want_read, want_write);
+            conn.want_read = want_read;
+            conn.want_write = want_write;
+        }
+        self.conns.insert(conn.token, conn);
+    }
+
+    fn close_conn(&mut self, conn: Conn) {
+        self.srv.obs.registry.journal().record(
+            self.srv.obs.conn_close,
+            conn.frames,
+            conn.decode_errors,
+            0.0,
+            0.0,
+        );
+        self.srv.obs.connections_open.add(-1);
+        self.poller.deregister(raw_fd(&conn.stream), conn.token);
+    }
+
+    fn wants_read(&self, conn: &Conn) -> bool {
+        conn.peer_open
+            && !conn.closing
+            && conn.inflight.as_ref().map_or(true, |inflight| inflight.streaming)
+    }
+
+    /// Reads whatever the socket has and advances the frame state
+    /// machine. Re-checks `wants_read` every iteration — dispatching a
+    /// non-streaming job mid-buffer stops the reading, like the
+    /// blocking server blocking on the worker reply did.
+    fn pump_read(&mut self, conn: &mut Conn) -> bool {
+        let mut work = false;
+        let mut scratch = [0u8; 4096];
+        loop {
+            if !self.wants_read(conn) {
+                break;
+            }
+            match (&conn.stream).read(&mut scratch) {
+                Ok(0) => {
+                    work = true;
+                    self.peer_eof(conn);
+                    break;
+                }
+                Ok(n) => {
+                    work = true;
+                    conn.inbound.extend_from_slice(&scratch[..n]);
+                    self.process_inbound(conn);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    work = true;
+                    conn.peer_open = false;
+                    if conn.inflight.is_some() {
+                        conn.mark_unwritable();
+                    } else {
+                        conn.closing = true;
+                    }
+                    break;
+                }
+            }
+        }
+        work
+    }
+
+    /// Peer closed its write side. Buffered bytes that never completed
+    /// a frame are a half-frame protocol error (counted, but no error
+    /// reply — nobody is left to read it); EOF during a stream cancels
+    /// the drive and the connection drains as a zombie until the
+    /// worker's final frame lands.
+    fn peer_eof(&mut self, conn: &mut Conn) {
+        conn.peer_open = false;
+        if conn.inflight.is_some() {
+            conn.mark_unwritable();
+        } else {
+            if !conn.inbound.is_empty() {
+                self.srv.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                conn.decode_errors += 1;
+                self.srv.obs.decode_errors.inc();
+            }
+            conn.closing = true;
+        }
+    }
+
+    /// Consumes complete frames from the inbound buffer. Idle
+    /// connections decode and handle requests; a streaming in-flight
+    /// job accepts only `AssessCancel` mid-stream; a non-streaming one
+    /// leaves the bytes buffered.
+    fn process_inbound(&mut self, conn: &mut Conn) {
+        loop {
+            if conn.closing {
+                return;
+            }
+            let stream_cancel = match &conn.inflight {
+                Some(inflight) if inflight.streaming => Some(inflight.cancel.clone()),
+                Some(_) => return,
+                None => None,
+            };
+            if let Some(cancel) = stream_cancel {
+                match take_frame(&mut conn.inbound) {
+                    TakenFrame::Incomplete => return,
+                    TakenFrame::Oversized(_) => {
+                        self.srv.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        self.srv.obs.decode_errors.inc();
+                        conn.peer_open = false;
+                        conn.mark_unwritable();
+                        return;
+                    }
+                    TakenFrame::Frame(payload) => {
+                        self.srv.counters.received.fetch_add(1, Ordering::Relaxed);
+                        self.srv.obs.requests_total.inc();
+                        match Request::decode(payload.into()) {
+                            Ok(Request::AssessCancel) => {
+                                if let Some(cancel) = &cancel {
+                                    cancel.store(true, Ordering::Release);
+                                }
+                            }
+                            // Only AssessCancel is defined mid-stream;
+                            // anything else is a protocol error that
+                            // also stops the drive.
+                            _ => {
+                                self.srv.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                self.srv.obs.decode_errors.inc();
+                                conn.peer_open = false;
+                                conn.mark_unwritable();
+                                return;
+                            }
+                        }
+                    }
+                }
+            } else {
+                match take_frame(&mut conn.inbound) {
+                    TakenFrame::Incomplete => return,
+                    TakenFrame::Oversized(len) => {
+                        self.srv.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        conn.decode_errors += 1;
+                        self.srv.obs.decode_errors.inc();
+                        buffer_frame(
+                            conn,
+                            &Response::Error {
+                                code: ErrorCode::Oversized,
+                                message: format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
+                            },
+                        );
+                        conn.closing = true;
+                        return;
+                    }
+                    TakenFrame::Frame(payload) => {
+                        self.srv.counters.received.fetch_add(1, Ordering::Relaxed);
+                        conn.frames += 1;
+                        match Request::decode(payload.into()) {
+                            Ok(request) => {
+                                self.srv.obs.requests_total.inc();
+                                self.handle_request(conn, request);
+                            }
+                            Err(e) => {
+                                self.srv.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                conn.decode_errors += 1;
+                                self.srv.obs.decode_errors.inc();
+                                buffer_frame(
+                                    conn,
+                                    &Response::Error {
+                                        code: ErrorCode::Malformed,
+                                        message: e.to_string(),
+                                    },
+                                );
+                                conn.closing = true;
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles one decoded idle-state request, timing it into the
+    /// per-kind latency histogram when it completes synchronously
+    /// (enqueued jobs record at final-reply time instead, preserving
+    /// the blocking server's whole-exchange samples).
+    fn handle_request(&mut self, conn: &mut Conn, request: Request) {
+        let latency_idx = ServerInstruments::latency_index(&request);
+        let started = Instant::now();
+        let enqueued = self.handle_request_inner(conn, request, latency_idx, started);
+        if !enqueued {
+            if let Some(i) = latency_idx {
+                self.srv.obs.latency[i].record(started.elapsed().as_micros() as u64);
+            }
+        }
+    }
+
+    /// The trace frames are connection-side: TraceContext arms the
+    /// connection's next request (fire-and-forget), TraceUpload absorbs
+    /// the client's spans (fire-and-forget), TraceDump answers from the
+    /// tracer. `Hello` (re-)homes the connection's tenant. Any other
+    /// request consumes the armed context and runs under a
+    /// `server.request` span parented beneath the client's. Returns
+    /// true when the request became an in-flight job.
+    fn handle_request_inner(
+        &mut self,
+        conn: &mut Conn,
+        request: Request,
+        latency_idx: Option<usize>,
+        started: Instant,
+    ) -> bool {
+        if let Err(message) = validate_shape(&request) {
+            buffer_frame(conn, &Response::Error { code: ErrorCode::Invalid, message });
+            return false;
+        }
+        match request {
+            Request::TraceContext { trace_id, parent_span } => {
+                trace::tracer().begin(trace_id, 0);
+                conn.trace_ctx = Some((trace_id, parent_span));
+                false
+            }
+            Request::TraceUpload { trace_id, spans } => {
+                let records: Vec<SpanRecord> = spans
+                    .iter()
+                    .map(|s| SpanRecord {
+                        id: s.id,
+                        parent: s.parent,
+                        kind: recloud_obs::intern_kind(&s.kind),
+                        start_us: s.start_us,
+                        end_us: s.end_us,
+                        v0: s.v0,
+                        v1: s.v1,
+                    })
+                    .collect();
+                trace::tracer().absorb(trace_id, &records);
+                trace::tracer().finish(trace_id);
+                false
+            }
+            Request::TraceDump { trace_id } => {
+                let id = if trace_id == 0 {
+                    trace::tracer().latest_finished().unwrap_or(0)
+                } else {
+                    trace_id
+                };
+                let resp = match trace::tracer().spans(id) {
+                    Some((spans, dropped)) => TraceResponse {
+                        trace_id: id,
+                        dropped,
+                        spans: spans
+                            .iter()
+                            .map(|s| TraceSpan {
+                                id: s.id,
+                                parent: s.parent,
+                                kind: s.kind.to_string(),
+                                start_us: s.start_us,
+                                end_us: s.end_us,
+                                v0: s.v0,
+                                v1: s.v1,
+                            })
+                            .collect(),
+                    },
+                    None => TraceResponse::default(),
+                };
+                buffer_frame(conn, &Response::Trace(resp));
+                false
+            }
+            Request::Hello { tenant } => {
+                let state = self.tenant_state(&tenant);
+                conn.tenant = Some(state);
+                buffer_frame(conn, &Response::HelloAck { tenant });
+                false
+            }
+            other => {
+                let traced = conn.trace_ctx.take().map(|(trace_id, parent)| SpanCtx {
+                    trace_id,
+                    span: trace::tracer().start(trace_id, parent, "server.request"),
+                });
+                let enqueued = self.handle_work(conn, other, traced, latency_idx, started);
+                if !enqueued {
+                    if let Some(ctx) = traced {
+                        trace::tracer().end(ctx.trace_id, ctx.span);
+                        // Finish server-side too: TraceDump{0} finds the
+                        // trace even when the client never uploads its
+                        // own spans.
+                        trace::tracer().finish(ctx.trace_id);
+                    }
+                }
+                enqueued
+            }
+        }
+    }
+
+    /// Handles one non-trace request, possibly under a traced context
+    /// (`traced.span` is the open `server.request` span). Returns true
+    /// when the request was admitted as a job.
+    fn handle_work(
+        &mut self,
+        conn: &mut Conn,
+        request: Request,
+        traced: Option<SpanCtx>,
+        latency_idx: Option<usize>,
+        started: Instant,
+    ) -> bool {
+        let (kind, cancel) = match request {
+            Request::Ping { token } => {
+                buffer_frame(conn, &Response::Pong { token });
+                return false;
+            }
+            Request::Stats => {
+                buffer_frame(conn, &Response::Stats(self.srv.stats()));
+                return false;
+            }
+            Request::MetricsDump { journal_tail } => {
+                let resp = Response::Metrics(self.srv.metrics(journal_tail));
+                buffer_frame(conn, &resp);
+                return false;
+            }
+            Request::Shutdown => {
+                let completed = self.srv.counters.completed.load(Ordering::Relaxed);
+                buffer_frame(conn, &Response::ShutdownAck { completed });
+                self.srv.begin_shutdown();
+                conn.closing = true;
+                return false;
+            }
+            // A cancel with no stream in flight on this connection: the
+            // race it guards against (final frame already sent when the
+            // client decided to stop) makes it inherently best-effort,
+            // so it is a silent no-op with no response frame.
+            Request::AssessCancel => return false,
+            // Served reactor-side straight out of the cache — a peer
+            // warming up must not cost this daemon any worker time.
+            Request::CacheSync { max_entries } => {
+                let entries = self.srv.cache.lock().unwrap().recent(max_entries as usize);
+                self.srv.obs.sync_served.inc();
+                buffer_frame(conn, &Response::CacheSegment(CacheSegmentResponse { entries }));
+                return false;
+            }
+            Request::AssessPlan(req) => {
+                let tenant = self.conn_tenant(conn);
+                tenant.requests_total.inc();
+                let (spec, plan, key) = match prepare_assess(&req) {
+                    Ok(parts) => parts,
+                    Err(response) => {
+                        buffer_frame(conn, &response);
+                        return false;
+                    }
+                };
+                if let Some(hit) = self.srv.cache_lookup(key, traced) {
+                    self.srv.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.srv.obs.cache_hits.inc();
+                    self.srv.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    tenant.latency_us.record(started.elapsed().as_micros() as u64);
+                    buffer_frame(conn, &Response::Assess(hit));
+                    return false;
+                }
+                self.srv.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                self.srv.obs.cache_misses.inc();
+                (JobKind::Assess { req, spec, plan, key }, None)
+            }
+            Request::AssessStream { req, cadence } => {
+                let tenant = self.conn_tenant(conn);
+                tenant.requests_total.inc();
+                let (spec, plan, key) = match prepare_assess(&req) {
+                    Ok(parts) => parts,
+                    Err(response) => {
+                        buffer_frame(conn, &response);
+                        return false;
+                    }
+                };
+                if let Some(hit) = self.srv.cache_lookup(key, traced) {
+                    self.srv.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.srv.obs.cache_hits.inc();
+                    self.srv.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    tenant.latency_us.record(started.elapsed().as_micros() as u64);
+                    // A degenerate stream: the cached final frame with
+                    // no partials — the answer is already known in full.
+                    buffer_frame(conn, &Response::Assess(hit));
+                    return false;
+                }
+                self.srv.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                self.srv.obs.cache_misses.inc();
+                let cancel = Arc::new(AtomicBool::new(false));
+                (
+                    JobKind::StreamAssess { req, cadence, spec, plan, key, cancel: cancel.clone() },
+                    Some(cancel),
+                )
+            }
+            Request::SearchPlacement(req) => {
+                self.conn_tenant(conn).requests_total.inc();
+                (JobKind::Search(req), None)
+            }
+            Request::SearchStream { req, workers, iters } => {
+                self.conn_tenant(conn).requests_total.inc();
+                // Search streams accept a mid-stream AssessCancel frame
+                // without protocol error, but ignore it: the flag below
+                // is never read by the search drive.
+                (
+                    JobKind::StreamSearch { req, workers, iters },
+                    Some(Arc::new(AtomicBool::new(false))),
+                )
+            }
+            Request::ComparePlans(req) => {
+                self.conn_tenant(conn).requests_total.inc();
+                let spec = spec_for(req.k, req.n, 1);
+                let mut plans = Vec::with_capacity(req.plans.len());
+                for hosts in &req.plans {
+                    match build_plan(&spec, std::slice::from_ref(hosts)) {
+                        Ok(plan) => plans.push(plan),
+                        Err(message) => {
+                            buffer_frame(
+                                conn,
+                                &Response::Error { code: ErrorCode::Invalid, message },
+                            );
+                            return false;
+                        }
+                    }
+                }
+                (JobKind::Compare { req, spec, plans }, None)
+            }
+            // Trace frames and Hello never reach here — the caller
+            // consumes them.
+            Request::TraceDump { .. }
+            | Request::TraceContext { .. }
+            | Request::TraceUpload { .. }
+            | Request::Hello { .. } => return false,
+        };
+        let streaming = matches!(kind, JobKind::StreamAssess { .. } | JobKind::StreamSearch { .. });
+        self.admit(conn, kind, cancel, streaming, traced, latency_idx, started)
+    }
+
+    /// Two-level admission: the connection's tenant budget answers
+    /// `Busy` without touching the shared queue, then the global depth
+    /// compare-exchange bounds total queued work (the same CAS the
+    /// blocking server used). Returns true when the job was enqueued.
+    fn admit(
+        &mut self,
+        conn: &mut Conn,
+        kind: JobKind,
+        cancel: Option<Arc<AtomicBool>>,
+        streaming: bool,
+        traced: Option<SpanCtx>,
+        latency_idx: Option<usize>,
+        started: Instant,
+    ) -> bool {
+        let tenant = self.conn_tenant(conn);
+        if let Some(budget) = self.srv.config.tenant_budget {
+            if tenant.inflight.get() >= budget {
+                self.srv.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                self.srv.obs.busy_rejections.inc();
+                tenant.busy_total.inc();
+                buffer_frame(
+                    conn,
+                    &Response::Busy {
+                        queued: tenant.inflight.get() as u32,
+                        capacity: budget as u32,
+                    },
+                );
+                return false;
+            }
+        }
+        let capacity = self.srv.config.queue_capacity;
+        let admitted = self
+            .srv
+            .depth
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |d| {
+                if d < capacity {
+                    Some(d + 1)
+                } else {
+                    None
+                }
+            })
+            .is_ok();
+        if !admitted {
+            self.srv.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            self.srv.obs.busy_rejections.inc();
+            tenant.busy_total.inc();
+            buffer_frame(
+                conn,
+                &Response::Busy {
+                    queued: self.srv.depth.load(Ordering::Relaxed) as u32,
+                    capacity: capacity as u32,
+                },
+            );
+            return false;
+        }
+        self.srv.obs.queue_depth.add(1);
+        let (reply_tx, reply_rx) = sync::channel::<Response>();
+        // The queue.wait span opens here and closes when a worker
+        // dequeues the job — admission wait becomes visible in the tree.
+        let queue_span = traced
+            .map(|ctx| trace::tracer().start(ctx.trace_id, ctx.span, "queue.wait"))
+            .unwrap_or(0);
+        if self.job_tx.send(Job { kind, reply: reply_tx, trace: traced, queue_span }).is_err() {
+            self.srv.depth.fetch_sub(1, Ordering::AcqRel);
+            self.srv.obs.queue_depth.add(-1);
+            buffer_frame(
+                conn,
+                &Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "worker pool is gone".into(),
+                },
+            );
+            return false;
+        }
+        tenant.inflight.set(tenant.inflight.get() + 1);
+        conn.inflight = Some(Inflight {
+            reply: reply_rx,
+            streaming,
+            cancel,
+            traced,
+            latency_idx,
+            started,
+            tenant,
+        });
+        true
+    }
+
+    /// Pulls everything the worker has sent for this connection's
+    /// in-flight job: partials and search events forward immediately
+    /// (recording `partial.emit` when traced); the final frame
+    /// completes the exchange.
+    fn drain_reply(&mut self, conn: &mut Conn) -> bool {
+        let mut work = false;
+        loop {
+            let (traced, cancel) = match &conn.inflight {
+                Some(inflight) => (inflight.traced, inflight.cancel.clone()),
+                None => return work,
+            };
+            match conn.inflight.as_ref().expect("checked above").reply.try_recv() {
+                Ok(mid @ (Response::Partial(_) | Response::SearchEvent(_))) => {
+                    work = true;
+                    let start = traced.map(|_| trace::now_us());
+                    if conn.writable {
+                        buffer_frame(conn, &mid);
+                        flush_outbound(conn);
+                    }
+                    if !conn.writable {
+                        // Client gone: cancel the drive, keep draining
+                        // so the worker finishes cleanly.
+                        if let Some(cancel) = &cancel {
+                            cancel.store(true, Ordering::Release);
+                        }
+                    }
+                    if let (Some(ctx), Some(start_us)) = (traced, start) {
+                        trace::tracer().record(
+                            ctx.trace_id,
+                            ctx.span,
+                            "partial.emit",
+                            start_us,
+                            trace::now_us(),
+                            conn.writable as u64,
+                            0,
+                        );
+                    }
+                }
+                Ok(response) => {
+                    work = true;
+                    self.finish_inflight(conn, Some(response));
+                }
+                Err(TryRecvError::Empty) => return work,
+                Err(TryRecvError::Disconnected) => {
+                    work = true;
+                    self.finish_inflight(conn, None);
+                }
+            }
+        }
+    }
+
+    /// The job's final frame (or a dropped reply channel): complete the
+    /// exchange exactly as the blocking server did — send the reply if
+    /// the client can still hear it, record the per-kind and per-tenant
+    /// latency, close the request trace — then release the tenant's
+    /// budget slot and resume decoding pipelined frames.
+    fn finish_inflight(&mut self, conn: &mut Conn, response: Option<Response>) {
+        let inflight = conn.inflight.take().expect("finish without inflight");
+        let response = response.unwrap_or(Response::Error {
+            code: ErrorCode::Internal,
+            message: "worker dropped the job".into(),
+        });
+        if conn.writable {
+            buffer_frame(conn, &response);
+        }
+        inflight.tenant.inflight.set(inflight.tenant.inflight.get().saturating_sub(1));
+        let micros = inflight.started.elapsed().as_micros() as u64;
+        inflight.tenant.latency_us.record(micros);
+        if let Some(i) = inflight.latency_idx {
+            self.srv.obs.latency[i].record(micros);
+        }
+        if let Some(ctx) = inflight.traced {
+            trace::tracer().end(ctx.trace_id, ctx.span);
+            trace::tracer().finish(ctx.trace_id);
+        }
+        if !conn.writable || !conn.peer_open {
+            conn.closing = true;
+        } else {
+            // Frames the client pipelined behind the job decode now.
+            self.process_inbound(conn);
+        }
+    }
+
+    /// The connection's tenant, defaulting (and pinning) to
+    /// [`DEFAULT_TENANT`] for connections that never sent a `Hello`.
+    fn conn_tenant(&mut self, conn: &mut Conn) -> Rc<TenantState> {
+        if let Some(tenant) = &conn.tenant {
+            return tenant.clone();
+        }
+        let tenant = self.tenant_state(DEFAULT_TENANT);
+        conn.tenant = Some(tenant.clone());
+        tenant
+    }
+
+    fn tenant_state(&mut self, name: &str) -> Rc<TenantState> {
+        if let Some(tenant) = self.tenants.get(name) {
+            return tenant.clone();
+        }
+        let registry = &self.srv.obs.registry;
+        let tenant = Rc::new(TenantState {
+            requests_total: registry.counter(&format!("tenant.{name}.requests_total")),
+            busy_total: registry.counter(&format!("tenant.{name}.busy_total")),
+            latency_us: registry.histogram(&format!("tenant.{name}.latency_us")),
+            inflight: Cell::new(0),
+        });
+        self.tenants.insert(name.to_string(), tenant.clone());
+        tenant
+    }
+
+    /// Runs every loop iteration once the shutdown flag is up: stop
+    /// serving, cancel streaming drives, retire idle connections, and
+    /// keep flushing until every admitted job has answered with its
+    /// final frame — slow readers get [`SHUTDOWN_FLUSH_GRACE`], then
+    /// their unflushed buffers are dropped. Returns true once no
+    /// connections remain.
+    fn drain_shutdown(&mut self) -> bool {
+        self.accept_ready();
+        let grace_expired = match self.shutdown_seen {
+            Some(t) => t.elapsed() > SHUTDOWN_FLUSH_GRACE,
+            None => {
+                self.shutdown_seen = Some(Instant::now());
+                false
+            }
+        };
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let Some(mut conn) = self.conns.remove(&token) else { continue };
+            match &conn.inflight {
+                Some(inflight) => {
+                    if let Some(cancel) = &inflight.cancel {
+                        cancel.store(true, Ordering::Release);
+                    }
+                }
+                None => conn.closing = true,
+            }
+            flush_outbound(&mut conn);
+            if grace_expired && conn.inflight.is_none() {
+                conn.mark_unwritable();
+            }
+            self.settle(conn);
+        }
+        self.conns.is_empty()
+    }
+
+    /// Timed auto-compaction: the store's size/live-ratio thresholds
+    /// must hold continuously for `compact_after` before the reactor
+    /// compacts — one deliberate pass, not a compaction storm. This is
+    /// what finally compacts stores that crossed the threshold through
+    /// replay or eviction patterns no further append revisits.
+    fn compaction_tick(&mut self) {
+        let (Some(hold), Some(store)) = (self.srv.config.compact_after, self.srv.store.as_ref())
+        else {
+            return;
+        };
+        let mut store = store.lock().unwrap();
+        if !store.should_compact() {
+            self.compact_held_since = None;
+            return;
+        }
+        let since = *self.compact_held_since.get_or_insert_with(Instant::now);
+        if since.elapsed() < hold {
+            return;
+        }
+        self.compact_held_since = None;
+        match store.compact() {
+            Ok(_) => {
+                self.srv.obs.store_compactions.add(1);
+                self.srv.obs.store_bytes.set(store.bytes() as i64);
+            }
+            Err(e) => eprintln!("warning: timed store compaction failed: {e}"),
+        }
+    }
 }

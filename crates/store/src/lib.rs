@@ -323,7 +323,13 @@ impl Store {
         self.compactions
     }
 
-    fn should_compact(&self) -> bool {
+    /// Whether the size/live-ratio auto-compaction thresholds currently
+    /// hold: the log is at least `compact_min_bytes` and live data is
+    /// under `compact_live_ratio` of it. Appends consult this
+    /// internally; the serving layer polls it from a timer so a store
+    /// that crossed the threshold via replay or eviction patterns no
+    /// append revisits still gets compacted.
+    pub fn should_compact(&self) -> bool {
         let total = self.bytes();
         total >= self.config.compact_min_bytes
             && (self.live_bytes() as f64) < self.config.compact_live_ratio * total as f64

@@ -86,6 +86,15 @@ echo "== streaming smoke gate =="
 # whose last step shuts the daemon down.
 target/release/recloud loadgen --smoke --stream --addr "$ADDR"
 
+echo "== connection-fleet smoke gate =="
+# The reactor at production connection counts: 1000 concurrent
+# connections held open by the single poll loop — a full streamed
+# assessment and a cache-hit replay must flow over the fleet while it is
+# attached, and the daemon must account for every socket in its
+# connections_open gauge. Runs inside the daemon trap like the gates
+# above.
+target/release/recloud loadgen --connections 1000 --stream --smoke --addr "$ADDR"
+
 echo "== search-stream smoke gate =="
 # The SearchStream path end to end: a deterministic 2-chain parallel
 # search on the live daemon must stream at least one per-chain
